@@ -1,0 +1,237 @@
+(* consensus_sim: command-line front-end to the simulator.
+
+   [run] executes one experiment with explicit parameters; [figures]
+   regenerates any of the paper's tables/figures (same sections as
+   bench/main.exe). *)
+
+open Cmdliner
+module Runner = Ci_workload.Runner
+module E = Ci_workload.Experiments
+module Sim_time = Ci_engine.Sim_time
+module Topology = Ci_machine.Topology
+module Net_params = Ci_machine.Net_params
+module Fault_plan = Ci_workload.Fault_plan
+
+(* ----- shared argument parsing ----------------------------------------- *)
+
+let protocol_conv =
+  let parse = function
+    | "1paxos" -> Ok Runner.Onepaxos
+    | "multipaxos" -> Ok Runner.Multipaxos
+    | "2pc" -> Ok Runner.Twopc
+    | "mencius" -> Ok Runner.Mencius
+    | "cheappaxos" -> Ok Runner.Cheappaxos
+    | s ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown protocol %S (1paxos|multipaxos|2pc|mencius|cheappaxos)" s))
+  in
+  let print fmt p = Format.pp_print_string fmt (Runner.protocol_name p) in
+  Arg.conv (parse, print)
+
+let topology_conv =
+  let parse s =
+    match s with
+    | "48" | "opteron48" -> Ok Topology.opteron_48
+    | "8" | "opteron8" -> Ok Topology.opteron_8
+    | s ->
+      (match String.split_on_char 'x' s with
+       | [ a; b ] ->
+         (try Ok (Topology.create ~sockets:(int_of_string a) ~cores_per_socket:(int_of_string b))
+          with _ -> Error (`Msg "topology: expected 48, 8 or SOCKETSxCORES"))
+       | _ -> Error (`Msg "topology: expected 48, 8 or SOCKETSxCORES"))
+  in
+  Arg.conv (parse, Topology.pp)
+
+let net_conv =
+  let parse = function
+    | "multicore" -> Ok Net_params.multicore
+    | "lan" -> Ok Net_params.lan
+    | "lan-wide" -> Ok Net_params.lan_wide
+    | "rdma" -> Ok Net_params.rdma
+    | s ->
+      Error
+        (`Msg (Printf.sprintf "unknown network %S (multicore|lan|lan-wide|rdma)" s))
+  in
+  Arg.conv (parse, Net_params.pp)
+
+let fault_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ core; from_; until_; factor ] ->
+      (try
+         Ok
+           (Fault_plan.Slow_core
+              {
+                core = int_of_string core;
+                from_ = Sim_time.ms (int_of_string from_);
+                until_ = Sim_time.ms (int_of_string until_);
+                factor = float_of_string factor;
+              })
+       with _ -> Error (`Msg "fault: expected CORE:FROM_MS:UNTIL_MS:FACTOR"))
+    | _ -> Error (`Msg "fault: expected CORE:FROM_MS:UNTIL_MS:FACTOR")
+  in
+  Arg.conv (parse, Fault_plan.pp)
+
+(* ----- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv Runner.Onepaxos & info [ "p"; "protocol" ] ~doc:"Protocol: 1paxos, multipaxos or 2pc.")
+  in
+  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica count.") in
+  let clients = Arg.(value & opt int 5 & info [ "c"; "clients" ] ~doc:"Client count (dedicated mode).") in
+  let joint = Arg.(value & flag & info [ "joint" ] ~doc:"Joint deployment: every node is replica and client; $(b,--replicas) sets the node count.") in
+  let duration = Arg.(value & opt int 50 & info [ "d"; "duration-ms" ] ~doc:"Measurement window (ms).") in
+  let warmup = Arg.(value & opt int 5 & info [ "warmup-ms" ] ~doc:"Warm-up before measuring (ms).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let read_ratio = Arg.(value & opt float 0. & info [ "read-ratio" ] ~doc:"Fraction of read commands.") in
+  let think = Arg.(value & opt int 0 & info [ "think-us" ] ~doc:"Client think time (us).") in
+  let timeout = Arg.(value & opt int 2000 & info [ "timeout-us" ] ~doc:"Client retry timeout (us).") in
+  let topology = Arg.(value & opt topology_conv Topology.opteron_48 & info [ "topology" ] ~doc:"Machine: 48, 8 or SOCKETSxCORES.") in
+  let net = Arg.(value & opt net_conv Net_params.multicore & info [ "net" ] ~doc:"Network preset: multicore, lan or lan-wide.") in
+  let relaxed = Arg.(value & flag & info [ "relaxed-reads" ] ~doc:"Serve marked reads from local learner state (stale allowed).") in
+  let local_reads = Arg.(value & flag & info [ "local-reads" ] ~doc:"2PC-Joint: serve unlocked reads locally.") in
+  let colocate = Arg.(value & flag & info [ "colocate-acceptor" ] ~doc:"1Paxos: put the initial acceptor on the leader's node.") in
+  let faults = Arg.(value & opt_all fault_conv [] & info [ "slow-core" ] ~doc:"Inject a slowdown, CORE:FROM_MS:UNTIL_MS:FACTOR (repeatable).") in
+  let timeline = Arg.(value & flag & info [ "timeline" ] ~doc:"Also print per-10ms commit rates.") in
+  let run protocol replicas clients joint duration warmup seed read_ratio think
+      timeout topology net relaxed local_reads colocate faults timeline =
+    let placement =
+      if joint then Runner.Joint { n_nodes = replicas }
+      else Runner.Dedicated { n_replicas = replicas; n_clients = clients }
+    in
+    let spec =
+      {
+        (Runner.default_spec ~protocol ~placement) with
+        Runner.duration = Sim_time.ms duration;
+        warmup = Sim_time.ms warmup;
+        seed;
+        read_ratio;
+        think = Sim_time.us think;
+        timeout = Sim_time.us timeout;
+        topology;
+        params = net;
+        relaxed_reads = relaxed;
+        local_reads;
+        colocate_acceptor = colocate;
+        faults;
+      }
+    in
+    let r = Runner.run spec in
+    Format.printf "%a@." Runner.pp_result r;
+    if timeline then begin
+      Format.printf "timeline (op/s per 10ms bucket):@.";
+      Array.iteri (fun i x -> Format.printf "  %4dms %10.0f@." (i * 10) x) r.Runner.timeline
+    end;
+    if Ci_rsm.Consistency.ok r.Runner.consistency then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ protocol $ replicas $ clients $ joint $ duration $ warmup
+      $ seed $ read_ratio $ think $ timeout $ topology $ net $ relaxed
+      $ local_reads $ colocate $ faults $ timeline)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its measurements.") term
+
+(* ----- figures -------------------------------------------------------------- *)
+
+let figures_cmd =
+  let sections :
+      (string * (unit ->
+        [ `Series of E.series list
+        | `Bars of E.bar list
+        | `Timelines of E.timeline list
+        | `Netchar of E.netchar_row list
+        | `Latency of E.latency_row list ])) list =
+    [
+      ("netchar", fun () -> `Netchar (E.netchar ()));
+      ("fig2", fun () -> `Series (E.fig2 ()));
+      ("latency", fun () -> `Latency (E.latency_table ()));
+      ("fig8", fun () -> `Series (E.fig8 ()));
+      ("fig9", fun () -> `Series (E.fig9 ()));
+      ("fig10", fun () -> `Bars (E.fig10 ()));
+      ("fig11", fun () -> `Timelines (E.fig11 ()));
+      ("sec2_2", fun () -> `Timelines (E.sec2_2 ()));
+      ("lan", fun () -> `Series (E.lan_1paxos ()));
+      ("ablation-placement", fun () -> `Series (E.ablation_placement ()));
+      ("ablation-slots", fun () -> `Series (E.ablation_slots ()));
+      ("ablation-ratio", fun () -> `Series (E.ablation_ratio ()));
+      ("protocols", fun () -> `Series (E.protocol_comparison ()));
+      ( "protocols-rdma",
+        fun () -> `Series (E.protocol_comparison ~params:Net_params.rdma ()) );
+    ]
+  in
+  let names = List.map fst sections in
+  let which =
+    Arg.(
+      value & pos_all string names
+      & info [] ~docv:"SECTION"
+          ~doc:
+            (Printf.sprintf "Sections to regenerate (default all): %s."
+               (String.concat ", " names)))
+  in
+  let out_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write each section as CSV (plus a gnuplot script) into $(docv).")
+  in
+  let emit name out result =
+    (match result with
+     | `Series series -> Format.printf "%a" E.pp_series series
+     | `Bars bars -> Format.printf "%a" E.pp_bars bars
+     | `Timelines ts -> Format.printf "%a" E.pp_timelines ts
+     | `Netchar rows -> Format.printf "%a" E.pp_netchar rows
+     | `Latency rows -> Format.printf "%a" E.pp_latency_table rows);
+    match out with
+    | None -> ()
+    | Some dir ->
+      let module R = Ci_workload.Report in
+      let csv_name = name ^ ".csv" in
+      let paths =
+        match result with
+        | `Series series ->
+          let p = R.write_file ~dir ~name:csv_name (R.series_csv series) in
+          let gp =
+            R.write_file ~dir ~name:(name ^ ".gp")
+              (R.gnuplot_series ~title:name ~xlabel:"clients / replicas"
+                 ~csv:csv_name series)
+          in
+          [ p; gp ]
+        | `Timelines ts ->
+          let p = R.write_file ~dir ~name:csv_name (R.timelines_csv ts) in
+          let gp =
+            R.write_file ~dir ~name:(name ^ ".gp")
+              (R.gnuplot_timelines ~title:name ~csv:csv_name ts)
+          in
+          [ p; gp ]
+        | `Bars bars -> [ R.write_file ~dir ~name:csv_name (R.bars_csv bars) ]
+        | `Netchar rows -> [ R.write_file ~dir ~name:csv_name (R.netchar_csv rows) ]
+        | `Latency rows -> [ R.write_file ~dir ~name:csv_name (R.latency_csv rows) ]
+      in
+      List.iter (Format.printf "wrote %s@.") paths
+  in
+  let run which out =
+    List.fold_left
+      (fun code name ->
+        match List.assoc_opt name sections with
+        | Some f ->
+          Format.printf "== %s ==@." name;
+          emit name out (f ());
+          code
+        | None ->
+          Format.eprintf "unknown section %S@." name;
+          1)
+      0 which
+  in
+  let term = Term.(const run $ which $ out_dir) in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.") term
+
+let () =
+  let info =
+    Cmd.info "consensus_sim" ~version:"1.0.0"
+      ~doc:"Consensus Inside (Middleware 2014) reproduction: 1Paxos, Multi-Paxos and 2PC on a simulated many-core."
+  in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; figures_cmd ]))

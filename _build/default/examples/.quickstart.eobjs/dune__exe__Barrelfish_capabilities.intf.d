@@ -1,0 +1,1 @@
+examples/barrelfish_capabilities.mli:

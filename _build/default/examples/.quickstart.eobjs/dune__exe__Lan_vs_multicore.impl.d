@@ -1,0 +1,1 @@
+examples/lan_vs_multicore.ml: Ci_engine Ci_workload Format

@@ -1,0 +1,1 @@
+examples/lan_vs_multicore.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ci_consensus Ci_engine Ci_machine Ci_rsm Format

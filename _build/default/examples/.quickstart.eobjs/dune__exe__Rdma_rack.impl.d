@@ -1,0 +1,1 @@
+examples/rdma_rack.ml: Ci_engine Ci_machine Ci_rsm Ci_stats Ci_workload Format List

@@ -1,0 +1,1 @@
+examples/slow_leader_failover.ml: Array Ci_engine Ci_machine Ci_workload Float Format List String

@@ -1,0 +1,1 @@
+examples/slow_leader_failover.mli:

@@ -1,0 +1,1 @@
+lib/core/cheap_paxos.ml: Array Ci_engine Ci_machine Ci_rsm Hashtbl List Paxos_utility Queue Replica_core Wire

@@ -1,0 +1,1 @@
+lib/core/cheap_paxos.mli: Ci_engine Ci_machine Replica_core Wire

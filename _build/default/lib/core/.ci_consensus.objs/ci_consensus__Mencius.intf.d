@@ -1,0 +1,1 @@
+lib/core/mencius.mli: Ci_machine Replica_core Wire

@@ -1,0 +1,1 @@
+lib/core/multipaxos.ml: Array Ci_engine Ci_machine Ci_rsm Hashtbl List Pn Queue Replica_core Wire

@@ -1,0 +1,1 @@
+lib/core/multipaxos.mli: Ci_engine Ci_machine Replica_core Wire

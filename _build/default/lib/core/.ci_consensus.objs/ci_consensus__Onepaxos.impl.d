@@ -1,0 +1,1 @@
+lib/core/onepaxos.ml: Array Ci_engine Ci_machine Ci_rsm Hashtbl List Paxos_utility Pn Queue Replica_core Wire

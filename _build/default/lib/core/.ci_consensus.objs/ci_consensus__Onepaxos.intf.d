@@ -1,0 +1,1 @@
+lib/core/onepaxos.mli: Ci_engine Ci_machine Replica_core Wire

@@ -1,0 +1,1 @@
+lib/core/paxos_utility.ml: Array Ci_engine Ci_machine Ci_rsm Hashtbl List Pn Wire

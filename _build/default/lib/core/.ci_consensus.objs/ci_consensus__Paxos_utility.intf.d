@@ -1,0 +1,1 @@
+lib/core/paxos_utility.mli: Ci_engine Ci_machine Wire

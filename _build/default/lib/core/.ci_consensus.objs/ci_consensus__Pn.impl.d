@@ -1,0 +1,1 @@
+lib/core/pn.ml: Format Stdlib

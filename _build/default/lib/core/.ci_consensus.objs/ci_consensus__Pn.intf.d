@@ -1,0 +1,1 @@
+lib/core/pn.mli: Format

@@ -1,0 +1,1 @@
+lib/core/replica_core.ml: Ci_rsm List Wire

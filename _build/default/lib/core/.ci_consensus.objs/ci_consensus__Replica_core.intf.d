@@ -1,0 +1,1 @@
+lib/core/replica_core.mli: Ci_rsm Wire

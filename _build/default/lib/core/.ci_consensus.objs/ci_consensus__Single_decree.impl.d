@@ -1,0 +1,1 @@
+lib/core/single_decree.ml: Array Ci_engine Ci_machine Hashtbl List Pn Wire

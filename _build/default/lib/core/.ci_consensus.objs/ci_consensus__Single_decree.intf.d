@@ -1,0 +1,1 @@
+lib/core/single_decree.mli: Ci_engine Ci_machine Wire

@@ -1,0 +1,1 @@
+lib/core/twopc.ml: Array Ci_machine Ci_rsm Hashtbl List Replica_core Wire

@@ -1,0 +1,1 @@
+lib/core/twopc.mli: Ci_machine Replica_core Wire

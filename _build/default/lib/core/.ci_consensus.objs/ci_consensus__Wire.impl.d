@@ -1,0 +1,1 @@
+lib/core/wire.ml: Ci_rsm Format List Pn String

@@ -1,0 +1,65 @@
+(** Cheap Paxos (§8): consensus with a reduced active acceptor set.
+
+    Lamport and Massa's observation: since Paxos needs only f+1
+    responsive acceptors, the other f can sit idle as {e auxiliaries}.
+    The leader runs rounds against the current {e active} set only
+    (full-set quorum within an epoch), which cuts messages per
+    agreement; when an active acceptor is suspected, a majority of
+    {e all} replicas votes a new epoch that excludes it, and the active
+    set may shrink as far as the leader alone.
+
+    The price is the liveness asymmetry the paper contrasts 1Paxos with:
+    a new epoch's state must be handed off from a member of the {e
+    current} active set. If the actives shrank to {r} and {e r} then
+    fails, the system is stuck until {e r itself} recovers — the
+    recovery of earlier-excluded replicas does not help, because only
+    {e r} holds the "crucial last state". 1Paxos, whose backup
+    acceptors are cold but whose {e data} lives in all learners,
+    resumes as soon as {e any} majority is back. The test suite
+    reproduces exactly this scenario.
+
+    Scope: the epoch vote is a simple monotone ballot among all
+    replicas (majority), faithful to the reconfiguration role
+    auxiliaries play in the original protocol. *)
+
+type config = {
+  replicas : int array;  (** All machine node ids (2f+1). *)
+  initial_actives : int list;
+      (** Initial active set; its head is the leader. Must be non-empty
+          and a subset of [replicas]. *)
+  acceptor_timeout : Ci_engine.Sim_time.t;
+      (** Outstanding-round age before the leader suspects an active. *)
+  check_period : Ci_engine.Sim_time.t;  (** Failure-detector period. *)
+  reconfig_timeout : Ci_engine.Sim_time.t;
+      (** Retry period for epoch votes and state pulls. *)
+}
+
+val default_config : replicas:int array -> config
+(** [default_config ~replicas] activates the first [f+1] replicas. *)
+
+type t
+(** One Cheap Paxos replica. *)
+
+val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
+(** [create ~node ~config] initializes the replica. *)
+
+val start : t -> unit
+(** [start t] arms the failure detector. *)
+
+val handle : t -> src:int -> Wire.t -> unit
+(** [handle t ~src msg] processes a client or protocol message. *)
+
+val replica_core : t -> Replica_core.t
+(** [replica_core t] exposes learner/executor state. *)
+
+val epoch : t -> int
+(** [epoch t] is the replica's current epoch number. *)
+
+val actives : t -> int list
+(** [actives t] is the current active set (head = leader). *)
+
+val is_leader : t -> bool
+(** [is_leader t] is whether this replica heads the active set. *)
+
+val reconfigs : t -> int
+(** [reconfigs t] counts epoch changes this replica applied. *)

@@ -1,0 +1,55 @@
+(** Mencius: multi-leader Paxos by instance-space partitioning (§8).
+
+    The paper's main multi-leader point of comparison. Every replica is
+    the pre-assigned leader of the instances congruent to its index
+    (replica [i] of [n] owns instances [i], [i+n], [i+2n], ...), so each
+    replica can order its own clients' commands without a central
+    leader — distributing the transmission load the single leader
+    bottlenecks in Multi-Paxos.
+
+    A replica whose clients are idle would stall the log (instances
+    execute in order), so when it observes the frontier advancing past
+    its unused slots it cedes them with {e skip} no-ops. As the paper
+    notes, skips mean idle leaders still transmit, "which would not
+    help the load balancing objective" — visible in this
+    implementation's message counts.
+
+    Scope: the revocation sub-protocol (taking over a {e failed}
+    leader's instances) is not implemented; a dead owner stalls the log,
+    so use Mencius in fault-free comparisons (the paper's §8 discussion
+    is about load, not fault handling). *)
+
+type config = {
+  replicas : int array;  (** Machine node ids; index = ownership class. *)
+  skip_lag : int;
+      (** Cede owned slots this far behind the observed frontier
+          (0 = immediately). *)
+  relaxed_reads : bool;  (** Serve relaxed [Get]s locally. *)
+}
+
+val default_config : replicas:int array -> config
+(** [default_config ~replicas] with immediate skips. *)
+
+type t
+(** One Mencius replica. *)
+
+val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
+(** [create ~node ~config] initializes the replica; route messages to
+    {!handle}. No [start] step is needed — ownership is static. *)
+
+val handle : t -> src:int -> Wire.t -> unit
+(** [handle t ~src msg] processes a client or protocol message. *)
+
+val replica_core : t -> Replica_core.t
+(** [replica_core t] exposes learner/executor state. *)
+
+val skips_proposed : t -> int
+(** [skips_proposed t] counts the no-op slots this replica ceded. *)
+
+val owned_used : t -> int
+(** [owned_used t] counts the owned slots filled with real commands. *)
+
+val is_skip_value : Wire.value -> bool
+(** [is_skip_value v] identifies the placeholder a skip decides (used by
+    the consistency layer to exempt skips from the proposed-by-a-client
+    check). *)

@@ -1,0 +1,289 @@
+module Machine = Ci_machine.Machine
+module Sim_time = Ci_engine.Sim_time
+module Rng = Ci_engine.Rng
+module Command = Ci_rsm.Command
+
+type config = {
+  replicas : int array;
+  initial_leader : int;
+  election_timeout : Sim_time.t;
+  relaxed_reads : bool;
+}
+
+let default_config ~replicas =
+  if Array.length replicas < 1 then
+    invalid_arg "Multipaxos.default_config: need at least one replica";
+  {
+    replicas;
+    initial_leader = replicas.(0);
+    election_timeout = Sim_time.us 400;
+    relaxed_reads = false;
+  }
+
+(* Learn tally for one (instance, proposal number): which acceptors
+   reported acceptance. *)
+type tally = { v : Wire.value; mutable srcs : int list }
+
+type t = {
+  node : Wire.t Machine.node;
+  cfg : config;
+  self : int;
+  core : Replica_core.t;
+  rng : Rng.t;
+  (* Proposer. *)
+  mutable iam_leader : bool;
+  mutable my_pn : Pn.t;
+  mutable pn_round : int;
+  mutable electing : Pn.t option; (* pn of the election in flight *)
+  mutable election_no : int;
+  mutable promise_count : int;
+  promise_best : (int, Pn.t * Wire.value) Hashtbl.t;
+  proposed : (int, Wire.value) Hashtbl.t;
+  inflight : (int * int, int) Hashtbl.t;
+  pending : Wire.value Queue.t;
+  mutable next_inst : int;
+  my_keys : (int * int, unit) Hashtbl.t;
+  (* Acceptor. *)
+  mutable promised : Pn.t;
+  accepted : (int, Pn.t * Wire.value) Hashtbl.t;
+  (* Learner. *)
+  tallies : (int * Pn.t, tally) Hashtbl.t;
+  mutable n_elections : int;
+  mutable election_streak : int; (* consecutive failed elections, for backoff *)
+}
+
+let majority t = (Array.length t.cfg.replicas / 2) + 1
+let send t dst msg = Machine.send t.node ~dst msg
+let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.cfg.replicas
+
+let fresh_pn t =
+  t.pn_round <- t.pn_round + 1;
+  Pn.make ~round:t.pn_round ~owner:t.self
+
+let reply_if_mine t (ex : Replica_core.executed) =
+  let key = Wire.value_key ex.v in
+  if Hashtbl.mem t.my_keys key then begin
+    Hashtbl.remove t.my_keys key;
+    send t ex.v.Wire.client (Wire.Reply { req_id = ex.v.Wire.req_id; result = ex.result })
+  end
+
+let learn_value t ~inst v =
+  Hashtbl.remove t.inflight (Wire.value_key v);
+  let executed = Replica_core.learn t.core ~inst v in
+  List.iter (reply_if_mine t) executed
+
+let propose_value t v =
+  let key = Wire.value_key v in
+  Hashtbl.replace t.my_keys key ();
+  match Replica_core.cached_result t.core ~client:(fst key) ~req_id:(snd key) with
+  | Some result ->
+    Hashtbl.remove t.my_keys key;
+    send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
+  | None ->
+    if not (Hashtbl.mem t.inflight key) then begin
+      let inst = t.next_inst in
+      t.next_inst <- t.next_inst + 1;
+      Hashtbl.replace t.proposed inst v;
+      Hashtbl.replace t.inflight key inst;
+      broadcast t (Wire.Mp_accept { inst; pn = t.my_pn; v })
+    end
+
+let drain_pending t =
+  if t.iam_leader then
+    while not (Queue.is_empty t.pending) do
+      propose_value t (Queue.pop t.pending)
+    done
+
+let bump_next_inst t =
+  let high = Hashtbl.fold (fun inst _ acc -> max inst acc) t.proposed (-1) in
+  t.next_inst <- max t.next_inst (max (high + 1) (Replica_core.first_gap t.core))
+
+(* Phase 1: claim leadership with a fresh number; retry with backoff
+   while no majority answers. *)
+let rec start_election t =
+  if not (t.iam_leader || t.electing <> None) then begin
+    let pn = fresh_pn t in
+    t.electing <- Some pn;
+    t.election_no <- t.election_no + 1;
+    t.n_elections <- t.n_elections + 1;
+    let this_election = t.election_no in
+    t.promise_count <- 0;
+    Hashtbl.reset t.promise_best;
+    broadcast t (Wire.Mp_prepare { pn; low = Replica_core.first_gap t.core });
+    (* Exponential backoff: rivals desynchronize, and on slow networks
+       the retry never preempts answers still in flight. *)
+    let scale = min 32 (1 lsl min 5 t.election_streak) in
+    let base = t.cfg.election_timeout * scale in
+    let delay = base + Rng.int t.rng (max 1 (base / 2)) in
+    Machine.after t.node ~delay (fun () ->
+        if t.election_no = this_election && t.electing <> None && not t.iam_leader
+        then begin
+          t.electing <- None;
+          t.election_streak <- t.election_streak + 1;
+          start_election t
+        end)
+  end
+
+let become_leader t pn =
+  t.iam_leader <- true;
+  t.electing <- None;
+  t.election_streak <- 0;
+  t.my_pn <- pn;
+  (* Adopt the highest-numbered accepted value per instance reported by
+     the promising majority, then re-drive everything undecided. *)
+  Hashtbl.iter (fun inst (_, v) -> Hashtbl.replace t.proposed inst v) t.promise_best;
+  bump_next_inst t;
+  let pairs =
+    Hashtbl.fold (fun inst v acc -> (inst, v) :: acc) t.proposed []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (inst, v) ->
+      if not (Replica_core.is_decided t.core ~inst) then begin
+        Hashtbl.replace t.inflight (Wire.value_key v) inst;
+        broadcast t (Wire.Mp_accept { inst; pn = t.my_pn; v })
+      end)
+    pairs;
+  drain_pending t
+
+let handle_value t v =
+  match
+    Replica_core.cached_result t.core ~client:v.Wire.client ~req_id:v.Wire.req_id
+  with
+  | Some result ->
+    send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
+  | None ->
+    Hashtbl.replace t.my_keys (Wire.value_key v) ();
+    if t.iam_leader then propose_value t v
+    else begin
+      Queue.push v t.pending;
+      start_election t
+    end
+
+let handle_request t ~src ~req_id ~cmd ~relaxed_read =
+  if relaxed_read && t.cfg.relaxed_reads && Command.is_read cmd then
+    match cmd with
+    | Command.Get { key } ->
+      send t src
+        (Wire.Reply
+           { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
+    | Command.Put _ | Command.Cas _ | Command.Nop -> ()
+  else handle_value t { Wire.client = src; req_id; cmd }
+
+let on_prepare t ~src ~pn ~low =
+  if Pn.(pn > t.promised) then begin
+    t.promised <- pn;
+    if t.iam_leader && pn.Pn.owner <> t.self then t.iam_leader <- false;
+    let accepted =
+      Hashtbl.fold
+        (fun inst slot acc -> if inst >= low then (inst, slot) :: acc else acc)
+        t.accepted []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    send t src (Wire.Mp_promise { pn; accepted })
+  end
+  else send t src (Wire.Mp_reject { pn = t.promised })
+
+let on_promise t ~pn ~accepted =
+  match t.electing with
+  | Some e when Pn.equal e pn ->
+    t.promise_count <- t.promise_count + 1;
+    List.iter
+      (fun (inst, ((apn, _) as slot)) ->
+        match Hashtbl.find_opt t.promise_best inst with
+        | Some (bpn, _) when Pn.(bpn >= apn) -> ()
+        | Some _ | None -> Hashtbl.replace t.promise_best inst slot)
+      accepted;
+    if t.promise_count >= majority t then become_leader t pn
+  | Some _ | None -> ()
+
+let on_reject t ~pn =
+  t.pn_round <- max t.pn_round pn.Pn.round;
+  if t.iam_leader && Pn.(pn > t.my_pn) then t.iam_leader <- false;
+  (* A live rival holds a higher number; if we are mid-election the
+     retry timer will try again above it. *)
+  ()
+
+let on_accept t ~src ~inst ~pn ~v =
+  if Pn.(pn >= t.promised) then begin
+    t.promised <- pn;
+    (match Hashtbl.find_opt t.accepted inst with
+     | Some (apn, _) when Pn.(apn > pn) -> ()
+     | Some _ | None -> Hashtbl.replace t.accepted inst (pn, v));
+    match Hashtbl.find_opt t.accepted inst with
+    | Some (apn, av) ->
+      broadcast t (Wire.Mp_learn { inst; pn = apn; v = av })
+    | None -> ()
+  end
+  else send t src (Wire.Mp_reject { pn = t.promised })
+
+let on_learn t ~src ~inst ~pn ~v =
+  if not (Replica_core.is_decided t.core ~inst) then begin
+    let key = (inst, pn) in
+    let tally =
+      match Hashtbl.find_opt t.tallies key with
+      | Some tl -> tl
+      | None ->
+        let tl = { v; srcs = [] } in
+        Hashtbl.add t.tallies key tl;
+        tl
+    in
+    if not (List.mem src tally.srcs) then begin
+      tally.srcs <- src :: tally.srcs;
+      if List.length tally.srcs >= majority t then begin
+        Hashtbl.remove t.tallies key;
+        learn_value t ~inst tally.v
+      end
+    end
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Wire.Request { req_id; cmd; relaxed_read } ->
+    handle_request t ~src ~req_id ~cmd ~relaxed_read
+  | Wire.Forward { v } -> handle_value t v
+  | Wire.Mp_prepare { pn; low } -> on_prepare t ~src ~pn ~low
+  | Wire.Mp_promise { pn; accepted } -> on_promise t ~pn ~accepted
+  | Wire.Mp_reject { pn } -> on_reject t ~pn
+  | Wire.Mp_accept { inst; pn; v } -> on_accept t ~src ~inst ~pn ~v
+  | Wire.Mp_learn { inst; pn; v } -> on_learn t ~src ~inst ~pn ~v
+  | Wire.Reply _ | Wire.Op_prepare_request _ | Wire.Op_prepare_response _
+  | Wire.Op_abandon _ | Wire.Op_accept_request _ | Wire.Op_learn _
+  | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
+  | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
+  | Wire.Pu_read_reply _ | Wire.Ls_req _ | Wire.Ls_reply _ | Wire.Tp_prepare _
+  | Wire.Tp_ack _ | Wire.Tp_commit _ | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ ->
+    ()
+
+let create ~node ~config =
+  {
+    node;
+    cfg = config;
+    self = Machine.node_id node;
+    core = Replica_core.create ~replica:(Machine.node_id node);
+    rng = Rng.split (Machine.rng (Machine.machine_of node));
+    iam_leader = false;
+    my_pn = Pn.bottom;
+    pn_round = 0;
+    electing = None;
+    election_no = 0;
+    promise_count = 0;
+    promise_best = Hashtbl.create 64;
+    proposed = Hashtbl.create 256;
+    inflight = Hashtbl.create 256;
+    pending = Queue.create ();
+    next_inst = 0;
+    my_keys = Hashtbl.create 64;
+    promised = Pn.bottom;
+    accepted = Hashtbl.create 256;
+    tallies = Hashtbl.create 256;
+    n_elections = 0;
+    election_streak = 0;
+  }
+
+let start t = if t.self = t.cfg.initial_leader then start_election t
+
+let is_leader t = t.iam_leader
+let replica_core t = t.core
+let elections t = t.n_elections
+let pending_count t = Queue.length t.pending

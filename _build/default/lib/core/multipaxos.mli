@@ -1,0 +1,55 @@
+(** Collapsed Multi-Paxos (the paper's main comparison point).
+
+    Every replica plays proposer, acceptor and learner (Collapsed
+    Paxos, §2.3). A stable leader runs phase 1 once; thereafter each
+    client command costs one accept round: the leader sends
+    [Mp_accept] to every acceptor, each acceptor broadcasts [Mp_learn]
+    to every learner, and a learner commits on a majority of matching
+    learns. On three replicas this is ten boundary-crossing messages
+    per command — the count Figure 3 contrasts with 1Paxos's five —
+    and the leader processes eight of them, which is why Multi-Paxos
+    saturates at roughly half 1Paxos's throughput in Figure 8.
+
+    Non-blocking: progress requires only a majority of replicas, so one
+    slow replica out of three is tolerated. Leadership moves through
+    phase 1 with a higher proposal number when a client fails over to
+    another replica. *)
+
+type config = {
+  replicas : int array;  (** Machine node ids of all replicas. *)
+  initial_leader : int;  (** Member of [replicas]. *)
+  election_timeout : Ci_engine.Sim_time.t;
+      (** Wait for a majority of promises before retrying with a higher
+          number. *)
+  relaxed_reads : bool;  (** Serve relaxed [Get]s from the local store. *)
+}
+
+val default_config : replicas:int array -> config
+(** [default_config ~replicas] leads from [replicas.(0)] with timeouts
+    suited to the multicore preset. *)
+
+type t
+(** One Multi-Paxos replica. *)
+
+val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
+(** [create ~node ~config] initializes the replica. *)
+
+val start : t -> unit
+(** [start t] makes the configured initial leader run phase 1 so the
+    steady state needs no further prepares. *)
+
+val handle : t -> src:int -> Wire.t -> unit
+(** [handle t ~src msg] processes a client or protocol message. *)
+
+val is_leader : t -> bool
+(** [is_leader t] is whether this replica holds a majority-promised
+    leadership. *)
+
+val replica_core : t -> Replica_core.t
+(** [replica_core t] exposes learner/executor state. *)
+
+val elections : t -> int
+(** [elections t] counts phase-1 rounds this replica initiated. *)
+
+val pending_count : t -> int
+(** [pending_count t] is the queued-but-unproposed command count. *)

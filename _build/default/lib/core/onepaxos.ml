@@ -1,0 +1,604 @@
+module Machine = Ci_machine.Machine
+module Sim_time = Ci_engine.Sim_time
+module Command = Ci_rsm.Command
+
+type config = {
+  replicas : int array;
+  initial_leader : int;
+  initial_acceptor : int;
+  acceptor_timeout : Sim_time.t;
+  prepare_timeout : Sim_time.t;
+  check_period : Sim_time.t;
+  pu_timeout : Sim_time.t;
+  relaxed_reads : bool;
+}
+
+let default_config ~replicas =
+  if Array.length replicas < 2 then
+    invalid_arg "Onepaxos.default_config: need at least two replicas";
+  {
+    replicas;
+    initial_leader = replicas.(0);
+    initial_acceptor = replicas.(1);
+    acceptor_timeout = Sim_time.us 800;
+    prepare_timeout = Sim_time.us 800;
+    check_period = Sim_time.us 200;
+    pu_timeout = Sim_time.us 400;
+    relaxed_reads = false;
+  }
+
+type ls_op = { mutable replies : int; k : unit -> unit }
+
+type t = {
+  node : Wire.t Machine.node;
+  cfg : config;
+  self : int;
+  core : Replica_core.t;
+  mutable pu : Paxos_utility.t option; (* set in [create], always Some *)
+  (* Leader / proposer state. *)
+  mutable iam_leader : bool;
+  mutable aa : int option;
+  mutable cur_leader : int option;
+  mutable my_pn : Pn.t;
+  mutable pn_round : int;
+  mutable expect_fresh : bool;
+  mutable ap_covered : bool;
+      (* Whether every proposal the current acceptor may have accepted is
+         contained in [proposed]: true once we adopted it (its ap was
+         registered) or once we installed it fresh ourselves. Only then
+         is replacing it safe — otherwise accepted values whose learns
+         are still in flight could be overwritten. *)
+  mutable becoming : bool;
+  mutable changing_acceptor : bool;
+  mutable pending_prepare : Pn.t option;
+  mutable prepare_deadline : Sim_time.t option;
+  proposed : (int, Wire.value) Hashtbl.t;
+  inflight : (int * int, int) Hashtbl.t; (* value key -> instance *)
+  mutable next_inst : int;
+  pending : Wire.value Queue.t;
+  outstanding : (int, Sim_time.t) Hashtbl.t; (* instance -> accept sent at *)
+  my_keys : (int * int, unit) Hashtbl.t;
+  (* Acceptor state (Appendix A: hpn, ap, IamFresh). *)
+  mutable hpn : Pn.t;
+  mutable iam_fresh : bool;
+  acc_ap : (int, Pn.t * Wire.value) Hashtbl.t;
+  (* Learner catch-up. *)
+  mutable ls_token : int;
+  ls_ops : (int, ls_op) Hashtbl.t;
+  (* Counters. *)
+  mutable n_leader_changes : int;
+  mutable n_acceptor_changes : int;
+}
+
+let majority t = (Array.length t.cfg.replicas / 2) + 1
+let send t dst msg = Machine.send t.node ~dst msg
+let now t = Machine.now (Machine.machine_of t.node)
+
+let pu t =
+  match t.pu with Some p -> p | None -> assert false
+
+let fresh_pn t =
+  t.pn_round <- t.pn_round + 1;
+  Pn.make ~round:t.pn_round ~owner:t.self
+
+(* ----- proposing client values (failure-free path) --------------------- *)
+
+let reply_if_mine t (ex : Replica_core.executed) =
+  let key = Wire.value_key ex.v in
+  if Hashtbl.mem t.my_keys key then begin
+    Hashtbl.remove t.my_keys key;
+    send t ex.v.Wire.client (Wire.Reply { req_id = ex.v.Wire.req_id; result = ex.result })
+  end
+
+let learn_value t ~inst v =
+  Hashtbl.remove t.outstanding inst;
+  Hashtbl.remove t.inflight (Wire.value_key v);
+  let executed = Replica_core.learn t.core ~inst v in
+  List.iter (reply_if_mine t) executed
+
+let propose_value t v =
+  let key = Wire.value_key v in
+  Hashtbl.replace t.my_keys key ();
+  match Replica_core.cached_result t.core ~client:(fst key) ~req_id:(snd key) with
+  | Some result ->
+    Hashtbl.remove t.my_keys key;
+    send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
+  | None ->
+    if not (Hashtbl.mem t.inflight key) then begin
+      let inst = t.next_inst in
+      t.next_inst <- t.next_inst + 1;
+      Hashtbl.replace t.proposed inst v;
+      Hashtbl.replace t.inflight key inst;
+      Hashtbl.replace t.outstanding inst (now t);
+      match t.aa with
+      | Some a -> send t a (Wire.Op_accept_request { inst; pn = t.my_pn; v })
+      | None -> assert false
+    end
+
+let drain_pending t =
+  if t.iam_leader && t.aa <> None then
+    while not (Queue.is_empty t.pending) do
+      propose_value t (Queue.pop t.pending)
+    done
+
+(* Re-issue accepts for every registered-but-undecided proposal (after
+   adopting an acceptor). Instances are re-proposed with their original
+   values — Lemma 2a's requirement. *)
+let re_propose_uncommitted t =
+  let pairs =
+    Hashtbl.fold (fun inst v acc -> (inst, v) :: acc) t.proposed []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (inst, v) ->
+      if not (Replica_core.is_decided t.core ~inst) then begin
+        Hashtbl.replace t.outstanding inst (now t);
+        Hashtbl.replace t.inflight (Wire.value_key v) inst;
+        match t.aa with
+        | Some a -> send t a (Wire.Op_accept_request { inst; pn = t.my_pn; v })
+        | None -> ()
+      end)
+    pairs
+
+let bump_next_inst t =
+  let high =
+    Hashtbl.fold (fun inst _ acc -> max inst acc) t.proposed (-1)
+  in
+  t.next_inst <- max t.next_inst (max (high + 1) (Replica_core.first_gap t.core))
+
+(* ----- leadership machinery -------------------------------------------- *)
+
+(* Ask every replica for its decided suffix; continue once a majority
+   (including ourselves) answered. A fresh leader runs this before
+   proposing so it never fills an instance some learner already knows
+   decided (hardening beyond the paper's pseudo-code; see DESIGN.md). *)
+let learner_sync t k =
+  let token = t.ls_token in
+  t.ls_token <- t.ls_token + 1;
+  Hashtbl.replace t.ls_ops token { replies = 0; k };
+  let from_ = Replica_core.first_gap t.core in
+  Array.iter
+    (fun dst -> send t dst (Wire.Ls_req { token; from_ }))
+    t.cfg.replicas
+
+let adopt_acceptor t =
+  match t.aa with
+  | None -> ()
+  | Some a ->
+    let pn = fresh_pn t in
+    t.pending_prepare <- Some pn;
+    t.prepare_deadline <- Some (now t + t.cfg.prepare_timeout);
+    t.becoming <- true;
+    send t a (Wire.Op_prepare_request { pn; must_be_fresh = t.expect_fresh })
+
+let forward_pending t =
+  match t.cur_leader with
+  | Some l when l <> t.self ->
+    while not (Queue.is_empty t.pending) do
+      send t l (Wire.Forward { v = Queue.pop t.pending })
+    done
+  | Some _ | None -> ()
+
+let step_down t =
+  t.iam_leader <- false;
+  t.becoming <- false;
+  t.pending_prepare <- None;
+  t.prepare_deadline <- None;
+  forward_pending t
+
+(* Upon AcceptorFailure (Appendix A, lines 1..13): verify global
+   leadership, select a backup acceptor on another node, move the
+   uncommitted proposals through PaxosUtility, then re-adopt. Requires
+   [ap_covered]: a leader that has not adopted the acceptor (and did not
+   install it itself) does not know its accepted proposals and must wait
+   for it instead — this is exactly the situation in which the paper
+   says 1Paxos blocks until the leader or the acceptor recovers. *)
+let rec acceptor_failure t =
+  if t.ap_covered && not (t.changing_acceptor || Paxos_utility.proposing (pu t))
+  then begin
+    t.changing_acceptor <- true;
+    Paxos_utility.sync (pu t) (fun () ->
+        if Paxos_utility.current_leader (pu t) <> Some t.self then begin
+          t.changing_acceptor <- false;
+          step_down t
+        end
+        else if Paxos_utility.proposing (pu t) || not t.ap_covered then
+          t.changing_acceptor <- false
+        else begin
+          let next_acceptor =
+            let r = t.cfg.replicas in
+            let n = Array.length r in
+            let cur =
+              match t.aa with
+              | Some a -> (match Array.find_index (fun id -> id = a) r with
+                           | Some i -> i
+                           | None -> 0)
+              | None -> 0
+            in
+            let rec probe step =
+              let cand = r.((cur + step) mod n) in
+              if cand <> t.self && Some cand <> t.aa then cand
+              else if step >= n then
+                (* Degenerate two-node case: reinstall the same node
+                   (it resets to fresh on installation). *)
+                (if r.(0) <> t.self then r.(0) else r.(1 mod n))
+              else probe (step + 1)
+            in
+            probe 1
+          in
+          let carried =
+            Hashtbl.fold
+              (fun inst v acc ->
+                if Replica_core.is_decided t.core ~inst then acc
+                else (inst, v) :: acc)
+              t.proposed []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          t.iam_leader <- false;
+          Paxos_utility.propose (pu t)
+            (Wire.Acceptor_change { acceptor = next_acceptor; carried })
+            (fun ~ok ->
+              t.changing_acceptor <- false;
+              if ok then begin
+                (* on_entry set [aa] and [expect_fresh]. *)
+                adopt_acceptor t
+              end
+              else re_evaluate t)
+        end)
+  end
+
+(* The propose() takeover path (Appendix A, lines 18..35): announce
+   leadership through PaxosUtility assuming the current acceptor, then
+   adopt it. *)
+and become_leader t =
+  if not (t.iam_leader || t.becoming || t.changing_acceptor) then begin
+    t.becoming <- true;
+    Paxos_utility.sync (pu t) (fun () ->
+        match Paxos_utility.current_leader (pu t) with
+        | Some l when l = t.self ->
+          (* Already the global leader (e.g. mid acceptor change). *)
+          learner_sync t (fun () ->
+              bump_next_inst t;
+              if t.aa = Some t.self then begin
+                t.becoming <- false;
+                register_own_acceptor_state t;
+                t.ap_covered <- true;
+                acceptor_failure t
+              end
+              else adopt_acceptor t)
+        | Some _ | None ->
+          if Paxos_utility.proposing (pu t) then t.becoming <- false
+          else begin
+            match Paxos_utility.current_acceptor (pu t) with
+            | None -> t.becoming <- false
+            | Some a ->
+              Paxos_utility.propose (pu t)
+                (Wire.Leader_change { leader = t.self; acceptor = a })
+                (fun ~ok ->
+                  if ok then
+                    learner_sync t (fun () ->
+                        bump_next_inst t;
+                        if t.aa = Some t.self then begin
+                          (* We are both leader and acceptor: register our
+                             own accepted proposals and relocate the
+                             acceptor role to another node. *)
+                          t.becoming <- false;
+                          register_own_acceptor_state t;
+                          t.ap_covered <- true;
+                          acceptor_failure t
+                        end
+                        else adopt_acceptor t)
+                  else begin
+                    t.becoming <- false;
+                    re_evaluate t
+                  end)
+          end)
+  end
+
+(* After losing a PaxosUtility slot: adopt whatever configuration won
+   and either retry or hand our queue to the winner. *)
+and re_evaluate t =
+  Paxos_utility.sync (pu t) (fun () ->
+      match Paxos_utility.current_leader (pu t) with
+      | Some l when l = t.self ->
+        if not (t.iam_leader || t.becoming) then become_leader t
+      | Some _ -> step_down t
+      | None -> ())
+
+and register_own_acceptor_state t =
+  Hashtbl.iter
+    (fun inst (_, v) ->
+      if not (Replica_core.is_decided t.core ~inst) then
+        Hashtbl.replace t.proposed inst v)
+    t.acc_ap
+
+(* ----- client entry ----------------------------------------------------- *)
+
+let handle_value t v =
+  match
+    Replica_core.cached_result t.core ~client:v.Wire.client ~req_id:v.Wire.req_id
+  with
+  | Some result ->
+    send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
+  | None ->
+    Hashtbl.replace t.my_keys (Wire.value_key v) ();
+    if t.iam_leader then propose_value t v
+    else begin
+      Queue.push v t.pending;
+      (* A client only contacts a non-leader when it suspects the
+         leader: try to take over (Section 5.3). *)
+      become_leader t
+    end
+
+let handle_request t ~src ~req_id ~cmd ~relaxed_read =
+  if relaxed_read && t.cfg.relaxed_reads && Command.is_read cmd then
+    match cmd with
+    | Command.Get { key } ->
+      send t src
+        (Wire.Reply
+           { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
+    | Command.Put _ | Command.Cas _ | Command.Nop -> ()
+  else handle_value t { Wire.client = src; req_id; cmd }
+
+(* ----- acceptor role (Appendix A, lines 45..61) ------------------------- *)
+
+let on_prepare_request t ~src ~pn ~must_be_fresh =
+  if Pn.(pn > t.hpn) then begin
+    if t.iam_fresh <> must_be_fresh then
+      (* Freshness mismatch: stay silent; the proposer times out and
+         replaces this acceptor, so lost promises can never be relied
+         upon. *)
+      ()
+    else begin
+      t.iam_fresh <- false;
+      t.hpn <- pn;
+      let accepted =
+        Hashtbl.fold (fun inst slot acc -> (inst, slot) :: acc) t.acc_ap []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      send t src (Wire.Op_prepare_response { pn; accepted })
+    end
+  end
+  else send t src (Wire.Op_abandon { hpn = t.hpn })
+
+let on_accept_request t ~src ~inst ~pn ~v =
+  if not (Pn.equal pn t.hpn) then send t src (Wire.Op_abandon { hpn = t.hpn })
+  else
+    match Hashtbl.find_opt t.acc_ap inst with
+    | Some (_, v0) ->
+      (* Already accepted: re-issue the learn (covers retried
+         proposals after a lost-looking learn). *)
+      Array.iter (fun dst -> send t dst (Wire.Op_learn { inst; v = v0 })) t.cfg.replicas
+    | None ->
+      Hashtbl.replace t.acc_ap inst (pn, v);
+      Array.iter (fun dst -> send t dst (Wire.Op_learn { inst; v })) t.cfg.replicas
+
+(* ----- leader role ------------------------------------------------------ *)
+
+let on_prepare_response t ~src ~pn ~accepted =
+  let expected = match t.pending_prepare with Some p -> Pn.equal p pn | None -> false in
+  if (not t.iam_leader) && Some src = t.aa && expected then begin
+    t.iam_leader <- true;
+    t.becoming <- false;
+    t.pending_prepare <- None;
+    t.prepare_deadline <- None;
+    t.expect_fresh <- false;
+    t.ap_covered <- true;
+    t.my_pn <- pn;
+    (* registerProposals: the acceptor's accepted values dominate ours
+       for their instances (Lemma 2b). *)
+    List.iter
+      (fun (inst, (_, v)) -> Hashtbl.replace t.proposed inst v)
+      accepted;
+    bump_next_inst t;
+    re_propose_uncommitted t;
+    drain_pending t
+  end
+
+let on_abandon t ~src ~hpn =
+  if Some src = t.aa && (t.iam_leader || t.becoming) then begin
+    t.pn_round <- max t.pn_round hpn.Pn.round;
+    t.iam_leader <- false;
+    t.becoming <- false;
+    t.pending_prepare <- None;
+    t.prepare_deadline <- None;
+    (* Either a rival leader adopted our acceptor, our number is simply
+       too low, or the acceptor lost its state: let the configuration
+       log arbitrate. *)
+    Paxos_utility.sync (pu t) (fun () ->
+        match Paxos_utility.current_leader (pu t) with
+        | Some l when l = t.self ->
+          if t.ap_covered then
+            (* We already know everything it accepted (we adopted it
+               before): replace it — this is how the last leader fixes a
+               silently reset acceptor. *)
+            acceptor_failure t
+          else
+            (* Not adopted yet: retry with a number above [hpn]. *)
+            adopt_acceptor t
+        | Some _ -> step_down t
+        | None -> ())
+  end
+
+(* ----- failure detector -------------------------------------------------- *)
+
+let scan t =
+  (if t.iam_leader then begin
+     let oldest =
+       Hashtbl.fold (fun _ at acc -> min at acc) t.outstanding max_int
+     in
+     if oldest <> max_int && now t - oldest > t.cfg.acceptor_timeout then
+       acceptor_failure t
+   end);
+  match t.prepare_deadline with
+  | Some d when now t > d ->
+    t.pending_prepare <- None;
+    t.prepare_deadline <- None;
+    t.becoming <- false;
+    if t.ap_covered then
+      (* The acceptor we installed (or previously adopted) is not
+         answering: replace it. *)
+      acceptor_failure t
+    else
+      (* Inherited acceptor unresponsive and its accepted proposals
+         unknown: 1Paxos must wait for it (the paper's
+         leader-and-acceptor-both-slow stall). Keep knocking. *)
+      adopt_acceptor t
+  | Some _ | None -> ()
+
+let rec fd_loop t =
+  Machine.after t.node ~delay:t.cfg.check_period (fun () ->
+      scan t;
+      fd_loop t)
+
+(* ----- learner catch-up -------------------------------------------------- *)
+
+let on_ls_req t ~src ~token ~from_ =
+  send t src (Wire.Ls_reply { token; decisions = Replica_core.decisions_from t.core ~from_ })
+
+let on_ls_reply t ~token ~decisions =
+  List.iter (fun (inst, v) -> learn_value t ~inst v) decisions;
+  match Hashtbl.find_opt t.ls_ops token with
+  | Some op ->
+    op.replies <- op.replies + 1;
+    if op.replies >= majority t then begin
+      Hashtbl.remove t.ls_ops token;
+      op.k ()
+    end
+  | None -> ()
+
+(* ----- wiring ------------------------------------------------------------ *)
+
+let handle t ~src msg =
+  if not (Paxos_utility.handle (pu t) ~src msg) then
+    match msg with
+    | Wire.Request { req_id; cmd; relaxed_read } ->
+      handle_request t ~src ~req_id ~cmd ~relaxed_read
+    | Wire.Forward { v } ->
+      if t.iam_leader then begin
+        Hashtbl.replace t.my_keys (Wire.value_key v) ();
+        propose_value t v
+      end
+      else handle_value t v
+    | Wire.Op_prepare_request { pn; must_be_fresh } ->
+      on_prepare_request t ~src ~pn ~must_be_fresh
+    | Wire.Op_prepare_response { pn; accepted } ->
+      on_prepare_response t ~src ~pn ~accepted
+    | Wire.Op_abandon { hpn } -> on_abandon t ~src ~hpn
+    | Wire.Op_accept_request { inst; pn; v } -> on_accept_request t ~src ~inst ~pn ~v
+    | Wire.Op_learn { inst; v } -> learn_value t ~inst v
+    | Wire.Ls_req { token; from_ } -> on_ls_req t ~src ~token ~from_
+    | Wire.Ls_reply { token; decisions } -> on_ls_reply t ~token ~decisions
+    | Wire.Reply _ | Wire.Mp_prepare _ | Wire.Mp_promise _ | Wire.Mp_reject _
+    | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Tp_prepare _ | Wire.Tp_ack _
+    | Wire.Tp_commit _ | Wire.Tp_commit_ack _ | Wire.Tp_rollback _
+    | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
+    | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
+    | Wire.Pu_read_reply _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ ->
+      ()
+
+let on_config_entry t ~cseq:_ entry =
+  match entry with
+  | Wire.Leader_change { leader; acceptor } ->
+    t.cur_leader <- Some leader;
+    t.aa <- Some acceptor;
+    t.ap_covered <- false;
+    t.n_leader_changes <- t.n_leader_changes + 1;
+    if leader <> t.self && t.iam_leader then step_down t
+  | Wire.Acceptor_change { acceptor; carried } ->
+    t.aa <- Some acceptor;
+    t.n_acceptor_changes <- t.n_acceptor_changes + 1;
+    (* Every node registers the carried proposals so whichever node
+       leads next re-proposes the same values (Lemma 2a). *)
+    List.iter
+      (fun (inst, v) ->
+        if not (Replica_core.is_decided t.core ~inst) then
+          Hashtbl.replace t.proposed inst v)
+      carried;
+    if acceptor = t.self then begin
+      (* Installed as a fresh backup acceptor: any state left over from
+         an earlier tenure belongs to an abandoned epoch. *)
+      t.hpn <- Pn.bottom;
+      Hashtbl.reset t.acc_ap;
+      t.iam_fresh <- true
+    end;
+    if t.cur_leader = Some t.self then begin
+      (* Our own installation of a fresh backup: nobody can have adopted
+         it yet, so its accepted set is empty — covered. *)
+      t.expect_fresh <- true;
+      t.ap_covered <- true
+    end
+    else t.ap_covered <- false;
+    if t.iam_leader then t.iam_leader <- false
+  | Wire.Epoch_change _ ->
+    (* Cheap Paxos configuration entries never appear in a 1Paxos
+       deployment's PaxosUtility log. *)
+    ()
+
+let create ~node ~config =
+  let t =
+    {
+      node;
+      cfg = config;
+      self = Machine.node_id node;
+      core = Replica_core.create ~replica:(Machine.node_id node);
+      pu = None;
+      iam_leader = false;
+      aa = None;
+      cur_leader = None;
+      my_pn = Pn.bottom;
+      pn_round = 0;
+      expect_fresh = false;
+      ap_covered = false;
+      becoming = false;
+      changing_acceptor = false;
+      pending_prepare = None;
+      prepare_deadline = None;
+      proposed = Hashtbl.create 256;
+      inflight = Hashtbl.create 256;
+      next_inst = 0;
+      pending = Queue.create ();
+      outstanding = Hashtbl.create 64;
+      my_keys = Hashtbl.create 64;
+      hpn = Pn.bottom;
+      iam_fresh = true;
+      acc_ap = Hashtbl.create 256;
+      ls_token = 0;
+      ls_ops = Hashtbl.create 8;
+      n_leader_changes = 0;
+      n_acceptor_changes = 0;
+    }
+  in
+  let seed =
+    [
+      Wire.Leader_change
+        { leader = config.initial_leader; acceptor = config.initial_acceptor };
+      Wire.Acceptor_change { acceptor = config.initial_acceptor; carried = [] };
+    ]
+  in
+  let pu =
+    Paxos_utility.create ~node ~peers:config.replicas ~timeout:config.pu_timeout
+      ~seed ~on_entry:(fun ~cseq entry -> on_config_entry t ~cseq entry)
+  in
+  t.pu <- Some pu;
+  (* Seeds count as history, not as runtime role changes. *)
+  t.n_leader_changes <- 0;
+  t.n_acceptor_changes <- 0;
+  t
+
+let start t =
+  if t.self = t.cfg.initial_leader then adopt_acceptor t;
+  fd_loop t
+
+let is_leader t = t.iam_leader
+let believed_leader t = t.cur_leader
+let active_acceptor t = t.aa
+let replica_core t = t.core
+let leader_changes t = t.n_leader_changes
+let acceptor_changes t = t.n_acceptor_changes
+let pending_count t = Queue.length t.pending
+
+let inject_acceptor_reset t =
+  t.hpn <- Pn.bottom;
+  Hashtbl.reset t.acc_ap;
+  t.iam_fresh <- true

@@ -1,0 +1,94 @@
+(** 1Paxos: non-blocking agreement with a single active acceptor.
+
+    The paper's contribution (Sections 4–5, Appendix A). Each replica
+    plays proposer and learner; exactly {e one} replica at a time plays
+    the active acceptor, the rest being cold backups. The failure-free
+    data path per client command is therefore:
+
+    {v client --request--> leader --accept--> acceptor --learn--> all
+       learners, leader --reply--> client v}
+
+    i.e. five boundary-crossing messages on three replicas, versus ten
+    for collapsed Multi-Paxos or 2PC — the factor-of-two reduction of
+    Figure 3.
+
+    Availability of the acceptor role is restored through
+    {!Paxos_utility}: the leader replaces a suspected acceptor
+    ([AcceptorChange], carrying its uncommitted proposals), any proposer
+    replaces a suspected leader ([LeaderChange]), and the freshness
+    handshake ([must_be_fresh] / [IamFresh]) prevents a silently reset
+    acceptor from being adopted with lost state. With both the leader
+    and the acceptor slow at the same time the protocol stalls — but
+    never loses consistency — and resumes when either recovers. *)
+
+type config = {
+  replicas : int array;  (** Machine node ids of all replicas. *)
+  initial_leader : int;  (** Seeded leader (a member of [replicas]). *)
+  initial_acceptor : int;
+      (** Seeded active acceptor; place it on a different node than the
+          leader (Section 5.4). *)
+  acceptor_timeout : Ci_engine.Sim_time.t;
+      (** Age of the oldest unanswered accept before the leader suspects
+          the acceptor. *)
+  prepare_timeout : Ci_engine.Sim_time.t;
+      (** Wait for a [prepare_response] before suspecting the acceptor
+          (covers the freshness-mismatch silence). *)
+  check_period : Ci_engine.Sim_time.t;  (** Failure-detector scan period. *)
+  pu_timeout : Ci_engine.Sim_time.t;  (** PaxosUtility retry timeout. *)
+  relaxed_reads : bool;
+      (** Serve [Get] commands marked [relaxed_read] from the local
+          store without consensus (§7.5's relaxed consistency). *)
+}
+
+val default_config : replicas:int array -> config
+(** [default_config ~replicas] uses [replicas.(0)] as leader,
+    [replicas.(1)] as acceptor, and timeouts suited to the multicore
+    parameter preset (sub-millisecond detection). Requires at least two
+    replicas. *)
+
+type t
+(** One 1Paxos replica. *)
+
+val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
+(** [create ~node ~config] initializes the replica on [node]. All
+    replicas must share an identical [config]. The caller routes
+    messages to {!handle}. *)
+
+val start : t -> unit
+(** [start t] bootstraps: the initial leader adopts the initial acceptor
+    (first [prepare_request]) and the failure-detector timer begins on
+    every replica. Call once per replica at simulation start. *)
+
+val handle : t -> src:int -> Wire.t -> unit
+(** [handle t ~src msg] processes any client or protocol message. *)
+
+val is_leader : t -> bool
+(** [is_leader t] is whether this replica currently holds an adopted
+    leadership (it received a [prepare_response] it has not lost). *)
+
+val believed_leader : t -> int option
+(** [believed_leader t] is the global leader per this replica's applied
+    configuration log. *)
+
+val active_acceptor : t -> int option
+(** [active_acceptor t] is the active acceptor per the applied
+    configuration log. *)
+
+val replica_core : t -> Replica_core.t
+(** [replica_core t] exposes the learner/executor state (for metrics and
+    consistency checking). *)
+
+val leader_changes : t -> int
+(** [leader_changes t] counts applied [LeaderChange] entries. *)
+
+val acceptor_changes : t -> int
+(** [acceptor_changes t] counts applied [AcceptorChange] entries. *)
+
+val pending_count : t -> int
+(** [pending_count t] is the number of client commands queued but not
+    yet proposed. *)
+
+val inject_acceptor_reset : t -> unit
+(** [inject_acceptor_reset t] wipes this replica's acceptor-role state
+    (promise, accepted proposals) and marks it fresh — the "silent
+    reboot" fault the freshness check defends against. Test hook. *)

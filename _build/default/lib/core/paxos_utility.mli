@@ -1,0 +1,78 @@
+(** PaxosUtility: the configuration consensus inside 1Paxos.
+
+    Sections 5.2–5.4 of the paper delegate agreement on {e configuration
+    changes} — "node X is now the leader", "node Y is now the active
+    acceptor (carrying these uncommitted proposals)" — to "a separate
+    basic implementation of Paxos", run by the same nodes as 1Paxos.
+    This module is that implementation: a majority-quorum Basic-Paxos
+    over a totally ordered sequence of {!Wire.config_entry} values.
+
+    Each node hosts one instance of this component; it plays proposer,
+    acceptor and learner for the configuration sequence. [propose]
+    targets exactly one sequence slot (the proposer's current first
+    gap): it succeeds only if {e our} entry is chosen there, and fails
+    if another proposer's entry wins the slot — the caller then
+    re-reads the log and re-decides what to do, exactly as the
+    pseudo-code's [PaxosUtility.propose] failure path prescribes. *)
+
+type t
+(** Per-node PaxosUtility state. *)
+
+val create :
+  node:Wire.t Ci_machine.Machine.node ->
+  peers:int array ->
+  timeout:Ci_engine.Sim_time.t ->
+  seed:Wire.config_entry list ->
+  on_entry:(cseq:int -> Wire.config_entry -> unit) ->
+  t
+(** [create ~node ~peers ~timeout ~seed ~on_entry] attaches the
+    component to a machine node. [peers] are the machine node ids of
+    all participants (including this node). [seed] entries are
+    pre-chosen at the head of the sequence on every node — the paper's
+    initialization step in which the smallest-id node inserts the
+    initial [LeaderChange] and [AcceptorChange] (Appendix B); seeding
+    them identically everywhere is equivalent and deterministic.
+    [on_entry] fires exactly once per chosen entry, in sequence order,
+    as this node learns them (including the seeds). *)
+
+val handle : t -> src:int -> Wire.t -> bool
+(** [handle t ~src msg] processes [msg] if it is a PaxosUtility message
+    ([Pu_*]); returns whether it was consumed. *)
+
+val propose : t -> Wire.config_entry -> (ok:bool -> unit) -> unit
+(** [propose t entry k] runs consensus for [entry] at this node's next
+    free sequence slot. [k ~ok:true] once [entry] is chosen at that
+    slot; [k ~ok:false] once a {e different} entry is chosen there.
+    Proposal-number conflicts and unresponsive peers are retried
+    internally with backoff, so [k] may be delayed arbitrarily while a
+    majority is unreachable — mirroring Paxos liveness. At most one
+    proposal may be in flight per node ([Invalid_argument] otherwise). *)
+
+val proposing : t -> bool
+(** [proposing t] is whether a proposal is in flight. *)
+
+val sync : t -> (unit -> unit) -> unit
+(** [sync t k] refreshes this node's view of the chosen sequence by
+    reading from a majority of peers, then calls [k]. This is the
+    "inquire a majority of the nodes" step of Section 5.3. Multiple
+    syncs may be in flight. *)
+
+val entries : t -> (int * Wire.config_entry) list
+(** [entries t] is the contiguously known chosen prefix (plus any
+    out-of-order learned entries), sorted by slot. *)
+
+val next_cseq : t -> int
+(** [next_cseq t] is the first slot this node does not know to be
+    decided. *)
+
+val applied_upto : t -> int
+(** [applied_upto t] is the first slot [on_entry] has not yet fired
+    for. *)
+
+val current_leader : t -> int option
+(** [current_leader t] is the leader per the last applied
+    [Leader_change], if any. *)
+
+val current_acceptor : t -> int option
+(** [current_acceptor t] is the active acceptor per the last applied
+    configuration entry. *)

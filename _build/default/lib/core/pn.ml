@@ -1,0 +1,25 @@
+type t = { round : int; owner : int }
+
+let bottom = { round = -1; owner = -1 }
+
+let make ~round ~owner =
+  if round < 0 then invalid_arg "Pn.make: negative round";
+  { round; owner }
+
+let succ t ~owner = { round = t.round + 1; owner }
+
+let compare a b =
+  match Stdlib.compare a.round b.round with
+  | 0 -> Stdlib.compare a.owner b.owner
+  | c -> c
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+
+let pp fmt t =
+  if equal t bottom then Format.pp_print_string fmt "-inf"
+  else Format.fprintf fmt "%d.%d" t.round t.owner

@@ -1,0 +1,37 @@
+(** Paxos proposal numbers.
+
+    A proposal number pairs a round with the proposing node's id, making
+    numbers totally ordered and globally unique: two proposers can never
+    issue the same number, so an acceptor's promise is unambiguous. *)
+
+type t = { round : int; owner : int }
+(** [round] dominates the order; [owner] breaks ties. *)
+
+val bottom : t
+(** [bottom] is smaller than every number a proposer can issue (the
+    paper's initial highest-promised value, −∞). *)
+
+val make : round:int -> owner:int -> t
+(** [make ~round ~owner] is a proposal number. [round] must be
+    non-negative. *)
+
+val succ : t -> owner:int -> t
+(** [succ t ~owner] is the smallest number greater than [t] that
+    [owner] can issue. *)
+
+val compare : t -> t -> int
+(** Total order: by round, then owner. *)
+
+val equal : t -> t -> bool
+(** [equal a b] is [compare a b = 0]. *)
+
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val max : t -> t -> t
+(** [max a b] is the larger of the two. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [round.owner], or [-inf] for [bottom]. *)

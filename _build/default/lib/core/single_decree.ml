@@ -1,0 +1,146 @@
+module Machine = Ci_machine.Machine
+module Rng = Ci_engine.Rng
+
+type attempt = {
+  pn : Pn.t;
+  mutable phase : [ `Prepare | `Accept ];
+  mutable pushing : Wire.value;
+  mutable promises : int;
+  mutable best : (Pn.t * Wire.value) option;
+  mutable acks : int;
+  id : int;
+}
+
+type t = {
+  node : Wire.t Machine.node;
+  self : int;
+  peers : int array;
+  majority : int;
+  timeout : int;
+  rng : Rng.t;
+  on_decide : Wire.value -> unit;
+  (* Acceptor. *)
+  mutable promised : Pn.t;
+  mutable accepted : (Pn.t * Wire.value) option;
+  (* Learner: acceptors that reported acceptance, per proposal number. *)
+  tallies : (Pn.t, (Wire.value * int list ref)) Hashtbl.t;
+  mutable decided : Wire.value option;
+  (* Proposer. *)
+  mutable round : int;
+  mutable want : Wire.value option;
+  mutable att : attempt option;
+  mutable next_att : int;
+}
+
+let send t dst msg = Machine.send t.node ~dst msg
+let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.peers
+
+let decide t v =
+  if t.decided = None then begin
+    t.decided <- Some v;
+    t.att <- None;
+    t.on_decide v
+  end
+
+let rec start_attempt t v =
+  if t.decided = None then begin
+    t.round <- t.round + 1;
+    let pn = Pn.make ~round:t.round ~owner:t.self in
+    let a =
+      {
+        pn;
+        phase = `Prepare;
+        pushing = v;
+        promises = 0;
+        best = None;
+        acks = 0;
+        id = t.next_att;
+      }
+    in
+    t.next_att <- t.next_att + 1;
+    t.att <- Some a;
+    broadcast t (Wire.Bp_prepare { inst = 0; pn });
+    let delay = t.timeout + Rng.int t.rng (t.timeout / 2 + 1) in
+    Machine.after t.node ~delay (fun () ->
+        match t.att with
+        | Some cur when cur.id = a.id && t.decided = None ->
+          t.att <- None;
+          start_attempt t v
+        | Some _ | None -> ())
+  end
+
+let propose t v =
+  if t.want = None then t.want <- Some v;
+  if t.att = None && t.decided = None then
+    match t.want with Some w -> start_attempt t w | None -> ()
+
+let handle t ~src msg =
+  match msg with
+  | Wire.Bp_prepare { inst = _; pn } ->
+    if Pn.(pn > t.promised) then begin
+      t.promised <- pn;
+      send t src (Wire.Bp_promise { inst = 0; pn; accepted = t.accepted })
+    end
+    else send t src (Wire.Bp_reject { inst = 0; pn = t.promised })
+  | Wire.Bp_promise { inst = _; pn; accepted } ->
+    (match t.att with
+     | Some a when Pn.equal a.pn pn && a.phase = `Prepare ->
+       a.promises <- a.promises + 1;
+       (match accepted with
+        | Some (apn, av) ->
+          (match a.best with
+           | Some (bpn, _) when Pn.(bpn >= apn) -> ()
+           | Some _ | None -> a.best <- Some (apn, av))
+        | None -> ());
+       if a.promises >= t.majority then begin
+         a.phase <- `Accept;
+         (match a.best with Some (_, bv) -> a.pushing <- bv | None -> ());
+         broadcast t (Wire.Bp_accept { inst = 0; pn; v = a.pushing })
+       end
+     | Some _ | None -> ())
+  | Wire.Bp_reject { inst = _; pn } -> t.round <- max t.round pn.Pn.round
+  | Wire.Bp_accept { inst = _; pn; v } ->
+    if Pn.(pn >= t.promised) then begin
+      t.promised <- pn;
+      t.accepted <- Some (pn, v);
+      broadcast t (Wire.Bp_learn { inst = 0; pn; v })
+    end
+    else send t src (Wire.Bp_reject { inst = 0; pn = t.promised })
+  | Wire.Bp_learn { inst = _; pn; v } ->
+    (match t.decided with
+     | Some _ -> ()
+     | None ->
+       let _, srcs =
+         match Hashtbl.find_opt t.tallies pn with
+         | Some entry -> entry
+         | None ->
+           let entry = (v, ref []) in
+           Hashtbl.add t.tallies pn entry;
+           entry
+       in
+       if not (List.mem src !srcs) then begin
+         srcs := src :: !srcs;
+         if List.length !srcs >= t.majority then decide t v
+       end)
+  | _ -> ()
+
+let decision t = t.decided
+
+let create ~node ~peers ~timeout ?(on_decide = fun _ -> ()) () =
+  {
+    node;
+    self = Machine.node_id node;
+    peers;
+    majority = (Array.length peers / 2) + 1;
+    timeout;
+    rng = Rng.split (Machine.rng (Machine.machine_of node));
+    on_decide;
+    promised = Pn.bottom;
+    accepted = None;
+    tallies = Hashtbl.create 8;
+    decided = None;
+    round = 0;
+    want = None;
+    att = None;
+    next_att = 0;
+  }

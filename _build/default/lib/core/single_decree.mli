@@ -1,0 +1,33 @@
+(** Single-decree Basic-Paxos (the Synod protocol of §2.3).
+
+    One consensus instance over one value, with every node playing
+    proposer, acceptor and learner. This is the textbook protocol the
+    paper builds its exposition on; the repository uses it as a
+    correctness reference: its safety properties are easy to state and
+    to property-test under adversarial schedules, and PaxosUtility's
+    behaviour must coincide with it on a single slot. *)
+
+type t
+(** One participant. *)
+
+val create :
+  node:Wire.t Ci_machine.Machine.node ->
+  peers:int array ->
+  timeout:Ci_engine.Sim_time.t ->
+  ?on_decide:(Wire.value -> unit) ->
+  unit ->
+  t
+(** [create ~node ~peers ~timeout ~on_decide ()] attaches a participant.
+    [on_decide] fires exactly once, when this node learns the decision. *)
+
+val handle : t -> src:int -> Wire.t -> unit
+(** [handle t ~src msg] processes a [Bp_*] message. *)
+
+val propose : t -> Wire.value -> unit
+(** [propose t v] advocates [v]. May be called on any participant, any
+    number of times; retries internally with increasing proposal numbers
+    until a decision is learned. The decided value is some proposed
+    value, not necessarily [v]. *)
+
+val decision : t -> Wire.value option
+(** [decision t] is the value this node has learned, if any. *)

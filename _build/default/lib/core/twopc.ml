@@ -1,0 +1,164 @@
+module Machine = Ci_machine.Machine
+module Command = Ci_rsm.Command
+
+type config = { replicas : int array; coordinator : int; local_reads : bool }
+
+let default_config ~replicas =
+  if Array.length replicas < 1 then
+    invalid_arg "Twopc.default_config: need at least one replica";
+  { replicas; coordinator = replicas.(0); local_reads = false }
+
+type round = {
+  v : Wire.value;
+  mutable acks : int;
+  mutable commit_acks : int;
+  mutable committed : bool;
+}
+
+type t = {
+  node : Wire.t Machine.node;
+  cfg : config;
+  self : int;
+  core : Replica_core.t;
+  others : int array; (* replicas minus self *)
+  (* Coordinator. *)
+  mutable next_inst : int;
+  rounds : (int, round) Hashtbl.t;
+  inflight : (int * int, int) Hashtbl.t;
+  my_keys : (int * int, unit) Hashtbl.t;
+  (* Participant. *)
+  prepared : (int, Wire.value) Hashtbl.t;
+  mutable n_local_reads : int;
+}
+
+let send t dst msg = Machine.send t.node ~dst msg
+let broadcast_others t msg = Array.iter (fun dst -> send t dst msg) t.others
+
+let learn_value t ~inst v =
+  Hashtbl.remove t.inflight (Wire.value_key v);
+  ignore (Replica_core.learn t.core ~inst v)
+
+(* Coordinator: once every replica acknowledged the prepare, the update
+   can no longer be refused anywhere — commit it, answer the client, and
+   let the commit acknowledgements merely retire the bookkeeping. *)
+let maybe_commit t ~inst round =
+  if (not round.committed) && round.acks >= Array.length t.others then begin
+    round.committed <- true;
+    learn_value t ~inst round.v;
+    broadcast_others t (Wire.Tp_commit { inst; v = round.v });
+    let v = round.v in
+    (match
+       Replica_core.cached_result t.core ~client:v.Wire.client ~req_id:v.Wire.req_id
+     with
+     | Some result ->
+       Hashtbl.remove t.my_keys (Wire.value_key v);
+       send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
+     | None ->
+       (* Commits complete in instance order and execution is
+          contiguous, so the result must be available. *)
+       assert false);
+    if Array.length t.others = 0 then Hashtbl.remove t.rounds inst
+  end
+
+let coordinate t v =
+  let key = Wire.value_key v in
+  Hashtbl.replace t.my_keys key ();
+  match Replica_core.cached_result t.core ~client:(fst key) ~req_id:(snd key) with
+  | Some result ->
+    Hashtbl.remove t.my_keys key;
+    send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
+  | None ->
+    if not (Hashtbl.mem t.inflight key) then begin
+      let inst = t.next_inst in
+      t.next_inst <- t.next_inst + 1;
+      Hashtbl.replace t.inflight key inst;
+      let round = { v; acks = 0; commit_acks = 0; committed = false } in
+      Hashtbl.replace t.rounds inst round;
+      broadcast_others t (Wire.Tp_prepare { inst; v });
+      maybe_commit t ~inst round
+    end
+
+(* A read may be answered locally unless this replica holds a
+   prepared-but-uncommitted update to the same datum — the paper's "not
+   received in the gap between two phases" (replicas lock their local
+   copy of the datum, so the lock is per key). *)
+let read_is_locked t cmd =
+  match Command.key_of cmd with
+  | None -> false
+  | Some key ->
+    Hashtbl.fold
+      (fun _ (v : Wire.value) locked ->
+        locked || Command.key_of v.Wire.cmd = Some key)
+      t.prepared false
+
+let handle_request t ~src ~req_id ~cmd =
+  let v = { Wire.client = src; req_id; cmd } in
+  if t.self = t.cfg.coordinator then coordinate t v
+  else if t.cfg.local_reads && Command.is_read cmd && not (read_is_locked t cmd)
+  then begin
+    t.n_local_reads <- t.n_local_reads + 1;
+    match cmd with
+    | Command.Get { key } ->
+      send t src
+        (Wire.Reply { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
+    | Command.Put _ | Command.Cas _ | Command.Nop -> ()
+  end
+  else
+    (* 2PC has no leader change: hand the command to the coordinator. *)
+    send t t.cfg.coordinator (Wire.Forward { v })
+
+let handle t ~src msg =
+  match msg with
+  | Wire.Request { req_id; cmd; relaxed_read = _ } -> handle_request t ~src ~req_id ~cmd
+  | Wire.Forward { v } ->
+    if t.self = t.cfg.coordinator then coordinate t v
+    else send t t.cfg.coordinator (Wire.Forward { v })
+  | Wire.Tp_prepare { inst; v } ->
+    Hashtbl.replace t.prepared inst v;
+    send t src (Wire.Tp_ack { inst })
+  | Wire.Tp_ack { inst } ->
+    (match Hashtbl.find_opt t.rounds inst with
+     | Some round ->
+       round.acks <- round.acks + 1;
+       maybe_commit t ~inst round
+     | None -> ())
+  | Wire.Tp_commit { inst; v } ->
+    Hashtbl.remove t.prepared inst;
+    learn_value t ~inst v;
+    send t src (Wire.Tp_commit_ack { inst })
+  | Wire.Tp_commit_ack { inst } ->
+    (match Hashtbl.find_opt t.rounds inst with
+     | Some round ->
+       round.commit_acks <- round.commit_acks + 1;
+       if round.commit_acks >= Array.length t.others then
+         Hashtbl.remove t.rounds inst
+     | None -> ())
+  | Wire.Tp_rollback { inst } -> Hashtbl.remove t.prepared inst
+  | Wire.Reply _ | Wire.Op_prepare_request _ | Wire.Op_prepare_response _
+  | Wire.Op_abandon _ | Wire.Op_accept_request _ | Wire.Op_learn _
+  | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
+  | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
+  | Wire.Pu_read_reply _ | Wire.Ls_req _ | Wire.Ls_reply _ | Wire.Mp_prepare _
+  | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ ->
+    ()
+
+let create ~node ~config =
+  let self = Machine.node_id node in
+  {
+    node;
+    cfg = config;
+    self;
+    core = Replica_core.create ~replica:self;
+    others = Array.of_list (List.filter (fun id -> id <> self) (Array.to_list config.replicas));
+    next_inst = 0;
+    rounds = Hashtbl.create 256;
+    inflight = Hashtbl.create 256;
+    my_keys = Hashtbl.create 64;
+    prepared = Hashtbl.create 64;
+    n_local_reads = 0;
+  }
+
+let replica_core t = t.core
+let is_coordinator t = t.self = t.cfg.coordinator
+let prepared_count t = Hashtbl.length t.prepared
+let local_read_count t = t.n_local_reads

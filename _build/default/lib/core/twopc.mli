@@ -1,0 +1,47 @@
+(** 2PC in its Barrelfish agreement form (Section 2.2).
+
+    A fixed coordinator drives every update through two phases: it
+    broadcasts [Tp_prepare] and waits for an acknowledgement from {e
+    all} replicas, then broadcasts [Tp_commit] and again waits for all
+    commit acknowledgements before answering the client. The protocol
+    is {b blocking}: a single slow replica (including the coordinator
+    itself) stalls every update — the behaviour Section 2.2 and
+    Figure 11's contrast demonstrate. There is no leader change.
+
+    When [local_reads] is on (the 2PC-Joint configuration of §7.5), a
+    replica answers [Get] commands from its local store, provided it
+    holds no prepared-but-uncommitted instance — i.e. the read does not
+    fall "in the gap between two phases" — otherwise the read is
+    forwarded to the coordinator like a write. *)
+
+type config = {
+  replicas : int array;  (** Machine node ids of all replicas. *)
+  coordinator : int;  (** The fixed coordinator (member of [replicas]). *)
+  local_reads : bool;  (** Serve quiescent reads locally (2PC-Joint). *)
+}
+
+val default_config : replicas:int array -> config
+(** [default_config ~replicas] coordinates from [replicas.(0)], without
+    local reads. *)
+
+type t
+(** One 2PC replica. *)
+
+val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
+(** [create ~node ~config] initializes the replica. *)
+
+val handle : t -> src:int -> Wire.t -> unit
+(** [handle t ~src msg] processes a client or protocol message. *)
+
+val replica_core : t -> Replica_core.t
+(** [replica_core t] exposes learner/executor state. *)
+
+val is_coordinator : t -> bool
+(** [is_coordinator t] is whether this replica coordinates. *)
+
+val prepared_count : t -> int
+(** [prepared_count t] is the number of locked (prepared, uncommitted)
+    instances this participant holds. *)
+
+val local_read_count : t -> int
+(** [local_read_count t] counts reads served without the coordinator. *)

@@ -1,0 +1,76 @@
+type 'a cell = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable dummy : 'a cell option; (* retained for array slot filler *)
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q cell =
+  let cap = Array.length q.heap in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  let fresh = Array.make new_cap cell in
+  Array.blit q.heap 0 fresh 0 q.size;
+  q.heap <- fresh
+
+let push q ~time payload =
+  let cell = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if q.dummy = None then q.dummy <- Some cell;
+  if q.size = Array.length q.heap then grow q cell;
+  (* Sift up from the new leaf. *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.heap.(!i) <- cell;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before cell q.heap.(parent) then begin
+      q.heap.(!i) <- q.heap.(parent);
+      q.heap.(parent) <- cell;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      let last = q.heap.(q.size) in
+      q.heap.(0) <- last;
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+        if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = q.heap.(!i) in
+          q.heap.(!i) <- q.heap.(!smallest);
+          q.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+
+let clear q =
+  q.size <- 0;
+  q.heap <- [||]

@@ -1,0 +1,34 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap ordered by [(time, sequence)]. The sequence number
+    is assigned at insertion, so events scheduled for the same instant
+    are delivered in insertion order (FIFO tie-break) — a property the
+    machine model relies on for per-channel ordering. *)
+
+type 'a t
+(** A heap of events carrying payloads of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val length : 'a t -> int
+(** [length q] is the number of pending events. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [length q = 0]. *)
+
+val push : 'a t -> time:int -> 'a -> unit
+(** [push q ~time payload] inserts an event. [time] may be in the past
+    relative to previously popped events; ordering is the caller's
+    concern. *)
+
+val pop : 'a t -> (int * 'a) option
+(** [pop q] removes and returns the earliest event as [(time, payload)],
+    or [None] when empty. Among equal times, insertion order wins. *)
+
+val peek_time : 'a t -> int option
+(** [peek_time q] is the timestamp of the earliest event, without
+    removing it. *)
+
+val clear : 'a t -> unit
+(** [clear q] discards all pending events. *)

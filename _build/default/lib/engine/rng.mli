@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generator.
+
+    A self-contained SplitMix64 generator. Experiments must be exactly
+    reproducible from a seed, independently of anything else that uses
+    the stdlib [Random] state, so the simulator carries its own
+    generator. *)
+
+type t
+(** A mutable generator. *)
+
+val create : seed:int -> t
+(** [create ~seed] is a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is a generator with the same state as [t]; the two then
+    evolve independently. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator from
+    [t], advancing [t]. Use it to give each actor its own stream so that
+    adding an actor does not perturb the draws of the others. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to
+    [\[0, 1\]]). *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from an exponential distribution with
+    the given mean. Used for randomized request inter-arrival times. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle t a] permutes [a] in place, uniformly (Fisher–Yates). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t a] is a uniformly chosen element of the non-empty array
+    [a]. *)

@@ -1,0 +1,52 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Sim_time.t;
+  mutable stopped : bool;
+}
+
+let create () = { queue = Event_queue.create (); clock = 0; stopped = false }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  Event_queue.push t.queue ~time f
+
+let schedule t ~delay f =
+  let delay = if delay < 0 then 0 else delay in
+  schedule_at t ~time:(t.clock + delay) f
+
+let pending t = Event_queue.length t.queue
+
+let stop t = t.stopped <- true
+
+let run_until t ~time =
+  t.stopped <- false;
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Event_queue.peek_time t.queue with
+    | Some ts when ts <= time ->
+      (match Event_queue.pop t.queue with
+       | Some (ts, f) ->
+         t.clock <- ts;
+         f ()
+       | None -> continue := false)
+    | Some _ | None -> continue := false
+  done;
+  if not t.stopped && t.clock < time then t.clock <- time
+
+let run ?max_events t =
+  t.stopped <- false;
+  let fired = ref 0 in
+  let budget_left () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let continue = ref true in
+  while !continue && not t.stopped && budget_left () do
+    match Event_queue.pop t.queue with
+    | Some (ts, f) ->
+      t.clock <- ts;
+      incr fired;
+      f ()
+    | None -> continue := false
+  done

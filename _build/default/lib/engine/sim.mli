@@ -1,0 +1,39 @@
+(** Discrete-event simulator core.
+
+    A simulator owns a virtual clock and an event queue of thunks. All
+    higher layers (machine, channels, protocols) express behaviour by
+    scheduling thunks at future instants. Execution is single-threaded
+    and deterministic: events fire in [(time, insertion)] order. *)
+
+type t
+(** A simulator instance. *)
+
+val create : unit -> t
+(** [create ()] is a simulator at time 0 with no pending events. *)
+
+val now : t -> Sim_time.t
+(** [now sim] is the current virtual time. *)
+
+val schedule : t -> delay:Sim_time.t -> (unit -> unit) -> unit
+(** [schedule sim ~delay f] runs [f] at [now sim + delay]. A negative
+    [delay] is clamped to zero. *)
+
+val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> unit
+(** [schedule_at sim ~time f] runs [f] at [time]; if [time] is in the
+    past it runs at the current instant (after already-queued events of
+    that instant). *)
+
+val pending : t -> int
+(** [pending sim] is the number of queued events. *)
+
+val stop : t -> unit
+(** [stop sim] makes the current [run]/[run_until] call return after the
+    executing event completes. Further runs may be issued afterwards. *)
+
+val run_until : t -> time:Sim_time.t -> unit
+(** [run_until sim ~time] executes events with timestamp [<= time], then
+    advances the clock to exactly [time]. Returns early on [stop]. *)
+
+val run : ?max_events:int -> t -> unit
+(** [run sim] executes events until the queue drains, [stop] is called,
+    or [max_events] events have fired (default: unlimited). *)

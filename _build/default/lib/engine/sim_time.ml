@@ -1,0 +1,21 @@
+type t = int
+
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+
+let of_us_float x =
+  let v = x *. 1_000. in
+  int_of_float (if v >= 0. then v +. 0.5 else v -. 0.5)
+
+let to_us_float t = float_of_int t /. 1_000.
+let to_ms_float t = float_of_int t /. 1_000_000.
+let to_s_float t = float_of_int t /. 1_000_000_000.
+
+let pp fmt t =
+  let a = abs t in
+  if a < 1_000 then Format.fprintf fmt "%dns" t
+  else if a < 1_000_000 then Format.fprintf fmt "%.2fus" (to_us_float t)
+  else if a < 1_000_000_000 then Format.fprintf fmt "%.2fms" (to_ms_float t)
+  else Format.fprintf fmt "%.3fs" (to_s_float t)

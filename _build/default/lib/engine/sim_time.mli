@@ -1,0 +1,37 @@
+(** Simulated time.
+
+    All simulated durations and instants are integer nanoseconds. Using a
+    plain [int] keeps arithmetic total and fast; on a 64-bit platform the
+    range covers about 292 years of simulated time, far beyond any
+    experiment in this repository. *)
+
+type t = int
+(** An instant or a duration, in nanoseconds. *)
+
+val ns : int -> t
+(** [ns n] is [n] nanoseconds. *)
+
+val us : int -> t
+(** [us n] is [n] microseconds. *)
+
+val ms : int -> t
+(** [ms n] is [n] milliseconds. *)
+
+val s : int -> t
+(** [s n] is [n] seconds. *)
+
+val of_us_float : float -> t
+(** [of_us_float x] is [x] microseconds rounded to the nearest
+    nanosecond. *)
+
+val to_us_float : t -> float
+(** [to_us_float t] is [t] expressed in microseconds. *)
+
+val to_ms_float : t -> float
+(** [to_ms_float t] is [t] expressed in milliseconds. *)
+
+val to_s_float : t -> float
+(** [to_s_float t] is [t] expressed in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] prints [t] with an adaptive unit (ns, us, ms or s). *)

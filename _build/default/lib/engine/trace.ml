@@ -1,0 +1,50 @@
+type t = {
+  capacity : int;
+  mutable items : (Sim_time.t * string) array;
+  mutable start : int; (* index of oldest *)
+  mutable count : int;
+  mutable evicted : int;
+  mutable on : bool;
+}
+
+let create ?(capacity = 4096) () =
+  assert (capacity > 0);
+  { capacity; items = [||]; start = 0; count = 0; evicted = 0; on = true }
+
+let enabled t = t.on
+let set_enabled t b = t.on <- b
+
+let record t ~time line =
+  if t.on then begin
+    if Array.length t.items = 0 then t.items <- Array.make t.capacity (0, "");
+    if t.count < t.capacity then begin
+      t.items.((t.start + t.count) mod t.capacity) <- (time, line);
+      t.count <- t.count + 1
+    end
+    else begin
+      t.items.(t.start) <- (time, line);
+      t.start <- (t.start + 1) mod t.capacity;
+      t.evicted <- t.evicted + 1
+    end
+  end
+
+let recordf t ~time fmt =
+  if t.on then Format.kasprintf (fun line -> record t ~time line) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t =
+  List.init t.count (fun i -> t.items.((t.start + i) mod t.capacity))
+
+let length t = t.count
+let dropped t = t.evicted
+
+let clear t =
+  t.start <- 0;
+  t.count <- 0;
+  t.evicted <- 0
+
+let pp fmt t =
+  List.iter
+    (fun (time, line) ->
+      Format.fprintf fmt "[%a] %s@." Sim_time.pp time line)
+    (entries t)

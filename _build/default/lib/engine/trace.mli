@@ -1,0 +1,41 @@
+(** Bounded in-memory event trace.
+
+    A lightweight ring buffer of timestamped strings used by tests and
+    by the CLI's [--trace] mode to inspect what a simulation did without
+    paying for unbounded accumulation. *)
+
+type t
+(** A trace buffer. *)
+
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] is an empty trace retaining at most
+    [capacity] entries (default 4096); older entries are dropped. *)
+
+val enabled : t -> bool
+(** [enabled t] is whether [record] currently stores entries. *)
+
+val set_enabled : t -> bool -> unit
+(** [set_enabled t b] switches recording on or off. *)
+
+val record : t -> time:Sim_time.t -> string -> unit
+(** [record t ~time line] appends an entry if recording is enabled. *)
+
+val recordf :
+  t -> time:Sim_time.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [recordf t ~time fmt ...] formats and records an entry. The format
+    arguments are evaluated only when recording is enabled. *)
+
+val entries : t -> (Sim_time.t * string) list
+(** [entries t] is the retained entries, oldest first. *)
+
+val length : t -> int
+(** [length t] is the number of retained entries. *)
+
+val dropped : t -> int
+(** [dropped t] is how many entries were evicted due to capacity. *)
+
+val clear : t -> unit
+(** [clear t] discards all entries and resets the dropped counter. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] prints one line per retained entry. *)

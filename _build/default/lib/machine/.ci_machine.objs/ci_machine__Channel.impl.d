@@ -1,0 +1,1 @@
+lib/machine/channel.ml: Ci_engine Cpu Queue

@@ -1,0 +1,1 @@
+lib/machine/channel.mli: Ci_engine Cpu

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Ci_engine Float List

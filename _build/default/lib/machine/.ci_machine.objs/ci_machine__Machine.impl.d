@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Channel Ci_engine Cpu Hashtbl List Net_params Printf Topology

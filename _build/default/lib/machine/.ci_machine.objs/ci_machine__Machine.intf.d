@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Ci_engine Cpu Net_params Topology

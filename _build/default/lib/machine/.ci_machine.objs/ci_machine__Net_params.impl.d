@@ -1,0 +1,1 @@
+lib/machine/net_params.ml: Ci_engine Format

@@ -1,0 +1,1 @@
+lib/machine/net_params.mli: Ci_engine Format

@@ -1,0 +1,68 @@
+module Sim = Ci_engine.Sim
+
+type 'a t = {
+  sim : Sim.t;
+  capacity : int;
+  prop : int;
+  send_cost : int;
+  recv_cost : int;
+  src_cpu : Cpu.t;
+  dst_cpu : Cpu.t;
+  deliver : 'a -> unit;
+  outbox : 'a Queue.t;
+  mutable credits : int;
+  mutable sent_count : int;
+  mutable delivered_count : int;
+  mutable blocked_count : int;
+}
+
+let create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu ~deliver =
+  if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
+  {
+    sim;
+    capacity;
+    prop;
+    send_cost;
+    recv_cost;
+    src_cpu;
+    dst_cpu;
+    deliver;
+    outbox = Queue.create ();
+    credits = capacity;
+    sent_count = 0;
+    delivered_count = 0;
+    blocked_count = 0;
+  }
+
+(* Receiver side: charge the reception cost, then return the slot credit
+   (visible to the sender one propagation delay later) and hand the
+   message to the application. *)
+let rec receive t v =
+  Cpu.exec t.dst_cpu ~cost:t.recv_cost (fun () ->
+      Sim.schedule t.sim ~delay:t.prop (fun () ->
+          t.credits <- t.credits + 1;
+          pump t);
+      t.delivered_count <- t.delivered_count + 1;
+      t.deliver v)
+
+(* Sender side: while slots are free, charge the transmission cost for
+   the next outbox message; on completion the message propagates to the
+   receiver. *)
+and pump t =
+  while t.credits > 0 && not (Queue.is_empty t.outbox) do
+    t.credits <- t.credits - 1;
+    let v = Queue.pop t.outbox in
+    Cpu.exec t.src_cpu ~cost:t.send_cost (fun () ->
+        t.sent_count <- t.sent_count + 1;
+        Sim.schedule t.sim ~delay:t.prop (fun () -> receive t v))
+  done
+
+let send t v =
+  if t.credits = 0 then t.blocked_count <- t.blocked_count + 1;
+  Queue.push v t.outbox;
+  pump t
+
+let sent t = t.sent_count
+let delivered t = t.delivered_count
+let blocked_events t = t.blocked_count
+let outbox_length t = Queue.length t.outbox

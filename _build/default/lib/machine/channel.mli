@@ -1,0 +1,52 @@
+(** Point-to-point bounded message queue.
+
+    Models one direction of a QC-libtask channel pair (Section 6 of the
+    paper): a single-producer single-consumer queue with a fixed number
+    of slots. Writing charges the {e transmission} cost to the sender's
+    core; the message becomes visible to the receiver one {e propagation}
+    delay later; dequeuing charges the reception (+ handler) cost to the
+    receiver's core; and the freed slot becomes visible to the sender
+    another propagation delay after the dequeue completes — which is how
+    the paper derives its [latency ≃ 2·trans + 2·prop] ping formula for
+    a one-slot queue.
+
+    Flow control is credit-based: the sender holds one credit per free
+    slot; a full queue blocks further transmissions (the outbox) until a
+    credit returns. *)
+
+type 'a t
+(** A unidirectional channel carrying values of type ['a]. *)
+
+val create :
+  Ci_engine.Sim.t ->
+  capacity:int ->
+  prop:Ci_engine.Sim_time.t ->
+  send_cost:Ci_engine.Sim_time.t ->
+  recv_cost:Ci_engine.Sim_time.t ->
+  src_cpu:Cpu.t ->
+  dst_cpu:Cpu.t ->
+  deliver:('a -> unit) ->
+  'a t
+(** [create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu
+    ~deliver] is a channel. [deliver] is invoked on the receiver side
+    after the reception cost has been charged, one message at a time, in
+    send order. [capacity] must be positive. *)
+
+val send : 'a t -> 'a -> unit
+(** [send t v] queues [v] for transmission. Returns immediately; the
+    transmission cost is charged asynchronously on the sender's core,
+    and delivery follows after propagation and reception. *)
+
+val sent : 'a t -> int
+(** [sent t] is how many messages have completed transmission. *)
+
+val delivered : 'a t -> int
+(** [delivered t] is how many messages have been delivered. *)
+
+val blocked_events : 'a t -> int
+(** [blocked_events t] counts sends that found no free slot and had to
+    wait for a credit — a measure of back-pressure. *)
+
+val outbox_length : 'a t -> int
+(** [outbox_length t] is the number of messages waiting for
+    transmission (queued behind slot exhaustion). *)

@@ -1,0 +1,76 @@
+module Sim = Ci_engine.Sim
+
+type window = { from_ : int; until_ : int; factor : float }
+
+type t = {
+  sim : Sim.t;
+  core_id : int;
+  mutable windows : window list; (* sorted by from_ *)
+  mutable free : int;
+  mutable busy : int;
+}
+
+let create sim ~id = { sim; core_id = id; windows = []; free = 0; busy = 0 }
+
+let id t = t.core_id
+
+let add_slowdown t ~from_ ~until_ ~factor =
+  if from_ >= until_ then invalid_arg "Cpu.add_slowdown: empty window";
+  if factor < 1. then invalid_arg "Cpu.add_slowdown: factor must be >= 1";
+  let w = { from_; until_; factor } in
+  t.windows <-
+    List.sort (fun a b -> compare a.from_ b.from_) (w :: t.windows)
+
+let factor_at t time =
+  List.fold_left
+    (fun acc w ->
+      if time >= w.from_ && time < w.until_ then Float.max acc w.factor
+      else acc)
+    1. t.windows
+
+(* The next instant after [time] at which the slowdown factor may
+   change: the nearest window boundary strictly beyond [time]. *)
+let next_boundary t time =
+  List.fold_left
+    (fun acc w ->
+      let candidates = [ w.from_; w.until_ ] in
+      List.fold_left
+        (fun acc b ->
+          if b > time then match acc with None -> Some b | Some a -> Some (min a b)
+          else acc)
+        acc candidates)
+    None t.windows
+
+(* Completion instant of [cost] units of work starting at [start],
+   integrating piecewise through slowdown windows. *)
+let finish_time t ~start ~cost =
+  let rec go time remaining =
+    if remaining <= 0. then time
+    else
+      let f = factor_at t time in
+      match next_boundary t time with
+      | None ->
+        if Float.is_finite f then time + int_of_float (ceil (remaining *. f))
+        else max_int / 2 (* crashed with no recovery boundary: never *)
+      | Some b ->
+        let span = float_of_int (b - time) in
+        let capacity = if Float.is_finite f then span /. f else 0. in
+        if capacity >= remaining then time + int_of_float (ceil (remaining *. f))
+        else go b (remaining -. capacity)
+  in
+  go start (float_of_int cost)
+
+let exec t ~cost k =
+  let cost = if cost < 0 then 0 else cost in
+  let start = max (Sim.now t.sim) t.free in
+  let finish = finish_time t ~start ~cost in
+  t.busy <- t.busy + (finish - start);
+  t.free <- finish;
+  Sim.schedule_at t.sim ~time:finish k
+
+let free_at t = t.free
+let busy_total t = t.busy
+
+let queue_delay t =
+  let d = t.free - Sim.now t.sim in
+  if d > 0 then d else 0

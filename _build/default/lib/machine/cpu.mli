@@ -1,0 +1,56 @@
+(** A core as a serial resource.
+
+    Every piece of work a core performs — transmitting a message,
+    receiving one, running a protocol handler, executing a command —
+    occupies the core exclusively for a duration. Work requests queue up
+    FIFO behind the core's current occupation, which is exactly the
+    saturation mechanism the paper identifies: a leader core that must
+    process many messages per agreement becomes the throughput
+    bottleneck.
+
+    Slowdown windows model the paper's "slow core" faults (a core
+    starved by competing CPU-bound processes). During a window with
+    factor [f], work proceeds at [1/f] speed; work spanning a window
+    boundary is integrated piecewise, so a core slowed for 100 ms
+    resumes full speed afterwards. A crash is a window with
+    [factor = infinity]: no progress until the window closes. *)
+
+type t
+(** A simulated core. *)
+
+val create : Ci_engine.Sim.t -> id:int -> t
+(** [create sim ~id] is an idle core. [id] is echoed in errors and
+    metrics. *)
+
+val id : t -> int
+(** [id t] is the core's identifier. *)
+
+val add_slowdown :
+  t -> from_:Ci_engine.Sim_time.t -> until_:Ci_engine.Sim_time.t -> factor:float -> unit
+(** [add_slowdown t ~from_ ~until_ ~factor] makes work cost [factor]
+    times more core time within the window. Windows may overlap: the
+    largest applicable factor wins. [factor] must be [>= 1.] (or
+    [infinity] for a crash window); requires [from_ < until_]. *)
+
+val factor_at : t -> Ci_engine.Sim_time.t -> float
+(** [factor_at t time] is the slowdown factor in effect at [time]
+    ([1.] when unimpaired). *)
+
+val exec : t -> cost:Ci_engine.Sim_time.t -> (unit -> unit) -> unit
+(** [exec t ~cost k] enqueues [cost] nanoseconds of work on the core,
+    serialized after all previously enqueued work, and calls [k] when it
+    completes. The continuation runs at the completion instant; the cost
+    is stretched through any slowdown windows it crosses. *)
+
+val free_at : t -> Ci_engine.Sim_time.t
+(** [free_at t] is the earliest instant at which newly enqueued work
+    could begin. *)
+
+val busy_total : t -> Ci_engine.Sim_time.t
+(** [busy_total t] is the cumulative wall-clock time this core has been
+    (or is scheduled to be) occupied, including slowdown stretching.
+    Used for utilization metrics. *)
+
+val queue_delay : t -> Ci_engine.Sim_time.t
+(** [queue_delay t] is [max 0 (free_at t - now)] — how far behind the
+    core currently is. *)

@@ -1,0 +1,137 @@
+module Sim = Ci_engine.Sim
+module Rng = Ci_engine.Rng
+
+type 'msg node = {
+  nid : int;
+  ncore : int;
+  owner : 'msg t;
+  mutable handler : src:int -> 'msg -> unit;
+}
+
+and 'msg t = {
+  sim : Sim.t;
+  topo : Topology.t;
+  net : Net_params.t;
+  cpus : Cpu.t array;
+  nodes : (int, 'msg node) Hashtbl.t;
+  channels : (int * int, (int * 'msg) Channel.t) Hashtbl.t;
+  sent_counts : (int, int ref) Hashtbl.t;
+  recv_counts : (int, int ref) Hashtbl.t;
+  random : Rng.t;
+  mutable next_id : int;
+  mutable delivered_total : int;
+  mutable tracer : (time:int -> src:int -> dst:int -> 'msg -> unit) option;
+}
+
+let create ?(seed = 42) ~topology ~params () =
+  let sim = Sim.create () in
+  {
+    sim;
+    topo = topology;
+    net = params;
+    cpus = Array.init (Topology.n_cores topology) (fun i -> Cpu.create sim ~id:i);
+    nodes = Hashtbl.create 64;
+    channels = Hashtbl.create 256;
+    sent_counts = Hashtbl.create 64;
+    recv_counts = Hashtbl.create 64;
+    random = Rng.create ~seed;
+    next_id = 0;
+    delivered_total = 0;
+    tracer = None;
+  }
+
+let sim t = t.sim
+let rng t = t.random
+let topology t = t.topo
+let params t = t.net
+let now t = Sim.now t.sim
+
+let counter table key =
+  match Hashtbl.find_opt table key with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add table key r;
+    r
+
+let add_node t ~core =
+  if core < 0 || core >= Topology.n_cores t.topo then
+    invalid_arg (Printf.sprintf "Machine.add_node: core %d out of range" core);
+  let node =
+    { nid = t.next_id; ncore = core; owner = t; handler = (fun ~src:_ _ -> ()) }
+  in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.nodes node.nid node;
+  ignore (counter t.sent_counts node.nid);
+  ignore (counter t.recv_counts node.nid);
+  node
+
+let node_id n = n.nid
+let core_of n = n.ncore
+let machine_of n = n.owner
+
+let set_handler n f = n.handler <- f
+
+let find_node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Machine: unknown node %d" id)
+
+let channel t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some c -> c
+  | None ->
+    let src_node = find_node t src and dst_node = find_node t dst in
+    let same_socket = Topology.same_socket t.topo src_node.ncore dst_node.ncore in
+    let deliver (origin, msg) =
+      incr (counter t.recv_counts dst);
+      t.delivered_total <- t.delivered_total + 1;
+      (match t.tracer with
+       | Some f -> f ~time:(Sim.now t.sim) ~src:origin ~dst msg
+       | None -> ());
+      dst_node.handler ~src:origin msg
+    in
+    let c =
+      Channel.create t.sim ~capacity:t.net.Net_params.queue_slots
+        ~prop:(Net_params.prop t.net ~same_socket)
+        ~send_cost:t.net.Net_params.send_cost
+        ~recv_cost:(t.net.Net_params.recv_cost + t.net.Net_params.handler_cost)
+        ~src_cpu:t.cpus.(src_node.ncore) ~dst_cpu:t.cpus.(dst_node.ncore)
+        ~deliver
+    in
+    Hashtbl.replace t.channels (src, dst) c;
+    c
+
+let send n ~dst msg =
+  let t = n.owner in
+  if dst = n.nid then
+    (* Local role-to-role communication on a collapsed node: skips the
+       message layer (no transmission, reception or propagation) but the
+       receiving role's processing still occupies the core. *)
+    Cpu.exec t.cpus.(n.ncore) ~cost:t.net.Net_params.handler_cost (fun () ->
+        n.handler ~src:n.nid msg)
+  else begin
+    incr (counter t.sent_counts n.nid);
+    Channel.send (channel t ~src:n.nid ~dst) (n.nid, msg)
+  end
+
+let send_many n ~dsts msg = List.iter (fun dst -> send n ~dst msg) dsts
+
+let after n ~delay f = Sim.schedule n.owner.sim ~delay f
+
+let compute n ~cost f = Cpu.exec n.owner.cpus.(n.ncore) ~cost f
+
+let slow_core t ~core ~from_ ~until_ ~factor =
+  Cpu.add_slowdown t.cpus.(core) ~from_ ~until_ ~factor
+
+let cpu t ~core = t.cpus.(core)
+
+let n_nodes t = t.next_id
+
+let messages_sent t ~node = !(counter t.sent_counts node)
+let messages_received t ~node = !(counter t.recv_counts node)
+let total_messages t = t.delivered_total
+
+let set_tracer t f = t.tracer <- f
+let run_until t ~time = Sim.run_until t.sim ~time
+let run ?max_events t = Sim.run ?max_events t.sim

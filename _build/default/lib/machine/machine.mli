@@ -1,0 +1,116 @@
+(** The simulated many-core machine: cores, channels and nodes.
+
+    A machine hosts {e nodes} (actors): protocol replicas, clients, load
+    managers. Each node is pinned to a core. Nodes exchange messages of
+    a single type ['msg] over lazily created point-to-point bounded
+    channels; every boundary-crossing message charges transmission time
+    to the sender's core and reception + handler time to the receiver's
+    core, with socket-dependent propagation in between. Messages a node
+    sends to itself are free local calls, mirroring collapsed-role
+    deployments where co-located Paxos roles skip the message layer. *)
+
+type 'msg t
+(** A machine whose nodes exchange values of type ['msg]. *)
+
+type 'msg node
+(** A node (actor) on some core of the machine. *)
+
+val create :
+  ?seed:int -> topology:Topology.t -> params:Net_params.t -> unit -> 'msg t
+(** [create ~seed ~topology ~params ()] is a machine with no nodes.
+    [seed] (default 42) determines every random draw made through
+    [rng]. *)
+
+val sim : 'msg t -> Ci_engine.Sim.t
+(** [sim t] is the machine's simulator (clock and event queue). *)
+
+val rng : 'msg t -> Ci_engine.Rng.t
+(** [rng t] is the machine's deterministic random stream. *)
+
+val topology : 'msg t -> Topology.t
+(** [topology t] is the machine's core layout. *)
+
+val params : 'msg t -> Net_params.t
+(** [params t] is the machine's network cost parameters. *)
+
+val now : 'msg t -> Ci_engine.Sim_time.t
+(** [now t] is the current simulated time. *)
+
+val add_node : 'msg t -> core:int -> 'msg node
+(** [add_node t ~core] creates a node pinned to [core] (several nodes
+    may share a core; they then compete for it). Node ids are assigned
+    sequentially from 0. The node drops incoming messages until
+    [set_handler]. *)
+
+val node_id : 'msg node -> int
+(** [node_id n] is the node's identifier. *)
+
+val core_of : 'msg node -> int
+(** [core_of n] is the core hosting [n]. *)
+
+val machine_of : 'msg node -> 'msg t
+(** [machine_of n] is the machine hosting [n]. *)
+
+val set_handler : 'msg node -> (src:int -> 'msg -> unit) -> unit
+(** [set_handler n f] installs the message handler. [f ~src msg] runs on
+    [n]'s core after reception and handler costs have been charged. *)
+
+val send : 'msg node -> dst:int -> 'msg -> unit
+(** [send n ~dst msg] transmits [msg] to node [dst]. Costs are charged
+    as described above; sending to [node_id n] itself skips the message
+    layer but still charges the handler cost (collapsed roles avoid the
+    channel, not the processing). *)
+
+val send_many : 'msg node -> dsts:int list -> 'msg -> unit
+(** [send_many n ~dsts msg] sends [msg] to each destination in order
+    (distinct unicast transmissions — the paper's framework has no
+    hardware multicast). *)
+
+val after : 'msg node -> delay:Ci_engine.Sim_time.t -> (unit -> unit) -> unit
+(** [after n ~delay f] schedules [f] at [now + delay]. Timers charge no
+    core time by themselves; work done inside [f] (sends, [compute])
+    does. *)
+
+val compute : 'msg node -> cost:Ci_engine.Sim_time.t -> (unit -> unit) -> unit
+(** [compute n ~cost f] charges [cost] of work on [n]'s core, then runs
+    [f]. *)
+
+val slow_core :
+  'msg t ->
+  core:int ->
+  from_:Ci_engine.Sim_time.t ->
+  until_:Ci_engine.Sim_time.t ->
+  factor:float ->
+  unit
+(** [slow_core t ~core ~from_ ~until_ ~factor] injects a slowdown window
+    on [core] ([factor = infinity] crashes it for the window). *)
+
+val cpu : 'msg t -> core:int -> Cpu.t
+(** [cpu t ~core] exposes the core's serial resource (for metrics). *)
+
+val n_nodes : 'msg t -> int
+(** [n_nodes t] is how many nodes exist. *)
+
+val messages_sent : 'msg t -> node:int -> int
+(** [messages_sent t ~node] is how many boundary-crossing messages
+    [node] has issued. *)
+
+val messages_received : 'msg t -> node:int -> int
+(** [messages_received t ~node] is how many boundary-crossing messages
+    [node] has been delivered. *)
+
+val total_messages : 'msg t -> int
+(** [total_messages t] is the machine-wide count of boundary-crossing
+    messages delivered. *)
+
+val set_tracer :
+  'msg t -> (time:Ci_engine.Sim_time.t -> src:int -> dst:int -> 'msg -> unit) option -> unit
+(** [set_tracer t f] installs (or clears) a hook invoked at every
+    boundary-crossing delivery, after costs are charged and before the
+    handler runs. For debugging and trace-driven tests. *)
+
+val run_until : 'msg t -> time:Ci_engine.Sim_time.t -> unit
+(** [run_until t ~time] advances the simulation to [time]. *)
+
+val run : ?max_events:int -> 'msg t -> unit
+(** [run t] runs until the event queue drains (or [max_events]). *)

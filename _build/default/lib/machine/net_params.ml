@@ -1,0 +1,52 @@
+module Sim_time = Ci_engine.Sim_time
+
+type t = {
+  send_cost : Sim_time.t;
+  recv_cost : Sim_time.t;
+  handler_cost : Sim_time.t;
+  prop_intra : Sim_time.t;
+  prop_inter : Sim_time.t;
+  queue_slots : int;
+}
+
+let multicore =
+  {
+    send_cost = Sim_time.ns 500;
+    recv_cost = Sim_time.ns 500;
+    handler_cost = Sim_time.ns 2450;
+    prop_intra = Sim_time.ns 350;
+    prop_inter = Sim_time.ns 650;
+    queue_slots = 7;
+  }
+
+let lan =
+  {
+    send_cost = Sim_time.us 2;
+    recv_cost = Sim_time.us 2;
+    handler_cost = Sim_time.ns 2450;
+    prop_intra = Sim_time.us 135;
+    prop_inter = Sim_time.us 135;
+    queue_slots = 64;
+  }
+
+let lan_wide = { lan with prop_intra = Sim_time.us 1300; prop_inter = Sim_time.us 1300 }
+
+let rdma =
+  {
+    send_cost = Sim_time.ns 300;
+    recv_cost = Sim_time.ns 300;
+    handler_cost = Sim_time.ns 2450;
+    prop_intra = Sim_time.ns 650;
+    prop_inter = Sim_time.us 2;
+    queue_slots = 16;
+  }
+
+let raw_channel t = { t with handler_cost = 0 }
+
+let prop t ~same_socket = if same_socket then t.prop_intra else t.prop_inter
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{send=%a; recv=%a; handler=%a; prop=%a/%a; slots=%d}" Sim_time.pp
+    t.send_cost Sim_time.pp t.recv_cost Sim_time.pp t.handler_cost Sim_time.pp
+    t.prop_intra Sim_time.pp t.prop_inter t.queue_slots

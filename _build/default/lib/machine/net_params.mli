@@ -1,0 +1,64 @@
+(** Network cost parameters.
+
+    The paper's Section 3 distinguishes two delays: the {e transmission}
+    delay (cycles the sending or receiving core spends putting a message
+    on / taking it off the medium — this consumes core time and is the
+    scalability bottleneck on a many-core) and the {e propagation} delay
+    (wire/coherence time between cores — this consumes no core time).
+    The presets below encode the paper's measured values: on the
+    many-core both are ≈ 0.5 µs (ratio ≈ 1); on a LAN transmission is
+    2 µs but propagation is 135 µs (ratio ≈ 0.015). *)
+
+type t = {
+  send_cost : Ci_engine.Sim_time.t;
+      (** Core time charged to the sender per message (transmission). *)
+  recv_cost : Ci_engine.Sim_time.t;
+      (** Core time charged to the receiver per message dequeue. *)
+  handler_cost : Ci_engine.Sim_time.t;
+      (** Core time charged to the receiver for protocol processing of
+          one message, on top of [recv_cost]. *)
+  prop_intra : Ci_engine.Sim_time.t;
+      (** Propagation delay between cores on the same socket. *)
+  prop_inter : Ci_engine.Sim_time.t;
+      (** Propagation delay between cores on different sockets. *)
+  queue_slots : int;
+      (** Capacity of each unidirectional point-to-point queue
+          (QC-libtask uses seven 128-byte slots by default). *)
+}
+
+val multicore : t
+(** Calibrated to the paper's 48-core Opteron measurements:
+    transmission 0.5 µs, propagation ≈ 0.55 µs on average (0.35 µs
+    intra-socket, 0.65 µs inter-socket), 7 queue slots. *)
+
+val lan : t
+(** Calibrated to the paper's Section 3 LAN channel measurements:
+    transmission 2 µs, propagation 135 µs. *)
+
+val lan_wide : t
+(** The end-to-end LAN deployment of Figure 2: the paper's throughput
+    curve there implies a per-request latency in the milliseconds (TCP
+    and kernel scheduling on top of the raw channel), so this preset
+    raises propagation to 1.3 ms. Use it to reproduce Figure 2's
+    "Multi-Paxos LAN keeps scaling to a hundred clients" curve. *)
+
+val rdma : t
+(** The paper's concluding outlook: rack-scale RDMA — "multiple
+    machines operate on a common address space, but there is no cache
+    coherence protocol between them". One-sided writes cost little core
+    time (300 ns) and cross-machine propagation is ≈ 2 µs, so the
+    trans/prop ratio sits between the many-core and the LAN — the
+    regime the paper argues 1Paxos will matter most in. Intra-"socket"
+    here means within one machine of the rack. *)
+
+val raw_channel : t -> t
+(** [raw_channel t] is [t] with [handler_cost = 0]; used by the
+    Section 3 micro-benchmarks where the receiver performs no protocol
+    work. *)
+
+val prop : t -> same_socket:bool -> Ci_engine.Sim_time.t
+(** [prop t ~same_socket] selects the propagation delay for a core
+    pair. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] prints the parameter record. *)

@@ -1,0 +1,23 @@
+type t = { sockets : int; cores_per_socket : int }
+
+let create ~sockets ~cores_per_socket =
+  if sockets <= 0 || cores_per_socket <= 0 then
+    invalid_arg "Topology.create: sockets and cores_per_socket must be positive";
+  { sockets; cores_per_socket }
+
+let opteron_48 = create ~sockets:8 ~cores_per_socket:6
+let opteron_8 = create ~sockets:4 ~cores_per_socket:2
+let single_socket n = create ~sockets:1 ~cores_per_socket:n
+
+let n_cores t = t.sockets * t.cores_per_socket
+let n_sockets t = t.sockets
+
+let socket_of t core =
+  if core < 0 || core >= n_cores t then
+    invalid_arg (Printf.sprintf "Topology.socket_of: core %d out of range" core);
+  core / t.cores_per_socket
+
+let same_socket t a b = socket_of t a = socket_of t b
+
+let pp fmt t =
+  Format.fprintf fmt "%dx%d (%d cores)" t.sockets t.cores_per_socket (n_cores t)

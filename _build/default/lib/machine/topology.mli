@@ -1,0 +1,42 @@
+(** Many-core machine topology.
+
+    Models the non-uniform communication structure of Figure 1 in the
+    paper: cores on the same socket share a last-level cache and
+    communicate faster than cores on different sockets, which must cross
+    the interconnect. *)
+
+type t
+(** A topology: a number of sockets, each with the same core count. *)
+
+val create : sockets:int -> cores_per_socket:int -> t
+(** [create ~sockets ~cores_per_socket] is a machine with
+    [sockets * cores_per_socket] cores, numbered [0 ..] socket by
+    socket. Both arguments must be positive. *)
+
+val opteron_48 : t
+(** The paper's main evaluation machine: eight six-core AMD Opteron
+    processors, 48 cores. *)
+
+val opteron_8 : t
+(** The paper's fault-injection machine (Section 2.2 and Figure 11):
+    four dual-core AMD Opterons, 8 cores. *)
+
+val single_socket : int -> t
+(** [single_socket n] is a uniform [n]-core machine (one socket). *)
+
+val n_cores : t -> int
+(** [n_cores t] is the total core count. *)
+
+val n_sockets : t -> int
+(** [n_sockets t] is the socket count. *)
+
+val socket_of : t -> int -> int
+(** [socket_of t core] is the socket hosting [core]. Raises
+    [Invalid_argument] if [core] is out of range. *)
+
+val same_socket : t -> int -> int -> bool
+(** [same_socket t a b] is whether cores [a] and [b] share a last-level
+    cache. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] prints a short description such as ["8x6 (48 cores)"]. *)

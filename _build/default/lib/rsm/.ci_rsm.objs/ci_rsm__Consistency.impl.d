@@ -1,0 +1,1 @@
+lib/rsm/consistency.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/rsm/consistency.mli: Format

@@ -1,0 +1,1 @@
+lib/rsm/kv_store.ml: Command Hashtbl List

@@ -1,0 +1,1 @@
+lib/rsm/op_log.mli:

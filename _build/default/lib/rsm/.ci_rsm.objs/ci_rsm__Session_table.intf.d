@@ -1,0 +1,1 @@
+lib/rsm/session_table.mli: Command

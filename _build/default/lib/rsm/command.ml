@@ -1,0 +1,41 @@
+type t =
+  | Put of { key : int; data : int }
+  | Get of { key : int }
+  | Cas of { key : int; expect : int; data : int }
+  | Nop
+
+type result = Done | Found of int option | Swapped of bool
+
+let is_read = function Get _ -> true | Put _ | Cas _ | Nop -> false
+
+let key_of = function
+  | Put { key; _ } | Get { key } | Cas { key; _ } -> Some key
+  | Nop -> None
+
+let equal a b =
+  match a, b with
+  | Put x, Put y -> x.key = y.key && x.data = y.data
+  | Get x, Get y -> x.key = y.key
+  | Cas x, Cas y -> x.key = y.key && x.expect = y.expect && x.data = y.data
+  | Nop, Nop -> true
+  | (Put _ | Get _ | Cas _ | Nop), _ -> false
+
+let equal_result a b =
+  match a, b with
+  | Done, Done -> true
+  | Found x, Found y -> x = y
+  | Swapped x, Swapped y -> x = y
+  | (Done | Found _ | Swapped _), _ -> false
+
+let pp fmt = function
+  | Put { key; data } -> Format.fprintf fmt "put k%d=%d" key data
+  | Get { key } -> Format.fprintf fmt "get k%d" key
+  | Cas { key; expect; data } ->
+    Format.fprintf fmt "cas k%d %d->%d" key expect data
+  | Nop -> Format.pp_print_string fmt "nop"
+
+let pp_result fmt = function
+  | Done -> Format.pp_print_string fmt "done"
+  | Found None -> Format.pp_print_string fmt "found -"
+  | Found (Some v) -> Format.fprintf fmt "found %d" v
+  | Swapped b -> Format.fprintf fmt "swapped %b" b

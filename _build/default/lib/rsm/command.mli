@@ -1,0 +1,38 @@
+(** Commands of the replicated state machine.
+
+    The paper's agreement protocols order opaque client commands; the
+    motivating use is replicated kernel/application state à la
+    Barrelfish (capability tables, configuration). We use a small
+    key-value command language rich enough to exercise ordering bugs
+    (blind writes, reads, compare-and-swap). *)
+
+type t =
+  | Put of { key : int; data : int }  (** Blind write. *)
+  | Get of { key : int }  (** Read. *)
+  | Cas of { key : int; expect : int; data : int }
+      (** Conditional write: succeeds iff the key currently holds
+          [expect]. Order-sensitive, so it catches divergent logs. *)
+  | Nop  (** The paper's no-payload benchmark request. *)
+
+type result =
+  | Done  (** A write (or [Nop]) was applied. *)
+  | Found of int option  (** A read's answer. *)
+  | Swapped of bool  (** Whether a [Cas] succeeded. *)
+
+val is_read : t -> bool
+(** [is_read c] is whether [c] leaves the store unchanged. *)
+
+val key_of : t -> int option
+(** [key_of c] is the datum [c] touches ([None] for [Nop]). *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val equal_result : result -> result -> bool
+(** Structural equality on results. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a command, e.g. [put k3=7]. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** Prints a result. *)

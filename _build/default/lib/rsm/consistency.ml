@@ -1,0 +1,99 @@
+type 'v replica_view = {
+  replica : int;
+  decisions : (int * 'v) list;
+  fingerprint : int;
+  executed_prefix : int;
+}
+
+type violation =
+  | Disagreement of { inst : int; a : int; b : int }
+  | Unproposed of { replica : int; inst : int }
+  | Fingerprint_mismatch of { a : int; b : int; prefix : int }
+  | Lost_ack of { client : int; req_id : int }
+
+type report = {
+  violations : violation list;
+  checked_instances : int;
+  checked_replicas : int;
+}
+
+let ok r = r.violations = []
+
+let check ~equal ~proposed ~acked ~key_of views =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Agreement: first decider of an instance sets the reference. *)
+  let reference : (int, int * 'v) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun view ->
+      List.iter
+        (fun (inst, v) ->
+          match Hashtbl.find_opt reference inst with
+          | None -> Hashtbl.add reference inst (view.replica, v)
+          | Some (owner, v0) ->
+            if not (equal v0 v) then
+              add (Disagreement { inst; a = owner; b = view.replica }))
+        view.decisions)
+    views;
+  (* Non-triviality. *)
+  List.iter
+    (fun view ->
+      List.iter
+        (fun (inst, v) ->
+          if not (proposed v) then add (Unproposed { replica = view.replica; inst }))
+        view.decisions)
+    views;
+  (* State convergence among replicas with equal executed prefixes. *)
+  let by_prefix = Hashtbl.create 16 in
+  List.iter
+    (fun view ->
+      match Hashtbl.find_opt by_prefix view.executed_prefix with
+      | None -> Hashtbl.add by_prefix view.executed_prefix view
+      | Some other ->
+        if other.fingerprint <> view.fingerprint then
+          add
+            (Fingerprint_mismatch
+               { a = other.replica; b = view.replica; prefix = view.executed_prefix }))
+    views;
+  (* Session integrity: every acked request was learned somewhere. *)
+  let learned_keys = Hashtbl.create 1024 in
+  List.iter
+    (fun view ->
+      List.iter
+        (fun (_, v) -> Hashtbl.replace learned_keys (key_of v) ())
+        view.decisions)
+    views;
+  List.iter
+    (fun (client, req_id) ->
+      if not (Hashtbl.mem learned_keys (client, req_id)) then
+        add (Lost_ack { client; req_id }))
+    acked;
+  {
+    violations = List.rev !violations;
+    checked_instances = Hashtbl.length reference;
+    checked_replicas = List.length views;
+  }
+
+let pp_violation fmt = function
+  | Disagreement { inst; a; b } ->
+    Format.fprintf fmt "disagreement at instance %d between replicas %d and %d"
+      inst a b
+  | Unproposed { replica; inst } ->
+    Format.fprintf fmt "replica %d learned an unproposed value at instance %d"
+      replica inst
+  | Fingerprint_mismatch { a; b; prefix } ->
+    Format.fprintf fmt
+      "replicas %d and %d diverge in state after executing %d instances" a b
+      prefix
+  | Lost_ack { client; req_id } ->
+    Format.fprintf fmt "client %d request %d was acknowledged but never learned"
+      client req_id
+
+let pp fmt r =
+  if ok r then
+    Format.fprintf fmt "consistent (%d instances across %d replicas)"
+      r.checked_instances r.checked_replicas
+  else begin
+    Format.fprintf fmt "%d violation(s):@." (List.length r.violations);
+    List.iter (fun v -> Format.fprintf fmt "  - %a@." pp_violation v) r.violations
+  end

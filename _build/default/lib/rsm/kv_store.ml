@@ -1,0 +1,28 @@
+type t = (int, int) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let apply t (c : Command.t) : Command.result =
+  match c with
+  | Put { key; data } ->
+    Hashtbl.replace t key data;
+    Done
+  | Get { key } -> Found (Hashtbl.find_opt t key)
+  | Cas { key; expect; data } ->
+    (match Hashtbl.find_opt t key with
+     | Some v when v = expect ->
+       Hashtbl.replace t key data;
+       Swapped true
+     | Some _ | None -> Swapped false)
+  | Nop -> Done
+
+let get t key = Hashtbl.find_opt t key
+
+let size t = Hashtbl.length t
+
+let fingerprint t =
+  Hashtbl.fold (fun k v acc -> acc lxor Hashtbl.hash (k, v, 0x9e3779b9)) t 0
+
+let snapshot t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

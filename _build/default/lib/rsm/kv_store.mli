@@ -1,0 +1,25 @@
+(** The replicated application state: an integer key-value store. *)
+
+type t
+(** A mutable store. *)
+
+val create : unit -> t
+(** [create ()] is an empty store. *)
+
+val apply : t -> Command.t -> Command.result
+(** [apply t c] executes [c] against the store and returns its
+    result. *)
+
+val get : t -> int -> int option
+(** [get t key] is a direct read (used for relaxed local reads). *)
+
+val size : t -> int
+(** [size t] is the number of live keys. *)
+
+val fingerprint : t -> int
+(** [fingerprint t] is an order-insensitive hash of the store contents;
+    two replicas that applied the same command sequence have equal
+    fingerprints. *)
+
+val snapshot : t -> (int * int) list
+(** [snapshot t] is the contents sorted by key. *)

@@ -1,0 +1,55 @@
+type 'v t = {
+  equal : 'v -> 'v -> bool;
+  table : (int, 'v) Hashtbl.t;
+  mutable gap : int; (* smallest possibly-undecided instance *)
+  mutable highest : int option;
+  mutable bad : (int * 'v * 'v) list;
+}
+
+let create ?(equal = ( = )) () =
+  { equal; table = Hashtbl.create 256; gap = 0; highest = None; bad = [] }
+
+let advance_gap t =
+  while Hashtbl.mem t.table t.gap do
+    t.gap <- t.gap + 1
+  done
+
+let decide t ~inst v =
+  if inst < 0 then invalid_arg "Op_log.decide: negative instance";
+  match Hashtbl.find_opt t.table inst with
+  | Some prev ->
+    if t.equal prev v then `Duplicate
+    else begin
+      t.bad <- (inst, prev, v) :: t.bad;
+      `Conflict prev
+    end
+  | None ->
+    Hashtbl.add t.table inst v;
+    (match t.highest with
+     | Some h when h >= inst -> ()
+     | Some _ | None -> t.highest <- Some inst);
+    if inst = t.gap then advance_gap t;
+    `New
+
+let get t ~inst = Hashtbl.find_opt t.table inst
+let is_decided t ~inst = Hashtbl.mem t.table inst
+let first_gap t = t.gap
+let highest_decided t = t.highest
+let decided_count t = Hashtbl.length t.table
+let conflicts t = List.rev t.bad
+
+let to_list t =
+  Hashtbl.fold (fun i v acc -> (i, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let iter_prefix t ~from_ f =
+  let i = ref from_ in
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.table !i with
+    | Some v ->
+      f !i v;
+      incr i
+    | None -> continue := false
+  done;
+  !i

@@ -1,0 +1,13 @@
+type t = (int * int, Command.result) Hashtbl.t
+
+let create () = Hashtbl.create 256
+
+let find t ~client ~req_id = Hashtbl.find_opt t (client, req_id)
+
+let record t ~client ~req_id r =
+  assert (not (Hashtbl.mem t (client, req_id)));
+  Hashtbl.add t (client, req_id) r
+
+let executed t ~client ~req_id = Hashtbl.mem t (client, req_id)
+
+let size t = Hashtbl.length t

@@ -1,0 +1,41 @@
+type t = { slots : int array; mutable n : int }
+
+let n_slots = 63
+
+let create () = { slots = Array.make n_slots 0; n = 0 }
+
+let slot_of sample =
+  if sample <= 0 then 0
+  else
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+    min (n_slots - 1) (go sample 0)
+
+let add t sample =
+  if sample < 0 then invalid_arg "Histogram.add: negative sample";
+  let s = slot_of sample in
+  t.slots.(s) <- t.slots.(s) + 1;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let bounds slot =
+  if slot = 0 then (0, 1) else (1 lsl (slot - 1), 1 lsl slot)
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_slots - 1 downto 0 do
+    if t.slots.(i) > 0 then begin
+      let lo, hi = bounds i in
+      acc := (lo, hi, t.slots.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let pp fmt t =
+  let bs = buckets t in
+  let maxc = List.fold_left (fun m (_, _, c) -> max m c) 1 bs in
+  List.iter
+    (fun (lo, hi, c) ->
+      let bar = String.make (max 1 (c * 40 / maxc)) '#' in
+      Format.fprintf fmt "%10d..%-10d %8d %s@." lo hi c bar)
+    bs

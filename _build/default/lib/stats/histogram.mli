@@ -1,0 +1,23 @@
+(** Logarithmic latency histogram.
+
+    Power-of-two buckets over nanosecond samples; cheap to fill during a
+    run and compact to print. *)
+
+type t
+(** A mutable histogram. *)
+
+val create : unit -> t
+(** [create ()] is an empty histogram. *)
+
+val add : t -> int -> unit
+(** [add t sample] records a non-negative sample. *)
+
+val count : t -> int
+(** [count t] is the number of recorded samples. *)
+
+val buckets : t -> (int * int * int) list
+(** [buckets t] is the non-empty buckets as [(lo, hi, count)] with
+    [lo <= sample < hi], in increasing order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints one line per non-empty bucket with a proportional bar. *)

@@ -1,0 +1,30 @@
+type t = {
+  bucket : int;
+  tbl : (int, int ref) Hashtbl.t;
+  mutable n : int;
+}
+
+let create ~bucket =
+  if bucket <= 0 then invalid_arg "Timeseries.create: bucket must be positive";
+  { bucket; tbl = Hashtbl.create 256; n = 0 }
+
+let add t ~time =
+  if time < 0 then invalid_arg "Timeseries.add: negative time";
+  let idx = time / t.bucket in
+  (match Hashtbl.find_opt t.tbl idx with
+   | Some r -> incr r
+   | None -> Hashtbl.add t.tbl idx (ref 1));
+  t.n <- t.n + 1
+
+let bucket_width t = t.bucket
+
+let counts t ~upto =
+  let n_buckets = (upto + t.bucket - 1) / t.bucket in
+  Array.init n_buckets (fun i ->
+      match Hashtbl.find_opt t.tbl i with Some r -> !r | None -> 0)
+
+let rates_per_sec t ~upto =
+  let scale = 1e9 /. float_of_int t.bucket in
+  Array.map (fun c -> float_of_int c *. scale) (counts t ~upto)
+
+let total t = t.n

@@ -1,0 +1,27 @@
+(** Fixed-width time-bucketed event counter.
+
+    Used to plot throughput over time (Figure 11: commits per 10 ms
+    bucket while a leader is slowed and replaced). *)
+
+type t
+(** A mutable bucketed counter. *)
+
+val create : bucket:int -> t
+(** [create ~bucket] counts events into consecutive windows of [bucket]
+    nanoseconds starting at time 0. [bucket] must be positive. *)
+
+val add : t -> time:int -> unit
+(** [add t ~time] counts one event at [time] (>= 0). *)
+
+val bucket_width : t -> int
+(** [bucket_width t] is the configured width. *)
+
+val counts : t -> upto:int -> int array
+(** [counts t ~upto] is the per-bucket event counts covering time
+    [0 .. upto) (zero-filled where nothing happened). *)
+
+val rates_per_sec : t -> upto:int -> float array
+(** [rates_per_sec t ~upto] is [counts] scaled to events per second. *)
+
+val total : t -> int
+(** [total t] is the number of events recorded. *)

@@ -1,0 +1,1 @@
+lib/workload/client.ml: Array Ci_consensus Ci_engine Ci_machine Ci_rsm List Run_stats

@@ -1,0 +1,1 @@
+lib/workload/client.mli: Ci_consensus Ci_machine Ci_rsm Run_stats

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Array Ci_engine Ci_machine Ci_rsm Ci_stats Fault_plan Float Format List Printf Runner

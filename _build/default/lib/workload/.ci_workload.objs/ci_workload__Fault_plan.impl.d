@@ -1,0 +1,1 @@
+lib/workload/fault_plan.ml: Ci_engine Ci_machine Format

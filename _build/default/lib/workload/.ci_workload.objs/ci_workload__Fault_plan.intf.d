@@ -1,0 +1,1 @@
+lib/workload/fault_plan.mli: Ci_machine Format

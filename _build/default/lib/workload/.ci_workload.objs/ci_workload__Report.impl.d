@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Buffer Experiments Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/workload/run_stats.ml: Array Ci_stats List

@@ -1,0 +1,1 @@
+lib/workload/run_stats.mli: Ci_stats

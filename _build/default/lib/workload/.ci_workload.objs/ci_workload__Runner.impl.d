@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Ci_consensus Ci_engine Ci_machine Ci_rsm Ci_stats Client Fault_plan Format Hashtbl List Run_stats

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Ci_machine Ci_rsm Ci_stats Fault_plan Format

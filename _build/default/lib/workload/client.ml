@@ -1,0 +1,129 @@
+module Wire = Ci_consensus.Wire
+module Machine = Ci_machine.Machine
+module Rng = Ci_engine.Rng
+module Command = Ci_rsm.Command
+
+type policy = {
+  targets : int array;
+  primary : int;
+  failover : bool;
+  timeout : int;
+  think : int;
+  read_ratio : float;
+  relaxed_reads : bool;
+  read_own_node : bool;
+  key_space : int;
+  max_requests : int option;
+}
+
+let default_policy ~targets =
+  {
+    targets;
+    primary = 0;
+    failover = true;
+    timeout = Ci_engine.Sim_time.ms 2;
+    think = 0;
+    read_ratio = 0.;
+    relaxed_reads = false;
+    read_own_node = false;
+    key_space = 64;
+    max_requests = None;
+  }
+
+type t = {
+  node : Wire.t Machine.node;
+  policy : policy;
+  stats : Run_stats.t;
+  rng : Rng.t;
+  mutable target_idx : int;
+  mutable next_req : int;
+  mutable current : (int * Command.t * int) option; (* req_id, cmd, first sent *)
+  mutable attempt : int; (* distinguishes timeout timers *)
+  mutable done_count : int;
+  mutable retry_count : int;
+  mutable log : (int * Command.t) list;
+  mutable acked : (int * int) list;
+}
+
+let now t = Machine.now (Machine.machine_of t.node)
+
+let pick_command t =
+  if Rng.chance t.rng t.policy.read_ratio then
+    Command.Get { key = Rng.int t.rng t.policy.key_space }
+  else
+    Command.Put
+      { key = Rng.int t.rng t.policy.key_space; data = Rng.int t.rng 1_000_000 }
+
+let target_for t cmd =
+  if t.policy.read_own_node && Command.is_read cmd then Machine.node_id t.node
+  else t.policy.targets.(t.target_idx)
+
+let rec transmit t ~req_id ~cmd =
+  let dst = target_for t cmd in
+  Machine.send t.node ~dst
+    (Wire.Request { req_id; cmd; relaxed_read = t.policy.relaxed_reads });
+  t.attempt <- t.attempt + 1;
+  let this_attempt = t.attempt in
+  Machine.after t.node ~delay:t.policy.timeout (fun () ->
+      match t.current with
+      | Some (r, c, _) when r = req_id && this_attempt = t.attempt ->
+        t.retry_count <- t.retry_count + 1;
+        if t.policy.failover then
+          t.target_idx <- (t.target_idx + 1) mod Array.length t.policy.targets;
+        transmit t ~req_id:r ~cmd:c
+      | Some _ | None -> ())
+
+let issue t =
+  let limit_reached =
+    match t.policy.max_requests with Some m -> t.done_count >= m | None -> false
+  in
+  if not limit_reached then begin
+    let req_id = t.next_req in
+    t.next_req <- t.next_req + 1;
+    let cmd = pick_command t in
+    t.log <- (req_id, cmd) :: t.log;
+    t.current <- Some (req_id, cmd, now t);
+    transmit t ~req_id ~cmd
+  end
+
+let start t = issue t
+
+let handle t ~src:_ msg =
+  match msg with
+  | Wire.Reply { req_id; result = _ } ->
+    (match t.current with
+     | Some (r, cmd, sent_at) when r = req_id ->
+       t.current <- None;
+       t.done_count <- t.done_count + 1;
+       Run_stats.record t.stats ~sent_at ~replied_at:(now t);
+       if not (Command.is_read cmd) then
+         t.acked <- (Machine.node_id t.node, req_id) :: t.acked;
+       if t.policy.think > 0 then
+         Machine.after t.node ~delay:t.policy.think (fun () -> issue t)
+       else issue t
+     | Some _ | None -> () (* stale duplicate reply *))
+  | _ -> () (* clients only consume replies *)
+
+let node_id t = Machine.node_id t.node
+let completed t = t.done_count
+let retries t = t.retry_count
+let issued t = List.rev t.log
+let acked_writes t = List.rev t.acked
+
+let create ~node ~policy ~stats =
+  if Array.length policy.targets = 0 then
+    invalid_arg "Client.create: empty target list";
+  {
+    node;
+    policy;
+    stats;
+    rng = Rng.split (Machine.rng (Machine.machine_of node));
+    target_idx = policy.primary mod Array.length policy.targets;
+    next_req = 0;
+    current = None;
+    attempt = 0;
+    done_count = 0;
+    retry_count = 0;
+    log = [];
+    acked = [];
+  }

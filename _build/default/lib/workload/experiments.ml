@@ -1,0 +1,450 @@
+module Machine = Ci_machine.Machine
+module Topology = Ci_machine.Topology
+module Net_params = Ci_machine.Net_params
+module Sim_time = Ci_engine.Sim_time
+
+(* ----- E1: Section 3 network characteristics --------------------------- *)
+
+type netchar_row = {
+  setting : string;
+  trans_us : float;
+  ping_us : float;
+  prop_us : float;
+  ratio : float;
+}
+
+(* Transmission delay: a sender pushes [k] messages into an effectively
+   unbounded queue; the average core time per send approximates the
+   transmission delay (the paper's first experiment). *)
+let measure_trans ?(peer_core = 1) ~params ~topology k =
+  let raw = { (Net_params.raw_channel params) with Net_params.queue_slots = k + 1 } in
+  let m : int Machine.t = Machine.create ~topology ~params:raw () in
+  let a = Machine.add_node m ~core:0 and b = Machine.add_node m ~core:peer_core in
+  Machine.set_handler b (fun ~src:_ _ -> ());
+  for i = 1 to k do
+    Machine.send a ~dst:(Machine.node_id b) i
+  done;
+  Machine.run m;
+  let busy = Ci_machine.Cpu.busy_total (Machine.cpu m ~core:0) in
+  float_of_int busy /. float_of_int k /. 1000.
+
+(* Propagation delay: with a single-slot queue the sender stalls until
+   the head pointer comes back, so consecutive sends are spaced by
+   2*trans + 2*prop (the paper's second experiment). *)
+let measure_ping ?(peer_core = 1) ~params ~topology k =
+  let raw = { (Net_params.raw_channel params) with Net_params.queue_slots = 1 } in
+  let m : int Machine.t = Machine.create ~topology ~params:raw () in
+  let a = Machine.add_node m ~core:0 and b = Machine.add_node m ~core:peer_core in
+  let received = ref 0 and last = ref 0 in
+  Machine.set_handler b (fun ~src:_ _ ->
+      incr received;
+      last := Machine.now m);
+  for i = 1 to k do
+    Machine.send a ~dst:(Machine.node_id b) i
+  done;
+  Machine.run m;
+  assert (!received = k);
+  float_of_int !last /. float_of_int k /. 1000.
+
+let netchar () =
+  let k = 1000 in
+  let row setting ?peer_core params topology =
+    let trans_us = measure_trans ?peer_core ~params ~topology k in
+    let ping_us = measure_ping ?peer_core ~params ~topology k in
+    let prop_us = Float.max 0. ((ping_us -. (2. *. trans_us)) /. 2.) in
+    let ratio = if prop_us > 0. then trans_us /. prop_us else infinity in
+    { setting; trans_us; ping_us; prop_us; ratio }
+  in
+  [
+    (* Cores 0 and 1 share the 48-core machine's first socket; core 6
+       sits on the next one — Figure 1's non-uniformity. *)
+    row "mc-shared-llc" Net_params.multicore Topology.opteron_48;
+    row "mc-cross-socket" ~peer_core:6 Net_params.multicore Topology.opteron_48;
+    row "lan" Net_params.lan (Topology.create ~sockets:2 ~cores_per_socket:1);
+  ]
+
+(* ----- generic sweeps ---------------------------------------------------- *)
+
+type point = { x : int; throughput : float; latency_us : float }
+type series = { label : string; points : point list }
+
+let point_of_result x (r : Runner.result) =
+  { x; throughput = r.Runner.throughput; latency_us = r.Runner.latency.Ci_stats.Summary.mean /. 1000. }
+
+let guard_consistent context (r : Runner.result) =
+  if not (Ci_rsm.Consistency.ok r.Runner.consistency) then
+    Format.kasprintf failwith "%s: consistency violated: %a" context
+      Ci_rsm.Consistency.pp r.Runner.consistency
+
+let sweep ~label ~make_spec xs : series =
+  let points =
+    List.map
+      (fun x ->
+        let r = Runner.run (make_spec x) in
+        guard_consistent label r;
+        point_of_result x r)
+      xs
+  in
+  { label; points }
+
+(* ----- E2: Figure 2 ------------------------------------------------------ *)
+
+let lan_topology n = Topology.create ~sockets:n ~cores_per_socket:1
+
+let fig2 ?(clients = [ 1; 2; 3; 5; 10; 20; 35; 50; 75; 100 ]) ?duration () =
+  let multicore_clients = List.filter (fun c -> c <= 45) clients in
+  let mc =
+    sweep ~label:"Multi-Paxos multicore"
+      ~make_spec:(fun c ->
+        let s =
+          Runner.default_spec ~protocol:Runner.Multipaxos
+            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+        in
+        match duration with Some d -> { s with Runner.duration = d } | None -> s)
+      multicore_clients
+  in
+  let lan =
+    sweep ~label:"Multi-Paxos LAN"
+      ~make_spec:(fun c ->
+        let s =
+          Runner.default_spec ~protocol:Runner.Multipaxos
+            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+        in
+        {
+          s with
+          Runner.topology = lan_topology (c + 4);
+          params = Net_params.lan_wide;
+          duration = (match duration with Some d -> d * 10 | None -> Sim_time.ms 500);
+          warmup = Sim_time.ms 50;
+          drain = Sim_time.ms 50;
+          timeout = Sim_time.ms 40;
+        })
+      clients
+  in
+  [ mc; lan ]
+
+(* ----- E4: Section 7.2 latency table ------------------------------------- *)
+
+type latency_row = {
+  protocol : string;
+  latency_us : float;
+  paper_latency_us : float;
+  throughput_1c : float;
+}
+
+let latency_table ?duration () =
+  let one proto paper_latency_us =
+    let s =
+      Runner.default_spec ~protocol:proto
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 1 })
+    in
+    let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
+    let r = Runner.run s in
+    guard_consistent "latency_table" r;
+    {
+      protocol = Runner.protocol_name proto;
+      latency_us = r.Runner.latency.Ci_stats.Summary.mean /. 1000.;
+      paper_latency_us;
+      throughput_1c = r.Runner.throughput;
+    }
+  in
+  [
+    one Runner.Onepaxos 16.0;
+    one Runner.Multipaxos 19.6;
+    one Runner.Twopc 21.4;
+  ]
+
+(* ----- E5: Figure 8 ------------------------------------------------------- *)
+
+let fig8 ?(clients = [ 1; 2; 3; 5; 7; 10; 13; 17; 21; 26; 31; 38; 45 ]) ?duration () =
+  let proto_sweep proto =
+    sweep
+      ~label:(Runner.protocol_name proto)
+      ~make_spec:(fun c ->
+        let s =
+          Runner.default_spec ~protocol:proto
+            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+        in
+        match duration with Some d -> { s with Runner.duration = d } | None -> s)
+      clients
+  in
+  [ proto_sweep Runner.Twopc; proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+
+(* ----- E6: Figure 9 (joint deployment) ------------------------------------ *)
+
+let fig9 ?(nodes = [ 3; 5; 9; 13; 17; 21; 25; 29; 35; 41; 47 ]) ?duration () =
+  let proto_sweep proto =
+    sweep
+      ~label:(Runner.protocol_name proto ^ "-joint")
+      ~make_spec:(fun n ->
+        let s =
+          Runner.default_spec ~protocol:proto ~placement:(Runner.Joint { n_nodes = n })
+        in
+        {
+          s with
+          Runner.think = Sim_time.ms 2;
+          duration = (match duration with Some d -> d | None -> Sim_time.ms 200);
+          warmup = Sim_time.ms 20;
+          timeout = Sim_time.ms 8;
+        })
+      nodes
+  in
+  [ proto_sweep Runner.Twopc; proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+
+(* ----- E7: Figure 10 (read workload) --------------------------------------- *)
+
+type bar = { label : string; clients : int; throughput : float }
+
+let fig10 ?duration () =
+  let dur = match duration with Some d -> d | None -> Sim_time.ms 50 in
+  let run_bar label spec =
+    let r = Runner.run spec in
+    guard_consistent label r;
+    r.Runner.throughput
+  in
+  let onepaxos c =
+    let s =
+      Runner.default_spec ~protocol:Runner.Onepaxos
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+    in
+    { s with Runner.duration = dur }
+  in
+  let twopc_joint c ratio =
+    let s =
+      Runner.default_spec ~protocol:Runner.Twopc ~placement:(Runner.Joint { n_nodes = c })
+    in
+    { s with Runner.duration = dur; read_ratio = ratio; local_reads = true }
+  in
+  List.concat_map
+    (fun c ->
+      [
+        { label = "1Paxos - 0% read"; clients = c; throughput = run_bar "fig10" (onepaxos c) };
+        {
+          label = "2PC-Joint - 0% read";
+          clients = c;
+          throughput = run_bar "fig10" (twopc_joint c 0.0);
+        };
+        {
+          label = "2PC-Joint - 10% read";
+          clients = c;
+          throughput = run_bar "fig10" (twopc_joint c 0.10);
+        };
+        {
+          label = "2PC-Joint - 75% read";
+          clients = c;
+          throughput = run_bar "fig10" (twopc_joint c 0.75);
+        };
+      ])
+    [ 3; 5 ]
+
+(* ----- E3/E8: slow-leader timelines ----------------------------------------- *)
+
+type timeline = {
+  label : string;
+  bucket_ms : float;
+  rates : float array;
+  leader_changes : int;
+  acceptor_changes : int;
+}
+
+let slow_leader_spec proto ~dur ~fault =
+  let s =
+    Runner.default_spec ~protocol:proto
+      ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 5 })
+  in
+  {
+    s with
+    Runner.topology = Topology.opteron_8;
+    duration = dur;
+    warmup = Sim_time.ms 10;
+    drain = Sim_time.ms 10;
+    bucket = Sim_time.ms 10;
+    faults =
+      (if fault then
+         [
+           Fault_plan.Slow_core
+             {
+               core = 0;
+               from_ = Sim_time.ms 40;
+               until_ = dur + Sim_time.ms 20;
+               factor = 60.;
+             };
+         ]
+       else []);
+  }
+
+let slow_leader_timeline proto label ~dur ~fault =
+  let r = Runner.run (slow_leader_spec proto ~dur ~fault) in
+  guard_consistent label r;
+  {
+    label;
+    bucket_ms = 10.;
+    rates = r.Runner.timeline;
+    leader_changes = r.Runner.leader_changes;
+    acceptor_changes = r.Runner.acceptor_changes;
+  }
+
+let fig11 ?duration () =
+  let dur = match duration with Some d -> d | None -> Sim_time.ms 150 in
+  [
+    slow_leader_timeline Runner.Onepaxos "1Paxos - slow leader" ~dur ~fault:true;
+    slow_leader_timeline Runner.Onepaxos "1Paxos - no failure" ~dur ~fault:false;
+  ]
+
+let sec2_2 ?duration () =
+  let dur = match duration with Some d -> d | None -> Sim_time.ms 150 in
+  [
+    slow_leader_timeline Runner.Twopc "2PC - slow leader" ~dur ~fault:true;
+    slow_leader_timeline Runner.Twopc "2PC - no failure" ~dur ~fault:false;
+  ]
+
+(* ----- E9: 1Paxos over an IP network ----------------------------------------- *)
+
+let lan_1paxos ?(clients = [ 1; 2; 5; 10; 20; 40; 60 ]) ?duration () =
+  let proto_sweep proto =
+    sweep
+      ~label:(Runner.protocol_name proto ^ " LAN")
+      ~make_spec:(fun c ->
+        let s =
+          Runner.default_spec ~protocol:proto
+            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+        in
+        {
+          s with
+          Runner.topology = lan_topology (c + 4);
+          params = Net_params.lan;
+          duration = (match duration with Some d -> d | None -> Sim_time.ms 300);
+          warmup = Sim_time.ms 30;
+          drain = Sim_time.ms 30;
+          timeout = Sim_time.ms 20;
+        })
+      clients
+  in
+  [ proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+
+(* ----- ablations --------------------------------------------------------------- *)
+
+let ablation_placement ?duration () =
+  let dur = match duration with Some d -> d | None -> Sim_time.ms 120 in
+  let run_case label colocate =
+    let s = slow_leader_spec Runner.Onepaxos ~dur ~fault:true in
+    (* Measure from fault onset: how much work completes while the
+       leader core is starved, given the acceptor placement. *)
+    let s =
+      { s with Runner.warmup = Sim_time.ms 40; colocate_acceptor = colocate }
+    in
+    let r = Runner.run s in
+    guard_consistent label r;
+    ({ label; points = [ point_of_result (if colocate then 1 else 0) r ] } : series)
+  in
+  [ run_case "acceptor colocated with leader" true;
+    run_case "acceptor on separate node" false ]
+
+let ablation_slots ?duration () =
+  let clients = [ 1; 5; 13; 30 ] in
+  List.map
+    (fun slots ->
+      sweep
+        ~label:(Printf.sprintf "1Paxos, %d queue slot(s)" slots)
+        ~make_spec:(fun c ->
+          let s =
+            Runner.default_spec ~protocol:Runner.Onepaxos
+              ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+          in
+          let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
+          { s with Runner.params = { s.Runner.params with Net_params.queue_slots = slots } })
+        clients)
+    [ 1; 7; 64 ]
+
+let ablation_ratio ?duration () =
+  let props_us = [ 1; 5; 20; 135 ] in
+  let proto_sweep proto =
+    sweep
+      ~label:(Runner.protocol_name proto)
+      ~make_spec:(fun prop_us ->
+        let s =
+          Runner.default_spec ~protocol:proto
+            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 13 })
+        in
+        let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
+        {
+          s with
+          Runner.params =
+            {
+              s.Runner.params with
+              Net_params.prop_intra = Sim_time.us prop_us;
+              prop_inter = Sim_time.us prop_us;
+            };
+          timeout = Sim_time.ms 20;
+        })
+      props_us
+  in
+  [ proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+
+let protocol_comparison ?duration ?(params = Net_params.multicore) () =
+  let clients = [ 1; 3; 8; 13; 21; 34 ] in
+  let proto_sweep proto =
+    sweep
+      ~label:(Runner.protocol_name proto)
+      ~make_spec:(fun c ->
+        let s =
+          Runner.default_spec ~protocol:proto
+            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+        in
+        let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
+        { s with Runner.params = params })
+      clients
+  in
+  List.map proto_sweep
+    [ Runner.Twopc; Runner.Multipaxos; Runner.Mencius; Runner.Cheappaxos; Runner.Onepaxos ]
+
+(* ----- rendering ------------------------------------------------------------------ *)
+
+let pp_netchar fmt rows =
+  Format.fprintf fmt "%-10s %10s %10s %10s %12s@." "setting" "trans(us)"
+    "ping(us)" "prop(us)" "trans/prop";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-10s %10.2f %10.2f %10.2f %12.3f@." r.setting
+        r.trans_us r.ping_us r.prop_us r.ratio)
+    rows
+
+let pp_series fmt series =
+  List.iter
+    (fun (s : series) ->
+      Format.fprintf fmt "-- %s@." s.label;
+      Format.fprintf fmt "   %6s %14s %14s@." "x" "op/s" "latency(us)";
+      List.iter
+        (fun p ->
+          Format.fprintf fmt "   %6d %14.0f %14.1f@." p.x p.throughput p.latency_us)
+        s.points)
+    series
+
+let pp_latency_table fmt rows =
+  Format.fprintf fmt "%-12s %14s %16s %14s@." "protocol" "latency(us)"
+    "paper(us)" "1-client op/s";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-12s %14.1f %16.1f %14.0f@." r.protocol r.latency_us
+        r.paper_latency_us r.throughput_1c)
+    rows
+
+let pp_bars fmt bars =
+  Format.fprintf fmt "%-22s %8s %14s@." "configuration" "clients" "op/s";
+  List.iter
+    (fun (b : bar) -> Format.fprintf fmt "%-22s %8d %14.0f@." b.label b.clients b.throughput)
+    bars
+
+let pp_timelines fmt ts =
+  List.iter
+    (fun (t : timeline) ->
+      Format.fprintf fmt "-- %s (leader changes %d, acceptor changes %d)@."
+        t.label t.leader_changes t.acceptor_changes;
+      Format.fprintf fmt "   t(ms):  ";
+      Array.iteri
+        (fun i _ -> Format.fprintf fmt "%6.0f" (float_of_int i *. t.bucket_ms))
+        t.rates;
+      Format.fprintf fmt "@.   kop/s:  ";
+      Array.iter (fun r -> Format.fprintf fmt "%6.1f" (r /. 1000.)) t.rates;
+      Format.fprintf fmt "@.")
+    ts

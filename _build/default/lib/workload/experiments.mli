@@ -1,0 +1,116 @@
+(** Per-figure experiment drivers.
+
+    One function per table/figure of the paper's evaluation (and per
+    ablation this reproduction adds); each returns plain data so the
+    benchmark harness, the CLI and the test suite can share them. The
+    mapping to the paper is indexed in DESIGN.md (E1–E9, A1–A3) and the
+    measured-vs-paper comparison lives in EXPERIMENTS.md. *)
+
+(** {1 E1 — Section 3: network characteristics} *)
+
+type netchar_row = {
+  setting : string;  (** "multicore" or "lan". *)
+  trans_us : float;  (** Measured transmission delay. *)
+  ping_us : float;  (** One-slot-queue inter-send latency (≃ 2t+2p). *)
+  prop_us : float;  (** Propagation derived as (ping − 2·trans)/2. *)
+  ratio : float;  (** trans/prop. *)
+}
+
+val netchar : unit -> netchar_row list
+(** Reproduces the Section 3 micro-experiments on the raw channel. *)
+
+(** {1 Generic sweep row} *)
+
+type point = {
+  x : int;  (** Sweep coordinate (clients or replicas). *)
+  throughput : float;  (** op/s. *)
+  latency_us : float;  (** Mean commit latency. *)
+}
+
+type series = { label : string; points : point list }
+
+(** {1 E2 — Figure 2: Multi-Paxos, LAN vs multicore} *)
+
+val fig2 : ?clients:int list -> ?duration:int -> unit -> series list
+
+(** {1 E4 — Section 7.2: single-client latency table} *)
+
+type latency_row = {
+  protocol : string;
+  latency_us : float;
+  paper_latency_us : float;  (** The value the paper reports. *)
+  throughput_1c : float;
+}
+
+val latency_table : ?duration:int -> unit -> latency_row list
+
+(** {1 E5 — Figure 8: latency vs throughput, 1..45 clients} *)
+
+val fig8 : ?clients:int list -> ?duration:int -> unit -> series list
+
+(** {1 E6 — Figure 9: joint deployment, throughput vs replicas} *)
+
+val fig9 : ?nodes:int list -> ?duration:int -> unit -> series list
+
+(** {1 E7 — Figure 10: 2PC-Joint read mixes vs 1Paxos} *)
+
+type bar = { label : string; clients : int; throughput : float }
+
+val fig10 : ?duration:int -> unit -> bar list
+
+(** {1 E3/E8 — slow-leader timelines (Section 2.2 / Figure 11)} *)
+
+type timeline = {
+  label : string;
+  bucket_ms : float;
+  rates : float array;  (** op/s per bucket. *)
+  leader_changes : int;
+  acceptor_changes : int;
+}
+
+val fig11 : ?duration:int -> unit -> timeline list
+(** 1Paxos with a slowed leader, plus the no-failure baseline
+    (Figure 11). *)
+
+val sec2_2 : ?duration:int -> unit -> timeline list
+(** 2PC with a slowed coordinator (the Section 2.2 experiment). *)
+
+(** {1 E9 — Section 8: 1Paxos over an IP network} *)
+
+val lan_1paxos : ?clients:int list -> ?duration:int -> unit -> series list
+
+(** {1 A1..A3 — ablations} *)
+
+val ablation_placement : ?duration:int -> unit -> series list
+(** 1Paxos with the active acceptor colocated with the leader vs on a
+    separate node (Section 5.4's placement rule), under a leader
+    slowdown: colocation couples the two failure domains. *)
+
+val ablation_slots : ?duration:int -> unit -> series list
+(** Channel slot count 1 / 7 / 64 (QC-libtask uses 7): back-pressure
+    effect on 1Paxos throughput. *)
+
+val ablation_ratio : ?duration:int -> unit -> series list
+(** 1Paxos vs Multi-Paxos peak throughput while propagation delay grows
+    from multicore (ratio ≈ 1) towards IP-like (ratio ≈ 0.01): the
+    message-count advantage is a transmission-delay phenomenon. *)
+
+(** {1 A4 — related-protocol comparison (Section 8)} *)
+
+val protocol_comparison :
+  ?duration:int -> ?params:Ci_machine.Net_params.t -> unit -> series list
+(** All five implemented protocols (2PC, Multi-Paxos, Mencius, Cheap
+    Paxos, 1Paxos) on the same 3-replica machine and client sweep — the
+    quantitative backdrop to the paper's §8 discussion: Mencius spreads
+    the leader's transmission load, Cheap Paxos cuts the per-agreement
+    message count to six, 1Paxos to five. Pass [params] to rerun the
+    comparison on another network (e.g. {!Ci_machine.Net_params.rdma},
+    the paper's concluding rack-scale outlook). *)
+
+(** {1 Rendering} *)
+
+val pp_netchar : Format.formatter -> netchar_row list -> unit
+val pp_series : Format.formatter -> series list -> unit
+val pp_latency_table : Format.formatter -> latency_row list -> unit
+val pp_bars : Format.formatter -> bar list -> unit
+val pp_timelines : Format.formatter -> timeline list -> unit

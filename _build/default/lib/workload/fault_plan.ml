@@ -1,0 +1,23 @@
+module Machine = Ci_machine.Machine
+module Sim_time = Ci_engine.Sim_time
+
+type t =
+  | Slow_core of { core : int; from_ : int; until_ : int; factor : float }
+  | Crash_core of { core : int; from_ : int; until_ : int }
+
+let paper_slowdown = 9.
+
+let apply fault machine =
+  match fault with
+  | Slow_core { core; from_; until_; factor } ->
+    Machine.slow_core machine ~core ~from_ ~until_ ~factor
+  | Crash_core { core; from_; until_ } ->
+    Machine.slow_core machine ~core ~from_ ~until_ ~factor:infinity
+
+let pp fmt = function
+  | Slow_core { core; from_; until_; factor } ->
+    Format.fprintf fmt "slow core %d x%.1f during [%a, %a]" core factor
+      Sim_time.pp from_ Sim_time.pp until_
+  | Crash_core { core; from_; until_ } ->
+    Format.fprintf fmt "crash core %d during [%a, %a]" core Sim_time.pp from_
+      Sim_time.pp until_

@@ -1,0 +1,23 @@
+(** Fault injection plans.
+
+    The paper's faults are {e slow cores}: a core loaded with competing
+    CPU-bound processes (its Section 2.2 / 7.6 experiments run eight
+    busy-loop scripts on the victim core, roughly a 9× slowdown). A
+    crash is the limit case of an unbounded slowdown. *)
+
+type t =
+  | Slow_core of { core : int; from_ : int; until_ : int; factor : float }
+      (** Multiply the cost of all work on [core] by [factor] during the
+          window. *)
+  | Crash_core of { core : int; from_ : int; until_ : int }
+      (** No progress on [core] during the window. *)
+
+val paper_slowdown : float
+(** The calibrated factor for "8 CPU-intensive processes sharing the
+    core": the victim gets roughly 1/9 of the cycles, so 9. *)
+
+val apply : t -> 'msg Ci_machine.Machine.t -> unit
+(** [apply fault machine] installs the fault on the machine. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the fault description. *)

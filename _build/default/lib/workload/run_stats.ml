@@ -1,0 +1,28 @@
+type sample = { sent_at : int; replied_at : int }
+
+type t = { mutable acc : sample list; ts : Ci_stats.Timeseries.t; mutable n : int }
+
+let create ~bucket = { acc = []; ts = Ci_stats.Timeseries.create ~bucket; n = 0 }
+
+let record t ~sent_at ~replied_at =
+  t.acc <- { sent_at; replied_at } :: t.acc;
+  t.n <- t.n + 1;
+  Ci_stats.Timeseries.add t.ts ~time:replied_at
+
+let samples t = List.rev t.acc
+let timeline t = t.ts
+let completed t = t.n
+
+let latencies_in t ~from_ ~until_ =
+  List.filter_map
+    (fun s ->
+      if s.replied_at >= from_ && s.replied_at < until_ then
+        Some (s.replied_at - s.sent_at)
+      else None)
+    t.acc
+  |> Array.of_list
+
+let completed_in t ~from_ ~until_ =
+  List.fold_left
+    (fun acc s -> if s.replied_at >= from_ && s.replied_at < until_ then acc + 1 else acc)
+    0 t.acc

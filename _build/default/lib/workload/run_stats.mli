@@ -1,0 +1,31 @@
+(** Shared measurement sink for one simulation run. *)
+
+type sample = { sent_at : int; replied_at : int }
+(** One completed request: first transmission and reply instants. *)
+
+type t
+(** A mutable collector shared by all clients of a run. *)
+
+val create : bucket:int -> t
+(** [create ~bucket] is an empty collector; commits are also counted
+    into a time series with the given bucket width (ns). *)
+
+val record : t -> sent_at:int -> replied_at:int -> unit
+(** [record t ~sent_at ~replied_at] logs one completed request. *)
+
+val samples : t -> sample list
+(** [samples t] is every completed request, in completion order. *)
+
+val timeline : t -> Ci_stats.Timeseries.t
+(** [timeline t] is the commit-time series. *)
+
+val completed : t -> int
+(** [completed t] is the number of recorded requests. *)
+
+val latencies_in : t -> from_:int -> until_:int -> int array
+(** [latencies_in t ~from_ ~until_] is the latencies (ns) of requests
+    completed within the window. *)
+
+val completed_in : t -> from_:int -> until_:int -> int
+(** [completed_in t ~from_ ~until_] counts requests completed within the
+    window. *)

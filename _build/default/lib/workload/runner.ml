@@ -1,0 +1,318 @@
+module Machine = Ci_machine.Machine
+module Topology = Ci_machine.Topology
+module Net_params = Ci_machine.Net_params
+module Sim_time = Ci_engine.Sim_time
+module Command = Ci_rsm.Command
+module Consistency = Ci_rsm.Consistency
+module Onepaxos = Ci_consensus.Onepaxos
+module Multipaxos = Ci_consensus.Multipaxos
+module Twopc = Ci_consensus.Twopc
+module Replica_core = Ci_consensus.Replica_core
+module Wire = Ci_consensus.Wire
+
+type protocol = Onepaxos | Multipaxos | Twopc | Mencius | Cheappaxos
+
+let protocol_name = function
+  | Onepaxos -> "1paxos"
+  | Multipaxos -> "multipaxos"
+  | Twopc -> "2pc"
+  | Mencius -> "mencius"
+  | Cheappaxos -> "cheappaxos"
+
+type placement =
+  | Dedicated of { n_replicas : int; n_clients : int }
+  | Joint of { n_nodes : int }
+
+type spec = {
+  protocol : protocol;
+  placement : placement;
+  topology : Topology.t;
+  params : Net_params.t;
+  duration : int;
+  warmup : int;
+  drain : int;
+  seed : int;
+  read_ratio : float;
+  relaxed_reads : bool;
+  local_reads : bool;
+  think : int;
+  timeout : int;
+  max_requests : int option;
+  faults : Fault_plan.t list;
+  bucket : int;
+  colocate_acceptor : bool;
+}
+
+let default_spec ~protocol ~placement =
+  {
+    protocol;
+    placement;
+    topology = Topology.opteron_48;
+    params = Net_params.multicore;
+    duration = Sim_time.ms 50;
+    warmup = Sim_time.ms 5;
+    drain = Sim_time.ms 5;
+    seed = 42;
+    read_ratio = 0.;
+    relaxed_reads = false;
+    local_reads = false;
+    think = 0;
+    timeout = Sim_time.ms 2;
+    max_requests = None;
+    faults = [];
+    bucket = Sim_time.ms 10;
+    colocate_acceptor = false;
+  }
+
+type result = {
+  commits : int;
+  total_replies : int;
+  throughput : float;
+  latency : Ci_stats.Summary.t;
+  timeline : float array;
+  messages : int;
+  retries : int;
+  leader_changes : int;
+  acceptor_changes : int;
+  consistency : Consistency.report;
+}
+
+(* A protocol replica, uniformly. *)
+type replica =
+  | Op of Ci_consensus.Onepaxos.t
+  | Mp of Ci_consensus.Multipaxos.t
+  | Tp of Ci_consensus.Twopc.t
+  | Mn of Ci_consensus.Mencius.t
+  | Cp of Ci_consensus.Cheap_paxos.t
+
+let replica_handle r ~src msg =
+  match r with
+  | Op x -> Ci_consensus.Onepaxos.handle x ~src msg
+  | Mp x -> Ci_consensus.Multipaxos.handle x ~src msg
+  | Tp x -> Ci_consensus.Twopc.handle x ~src msg
+  | Mn x -> Ci_consensus.Mencius.handle x ~src msg
+  | Cp x -> Ci_consensus.Cheap_paxos.handle x ~src msg
+
+let replica_start = function
+  | Op x -> Ci_consensus.Onepaxos.start x
+  | Mp x -> Ci_consensus.Multipaxos.start x
+  | Cp x -> Ci_consensus.Cheap_paxos.start x
+  | Tp _ | Mn _ -> ()
+
+let replica_core = function
+  | Op x -> Ci_consensus.Onepaxos.replica_core x
+  | Mp x -> Ci_consensus.Multipaxos.replica_core x
+  | Tp x -> Ci_consensus.Twopc.replica_core x
+  | Mn x -> Ci_consensus.Mencius.replica_core x
+  | Cp x -> Ci_consensus.Cheap_paxos.replica_core x
+
+let leader_changes_of = function
+  | Op x -> Ci_consensus.Onepaxos.leader_changes x
+  | Mp x -> Ci_consensus.Multipaxos.elections x
+  | Cp x -> Ci_consensus.Cheap_paxos.reconfigs x
+  | Tp _ | Mn _ -> 0
+
+let acceptor_changes_of = function
+  | Op x -> Ci_consensus.Onepaxos.acceptor_changes x
+  | Mp _ | Tp _ | Mn _ | Cp _ -> 0
+
+let run spec =
+  let n_cores = Topology.n_cores spec.topology in
+  let n_replicas, n_clients, joint =
+    match spec.placement with
+    | Dedicated { n_replicas; n_clients } -> (n_replicas, n_clients, false)
+    | Joint { n_nodes } -> (n_nodes, n_nodes, true)
+  in
+  if n_replicas < 1 then invalid_arg "Runner.run: need at least one replica";
+  if n_replicas > n_cores then invalid_arg "Runner.run: more replicas than cores";
+  if (not joint) && n_clients < 1 then invalid_arg "Runner.run: need clients";
+  let machine =
+    Machine.create ~seed:spec.seed ~topology:spec.topology ~params:spec.params ()
+  in
+  (* Replicas occupy cores 0..R-1, like the paper's taskset layout. *)
+  let replica_nodes =
+    Array.init n_replicas (fun i -> Machine.add_node machine ~core:i)
+  in
+  let replica_ids = Array.map Machine.node_id replica_nodes in
+  (* Failure-detection and retry timeouts must exceed the network round
+     trip: the multicore defaults would make LAN deployments suspect
+     healthy peers forever. One hop costs send + prop + recv + handler. *)
+  let hop =
+    spec.params.Net_params.send_cost + spec.params.Net_params.prop_inter
+    + spec.params.Net_params.recv_cost + spec.params.Net_params.handler_cost
+  in
+  let rtt = 2 * hop in
+  let make_replica node =
+    match spec.protocol with
+    | Onepaxos ->
+      let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
+      let cfg =
+        {
+          d with
+          Ci_consensus.Onepaxos.relaxed_reads = spec.relaxed_reads;
+          initial_acceptor =
+            (if spec.colocate_acceptor then replica_ids.(0)
+             else replica_ids.(1 mod Array.length replica_ids));
+          acceptor_timeout = max d.Ci_consensus.Onepaxos.acceptor_timeout (4 * rtt);
+          prepare_timeout = max d.Ci_consensus.Onepaxos.prepare_timeout (4 * rtt);
+          check_period = max d.Ci_consensus.Onepaxos.check_period rtt;
+          pu_timeout = max d.Ci_consensus.Onepaxos.pu_timeout (3 * rtt);
+        }
+      in
+      Op (Ci_consensus.Onepaxos.create ~node ~config:cfg)
+    | Multipaxos ->
+      let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
+      let cfg =
+        {
+          d with
+          Ci_consensus.Multipaxos.relaxed_reads = spec.relaxed_reads;
+          election_timeout = max d.Ci_consensus.Multipaxos.election_timeout (3 * rtt);
+        }
+      in
+      Mp (Ci_consensus.Multipaxos.create ~node ~config:cfg)
+    | Twopc ->
+      let cfg =
+        {
+          (Ci_consensus.Twopc.default_config ~replicas:replica_ids) with
+          local_reads = spec.local_reads;
+        }
+      in
+      Tp (Ci_consensus.Twopc.create ~node ~config:cfg)
+    | Mencius ->
+      let cfg =
+        {
+          (Ci_consensus.Mencius.default_config ~replicas:replica_ids) with
+          relaxed_reads = spec.relaxed_reads;
+        }
+      in
+      Mn (Ci_consensus.Mencius.create ~node ~config:cfg)
+    | Cheappaxos ->
+      let d = Ci_consensus.Cheap_paxos.default_config ~replicas:replica_ids in
+      let cfg =
+        {
+          d with
+          Ci_consensus.Cheap_paxos.acceptor_timeout =
+            max d.Ci_consensus.Cheap_paxos.acceptor_timeout (4 * rtt);
+          check_period = max d.Ci_consensus.Cheap_paxos.check_period rtt;
+          reconfig_timeout = max d.Ci_consensus.Cheap_paxos.reconfig_timeout (4 * rtt);
+        }
+      in
+      Cp (Ci_consensus.Cheap_paxos.create ~node ~config:cfg)
+  in
+  let replicas = Array.map make_replica replica_nodes in
+  (* Clients: their own cores after the replicas, or embedded (joint). *)
+  let client_nodes =
+    if joint then replica_nodes
+    else begin
+      let client_cores = n_cores - n_replicas in
+      if client_cores < 1 then invalid_arg "Runner.run: no cores left for clients";
+      Array.init n_clients (fun i ->
+          Machine.add_node machine ~core:(n_replicas + (i mod client_cores)))
+    end
+  in
+  let stats = Run_stats.create ~bucket:spec.bucket in
+  let policy =
+    {
+      (Client.default_policy ~targets:replica_ids) with
+      Client.failover = spec.protocol <> Twopc;
+      timeout = spec.timeout;
+      think = spec.think;
+      read_ratio = spec.read_ratio;
+      relaxed_reads = spec.relaxed_reads;
+      read_own_node = joint && (spec.local_reads || spec.relaxed_reads);
+      max_requests = spec.max_requests;
+    }
+  in
+  let clients =
+    Array.mapi
+      (fun i node ->
+        (* Mencius distributes load by design: spread the clients over
+           the leaders instead of pointing everyone at replica 0. *)
+        let policy =
+          if spec.protocol = Mencius then
+            { policy with Client.primary = i mod n_replicas }
+          else policy
+        in
+        Client.create ~node ~policy ~stats)
+      client_nodes
+  in
+  (* Handler wiring: replies go to the client half, everything else to
+     the replica half (joint nodes host both). *)
+  Array.iteri
+    (fun i node ->
+      let r = replicas.(i) in
+      if joint then
+        let c = clients.(i) in
+        Machine.set_handler node (fun ~src msg ->
+            match msg with
+            | Wire.Reply _ -> Client.handle c ~src msg
+            | _ -> replica_handle r ~src msg)
+      else
+        Machine.set_handler node (fun ~src msg -> replica_handle r ~src msg))
+    replica_nodes;
+  if not joint then
+    Array.iteri
+      (fun i node ->
+        let c = clients.(i) in
+        Machine.set_handler node (fun ~src msg -> Client.handle c ~src msg))
+      client_nodes;
+  (* Faults, protocol bootstrap, load. *)
+  List.iter (fun f -> Fault_plan.apply f machine) spec.faults;
+  Array.iter replica_start replicas;
+  Array.iter Client.start clients;
+  let horizon = spec.warmup + spec.duration + spec.drain in
+  Machine.run_until machine ~time:horizon;
+  (* Measurements. *)
+  let w0 = spec.warmup and w1 = spec.warmup + spec.duration in
+  let lat = Run_stats.latencies_in stats ~from_:w0 ~until_:w1 in
+  let commits = Run_stats.completed_in stats ~from_:w0 ~until_:w1 in
+  let throughput =
+    float_of_int commits /. Sim_time.to_s_float spec.duration
+  in
+  (* Consistency. *)
+  let proposed_tbl = Hashtbl.create 4096 in
+  Array.iter
+    (fun c ->
+      let id = Client.node_id c in
+      List.iter
+        (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
+        (Client.issued c))
+    clients;
+  let proposed (v : Wire.value) =
+    (* Mencius skip placeholders are protocol no-ops, not client input. *)
+    Ci_consensus.Mencius.is_skip_value v
+    ||
+    match Hashtbl.find_opt proposed_tbl (v.Wire.client, v.Wire.req_id) with
+    | Some cmd -> Command.equal cmd v.Wire.cmd
+    | None -> false
+  in
+  let acked =
+    Array.to_list clients |> List.concat_map Client.acked_writes
+  in
+  let views =
+    Array.to_list (Array.map (fun r -> Replica_core.view (replica_core r)) replicas)
+  in
+  let consistency =
+    Consistency.check ~equal:Wire.value_equal ~proposed ~acked
+      ~key_of:Wire.value_key views
+  in
+  {
+    commits;
+    total_replies = Run_stats.completed stats;
+    throughput;
+    latency = Ci_stats.Summary.of_samples lat;
+    timeline = Ci_stats.Timeseries.rates_per_sec (Run_stats.timeline stats) ~upto:(w1 + spec.drain);
+    messages = Machine.total_messages machine;
+    retries = Array.fold_left (fun acc c -> acc + Client.retries c) 0 clients;
+    leader_changes =
+      Array.fold_left (fun acc r -> max acc (leader_changes_of r)) 0 replicas;
+    acceptor_changes =
+      Array.fold_left (fun acc r -> max acc (acceptor_changes_of r)) 0 replicas;
+    consistency;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt
+    "commits=%d throughput=%.0f op/s latency: %a; msgs=%d retries=%d lc=%d ac=%d; %a"
+    r.commits r.throughput Ci_stats.Summary.pp r.latency r.messages r.retries
+    r.leader_changes r.acceptor_changes Consistency.pp r.consistency

@@ -1,0 +1,67 @@
+(** Experiment runner: build a machine, deploy a protocol and clients,
+    inject faults, run, measure, and check consistency.
+
+    Two deployments mirror the paper's:
+    - {b Dedicated} (§7.1–7.3): replicas on cores [0..R-1], each client
+      on its own core after them, requests to the leader (core 0), with
+      fail-over on timeout;
+    - {b Joint} (§7.4–7.5): every node is both replica and client; all
+      commands are forwarded to the leader. *)
+
+type protocol = Onepaxos | Multipaxos | Twopc | Mencius | Cheappaxos
+
+val protocol_name : protocol -> string
+(** Short lowercase name ("1paxos", "multipaxos", "2pc", "mencius",
+    "cheappaxos"). *)
+
+type placement =
+  | Dedicated of { n_replicas : int; n_clients : int }
+  | Joint of { n_nodes : int }
+
+type spec = {
+  protocol : protocol;
+  placement : placement;
+  topology : Ci_machine.Topology.t;
+  params : Ci_machine.Net_params.t;
+  duration : int;  (** Measurement window length (ns). *)
+  warmup : int;  (** Discarded start-up period (ns). *)
+  drain : int;  (** Extra time simulated after the window (ns). *)
+  seed : int;
+  read_ratio : float;
+  relaxed_reads : bool;  (** 1Paxos/Multi-Paxos relaxed local reads. *)
+  local_reads : bool;  (** 2PC-Joint quiescent local reads. *)
+  think : int;  (** Client think time (ns). *)
+  timeout : int;  (** Client retry timeout (ns). *)
+  max_requests : int option;  (** Per-client request budget. *)
+  faults : Fault_plan.t list;
+  bucket : int;  (** Throughput time-series bucket (ns). *)
+  colocate_acceptor : bool;
+      (** 1Paxos only: place the initial active acceptor on the leader's
+          node instead of a separate one (violating Section 5.4's
+          placement rule) — used by the placement ablation. *)
+}
+
+val default_spec : protocol:protocol -> placement:placement -> spec
+(** Multicore parameters on the 48-core topology, 50 ms window after
+    5 ms warm-up, write-only workload, no faults. *)
+
+type result = {
+  commits : int;  (** Replies inside the measurement window. *)
+  total_replies : int;  (** Replies over the whole run. *)
+  throughput : float;  (** Commits per second inside the window. *)
+  latency : Ci_stats.Summary.t;  (** Latency summary inside the window. *)
+  timeline : float array;  (** Commit rate per bucket over the run. *)
+  messages : int;  (** Boundary-crossing messages delivered. *)
+  retries : int;  (** Client timeouts over the run. *)
+  leader_changes : int;
+  acceptor_changes : int;
+  consistency : Ci_rsm.Consistency.report;
+}
+
+val run : spec -> result
+(** [run spec] executes the experiment and returns its measurements.
+    Raises [Invalid_argument] on nonsensical placements (more replicas
+    than cores, joint with fewer than two nodes, ...). *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One-paragraph human-readable rendering. *)

@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Ci_engine Ci_machine List Printf

@@ -1,0 +1,1 @@
+test/test_cheap_paxos.ml: Alcotest Array Ci_consensus Ci_rsm List Machine Printf Test_util Wire

@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Ci_consensus Ci_engine Ci_machine Ci_rsm Ci_workload List Printf

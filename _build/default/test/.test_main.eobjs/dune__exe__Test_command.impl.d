@@ -1,0 +1,1 @@
+test/test_command.ml: Alcotest Ci_rsm Format

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Ci_rsm Format List String

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Ci_engine Ci_machine List

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Ci_engine List QCheck QCheck_alcotest

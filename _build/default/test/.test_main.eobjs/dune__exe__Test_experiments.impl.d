@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Ci_engine Ci_workload Float List Printf

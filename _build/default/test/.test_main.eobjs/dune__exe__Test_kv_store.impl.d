@@ -1,0 +1,1 @@
+test/test_kv_store.ml: Alcotest Ci_rsm List QCheck QCheck_alcotest

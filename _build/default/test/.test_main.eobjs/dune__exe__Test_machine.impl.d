@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Ci_engine Ci_machine List Printf String

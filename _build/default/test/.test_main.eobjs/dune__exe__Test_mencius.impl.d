@@ -1,0 +1,1 @@
+test/test_mencius.ml: Alcotest Array Ci_consensus Ci_rsm List Printf Test_util Wire

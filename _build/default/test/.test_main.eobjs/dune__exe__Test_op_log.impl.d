@@ -1,0 +1,1 @@
+test/test_op_log.ml: Alcotest Ci_rsm List QCheck QCheck_alcotest String

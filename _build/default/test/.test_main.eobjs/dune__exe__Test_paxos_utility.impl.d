@@ -1,0 +1,1 @@
+test/test_paxos_utility.ml: Alcotest Array Ci_consensus Ci_engine Ci_machine List Printf

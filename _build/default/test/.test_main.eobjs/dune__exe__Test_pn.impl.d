@@ -1,0 +1,1 @@
+test/test_pn.ml: Alcotest Ci_consensus Format

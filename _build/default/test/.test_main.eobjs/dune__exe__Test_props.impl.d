@@ -1,0 +1,1 @@
+test/test_props.ml: Array Ci_engine Ci_machine Ci_rsm Ci_workload Format Gen List Printf QCheck QCheck_alcotest

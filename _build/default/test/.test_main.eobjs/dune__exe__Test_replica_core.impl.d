@@ -1,0 +1,1 @@
+test/test_replica_core.ml: Alcotest Ci_consensus Ci_rsm List

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ci_workload Filename List String Sys

@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Ci_engine Ci_machine Ci_rsm Ci_stats Ci_workload Printf

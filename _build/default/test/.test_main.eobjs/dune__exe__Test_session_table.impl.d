@@ -1,0 +1,1 @@
+test/test_session_table.ml: Alcotest Ci_rsm

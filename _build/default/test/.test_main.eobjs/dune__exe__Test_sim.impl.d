@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ci_engine List

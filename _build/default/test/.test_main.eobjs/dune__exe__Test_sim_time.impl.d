@@ -1,0 +1,1 @@
+test/test_sim_time.ml: Alcotest Ci_engine Format

@@ -1,0 +1,1 @@
+test/test_single_decree.ml: Alcotest Array Ci_consensus Ci_engine Ci_machine Ci_rsm List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Ci_engine Ci_rsm Ci_workload Format

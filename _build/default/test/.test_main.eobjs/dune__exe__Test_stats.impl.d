@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ci_stats Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Ci_machine Format

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ci_consensus Ci_engine Ci_machine Ci_rsm Hashtbl List

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Ci_consensus Ci_rsm Format List String

@@ -1,0 +1,100 @@
+module Sim = Ci_engine.Sim
+module Cpu = Ci_machine.Cpu
+module Channel = Ci_machine.Channel
+
+let mk ?(capacity = 7) ?(prop = 10) ?(send_cost = 5) ?(recv_cost = 5) deliver =
+  let sim = Sim.create () in
+  let src = Cpu.create sim ~id:0 and dst = Cpu.create sim ~id:1 in
+  let ch =
+    Channel.create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu:src
+      ~dst_cpu:dst ~deliver:(fun v -> deliver sim v)
+  in
+  (sim, ch)
+
+let test_delivery () =
+  let got = ref [] in
+  let sim, ch = mk (fun _ v -> got := v :: !got) in
+  Channel.send ch 42;
+  Sim.run sim;
+  Alcotest.(check (list int)) "delivered" [ 42 ] !got;
+  Alcotest.(check int) "sent counter" 1 (Channel.sent ch);
+  Alcotest.(check int) "delivered counter" 1 (Channel.delivered ch)
+
+let test_fifo () =
+  let got = ref [] in
+  let sim, ch = mk (fun _ v -> got := v :: !got) in
+  for i = 1 to 20 do
+    Channel.send ch i
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "in order" (List.init 20 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_delivery_timing () =
+  (* One message: send completes at send_cost, arrives prop later, recv
+     charges recv_cost: delivery at send+prop+recv. *)
+  let at = ref (-1) in
+  let sim, ch = mk ~send_cost:5 ~prop:10 ~recv_cost:7 (fun sim _ -> at := Sim.now sim) in
+  Channel.send ch 1;
+  Sim.run sim;
+  Alcotest.(check int) "t = send + prop + recv" 22 !at
+
+let test_blocking_capacity () =
+  let sim, ch = mk ~capacity:2 (fun _ _ -> ()) in
+  for i = 1 to 5 do
+    Channel.send ch i
+  done;
+  Alcotest.(check int) "sends beyond capacity blocked" 3 (Channel.blocked_events ch);
+  Sim.run sim;
+  Alcotest.(check int) "all delivered eventually" 5 (Channel.delivered ch);
+  Alcotest.(check int) "outbox drained" 0 (Channel.outbox_length ch)
+
+let test_ping_formula () =
+  (* The Section 3 experiment: a 1-slot queue spaces consecutive sends
+     by trans + prop + recv + prop = 2*trans + 2*prop when recv=trans. *)
+  let trans = 500 and prop = 550 in
+  let last = ref 0 in
+  let k = 100 in
+  let sim, ch =
+    mk ~capacity:1 ~send_cost:trans ~recv_cost:trans ~prop (fun sim _ ->
+        last := Sim.now sim)
+  in
+  for i = 1 to k do
+    Channel.send ch i
+  done;
+  Sim.run sim;
+  let per_msg = float_of_int !last /. float_of_int k in
+  let expected = float_of_int ((2 * trans) + (2 * prop)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-message %.0f ≈ %.0f" per_msg expected)
+    true
+    (abs_float (per_msg -. expected) < expected *. 0.05)
+
+let test_unbounded_rate () =
+  (* With ample slots the sender is transmission-limited: messages
+     complete transmission every send_cost. *)
+  let sim, ch = mk ~capacity:1000 ~send_cost:5 (fun _ _ -> ()) in
+  for i = 1 to 100 do
+    Channel.send ch i
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "all sent" 100 (Channel.sent ch);
+  Alcotest.(check int) "no blocking" 0 (Channel.blocked_events ch)
+
+let test_invalid_capacity () =
+  try
+    ignore (mk ~capacity:0 (fun _ _ -> ()));
+    Alcotest.fail "capacity 0 accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  ( "channel",
+    [
+      Alcotest.test_case "basic delivery" `Quick test_delivery;
+      Alcotest.test_case "FIFO order" `Quick test_fifo;
+      Alcotest.test_case "delivery timing" `Quick test_delivery_timing;
+      Alcotest.test_case "capacity back-pressure" `Quick test_blocking_capacity;
+      Alcotest.test_case "1-slot ping = 2t+2p (Section 3)" `Quick test_ping_formula;
+      Alcotest.test_case "unbounded transmission rate" `Quick test_unbounded_rate;
+      Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+    ] )

@@ -1,0 +1,190 @@
+(* Cheap Paxos: reduced active set, epoch reconfiguration, and the §8
+   liveness contrast with 1Paxos. *)
+
+open Test_util
+module Cheap_paxos = Ci_consensus.Cheap_paxos
+module Onepaxos = Ci_consensus.Onepaxos
+module Command = Ci_rsm.Command
+
+let test_commit () =
+  let h = cheap_cluster () in
+  send h ~req_id:0 (Command.Put { key = 1; data = 5 });
+  run_ms h 5;
+  (match h.replies with
+   | [ (0, Command.Done, _) ] -> ()
+   | _ -> Alcotest.failf "expected one reply, got %d" (List.length h.replies));
+  Alcotest.(check bool) "replica 0 leads" true (Cheap_paxos.is_leader h.replicas.(0));
+  Alcotest.(check (list int)) "two actives of three"
+    [ h.replica_ids.(0); h.replica_ids.(1) ]
+    (Cheap_paxos.actives h.replicas.(0));
+  check_safety ~cores:(cheap_cores h) h
+
+let test_message_count_per_commit () =
+  (* Leader + one active: request, accept, accepted, two learns, reply
+     = six boundary-crossing messages — between 1Paxos's five and
+     Multi-Paxos's ten. *)
+  let h = cheap_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  let warm = Machine.total_messages h.machine in
+  let reqs = 50 in
+  let next = ref 1 in
+  let pump () =
+    if !next <= reqs then begin
+      let r = !next in
+      incr next;
+      send h ~req_id:r Command.Nop
+    end
+  in
+  Machine.set_handler h.client (fun ~src:_ msg ->
+      match msg with
+      | Wire.Reply { req_id; result; _ } ->
+        h.replies <- (req_id, result, Machine.now h.machine) :: h.replies;
+        pump ()
+      | _ -> ());
+  pump ();
+  run_ms h 50;
+  let per_commit =
+    float_of_int (Machine.total_messages h.machine - warm) /. float_of_int reqs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "6 messages per commit (got %.2f)" per_commit)
+    true
+    (per_commit > 5.9 && per_commit < 6.1)
+
+let test_auxiliary_idle () =
+  (* The third replica is auxiliary: it learns but transmits nothing in
+     the failure-free path. *)
+  let h = cheap_cluster () in
+  for i = 0 to 9 do
+    send h ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 10;
+  Alcotest.(check int) "auxiliary sent nothing" 0
+    (Machine.messages_sent h.machine ~node:h.replica_ids.(2));
+  Array.iter
+    (fun core ->
+      Alcotest.(check int) "but learned everything" 10
+        (Ci_consensus.Replica_core.commits core))
+    (cheap_cores h);
+  check_safety ~cores:(cheap_cores h) h
+
+let test_drops_slow_active () =
+  let h = cheap_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:1 ~from_ms:5 ~until_ms:100 ~factor:1e9;
+  for i = 1 to 5 do
+    send h ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 60;
+  Alcotest.(check int) "commits continue after dropping the active" 6
+    (List.length h.replies);
+  Alcotest.(check (list int)) "actives shrank to the leader"
+    [ h.replica_ids.(0) ]
+    (Cheap_paxos.actives h.replicas.(0));
+  Alcotest.(check bool) "an epoch change happened" true
+    (Cheap_paxos.reconfigs h.replicas.(0) >= 1);
+  check_safety ~cores:(cheap_cores h) h
+
+let test_takeover_via_state_pull () =
+  (* Leader fails while another active survives: a non-active replica
+     pulls the state from it and takes over. *)
+  let h = cheap_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:0 ~from_ms:5 ~until_ms:200 ~factor:1e9;
+  send h ~dst:2 ~req_id:1 (Command.Put { key = 9; data = 9 });
+  run_ms h 100;
+  Alcotest.(check bool) "committed after takeover" true
+    (List.exists (fun (r, _, _) -> r = 1) h.replies);
+  Alcotest.(check bool) "replica 2 leads" true (Cheap_paxos.is_leader h.replicas.(2));
+  check_safety ~cores:(cheap_cores h) h
+
+(* The §8 scenario. Timeline:
+     t=5ms   r1 (active) becomes unresponsive
+             -> leader r0 shrinks the actives to {r0}; commits continue
+     t=30ms  r0 becomes unresponsive too; r1 recovers at t=60ms
+             -> Cheap Paxos: r1 and r2 are alive (a majority!) but
+                neither holds epoch-2 state; the takeover loops on
+                state pulls from {r0}. Blocked.
+     t=150ms r0 recovers -> unblocked.
+   1Paxos under the same schedule progresses from t=60ms: two of three
+   replicas responding is all it ever needs. *)
+let cheap_scenario () =
+  let h = cheap_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:1 ~from_ms:5 ~until_ms:60 ~factor:1e9;
+  for i = 1 to 3 do
+    send h ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 30;
+  Alcotest.(check int) "progress with shrunken actives" 4 (List.length h.replies);
+  slow_core h ~core:0 ~from_ms:30 ~until_ms:150 ~factor:1e9;
+  send h ~dst:2 ~req_id:4 (Command.Put { key = 4; data = 4 });
+  h
+
+let test_blocked_until_state_holder_returns () =
+  let h = cheap_scenario () in
+  (* r1 is back from t=60ms; run far beyond every timeout. *)
+  run_ms h 140;
+  Alcotest.(check int)
+    "still blocked although two replicas are alive (r0 holds the state)" 4
+    (List.length h.replies);
+  (* r0 returns at 150ms: now the state pull succeeds. *)
+  run_ms h 250;
+  Alcotest.(check bool) "recovers once the state holder is back" true
+    (List.exists (fun (r, _, _) -> r = 4) h.replies);
+  check_safety ~cores:(cheap_cores h) h
+
+let test_onepaxos_progresses_in_same_scenario () =
+  (* The § 8 contrast: "1Paxos progresses as soon as either r1 or r2
+     starts responding". Same fault schedule, 1Paxos cluster. *)
+  let h = onepaxos_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:1 ~from_ms:5 ~until_ms:60 ~factor:1e9;
+  for i = 1 to 3 do
+    send h ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 30;
+  Alcotest.(check int) "1paxos progressed with r1 slow" 4 (List.length h.replies);
+  slow_core h ~core:0 ~from_ms:30 ~until_ms:150 ~factor:1e9;
+  send h ~dst:2 ~req_id:4 (Command.Put { key = 4; data = 4 });
+  (* r1 recovers at 60ms: replicas 1 and 2 form a majority; 1Paxos
+     commits well before r0 ever returns. *)
+  run_ms h 140;
+  Alcotest.(check bool) "1paxos already recovered with r0 still down" true
+    (List.exists (fun (r, _, _) -> r = 4) h.replies);
+  check_safety ~cores:(onepaxos_cores h) h
+
+let test_five_replicas_three_active () =
+  let h = cheap_cluster ~n:5 () in
+  Alcotest.(check int) "f+1 = 3 actives" 3
+    (List.length (Cheap_paxos.actives h.replicas.(0)));
+  for i = 0 to 9 do
+    send h ~req_id:i Command.Nop
+  done;
+  run_ms h 10;
+  Alcotest.(check int) "commits" 10 (List.length h.replies);
+  Alcotest.(check int) "auxiliaries idle" 0
+    (Machine.messages_sent h.machine ~node:h.replica_ids.(4));
+  check_safety ~cores:(cheap_cores h) h
+
+let suite =
+  ( "cheap_paxos",
+    [
+      Alcotest.test_case "commit with reduced active set" `Quick test_commit;
+      Alcotest.test_case "6 messages per commit" `Quick test_message_count_per_commit;
+      Alcotest.test_case "auxiliaries transmit nothing" `Quick test_auxiliary_idle;
+      Alcotest.test_case "drops a slow active and continues" `Quick
+        test_drops_slow_active;
+      Alcotest.test_case "takeover via state pull" `Quick test_takeover_via_state_pull;
+      Alcotest.test_case "blocked until the state holder returns (8)" `Quick
+        test_blocked_until_state_holder_returns;
+      Alcotest.test_case "1paxos progresses in the same scenario (8)" `Quick
+        test_onepaxos_progresses_in_same_scenario;
+      Alcotest.test_case "five replicas, three active" `Quick
+        test_five_replicas_three_active;
+    ] )

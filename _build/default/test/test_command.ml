@@ -1,0 +1,60 @@
+module Command = Ci_rsm.Command
+
+let test_is_read () =
+  Alcotest.(check bool) "get" true (Command.is_read (Get { key = 1 }));
+  Alcotest.(check bool) "put" false (Command.is_read (Put { key = 1; data = 2 }));
+  Alcotest.(check bool) "cas" false
+    (Command.is_read (Cas { key = 1; expect = 0; data = 2 }));
+  Alcotest.(check bool) "nop" false (Command.is_read Nop)
+
+let test_key_of () =
+  Alcotest.(check (option int)) "get" (Some 3) (Command.key_of (Get { key = 3 }));
+  Alcotest.(check (option int)) "put" (Some 4)
+    (Command.key_of (Put { key = 4; data = 0 }));
+  Alcotest.(check (option int)) "cas" (Some 5)
+    (Command.key_of (Cas { key = 5; expect = 0; data = 1 }));
+  Alcotest.(check (option int)) "nop" None (Command.key_of Nop)
+
+let test_equal () =
+  let p = Command.Put { key = 1; data = 2 } in
+  Alcotest.(check bool) "same put" true (Command.equal p (Put { key = 1; data = 2 }));
+  Alcotest.(check bool) "different data" false
+    (Command.equal p (Put { key = 1; data = 3 }));
+  Alcotest.(check bool) "different constructor" false (Command.equal p Nop);
+  Alcotest.(check bool) "nop = nop" true (Command.equal Nop Nop);
+  Alcotest.(check bool) "cas full compare" false
+    (Command.equal
+       (Cas { key = 1; expect = 2; data = 3 })
+       (Cas { key = 1; expect = 9; data = 3 }))
+
+let test_equal_result () =
+  Alcotest.(check bool) "done" true (Command.equal_result Done Done);
+  Alcotest.(check bool) "found none/some" false
+    (Command.equal_result (Found None) (Found (Some 1)));
+  Alcotest.(check bool) "found same" true
+    (Command.equal_result (Found (Some 1)) (Found (Some 1)));
+  Alcotest.(check bool) "swapped" false
+    (Command.equal_result (Swapped true) (Swapped false));
+  Alcotest.(check bool) "cross-kind" false (Command.equal_result Done (Swapped true))
+
+let test_pp () =
+  let s c = Format.asprintf "%a" Command.pp c in
+  Alcotest.(check string) "put" "put k3=7" (s (Put { key = 3; data = 7 }));
+  Alcotest.(check string) "get" "get k3" (s (Get { key = 3 }));
+  Alcotest.(check string) "cas" "cas k3 1->2" (s (Cas { key = 3; expect = 1; data = 2 }));
+  Alcotest.(check string) "nop" "nop" (s Nop);
+  let r x = Format.asprintf "%a" Command.pp_result x in
+  Alcotest.(check string) "done" "done" (r Done);
+  Alcotest.(check string) "found none" "found -" (r (Found None));
+  Alcotest.(check string) "found some" "found 9" (r (Found (Some 9)));
+  Alcotest.(check string) "swapped" "swapped true" (r (Swapped true))
+
+let suite =
+  ( "command",
+    [
+      Alcotest.test_case "is_read" `Quick test_is_read;
+      Alcotest.test_case "key_of" `Quick test_key_of;
+      Alcotest.test_case "equal" `Quick test_equal;
+      Alcotest.test_case "equal_result" `Quick test_equal_result;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+    ] )

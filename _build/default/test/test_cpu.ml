@@ -1,0 +1,122 @@
+module Sim = Ci_engine.Sim
+module Cpu = Ci_machine.Cpu
+
+let test_single_exec () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  let done_at = ref (-1) in
+  Cpu.exec cpu ~cost:100 (fun () -> done_at := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "completion time" 100 !done_at;
+  Alcotest.(check int) "busy accounted" 100 (Cpu.busy_total cpu)
+
+let test_serialization () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  let finishes = ref [] in
+  for _ = 1 to 3 do
+    Cpu.exec cpu ~cost:50 (fun () -> finishes := Sim.now sim :: !finishes)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "back to back" [ 50; 100; 150 ] (List.rev !finishes)
+
+let test_work_after_idle () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  let finish = ref 0 in
+  Sim.schedule sim ~delay:500 (fun () ->
+      Cpu.exec cpu ~cost:10 (fun () -> finish := Sim.now sim));
+  Sim.run sim;
+  Alcotest.(check int) "starts at request time when idle" 510 !finish;
+  Alcotest.(check int) "busy excludes idle gap" 10 (Cpu.busy_total cpu)
+
+let test_zero_cost () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  let ran = ref false in
+  Cpu.exec cpu ~cost:0 (fun () -> ran := true);
+  Sim.run sim;
+  Alcotest.(check bool) "zero-cost work runs" true !ran;
+  Alcotest.(check int) "at time zero" 0 (Sim.now sim)
+
+let test_slowdown_factor_at () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  Cpu.add_slowdown cpu ~from_:100 ~until_:200 ~factor:4.;
+  Alcotest.(check (float 0.001)) "before" 1. (Cpu.factor_at cpu 50);
+  Alcotest.(check (float 0.001)) "inside" 4. (Cpu.factor_at cpu 150);
+  Alcotest.(check (float 0.001)) "at start (inclusive)" 4. (Cpu.factor_at cpu 100);
+  Alcotest.(check (float 0.001)) "at end (exclusive)" 1. (Cpu.factor_at cpu 200)
+
+let test_overlapping_windows_max () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  Cpu.add_slowdown cpu ~from_:0 ~until_:100 ~factor:2.;
+  Cpu.add_slowdown cpu ~from_:50 ~until_:150 ~factor:8.;
+  Alcotest.(check (float 0.001)) "max wins" 8. (Cpu.factor_at cpu 75)
+
+let test_slowdown_stretches_work () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  Cpu.add_slowdown cpu ~from_:0 ~until_:1_000_000 ~factor:3.;
+  let finish = ref 0 in
+  Cpu.exec cpu ~cost:100 (fun () -> finish := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "3x stretch" 300 !finish
+
+let test_work_spanning_boundary () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  (* 100 units of work start at 0; the first 50 instants are slowed 2x,
+     accomplishing 25 units; the remaining 75 run at full speed. *)
+  Cpu.add_slowdown cpu ~from_:0 ~until_:50 ~factor:2.;
+  let finish = ref 0 in
+  Cpu.exec cpu ~cost:100 (fun () -> finish := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "piecewise integration" 125 !finish
+
+let test_crash_window_resumes () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  Cpu.add_slowdown cpu ~from_:10 ~until_:500 ~factor:infinity;
+  let finish = ref 0 in
+  (* 20 units: 10 complete before the crash, the rest only after it. *)
+  Cpu.exec cpu ~cost:20 (fun () -> finish := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "finishes after the window" 510 !finish
+
+let test_queue_delay () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  Alcotest.(check int) "idle" 0 (Cpu.queue_delay cpu);
+  Cpu.exec cpu ~cost:100 (fun () -> ());
+  Cpu.exec cpu ~cost:100 (fun () -> ());
+  Alcotest.(check int) "backlog visible" 200 (Cpu.queue_delay cpu)
+
+let test_invalid_windows () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  (try
+     Cpu.add_slowdown cpu ~from_:10 ~until_:10 ~factor:2.;
+     Alcotest.fail "empty window accepted"
+   with Invalid_argument _ -> ());
+  try
+    Cpu.add_slowdown cpu ~from_:0 ~until_:10 ~factor:0.5;
+    Alcotest.fail "speed-up accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  ( "cpu",
+    [
+      Alcotest.test_case "single exec" `Quick test_single_exec;
+      Alcotest.test_case "serialization" `Quick test_serialization;
+      Alcotest.test_case "idle start" `Quick test_work_after_idle;
+      Alcotest.test_case "zero cost" `Quick test_zero_cost;
+      Alcotest.test_case "factor_at windows" `Quick test_slowdown_factor_at;
+      Alcotest.test_case "overlapping windows" `Quick test_overlapping_windows_max;
+      Alcotest.test_case "slowdown stretches work" `Quick test_slowdown_stretches_work;
+      Alcotest.test_case "work spanning boundary" `Quick test_work_spanning_boundary;
+      Alcotest.test_case "crash window resumes" `Quick test_crash_window_resumes;
+      Alcotest.test_case "queue delay" `Quick test_queue_delay;
+      Alcotest.test_case "invalid windows" `Quick test_invalid_windows;
+    ] )

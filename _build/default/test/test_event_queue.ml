@@ -1,0 +1,120 @@
+module Event_queue = Ci_engine.Event_queue
+
+let drain q =
+  let rec go acc =
+    match Event_queue.pop q with
+    | Some (t, v) -> go ((t, v) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_empty () =
+  let q : int Event_queue.t = Event_queue.create () in
+  Alcotest.(check bool) "is_empty" true (Event_queue.is_empty q);
+  Alcotest.(check int) "length" 0 (Event_queue.length q);
+  Alcotest.(check (option (pair int int))) "pop" None (Event_queue.pop q);
+  Alcotest.(check (option int)) "peek" None (Event_queue.peek_time q)
+
+let test_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:30 "c";
+  Event_queue.push q ~time:10 "a";
+  Event_queue.push q ~time:20 "b";
+  Alcotest.(check (option int)) "peek earliest" (Some 10) (Event_queue.peek_time q);
+  Alcotest.(check (list (pair int string)))
+    "time order"
+    [ (10, "a"); (20, "b"); (30, "c") ]
+    (drain q)
+
+let test_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> Event_queue.push q ~time:5 v) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list (pair int int)))
+    "insertion order among equal timestamps"
+    [ (5, 1); (5, 2); (5, 3); (5, 4); (5, 5) ]
+    (drain q)
+
+let test_interleaved () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:2 "a";
+  Event_queue.push q ~time:1 "b";
+  Alcotest.(check (option (pair int string))) "first" (Some (1, "b")) (Event_queue.pop q);
+  Event_queue.push q ~time:0 "c";
+  Event_queue.push q ~time:3 "d";
+  Alcotest.(check (list (pair int string)))
+    "remaining order"
+    [ (0, "c"); (2, "a"); (3, "d") ]
+    (drain q)
+
+let test_clear () =
+  let q = Event_queue.create () in
+  for i = 1 to 10 do
+    Event_queue.push q ~time:i i
+  done;
+  Event_queue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Event_queue.is_empty q);
+  Event_queue.push q ~time:1 42;
+  Alcotest.(check (option (pair int int))) "usable after clear" (Some (1, 42))
+    (Event_queue.pop q)
+
+let test_growth () =
+  let q = Event_queue.create () in
+  for i = 1000 downto 1 do
+    Event_queue.push q ~time:i i
+  done;
+  Alcotest.(check int) "length" 1000 (Event_queue.length q);
+  let out = drain q in
+  Alcotest.(check int) "drained all" 1000 (List.length out);
+  let times = List.map fst out in
+  Alcotest.(check (list int)) "sorted" (List.init 1000 (fun i -> i + 1)) times
+
+(* Property: popping yields a stable sort of the pushed (time, seq)
+   pairs, for arbitrary push sequences. *)
+let prop_stable_sort =
+  QCheck.Test.make ~name:"heap pop = stable sort by time" ~count:200
+    QCheck.(list (int_bound 50))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.push q ~time:t (t, i)) times;
+      let popped = List.map snd (drain q) in
+      let expected =
+        List.mapi (fun i t -> (t, i)) times
+        |> List.stable_sort (fun (t1, _) (t2, _) -> compare t1 t2)
+      in
+      popped = expected)
+
+let prop_interleaved_push_pop =
+  QCheck.Test.make ~name:"interleaved push/pop maintains order" ~count:200
+    QCheck.(list (pair bool (int_bound 50)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let ok = ref true in
+      let last_popped = ref min_int in
+      List.iter
+        (fun (is_pop, t) ->
+          if is_pop then
+            match Event_queue.pop q with
+            | Some (time, _) ->
+              (* Monotonicity only holds when no smaller time was pushed
+                 after a pop; just check against the heap's own peek. *)
+              (match Event_queue.peek_time q with
+               | Some next -> if next < time then ok := false
+               | None -> ());
+              last_popped := time
+            | None -> ()
+          else Event_queue.push q ~time:t t)
+        ops;
+      !ok)
+
+let suite =
+  ( "event_queue",
+    [
+      Alcotest.test_case "empty queue" `Quick test_empty;
+      Alcotest.test_case "time ordering" `Quick test_ordering;
+      Alcotest.test_case "FIFO tie-break" `Quick test_fifo_ties;
+      Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "growth to 1000" `Quick test_growth;
+      QCheck_alcotest.to_alcotest prop_stable_sort;
+      QCheck_alcotest.to_alcotest prop_interleaved_push_pop;
+    ] )

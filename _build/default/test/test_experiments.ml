@@ -1,0 +1,168 @@
+(* Shape assertions over scaled-down versions of every reproduced
+   figure/table: the paper's qualitative claims must hold on each run. *)
+
+module E = Ci_workload.Experiments
+module Sim_time = Ci_engine.Sim_time
+
+let dur = Sim_time.ms 15
+
+let peak (s : E.series) =
+  List.fold_left (fun m (p : E.point) -> Float.max m p.E.throughput) 0. s.E.points
+
+let find_series label series =
+  match List.find_opt (fun (s : E.series) -> s.E.label = label) series with
+  | Some s -> s
+  | None -> Alcotest.failf "series %S missing" label
+
+let test_netchar_shapes () =
+  let rows = E.netchar () in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  let row name = List.find (fun (r : E.netchar_row) -> r.E.setting = name) rows in
+  let mc = row "mc-shared-llc" and cross = row "mc-cross-socket" and lan = row "lan" in
+  (* Section 3's headline: the trans/prop ratio is ~1 on the many-core
+     and ~0.015 on the LAN — at least two orders of magnitude apart. *)
+  Alcotest.(check bool) "multicore ratio near 1" true (mc.E.ratio > 0.5 && mc.E.ratio < 3.);
+  Alcotest.(check bool) "lan ratio ~ 0.015" true (lan.E.ratio < 0.03);
+  Alcotest.(check bool) "two orders of magnitude" true (mc.E.ratio /. lan.E.ratio > 50.);
+  (* Figure 1: cross-socket propagation exceeds shared-LLC. *)
+  Alcotest.(check bool) "non-uniform latency" true (cross.E.prop_us > mc.E.prop_us);
+  (* Measured transmission matches the calibrated 0.5us / 2us. *)
+  Alcotest.(check (float 0.05)) "mc trans" 0.5 mc.E.trans_us;
+  Alcotest.(check (float 0.2)) "lan trans" 2.0 lan.E.trans_us
+
+let test_latency_table_ordering () =
+  let rows = E.latency_table ~duration:dur () in
+  match rows with
+  | [ op; mp; tp ] ->
+    Alcotest.(check string) "order" "1paxos" op.E.protocol;
+    Alcotest.(check bool) "1paxos < multipaxos" true (op.E.latency_us < mp.E.latency_us);
+    Alcotest.(check bool) "multipaxos < 2pc" true (mp.E.latency_us < tp.E.latency_us);
+    (* Within 40% of the paper's absolute numbers. *)
+    List.iter
+      (fun (r : E.latency_row) ->
+        let ratio = r.E.latency_us /. r.E.paper_latency_us in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s within 40%% of paper (%.1f vs %.1f)" r.E.protocol
+             r.E.latency_us r.E.paper_latency_us)
+          true
+          (ratio > 0.6 && ratio < 1.4))
+      rows
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_fig8_shapes () =
+  let series = E.fig8 ~clients:[ 1; 3; 8; 16 ] ~duration:dur () in
+  let op = find_series "1paxos" series
+  and mp = find_series "multipaxos" series
+  and tp = find_series "2pc" series in
+  (* 1Paxos peak roughly doubles Multi-Paxos's (paper: 52%). *)
+  let r_mp = peak mp /. peak op and r_tp = peak tp /. peak op in
+  Alcotest.(check bool) (Printf.sprintf "multipaxos/1paxos = %.2f" r_mp) true
+    (r_mp > 0.3 && r_mp < 0.7);
+  Alcotest.(check bool) (Printf.sprintf "2pc/1paxos = %.2f" r_tp) true
+    (r_tp > 0.25 && r_tp < 0.65);
+  (* 1Paxos keeps improving past the point where Multi-Paxos is flat. *)
+  let at s x =
+    (List.find (fun (p : E.point) -> p.E.x = x) s.E.points).E.throughput
+  in
+  Alcotest.(check bool) "1paxos grows 1 -> 8 clients by ~2x" true
+    (at op 8 /. at op 1 > 1.7);
+  Alcotest.(check bool) "multipaxos flat after 3 clients" true
+    (at mp 8 /. at mp 3 < 1.15)
+
+let test_fig9_shapes () =
+  let series = E.fig9 ~nodes:[ 3; 9; 21; 33 ] ~duration:(Sim_time.ms 80) () in
+  let op = find_series "1paxos-joint" series
+  and mp = find_series "multipaxos-joint" series
+  and tp = find_series "2pc-joint" series in
+  let at (s : E.series) x =
+    (List.find (fun (p : E.point) -> p.E.x = x) s.E.points).E.throughput
+  in
+  (* 1Paxos-Joint grows monotonically through 33 nodes... *)
+  Alcotest.(check bool) "1paxos-joint grows to 33" true
+    (at op 33 > at op 21 && at op 21 > at op 9);
+  (* ... while the others have declined from their peaks by then. *)
+  Alcotest.(check bool) "multipaxos-joint declines" true (at mp 33 < peak mp);
+  Alcotest.(check bool) "2pc-joint declines" true (at tp 33 < peak tp);
+  Alcotest.(check bool) "1paxos-joint highest at 33" true
+    (at op 33 > at mp 33 && at op 33 > at tp 33)
+
+let test_fig10_shapes () =
+  let bars = E.fig10 ~duration:dur () in
+  let get label clients =
+    match
+      List.find_opt (fun (b : E.bar) -> b.E.label = label && b.E.clients = clients) bars
+    with
+    | Some b -> b.E.throughput
+    | None -> Alcotest.failf "bar %s/%d missing" label clients
+  in
+  (* Read share helps 2PC-Joint at 3 clients. *)
+  Alcotest.(check bool) "75% read > 0% read (3 clients)" true
+    (get "2PC-Joint - 75% read" 3 > get "2PC-Joint - 0% read" 3);
+  (* At 75% reads and 3 clients it rivals 1Paxos (within 2x). *)
+  Alcotest.(check bool) "75% read rivals 1Paxos at 3 clients" true
+    (get "2PC-Joint - 75% read" 3 > 0.5 *. get "1Paxos - 0% read" 3);
+  (* More clients erode the 2PC-Joint advantage. *)
+  Alcotest.(check bool) "5 clients worse than 3 for 2PC-Joint 75%" true
+    (get "2PC-Joint - 75% read" 5 < get "2PC-Joint - 75% read" 3);
+  (* Without reads, 1Paxos dominates everywhere. *)
+  Alcotest.(check bool) "1Paxos > 2PC-Joint at 0% reads" true
+    (get "1Paxos - 0% read" 5 > get "2PC-Joint - 0% read" 5)
+
+let test_fig11_recovery () =
+  match E.fig11 ~duration:(Sim_time.ms 120) () with
+  | [ faulty; baseline ] ->
+    Alcotest.(check bool) "a leader change happened" true
+      (faulty.E.leader_changes >= 1);
+    let n = Array.length faulty.E.rates in
+    let last_rate = faulty.E.rates.(n - 2) in
+    let base_last = baseline.E.rates.(Array.length baseline.E.rates - 2) in
+    Alcotest.(check bool)
+      (Printf.sprintf "recovers to baseline (%.0f vs %.0f)" last_rate base_last)
+      true
+      (last_rate > 0.9 *. base_last);
+    (* The fault bucket (t=40ms, index 4) dips below baseline. *)
+    Alcotest.(check bool) "dip at the fault" true
+      (faulty.E.rates.(4) < 0.9 *. baseline.E.rates.(4))
+  | _ -> Alcotest.fail "expected two timelines"
+
+let test_sec2_2_blocking () =
+  match E.sec2_2 ~duration:(Sim_time.ms 120) () with
+  | [ faulty; baseline ] ->
+    let n = Array.length faulty.E.rates in
+    (* After the fault at 40ms, 2PC throughput stays near zero. *)
+    let tail_max = ref 0. in
+    for i = 5 to n - 2 do
+      tail_max := Float.max !tail_max faulty.E.rates.(i)
+    done;
+    let base = baseline.E.rates.(2) in
+    Alcotest.(check bool)
+      (Printf.sprintf "2PC stays near zero (%.0f vs baseline %.0f)" !tail_max base)
+      true
+      (!tail_max < 0.05 *. base)
+  | _ -> Alcotest.fail "expected two timelines"
+
+let test_ablation_placement_coupling () =
+  match E.ablation_placement ~duration:(Sim_time.ms 80) () with
+  | [ colocated; separate ] ->
+    let thr (s : E.series) =
+      match s.E.points with [ p ] -> p.E.throughput | _ -> Alcotest.fail "one point"
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "separate placement survives the fault better (%.0f vs %.0f)"
+         (thr separate) (thr colocated))
+      true
+      (thr separate > 2. *. thr colocated)
+  | _ -> Alcotest.fail "expected two cases"
+
+let suite =
+  ( "experiments",
+    [
+      Alcotest.test_case "E1 netchar ratios (Section 3)" `Quick test_netchar_shapes;
+      Alcotest.test_case "E4 latency ordering (7.2)" `Quick test_latency_table_ordering;
+      Alcotest.test_case "E5 figure 8 shapes" `Quick test_fig8_shapes;
+      Alcotest.test_case "E6 figure 9 shapes" `Slow test_fig9_shapes;
+      Alcotest.test_case "E7 figure 10 shapes" `Quick test_fig10_shapes;
+      Alcotest.test_case "E8 figure 11 recovery" `Quick test_fig11_recovery;
+      Alcotest.test_case "E3 section 2.2 blocking" `Quick test_sec2_2_blocking;
+      Alcotest.test_case "A1 placement coupling" `Quick test_ablation_placement_coupling;
+    ] )

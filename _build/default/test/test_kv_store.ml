@@ -1,0 +1,84 @@
+module Kv_store = Ci_rsm.Kv_store
+module Command = Ci_rsm.Command
+
+let result = Alcotest.testable Command.pp_result Command.equal_result
+
+let test_put_get () =
+  let s = Kv_store.create () in
+  Alcotest.check result "miss" (Found None) (Kv_store.apply s (Get { key = 1 }));
+  Alcotest.check result "put" Done (Kv_store.apply s (Put { key = 1; data = 10 }));
+  Alcotest.check result "hit" (Found (Some 10)) (Kv_store.apply s (Get { key = 1 }));
+  Alcotest.check result "overwrite" Done (Kv_store.apply s (Put { key = 1; data = 20 }));
+  Alcotest.check result "new value" (Found (Some 20)) (Kv_store.apply s (Get { key = 1 }))
+
+let test_cas () =
+  let s = Kv_store.create () in
+  Alcotest.check result "cas on missing key fails" (Swapped false)
+    (Kv_store.apply s (Cas { key = 1; expect = 0; data = 5 }));
+  ignore (Kv_store.apply s (Put { key = 1; data = 5 }));
+  Alcotest.check result "wrong expectation fails" (Swapped false)
+    (Kv_store.apply s (Cas { key = 1; expect = 4; data = 9 }));
+  Alcotest.(check (option int)) "value unchanged" (Some 5) (Kv_store.get s 1);
+  Alcotest.check result "matching cas succeeds" (Swapped true)
+    (Kv_store.apply s (Cas { key = 1; expect = 5; data = 9 }));
+  Alcotest.(check (option int)) "value updated" (Some 9) (Kv_store.get s 1)
+
+let test_nop () =
+  let s = Kv_store.create () in
+  Alcotest.check result "nop" Done (Kv_store.apply s Nop);
+  Alcotest.(check int) "no keys created" 0 (Kv_store.size s)
+
+let test_fingerprint_converges () =
+  let a = Kv_store.create () and b = Kv_store.create () in
+  let cmds =
+    [
+      Command.Put { key = 1; data = 10 };
+      Put { key = 2; data = 20 };
+      Cas { key = 1; expect = 10; data = 11 };
+      Put { key = 3; data = 30 };
+    ]
+  in
+  List.iter (fun c -> ignore (Kv_store.apply a c)) cmds;
+  List.iter (fun c -> ignore (Kv_store.apply b c)) cmds;
+  Alcotest.(check int) "same history, same fingerprint" (Kv_store.fingerprint a)
+    (Kv_store.fingerprint b);
+  ignore (Kv_store.apply b (Put { key = 1; data = 999 }));
+  Alcotest.(check bool) "divergence changes fingerprint" true
+    (Kv_store.fingerprint a <> Kv_store.fingerprint b)
+
+let test_snapshot_sorted () =
+  let s = Kv_store.create () in
+  List.iter
+    (fun (k, v) -> ignore (Kv_store.apply s (Put { key = k; data = v })))
+    [ (5, 50); (1, 10); (3, 30) ];
+  Alcotest.(check (list (pair int int))) "sorted by key"
+    [ (1, 10); (3, 30); (5, 50) ]
+    (Kv_store.snapshot s);
+  Alcotest.(check int) "size" 3 (Kv_store.size s)
+
+(* Property: order-sensitive commands detect order divergence — two
+   stores that apply the same multiset of Cas-heavy commands in
+   different orders rarely agree, but identical orders always do. *)
+let prop_fingerprint_order =
+  QCheck.Test.make ~name:"identical command sequences converge" ~count:100
+    QCheck.(list (pair (int_bound 8) (int_bound 100)))
+    (fun pairs ->
+      let a = Kv_store.create () and b = Kv_store.create () in
+      List.iter
+        (fun (k, v) ->
+          let c = Command.Put { key = k; data = v } in
+          ignore (Kv_store.apply a c);
+          ignore (Kv_store.apply b c))
+        pairs;
+      Kv_store.fingerprint a = Kv_store.fingerprint b)
+
+let suite =
+  ( "kv_store",
+    [
+      Alcotest.test_case "put/get" `Quick test_put_get;
+      Alcotest.test_case "cas semantics" `Quick test_cas;
+      Alcotest.test_case "nop" `Quick test_nop;
+      Alcotest.test_case "fingerprint convergence" `Quick test_fingerprint_converges;
+      Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+      QCheck_alcotest.to_alcotest prop_fingerprint_order;
+    ] )

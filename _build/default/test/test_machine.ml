@@ -1,0 +1,191 @@
+module Machine = Ci_machine.Machine
+module Topology = Ci_machine.Topology
+module Net_params = Ci_machine.Net_params
+module Sim_time = Ci_engine.Sim_time
+
+let params =
+  {
+    Net_params.send_cost = 5;
+    recv_cost = 5;
+    handler_cost = 10;
+    prop_intra = 20;
+    prop_inter = 100;
+    queue_slots = 7;
+  }
+
+let mk () : string Machine.t =
+  Machine.create ~topology:Topology.opteron_48 ~params ()
+
+let test_node_ids_sequential () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  Alcotest.(check int) "first id" 0 (Machine.node_id a);
+  Alcotest.(check int) "second id" 1 (Machine.node_id b);
+  Alcotest.(check int) "count" 2 (Machine.n_nodes m);
+  Alcotest.(check int) "core of b" 1 (Machine.core_of b)
+
+let test_send_and_receive () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  let got = ref [] in
+  Machine.set_handler b (fun ~src msg -> got := (src, msg, Machine.now m) :: !got);
+  Machine.send a ~dst:(Machine.node_id b) "hello";
+  Machine.run m;
+  match !got with
+  | [ (src, msg, at) ] ->
+    Alcotest.(check int) "src" 0 src;
+    Alcotest.(check string) "payload" "hello" msg;
+    (* send 5 + prop_intra 20 + recv 5 + handler 10 = 40 *)
+    Alcotest.(check int) "intra-socket delivery time" 40 at
+  | other -> Alcotest.failf "expected one delivery, got %d" (List.length other)
+
+let test_inter_socket_slower () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:6 (* next socket *) in
+  let at = ref 0 in
+  Machine.set_handler b (fun ~src:_ _ -> at := Machine.now m);
+  Machine.send a ~dst:(Machine.node_id b) "x";
+  Machine.run m;
+  (* send 5 + prop_inter 100 + recv 5 + handler 10 = 120 *)
+  Alcotest.(check int) "inter-socket delivery time" 120 !at
+
+let test_self_send_charges_handler_only () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let at = ref (-1) in
+  Machine.set_handler a (fun ~src msg ->
+      Alcotest.(check int) "src is self" 0 src;
+      Alcotest.(check string) "payload" "loop" msg;
+      at := Machine.now m);
+  Machine.send a ~dst:0 "loop";
+  Machine.run m;
+  Alcotest.(check int) "handler cost only" 10 !at;
+  Alcotest.(check int) "not a boundary-crossing message" 0 (Machine.total_messages m)
+
+let test_counters () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  Machine.set_handler b (fun ~src:_ _ -> ());
+  for _ = 1 to 5 do
+    Machine.send a ~dst:1 "m"
+  done;
+  Machine.run m;
+  Alcotest.(check int) "sent" 5 (Machine.messages_sent m ~node:0);
+  Alcotest.(check int) "received" 5 (Machine.messages_received m ~node:1);
+  Alcotest.(check int) "total" 5 (Machine.total_messages m);
+  Alcotest.(check int) "b sent nothing" 0 (Machine.messages_sent m ~node:1)
+
+let test_send_many_order () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  let c = Machine.add_node m ~core:2 in
+  let arrivals = ref [] in
+  let record name = fun ~src:_ _ -> arrivals := (name, Machine.now m) :: !arrivals in
+  Machine.set_handler b (record "b");
+  Machine.set_handler c (record "c");
+  Machine.send_many a ~dsts:[ 1; 2 ] "m";
+  Machine.run m;
+  (match List.rev !arrivals with
+   | [ ("b", tb); ("c", tc) ] ->
+     (* The second transmission only starts after the first: staggered
+        by one send cost. *)
+     Alcotest.(check int) "staggered transmissions" 5 (tc - tb)
+   | other ->
+     Alcotest.failf "unexpected arrivals: %s"
+       (String.concat "," (List.map fst other)))
+
+let test_timers_and_compute () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let log = ref [] in
+  Machine.after a ~delay:100 (fun () -> log := ("timer", Machine.now m) :: !log);
+  Machine.compute a ~cost:30 (fun () -> log := ("compute", Machine.now m) :: !log);
+  Machine.run m;
+  Alcotest.(check (list (pair string int)))
+    "compute occupies the core; the timer is free"
+    [ ("compute", 30); ("timer", 100) ]
+    (List.rev !log)
+
+let test_shared_core_serializes () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:5 in
+  let c = Machine.add_node m ~core:5 in
+  (* b and c share core 5: their receptions serialize. *)
+  let times = ref [] in
+  Machine.set_handler b (fun ~src:_ _ -> times := Machine.now m :: !times);
+  Machine.set_handler c (fun ~src:_ _ -> times := Machine.now m :: !times);
+  Machine.send a ~dst:(Machine.node_id b) "x";
+  Machine.send a ~dst:(Machine.node_id c) "y";
+  Machine.run m;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+    (* Arrivals are staggered by the sender (5) and then serialized on
+       the shared receiving core (recv 5 + handler 10 each). *)
+    Alcotest.(check bool)
+      (Printf.sprintf "second waits for first (%d then %d)" t1 t2)
+      true
+      (t2 - t1 >= 15)
+  | other -> Alcotest.failf "expected 2 deliveries, got %d" (List.length other)
+
+let test_slow_core_delays_handler () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  Machine.slow_core m ~core:1 ~from_:0 ~until_:10_000 ~factor:10.;
+  let at = ref 0 in
+  Machine.set_handler b (fun ~src:_ _ -> at := Machine.now m);
+  Machine.send a ~dst:1 "x";
+  Machine.run m;
+  (* send 5 + prop 20 + 10x (recv 5 + handler 10) = 175 *)
+  Alcotest.(check int) "reception stretched" 175 !at
+
+let test_bad_core () =
+  let m = mk () in
+  try
+    ignore (Machine.add_node m ~core:48);
+    Alcotest.fail "out-of-range core accepted"
+  with Invalid_argument _ -> ()
+
+let test_tracer () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  Machine.set_handler b (fun ~src:_ _ -> ());
+  let seen = ref [] in
+  Machine.set_tracer m
+    (Some (fun ~time ~src ~dst msg -> seen := (time, src, dst, msg) :: !seen));
+  Machine.send a ~dst:1 "traced";
+  Machine.send a ~dst:0 "local-not-traced";
+  Machine.run m;
+  (match !seen with
+   | [ (t, 0, 1, "traced") ] ->
+     Alcotest.(check bool) "at delivery time" true (t > 0)
+   | other -> Alcotest.failf "expected 1 traced delivery, got %d" (List.length other));
+  Machine.set_tracer m None;
+  Machine.send a ~dst:1 "untraced";
+  Machine.run m;
+  Alcotest.(check int) "tracer cleared" 1 (List.length !seen)
+
+let suite =
+  ( "machine",
+    [
+      Alcotest.test_case "sequential node ids" `Quick test_node_ids_sequential;
+      Alcotest.test_case "send and receive with costs" `Quick test_send_and_receive;
+      Alcotest.test_case "inter-socket propagation" `Quick test_inter_socket_slower;
+      Alcotest.test_case "self-send charges handler only" `Quick
+        test_self_send_charges_handler_only;
+      Alcotest.test_case "message counters" `Quick test_counters;
+      Alcotest.test_case "send_many staggering" `Quick test_send_many_order;
+      Alcotest.test_case "timers and compute" `Quick test_timers_and_compute;
+      Alcotest.test_case "shared core serializes" `Quick test_shared_core_serializes;
+      Alcotest.test_case "slow core stretches reception" `Quick
+        test_slow_core_delays_handler;
+      Alcotest.test_case "invalid core rejected" `Quick test_bad_core;
+      Alcotest.test_case "delivery tracer" `Quick test_tracer;
+    ] )

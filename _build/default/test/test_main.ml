@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "consensus_inside"
+    [
+      Test_sim_time.suite;
+      Test_rng.suite;
+      Test_event_queue.suite;
+      Test_sim.suite;
+      Test_trace.suite;
+      Test_topology.suite;
+      Test_cpu.suite;
+      Test_channel.suite;
+      Test_machine.suite;
+      Test_command.suite;
+      Test_kv_store.suite;
+      Test_session_table.suite;
+      Test_op_log.suite;
+      Test_consistency.suite;
+      Test_pn.suite;
+      Test_wire.suite;
+      Test_replica_core.suite;
+      Test_single_decree.suite;
+      Test_paxos_utility.suite;
+      Test_onepaxos.suite;
+      Test_multipaxos.suite;
+      Test_twopc.suite;
+      Test_mencius.suite;
+      Test_cheap_paxos.suite;
+      Test_stats.suite;
+      Test_client.suite;
+      Test_runner.suite;
+      Test_experiments.suite;
+      Test_props.suite;
+      Test_report.suite;
+      List.hd Test_smoke.suites;
+    ]

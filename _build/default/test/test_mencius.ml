@@ -1,0 +1,119 @@
+(* Mencius: multi-leader ordering, skips, load distribution (§8). *)
+
+open Test_util
+module Mencius = Ci_consensus.Mencius
+module Command = Ci_rsm.Command
+
+let test_single_owner_commits () =
+  let h = mencius_cluster () in
+  send h ~dst:0 ~req_id:0 (Command.Put { key = 1; data = 5 });
+  run_ms h 5;
+  (match h.replies with
+   | [ (0, Command.Done, _) ] -> ()
+   | _ -> Alcotest.failf "expected one reply, got %d" (List.length h.replies));
+  check_safety ~cores:(mencius_cores h) h
+
+let test_any_replica_serves () =
+  (* Every replica is a leader for its own slots: requests sent to any
+     of the three commit without forwarding. *)
+  let h = mencius_cluster () in
+  send h ~dst:0 ~req_id:0 (Command.Put { key = 0; data = 0 });
+  send h ~dst:1 ~req_id:1 (Command.Put { key = 1; data = 1 });
+  send h ~dst:2 ~req_id:2 (Command.Put { key = 2; data = 2 });
+  run_ms h 5;
+  Alcotest.(check (list int)) "all three served" [ 0; 1; 2 ]
+    (List.sort compare (reply_ids h));
+  check_safety ~cores:(mencius_cores h) h
+
+let test_skips_fill_idle_slots () =
+  (* Only replica 0 has traffic: replicas 1 and 2 must cede their slots
+     so the log executes past them. *)
+  let h = mencius_cluster () in
+  for i = 0 to 9 do
+    send h ~dst:0 ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 10;
+  Alcotest.(check int) "all commits despite idle owners" 10 (List.length h.replies);
+  Alcotest.(check bool) "replica 1 skipped slots" true
+    (Mencius.skips_proposed h.replicas.(1) > 0);
+  Alcotest.(check bool) "replica 2 skipped slots" true
+    (Mencius.skips_proposed h.replicas.(2) > 0);
+  Alcotest.(check int) "replica 0 never skips its own used slots" 10
+    (Mencius.owned_used h.replicas.(0));
+  check_safety ~cores:(mencius_cores h) h
+
+let test_interleaved_owners () =
+  let h = mencius_cluster () in
+  for i = 0 to 29 do
+    send h ~dst:(i mod 3) ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 10;
+  Alcotest.(check int) "all commits" 30 (List.length h.replies);
+  (* Balanced load: no skips needed once everyone proposes. *)
+  let total_skips =
+    Array.fold_left (fun acc r -> acc + Mencius.skips_proposed r) 0 h.replicas
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "few skips under balanced load (%d)" total_skips)
+    true (total_skips <= 6);
+  check_safety ~cores:(mencius_cores h) h
+
+let test_logs_identical_across_replicas () =
+  let h = mencius_cluster () in
+  for i = 0 to 19 do
+    send h ~dst:(i mod 3) ~req_id:i (Command.Put { key = i mod 4; data = i })
+  done;
+  run_ms h 10;
+  let views =
+    Array.to_list (mencius_cores h) |> List.map Ci_consensus.Replica_core.view
+  in
+  (match views with
+   | v :: rest ->
+     List.iter
+       (fun v' ->
+         Alcotest.(check int) "same fingerprint"
+           v.Ci_rsm.Consistency.fingerprint v'.Ci_rsm.Consistency.fingerprint)
+       rest
+   | [] -> assert false);
+  check_safety ~cores:(mencius_cores h) h
+
+let test_skip_value_identification () =
+  Alcotest.(check bool) "skip detected" true
+    (Mencius.is_skip_value { Wire.client = -1; req_id = 7; cmd = Command.Nop });
+  Alcotest.(check bool) "client value not a skip" false
+    (Mencius.is_skip_value { Wire.client = 3; req_id = 7; cmd = Command.Nop });
+  Alcotest.(check bool) "non-nop not a skip" false
+    (Mencius.is_skip_value
+       { Wire.client = -1; req_id = 7; cmd = Command.Put { key = 1; data = 1 } })
+
+let test_duplicate_request_cached () =
+  let h = mencius_cluster () in
+  send h ~dst:1 ~req_id:0 (Command.Put { key = 1; data = 1 });
+  run_ms h 5;
+  send h ~dst:1 ~req_id:0 (Command.Put { key = 1; data = 1 });
+  run_ms h 10;
+  Alcotest.(check int) "both replied" 2 (List.length h.replies);
+  check_safety ~cores:(mencius_cores h) h
+
+let test_five_replicas () =
+  let h = mencius_cluster ~n:5 () in
+  for i = 0 to 24 do
+    send h ~dst:(i mod 5) ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 10;
+  Alcotest.(check int) "all commits on 5 owners" 25 (List.length h.replies);
+  check_safety ~cores:(mencius_cores h) h
+
+let suite =
+  ( "mencius",
+    [
+      Alcotest.test_case "single owner commits" `Quick test_single_owner_commits;
+      Alcotest.test_case "any replica serves its clients" `Quick test_any_replica_serves;
+      Alcotest.test_case "skips fill idle owners' slots" `Quick test_skips_fill_idle_slots;
+      Alcotest.test_case "interleaved owners, few skips" `Quick test_interleaved_owners;
+      Alcotest.test_case "identical logs across replicas" `Quick
+        test_logs_identical_across_replicas;
+      Alcotest.test_case "skip value identification" `Quick test_skip_value_identification;
+      Alcotest.test_case "duplicate request cached" `Quick test_duplicate_request_cached;
+      Alcotest.test_case "five owners" `Quick test_five_replicas;
+    ] )

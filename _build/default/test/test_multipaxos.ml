@@ -1,0 +1,169 @@
+(* Collapsed Multi-Paxos: fast path, majority progress, elections. *)
+
+open Test_util
+module Multipaxos = Ci_consensus.Multipaxos
+module Command = Ci_rsm.Command
+
+let test_failure_free_commit () =
+  let h = multipaxos_cluster () in
+  send h ~req_id:0 (Command.Put { key = 1; data = 5 });
+  run_ms h 5;
+  (match h.replies with
+   | [ (0, Command.Done, _) ] -> ()
+   | _ -> Alcotest.failf "expected one reply, got %d" (List.length h.replies));
+  Alcotest.(check bool) "initial leader elected" true
+    (Multipaxos.is_leader h.replicas.(0));
+  check_safety ~cores:(multipaxos_cores h) h
+
+let test_all_learners_learn () =
+  let h = multipaxos_cluster () in
+  for i = 0 to 9 do
+    send h ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 10;
+  Alcotest.(check int) "all replies" 10 (List.length h.replies);
+  Array.iter
+    (fun core ->
+      Alcotest.(check int) "learner executed all" 10
+        (Ci_consensus.Replica_core.commits core))
+    (multipaxos_cores h);
+  check_safety ~cores:(multipaxos_cores h) h
+
+let test_message_count_per_commit () =
+  (* Figure 3: ten boundary-crossing messages per command on three
+     collapsed replicas. *)
+  let h = multipaxos_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  let warm = Machine.total_messages h.machine in
+  let reqs = 50 in
+  let next = ref 1 in
+  let pump () =
+    if !next <= reqs then begin
+      let r = !next in
+      incr next;
+      send h ~req_id:r Command.Nop
+    end
+  in
+  Machine.set_handler h.client (fun ~src:_ msg ->
+      match msg with
+      | Wire.Reply { req_id; result; _ } ->
+        h.replies <- (req_id, result, Machine.now h.machine) :: h.replies;
+        pump ()
+      | _ -> ());
+  pump ();
+  run_ms h 50;
+  let per_commit =
+    float_of_int (Machine.total_messages h.machine - warm) /. float_of_int reqs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "10 messages per commit (got %.2f)" per_commit)
+    true
+    (per_commit > 9.9 && per_commit < 10.1)
+
+let test_progress_with_slow_follower () =
+  (* Non-blocking: majority suffices. Contrast with the 2PC test. *)
+  let h = multipaxos_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:2 ~from_ms:5 ~until_ms:100 ~factor:1e9;
+  for i = 1 to 10 do
+    send h ~req_id:i Command.Nop
+  done;
+  run_ms h 20;
+  Alcotest.(check int) "commits continue with a slow follower" 11
+    (List.length h.replies);
+  check_safety ~cores:(multipaxos_cores h) h
+
+let test_leader_election_on_failover () =
+  let h = multipaxos_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:0 ~from_ms:5 ~until_ms:200 ~factor:1e9;
+  send h ~dst:1 ~req_id:1 (Command.Put { key = 3; data = 3 });
+  run_ms h 100;
+  Alcotest.(check bool) "reply after takeover" true
+    (List.exists (fun (r, _, _) -> r = 1) h.replies);
+  Alcotest.(check bool) "replica 1 leads" true (Multipaxos.is_leader h.replicas.(1));
+  Alcotest.(check bool) "it ran an election" true (Multipaxos.elections h.replicas.(1) >= 1);
+  check_safety ~cores:(multipaxos_cores h) h
+
+let test_deposed_leader_steps_down () =
+  let h = multipaxos_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:0 ~from_ms:5 ~until_ms:30 ~factor:1e9;
+  send h ~dst:1 ~req_id:1 Command.Nop;
+  run_ms h 100;
+  (* The old leader recovered at 30ms; once it observes the higher
+     proposal number it must not consider itself leader. *)
+  Alcotest.(check bool) "old leader stepped down" false
+    (Multipaxos.is_leader h.replicas.(0));
+  check_safety ~cores:(multipaxos_cores h) h
+
+let test_in_flight_values_survive_election () =
+  (* Accepted-but-unlearned values must be re-proposed by the next
+     leader with the same values (the promise/adoption rule). *)
+  let h = multipaxos_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:0 ~from_ms:5 ~until_ms:300 ~factor:1e9;
+  for i = 1 to 4 do
+    send h ~dst:0 ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 10;
+  (* Requests are stuck at the slow leader; the client retries them at
+     replica 1, which takes over. *)
+  for i = 1 to 4 do
+    send h ~dst:1 ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 200;
+  Alcotest.(check bool) "all retried requests answered" true
+    (List.for_all
+       (fun i -> List.exists (fun (r, _, _) -> r = i) h.replies)
+       [ 1; 2; 3; 4 ]);
+  check_safety ~cores:(multipaxos_cores h) h
+
+let test_five_replicas_two_slow () =
+  let h = multipaxos_cluster ~n:5 () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:3 ~from_ms:5 ~until_ms:100 ~factor:1e9;
+  slow_core h ~core:4 ~from_ms:5 ~until_ms:100 ~factor:1e9;
+  for i = 1 to 10 do
+    send h ~req_id:i Command.Nop
+  done;
+  run_ms h 30;
+  Alcotest.(check int) "majority of 5 progresses" 11 (List.length h.replies);
+  check_safety ~cores:(multipaxos_cores h) h
+
+let test_relaxed_read () =
+  let h =
+    multipaxos_cluster ~tweak:(fun c -> { c with Multipaxos.relaxed_reads = true }) ()
+  in
+  send h ~req_id:0 (Command.Put { key = 1; data = 77 });
+  run_ms h 5;
+  send h ~dst:1 ~relaxed:true ~req_id:1 (Command.Get { key = 1 });
+  run_ms h 10;
+  match h.replies with
+  | (1, Command.Found (Some 77), _) :: _ -> ()
+  | _ -> Alcotest.fail "local read failed"
+
+let suite =
+  ( "multipaxos",
+    [
+      Alcotest.test_case "failure-free commit" `Quick test_failure_free_commit;
+      Alcotest.test_case "all learners learn" `Quick test_all_learners_learn;
+      Alcotest.test_case "10 messages per commit (Figure 3)" `Quick
+        test_message_count_per_commit;
+      Alcotest.test_case "progress with slow follower" `Quick
+        test_progress_with_slow_follower;
+      Alcotest.test_case "leader election on failover" `Quick
+        test_leader_election_on_failover;
+      Alcotest.test_case "deposed leader steps down" `Quick
+        test_deposed_leader_steps_down;
+      Alcotest.test_case "in-flight values survive election" `Quick
+        test_in_flight_values_survive_election;
+      Alcotest.test_case "five replicas, two slow" `Quick test_five_replicas_two_slow;
+      Alcotest.test_case "relaxed local read" `Quick test_relaxed_read;
+    ] )

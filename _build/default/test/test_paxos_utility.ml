@@ -1,0 +1,188 @@
+(* PaxosUtility: the configuration consensus of Sections 5.2/5.3. *)
+
+module Machine = Ci_machine.Machine
+module Topology = Ci_machine.Topology
+module Net_params = Ci_machine.Net_params
+module Sim_time = Ci_engine.Sim_time
+module Wire = Ci_consensus.Wire
+module Paxos_utility = Ci_consensus.Paxos_utility
+
+let seed_entries =
+  [
+    Wire.Leader_change { leader = 0; acceptor = 1 };
+    Wire.Acceptor_change { acceptor = 1; carried = [] };
+  ]
+
+let mk_cluster ?(n = 3) ?(seed = 1) ?(seed_log = seed_entries) () =
+  let machine : Wire.t Machine.t =
+    Machine.create ~seed ~topology:(Topology.single_socket (n + 1))
+      ~params:Net_params.multicore ()
+  in
+  let nodes = Array.init n (fun i -> Machine.add_node machine ~core:i) in
+  let ids = Array.map Machine.node_id nodes in
+  let applied = Array.make n [] in
+  let pus =
+    Array.mapi
+      (fun i node ->
+        Paxos_utility.create ~node ~peers:ids ~timeout:(Sim_time.us 400)
+          ~seed:seed_log ~on_entry:(fun ~cseq entry ->
+            applied.(i) <- (cseq, entry) :: applied.(i)))
+      nodes
+  in
+  Array.iteri
+    (fun i node ->
+      let pu = pus.(i) in
+      Machine.set_handler node (fun ~src msg ->
+          ignore (Paxos_utility.handle pu ~src msg)))
+    nodes;
+  (machine, pus, applied)
+
+let test_seeding () =
+  let _, pus, applied = mk_cluster () in
+  Array.iter
+    (fun pu ->
+      Alcotest.(check int) "next slot after seeds" 2 (Paxos_utility.next_cseq pu);
+      Alcotest.(check (option int)) "leader" (Some 0) (Paxos_utility.current_leader pu);
+      Alcotest.(check (option int)) "acceptor" (Some 1)
+        (Paxos_utility.current_acceptor pu))
+    pus;
+  Array.iter
+    (fun entries -> Alcotest.(check int) "on_entry fired per seed" 2 (List.length entries))
+    applied
+
+let test_propose_success () =
+  let machine, pus, applied = mk_cluster () in
+  let outcome = ref None in
+  Paxos_utility.propose pus.(2)
+    (Wire.Leader_change { leader = 2; acceptor = 1 })
+    (fun ~ok -> outcome := Some ok);
+  Machine.run_until machine ~time:(Sim_time.ms 5);
+  Alcotest.(check (option bool)) "proposal succeeded" (Some true) !outcome;
+  Array.iteri
+    (fun i entries ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d applied the new entry" i)
+        3 (List.length entries))
+    applied;
+  Array.iter
+    (fun pu ->
+      Alcotest.(check (option int)) "leader updated everywhere" (Some 2)
+        (Paxos_utility.current_leader pu))
+    pus
+
+let test_competing_proposals () =
+  let machine, pus, _ = mk_cluster ~seed:5 () in
+  let ok1 = ref None and ok2 = ref None in
+  Paxos_utility.propose pus.(1)
+    (Wire.Leader_change { leader = 1; acceptor = 1 })
+    (fun ~ok -> ok1 := Some ok);
+  Paxos_utility.propose pus.(2)
+    (Wire.Leader_change { leader = 2; acceptor = 1 })
+    (fun ~ok -> ok2 := Some ok);
+  Machine.run_until machine ~time:(Sim_time.ms 50);
+  (match !ok1, !ok2 with
+   | Some a, Some b ->
+     Alcotest.(check bool) "exactly one slot winner" true (a <> b)
+   | _ -> Alcotest.fail "competing proposals did not both resolve");
+  (* The slot's decision is the same on every node. *)
+  let entry_at pu = List.assoc_opt 2 (Paxos_utility.entries pu) in
+  match Array.to_list pus |> List.filter_map entry_at with
+  | e :: rest ->
+    List.iter
+      (fun e' ->
+        Alcotest.(check bool) "agreement on slot 2" true (Wire.config_entry_equal e e'))
+      rest
+  | [] -> Alcotest.fail "slot 2 undecided"
+
+let test_sequential_proposals () =
+  let machine, pus, _ = mk_cluster () in
+  let done2 = ref false in
+  Paxos_utility.propose pus.(0)
+    (Wire.Acceptor_change { acceptor = 2; carried = [] })
+    (fun ~ok ->
+      Alcotest.(check bool) "first ok" true ok;
+      Paxos_utility.propose pus.(0)
+        (Wire.Acceptor_change { acceptor = 1; carried = [] })
+        (fun ~ok ->
+          Alcotest.(check bool) "second ok" true ok;
+          done2 := true));
+  Machine.run_until machine ~time:(Sim_time.ms 10);
+  Alcotest.(check bool) "both chosen" true !done2;
+  Alcotest.(check int) "log advanced twice" 4 (Paxos_utility.next_cseq pus.(0))
+
+let test_propose_while_proposing_rejected () =
+  let machine, pus, _ = mk_cluster () in
+  Paxos_utility.propose pus.(0)
+    (Wire.Acceptor_change { acceptor = 2; carried = [] })
+    (fun ~ok:_ -> ());
+  Alcotest.(check bool) "proposing" true (Paxos_utility.proposing pus.(0));
+  (try
+     Paxos_utility.propose pus.(0)
+       (Wire.Acceptor_change { acceptor = 0; carried = [] })
+       (fun ~ok:_ -> ());
+     Alcotest.fail "second in-flight proposal accepted"
+   with Invalid_argument _ -> ());
+  Machine.run_until machine ~time:(Sim_time.ms 5)
+
+let test_sync_catches_up () =
+  let machine, pus, applied = mk_cluster () in
+  (* Freeze node 2 while a config change happens, then let it sync. *)
+  Machine.slow_core machine ~core:2 ~from_:0 ~until_:(Sim_time.ms 10) ~factor:infinity;
+  Paxos_utility.propose pus.(0)
+    (Wire.Acceptor_change { acceptor = 2; carried = [] })
+    (fun ~ok -> Alcotest.(check bool) "majority suffices" true ok);
+  Machine.run_until machine ~time:(Sim_time.ms 15);
+  let synced = ref false in
+  Paxos_utility.sync pus.(2) (fun () -> synced := true);
+  Machine.run_until machine ~time:(Sim_time.ms 25);
+  Alcotest.(check bool) "sync completed" true !synced;
+  Alcotest.(check (option int)) "node 2 caught up" (Some 2)
+    (Paxos_utility.current_acceptor pus.(2));
+  Alcotest.(check int) "on_entry fired in order" 3 (List.length applied.(2))
+
+let test_progress_with_slow_minority () =
+  let machine, pus, _ = mk_cluster () in
+  Machine.slow_core machine ~core:1 ~from_:0 ~until_:(Sim_time.ms 100) ~factor:infinity;
+  let outcome = ref None in
+  Paxos_utility.propose pus.(0)
+    (Wire.Leader_change { leader = 0; acceptor = 2 })
+    (fun ~ok -> outcome := Some ok);
+  Machine.run_until machine ~time:(Sim_time.ms 20);
+  Alcotest.(check (option bool)) "chose despite one slow node" (Some true) !outcome
+
+let test_entries_applied_in_order () =
+  let machine, pus, applied = mk_cluster () in
+  let rec chain i =
+    if i < 5 then
+      Paxos_utility.propose pus.(0)
+        (Wire.Acceptor_change { acceptor = 1 + (i mod 2); carried = [] })
+        (fun ~ok ->
+          Alcotest.(check bool) "chain link chosen" true ok;
+          chain (i + 1))
+  in
+  chain 0;
+  Machine.run_until machine ~time:(Sim_time.ms 20);
+  Array.iteri
+    (fun i log ->
+      let cseqs = List.rev_map fst log in
+      Alcotest.(check (list int))
+        (Printf.sprintf "node %d applied slots in order" i)
+        [ 0; 1; 2; 3; 4; 5; 6 ] cseqs)
+    applied
+
+let suite =
+  ( "paxos_utility",
+    [
+      Alcotest.test_case "seed entries applied" `Quick test_seeding;
+      Alcotest.test_case "propose succeeds" `Quick test_propose_success;
+      Alcotest.test_case "competing proposals: one winner" `Quick
+        test_competing_proposals;
+      Alcotest.test_case "sequential proposals" `Quick test_sequential_proposals;
+      Alcotest.test_case "in-flight proposal exclusivity" `Quick
+        test_propose_while_proposing_rejected;
+      Alcotest.test_case "sync catches a frozen node up" `Quick test_sync_catches_up;
+      Alcotest.test_case "progress with slow minority" `Quick
+        test_progress_with_slow_minority;
+      Alcotest.test_case "entries applied in slot order" `Quick
+        test_entries_applied_in_order;
+    ] )

@@ -1,0 +1,58 @@
+module Pn = Ci_consensus.Pn
+
+let test_bottom_least () =
+  let p = Pn.make ~round:0 ~owner:0 in
+  Alcotest.(check bool) "bottom < any" true Pn.(bottom < p);
+  Alcotest.(check bool) "not >" false Pn.(bottom > p);
+  Alcotest.(check bool) "bottom = bottom" true (Pn.equal Pn.bottom Pn.bottom)
+
+let test_order () =
+  let a = Pn.make ~round:1 ~owner:5 in
+  let b = Pn.make ~round:2 ~owner:0 in
+  let c = Pn.make ~round:1 ~owner:6 in
+  Alcotest.(check bool) "round dominates" true Pn.(a < b);
+  Alcotest.(check bool) "owner breaks ties" true Pn.(a < c);
+  Alcotest.(check bool) "le reflexive" true Pn.(a <= a);
+  Alcotest.(check bool) "ge" true Pn.(b >= c)
+
+let test_uniqueness () =
+  (* Two distinct owners can never produce equal numbers. *)
+  let a = Pn.make ~round:3 ~owner:1 and b = Pn.make ~round:3 ~owner:2 in
+  Alcotest.(check bool) "distinct" false (Pn.equal a b)
+
+let test_succ () =
+  let a = Pn.make ~round:3 ~owner:1 in
+  let s = Pn.succ a ~owner:2 in
+  Alcotest.(check bool) "strictly greater" true Pn.(s > a);
+  Alcotest.(check int) "round bumped" 4 s.Pn.round;
+  Alcotest.(check int) "owner set" 2 s.Pn.owner;
+  let s0 = Pn.succ Pn.bottom ~owner:0 in
+  Alcotest.(check bool) "succ bottom valid" true Pn.(s0 > Pn.bottom)
+
+let test_max () =
+  let a = Pn.make ~round:1 ~owner:9 and b = Pn.make ~round:2 ~owner:0 in
+  Alcotest.(check bool) "max picks larger" true (Pn.equal (Pn.max a b) b);
+  Alcotest.(check bool) "symmetric" true (Pn.equal (Pn.max b a) b)
+
+let test_invalid () =
+  try
+    ignore (Pn.make ~round:(-1) ~owner:0);
+    Alcotest.fail "negative round accepted"
+  with Invalid_argument _ -> ()
+
+let test_pp () =
+  Alcotest.(check string) "bottom" "-inf" (Format.asprintf "%a" Pn.pp Pn.bottom);
+  Alcotest.(check string) "pair" "3.7"
+    (Format.asprintf "%a" Pn.pp (Pn.make ~round:3 ~owner:7))
+
+let suite =
+  ( "pn",
+    [
+      Alcotest.test_case "bottom is least" `Quick test_bottom_least;
+      Alcotest.test_case "lexicographic order" `Quick test_order;
+      Alcotest.test_case "owner uniqueness" `Quick test_uniqueness;
+      Alcotest.test_case "succ" `Quick test_succ;
+      Alcotest.test_case "max" `Quick test_max;
+      Alcotest.test_case "invalid round" `Quick test_invalid;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+    ] )

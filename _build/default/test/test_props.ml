@@ -1,0 +1,134 @@
+(* Adversarial property tests: random fault schedules, client mixes and
+   seeds must never violate the paper's safety properties (agreement,
+   non-triviality, state convergence, session integrity), whatever they
+   do to liveness. *)
+
+module Runner = Ci_workload.Runner
+module Fault_plan = Ci_workload.Fault_plan
+module Sim_time = Ci_engine.Sim_time
+module Consistency = Ci_rsm.Consistency
+
+(* A random fault plan: up to three slowdown windows on arbitrary cores
+   of the 8-core machine, various severities including full crashes. *)
+let fault_gen =
+  QCheck.Gen.(
+    list_size (int_bound 3)
+      (let* core = int_bound 7 in
+       let* start_ms = int_range 1 25 in
+       let* len_ms = int_range 1 40 in
+       let* sev = int_bound 3 in
+       let factor = [| 5.; 30.; 200.; infinity |].(sev) in
+       return
+         (Fault_plan.Slow_core
+            {
+              core;
+              from_ = Sim_time.ms start_ms;
+              until_ = Sim_time.ms (start_ms + len_ms);
+              factor;
+            })))
+
+let scenario_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 100_000 in
+    let* faults = fault_gen in
+    let* clients = int_range 1 5 in
+    let* read_pct = int_bound 50 in
+    return (seed, faults, clients, read_pct))
+
+let scenario_print (seed, faults, clients, read_pct) =
+  Format.asprintf "seed=%d clients=%d reads=%d%% faults=[%a]" seed clients
+    read_pct
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ") Fault_plan.pp)
+    faults
+
+let scenario = QCheck.make ~print:scenario_print scenario_gen
+
+let run_scenario protocol (seed, faults, clients, read_pct) =
+  let spec =
+    {
+      (Runner.default_spec ~protocol
+         ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = clients }))
+      with
+      Runner.topology = Ci_machine.Topology.opteron_8;
+      duration = Sim_time.ms 40;
+      warmup = Sim_time.ms 2;
+      drain = Sim_time.ms 30;
+      seed;
+      read_ratio = float_of_int read_pct /. 100.;
+      timeout = Sim_time.ms 1;
+      faults;
+    }
+  in
+  Runner.run spec
+
+let safety_prop protocol name =
+  QCheck.Test.make ~name ~count:40 scenario (fun sc ->
+      let r = run_scenario protocol sc in
+      if not (Consistency.ok r.Runner.consistency) then
+        QCheck.Test.fail_reportf "%a" Consistency.pp r.Runner.consistency
+      else true)
+
+(* Liveness under recoverable faults: if every fault window closes well
+   before the end of the run and spares a majority... we assert the
+   weaker, always-true property that commits made before the first
+   fault are never lost (captured by session integrity) and that a
+   fault-free tail lets 1Paxos commit again. *)
+let recovery_prop =
+  QCheck.Test.make ~name:"1paxos recovers after transient faults" ~count:25
+    QCheck.(
+      make
+        ~print:(fun (seed, core) -> Printf.sprintf "seed=%d core=%d" seed core)
+        Gen.(pair (int_bound 100_000) (int_bound 2)))
+    (fun (seed, core) ->
+      let spec =
+        {
+          (Runner.default_spec ~protocol:Runner.Onepaxos
+             ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 3 }))
+          with
+          Runner.topology = Ci_machine.Topology.opteron_8;
+          duration = Sim_time.ms 60;
+          warmup = Sim_time.ms 2;
+          drain = Sim_time.ms 5;
+          seed;
+          timeout = Sim_time.ms 1;
+          faults =
+            [
+              Fault_plan.Crash_core
+                { core; from_ = Sim_time.ms 5; until_ = Sim_time.ms 20 };
+            ];
+        }
+      in
+      let r = Runner.run spec in
+      (* Commits in the post-recovery half of the window. *)
+      let buckets = r.Runner.timeline in
+      let tail_commits =
+        Array.to_list buckets
+        |> List.filteri (fun i _ -> i >= 3)
+        |> List.fold_left ( +. ) 0.
+      in
+      Consistency.ok r.Runner.consistency && tail_commits > 0.)
+
+(* Determinism: identical scenarios give identical measurements. *)
+let determinism_prop =
+  QCheck.Test.make ~name:"scenarios are deterministic" ~count:10 scenario
+    (fun sc ->
+      let a = run_scenario Runner.Onepaxos sc in
+      let b = run_scenario Runner.Onepaxos sc in
+      a.Runner.commits = b.Runner.commits
+      && a.Runner.messages = b.Runner.messages
+      && a.Runner.retries = b.Runner.retries)
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest (safety_prop Runner.Onepaxos "1paxos safety under random faults");
+      QCheck_alcotest.to_alcotest
+        (safety_prop Runner.Multipaxos "multipaxos safety under random faults");
+      QCheck_alcotest.to_alcotest (safety_prop Runner.Twopc "2pc safety under random faults");
+      QCheck_alcotest.to_alcotest
+        (safety_prop Runner.Mencius "mencius safety under random faults");
+      QCheck_alcotest.to_alcotest
+        (safety_prop Runner.Cheappaxos "cheap paxos safety under random faults");
+      QCheck_alcotest.to_alcotest recovery_prop;
+      QCheck_alcotest.to_alcotest determinism_prop;
+    ] )

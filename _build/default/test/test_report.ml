@@ -1,0 +1,94 @@
+module E = Ci_workload.Experiments
+module Report = Ci_workload.Report
+
+let series =
+  [
+    {
+      E.label = "alpha";
+      points =
+        [
+          { E.x = 1; throughput = 100.; latency_us = 10.5 };
+          { E.x = 2; throughput = 200.; latency_us = 11.25 };
+        ];
+    };
+    { E.label = "beta, with comma"; points = [ { E.x = 1; throughput = 50.; latency_us = 9. } ] };
+  ]
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let test_series_csv () =
+  let csv = Report.series_csv series in
+  match lines csv with
+  | [ header; r1; r2; r3 ] ->
+    Alcotest.(check string) "header" "label,x,throughput_ops,latency_us" header;
+    Alcotest.(check string) "row 1" "alpha,1,100.0,10.50" r1;
+    Alcotest.(check string) "row 2" "alpha,2,200.0,11.25" r2;
+    Alcotest.(check string) "comma label quoted" "\"beta, with comma\",1,50.0,9.00" r3
+  | other -> Alcotest.failf "expected 4 lines, got %d" (List.length other)
+
+let test_bars_csv () =
+  let csv =
+    Report.bars_csv [ { E.label = "x"; clients = 3; throughput = 1234.5 } ]
+  in
+  Alcotest.(check (list string)) "rows"
+    [ "label,clients,throughput_ops"; "x,3,1234.5" ]
+    (lines csv)
+
+let test_timelines_csv () =
+  let csv =
+    Report.timelines_csv
+      [ { E.label = "t"; bucket_ms = 10.; rates = [| 5.; 15. |]; leader_changes = 0; acceptor_changes = 0 } ]
+  in
+  Alcotest.(check (list string)) "rows"
+    [ "label,t_ms,ops_per_sec"; "t,0,5.0"; "t,10,15.0" ]
+    (lines csv)
+
+let test_netchar_csv () =
+  let csv =
+    Report.netchar_csv
+      [ { E.setting = "mc"; trans_us = 0.5; ping_us = 1.7; prop_us = 0.35; ratio = 1.4286 } ]
+  in
+  Alcotest.(check (list string)) "rows"
+    [ "setting,trans_us,ping_us,prop_us,ratio"; "mc,0.500,1.700,0.350,1.4286" ]
+    (lines csv)
+
+let test_latency_csv () =
+  let csv =
+    Report.latency_csv
+      [ { E.protocol = "1paxos"; latency_us = 15.2; paper_latency_us = 16.; throughput_1c = 65800. } ]
+  in
+  Alcotest.(check (list string)) "rows"
+    [ "protocol,latency_us,paper_latency_us,throughput_1c"; "1paxos,15.20,16.00,65800.0" ]
+    (lines csv)
+
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_gnuplot_series () =
+  let gp = Report.gnuplot_series ~title:"fig8" ~xlabel:"clients" ~csv:"fig8.csv" series in
+  Alcotest.(check bool) "mentions csv" true (contains gp "fig8.csv");
+  Alcotest.(check bool) "mentions series" true (contains gp "alpha");
+  Alcotest.(check bool) "plots columns 2:3" true (contains gp "using 2:3")
+
+let test_write_file () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "ci_report_test" in
+  let path = Report.write_file ~dir ~name:"x.csv" "a,b\n1,2\n" in
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "round trip" "a,b" line;
+  Sys.remove path
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "series csv" `Quick test_series_csv;
+      Alcotest.test_case "bars csv" `Quick test_bars_csv;
+      Alcotest.test_case "timelines csv" `Quick test_timelines_csv;
+      Alcotest.test_case "netchar csv" `Quick test_netchar_csv;
+      Alcotest.test_case "latency csv" `Quick test_latency_csv;
+      Alcotest.test_case "gnuplot script" `Quick test_gnuplot_series;
+      Alcotest.test_case "write file" `Quick test_write_file;
+    ] )

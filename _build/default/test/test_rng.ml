@@ -1,0 +1,133 @@
+module Rng = Ci_engine.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let a' = Rng.bits64 a and b' = Rng.bits64 b in
+  Alcotest.(check bool) "streams diverge after unequal draws" true (a' <> b')
+
+let test_split () =
+  let a = Rng.create ~seed:3 in
+  let c = Rng.split a in
+  let overlaps = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 c then incr overlaps
+  done;
+  Alcotest.(check bool) "split stream is distinct" true (!overlaps < 4)
+
+let test_int_bounds () =
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_covers_range () =
+  let r = Rng.create ~seed:5 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int r 8) <- true
+  done;
+  Array.iteri
+    (fun i b -> Alcotest.(check bool) (Printf.sprintf "value %d drawn" i) true b)
+    seen
+
+let test_int_in () =
+  let r = Rng.create ~seed:13 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in r 5 9 in
+    if v < 5 || v > 9 then Alcotest.failf "int_in out of range: %d" v
+  done;
+  Alcotest.(check int) "degenerate range" 4 (Rng.int_in r 4 4)
+
+let test_float_bounds () =
+  let r = Rng.create ~seed:17 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    if v < 0. || v >= 2.5 then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_chance_extremes () =
+  let r = Rng.create ~seed:19 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Rng.chance r 0.);
+    Alcotest.(check bool) "p=1 always" true (Rng.chance r 1.)
+  done
+
+let test_chance_proportion () =
+  let r = Rng.create ~seed:23 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.chance r 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "p≈0.3 (got %.3f)" p) true
+    (p > 0.27 && p < 0.33)
+
+let test_exponential_mean () =
+  let r = Rng.create ~seed:29 in
+  let n = 50_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    let v = Rng.exponential r ~mean:10. in
+    if v < 0. then Alcotest.fail "negative exponential";
+    total := !total +. v
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean≈10 (got %.2f)" mean) true
+    (mean > 9.5 && mean < 10.5)
+
+let test_shuffle_permutes () =
+  let r = Rng.create ~seed:31 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted;
+  Alcotest.(check bool) "actually moved something" true
+    (a <> Array.init 50 (fun i -> i))
+
+let test_pick () =
+  let r = Rng.create ~seed:37 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick r a in
+    Alcotest.(check bool) "member" true (Array.exists (fun x -> x = v) a)
+  done
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "copy independence" `Quick test_copy_independent;
+      Alcotest.test_case "split independence" `Quick test_split;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+      Alcotest.test_case "int_in bounds" `Quick test_int_in;
+      Alcotest.test_case "float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+      Alcotest.test_case "chance proportion" `Quick test_chance_proportion;
+      Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+      Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+      Alcotest.test_case "pick membership" `Quick test_pick;
+    ] )

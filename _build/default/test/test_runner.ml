@@ -1,0 +1,132 @@
+(* The experiment runner: placements, measurement windows, faults. *)
+
+module Runner = Ci_workload.Runner
+module Fault_plan = Ci_workload.Fault_plan
+module Sim_time = Ci_engine.Sim_time
+module Topology = Ci_machine.Topology
+
+let quick_spec ?(protocol = Runner.Onepaxos) ?(placement = Runner.Dedicated { n_replicas = 3; n_clients = 3 }) () =
+  {
+    (Runner.default_spec ~protocol ~placement) with
+    Runner.duration = Sim_time.ms 10;
+    warmup = Sim_time.ms 2;
+    drain = Sim_time.ms 2;
+  }
+
+let test_throughput_consistent_with_commits () =
+  let r = Runner.run (quick_spec ()) in
+  let expected = float_of_int r.Runner.commits /. 0.010 in
+  Alcotest.(check (float 1.0)) "throughput = commits / duration" expected
+    r.Runner.throughput;
+  Alcotest.(check bool) "window excludes warmup+drain replies" true
+    (r.Runner.total_replies > r.Runner.commits)
+
+let test_latency_summary_populated () =
+  let r = Runner.run (quick_spec ()) in
+  Alcotest.(check int) "one sample per commit" r.Runner.commits
+    r.Runner.latency.Ci_stats.Summary.count;
+  Alcotest.(check bool) "plausible latency" true
+    (r.Runner.latency.Ci_stats.Summary.mean > 1_000.
+     && r.Runner.latency.Ci_stats.Summary.mean < 1_000_000.)
+
+let test_deterministic () =
+  let r1 = Runner.run (quick_spec ()) in
+  let r2 = Runner.run (quick_spec ()) in
+  Alcotest.(check int) "same seed, same commits" r1.Runner.commits r2.Runner.commits;
+  Alcotest.(check int) "same messages" r1.Runner.messages r2.Runner.messages;
+  let r3 = Runner.run { (quick_spec ()) with Runner.seed = 99 } in
+  ignore r3
+
+let test_joint_placement () =
+  let r =
+    Runner.run (quick_spec ~placement:(Runner.Joint { n_nodes = 5 }) ())
+  in
+  Alcotest.(check bool) "joint commits" true (r.Runner.commits > 0);
+  Alcotest.(check bool) "consistent" true (Ci_rsm.Consistency.ok r.Runner.consistency);
+  Alcotest.(check int) "five replica views" 5
+    r.Runner.consistency.Ci_rsm.Consistency.checked_replicas
+
+let test_fault_applied () =
+  let base = quick_spec ~protocol:Runner.Twopc () in
+  let faulty =
+    {
+      base with
+      Runner.faults =
+        [
+          Fault_plan.Slow_core
+            { core = 0; from_ = Sim_time.ms 2; until_ = Sim_time.ms 20; factor = 1e9 };
+        ];
+    }
+  in
+  let healthy = Runner.run base and broken = Runner.run faulty in
+  Alcotest.(check bool)
+    (Printf.sprintf "slow coordinator kills 2PC (%d vs %d)" broken.Runner.commits
+       healthy.Runner.commits)
+    true
+    (broken.Runner.commits * 10 < healthy.Runner.commits)
+
+let test_crash_core_fault () =
+  let r =
+    Runner.run
+      {
+        (quick_spec ())
+        with
+        Runner.faults =
+          [ Fault_plan.Crash_core { core = 1; from_ = Sim_time.ms 2; until_ = Sim_time.s 1 } ];
+      }
+  in
+  (* Crashing the acceptor: 1Paxos replaces it and keeps committing. *)
+  Alcotest.(check bool) "progress despite crashed acceptor" true (r.Runner.commits > 0);
+  Alcotest.(check bool) "acceptor change recorded" true (r.Runner.acceptor_changes >= 1);
+  Alcotest.(check bool) "consistent" true (Ci_rsm.Consistency.ok r.Runner.consistency)
+
+let test_timeline_length () =
+  let r = Runner.run (quick_spec ()) in
+  (* window = 2ms warmup + 10ms duration + 2ms drain, bucket 10ms →
+     ceil(14/10) + partial coverage: at least one bucket. *)
+  Alcotest.(check bool) "timeline covers the run" true (Array.length r.Runner.timeline >= 1)
+
+let test_invalid_placements () =
+  let check_invalid name spec =
+    try
+      ignore (Runner.run spec);
+      Alcotest.failf "%s accepted" name
+    with Invalid_argument _ -> ()
+  in
+  check_invalid "zero replicas"
+    (quick_spec ~placement:(Runner.Dedicated { n_replicas = 0; n_clients = 1 }) ());
+  check_invalid "zero clients"
+    (quick_spec ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 0 }) ());
+  check_invalid "too many replicas"
+    {
+      (quick_spec ~placement:(Runner.Dedicated { n_replicas = 10; n_clients = 1 }) ())
+      with
+      Runner.topology = Topology.opteron_8;
+    }
+
+let test_colocated_acceptor_option () =
+  let r = Runner.run { (quick_spec ()) with Runner.colocate_acceptor = true } in
+  Alcotest.(check bool) "colocated config still commits" true (r.Runner.commits > 0);
+  Alcotest.(check bool) "consistent" true (Ci_rsm.Consistency.ok r.Runner.consistency)
+
+let test_protocol_names () =
+  Alcotest.(check string) "1paxos" "1paxos" (Runner.protocol_name Runner.Onepaxos);
+  Alcotest.(check string) "multipaxos" "multipaxos"
+    (Runner.protocol_name Runner.Multipaxos);
+  Alcotest.(check string) "2pc" "2pc" (Runner.protocol_name Runner.Twopc)
+
+let suite =
+  ( "runner",
+    [
+      Alcotest.test_case "throughput arithmetic" `Quick
+        test_throughput_consistent_with_commits;
+      Alcotest.test_case "latency summary" `Quick test_latency_summary_populated;
+      Alcotest.test_case "determinism" `Quick test_deterministic;
+      Alcotest.test_case "joint placement" `Quick test_joint_placement;
+      Alcotest.test_case "slow-core fault applied" `Quick test_fault_applied;
+      Alcotest.test_case "crash-core fault" `Quick test_crash_core_fault;
+      Alcotest.test_case "timeline present" `Quick test_timeline_length;
+      Alcotest.test_case "invalid placements rejected" `Quick test_invalid_placements;
+      Alcotest.test_case "colocated acceptor option" `Quick test_colocated_acceptor_option;
+      Alcotest.test_case "protocol names" `Quick test_protocol_names;
+    ] )

@@ -1,0 +1,121 @@
+module Sim = Ci_engine.Sim
+
+let test_initial_state () =
+  let sim = Sim.create () in
+  Alcotest.(check int) "time starts at 0" 0 (Sim.now sim);
+  Alcotest.(check int) "no events" 0 (Sim.pending sim)
+
+let test_schedule_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:20 (fun () -> log := "b" :: !log);
+  Sim.schedule sim ~delay:10 (fun () -> log := "a" :: !log);
+  Sim.schedule sim ~delay:30 (fun () -> log := "c" :: !log);
+  Sim.run sim;
+  Alcotest.(check (list string)) "execution order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref (-1) in
+  Sim.schedule sim ~delay:42 (fun () -> seen := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "handler sees its own time" 42 !seen;
+  Alcotest.(check int) "clock rests at last event" 42 (Sim.now sim)
+
+let test_negative_delay_clamped () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:10 (fun () ->
+      Sim.schedule sim ~delay:(-5) (fun () ->
+          Alcotest.(check int) "clamped to now" 10 (Sim.now sim)));
+  Sim.run sim
+
+let test_schedule_at_past () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.schedule sim ~delay:10 (fun () ->
+      Sim.schedule_at sim ~time:3 (fun () ->
+          fired := true;
+          Alcotest.(check int) "past time runs now" 10 (Sim.now sim)));
+  Sim.run sim;
+  Alcotest.(check bool) "fired" true !fired
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Sim.schedule sim ~delay:t (fun () -> fired := t :: !fired))
+    [ 10; 20; 30; 40 ];
+  Sim.run_until sim ~time:25;
+  Alcotest.(check (list int)) "only events <= 25" [ 10; 20 ] (List.rev !fired);
+  Alcotest.(check int) "clock at horizon" 25 (Sim.now sim);
+  Sim.run_until sim ~time:100;
+  Alcotest.(check (list int)) "rest runs later" [ 10; 20; 30; 40 ] (List.rev !fired)
+
+let test_run_until_exact_boundary () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  Sim.schedule sim ~delay:25 (fun () -> fired := true);
+  Sim.run_until sim ~time:25;
+  Alcotest.(check bool) "boundary event included" true !fired
+
+let test_cascading_events () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      Sim.schedule sim ~delay:1 (fun () ->
+          incr count;
+          chain (n - 1))
+  in
+  chain 100;
+  Sim.run sim;
+  Alcotest.(check int) "all chained events ran" 100 !count;
+  Alcotest.(check int) "time advanced per link" 100 (Sim.now sim)
+
+let test_stop () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Sim.schedule sim ~delay:1 (fun () ->
+        incr count;
+        if !count = 3 then Sim.stop sim)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "stopped after third event" 3 !count;
+  Sim.run sim;
+  Alcotest.(check int) "resumable" 10 !count
+
+let test_max_events () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Sim.schedule sim ~delay:i (fun () -> incr count)
+  done;
+  Sim.run ~max_events:4 sim;
+  Alcotest.(check int) "budget respected" 4 !count
+
+let test_same_time_fifo () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:7 (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.(check (list int)) "FIFO at equal instants" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "initial state" `Quick test_initial_state;
+      Alcotest.test_case "schedule order" `Quick test_schedule_order;
+      Alcotest.test_case "clock advances" `Quick test_clock_advances;
+      Alcotest.test_case "negative delay clamped" `Quick test_negative_delay_clamped;
+      Alcotest.test_case "schedule_at in the past" `Quick test_schedule_at_past;
+      Alcotest.test_case "run_until horizon" `Quick test_run_until;
+      Alcotest.test_case "run_until boundary inclusive" `Quick test_run_until_exact_boundary;
+      Alcotest.test_case "cascading events" `Quick test_cascading_events;
+      Alcotest.test_case "stop and resume" `Quick test_stop;
+      Alcotest.test_case "max_events budget" `Quick test_max_events;
+      Alcotest.test_case "same-instant FIFO" `Quick test_same_time_fifo;
+    ] )

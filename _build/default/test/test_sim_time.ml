@@ -1,0 +1,42 @@
+module Sim_time = Ci_engine.Sim_time
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_units () =
+  check "ns" 7 (Sim_time.ns 7);
+  check "us" 3_000 (Sim_time.us 3);
+  check "ms" 5_000_000 (Sim_time.ms 5);
+  check "s" 2_000_000_000 (Sim_time.s 2)
+
+let test_unit_composition () =
+  check "1s = 1000ms" (Sim_time.s 1) (Sim_time.ms 1000);
+  check "1ms = 1000us" (Sim_time.ms 1) (Sim_time.us 1000);
+  check "1us = 1000ns" (Sim_time.us 1) (Sim_time.ns 1000)
+
+let test_of_us_float () =
+  check "rounds up" 1_500 (Sim_time.of_us_float 1.5);
+  check "rounds nearest" 1_234 (Sim_time.of_us_float 1.2341);
+  check "negative" (-2_500) (Sim_time.of_us_float (-2.5))
+
+let test_to_float () =
+  checkf "to_us" 1.5 (Sim_time.to_us_float 1_500);
+  checkf "to_ms" 2.5 (Sim_time.to_ms_float 2_500_000);
+  checkf "to_s" 0.75 (Sim_time.to_s_float 750_000_000)
+
+let test_pp () =
+  let s t = Format.asprintf "%a" Sim_time.pp t in
+  Alcotest.(check string) "ns range" "999ns" (s 999);
+  Alcotest.(check string) "us range" "1.50us" (s 1_500);
+  Alcotest.(check string) "ms range" "2.10ms" (s 2_100_000);
+  Alcotest.(check string) "s range" "1.500s" (s 1_500_000_000)
+
+let suite =
+  ( "sim_time",
+    [
+      Alcotest.test_case "unit constructors" `Quick test_units;
+      Alcotest.test_case "unit composition" `Quick test_unit_composition;
+      Alcotest.test_case "of_us_float rounding" `Quick test_of_us_float;
+      Alcotest.test_case "float conversions" `Quick test_to_float;
+      Alcotest.test_case "adaptive printing" `Quick test_pp;
+    ] )

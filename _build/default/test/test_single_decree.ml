@@ -1,0 +1,140 @@
+(* Single-decree Basic-Paxos (Synod) under honest and adversarial
+   schedules: the reference safety surface for everything else. *)
+
+module Machine = Ci_machine.Machine
+module Topology = Ci_machine.Topology
+module Net_params = Ci_machine.Net_params
+module Sim_time = Ci_engine.Sim_time
+module Wire = Ci_consensus.Wire
+module Single_decree = Ci_consensus.Single_decree
+module Command = Ci_rsm.Command
+
+let value client = { Wire.client; req_id = 0; cmd = Command.Nop }
+
+let mk_cluster ?(n = 3) ?(seed = 1) () =
+  let machine : Wire.t Machine.t =
+    Machine.create ~seed ~topology:(Topology.single_socket (n + 1))
+      ~params:Net_params.multicore ()
+  in
+  let nodes = Array.init n (fun i -> Machine.add_node machine ~core:i) in
+  let ids = Array.map Machine.node_id nodes in
+  let parts =
+    Array.map
+      (fun node ->
+        Single_decree.create ~node ~peers:ids ~timeout:(Sim_time.us 400) ())
+      nodes
+  in
+  Array.iteri
+    (fun i node ->
+      let p = parts.(i) in
+      Machine.set_handler node (fun ~src msg -> Single_decree.handle p ~src msg))
+    nodes;
+  (machine, parts)
+
+let decisions parts =
+  Array.to_list parts |> List.filter_map Single_decree.decision
+
+let check_agreement parts =
+  match decisions parts with
+  | [] -> Alcotest.fail "nothing decided"
+  | d :: rest ->
+    List.iter
+      (fun d' ->
+        if not (Wire.value_equal d d') then Alcotest.fail "learners disagree")
+      rest
+
+let test_single_proposer () =
+  let machine, parts = mk_cluster () in
+  Single_decree.propose parts.(0) (value 100);
+  Machine.run_until machine ~time:(Sim_time.ms 5);
+  Alcotest.(check int) "all three decide" 3 (List.length (decisions parts));
+  check_agreement parts;
+  match Single_decree.decision parts.(1) with
+  | Some v -> Alcotest.(check int) "decided the proposal" 100 v.Wire.client
+  | None -> Alcotest.fail "no decision"
+
+let test_duelling_proposers () =
+  let machine, parts = mk_cluster ~seed:7 () in
+  Single_decree.propose parts.(0) (value 100);
+  Single_decree.propose parts.(1) (value 200);
+  Single_decree.propose parts.(2) (value 300);
+  Machine.run_until machine ~time:(Sim_time.ms 50);
+  Alcotest.(check int) "all decide" 3 (List.length (decisions parts));
+  check_agreement parts;
+  (* Non-triviality: the decision is one of the proposals. *)
+  match decisions parts with
+  | v :: _ ->
+    Alcotest.(check bool) "decided value was proposed" true
+      (List.mem v.Wire.client [ 100; 200; 300 ])
+  | [] -> assert false
+
+let test_progress_with_slow_minority () =
+  let machine, parts = mk_cluster () in
+  Machine.slow_core machine ~core:2 ~from_:0 ~until_:(Sim_time.ms 100) ~factor:infinity;
+  Single_decree.propose parts.(0) (value 100);
+  Machine.run_until machine ~time:(Sim_time.ms 20);
+  let decided =
+    [ parts.(0); parts.(1) ] |> List.filter_map Single_decree.decision
+  in
+  Alcotest.(check int) "healthy majority decides" 2 (List.length decided)
+
+let test_no_progress_without_majority () =
+  let machine, parts = mk_cluster () in
+  Machine.slow_core machine ~core:1 ~from_:0 ~until_:(Sim_time.ms 100) ~factor:infinity;
+  Machine.slow_core machine ~core:2 ~from_:0 ~until_:(Sim_time.ms 100) ~factor:infinity;
+  Single_decree.propose parts.(0) (value 100);
+  Machine.run_until machine ~time:(Sim_time.ms 50);
+  Alcotest.(check (option bool)) "no decision without a majority" None
+    (Option.map (fun _ -> true) (Single_decree.decision parts.(0)))
+
+let test_recovery_after_majority_returns () =
+  let machine, parts = mk_cluster () in
+  Machine.slow_core machine ~core:1 ~from_:0 ~until_:(Sim_time.ms 30) ~factor:infinity;
+  Machine.slow_core machine ~core:2 ~from_:0 ~until_:(Sim_time.ms 30) ~factor:infinity;
+  Single_decree.propose parts.(0) (value 100);
+  Machine.run_until machine ~time:(Sim_time.ms 100);
+  Alcotest.(check bool) "decides once the majority is back" true
+    (Single_decree.decision parts.(0) <> None);
+  check_agreement parts
+
+(* Property: for random proposer subsets, timings and one random slow
+   node, all deciders agree and decide a proposed value. *)
+let prop_agreement_under_slowdowns =
+  QCheck.Test.make ~name:"single-decree agreement under random slowdowns"
+    ~count:60
+    QCheck.(triple (int_bound 1000) (int_range 1 7) (int_bound 2))
+    (fun (seed, proposer_mask, slow) ->
+      let machine, parts = mk_cluster ~seed () in
+      Machine.slow_core machine ~core:slow ~from_:0
+        ~until_:(Sim_time.us (200 + (seed mod 700)))
+        ~factor:50.;
+      Array.iteri
+        (fun i p ->
+          if (proposer_mask lsr i) land 1 = 1 then
+            Single_decree.propose p (value (100 + i)))
+        parts;
+      Machine.run_until machine ~time:(Sim_time.ms 60);
+      let ds = decisions parts in
+      let proposed =
+        List.filter_map
+          (fun i ->
+            if (proposer_mask lsr i) land 1 = 1 then Some (100 + i) else None)
+          [ 0; 1; 2 ]
+      in
+      ds <> []
+      && List.for_all (fun d -> Wire.value_equal d (List.hd ds)) ds
+      && List.for_all (fun (d : Wire.value) -> List.mem d.Wire.client proposed) ds)
+
+let suite =
+  ( "single_decree",
+    [
+      Alcotest.test_case "single proposer decides" `Quick test_single_proposer;
+      Alcotest.test_case "duelling proposers agree" `Quick test_duelling_proposers;
+      Alcotest.test_case "progress with slow minority" `Quick
+        test_progress_with_slow_minority;
+      Alcotest.test_case "no progress without majority" `Quick
+        test_no_progress_without_majority;
+      Alcotest.test_case "recovery after majority returns" `Quick
+        test_recovery_after_majority_returns;
+      QCheck_alcotest.to_alcotest prop_agreement_under_slowdowns;
+    ] )

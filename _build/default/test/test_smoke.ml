@@ -1,0 +1,37 @@
+(* End-to-end smoke checks: a small run of each protocol commits
+   requests and stays consistent. *)
+
+module Runner = Ci_workload.Runner
+module Sim_time = Ci_engine.Sim_time
+
+let small_spec protocol =
+  {
+    (Runner.default_spec ~protocol
+       ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 3 }))
+    with
+    Runner.duration = Sim_time.ms 10;
+    warmup = Sim_time.ms 2;
+    drain = Sim_time.ms 3;
+  }
+
+let check_protocol protocol () =
+  let r = Runner.run (small_spec protocol) in
+  Alcotest.(check bool)
+    (Format.asprintf "consistent: %a" Ci_rsm.Consistency.pp r.Runner.consistency)
+    true
+    (Ci_rsm.Consistency.ok r.Runner.consistency);
+  if r.Runner.commits <= 0 then
+    Alcotest.failf "no commits (%d replies total)" r.Runner.total_replies
+
+let suites =
+  [
+    ( "smoke",
+      [
+        Alcotest.test_case "1paxos commits and is consistent" `Quick
+          (check_protocol Runner.Onepaxos);
+        Alcotest.test_case "multipaxos commits and is consistent" `Quick
+          (check_protocol Runner.Multipaxos);
+        Alcotest.test_case "2pc commits and is consistent" `Quick
+          (check_protocol Runner.Twopc);
+      ] );
+  ]

@@ -1,0 +1,116 @@
+module Summary = Ci_stats.Summary
+module Timeseries = Ci_stats.Timeseries
+module Histogram = Ci_stats.Histogram
+
+let test_summary_empty () =
+  let s = Summary.of_samples [||] in
+  Alcotest.(check int) "count" 0 s.Summary.count;
+  Alcotest.(check (float 0.)) "mean" 0. s.Summary.mean
+
+let test_summary_basics () =
+  let s = Summary.of_samples [| 10; 20; 30; 40; 50 |] in
+  Alcotest.(check int) "count" 5 s.Summary.count;
+  Alcotest.(check (float 0.001)) "mean" 30. s.Summary.mean;
+  Alcotest.(check int) "min" 10 s.Summary.min;
+  Alcotest.(check int) "max" 50 s.Summary.max;
+  Alcotest.(check int) "median" 30 s.Summary.p50;
+  Alcotest.(check (float 0.01)) "stddev" (sqrt 200.) s.Summary.stddev
+
+let test_summary_unsorted_input () =
+  let s1 = Summary.of_samples [| 5; 1; 4; 2; 3 |] in
+  let s2 = Summary.of_samples [| 1; 2; 3; 4; 5 |] in
+  Alcotest.(check int) "p50 order-insensitive" s2.Summary.p50 s1.Summary.p50;
+  Alcotest.(check int) "p99 order-insensitive" s2.Summary.p99 s1.Summary.p99
+
+let test_summary_does_not_mutate () =
+  let a = [| 3; 1; 2 |] in
+  ignore (Summary.of_samples a);
+  Alcotest.(check (array int)) "input untouched" [| 3; 1; 2 |] a
+
+let test_quantile_nearest_rank () =
+  let sorted = Array.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "p50 of 1..100" 50 (Summary.quantile sorted 0.5);
+  Alcotest.(check int) "p99" 99 (Summary.quantile sorted 0.99);
+  Alcotest.(check int) "p100 clamps" 100 (Summary.quantile sorted 1.0);
+  Alcotest.(check int) "p0 clamps" 1 (Summary.quantile sorted 0.0)
+
+let prop_quantiles_member =
+  QCheck.Test.make ~name:"quantiles are sample members" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (int_bound 10_000)) (float_range 0.0 1.0))
+    (fun (samples, q) ->
+      let sorted = Array.of_list (List.sort compare samples) in
+      let v = Summary.quantile sorted q in
+      Array.exists (fun x -> x = v) sorted)
+
+let test_timeseries_buckets () =
+  let t = Timeseries.create ~bucket:10 in
+  List.iter (fun time -> Timeseries.add t ~time) [ 0; 5; 9; 10; 25; 25 ];
+  Alcotest.(check (array int)) "counts" [| 3; 1; 2 |] (Timeseries.counts t ~upto:30);
+  Alcotest.(check int) "total" 6 (Timeseries.total t)
+
+let test_timeseries_zero_fill () =
+  let t = Timeseries.create ~bucket:10 in
+  Timeseries.add t ~time:35;
+  Alcotest.(check (array int)) "gaps zero-filled" [| 0; 0; 0; 1 |]
+    (Timeseries.counts t ~upto:40)
+
+let test_timeseries_rates () =
+  let t = Timeseries.create ~bucket:1_000_000 (* 1 ms *) in
+  for _ = 1 to 500 do
+    Timeseries.add t ~time:100
+  done;
+  let rates = Timeseries.rates_per_sec t ~upto:1_000_000 in
+  Alcotest.(check (float 0.1)) "500 per ms = 500k/s" 500_000. rates.(0)
+
+let test_timeseries_invalid () =
+  (try
+     ignore (Timeseries.create ~bucket:0);
+     Alcotest.fail "bucket 0 accepted"
+   with Invalid_argument _ -> ());
+  let t = Timeseries.create ~bucket:10 in
+  try
+    Timeseries.add t ~time:(-1);
+    Alcotest.fail "negative time accepted"
+  with Invalid_argument _ -> ()
+
+let test_histogram () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0; 1; 1; 3; 900; 1000 ];
+  Alcotest.(check int) "count" 6 (Histogram.count h);
+  let buckets = Histogram.buckets h in
+  Alcotest.(check bool) "non-empty buckets in order" true
+    (List.for_all2
+       (fun (lo1, _, _) (lo2, _, _) -> lo1 < lo2)
+       (List.filteri (fun i _ -> i < List.length buckets - 1) buckets)
+       (List.tl buckets));
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 buckets in
+  Alcotest.(check int) "buckets cover all samples" 6 total
+
+let test_histogram_bounds () =
+  let h = Histogram.create () in
+  Histogram.add h 5;
+  (match Histogram.buckets h with
+   | [ (lo, hi, 1) ] ->
+     Alcotest.(check bool) "5 in [lo,hi)" true (lo <= 5 && 5 < hi)
+   | _ -> Alcotest.fail "expected one bucket");
+  try
+    Histogram.add h (-1);
+    Alcotest.fail "negative sample accepted"
+  with Invalid_argument _ -> ()
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "summary of empty" `Quick test_summary_empty;
+      Alcotest.test_case "summary basics" `Quick test_summary_basics;
+      Alcotest.test_case "summary input order" `Quick test_summary_unsorted_input;
+      Alcotest.test_case "summary does not mutate" `Quick test_summary_does_not_mutate;
+      Alcotest.test_case "nearest-rank quantiles" `Quick test_quantile_nearest_rank;
+      QCheck_alcotest.to_alcotest prop_quantiles_member;
+      Alcotest.test_case "timeseries buckets" `Quick test_timeseries_buckets;
+      Alcotest.test_case "timeseries zero fill" `Quick test_timeseries_zero_fill;
+      Alcotest.test_case "timeseries rates" `Quick test_timeseries_rates;
+      Alcotest.test_case "timeseries validation" `Quick test_timeseries_invalid;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "histogram bounds" `Quick test_histogram_bounds;
+    ] )

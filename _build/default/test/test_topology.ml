@@ -1,0 +1,55 @@
+module Topology = Ci_machine.Topology
+
+let test_counts () =
+  let t = Topology.create ~sockets:4 ~cores_per_socket:6 in
+  Alcotest.(check int) "cores" 24 (Topology.n_cores t);
+  Alcotest.(check int) "sockets" 4 (Topology.n_sockets t)
+
+let test_presets () =
+  Alcotest.(check int) "opteron_48" 48 (Topology.n_cores Topology.opteron_48);
+  Alcotest.(check int) "opteron_48 sockets" 8 (Topology.n_sockets Topology.opteron_48);
+  Alcotest.(check int) "opteron_8" 8 (Topology.n_cores Topology.opteron_8);
+  Alcotest.(check int) "single_socket" 16 (Topology.n_cores (Topology.single_socket 16))
+
+let test_socket_of () =
+  let t = Topology.opteron_48 in
+  Alcotest.(check int) "core 0" 0 (Topology.socket_of t 0);
+  Alcotest.(check int) "core 5" 0 (Topology.socket_of t 5);
+  Alcotest.(check int) "core 6" 1 (Topology.socket_of t 6);
+  Alcotest.(check int) "core 47" 7 (Topology.socket_of t 47)
+
+let test_same_socket () =
+  let t = Topology.opteron_48 in
+  Alcotest.(check bool) "0 and 1" true (Topology.same_socket t 0 1);
+  Alcotest.(check bool) "0 and 5" true (Topology.same_socket t 0 5);
+  Alcotest.(check bool) "0 and 6" false (Topology.same_socket t 0 6);
+  Alcotest.(check bool) "reflexive" true (Topology.same_socket t 3 3)
+
+let test_invalid () =
+  Alcotest.check_raises "zero sockets" (Invalid_argument
+    "Topology.create: sockets and cores_per_socket must be positive")
+    (fun () -> ignore (Topology.create ~sockets:0 ~cores_per_socket:4));
+  let t = Topology.opteron_8 in
+  (try
+     ignore (Topology.socket_of t 8);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Topology.socket_of t (-1));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_pp () =
+  let s = Format.asprintf "%a" Topology.pp Topology.opteron_48 in
+  Alcotest.(check string) "rendering" "8x6 (48 cores)" s
+
+let suite =
+  ( "topology",
+    [
+      Alcotest.test_case "counts" `Quick test_counts;
+      Alcotest.test_case "presets" `Quick test_presets;
+      Alcotest.test_case "socket_of" `Quick test_socket_of;
+      Alcotest.test_case "same_socket" `Quick test_same_socket;
+      Alcotest.test_case "invalid arguments" `Quick test_invalid;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+    ] )

@@ -1,0 +1,72 @@
+module Trace = Ci_engine.Trace
+
+let test_record_and_read () =
+  let t = Trace.create () in
+  Trace.record t ~time:10 "first";
+  Trace.record t ~time:20 "second";
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  Alcotest.(check (list (pair int string)))
+    "entries in order"
+    [ (10, "first"); (20, "second") ]
+    (Trace.entries t)
+
+let test_capacity_eviction () =
+  let t = Trace.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.record t ~time:i (string_of_int i)
+  done;
+  Alcotest.(check int) "bounded" 3 (Trace.length t);
+  Alcotest.(check int) "evictions counted" 2 (Trace.dropped t);
+  Alcotest.(check (list (pair int string)))
+    "oldest evicted"
+    [ (3, "3"); (4, "4"); (5, "5") ]
+    (Trace.entries t)
+
+let test_disable () =
+  let t = Trace.create () in
+  Trace.set_enabled t false;
+  Alcotest.(check bool) "disabled" false (Trace.enabled t);
+  Trace.record t ~time:1 "dropped";
+  Trace.recordf t ~time:2 "also %s" "dropped";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length t);
+  Trace.set_enabled t true;
+  Trace.record t ~time:3 "kept";
+  Alcotest.(check int) "recording resumes" 1 (Trace.length t)
+
+let test_recordf () =
+  let t = Trace.create () in
+  Trace.recordf t ~time:5 "x=%d y=%s" 42 "hi";
+  Alcotest.(check (list (pair int string))) "formatted" [ (5, "x=42 y=hi") ]
+    (Trace.entries t)
+
+let test_clear () =
+  let t = Trace.create ~capacity:2 () in
+  for i = 1 to 4 do
+    Trace.record t ~time:i "x"
+  done;
+  Trace.clear t;
+  Alcotest.(check int) "empty" 0 (Trace.length t);
+  Alcotest.(check int) "dropped reset" 0 (Trace.dropped t)
+
+(* Minimal substring check without extra dependencies. *)
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_pp () =
+  let t = Trace.create () in
+  Trace.record t ~time:1000 "hello";
+  let s = Format.asprintf "%a" Trace.pp t in
+  Alcotest.(check bool) "mentions entry" true (contains s "hello")
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "record and read" `Quick test_record_and_read;
+      Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+      Alcotest.test_case "disable/enable" `Quick test_disable;
+      Alcotest.test_case "recordf formatting" `Quick test_recordf;
+      Alcotest.test_case "clear" `Quick test_clear;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+    ] )

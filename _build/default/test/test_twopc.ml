@@ -1,0 +1,152 @@
+(* 2PC in its Barrelfish agreement form: correct ordering, and blocking
+   behaviour under any slow replica. *)
+
+open Test_util
+module Twopc = Ci_consensus.Twopc
+module Command = Ci_rsm.Command
+
+let test_commit () =
+  let h = twopc_cluster () in
+  send h ~req_id:0 (Command.Put { key = 1; data = 5 });
+  run_ms h 5;
+  (match h.replies with
+   | [ (0, Command.Done, _) ] -> ()
+   | _ -> Alcotest.failf "expected one reply, got %d" (List.length h.replies));
+  Alcotest.(check bool) "replica 0 coordinates" true
+    (Twopc.is_coordinator h.replicas.(0));
+  check_safety ~cores:(twopc_cores h) h
+
+let test_all_replicas_apply () =
+  let h = twopc_cluster () in
+  for i = 0 to 9 do
+    send h ~req_id:i (Command.Put { key = i; data = i })
+  done;
+  run_ms h 10;
+  Alcotest.(check int) "all replies" 10 (List.length h.replies);
+  Array.iter
+    (fun core ->
+      Alcotest.(check int) "replica applied all" 10
+        (Ci_consensus.Replica_core.commits core))
+    (twopc_cores h);
+  check_safety ~cores:(twopc_cores h) h
+
+let test_message_count_per_commit () =
+  let h = twopc_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  let warm = Machine.total_messages h.machine in
+  let reqs = 50 in
+  let next = ref 1 in
+  let pump () =
+    if !next <= reqs then begin
+      let r = !next in
+      incr next;
+      send h ~req_id:r Command.Nop
+    end
+  in
+  Machine.set_handler h.client (fun ~src:_ msg ->
+      match msg with
+      | Wire.Reply { req_id; result; _ } ->
+        h.replies <- (req_id, result, Machine.now h.machine) :: h.replies;
+        pump ()
+      | _ -> ());
+  pump ();
+  run_ms h 50;
+  let per_commit =
+    float_of_int (Machine.total_messages h.machine - warm) /. float_of_int reqs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "10 messages per commit (got %.2f)" per_commit)
+    true
+    (per_commit > 9.9 && per_commit < 10.1)
+
+let test_blocks_on_any_slow_replica () =
+  (* The blocking property: 2PC needs answers from ALL replicas, so even
+     a slow non-coordinator stalls every update (Section 2.2). *)
+  let h = twopc_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:2 ~from_ms:5 ~until_ms:50 ~factor:1e9;
+  send h ~req_id:1 Command.Nop;
+  run_ms h 40;
+  Alcotest.(check int) "stalled while one replica is slow" 1 (List.length h.replies);
+  run_ms h 100;
+  Alcotest.(check int) "commits once it recovers" 2 (List.length h.replies);
+  check_safety ~cores:(twopc_cores h) h
+
+let test_blocks_on_slow_coordinator () =
+  let h = twopc_cluster () in
+  send h ~req_id:0 Command.Nop;
+  run_ms h 5;
+  slow_core h ~core:0 ~from_ms:5 ~until_ms:80 ~factor:1e9;
+  send h ~req_id:1 Command.Nop;
+  run_ms h 60;
+  Alcotest.(check int) "no recovery path" 1 (List.length h.replies);
+  check_safety ~cores:(twopc_cores h) h
+
+let test_forwarding () =
+  (* A request reaching a participant is forwarded to the coordinator. *)
+  let h = twopc_cluster () in
+  send h ~dst:2 ~req_id:0 (Command.Put { key = 1; data = 9 });
+  run_ms h 5;
+  Alcotest.(check int) "committed via forwarding" 1 (List.length h.replies);
+  check_safety ~cores:(twopc_cores h) h
+
+let test_local_read_quiescent () =
+  let h = twopc_cluster ~tweak:(fun c -> { c with Twopc.local_reads = true }) () in
+  send h ~req_id:0 (Command.Put { key = 1; data = 3 });
+  run_ms h 5;
+  let before = Machine.total_messages h.machine in
+  send h ~dst:1 ~req_id:1 (Command.Get { key = 1 });
+  run_ms h 10;
+  (match h.replies with
+   | (1, Command.Found (Some 3), _) :: _ -> ()
+   | _ -> Alcotest.fail "local read failed");
+  Alcotest.(check int) "request + reply only" 2
+    (Machine.total_messages h.machine - before);
+  Alcotest.(check int) "counted as local" 1 (Twopc.local_read_count h.replicas.(1))
+
+let test_local_read_blocked_by_prepared_key () =
+  let h = twopc_cluster ~tweak:(fun c -> { c with Twopc.local_reads = true }) () in
+  (* Freeze participant 2: the coordinator's prepare reaches replica 1,
+     which locks the key, but replica 2 never acknowledges, so the
+     commit is never issued and the lock is held. *)
+  send h ~req_id:0 (Command.Put { key = 7; data = 1 });
+  run_ms h 5;
+  slow_core h ~core:2 ~from_ms:5 ~until_ms:50 ~factor:1e9;
+  send h ~req_id:1 (Command.Put { key = 7; data = 2 });
+  run_ms h 10;
+  Alcotest.(check int) "replica 1 holds a lock" 1 (Twopc.prepared_count h.replicas.(1));
+  send h ~dst:1 ~req_id:2 (Command.Get { key = 7 });
+  run_ms h 20;
+  Alcotest.(check int) "read on locked key not served locally" 0
+    (Twopc.local_read_count h.replicas.(1));
+  (* A read on a different key is served. *)
+  send h ~dst:1 ~req_id:3 (Command.Get { key = 8 });
+  run_ms h 30;
+  Alcotest.(check int) "unrelated key served locally" 1
+    (Twopc.local_read_count h.replicas.(1))
+
+let test_single_node_degenerate () =
+  let h = twopc_cluster ~n:1 () in
+  send h ~req_id:0 (Command.Put { key = 1; data = 1 });
+  run_ms h 5;
+  Alcotest.(check int) "single node commits alone" 1 (List.length h.replies)
+
+let suite =
+  ( "twopc",
+    [
+      Alcotest.test_case "commit" `Quick test_commit;
+      Alcotest.test_case "all replicas apply" `Quick test_all_replicas_apply;
+      Alcotest.test_case "10 messages per commit (Figure 3)" `Quick
+        test_message_count_per_commit;
+      Alcotest.test_case "blocks on any slow replica (2.2)" `Quick
+        test_blocks_on_any_slow_replica;
+      Alcotest.test_case "blocks on slow coordinator (2.2)" `Quick
+        test_blocks_on_slow_coordinator;
+      Alcotest.test_case "participant forwards to coordinator" `Quick test_forwarding;
+      Alcotest.test_case "quiescent local read (7.5)" `Quick test_local_read_quiescent;
+      Alcotest.test_case "locked key blocks local read (7.5)" `Quick
+        test_local_read_blocked_by_prepared_key;
+      Alcotest.test_case "single-node degenerate case" `Quick test_single_node_degenerate;
+    ] )
