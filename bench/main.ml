@@ -93,6 +93,28 @@ let ablation () =
     "the message-count saving is a transmission-delay phenomenon"
     (fun () -> Format.printf "%a" E.pp_series (E.ablation_ratio ()))
 
+let metrics () =
+  section "M1. Metrics registry: one instrumented 1Paxos run (Section 4.3)"
+    "per-window message counts, per-core utilization and channel back-pressure"
+    (fun () ->
+      let module Runner = Ci_workload.Runner in
+      let spec =
+        Runner.default_spec ~protocol:Runner.Onepaxos
+          ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 5 })
+      in
+      let r = Runner.run spec in
+      Format.printf "windows: warmup  %a@." Runner.pp_window r.Runner.windows.Runner.warmup_w;
+      Format.printf "         measure %a@." Runner.pp_window r.Runner.windows.Runner.measure_w;
+      Format.printf "         drain   %a@." Runner.pp_window r.Runner.windows.Runner.drain_w;
+      Format.printf "msgs/commit (measure window): %.2f@."
+        (float_of_int r.Runner.messages /. float_of_int (max 1 r.Runner.commits));
+      List.iter
+        (fun (u : Runner.core_usage) ->
+          Format.printf "core %2d: util %.2f busy %dns queue-peak %d@."
+            u.Runner.u_core u.Runner.u_util u.Runner.u_busy_ns u.Runner.u_queue_peak)
+        r.Runner.cores;
+      Format.printf "%a" Ci_obs.Metrics.pp r.Runner.metrics)
+
 (* ----- bechamel micro-benchmarks ----------------------------------------- *)
 
 let micro () =
@@ -179,6 +201,7 @@ let sections =
     ("lan", lan);
     ("ablation", ablation);
     ("protocols", protocols);
+    ("metrics", metrics);
     ("micro", micro);
   ]
 

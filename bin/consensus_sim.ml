@@ -96,11 +96,23 @@ let run_cmd =
   let colocate = Arg.(value & flag & info [ "colocate-acceptor" ] ~doc:"1Paxos: put the initial acceptor on the leader's node.") in
   let faults = Arg.(value & opt_all fault_conv [] & info [ "slow-core" ] ~doc:"Inject a slowdown, CORE:FROM_MS:UNTIL_MS:FACTOR (repeatable).") in
   let timeline = Arg.(value & flag & info [ "timeline" ] ~doc:"Also print per-10ms commit rates.") in
+  let trace_out = Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc:"Record typed trace events and write them to $(docv).") in
+  let trace_format =
+    let fmt_conv = Arg.enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ] in
+    Arg.(value & opt fmt_conv `Chrome & info [ "trace-format" ] ~docv:"FMT" ~doc:"Trace format: $(b,chrome) (load in ui.perfetto.dev) or $(b,jsonl) (one JSON object per line).")
+  in
+  let metrics_out = Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the run's metrics registry as a flat JSON object to $(docv).") in
   let run protocol replicas clients joint duration warmup seed read_ratio think
-      timeout topology net relaxed local_reads colocate faults timeline =
+      timeout topology net relaxed local_reads colocate faults timeline
+      trace_out trace_format metrics_out =
     let placement =
       if joint then Runner.Joint { n_nodes = replicas }
       else Runner.Dedicated { n_replicas = replicas; n_clients = clients }
+    in
+    let ring =
+      match trace_out with
+      | Some _ -> Some (Ci_obs.Event.create_ring ())
+      | None -> None
     in
     let spec =
       {
@@ -117,6 +129,7 @@ let run_cmd =
         local_reads;
         colocate_acceptor = colocate;
         faults;
+        trace = ring;
       }
     in
     let r = Runner.run spec in
@@ -125,13 +138,36 @@ let run_cmd =
       Format.printf "timeline (op/s per 10ms bucket):@.";
       Array.iteri (fun i x -> Format.printf "  %4dms %10.0f@." (i * 10) x) r.Runner.timeline
     end;
+    let write_file path contents =
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc contents);
+      Format.printf "wrote %s@." path
+    in
+    (match (trace_out, ring) with
+     | Some path, Some ring ->
+       let contents =
+         match trace_format with
+         | `Chrome -> Ci_obs.Event.to_chrome ring
+         | `Jsonl -> Ci_obs.Event.to_jsonl ring
+       in
+       write_file path contents;
+       if Ci_obs.Event.dropped ring > 0 then
+         Format.printf "note: ring capacity exceeded, %d oldest events dropped@."
+           (Ci_obs.Event.dropped ring)
+     | _ -> ());
+    (match metrics_out with
+     | Some path -> write_file path (Ci_obs.Metrics.to_json r.Runner.metrics)
+     | None -> ());
     if Ci_rsm.Consistency.ok r.Runner.consistency then 0 else 1
   in
   let term =
     Term.(
       const run $ protocol $ replicas $ clients $ joint $ duration $ warmup
       $ seed $ read_ratio $ think $ timeout $ topology $ net $ relaxed
-      $ local_reads $ colocate $ faults $ timeline)
+      $ local_reads $ colocate $ faults $ timeline $ trace_out $ trace_format
+      $ metrics_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its measurements.") term
 

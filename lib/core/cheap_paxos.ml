@@ -37,6 +37,14 @@ type t = {
   mutable cur_epoch : int;
   mutable cur_actives : int list;
   mutable ready : bool;
+  (* Chain of custody for the acceptor store: [covering] means this
+     node's [acc_store] provably holds every value any epoch up to
+     [cur_epoch] can have chosen, so the node may vouch for history —
+     hand its store to a new leader, or propose as one.  Bootstrap
+     actives are covering (there is no history yet); a leader that
+     becomes ready from a covering basis is covering; exclusion from
+     the active set resets the store and clears the flag. *)
+  mutable covering : bool;
   mutable changing : bool; (* an Epoch_change proposal is in flight *)
   (* Leader. *)
   rounds : (int, round) Hashtbl.t;
@@ -130,6 +138,7 @@ let bump_next_inst t =
    commit the previous epoch could complete. *)
 let become_ready t =
   t.ready <- true;
+  t.covering <- true;
   bump_next_inst t;
   Hashtbl.reset t.rounds;
   Hashtbl.reset t.outstanding;
@@ -150,10 +159,22 @@ let become_ready t =
 (* Applying an Epoch_change closes the previous epoch on this node: old
    actives hand their acceptor memory to the new leader and stop
    acknowledging; any commit that raced the change needed their ack
-   first, so the handoff covers it. *)
+   first, so the handoff covers it.
+
+   Only a [covering] node may vouch, though.  An active of an epoch
+   whose leader never became ready has no guarantee its store reaches
+   back through history: accepting its (possibly empty) handoff would
+   let the new leader re-propose fresh values at instances an earlier
+   epoch already chose, and conflicting Cp_learns would split the
+   replicas.  A new leader therefore becomes ready only from its own
+   covering store or from a covering old active's handoff — and blocks
+   (the documented Cheap Paxos cost) when every covering node is down. *)
 let on_epoch_change t ~cseq actives =
   let was_active = is_active t && t.cur_actives <> [] in
   let bootstrap = t.cur_actives = [] in
+  if not bootstrap then
+    Machine.note_phase t.node
+      ~phase:(Printf.sprintf "cheap-paxos:epoch-change:%d" cseq);
   t.cur_epoch <- cseq;
   t.cur_actives <- actives;
   t.n_reconfigs <- t.n_reconfigs + 1;
@@ -161,20 +182,24 @@ let on_epoch_change t ~cseq actives =
   t.changing <- false;
   Hashtbl.reset t.rounds;
   Hashtbl.reset t.outstanding;
+  if bootstrap && List.mem t.self actives then t.covering <- true;
   let leader = leader_of actives in
   if leader = t.self then begin
-    if was_active || bootstrap then become_ready t
-    (* else: wait for a Cp_state handoff from an old active. *)
+    if bootstrap || t.covering then become_ready t
+    (* else: wait for a Cp_state handoff from a covering old active. *)
   end
   else begin
-    if was_active then
+    if was_active && t.covering then
       send t leader
         (Wire.Cp_state
            {
              epoch = cseq;
              accepted = Hashtbl.fold (fun i v acc -> (i, v) :: acc) t.acc_store [];
            });
-    if not (List.mem t.self actives) then Hashtbl.reset t.acc_store;
+    if not (List.mem t.self actives) then begin
+      Hashtbl.reset t.acc_store;
+      t.covering <- false
+    end;
     (* Deposed leaders hand their queue over. *)
     while not (Queue.is_empty t.pending) do
       send t leader (Wire.Forward { v = Queue.pop t.pending })
@@ -306,6 +331,7 @@ let create ~node ~config =
       cur_epoch = 0;
       cur_actives = [];
       ready = false;
+      covering = false;
       changing = false;
       rounds = Hashtbl.create 256;
       pending = Queue.create ();

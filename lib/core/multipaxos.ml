@@ -103,6 +103,7 @@ let bump_next_inst t =
 let rec start_election t =
   if not (t.iam_leader || t.electing <> None) then begin
     let pn = fresh_pn t in
+    Machine.note_phase t.node ~phase:"multipaxos:election";
     t.electing <- Some pn;
     t.election_no <- t.election_no + 1;
     t.n_elections <- t.n_elections + 1;
@@ -125,6 +126,7 @@ let rec start_election t =
   end
 
 let become_leader t pn =
+  Machine.note_phase t.node ~phase:"multipaxos:leader";
   t.iam_leader <- true;
   t.electing <- None;
   t.election_streak <- 0;

@@ -180,6 +180,7 @@ let forward_pending t =
   | Some _ | None -> ()
 
 let step_down t =
+  if t.iam_leader then Machine.note_phase t.node ~phase:"1paxos:step-down";
   t.iam_leader <- false;
   t.becoming <- false;
   t.pending_prepare <- None;
@@ -377,7 +378,16 @@ let on_accept_request t ~src ~inst ~pn ~v =
 
 let on_prepare_response t ~src ~pn ~accepted =
   let expected = match t.pending_prepare with Some p -> Pn.equal p pn | None -> false in
-  if (not t.iam_leader) && Some src = t.aa && expected then begin
+  (* Leadership flows from the configuration log alone: a prepare
+     response may only promote the node the last Leader_change named.
+     Without this gate a stale takeover attempt (its knocking kept alive
+     by [scan]) can adopt a freshly installed acceptor and produce two
+     concurrent leaders — each with its own acceptor — proposing
+     different values at the same instance. *)
+  if (not t.iam_leader) && t.cur_leader = Some t.self && Some src = t.aa
+     && expected
+  then begin
+    Machine.note_phase t.node ~phase:"1paxos:adopted-acceptor";
     t.iam_leader <- true;
     t.becoming <- false;
     t.pending_prepare <- None;
@@ -435,7 +445,12 @@ let scan t =
     t.pending_prepare <- None;
     t.prepare_deadline <- None;
     t.becoming <- false;
-    if t.ap_covered then
+    if t.cur_leader <> Some t.self then
+      (* Leadership moved on while we were knocking: abandon the
+         attempt and hand our queue to the winner. Retrying here would
+         keep a rival adoption loop alive forever. *)
+      forward_pending t
+    else if t.ap_covered then
       (* The acceptor we installed (or previously adopted) is not
          answering: replace it. *)
       acceptor_failure t
@@ -500,12 +515,19 @@ let handle t ~src msg =
 let on_config_entry t ~cseq:_ entry =
   match entry with
   | Wire.Leader_change { leader; acceptor } ->
+    Machine.note_phase t.node
+      ~phase:(Printf.sprintf "1paxos:leader-change:%d" leader);
     t.cur_leader <- Some leader;
     t.aa <- Some acceptor;
     t.ap_covered <- false;
     t.n_leader_changes <- t.n_leader_changes + 1;
-    if leader <> t.self && t.iam_leader then step_down t
+    (* Also cancel a takeover still in flight ([becoming]): its prepare
+       must not linger and promote us after this entry named someone
+       else. *)
+    if leader <> t.self && (t.iam_leader || t.becoming) then step_down t
   | Wire.Acceptor_change { acceptor; carried } ->
+    Machine.note_phase t.node
+      ~phase:(Printf.sprintf "1paxos:acceptor-change:%d" acceptor);
     t.aa <- Some acceptor;
     t.n_acceptor_changes <- t.n_acceptor_changes + 1;
     (* Every node registers the carried proposals so whichever node

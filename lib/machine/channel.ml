@@ -14,6 +14,10 @@ type 'a t = {
   mutable sent_count : int;
   mutable delivered_count : int;
   mutable blocked_count : int;
+  mutable occupancy_hwm : int; (* max slots simultaneously in use *)
+  mutable outbox_hwm : int; (* max messages waiting behind slot exhaustion *)
+  mutable stall_since : int option; (* outbox head began waiting for a credit *)
+  mutable stall_ns : int; (* cumulative credit-stall time *)
 }
 
 let create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu ~deliver =
@@ -32,6 +36,10 @@ let create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu ~deliver 
     sent_count = 0;
     delivered_count = 0;
     blocked_count = 0;
+    occupancy_hwm = 0;
+    outbox_hwm = 0;
+    stall_since = None;
+    stall_ns = 0;
   }
 
 (* Receiver side: charge the reception cost, then return the slot credit
@@ -41,6 +49,11 @@ let rec receive t v =
   Cpu.exec t.dst_cpu ~cost:t.recv_cost (fun () ->
       Sim.schedule t.sim ~delay:t.prop (fun () ->
           t.credits <- t.credits + 1;
+          (match t.stall_since with
+           | Some since ->
+             t.stall_ns <- t.stall_ns + (Sim.now t.sim - since);
+             t.stall_since <- None
+           | None -> ());
           pump t);
       t.delivered_count <- t.delivered_count + 1;
       t.deliver v)
@@ -51,18 +64,33 @@ let rec receive t v =
 and pump t =
   while t.credits > 0 && not (Queue.is_empty t.outbox) do
     t.credits <- t.credits - 1;
+    let occupied = t.capacity - t.credits in
+    if occupied > t.occupancy_hwm then t.occupancy_hwm <- occupied;
     let v = Queue.pop t.outbox in
     Cpu.exec t.src_cpu ~cost:t.send_cost (fun () ->
         t.sent_count <- t.sent_count + 1;
         Sim.schedule t.sim ~delay:t.prop (fun () -> receive t v))
-  done
+  done;
+  if t.credits = 0 && (not (Queue.is_empty t.outbox)) && t.stall_since = None
+  then t.stall_since <- Some (Sim.now t.sim)
 
 let send t v =
   if t.credits = 0 then t.blocked_count <- t.blocked_count + 1;
   Queue.push v t.outbox;
-  pump t
+  pump t;
+  (* Measured after pumping: only messages genuinely waiting behind slot
+     exhaustion count, not the transit through the outbox. *)
+  let waiting = Queue.length t.outbox in
+  if waiting > t.outbox_hwm then t.outbox_hwm <- waiting
 
 let sent t = t.sent_count
 let delivered t = t.delivered_count
 let blocked_events t = t.blocked_count
 let outbox_length t = Queue.length t.outbox
+let occupancy_peak t = t.occupancy_hwm
+let outbox_peak t = t.outbox_hwm
+
+let credit_stall_ns t =
+  match t.stall_since with
+  | Some since -> t.stall_ns + (Sim.now t.sim - since)
+  | None -> t.stall_ns

@@ -50,3 +50,17 @@ val blocked_events : 'a t -> int
 val outbox_length : 'a t -> int
 (** [outbox_length t] is the number of messages waiting for
     transmission (queued behind slot exhaustion). *)
+
+val occupancy_peak : 'a t -> int
+(** [occupancy_peak t] is the high-water mark of slots simultaneously
+    in use ([capacity - credits]) — how close the queue came to
+    saturating. *)
+
+val outbox_peak : 'a t -> int
+(** [outbox_peak t] is the high-water mark of {!outbox_length} — the
+    worst backlog that accumulated behind slot exhaustion. *)
+
+val credit_stall_ns : 'a t -> Ci_engine.Sim_time.t
+(** [credit_stall_ns t] is the cumulative time the outbox head spent
+    waiting for a slot credit to return — the channel's contribution to
+    sender-side back-pressure (includes any stall still in progress). *)

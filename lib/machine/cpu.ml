@@ -8,9 +8,24 @@ type t = {
   mutable windows : window list; (* sorted by from_ *)
   mutable free : int;
   mutable busy : int;
+  mutable depth : int; (* work items enqueued but not yet completed *)
+  mutable depth_peak : int;
+  mutable slowed : int; (* wall-clock ns of occupation inside slowdown windows *)
+  mutable on_busy : (start:int -> finish:int -> unit) option;
 }
 
-let create sim ~id = { sim; core_id = id; windows = []; free = 0; busy = 0 }
+let create sim ~id =
+  {
+    sim;
+    core_id = id;
+    windows = [];
+    free = 0;
+    busy = 0;
+    depth = 0;
+    depth_peak = 0;
+    slowed = 0;
+    on_busy = None;
+  }
 
 let id t = t.core_id
 
@@ -60,17 +75,49 @@ let finish_time t ~start ~cost =
   in
   go start (float_of_int cost)
 
+(* Wall-clock overlap of the occupation [start, finish) with slowdown
+   windows whose factor exceeds 1 — how much of this occupation ran
+   impaired. Windows are known at enqueue time (fault plans are applied
+   before the run starts). *)
+let slowed_overlap t ~start ~finish =
+  List.fold_left
+    (fun acc w ->
+      if w.factor > 1. then
+        acc + max 0 (min finish w.until_ - max start w.from_)
+      else acc)
+    0 t.windows
+
 let exec t ~cost k =
   let cost = if cost < 0 then 0 else cost in
   let start = max (Sim.now t.sim) t.free in
   let finish = finish_time t ~start ~cost in
   t.busy <- t.busy + (finish - start);
+  t.slowed <- t.slowed + slowed_overlap t ~start ~finish;
   t.free <- finish;
-  Sim.schedule_at t.sim ~time:finish k
+  t.depth <- t.depth + 1;
+  if t.depth > t.depth_peak then t.depth_peak <- t.depth;
+  Sim.schedule_at t.sim ~time:finish (fun () ->
+      t.depth <- t.depth - 1;
+      (match t.on_busy with
+       | Some f when finish > start -> f ~start ~finish
+       | Some _ | None -> ());
+      k ())
 
 let free_at t = t.free
 let busy_total t = t.busy
 
+(* [busy] books the full occupation at enqueue time; the part of it
+   still ahead of the clock is exactly [free - now] (the core, if
+   behind, is continuously occupied until it catches up). *)
+let busy_elapsed t =
+  let ahead = t.free - Sim.now t.sim in
+  t.busy - max 0 ahead
+
 let queue_delay t =
   let d = t.free - Sim.now t.sim in
   if d > 0 then d else 0
+
+let queue_depth t = t.depth
+let queue_peak t = t.depth_peak
+let slowed_total t = t.slowed
+let set_on_busy t f = t.on_busy <- f

@@ -51,6 +51,31 @@ val busy_total : t -> Ci_engine.Sim_time.t
     (or is scheduled to be) occupied, including slowdown stretching.
     Used for utilization metrics. *)
 
+val busy_elapsed : t -> Ci_engine.Sim_time.t
+(** [busy_elapsed t] is the occupation that has already elapsed at the
+    current instant: {!busy_total} minus the booked-but-future backlog
+    ([max 0 (free_at - now)]). Sampling it at two instants yields the
+    core's utilization over the interval. *)
+
 val queue_delay : t -> Ci_engine.Sim_time.t
 (** [queue_delay t] is [max 0 (free_at t - now)] — how far behind the
     core currently is. *)
+
+val queue_depth : t -> int
+(** [queue_depth t] is the number of work items enqueued via {!exec}
+    whose completion has not yet fired. *)
+
+val queue_peak : t -> int
+(** [queue_peak t] is the high-water mark of {!queue_depth} — the worst
+    backlog the core ever accumulated. *)
+
+val slowed_total : t -> Ci_engine.Sim_time.t
+(** [slowed_total t] is the cumulative wall-clock occupation that fell
+    inside slowdown windows (factor [> 1.]) — how long this core worked
+    while impaired. Windows must be installed before the affected work
+    is enqueued (fault plans are applied at setup). *)
+
+val set_on_busy : t -> (start:Ci_engine.Sim_time.t -> finish:Ci_engine.Sim_time.t -> unit) option -> unit
+(** [set_on_busy t f] installs (or clears) a hook invoked at the end of
+    every non-empty occupation span with its bounds — the machine uses
+    it to emit per-core busy trace events. *)

@@ -1,5 +1,6 @@
 module Sim = Ci_engine.Sim
 module Rng = Ci_engine.Rng
+module Event = Ci_obs.Event
 
 type 'msg node = {
   nid : int;
@@ -14,13 +15,19 @@ and 'msg t = {
   net : Net_params.t;
   cpus : Cpu.t array;
   nodes : (int, 'msg node) Hashtbl.t;
-  channels : (int * int, (int * 'msg) Channel.t) Hashtbl.t;
+  channels : (int * int, (int * int * 'msg) Channel.t) Hashtbl.t;
   sent_counts : (int, int ref) Hashtbl.t;
   recv_counts : (int, int ref) Hashtbl.t;
+  self_counts : (int, int ref) Hashtbl.t;
   random : Rng.t;
   mutable next_id : int;
+  mutable sent_total : int;
   mutable delivered_total : int;
+  mutable self_total : int;
+  mutable seq : int; (* machine-wide message sequence, links Send to Recv *)
   mutable tracer : (time:int -> src:int -> dst:int -> 'msg -> unit) option;
+  mutable obs : Event.ring option;
+  mutable msg_label : 'msg -> string;
 }
 
 let create ?(seed = 42) ~topology ~params () =
@@ -34,10 +41,16 @@ let create ?(seed = 42) ~topology ~params () =
     channels = Hashtbl.create 256;
     sent_counts = Hashtbl.create 64;
     recv_counts = Hashtbl.create 64;
+    self_counts = Hashtbl.create 64;
     random = Rng.create ~seed;
     next_id = 0;
+    sent_total = 0;
     delivered_total = 0;
+    self_total = 0;
+    seq = 0;
     tracer = None;
+    obs = None;
+    msg_label = (fun _ -> "");
   }
 
 let sim t = t.sim
@@ -54,6 +67,11 @@ let counter table key =
     Hashtbl.add table key r;
     r
 
+let emit t ~core ~label kind =
+  match t.obs with
+  | None -> ()
+  | Some ring -> Event.emit ring { Event.time = Sim.now t.sim; core; label; kind }
+
 let add_node t ~core =
   if core < 0 || core >= Topology.n_cores t.topo then
     invalid_arg (Printf.sprintf "Machine.add_node: core %d out of range" core);
@@ -64,6 +82,7 @@ let add_node t ~core =
   Hashtbl.replace t.nodes node.nid node;
   ignore (counter t.sent_counts node.nid);
   ignore (counter t.recv_counts node.nid);
+  ignore (counter t.self_counts node.nid);
   node
 
 let node_id n = n.nid
@@ -83,9 +102,11 @@ let channel t ~src ~dst =
   | None ->
     let src_node = find_node t src and dst_node = find_node t dst in
     let same_socket = Topology.same_socket t.topo src_node.ncore dst_node.ncore in
-    let deliver (origin, msg) =
+    let deliver (origin, seq, msg) =
       incr (counter t.recv_counts dst);
       t.delivered_total <- t.delivered_total + 1;
+      emit t ~core:dst_node.ncore ~label:(t.msg_label msg)
+        (Event.Recv { src = origin; dst; seq });
       (match t.tracer with
        | Some f -> f ~time:(Sim.now t.sim) ~src:origin ~dst msg
        | None -> ());
@@ -107,19 +128,37 @@ let send n ~dst msg =
   if dst = n.nid then
     (* Local role-to-role communication on a collapsed node: skips the
        message layer (no transmission, reception or propagation) but the
-       receiving role's processing still occupies the core. *)
+       receiving role's processing still occupies the core. Counted
+       separately from boundary-crossing traffic so that per-commit
+       message figures (Section 4.3) stay comparable across collapsed
+       and dedicated deployments. *)
     Cpu.exec t.cpus.(n.ncore) ~cost:t.net.Net_params.handler_cost (fun () ->
+        incr (counter t.self_counts n.nid);
+        t.self_total <- t.self_total + 1;
+        emit t ~core:n.ncore ~label:(t.msg_label msg)
+          (Event.Self_deliver { node = n.nid });
         n.handler ~src:n.nid msg)
   else begin
     incr (counter t.sent_counts n.nid);
-    Channel.send (channel t ~src:n.nid ~dst) (n.nid, msg)
+    t.sent_total <- t.sent_total + 1;
+    let seq = t.seq in
+    t.seq <- t.seq + 1;
+    emit t ~core:n.ncore ~label:(t.msg_label msg)
+      (Event.Send { src = n.nid; dst; seq });
+    Channel.send (channel t ~src:n.nid ~dst) (n.nid, seq, msg)
   end
 
 let send_many n ~dsts msg = List.iter (fun dst -> send n ~dst msg) dsts
 
-let after n ~delay f = Sim.schedule n.owner.sim ~delay f
+let after n ~delay f =
+  Sim.schedule n.owner.sim ~delay (fun () ->
+      emit n.owner ~core:n.ncore ~label:"" (Event.Timer { node = n.nid });
+      f ())
 
 let compute n ~cost f = Cpu.exec n.owner.cpus.(n.ncore) ~cost f
+
+let note_phase n ~phase =
+  emit n.owner ~core:n.ncore ~label:phase (Event.Phase { node = n.nid; phase })
 
 let slow_core t ~core ~from_ ~until_ ~factor =
   Cpu.add_slowdown t.cpus.(core) ~from_ ~until_ ~factor
@@ -130,8 +169,66 @@ let n_nodes t = t.next_id
 
 let messages_sent t ~node = !(counter t.sent_counts node)
 let messages_received t ~node = !(counter t.recv_counts node)
+let self_delivered t ~node = !(counter t.self_counts node)
 let total_messages t = t.delivered_total
+let messages_sent_total t = t.sent_total
+let self_delivered_total t = t.self_total
+
+let io_snapshot t =
+  Array.init t.next_id (fun id ->
+      ( !(counter t.sent_counts id),
+        !(counter t.recv_counts id),
+        !(counter t.self_counts id) ))
+
+type channel_stats = {
+  ch_count : int;
+  ch_blocked : int;
+  ch_stall_ns : int;
+  ch_occupancy_peak : int;
+  ch_outbox_peak : int;
+}
+
+let channel_totals t =
+  Hashtbl.fold
+    (fun _ c acc ->
+      {
+        ch_count = acc.ch_count + 1;
+        ch_blocked = acc.ch_blocked + Channel.blocked_events c;
+        ch_stall_ns = acc.ch_stall_ns + Channel.credit_stall_ns c;
+        ch_occupancy_peak = max acc.ch_occupancy_peak (Channel.occupancy_peak c);
+        ch_outbox_peak = max acc.ch_outbox_peak (Channel.outbox_peak c);
+      })
+    t.channels
+    {
+      ch_count = 0;
+      ch_blocked = 0;
+      ch_stall_ns = 0;
+      ch_occupancy_peak = 0;
+      ch_outbox_peak = 0;
+    }
 
 let set_tracer t f = t.tracer <- f
+
+let set_observer ?msg_label t ring =
+  t.obs <- ring;
+  (match msg_label with Some f -> t.msg_label <- f | None -> ());
+  match ring with
+  | None -> Array.iter (fun c -> Cpu.set_on_busy c None) t.cpus
+  | Some r ->
+    Array.iter
+      (fun c ->
+        let core = Cpu.id c in
+        Cpu.set_on_busy c
+          (Some
+             (fun ~start ~finish ->
+               Event.emit r
+                 {
+                   Event.time = start;
+                   core;
+                   label = "";
+                   kind = Event.Cpu_busy { dur = finish - start };
+                 })))
+      t.cpus
+
 let run_until t ~time = Sim.run_until t.sim ~time
 let run ?max_events t = Sim.run ?max_events t.sim

@@ -59,7 +59,10 @@ val send : 'msg node -> dst:int -> 'msg -> unit
 (** [send n ~dst msg] transmits [msg] to node [dst]. Costs are charged
     as described above; sending to [node_id n] itself skips the message
     layer but still charges the handler cost (collapsed roles avoid the
-    channel, not the processing). *)
+    channel, not the processing). Self-sends are counted under the
+    distinct {!self_delivered} counters — never under the
+    boundary-crossing message counters — and emit a [Self_deliver]
+    trace event when an observer is installed. *)
 
 val send_many : 'msg node -> dsts:int list -> 'msg -> unit
 (** [send_many n ~dsts msg] sends [msg] to each destination in order
@@ -74,6 +77,11 @@ val after : 'msg node -> delay:Ci_engine.Sim_time.t -> (unit -> unit) -> unit
 val compute : 'msg node -> cost:Ci_engine.Sim_time.t -> (unit -> unit) -> unit
 (** [compute n ~cost f] charges [cost] of work on [n]'s core, then runs
     [f]. *)
+
+val note_phase : 'msg node -> phase:string -> unit
+(** [note_phase n ~phase] records a protocol phase transition (election
+    started, leadership adopted, acceptor switched, ...) as a typed
+    trace event on [n]'s core. A no-op when no observer is installed. *)
 
 val slow_core :
   'msg t ->
@@ -102,6 +110,46 @@ val messages_received : 'msg t -> node:int -> int
 val total_messages : 'msg t -> int
 (** [total_messages t] is the machine-wide count of boundary-crossing
     messages delivered. *)
+
+val messages_sent_total : 'msg t -> int
+(** [messages_sent_total t] is the machine-wide count of
+    boundary-crossing messages handed to channels (it may exceed
+    {!total_messages} while messages are in flight). *)
+
+val self_delivered : 'msg t -> node:int -> int
+(** [self_delivered t ~node] is how many self-sends [node] has executed
+    (collapsed-role local deliveries, excluded from the
+    boundary-crossing counters). *)
+
+val self_delivered_total : 'msg t -> int
+(** [self_delivered_total t] is the machine-wide count of executed
+    self-deliveries. *)
+
+val io_snapshot : 'msg t -> (int * int * int) array
+(** [io_snapshot t] is, per node id, the current
+    [(sent, received, self_delivered)] counters — cheap to sample at
+    measurement-window boundaries. *)
+
+type channel_stats = {
+  ch_count : int;  (** Channels created so far. *)
+  ch_blocked : int;  (** Total sends that found no free slot. *)
+  ch_stall_ns : int;  (** Total outbox time spent waiting for credits. *)
+  ch_occupancy_peak : int;  (** Worst slot occupancy over all channels. *)
+  ch_outbox_peak : int;  (** Worst outbox backlog over all channels. *)
+}
+
+val channel_totals : 'msg t -> channel_stats
+(** [channel_totals t] aggregates back-pressure metrics over every
+    channel created so far. *)
+
+val set_observer :
+  ?msg_label:('msg -> string) -> 'msg t -> Ci_obs.Event.ring option -> unit
+(** [set_observer ~msg_label t (Some ring)] starts recording typed trace
+    events into [ring]: sends, deliveries, self-deliveries, timers,
+    per-core busy spans and phase transitions. [msg_label] (default:
+    constant [""]) annotates message events — pass [Wire.kind] to label
+    them with constructor names. [set_observer t None] stops recording
+    and detaches the per-core busy hooks. *)
 
 val set_tracer :
   'msg t -> (time:Ci_engine.Sim_time.t -> src:int -> dst:int -> 'msg -> unit) option -> unit

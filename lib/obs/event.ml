@@ -1,0 +1,184 @@
+type kind =
+  | Send of { src : int; dst : int; seq : int }
+  | Recv of { src : int; dst : int; seq : int }
+  | Self_deliver of { node : int }
+  | Timer of { node : int }
+  | Cpu_busy of { dur : int }
+  | Phase of { node : int; phase : string }
+
+type t = { time : int; core : int; label : string; kind : kind }
+
+let kind_name e =
+  match e.kind with
+  | Send _ -> "send"
+  | Recv _ -> "recv"
+  | Self_deliver _ -> "self"
+  | Timer _ -> "timer"
+  | Cpu_busy _ -> "busy"
+  | Phase _ -> "phase"
+
+let pp fmt e =
+  Format.fprintf fmt "[%dns core%d] %s" e.time e.core (kind_name e);
+  (match e.kind with
+   | Send { src; dst; seq } | Recv { src; dst; seq } ->
+     Format.fprintf fmt " %d->%d #%d" src dst seq
+   | Self_deliver { node } | Timer { node } -> Format.fprintf fmt " n%d" node
+   | Cpu_busy { dur } -> Format.fprintf fmt " %dns" dur
+   | Phase { node; phase } -> Format.fprintf fmt " n%d %s" node phase);
+  if e.label <> "" then Format.fprintf fmt " (%s)" e.label
+
+(* ----- bounded sink ------------------------------------------------------ *)
+
+type ring = {
+  capacity : int;
+  mutable items : t array;
+  mutable start : int;
+  mutable count : int;
+  mutable evicted : int;
+}
+
+let dummy = { time = 0; core = 0; label = ""; kind = Timer { node = 0 } }
+
+let create_ring ?(capacity = 262_144) () =
+  if capacity <= 0 then invalid_arg "Event.create_ring: capacity must be positive";
+  { capacity; items = [||]; start = 0; count = 0; evicted = 0 }
+
+let emit r e =
+  if Array.length r.items = 0 then r.items <- Array.make r.capacity dummy;
+  if r.count < r.capacity then begin
+    r.items.((r.start + r.count) mod r.capacity) <- e;
+    r.count <- r.count + 1
+  end
+  else begin
+    r.items.(r.start) <- e;
+    r.start <- (r.start + 1) mod r.capacity;
+    r.evicted <- r.evicted + 1
+  end
+
+let events r = List.init r.count (fun i -> r.items.((r.start + i) mod r.capacity))
+let length r = r.count
+let dropped r = r.evicted
+
+let clear r =
+  r.start <- 0;
+  r.count <- 0;
+  r.evicted <- 0
+
+let iter r f =
+  for i = 0 to r.count - 1 do
+    f r.items.((r.start + i) mod r.capacity)
+  done
+
+(* ----- exporters --------------------------------------------------------- *)
+
+(* Labels are machine-generated (message kinds, phase names) but escape
+   defensively so the output is always valid JSON. *)
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let to_jsonl r =
+  let b = Buffer.create (64 * (1 + length r)) in
+  iter r (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf {|{"ts":%d,"core":%d,"ev":"%s"|} e.time e.core (kind_name e));
+      (match e.kind with
+       | Send { src; dst; seq } | Recv { src; dst; seq } ->
+         Buffer.add_string b (Printf.sprintf {|,"src":%d,"dst":%d,"seq":%d|} src dst seq)
+       | Self_deliver { node } | Timer { node } ->
+         Buffer.add_string b (Printf.sprintf {|,"node":%d|} node)
+       | Cpu_busy { dur } -> Buffer.add_string b (Printf.sprintf {|,"dur":%d|} dur)
+       | Phase { node; phase } ->
+         Buffer.add_string b (Printf.sprintf {|,"node":%d,"phase":|} node);
+         add_json_string b phase);
+      if e.label <> "" then begin
+        Buffer.add_string b {|,"label":|};
+        add_json_string b e.label
+      end;
+      Buffer.add_string b "}\n");
+  Buffer.contents b
+
+(* Chrome trace-event format. Timestamps are microseconds (floats);
+   every record carries pid 0 and tid = core so Perfetto renders one
+   track per core. A send/recv pair additionally emits a flow start /
+   flow finish sharing the message seq as id, which Perfetto draws as an
+   arrow between the two tracks. *)
+let to_chrome r =
+  let b = Buffer.create (128 * (8 + length r)) in
+  Buffer.add_string b "[";
+  let first = ref true in
+  let record s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1000.) in
+  (* Track-name metadata for every core that appears. *)
+  let cores = Hashtbl.create 16 in
+  iter r (fun e -> Hashtbl.replace cores e.core ());
+  Hashtbl.fold (fun c () acc -> c :: acc) cores []
+  |> List.sort compare
+  |> List.iter (fun c ->
+         record
+           (Printf.sprintf
+              {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"core %d"}}|}
+              c c));
+  let name_of e fallback = if e.label <> "" then e.label else fallback in
+  let escaped s =
+    let eb = Buffer.create (String.length s + 2) in
+    add_json_string eb s;
+    Buffer.contents eb
+  in
+  iter r (fun e ->
+      match e.kind with
+      | Send { src; dst; seq } ->
+        record
+          (Printf.sprintf
+             {|{"name":%s,"cat":"send","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"src":%d,"dst":%d,"seq":%d}}|}
+             (escaped (name_of e "send")) (us e.time) e.core src dst seq);
+        record
+          (Printf.sprintf
+             {|{"name":"m%d","cat":"msg","ph":"s","id":%d,"ts":%s,"pid":0,"tid":%d}|}
+             seq seq (us e.time) e.core)
+      | Recv { src; dst; seq } ->
+        record
+          (Printf.sprintf
+             {|{"name":%s,"cat":"recv","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"src":%d,"dst":%d,"seq":%d}}|}
+             (escaped (name_of e "recv")) (us e.time) e.core src dst seq);
+        record
+          (Printf.sprintf
+             {|{"name":"m%d","cat":"msg","ph":"f","bp":"e","id":%d,"ts":%s,"pid":0,"tid":%d}|}
+             seq seq (us e.time) e.core)
+      | Self_deliver { node } ->
+        record
+          (Printf.sprintf
+             {|{"name":%s,"cat":"self","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"node":%d}}|}
+             (escaped (name_of e "self-deliver")) (us e.time) e.core node)
+      | Timer { node } ->
+        record
+          (Printf.sprintf
+             {|{"name":%s,"cat":"timer","ph":"i","s":"t","ts":%s,"pid":0,"tid":%d,"args":{"node":%d}}|}
+             (escaped (name_of e "timer")) (us e.time) e.core node)
+      | Cpu_busy { dur } ->
+        record
+          (Printf.sprintf
+             {|{"name":"busy","cat":"cpu","ph":"X","ts":%s,"dur":%s,"pid":0,"tid":%d}|}
+             (us e.time) (us dur) e.core)
+      | Phase { node; phase } ->
+        record
+          (Printf.sprintf
+             {|{"name":%s,"cat":"phase","ph":"i","s":"p","ts":%s,"pid":0,"tid":%d,"args":{"node":%d}}|}
+             (escaped phase) (us e.time) e.core node));
+  Buffer.add_string b "]\n";
+  Buffer.contents b

@@ -1,0 +1,83 @@
+(** Typed trace events and their bounded sink.
+
+    The paper's argument is quantitative — message counts per agreement,
+    leader-core load, saturation points — so the simulator's story of a
+    run must be machine-readable, not a ring of strings. Every
+    observable action (a boundary-crossing send, its delivery, a
+    collapsed-role self-delivery, a timer firing, a span of core
+    occupancy, a protocol phase transition) becomes one typed event in a
+    bounded ring, exportable as JSON-lines or as a Chrome trace-event
+    file (loadable in [ui.perfetto.dev], one track per core, with flow
+    arrows linking each send to its delivery). *)
+
+type kind =
+  | Send of { src : int; dst : int; seq : int }
+      (** Node [src] handed message [seq] to the channel towards [dst].
+          [seq] is machine-wide unique and links the matching [Recv]. *)
+  | Recv of { src : int; dst : int; seq : int }
+      (** Message [seq] from [src] was delivered to [dst] (after
+          reception and handler costs were charged). *)
+  | Self_deliver of { node : int }
+      (** A collapsed-role local delivery: [node] sent to itself,
+          skipping the message layer but occupying its core. *)
+  | Timer of { node : int }  (** A timer armed by [node] fired. *)
+  | Cpu_busy of { dur : int }
+      (** The core was occupied for [dur] ns ending at the event
+          time + 0 (the event's [time] is the span's start). *)
+  | Phase of { node : int; phase : string }
+      (** A protocol phase transition on [node] (election, leadership
+          adoption, acceptor change, ...). *)
+
+type t = {
+  time : int;  (** Simulated time (ns) of the event (span start for {!Cpu_busy}). *)
+  core : int;  (** Core (= Perfetto track) the event belongs to. *)
+  label : string;  (** Free-form annotation: message kind, phase name, ... *)
+  kind : kind;
+}
+
+val kind_name : t -> string
+(** [kind_name e] is a short tag: "send", "recv", "self", "timer",
+    "busy" or "phase". *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human rendering. *)
+
+(** {1 Bounded sink} *)
+
+type ring
+(** A bounded FIFO of events; when full, the oldest are dropped (their
+    number is reported by {!dropped}). *)
+
+val create_ring : ?capacity:int -> unit -> ring
+(** [create_ring ~capacity ()] is an empty ring retaining at most
+    [capacity] events (default 262144). Raises [Invalid_argument] on a
+    non-positive capacity. *)
+
+val emit : ring -> t -> unit
+(** [emit r e] appends [e], evicting the oldest event when full. *)
+
+val events : ring -> t list
+(** [events r] is the retained events, oldest first. *)
+
+val length : ring -> int
+(** [length r] is the number of retained events. *)
+
+val dropped : ring -> int
+(** [dropped r] is how many events were evicted due to capacity. *)
+
+val clear : ring -> unit
+(** [clear r] discards all events and resets the dropped counter. *)
+
+(** {1 Exporters} *)
+
+val to_jsonl : ring -> string
+(** [to_jsonl r] renders one JSON object per line per event, oldest
+    first — greppable and streamable. *)
+
+val to_chrome : ring -> string
+(** [to_chrome r] renders a Chrome trace-event JSON array: one thread
+    (track) per core, named via metadata events; [Cpu_busy] spans as
+    complete ("X") events; sends and deliveries as instants joined by
+    flow arrows ("s"/"f" events sharing the message's [seq] id);
+    timestamps in microseconds. Load the file in [chrome://tracing] or
+    [ui.perfetto.dev] to follow a commit leader → acceptor → learners. *)

@@ -1,0 +1,54 @@
+type value = Int of int | Float of float
+
+type t = {
+  tbl : (string, value) Hashtbl.t;
+  mutable order : string list; (* reversed insertion order *)
+}
+
+let create () = { tbl = Hashtbl.create 64; order = [] }
+
+let set t key v =
+  if not (Hashtbl.mem t.tbl key) then t.order <- key :: t.order;
+  Hashtbl.replace t.tbl key v
+
+let set_int t key v = set t key (Int v)
+let set_float t key v = set t key (Float v)
+
+let find t key = Hashtbl.find_opt t.tbl key
+
+let get_int t key =
+  match find t key with
+  | Some (Int v) -> v
+  | Some (Float v) -> int_of_float v
+  | None -> 0
+
+let to_list t = List.rev_map (fun key -> (key, Hashtbl.find t.tbl key)) t.order
+let length t = List.length t.order
+
+let escape_key key =
+  (* Keys are machine-generated dotted paths, but stay safe. *)
+  String.concat "\\\"" (String.split_on_char '"' key)
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (key, v) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (Printf.sprintf {|"%s":|} (escape_key key));
+      match v with
+      | Int n -> Buffer.add_string b (string_of_int n)
+      | Float x ->
+        if Float.is_finite x then Buffer.add_string b (Printf.sprintf "%.6g" x)
+        else Buffer.add_string b "null")
+    (to_list t);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let pp fmt t =
+  List.iter
+    (fun (key, v) ->
+      match v with
+      | Int n -> Format.fprintf fmt "%s = %d@." key n
+      | Float x -> Format.fprintf fmt "%s = %g@." key x)
+    (to_list t)

@@ -1,0 +1,41 @@
+(** A small metrics registry: named scalar measurements of one run.
+
+    The runner fills one registry per experiment (per-node message
+    counts split by measurement window, per-core utilization, channel
+    back-pressure totals, ...) so the CLI and benchmarks can dump every
+    number the paper's tables rest on without growing [Runner.result]
+    a field per metric. Keys keep insertion order; setting an existing
+    key overwrites it in place. *)
+
+type value = Int of int | Float of float
+
+type t
+(** A mutable registry. *)
+
+val create : unit -> t
+(** [create ()] is an empty registry. *)
+
+val set_int : t -> string -> int -> unit
+(** [set_int t key v] binds [key] to [Int v]. *)
+
+val set_float : t -> string -> float -> unit
+(** [set_float t key v] binds [key] to [Float v]. *)
+
+val find : t -> string -> value option
+(** [find t key] is the current binding of [key], if any. *)
+
+val get_int : t -> string -> int
+(** [get_int t key] is the integer bound to [key]; [0] when unbound,
+    truncating when a float is bound. *)
+
+val to_list : t -> (string * value) list
+(** [to_list t] is every binding in insertion order. *)
+
+val length : t -> int
+(** [length t] is the number of bindings. *)
+
+val to_json : t -> string
+(** [to_json t] is one flat JSON object, keys in insertion order. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt t] prints one [key = value] line per binding. *)

@@ -65,11 +65,22 @@ let netchar () =
 
 (* ----- generic sweeps ---------------------------------------------------- *)
 
-type point = { x : int; throughput : float; latency_us : float }
+type point = {
+  x : int;
+  throughput : float;
+  latency_us : float;
+  leader_util : float;
+}
+
 type series = { label : string; points : point list }
 
 let point_of_result x (r : Runner.result) =
-  { x; throughput = r.Runner.throughput; latency_us = r.Runner.latency.Ci_stats.Summary.mean /. 1000. }
+  {
+    x;
+    throughput = r.Runner.throughput;
+    latency_us = r.Runner.latency.Ci_stats.Summary.mean /. 1000.;
+    leader_util = Runner.leader_util r;
+  }
 
 let guard_consistent context (r : Runner.result) =
   if not (Ci_rsm.Consistency.ok r.Runner.consistency) then
@@ -130,6 +141,7 @@ type latency_row = {
   latency_us : float;
   paper_latency_us : float;
   throughput_1c : float;
+  leader_util : float;
 }
 
 let latency_table ?duration () =
@@ -146,6 +158,7 @@ let latency_table ?duration () =
       latency_us = r.Runner.latency.Ci_stats.Summary.mean /. 1000.;
       paper_latency_us;
       throughput_1c = r.Runner.throughput;
+      leader_util = Runner.leader_util r;
     }
   in
   [
@@ -413,20 +426,22 @@ let pp_series fmt series =
   List.iter
     (fun (s : series) ->
       Format.fprintf fmt "-- %s@." s.label;
-      Format.fprintf fmt "   %6s %14s %14s@." "x" "op/s" "latency(us)";
+      Format.fprintf fmt "   %6s %14s %14s %12s@." "x" "op/s" "latency(us)"
+        "leader-util";
       List.iter
         (fun p ->
-          Format.fprintf fmt "   %6d %14.0f %14.1f@." p.x p.throughput p.latency_us)
+          Format.fprintf fmt "   %6d %14.0f %14.1f %12.2f@." p.x p.throughput
+            p.latency_us p.leader_util)
         s.points)
     series
 
 let pp_latency_table fmt rows =
-  Format.fprintf fmt "%-12s %14s %16s %14s@." "protocol" "latency(us)"
-    "paper(us)" "1-client op/s";
+  Format.fprintf fmt "%-12s %14s %16s %14s %12s@." "protocol" "latency(us)"
+    "paper(us)" "1-client op/s" "leader-util";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-12s %14.1f %16.1f %14.0f@." r.protocol r.latency_us
-        r.paper_latency_us r.throughput_1c)
+      Format.fprintf fmt "%-12s %14.1f %16.1f %14.0f %12.2f@." r.protocol
+        r.latency_us r.paper_latency_us r.throughput_1c r.leader_util)
     rows
 
 let pp_bars fmt bars =

@@ -25,6 +25,9 @@ type point = {
   x : int;  (** Sweep coordinate (clients or replicas). *)
   throughput : float;  (** op/s. *)
   latency_us : float;  (** Mean commit latency. *)
+  leader_util : float;
+      (** Leader-core (core 0) utilization inside the measurement
+          window — the saturation evidence behind E4/E5. *)
 }
 
 type series = { label : string; points : point list }
@@ -40,6 +43,7 @@ type latency_row = {
   latency_us : float;
   paper_latency_us : float;  (** The value the paper reports. *)
   throughput_1c : float;
+  leader_util : float;  (** Leader-core utilization at one client. *)
 }
 
 val latency_table : ?duration:int -> unit -> latency_row list
@@ -65,7 +69,10 @@ type timeline = {
   bucket_ms : float;
   rates : float array;  (** op/s per bucket. *)
   leader_changes : int;
-  acceptor_changes : int;
+      (** Per-replica maximum ([Runner.result.leader_changes]) — the
+          count of global transitions, which is what the timeline
+          annotations quote. *)
+  acceptor_changes : int;  (** Per-replica maximum, as above. *)
 }
 
 val fig11 : ?duration:int -> unit -> timeline list

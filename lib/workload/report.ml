@@ -17,13 +17,14 @@ let buf_lines header rows =
   Buffer.contents b
 
 let series_csv (series : Experiments.series list) =
-  buf_lines "label,x,throughput_ops,latency_us"
+  buf_lines "label,x,throughput_ops,latency_us,leader_util"
     (List.concat_map
        (fun (s : Experiments.series) ->
          List.map
            (fun (p : Experiments.point) ->
-             Printf.sprintf "%s,%d,%.1f,%.2f" (quote s.Experiments.label)
-               p.Experiments.x p.Experiments.throughput p.Experiments.latency_us)
+             Printf.sprintf "%s,%d,%.1f,%.2f,%.3f" (quote s.Experiments.label)
+               p.Experiments.x p.Experiments.throughput p.Experiments.latency_us
+               p.Experiments.leader_util)
            s.Experiments.points)
        series)
 
@@ -58,12 +59,12 @@ let netchar_csv (rows : Experiments.netchar_row list) =
        rows)
 
 let latency_csv (rows : Experiments.latency_row list) =
-  buf_lines "protocol,latency_us,paper_latency_us,throughput_1c"
+  buf_lines "protocol,latency_us,paper_latency_us,throughput_1c,leader_util"
     (List.map
        (fun (r : Experiments.latency_row) ->
-         Printf.sprintf "%s,%.2f,%.2f,%.1f" (quote r.Experiments.protocol)
+         Printf.sprintf "%s,%.2f,%.2f,%.1f,%.3f" (quote r.Experiments.protocol)
            r.Experiments.latency_us r.Experiments.paper_latency_us
-           r.Experiments.throughput_1c)
+           r.Experiments.throughput_1c r.Experiments.leader_util)
        rows)
 
 let plot_preamble ~title =

@@ -1,7 +1,10 @@
 module Machine = Ci_machine.Machine
 module Topology = Ci_machine.Topology
 module Net_params = Ci_machine.Net_params
+module Cpu = Ci_machine.Cpu
+module Sim = Ci_engine.Sim
 module Sim_time = Ci_engine.Sim_time
+module Metrics = Ci_obs.Metrics
 module Command = Ci_rsm.Command
 module Consistency = Ci_rsm.Consistency
 module Onepaxos = Ci_consensus.Onepaxos
@@ -41,6 +44,7 @@ type spec = {
   faults : Fault_plan.t list;
   bucket : int;
   colocate_acceptor : bool;
+  trace : Ci_obs.Event.ring option;
 }
 
 let default_spec ~protocol ~placement =
@@ -62,7 +66,30 @@ let default_spec ~protocol ~placement =
     faults = [];
     bucket = Sim_time.ms 10;
     colocate_acceptor = false;
+    trace = None;
   }
+
+type window_counts = {
+  w_messages : int;
+  w_sends : int;
+  w_self : int;
+  w_retries : int;
+  w_replies : int;
+}
+
+type window_split = {
+  warmup_w : window_counts;
+  measure_w : window_counts;
+  drain_w : window_counts;
+}
+
+type core_usage = {
+  u_core : int;
+  u_busy_ns : int;
+  u_util : float;
+  u_queue_peak : int;
+  u_slowed_ns : int;
+}
 
 type result = {
   commits : int;
@@ -71,10 +98,31 @@ type result = {
   latency : Ci_stats.Summary.t;
   timeline : float array;
   messages : int;
+  messages_total : int;
+  self_delivered : int;
+  self_delivered_total : int;
   retries : int;
+  retries_total : int;
+  windows : window_split;
+  cores : core_usage list;
   leader_changes : int;
+  leader_changes_sum : int;
   acceptor_changes : int;
+  acceptor_changes_sum : int;
+  metrics : Metrics.t;
   consistency : Consistency.report;
+}
+
+(* One instant's view of every cumulative counter — taken at the window
+   boundaries from inside the simulation. *)
+type snap = {
+  s_delivered : int;
+  s_sent : int;
+  s_self : int;
+  s_retries : int;
+  s_replies : int;
+  s_io : (int * int * int) array; (* per node: sent, received, self *)
+  s_busy : int array; (* per core: elapsed occupation ns *)
 }
 
 (* A protocol replica, uniformly. *)
@@ -256,19 +304,142 @@ let run spec =
         let c = clients.(i) in
         Machine.set_handler node (fun ~src msg -> Client.handle c ~src msg))
       client_nodes;
+  (* Typed observability: record trace events when the caller supplied a
+     ring, labelling message events with their wire constructor names. *)
+  Machine.set_observer ~msg_label:Wire.kind machine spec.trace;
   (* Faults, protocol bootstrap, load. *)
   List.iter (fun f -> Fault_plan.apply f machine) spec.faults;
   Array.iter replica_start replicas;
   Array.iter Client.start clients;
-  let horizon = spec.warmup + spec.duration + spec.drain in
+  let w0 = spec.warmup and w1 = spec.warmup + spec.duration in
+  let horizon = w1 + spec.drain in
+  (* Counter snapshots at the window boundaries, taken from inside the
+     simulation so every count is confined to its window (previously
+     [messages] and [retries] covered the whole run while [commits]
+     covered only [w0, w1) — the window-skew bug). *)
+  let take_snap () =
+    {
+      s_delivered = Machine.total_messages machine;
+      s_sent = Machine.messages_sent_total machine;
+      s_self = Machine.self_delivered_total machine;
+      s_retries = Array.fold_left (fun acc c -> acc + Client.retries c) 0 clients;
+      s_replies = Run_stats.completed stats;
+      s_io = Machine.io_snapshot machine;
+      s_busy =
+        Array.init n_cores (fun c -> Cpu.busy_elapsed (Machine.cpu machine ~core:c));
+    }
+  in
+  let snap0 = ref None and snap1 = ref None in
+  let sim = Machine.sim machine in
+  Sim.schedule_at sim ~time:w0 (fun () -> snap0 := Some (take_snap ()));
+  Sim.schedule_at sim ~time:w1 (fun () -> snap1 := Some (take_snap ()));
   Machine.run_until machine ~time:horizon;
   (* Measurements. *)
-  let w0 = spec.warmup and w1 = spec.warmup + spec.duration in
+  let n_nodes = Machine.n_nodes machine in
+  let zero_snap =
+    {
+      s_delivered = 0;
+      s_sent = 0;
+      s_self = 0;
+      s_retries = 0;
+      s_replies = 0;
+      s_io = Array.make n_nodes (0, 0, 0);
+      s_busy = Array.make n_cores 0;
+    }
+  in
+  let s_end = take_snap () in
+  let s0 = Option.value !snap0 ~default:s_end in
+  let s1 = Option.value !snap1 ~default:s_end in
+  let window_diff a b =
+    {
+      w_messages = b.s_delivered - a.s_delivered;
+      w_sends = b.s_sent - a.s_sent;
+      w_self = b.s_self - a.s_self;
+      w_retries = b.s_retries - a.s_retries;
+      w_replies = b.s_replies - a.s_replies;
+    }
+  in
+  let windows =
+    {
+      warmup_w = window_diff zero_snap s0;
+      measure_w = window_diff s0 s1;
+      drain_w = window_diff s1 s_end;
+    }
+  in
+  let used_cores =
+    let tbl = Hashtbl.create 16 in
+    Array.iter (fun n -> Hashtbl.replace tbl (Machine.core_of n) ()) replica_nodes;
+    Array.iter (fun n -> Hashtbl.replace tbl (Machine.core_of n) ()) client_nodes;
+    Hashtbl.fold (fun c () acc -> c :: acc) tbl [] |> List.sort compare
+  in
+  let cores =
+    List.map
+      (fun c ->
+        let cpu = Machine.cpu machine ~core:c in
+        let busy = s1.s_busy.(c) - s0.s_busy.(c) in
+        {
+          u_core = c;
+          u_busy_ns = busy;
+          u_util = float_of_int busy /. float_of_int spec.duration;
+          u_queue_peak = Cpu.queue_peak cpu;
+          u_slowed_ns = Cpu.slowed_total cpu;
+        })
+      used_cores
+  in
   let lat = Run_stats.latencies_in stats ~from_:w0 ~until_:w1 in
   let commits = Run_stats.completed_in stats ~from_:w0 ~until_:w1 in
   let throughput =
     float_of_int commits /. Sim_time.to_s_float spec.duration
   in
+  (* Metrics registry: every number the tables rest on, keyed
+     hierarchically. *)
+  let metrics = Metrics.create () in
+  let set_window prefix w =
+    Metrics.set_int metrics (prefix ^ ".messages") w.w_messages;
+    Metrics.set_int metrics (prefix ^ ".sends") w.w_sends;
+    Metrics.set_int metrics (prefix ^ ".self") w.w_self;
+    Metrics.set_int metrics (prefix ^ ".retries") w.w_retries;
+    Metrics.set_int metrics (prefix ^ ".replies") w.w_replies
+  in
+  Metrics.set_int metrics "commits.measure" commits;
+  Metrics.set_float metrics "throughput.ops" throughput;
+  set_window "warmup" windows.warmup_w;
+  set_window "measure" windows.measure_w;
+  set_window "drain" windows.drain_w;
+  Metrics.set_int metrics "messages.total" s_end.s_delivered;
+  Metrics.set_int metrics "self.total" s_end.s_self;
+  Metrics.set_int metrics "retries.total" s_end.s_retries;
+  for id = 0 to n_nodes - 1 do
+    let sent_of (s, _, _) = s and recv_of (_, r, _) = r and self_of (_, _, x) = x in
+    let win name f =
+      Metrics.set_int metrics (Printf.sprintf "node%d.%s.warmup" id name) (f s0.s_io.(id));
+      Metrics.set_int metrics
+        (Printf.sprintf "node%d.%s.measure" id name)
+        (f s1.s_io.(id) - f s0.s_io.(id));
+      Metrics.set_int metrics
+        (Printf.sprintf "node%d.%s.drain" id name)
+        (f s_end.s_io.(id) - f s1.s_io.(id))
+    in
+    win "sent" sent_of;
+    win "recv" recv_of;
+    win "self" self_of
+  done;
+  List.iter
+    (fun u ->
+      Metrics.set_int metrics (Printf.sprintf "core%d.busy_ns.measure" u.u_core) u.u_busy_ns;
+      Metrics.set_float metrics (Printf.sprintf "core%d.util.measure" u.u_core) u.u_util;
+      Metrics.set_int metrics (Printf.sprintf "core%d.queue_peak" u.u_core) u.u_queue_peak;
+      Metrics.set_int metrics (Printf.sprintf "core%d.slowed_ns" u.u_core) u.u_slowed_ns)
+    cores;
+  let ch = Machine.channel_totals machine in
+  Metrics.set_int metrics "channels.count" ch.Machine.ch_count;
+  Metrics.set_int metrics "channels.blocked" ch.Machine.ch_blocked;
+  Metrics.set_int metrics "channels.stall_ns" ch.Machine.ch_stall_ns;
+  Metrics.set_int metrics "channels.occupancy_peak" ch.Machine.ch_occupancy_peak;
+  Metrics.set_int metrics "channels.outbox_peak" ch.Machine.ch_outbox_peak;
+  (match spec.trace with
+   | Some ring -> Metrics.set_int metrics "trace.dropped" (Ci_obs.Event.dropped ring)
+   | None -> ());
   (* Consistency. *)
   let proposed_tbl = Hashtbl.create 4096 in
   Array.iter
@@ -296,23 +467,58 @@ let run spec =
     Consistency.check ~equal:Wire.value_equal ~proposed ~acked
       ~key_of:Wire.value_key views
   in
+  let leader_changes =
+    Array.fold_left (fun acc r -> max acc (leader_changes_of r)) 0 replicas
+  in
+  let leader_changes_sum =
+    Array.fold_left (fun acc r -> acc + leader_changes_of r) 0 replicas
+  in
+  let acceptor_changes =
+    Array.fold_left (fun acc r -> max acc (acceptor_changes_of r)) 0 replicas
+  in
+  let acceptor_changes_sum =
+    Array.fold_left (fun acc r -> acc + acceptor_changes_of r) 0 replicas
+  in
+  Metrics.set_int metrics "leader_changes.max" leader_changes;
+  Metrics.set_int metrics "leader_changes.sum" leader_changes_sum;
+  Metrics.set_int metrics "acceptor_changes.max" acceptor_changes;
+  Metrics.set_int metrics "acceptor_changes.sum" acceptor_changes_sum;
   {
     commits;
     total_replies = Run_stats.completed stats;
     throughput;
     latency = Ci_stats.Summary.of_samples lat;
     timeline = Ci_stats.Timeseries.rates_per_sec (Run_stats.timeline stats) ~upto:(w1 + spec.drain);
-    messages = Machine.total_messages machine;
-    retries = Array.fold_left (fun acc c -> acc + Client.retries c) 0 clients;
-    leader_changes =
-      Array.fold_left (fun acc r -> max acc (leader_changes_of r)) 0 replicas;
-    acceptor_changes =
-      Array.fold_left (fun acc r -> max acc (acceptor_changes_of r)) 0 replicas;
+    messages = windows.measure_w.w_messages;
+    messages_total = s_end.s_delivered;
+    self_delivered = windows.measure_w.w_self;
+    self_delivered_total = s_end.s_self;
+    retries = windows.measure_w.w_retries;
+    retries_total = s_end.s_retries;
+    windows;
+    cores;
+    leader_changes;
+    leader_changes_sum;
+    acceptor_changes;
+    acceptor_changes_sum;
+    metrics;
     consistency;
   }
 
+let leader_util r =
+  match List.find_opt (fun u -> u.u_core = 0) r.cores with
+  | Some u -> u.u_util
+  | None -> 0.
+
+let pp_window fmt w =
+  Format.fprintf fmt "msgs=%d sends=%d self=%d retries=%d replies=%d"
+    w.w_messages w.w_sends w.w_self w.w_retries w.w_replies
+
 let pp_result fmt r =
   Format.fprintf fmt
-    "commits=%d throughput=%.0f op/s latency: %a; msgs=%d retries=%d lc=%d ac=%d; %a"
-    r.commits r.throughput Ci_stats.Summary.pp r.latency r.messages r.retries
-    r.leader_changes r.acceptor_changes Consistency.pp r.consistency
+    "commits=%d throughput=%.0f op/s latency: %a; msgs=%d/%d self=%d/%d \
+     retries=%d/%d lc=%d(sum %d) ac=%d(sum %d) leader-util=%.2f; %a"
+    r.commits r.throughput Ci_stats.Summary.pp r.latency r.messages
+    r.messages_total r.self_delivered r.self_delivered_total r.retries
+    r.retries_total r.leader_changes r.leader_changes_sum r.acceptor_changes
+    r.acceptor_changes_sum (leader_util r) Consistency.pp r.consistency

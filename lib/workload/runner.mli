@@ -39,11 +39,41 @@ type spec = {
       (** 1Paxos only: place the initial active acceptor on the leader's
           node instead of a separate one (violating Section 5.4's
           placement rule) — used by the placement ablation. *)
+  trace : Ci_obs.Event.ring option;
+      (** When set, the run records typed trace events (sends,
+          deliveries, self-deliveries, timers, busy spans, phases) into
+          the ring, message events labelled with wire constructor
+          names. *)
 }
 
 val default_spec : protocol:protocol -> placement:placement -> spec
 (** Multicore parameters on the 48-core topology, 50 ms window after
     5 ms warm-up, write-only workload, no faults. *)
+
+type window_counts = {
+  w_messages : int;  (** Boundary-crossing messages delivered. *)
+  w_sends : int;  (** Boundary-crossing messages handed to channels. *)
+  w_self : int;  (** Collapsed-role self-deliveries executed. *)
+  w_retries : int;  (** Client timeouts. *)
+  w_replies : int;  (** Replies received by clients. *)
+}
+(** Event counts confined to one measurement window. *)
+
+type window_split = {
+  warmup_w : window_counts;  (** [0, warmup). *)
+  measure_w : window_counts;  (** [warmup, warmup + duration). *)
+  drain_w : window_counts;  (** [warmup + duration, horizon). *)
+}
+
+type core_usage = {
+  u_core : int;  (** Core id. *)
+  u_busy_ns : int;  (** Occupation inside the measurement window. *)
+  u_util : float;  (** [u_busy_ns / duration]; can exceed 1 transiently
+                       when booked work from the warmup window completes
+                       inside the measurement window. *)
+  u_queue_peak : int;  (** Worst work-queue depth over the whole run. *)
+  u_slowed_ns : int;  (** Occupation inside slowdown windows, whole run. *)
+}
 
 type result = {
   commits : int;  (** Replies inside the measurement window. *)
@@ -51,10 +81,38 @@ type result = {
   throughput : float;  (** Commits per second inside the window. *)
   latency : Ci_stats.Summary.t;  (** Latency summary inside the window. *)
   timeline : float array;  (** Commit rate per bucket over the run. *)
-  messages : int;  (** Boundary-crossing messages delivered. *)
-  retries : int;  (** Client timeouts over the run. *)
+  messages : int;
+      (** Boundary-crossing messages delivered {e inside the measurement
+          window} — aligned with [commits], so per-commit message ratios
+          (Section 4.3) are consistent. *)
+  messages_total : int;  (** Same, over the whole run. *)
+  self_delivered : int;
+      (** Collapsed-role self-deliveries inside the window (excluded
+          from [messages]). *)
+  self_delivered_total : int;  (** Same, over the whole run. *)
+  retries : int;  (** Client timeouts inside the measurement window. *)
+  retries_total : int;  (** Client timeouts over the whole run. *)
+  windows : window_split;  (** Full warmup/measure/drain split. *)
+  cores : core_usage list;
+      (** Utilization for every core hosting a node, ascending core id;
+          the leader's core is [u_core = 0]. *)
   leader_changes : int;
-  acceptor_changes : int;
+      (** Per-replica {e maximum} of applied leader-change entries — the
+          number of global leadership transitions as seen by the most
+          caught-up replica. This is the figure the experiment tables
+          and timelines (E6/E7) quote. *)
+  leader_changes_sum : int;
+      (** Sum over replicas of applied leader-change entries (≈ max ×
+          replicas when all replicas observe every change) — useful for
+          spotting replicas that missed configuration entries. *)
+  acceptor_changes : int;  (** Per-replica maximum, as above. *)
+  acceptor_changes_sum : int;  (** Sum over replicas, as above. *)
+  metrics : Ci_obs.Metrics.t;
+      (** Flat registry of every measurement: per-node
+          [node<i>.{sent,recv,self}.{warmup,measure,drain}], per-core
+          [core<c>.{busy_ns.measure,util.measure,queue_peak,slowed_ns}],
+          channel back-pressure totals, window totals, and
+          [trace.dropped] when tracing. *)
   consistency : Ci_rsm.Consistency.report;
 }
 
@@ -62,6 +120,13 @@ val run : spec -> result
 (** [run spec] executes the experiment and returns its measurements.
     Raises [Invalid_argument] on nonsensical placements (more replicas
     than cores, joint with fewer than two nodes, ...). *)
+
+val leader_util : result -> float
+(** [leader_util r] is core 0's measurement-window utilization ([0.]
+    when no node lives there). *)
+
+val pp_window : Format.formatter -> window_counts -> unit
+(** One-line rendering of one window's counts. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** One-paragraph human-readable rendering. *)

@@ -81,6 +81,38 @@ let test_unbounded_rate () =
   Alcotest.(check int) "all sent" 100 (Channel.sent ch);
   Alcotest.(check int) "no blocking" 0 (Channel.blocked_events ch)
 
+let test_occupancy_peak () =
+  let sim, ch = mk ~capacity:4 (fun _ _ -> ()) in
+  Alcotest.(check int) "starts at zero" 0 (Channel.occupancy_peak ch);
+  for i = 1 to 3 do
+    Channel.send ch i
+  done;
+  Sim.run sim;
+  (* Three in-flight messages at most: the peak saw them, and it never
+     exceeds the slot count. *)
+  Alcotest.(check bool) "peak within [1, capacity]" true
+    (Channel.occupancy_peak ch >= 1 && Channel.occupancy_peak ch <= 4)
+
+let test_outbox_peak_and_stall () =
+  let sim, ch = mk ~capacity:1 ~prop:50 (fun _ _ -> ()) in
+  for i = 1 to 6 do
+    Channel.send ch i
+  done;
+  Alcotest.(check int) "backlog behind one slot" 5 (Channel.outbox_length ch);
+  Sim.run sim;
+  Alcotest.(check int) "peak recorded the worst backlog" 5 (Channel.outbox_peak ch);
+  Alcotest.(check bool) "credit stalls accumulated" true (Channel.credit_stall_ns ch > 0);
+  Alcotest.(check int) "all delivered" 6 (Channel.delivered ch)
+
+let test_no_stall_when_uncontended () =
+  let sim, ch = mk ~capacity:100 (fun _ _ -> ()) in
+  for i = 1 to 5 do
+    Channel.send ch i
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "no credit stalls" 0 (Channel.credit_stall_ns ch);
+  Alcotest.(check int) "no outbox backlog" 0 (Channel.outbox_peak ch)
+
 let test_invalid_capacity () =
   try
     ignore (mk ~capacity:0 (fun _ _ -> ()));
@@ -96,5 +128,10 @@ let suite =
       Alcotest.test_case "capacity back-pressure" `Quick test_blocking_capacity;
       Alcotest.test_case "1-slot ping = 2t+2p (Section 3)" `Quick test_ping_formula;
       Alcotest.test_case "unbounded transmission rate" `Quick test_unbounded_rate;
+      Alcotest.test_case "occupancy peak" `Quick test_occupancy_peak;
+      Alcotest.test_case "outbox peak and credit stall" `Quick
+        test_outbox_peak_and_stall;
+      Alcotest.test_case "no stall when uncontended" `Quick
+        test_no_stall_when_uncontended;
       Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
     ] )

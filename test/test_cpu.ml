@@ -93,6 +93,58 @@ let test_queue_delay () =
   Cpu.exec cpu ~cost:100 (fun () -> ());
   Alcotest.(check int) "backlog visible" 200 (Cpu.queue_delay cpu)
 
+let test_busy_elapsed_mid_run () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  Cpu.exec cpu ~cost:100 (fun () -> ());
+  (* At t=0 all 100 ns are booked but none elapsed. *)
+  Alcotest.(check int) "nothing elapsed yet" 0 (Cpu.busy_elapsed cpu);
+  Sim.run_until sim ~time:40;
+  Alcotest.(check int) "partial occupation elapsed" 40 (Cpu.busy_elapsed cpu);
+  Sim.run sim;
+  Alcotest.(check int) "fully elapsed" 100 (Cpu.busy_elapsed cpu);
+  Alcotest.(check int) "agrees with busy_total when drained" (Cpu.busy_total cpu)
+    (Cpu.busy_elapsed cpu)
+
+let test_queue_depth_and_peak () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  Alcotest.(check int) "idle depth" 0 (Cpu.queue_depth cpu);
+  for _ = 1 to 4 do
+    Cpu.exec cpu ~cost:10 (fun () -> ())
+  done;
+  Alcotest.(check int) "four queued" 4 (Cpu.queue_depth cpu);
+  Alcotest.(check int) "peak tracks" 4 (Cpu.queue_peak cpu);
+  Sim.run sim;
+  Alcotest.(check int) "drained" 0 (Cpu.queue_depth cpu);
+  Alcotest.(check int) "peak sticks" 4 (Cpu.queue_peak cpu)
+
+let test_slowed_total () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  Cpu.add_slowdown cpu ~from_:0 ~until_:50 ~factor:2.;
+  (* 100 units: 50 wall-clock ns inside the window (2x = 25 units done),
+     75 outside. *)
+  Cpu.exec cpu ~cost:100 (fun () -> ());
+  Sim.run sim;
+  Alcotest.(check int) "impaired occupation counted" 50 (Cpu.slowed_total cpu);
+  Alcotest.(check int) "total includes the stretch" 125 (Cpu.busy_total cpu)
+
+let test_on_busy_hook () =
+  let sim = Sim.create () in
+  let cpu = Cpu.create sim ~id:0 in
+  let spans = ref [] in
+  Cpu.set_on_busy cpu (Some (fun ~start ~finish -> spans := (start, finish) :: !spans));
+  Cpu.exec cpu ~cost:30 (fun () -> ());
+  Sim.schedule sim ~delay:100 (fun () -> Cpu.exec cpu ~cost:20 (fun () -> ()));
+  Sim.run sim;
+  Alcotest.(check (list (pair int int))) "span per occupation" [ (0, 30); (100, 120) ]
+    (List.rev !spans);
+  Cpu.set_on_busy cpu None;
+  Cpu.exec cpu ~cost:10 (fun () -> ());
+  Sim.run sim;
+  Alcotest.(check int) "hook detached" 2 (List.length !spans)
+
 let test_invalid_windows () =
   let sim = Sim.create () in
   let cpu = Cpu.create sim ~id:0 in
@@ -118,5 +170,9 @@ let suite =
       Alcotest.test_case "work spanning boundary" `Quick test_work_spanning_boundary;
       Alcotest.test_case "crash window resumes" `Quick test_crash_window_resumes;
       Alcotest.test_case "queue delay" `Quick test_queue_delay;
+      Alcotest.test_case "busy_elapsed mid-run" `Quick test_busy_elapsed_mid_run;
+      Alcotest.test_case "queue depth and peak" `Quick test_queue_depth_and_peak;
+      Alcotest.test_case "slowed occupation" `Quick test_slowed_total;
+      Alcotest.test_case "on_busy hook" `Quick test_on_busy_hook;
       Alcotest.test_case "invalid windows" `Quick test_invalid_windows;
     ] )

@@ -172,6 +172,79 @@ let test_tracer () =
   Machine.run m;
   Alcotest.(check int) "tracer cleared" 1 (List.length !seen)
 
+let test_self_delivery_counters () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  Machine.set_handler a (fun ~src:_ _ -> ());
+  Machine.set_handler b (fun ~src:_ _ -> ());
+  Machine.send a ~dst:0 "self";
+  Machine.send a ~dst:0 "self";
+  Machine.send a ~dst:1 "remote";
+  Machine.run m;
+  Alcotest.(check int) "self counter per node" 2 (Machine.self_delivered m ~node:0);
+  Alcotest.(check int) "none on the peer" 0 (Machine.self_delivered m ~node:1);
+  Alcotest.(check int) "machine-wide self total" 2 (Machine.self_delivered_total m);
+  (* Self-sends never leak into the boundary-crossing counters. *)
+  Alcotest.(check int) "sent excludes self" 1 (Machine.messages_sent m ~node:0);
+  Alcotest.(check int) "sent total excludes self" 1 (Machine.messages_sent_total m);
+  Alcotest.(check int) "delivered excludes self" 1 (Machine.total_messages m);
+  match Machine.io_snapshot m with
+  | [| (1, 0, 2); (0, 1, 0) |] -> ()
+  | snap ->
+    Alcotest.failf "unexpected io snapshot: %s"
+      (String.concat ";"
+         (Array.to_list
+            (Array.map (fun (s, r, f) -> Printf.sprintf "(%d,%d,%d)" s r f) snap)))
+
+let test_observer_events () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  Machine.set_handler a (fun ~src:_ _ -> ());
+  Machine.set_handler b (fun ~src:_ _ -> ());
+  let ring = Ci_obs.Event.create_ring ~capacity:1024 () in
+  Machine.set_observer ~msg_label:(fun s -> s) m (Some ring);
+  Machine.send a ~dst:1 "ping";
+  Machine.send a ~dst:0 "loop";
+  Machine.after a ~delay:500 (fun () -> ());
+  Machine.run m;
+  let events = Ci_obs.Event.events ring in
+  let find k = List.filter (fun e -> Ci_obs.Event.kind_name e = k) events in
+  (match (find "send", find "recv") with
+   | [ s ], [ r ] ->
+     (match (s.Ci_obs.Event.kind, r.Ci_obs.Event.kind) with
+      | Ci_obs.Event.Send { seq = s_seq; src = 0; dst = 1 },
+        Ci_obs.Event.Recv { seq = r_seq; src = 0; dst = 1 } ->
+        Alcotest.(check int) "seq links send to recv" s_seq r_seq
+      | _ -> Alcotest.fail "wrong send/recv endpoints");
+     Alcotest.(check string) "message label" "ping" s.Ci_obs.Event.label;
+     Alcotest.(check int) "send on source core" 0 s.Ci_obs.Event.core;
+     Alcotest.(check int) "recv on destination core" 1 r.Ci_obs.Event.core
+   | s, r -> Alcotest.failf "expected 1 send + 1 recv, got %d + %d"
+               (List.length s) (List.length r));
+  Alcotest.(check int) "self event" 1 (List.length (find "self"));
+  Alcotest.(check int) "timer event" 1 (List.length (find "timer"));
+  Alcotest.(check bool) "busy spans recorded" true (List.length (find "busy") > 0);
+  (* Detaching stops recording. *)
+  Machine.set_observer m None;
+  Ci_obs.Event.clear ring;
+  Machine.send a ~dst:1 "silent";
+  Machine.run m;
+  Alcotest.(check int) "observer detached" 0 (Ci_obs.Event.length ring)
+
+let test_note_phase () =
+  let m = mk () in
+  let a = Machine.add_node m ~core:0 in
+  (* No observer: a silent no-op. *)
+  Machine.note_phase a ~phase:"ignored";
+  let ring = Ci_obs.Event.create_ring ~capacity:16 () in
+  Machine.set_observer m (Some ring);
+  Machine.note_phase a ~phase:"election";
+  match Ci_obs.Event.events ring with
+  | [ { Ci_obs.Event.kind = Ci_obs.Event.Phase { node = 0; phase = "election" }; _ } ] -> ()
+  | l -> Alcotest.failf "expected one phase event, got %d" (List.length l)
+
 let suite =
   ( "machine",
     [
@@ -188,4 +261,7 @@ let suite =
         test_slow_core_delays_handler;
       Alcotest.test_case "invalid core rejected" `Quick test_bad_core;
       Alcotest.test_case "delivery tracer" `Quick test_tracer;
+      Alcotest.test_case "self-delivery counters" `Quick test_self_delivery_counters;
+      Alcotest.test_case "observer trace events" `Quick test_observer_events;
+      Alcotest.test_case "note_phase" `Quick test_note_phase;
     ] )

@@ -9,6 +9,7 @@ let () =
       Test_topology.suite;
       Test_cpu.suite;
       Test_channel.suite;
+      Test_obs.suite;
       Test_machine.suite;
       Test_command.suite;
       Test_kv_store.suite;

@@ -1,0 +1,286 @@
+(* The observability layer: typed event ring, exporters, metrics
+   registry. The exporters are validated with a small JSON parser so a
+   malformed escape or a trailing comma fails here, not in Perfetto. *)
+
+module Event = Ci_obs.Event
+module Metrics = Ci_obs.Metrics
+
+(* ----- a minimal JSON reader (validation only) --------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let next () =
+    if !pos >= n then raise (Bad "eof");
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    if next () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let string_body () =
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        (match next () with
+         | '"' -> Buffer.add_char b '"'
+         | '\\' -> Buffer.add_char b '\\'
+         | '/' -> Buffer.add_char b '/'
+         | 'n' -> Buffer.add_char b '\n'
+         | 't' -> Buffer.add_char b '\t'
+         | 'r' -> Buffer.add_char b '\r'
+         | 'b' -> Buffer.add_char b '\b'
+         | 'f' -> Buffer.add_char b '\012'
+         | 'u' ->
+           let h = String.init 4 (fun _ -> next ()) in
+           Buffer.add_string b (Printf.sprintf "\\u%s" h)
+         | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+        go ()
+      | c when Char.code c < 0x20 -> raise (Bad "raw control char in string")
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> raise (Bad "bad number")
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then (incr pos; Obj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          expect '"';
+          let key = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match next () with
+          | ',' -> members ((key, v) :: acc)
+          | '}' -> Obj (List.rev ((key, v) :: acc))
+          | c -> raise (Bad (Printf.sprintf "bad object separator %c" c))
+        in
+        members []
+    | Some '[' ->
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then (incr pos; Arr [])
+      else
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match next () with
+          | ',' -> elements (v :: acc)
+          | ']' -> Arr (List.rev (v :: acc))
+          | c -> raise (Bad (Printf.sprintf "bad array separator %c" c))
+        in
+        elements []
+    | Some '"' ->
+      expect '"';
+      Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> raise (Bad "empty input")
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing garbage");
+  v
+
+let parse s =
+  try parse_json s
+  with Bad msg -> Alcotest.failf "invalid JSON (%s): %s" msg s
+
+let obj_field j key =
+  match j with
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let obj_str j key =
+  match obj_field j key with Some (Str s) -> Some s | _ -> None
+
+(* ----- event ring -------------------------------------------------------- *)
+
+let ev ?(core = 0) ?(label = "") time kind = { Event.time; core; label; kind }
+
+let test_ring_fifo () =
+  let r = Event.create_ring ~capacity:10 () in
+  Alcotest.(check int) "empty" 0 (Event.length r);
+  for i = 1 to 3 do
+    Event.emit r (ev i (Event.Timer { node = i }))
+  done;
+  Alcotest.(check int) "three retained" 3 (Event.length r);
+  Alcotest.(check int) "none dropped" 0 (Event.dropped r);
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ]
+    (List.map (fun (e : Event.t) -> e.Event.time) (Event.events r))
+
+let test_ring_eviction () =
+  let r = Event.create_ring ~capacity:4 () in
+  for i = 1 to 10 do
+    Event.emit r (ev i (Event.Timer { node = 0 }))
+  done;
+  Alcotest.(check int) "capacity bound" 4 (Event.length r);
+  Alcotest.(check int) "evictions counted" 6 (Event.dropped r);
+  Alcotest.(check (list int)) "newest survive" [ 7; 8; 9; 10 ]
+    (List.map (fun (e : Event.t) -> e.Event.time) (Event.events r));
+  Event.clear r;
+  Alcotest.(check int) "cleared" 0 (Event.length r);
+  Alcotest.(check int) "dropped reset" 0 (Event.dropped r)
+
+let test_ring_invalid_capacity () =
+  try
+    ignore (Event.create_ring ~capacity:0 ());
+    Alcotest.fail "capacity 0 accepted"
+  with Invalid_argument _ -> ()
+
+let test_kind_names () =
+  let name k = Event.kind_name (ev 0 k) in
+  Alcotest.(check string) "send" "send" (name (Event.Send { src = 0; dst = 1; seq = 7 }));
+  Alcotest.(check string) "recv" "recv" (name (Event.Recv { src = 0; dst = 1; seq = 7 }));
+  Alcotest.(check string) "self" "self" (name (Event.Self_deliver { node = 2 }));
+  Alcotest.(check string) "timer" "timer" (name (Event.Timer { node = 2 }));
+  Alcotest.(check string) "busy" "busy" (name (Event.Cpu_busy { dur = 5 }));
+  Alcotest.(check string) "phase" "phase" (name (Event.Phase { node = 1; phase = "x" }))
+
+(* ----- exporters --------------------------------------------------------- *)
+
+let sample_ring () =
+  let r = Event.create_ring ~capacity:64 () in
+  Event.emit r (ev ~core:0 ~label:"Request" 100 (Event.Send { src = 0; dst = 1; seq = 1 }));
+  Event.emit r (ev ~core:1 ~label:"Request" 140 (Event.Recv { src = 0; dst = 1; seq = 1 }));
+  Event.emit r (ev ~core:1 250 (Event.Self_deliver { node = 1 }));
+  Event.emit r (ev ~core:0 300 (Event.Timer { node = 0 }));
+  Event.emit r (ev ~core:1 140 (Event.Cpu_busy { dur = 60 }));
+  Event.emit r (ev ~core:1 ~label:"1paxos:adopted \"acc\"\n" 400
+                  (Event.Phase { node = 1; phase = "1paxos:adopted \"acc\"\n" }));
+  r
+
+let test_jsonl_export () =
+  let r = sample_ring () in
+  let lines =
+    Event.to_jsonl r |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "one line per event" (Event.length r) (List.length lines);
+  List.iter
+    (fun line ->
+      match parse line with
+      | Obj _ -> ()
+      | _ -> Alcotest.failf "line is not an object: %s" line)
+    lines;
+  (* The escaped phase label must survive a JSON round trip. *)
+  let phase_line = List.nth lines 5 in
+  match obj_str (parse phase_line) "label" with
+  | Some label -> Alcotest.(check string) "escaping round-trips" "1paxos:adopted \"acc\"\n" label
+  | None -> Alcotest.fail "phase line lost its label"
+
+let test_chrome_export () =
+  let r = sample_ring () in
+  let doc = parse (Event.to_chrome r) in
+  let entries = match doc with Arr l -> l | _ -> Alcotest.fail "not a JSON array" in
+  let phases = List.filter_map (fun e -> obj_str e "ph") entries in
+  let count p = List.length (List.filter (String.equal p) phases) in
+  Alcotest.(check bool) "thread-name metadata present" true
+    (List.exists
+       (fun e -> obj_str e "ph" = Some "M" && obj_str e "name" = Some "thread_name")
+       entries);
+  Alcotest.(check int) "one complete span per busy event" 1 (count "X");
+  Alcotest.(check bool) "flow arrows link send to recv" true
+    (count "s" = 1 && count "f" = 1);
+  (* Timestamps are microseconds: the send at 100 ns appears as 0.1. *)
+  let send_entry =
+    List.find_opt
+      (fun e -> obj_str e "ph" = Some "i" && obj_str e "cat" = Some "send")
+      entries
+  in
+  match send_entry with
+  | Some e ->
+    (match obj_field e "ts" with
+     | Some (Num ts) -> Alcotest.(check (float 1e-6)) "ns -> us" 0.1 ts
+     | _ -> Alcotest.fail "send instant has no ts")
+  | None -> Alcotest.fail "no send instant in chrome export"
+
+(* ----- metrics registry -------------------------------------------------- *)
+
+let test_metrics_basics () =
+  let m = Metrics.create () in
+  Alcotest.(check int) "empty" 0 (Metrics.length m);
+  Metrics.set_int m "a" 1;
+  Metrics.set_float m "b" 2.5;
+  Metrics.set_int m "c" 3;
+  Metrics.set_int m "b" 9;
+  (* overwrite keeps position *)
+  Alcotest.(check int) "three keys" 3 (Metrics.length m);
+  Alcotest.(check (list string)) "insertion order stable" [ "a"; "b"; "c" ]
+    (List.map fst (Metrics.to_list m));
+  Alcotest.(check int) "get_int" 9 (Metrics.get_int m "b");
+  Alcotest.(check int) "unbound is 0" 0 (Metrics.get_int m "zzz");
+  Alcotest.(check bool) "find" true (Metrics.find m "a" = Some (Metrics.Int 1))
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.set_int m "node0.sent" 42;
+  Metrics.set_float m "core0.util" 0.75;
+  let doc = parse (Metrics.to_json m) in
+  (match obj_field doc "node0.sent" with
+   | Some (Num f) -> Alcotest.(check (float 0.)) "int field" 42. f
+   | _ -> Alcotest.fail "node0.sent missing");
+  match obj_field doc "core0.util" with
+  | Some (Num f) -> Alcotest.(check (float 1e-9)) "float field" 0.75 f
+  | _ -> Alcotest.fail "core0.util missing"
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "ring FIFO" `Quick test_ring_fifo;
+      Alcotest.test_case "ring eviction and clear" `Quick test_ring_eviction;
+      Alcotest.test_case "ring invalid capacity" `Quick test_ring_invalid_capacity;
+      Alcotest.test_case "kind names" `Quick test_kind_names;
+      Alcotest.test_case "jsonl export is valid JSON" `Quick test_jsonl_export;
+      Alcotest.test_case "chrome export structure" `Quick test_chrome_export;
+      Alcotest.test_case "metrics registry" `Quick test_metrics_basics;
+      Alcotest.test_case "metrics JSON" `Quick test_metrics_json;
+    ] )

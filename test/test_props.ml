@@ -108,6 +108,36 @@ let recovery_prop =
       in
       Consistency.ok r.Runner.consistency && tail_commits > 0.)
 
+(* Pinned scenarios that once violated agreement; kept as deterministic
+   regressions. *)
+let slow core from_ until_ factor =
+  Fault_plan.Slow_core
+    { core; from_ = Sim_time.ms from_; until_ = Sim_time.ms until_; factor }
+
+(* A stale takeover attempt on replica 2 (its leadership lost while its
+   acceptor adoption was still knocking) adopted a freshly installed
+   acceptor and ran as a second concurrent leader, deciding a different
+   value at an instance the configuration-log leader had already filled
+   through the previous acceptor. *)
+let regression_1paxos_stale_takeover () =
+  let r =
+    run_scenario Runner.Onepaxos
+      (70649, [ slow 2 8 39 30.; slow 1 25 56 infinity; slow 3 4 8 infinity ], 2, 39)
+  in
+  if not (Consistency.ok r.Runner.consistency) then
+    Alcotest.failf "%a" Consistency.pp r.Runner.consistency
+
+(* An epoch whose leader never became operational vouched for history
+   with an empty acceptor store, dropping decided instances across a
+   reconfiguration (the chain-of-custody bug in Cheap Paxos). *)
+let regression_cheap_paxos_empty_vouch () =
+  let r =
+    run_scenario Runner.Cheappaxos
+      (71957, [ slow 2 20 53 infinity; slow 1 10 22 infinity ], 1, 34)
+  in
+  if not (Consistency.ok r.Runner.consistency) then
+    Alcotest.failf "%a" Consistency.pp r.Runner.consistency
+
 (* Determinism: identical scenarios give identical measurements. *)
 let determinism_prop =
   QCheck.Test.make ~name:"scenarios are deterministic" ~count:10 scenario
@@ -131,4 +161,8 @@ let suite =
         (safety_prop Runner.Cheappaxos "cheap paxos safety under random faults");
       QCheck_alcotest.to_alcotest recovery_prop;
       QCheck_alcotest.to_alcotest determinism_prop;
+      Alcotest.test_case "regression: 1paxos stale takeover split-brain" `Slow
+        regression_1paxos_stale_takeover;
+      Alcotest.test_case "regression: cheap paxos empty-store vouch" `Slow
+        regression_cheap_paxos_empty_vouch;
     ] )

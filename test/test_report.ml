@@ -7,11 +7,15 @@ let series =
       E.label = "alpha";
       points =
         [
-          { E.x = 1; throughput = 100.; latency_us = 10.5 };
-          { E.x = 2; throughput = 200.; latency_us = 11.25 };
+          { E.x = 1; throughput = 100.; latency_us = 10.5; leader_util = 0.25 };
+          { E.x = 2; throughput = 200.; latency_us = 11.25; leader_util = 0.5 };
         ];
     };
-    { E.label = "beta, with comma"; points = [ { E.x = 1; throughput = 50.; latency_us = 9. } ] };
+    {
+      E.label = "beta, with comma";
+      points =
+        [ { E.x = 1; throughput = 50.; latency_us = 9.; leader_util = 0.125 } ];
+    };
   ]
 
 let lines s = String.split_on_char '\n' (String.trim s)
@@ -20,10 +24,10 @@ let test_series_csv () =
   let csv = Report.series_csv series in
   match lines csv with
   | [ header; r1; r2; r3 ] ->
-    Alcotest.(check string) "header" "label,x,throughput_ops,latency_us" header;
-    Alcotest.(check string) "row 1" "alpha,1,100.0,10.50" r1;
-    Alcotest.(check string) "row 2" "alpha,2,200.0,11.25" r2;
-    Alcotest.(check string) "comma label quoted" "\"beta, with comma\",1,50.0,9.00" r3
+    Alcotest.(check string) "header" "label,x,throughput_ops,latency_us,leader_util" header;
+    Alcotest.(check string) "row 1" "alpha,1,100.0,10.50,0.250" r1;
+    Alcotest.(check string) "row 2" "alpha,2,200.0,11.25,0.500" r2;
+    Alcotest.(check string) "comma label quoted" "\"beta, with comma\",1,50.0,9.00,0.125" r3
   | other -> Alcotest.failf "expected 4 lines, got %d" (List.length other)
 
 let test_bars_csv () =
@@ -55,10 +59,21 @@ let test_netchar_csv () =
 let test_latency_csv () =
   let csv =
     Report.latency_csv
-      [ { E.protocol = "1paxos"; latency_us = 15.2; paper_latency_us = 16.; throughput_1c = 65800. } ]
+      [
+        {
+          E.protocol = "1paxos";
+          latency_us = 15.2;
+          paper_latency_us = 16.;
+          throughput_1c = 65800.;
+          leader_util = 0.75;
+        };
+      ]
   in
   Alcotest.(check (list string)) "rows"
-    [ "protocol,latency_us,paper_latency_us,throughput_1c"; "1paxos,15.20,16.00,65800.0" ]
+    [
+      "protocol,latency_us,paper_latency_us,throughput_1c,leader_util";
+      "1paxos,15.20,16.00,65800.0,0.750";
+    ]
     (lines csv)
 
 let contains haystack needle =

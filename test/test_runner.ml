@@ -115,6 +115,132 @@ let test_protocol_names () =
     (Runner.protocol_name Runner.Multipaxos);
   Alcotest.(check string) "2pc" "2pc" (Runner.protocol_name Runner.Twopc)
 
+let test_window_split_sums () =
+  let r = Runner.run (quick_spec ()) in
+  let w = r.Runner.windows in
+  let total f = f w.Runner.warmup_w + f w.Runner.measure_w + f w.Runner.drain_w in
+  Alcotest.(check int) "windows partition deliveries" r.Runner.messages_total
+    (total (fun c -> c.Runner.w_messages));
+  Alcotest.(check int) "windows partition self-deliveries" r.Runner.self_delivered_total
+    (total (fun c -> c.Runner.w_self));
+  Alcotest.(check int) "windows partition retries" r.Runner.retries_total
+    (total (fun c -> c.Runner.w_retries));
+  Alcotest.(check int) "windows partition replies" r.Runner.total_replies
+    (total (fun c -> c.Runner.w_replies));
+  Alcotest.(check int) "measure window is the headline message count"
+    r.Runner.messages w.Runner.measure_w.Runner.w_messages;
+  Alcotest.(check int) "commits are the measure-window replies" r.Runner.commits
+    w.Runner.measure_w.Runner.w_replies;
+  Alcotest.(check bool) "warmup traffic is no longer misattributed" true
+    (w.Runner.warmup_w.Runner.w_messages > 0)
+
+(* The Section 4.3 message-count table, asserted on windowed counters: a
+   commit costs 5 boundary-crossing messages under 1Paxos and 10 under
+   Multi-Paxos and 2PC (request, 2(n-1) protocol messages with n = 3,
+   reply — minus collapsed-role self-deliveries). *)
+let messages_per_commit protocol =
+  let spec =
+    {
+      (Runner.default_spec ~protocol
+         ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 1 }))
+      with
+      Runner.duration = Sim_time.ms 20;
+      warmup = Sim_time.ms 5;
+      drain = Sim_time.ms 5;
+    }
+  in
+  let r = Runner.run spec in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s commits" (Runner.protocol_name protocol))
+    true (r.Runner.commits > 100);
+  float_of_int r.Runner.messages /. float_of_int r.Runner.commits
+
+let check_ratio name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.0f msgs/commit (got %.3f)" name expected actual)
+    true
+    (abs_float (actual -. expected) < 0.15)
+
+let test_sec4_3_message_counts () =
+  check_ratio "1paxos" 5. (messages_per_commit Runner.Onepaxos);
+  check_ratio "multipaxos" 10. (messages_per_commit Runner.Multipaxos);
+  check_ratio "2pc" 10. (messages_per_commit Runner.Twopc)
+
+let test_core_usage_populated () =
+  let r = Runner.run (quick_spec ()) in
+  Alcotest.(check bool) "one entry per occupied core" true
+    (List.length r.Runner.cores >= 4);
+  let leader = List.find (fun u -> u.Runner.u_core = 0) r.Runner.cores in
+  Alcotest.(check bool) "leader core worked" true (leader.Runner.u_busy_ns > 0);
+  Alcotest.(check bool) "utilization in a sane range" true
+    (leader.Runner.u_util > 0. && leader.Runner.u_util < 1.5);
+  Alcotest.(check bool) "leader_util accessor agrees" true
+    (Runner.leader_util r = leader.Runner.u_util);
+  List.iter
+    (fun (u : Runner.core_usage) ->
+      Alcotest.(check bool) "peak depth positive on occupied cores" true
+        (u.Runner.u_queue_peak >= 1))
+    r.Runner.cores
+
+let test_joint_self_deliveries () =
+  (* Joint deployment collapses client and replica roles: leader-local
+     commands must show up as self-deliveries, not messages. *)
+  let r = Runner.run (quick_spec ~placement:(Runner.Joint { n_nodes = 5 }) ()) in
+  Alcotest.(check bool) "self-deliveries recorded" true (r.Runner.self_delivered_total > 0);
+  (* In the dedicated deployment the acceptor replica self-learns, but
+     client nodes (ids 3..5) have no collapsed roles. *)
+  let dedicated = Runner.run (quick_spec ()) in
+  let module Metrics = Ci_obs.Metrics in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun w ->
+          Alcotest.(check int)
+            (Printf.sprintf "client node%d never self-sends (%s)" c w)
+            0
+            (Metrics.get_int dedicated.Runner.metrics
+               (Printf.sprintf "node%d.self.%s" c w)))
+        [ "warmup"; "measure"; "drain" ])
+    [ 3; 4; 5 ]
+
+let test_change_counter_aggregates () =
+  let r =
+    Runner.run
+      {
+        (quick_spec ())
+        with
+        Runner.faults =
+          [ Fault_plan.Crash_core { core = 1; from_ = Sim_time.ms 2; until_ = Sim_time.s 1 } ];
+      }
+  in
+  Alcotest.(check bool) "sum dominates the per-replica max" true
+    (r.Runner.acceptor_changes_sum >= r.Runner.acceptor_changes);
+  Alcotest.(check bool) "max is positive after the crash" true
+    (r.Runner.acceptor_changes >= 1);
+  Alcotest.(check bool) "sum bounded by max * replicas" true
+    (r.Runner.acceptor_changes_sum <= r.Runner.acceptor_changes * 3)
+
+let test_metrics_registry_populated () =
+  let ring = Ci_obs.Event.create_ring ~capacity:4096 () in
+  let r = Runner.run { (quick_spec ()) with Runner.trace = Some ring } in
+  let m = r.Runner.metrics in
+  let module Metrics = Ci_obs.Metrics in
+  Alcotest.(check int) "commits mirrored" r.Runner.commits
+    (Metrics.get_int m "commits.measure");
+  Alcotest.(check int) "measure messages mirrored" r.Runner.messages
+    (Metrics.get_int m "measure.messages");
+  Alcotest.(check int) "leader core busy mirrored"
+    (List.find (fun u -> u.Runner.u_core = 0) r.Runner.cores).Runner.u_busy_ns
+    (Metrics.get_int m "core0.busy_ns.measure");
+  Alcotest.(check bool) "per-node counters present" true
+    (Metrics.find m "node0.sent.measure" <> None);
+  Alcotest.(check bool) "channel totals present" true
+    (Metrics.get_int m "channels.count" > 0);
+  Alcotest.(check int) "trace drop counter exported"
+    (Ci_obs.Event.dropped ring)
+    (Metrics.get_int m "trace.dropped");
+  Alcotest.(check bool) "the ring saw traffic" true (Ci_obs.Event.length ring > 0)
+
 let suite =
   ( "runner",
     [
@@ -129,4 +255,12 @@ let suite =
       Alcotest.test_case "invalid placements rejected" `Quick test_invalid_placements;
       Alcotest.test_case "colocated acceptor option" `Quick test_colocated_acceptor_option;
       Alcotest.test_case "protocol names" `Quick test_protocol_names;
+      Alcotest.test_case "window split arithmetic" `Quick test_window_split_sums;
+      Alcotest.test_case "4.3 messages per commit" `Quick test_sec4_3_message_counts;
+      Alcotest.test_case "core usage populated" `Quick test_core_usage_populated;
+      Alcotest.test_case "joint self-deliveries" `Quick test_joint_self_deliveries;
+      Alcotest.test_case "change counters: max vs sum" `Quick
+        test_change_counter_aggregates;
+      Alcotest.test_case "metrics registry populated" `Quick
+        test_metrics_registry_populated;
     ] )
