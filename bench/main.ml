@@ -4,17 +4,24 @@
 
    Usage: main.exe [section ...]
    Sections: netchar fig2 latency fig8 fig9 fig10 fig11 sec2_2 lan
-             ablation micro (default: all). *)
+             ablation batching protocols metrics engine micro (default: all). *)
 
 module E = Ci_workload.Experiments
 module Sim_time = Ci_engine.Sim_time
+
+(* Wall-clock per section, collected for BENCH_engine.json. *)
+let section_walls : (string * float) list ref = ref []
 
 let section name paper_note f =
   Format.printf "@.======================================================================@.";
   Format.printf "%s@." name;
   Format.printf "  paper: %s@." paper_note;
   Format.printf "======================================================================@.";
+  let t0 = Unix.gettimeofday () in
   f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  section_walls := (name, wall) :: !section_walls;
+  Format.printf "[section wall-clock: %.2fs]@." wall;
   Format.print_flush ()
 
 let netchar () =
@@ -92,6 +99,136 @@ let ablation () =
   section "A3. Ablation: 1Paxos advantage as propagation grows towards IP delays"
     "the message-count saving is a transmission-delay phenomenon"
     (fun () -> Format.printf "%a" E.pp_series (E.ablation_ratio ()))
+
+let batching () =
+  section "A6. Ablation: leader batching (1Paxos and Multi-Paxos, 44 clients)"
+    "this reproduction's addition: one consensus instance per batch amortizes \
+     the leader's per-message transmission cost"
+    (fun () ->
+      let series = E.ablation_batch () in
+      Format.printf "%a" E.pp_series series;
+      let peak_of (s : E.series) =
+        List.fold_left (fun m (p : E.point) -> Float.max m p.E.throughput) 0. s.E.points
+      in
+      let base_of (s : E.series) =
+        match s.E.points with p :: _ -> p.E.throughput | [] -> 1.
+      in
+      List.iter
+        (fun (s : E.series) ->
+          Format.printf "%s: batch>=8 peak / batch=1 baseline = %.2fx@." s.E.label
+            (peak_of s /. base_of s))
+        series);
+  section "A7. Ablation: pipeline depth (batch 8, coalesce 16)"
+    "depth 1 is stop-and-wait per batch; a small window hides the accept round trip"
+    (fun () -> Format.printf "%a" E.pp_series (E.ablation_pipeline ()));
+  section "A8. Ablation: receive coalescing budget (batch 8, pipeline 8)"
+    "draining k queued messages per reception charge models vectored reads"
+    (fun () -> Format.printf "%a" E.pp_series (E.ablation_coalesce ()))
+
+(* ----- engine self-benchmark --------------------------------------------- *)
+
+type engine_stats = {
+  evq_mops : float;  (* event-queue push+pop pairs per second, millions *)
+  run_wall_s : float;
+  run_sim_events : int;
+  run_events_per_sec : float;
+  run_alloc_words : float;
+  run_throughput : float;
+}
+
+let engine_stats : engine_stats option ref = ref None
+
+let alloc_words () =
+  let s = Gc.quick_stat () in
+  s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+
+let engine () =
+  section "Engine self-benchmark"
+    "host-side speed of the simulation engine itself (not simulated time)"
+    (fun () ->
+      (* Event-queue micro: push/pop pairs through a live heap. *)
+      let n = 100_000 and rounds = 20 in
+      let q = Ci_engine.Event_queue.create () in
+      let t0 = Unix.gettimeofday () in
+      for r = 0 to rounds - 1 do
+        for i = 0 to n - 1 do
+          Ci_engine.Event_queue.push q ~time:(((i * 7919) + r) mod 4096) i
+        done;
+        while not (Ci_engine.Event_queue.is_empty q) do
+          ignore (Ci_engine.Event_queue.pop q)
+        done
+      done;
+      let evq_wall = Unix.gettimeofday () -. t0 in
+      let evq_mops = float_of_int (n * rounds) /. evq_wall /. 1e6 in
+      Format.printf "event queue: %.1f M push+pop pairs/s@." evq_mops;
+      (* Standard run: wall-clock and allocation for a default 1Paxos
+         experiment, plus the engine's events/sec on it. *)
+      let module Runner = Ci_workload.Runner in
+      let spec =
+        Runner.default_spec ~protocol:Runner.Onepaxos
+          ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 13 })
+      in
+      let w0 = alloc_words () in
+      let t0 = Unix.gettimeofday () in
+      let r = Runner.run spec in
+      let run_wall_s = Unix.gettimeofday () -. t0 in
+      let run_alloc_words = alloc_words () -. w0 in
+      let run_events_per_sec = float_of_int r.Runner.sim_events /. run_wall_s in
+      Format.printf
+        "1paxos 3r/13c 50ms run: wall %.2fs, %d events (%.0f events/s), \
+         %.1f M words allocated, simulated %.0f op/s@."
+        run_wall_s r.Runner.sim_events run_events_per_sec
+        (run_alloc_words /. 1e6) r.Runner.throughput;
+      engine_stats :=
+        Some
+          {
+            evq_mops;
+            run_wall_s;
+            run_sim_events = r.Runner.sim_events;
+            run_events_per_sec;
+            run_alloc_words;
+            run_throughput = r.Runner.throughput;
+          })
+
+let write_bench_json () =
+  match !engine_stats with
+  | None -> ()
+  | Some s ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"event_queue_mops\": %.3f,\n" s.evq_mops);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"run_wall_s\": %.4f,\n" s.run_wall_s);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"run_sim_events\": %d,\n" s.run_sim_events);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"run_events_per_sec\": %.0f,\n" s.run_events_per_sec);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"run_alloc_words\": %.0f,\n" s.run_alloc_words);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"run_throughput_ops\": %.0f,\n" s.run_throughput);
+    Buffer.add_string buf "  \"section_wall_s\": {\n";
+    let walls = List.rev !section_walls in
+    List.iteri
+      (fun i (name, wall) ->
+        let escaped =
+          String.concat ""
+            (List.map
+               (function
+                 | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+               (List.init (String.length name) (String.get name)))
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "    \"%s\": %.4f%s\n" escaped wall
+             (if i = List.length walls - 1 then "" else ",")))
+      walls;
+    Buffer.add_string buf "  }\n}\n";
+    let oc = open_out "BENCH_engine.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf));
+    Format.printf "@.wrote BENCH_engine.json@."
 
 let metrics () =
   section "M1. Metrics registry: one instrumented 1Paxos run (Section 4.3)"
@@ -200,8 +337,10 @@ let sections =
     ("sec2_2", sec2_2);
     ("lan", lan);
     ("ablation", ablation);
+    ("batching", batching);
     ("protocols", protocols);
     ("metrics", metrics);
+    ("engine", engine);
     ("micro", micro);
   ]
 
@@ -219,4 +358,5 @@ let () =
         Format.eprintf "unknown section %S; available: %s@." name
           (String.concat " " (List.map fst sections));
         exit 1)
-    requested
+    requested;
+  write_bench_json ()

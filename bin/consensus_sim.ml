@@ -94,6 +94,10 @@ let run_cmd =
   let relaxed = Arg.(value & flag & info [ "relaxed-reads" ] ~doc:"Serve marked reads from local learner state (stale allowed).") in
   let local_reads = Arg.(value & flag & info [ "local-reads" ] ~doc:"2PC-Joint: serve unlocked reads locally.") in
   let colocate = Arg.(value & flag & info [ "colocate-acceptor" ] ~doc:"1Paxos: put the initial acceptor on the leader's node.") in
+  let batch = Arg.(value & opt int 1 & info [ "batch" ] ~doc:"1Paxos/Multi-Paxos: commands per batched consensus instance (1 = the paper's protocol).") in
+  let batch_delay = Arg.(value & opt int 5 & info [ "batch-delay-us" ] ~doc:"How long the leader holds a partial batch (us).") in
+  let pipeline = Arg.(value & opt int 0 & info [ "pipeline" ] ~doc:"Max batches in flight at the leader (0 = unbounded, as in the paper).") in
+  let coalesce = Arg.(value & opt int 1 & info [ "coalesce" ] ~doc:"Receive-coalescing budget: messages drained per reception charge (1 = uncoalesced).") in
   let faults = Arg.(value & opt_all fault_conv [] & info [ "slow-core" ] ~doc:"Inject a slowdown, CORE:FROM_MS:UNTIL_MS:FACTOR (repeatable).") in
   let timeline = Arg.(value & flag & info [ "timeline" ] ~doc:"Also print per-10ms commit rates.") in
   let trace_out = Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc:"Record typed trace events and write them to $(docv).") in
@@ -103,8 +107,8 @@ let run_cmd =
   in
   let metrics_out = Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the run's metrics registry as a flat JSON object to $(docv).") in
   let run protocol replicas clients joint duration warmup seed read_ratio think
-      timeout topology net relaxed local_reads colocate faults timeline
-      trace_out trace_format metrics_out =
+      timeout topology net relaxed local_reads colocate batch batch_delay
+      pipeline coalesce faults timeline trace_out trace_format metrics_out =
     let placement =
       if joint then Runner.Joint { n_nodes = replicas }
       else Runner.Dedicated { n_replicas = replicas; n_clients = clients }
@@ -124,10 +128,13 @@ let run_cmd =
         think = Sim_time.us think;
         timeout = Sim_time.us timeout;
         topology;
-        params = net;
+        params = { net with Net_params.coalesce };
         relaxed_reads = relaxed;
         local_reads;
         colocate_acceptor = colocate;
+        batch;
+        batch_delay = Sim_time.us batch_delay;
+        pipeline;
         faults;
         trace = ring;
       }
@@ -166,8 +173,8 @@ let run_cmd =
     Term.(
       const run $ protocol $ replicas $ clients $ joint $ duration $ warmup
       $ seed $ read_ratio $ think $ timeout $ topology $ net $ relaxed
-      $ local_reads $ colocate $ faults $ timeline $ trace_out $ trace_format
-      $ metrics_out)
+      $ local_reads $ colocate $ batch $ batch_delay $ pipeline $ coalesce
+      $ faults $ timeline $ trace_out $ trace_format $ metrics_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its measurements.") term
 
@@ -194,6 +201,9 @@ let figures_cmd =
       ("ablation-placement", fun () -> `Series (E.ablation_placement ()));
       ("ablation-slots", fun () -> `Series (E.ablation_slots ()));
       ("ablation-ratio", fun () -> `Series (E.ablation_ratio ()));
+      ("ablation-batch", fun () -> `Series (E.ablation_batch ()));
+      ("ablation-pipeline", fun () -> `Series (E.ablation_pipeline ()));
+      ("ablation-coalesce", fun () -> `Series (E.ablation_coalesce ()));
       ("protocols", fun () -> `Series (E.protocol_comparison ()));
       ( "protocols-rdma",
         fun () -> `Series (E.protocol_comparison ~params:Net_params.rdma ()) );

@@ -8,6 +8,9 @@ type config = {
   initial_leader : int;
   election_timeout : Sim_time.t;
   relaxed_reads : bool;
+  max_batch : int;
+  batch_delay : Sim_time.t;
+  window : int;
 }
 
 let default_config ~replicas =
@@ -18,6 +21,9 @@ let default_config ~replicas =
     initial_leader = replicas.(0);
     election_timeout = Sim_time.us 400;
     relaxed_reads = false;
+    max_batch = 1;
+    batch_delay = 0;
+    window = 0;
   }
 
 (* Learn tally for one (instance, proposal number): which acceptors
@@ -36,6 +42,7 @@ type t = {
   mutable pn_round : int;
   mutable electing : Pn.t option; (* pn of the election in flight *)
   mutable election_no : int;
+  mutable election_timer : Machine.timer option;
   mutable promise_count : int;
   promise_best : (int, Pn.t * Wire.value) Hashtbl.t;
   proposed : (int, Wire.value) Hashtbl.t;
@@ -43,6 +50,15 @@ type t = {
   pending : Wire.value Queue.t;
   mutable next_inst : int;
   my_keys : (int * int, unit) Hashtbl.t;
+  (* Batching / pipelining layer (inactive at max_batch = 1, window = 0;
+     see Onepaxos for the shared design). *)
+  bat_buf : Wire.value Queue.t;
+  bat_keys : (int * int, unit) Hashtbl.t;
+  mutable bat_inflight : int;
+  bat_remaining : (int, int ref) Hashtbl.t;
+  slot_batch : (int, int) Hashtbl.t;
+  mutable bat_timer : Machine.timer option;
+  mutable bat_overdue : bool;
   (* Acceptor. *)
   mutable promised : Pn.t;
   accepted : (int, Pn.t * Wire.value) Hashtbl.t;
@@ -67,12 +83,82 @@ let reply_if_mine t (ex : Replica_core.executed) =
     send t ex.v.Wire.client (Wire.Reply { req_id = ex.v.Wire.req_id; result = ex.result })
   end
 
-let learn_value t ~inst v =
+let batching_on t = t.cfg.max_batch > 1 || t.cfg.window > 0
+let window_open t = t.cfg.window <= 0 || t.bat_inflight < t.cfg.window
+
+let cancel_batch_timer t =
+  match t.bat_timer with
+  | Some tm ->
+    Machine.cancel_timer t.node tm;
+    t.bat_timer <- None
+  | None -> ()
+
+let rec learn_value t ~inst v =
   Hashtbl.remove t.inflight (Wire.value_key v);
   let executed = Replica_core.learn t.core ~inst v in
-  List.iter (reply_if_mine t) executed
+  List.iter (reply_if_mine t) executed;
+  batch_decided t ~inst
 
-let propose_value t v =
+and batch_decided t ~inst =
+  match Hashtbl.find_opt t.slot_batch inst with
+  | None -> ()
+  | Some base ->
+    Hashtbl.remove t.slot_batch inst;
+    (match Hashtbl.find_opt t.bat_remaining base with
+     | Some r ->
+       decr r;
+       if !r <= 0 then begin
+         Hashtbl.remove t.bat_remaining base;
+         t.bat_inflight <- max 0 (t.bat_inflight - 1);
+         try_flush t
+       end
+     | None -> ())
+
+and try_flush t =
+  if t.iam_leader then begin
+    while window_open t && Queue.length t.bat_buf >= t.cfg.max_batch do
+      flush_batch t t.cfg.max_batch
+    done;
+    if Queue.is_empty t.bat_buf then begin
+      t.bat_overdue <- false;
+      cancel_batch_timer t
+    end
+    else if window_open t then begin
+      if t.bat_overdue || t.cfg.batch_delay <= 0 then begin
+        t.bat_overdue <- false;
+        cancel_batch_timer t;
+        flush_batch t (Queue.length t.bat_buf)
+      end
+      else if t.bat_timer = None then
+        t.bat_timer <-
+          Some
+            (Machine.after_cancel t.node ~delay:t.cfg.batch_delay (fun () ->
+                 t.bat_timer <- None;
+                 t.bat_overdue <- true;
+                 try_flush t))
+    end
+  end
+
+and flush_batch t k =
+  let base = t.next_inst in
+  t.next_inst <- base + k;
+  let vs = Array.make k (Queue.peek t.bat_buf) in
+  for i = 0 to k - 1 do
+    vs.(i) <- Queue.pop t.bat_buf
+  done;
+  Array.iteri
+    (fun i v ->
+      let inst = base + i in
+      Hashtbl.remove t.bat_keys (Wire.value_key v);
+      Hashtbl.replace t.proposed inst v;
+      Hashtbl.replace t.inflight (Wire.value_key v) inst;
+      Hashtbl.replace t.slot_batch inst base)
+    vs;
+  Hashtbl.replace t.bat_remaining base (ref k);
+  t.bat_inflight <- t.bat_inflight + 1;
+  broadcast t (Wire.Mp_accept_batch { base; pn = t.my_pn; vs })
+
+and propose_value t v =
   let key = Wire.value_key v in
   Hashtbl.replace t.my_keys key ();
   match Replica_core.cached_result t.core ~client:(fst key) ~req_id:(snd key) with
@@ -80,7 +166,15 @@ let propose_value t v =
     Hashtbl.remove t.my_keys key;
     send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
   | None ->
-    if not (Hashtbl.mem t.inflight key) then begin
+    if batching_on t then begin
+      if not (Hashtbl.mem t.inflight key || Hashtbl.mem t.bat_keys key)
+      then begin
+        Hashtbl.replace t.bat_keys key ();
+        Queue.push v t.bat_buf;
+        try_flush t
+      end
+    end
+    else if not (Hashtbl.mem t.inflight key) then begin
       let inst = t.next_inst in
       t.next_inst <- t.next_inst + 1;
       Hashtbl.replace t.proposed inst v;
@@ -88,11 +182,27 @@ let propose_value t v =
       broadcast t (Wire.Mp_accept { inst; pn = t.my_pn; v })
     end
 
+(* Losing leadership: return batch-buffered commands to the pending
+   queue; they are re-proposed at the next successful election. *)
+let demote t =
+  if t.iam_leader then begin
+    t.iam_leader <- false;
+    while not (Queue.is_empty t.bat_buf) do
+      let v = Queue.pop t.bat_buf in
+      Hashtbl.remove t.bat_keys (Wire.value_key v);
+      Queue.push v t.pending
+    done;
+    t.bat_overdue <- false;
+    cancel_batch_timer t
+  end
+
 let drain_pending t =
-  if t.iam_leader then
+  if t.iam_leader then begin
     while not (Queue.is_empty t.pending) do
       propose_value t (Queue.pop t.pending)
-    done
+    done;
+    if batching_on t then try_flush t
+  end
 
 let bump_next_inst t =
   let high = Hashtbl.fold (fun inst _ acc -> max inst acc) t.proposed (-1) in
@@ -116,19 +226,30 @@ let rec start_election t =
     let scale = min 32 (1 lsl min 5 t.election_streak) in
     let base = t.cfg.election_timeout * scale in
     let delay = base + Rng.int t.rng (max 1 (base / 2)) in
-    Machine.after t.node ~delay (fun () ->
-        if t.election_no = this_election && t.electing <> None && not t.iam_leader
-        then begin
-          t.electing <- None;
-          t.election_streak <- t.election_streak + 1;
-          start_election t
-        end)
+    t.election_timer <-
+      Some
+        (Machine.after_cancel t.node ~delay (fun () ->
+             t.election_timer <- None;
+             if
+               t.election_no = this_election
+               && t.electing <> None
+               && not t.iam_leader
+             then begin
+               t.electing <- None;
+               t.election_streak <- t.election_streak + 1;
+               start_election t
+             end))
   end
 
 let become_leader t pn =
   Machine.note_phase t.node ~phase:"multipaxos:leader";
   t.iam_leader <- true;
   t.electing <- None;
+  (match t.election_timer with
+   | Some tm ->
+     Machine.cancel_timer t.node tm;
+     t.election_timer <- None
+   | None -> ());
   t.election_streak <- 0;
   t.my_pn <- pn;
   (* Adopt the highest-numbered accepted value per instance reported by
@@ -175,7 +296,7 @@ let handle_request t ~src ~req_id ~cmd ~relaxed_read =
 let on_prepare t ~src ~pn ~low =
   if Pn.(pn > t.promised) then begin
     t.promised <- pn;
-    if t.iam_leader && pn.Pn.owner <> t.self then t.iam_leader <- false;
+    if t.iam_leader && pn.Pn.owner <> t.self then demote t;
     let accepted =
       Hashtbl.fold
         (fun inst slot acc -> if inst >= low then (inst, slot) :: acc else acc)
@@ -201,7 +322,7 @@ let on_promise t ~pn ~accepted =
 
 let on_reject t ~pn =
   t.pn_round <- max t.pn_round pn.Pn.round;
-  if t.iam_leader && Pn.(pn > t.my_pn) then t.iam_leader <- false;
+  if t.iam_leader && Pn.(pn > t.my_pn) then demote t;
   (* A live rival holds a higher number; if we are mid-election the
      retry timer will try again above it. *)
   ()
@@ -216,6 +337,28 @@ let on_accept t ~src ~inst ~pn ~v =
     | Some (apn, av) ->
       broadcast t (Wire.Mp_learn { inst; pn = apn; v = av })
     | None -> ()
+  end
+  else send t src (Wire.Mp_reject { pn = t.promised })
+
+(* Batched accepts: one promise check covers the whole range; per slot
+   the acceptor stores the value exactly as [on_accept] would, and one
+   [Mp_learn_batch] broadcast replaces |vs| per-slot learns. *)
+let on_accept_batch t ~src ~base ~pn ~vs =
+  if Pn.(pn >= t.promised) then begin
+    t.promised <- pn;
+    let out =
+      Array.mapi
+        (fun i v ->
+          let inst = base + i in
+          (match Hashtbl.find_opt t.accepted inst with
+           | Some (apn, _) when Pn.(apn > pn) -> ()
+           | Some _ | None -> Hashtbl.replace t.accepted inst (pn, v));
+          match Hashtbl.find_opt t.accepted inst with
+          | Some (_, av) -> av
+          | None -> v)
+        vs
+    in
+    broadcast t (Wire.Mp_learn_batch { base; pn; vs = out })
   end
   else send t src (Wire.Mp_reject { pn = t.promised })
 
@@ -249,8 +392,12 @@ let handle t ~src msg =
   | Wire.Mp_reject { pn } -> on_reject t ~pn
   | Wire.Mp_accept { inst; pn; v } -> on_accept t ~src ~inst ~pn ~v
   | Wire.Mp_learn { inst; pn; v } -> on_learn t ~src ~inst ~pn ~v
+  | Wire.Mp_accept_batch { base; pn; vs } -> on_accept_batch t ~src ~base ~pn ~vs
+  | Wire.Mp_learn_batch { base; pn; vs } ->
+    Array.iteri (fun i v -> on_learn t ~src ~inst:(base + i) ~pn ~v) vs
   | Wire.Reply _ | Wire.Op_prepare_request _ | Wire.Op_prepare_response _
   | Wire.Op_abandon _ | Wire.Op_accept_request _ | Wire.Op_learn _
+  | Wire.Op_accept_batch _ | Wire.Op_learn_batch _
   | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
   | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
   | Wire.Pu_read_reply _ | Wire.Ls_req _ | Wire.Ls_reply _ | Wire.Tp_prepare _
@@ -269,6 +416,7 @@ let create ~node ~config =
     pn_round = 0;
     electing = None;
     election_no = 0;
+    election_timer = None;
     promise_count = 0;
     promise_best = Hashtbl.create 64;
     proposed = Hashtbl.create 256;
@@ -276,6 +424,13 @@ let create ~node ~config =
     pending = Queue.create ();
     next_inst = 0;
     my_keys = Hashtbl.create 64;
+    bat_buf = Queue.create ();
+    bat_keys = Hashtbl.create 64;
+    bat_inflight = 0;
+    bat_remaining = Hashtbl.create 32;
+    slot_batch = Hashtbl.create 256;
+    bat_timer = None;
+    bat_overdue = false;
     promised = Pn.bottom;
     accepted = Hashtbl.create 256;
     tallies = Hashtbl.create 256;

@@ -22,6 +22,17 @@ type config = {
       (** Wait for a majority of promises before retrying with a higher
           number. *)
   relaxed_reads : bool;  (** Serve relaxed [Get]s from the local store. *)
+  max_batch : int;
+      (** Commands per batched proposal ([Mp_accept_batch]); [1] (the
+          default) keeps the paper's one-command-per-message protocol
+          byte-identical. *)
+  batch_delay : Ci_engine.Sim_time.t;
+      (** How long the leader holds a partial batch; [0] flushes
+          immediately. *)
+  window : int;
+      (** Pipeline depth: maximum batches concurrently in flight; [0]
+          (the default) leaves it unbounded, as in the paper's
+          protocol. Setting it also activates the batching layer. *)
 }
 
 val default_config : replicas:int array -> config

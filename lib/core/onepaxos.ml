@@ -11,6 +11,9 @@ type config = {
   check_period : Sim_time.t;
   pu_timeout : Sim_time.t;
   relaxed_reads : bool;
+  max_batch : int;
+  batch_delay : Sim_time.t;
+  window : int;
 }
 
 let default_config ~replicas =
@@ -25,6 +28,9 @@ let default_config ~replicas =
     check_period = Sim_time.us 200;
     pu_timeout = Sim_time.us 400;
     relaxed_reads = false;
+    max_batch = 1;
+    batch_delay = 0;
+    window = 0;
   }
 
 type ls_op = { mutable replies : int; k : unit -> unit }
@@ -58,6 +64,16 @@ type t = {
   pending : Wire.value Queue.t;
   outstanding : (int, Sim_time.t) Hashtbl.t; (* instance -> accept sent at *)
   my_keys : (int * int, unit) Hashtbl.t;
+  (* Batching / pipelining layer (inactive at max_batch = 1, window = 0:
+     every path below then reduces to the paper's one-value-per-message
+     protocol, byte for byte). *)
+  bat_buf : Wire.value Queue.t; (* commands waiting for the next batch *)
+  bat_keys : (int * int, unit) Hashtbl.t; (* dedup for [bat_buf] *)
+  mutable bat_inflight : int; (* batches proposed, not yet fully decided *)
+  bat_remaining : (int, int ref) Hashtbl.t; (* batch base -> undecided slots *)
+  slot_batch : (int, int) Hashtbl.t; (* instance -> its batch base *)
+  mutable bat_timer : Machine.timer option;
+  mutable bat_overdue : bool; (* delay expired with the window full *)
   (* Acceptor state (Appendix A: hpn, ap, IamFresh). *)
   mutable hpn : Pn.t;
   mutable iam_fresh : bool;
@@ -90,13 +106,92 @@ let reply_if_mine t (ex : Replica_core.executed) =
     send t ex.v.Wire.client (Wire.Reply { req_id = ex.v.Wire.req_id; result = ex.result })
   end
 
-let learn_value t ~inst v =
+let batching_on t = t.cfg.max_batch > 1 || t.cfg.window > 0
+let window_open t = t.cfg.window <= 0 || t.bat_inflight < t.cfg.window
+
+let cancel_batch_timer t =
+  match t.bat_timer with
+  | Some tm ->
+    Machine.cancel_timer t.node tm;
+    t.bat_timer <- None
+  | None -> ()
+
+let rec learn_value t ~inst v =
   Hashtbl.remove t.outstanding inst;
   Hashtbl.remove t.inflight (Wire.value_key v);
   let executed = Replica_core.learn t.core ~inst v in
-  List.iter (reply_if_mine t) executed
+  List.iter (reply_if_mine t) executed;
+  batch_decided t ~inst
 
-let propose_value t v =
+(* A slot of one of our batches decided: when its whole batch is in,
+   release the pipeline window slot and flush whatever queued up. *)
+and batch_decided t ~inst =
+  match Hashtbl.find_opt t.slot_batch inst with
+  | None -> ()
+  | Some base ->
+    Hashtbl.remove t.slot_batch inst;
+    (match Hashtbl.find_opt t.bat_remaining base with
+     | Some r ->
+       decr r;
+       if !r <= 0 then begin
+         Hashtbl.remove t.bat_remaining base;
+         t.bat_inflight <- max 0 (t.bat_inflight - 1);
+         try_flush t
+       end
+     | None -> ())
+
+(* Flush policy: full batches go out whenever the window allows; a
+   partial batch goes out once the batch delay has expired (or
+   immediately with no delay configured), otherwise the delay timer is
+   armed to bound the latency cost of waiting for company. *)
+and try_flush t =
+  if t.iam_leader && t.aa <> None then begin
+    while window_open t && Queue.length t.bat_buf >= t.cfg.max_batch do
+      flush_batch t t.cfg.max_batch
+    done;
+    if Queue.is_empty t.bat_buf then begin
+      t.bat_overdue <- false;
+      cancel_batch_timer t
+    end
+    else if window_open t then begin
+      if t.bat_overdue || t.cfg.batch_delay <= 0 then begin
+        t.bat_overdue <- false;
+        cancel_batch_timer t;
+        flush_batch t (Queue.length t.bat_buf)
+      end
+      else if t.bat_timer = None then
+        t.bat_timer <-
+          Some
+            (Machine.after_cancel t.node ~delay:t.cfg.batch_delay (fun () ->
+                 t.bat_timer <- None;
+                 t.bat_overdue <- true;
+                 try_flush t))
+    end
+  end
+
+and flush_batch t k =
+  let base = t.next_inst in
+  t.next_inst <- base + k;
+  let vs = Array.make k (Queue.peek t.bat_buf) in
+  for i = 0 to k - 1 do
+    vs.(i) <- Queue.pop t.bat_buf
+  done;
+  Array.iteri
+    (fun i v ->
+      let inst = base + i in
+      Hashtbl.remove t.bat_keys (Wire.value_key v);
+      Hashtbl.replace t.proposed inst v;
+      Hashtbl.replace t.inflight (Wire.value_key v) inst;
+      Hashtbl.replace t.outstanding inst (now t);
+      Hashtbl.replace t.slot_batch inst base)
+    vs;
+  Hashtbl.replace t.bat_remaining base (ref k);
+  t.bat_inflight <- t.bat_inflight + 1;
+  match t.aa with
+  | Some a -> send t a (Wire.Op_accept_batch { base; pn = t.my_pn; vs })
+  | None -> assert false
+
+and propose_value t v =
   let key = Wire.value_key v in
   Hashtbl.replace t.my_keys key ();
   match Replica_core.cached_result t.core ~client:(fst key) ~req_id:(snd key) with
@@ -104,7 +199,15 @@ let propose_value t v =
     Hashtbl.remove t.my_keys key;
     send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
   | None ->
-    if not (Hashtbl.mem t.inflight key) then begin
+    if batching_on t then begin
+      if not (Hashtbl.mem t.inflight key || Hashtbl.mem t.bat_keys key)
+      then begin
+        Hashtbl.replace t.bat_keys key ();
+        Queue.push v t.bat_buf;
+        try_flush t
+      end
+    end
+    else if not (Hashtbl.mem t.inflight key) then begin
       let inst = t.next_inst in
       t.next_inst <- t.next_inst + 1;
       Hashtbl.replace t.proposed inst v;
@@ -116,10 +219,12 @@ let propose_value t v =
     end
 
 let drain_pending t =
-  if t.iam_leader && t.aa <> None then
+  if t.iam_leader && t.aa <> None then begin
     while not (Queue.is_empty t.pending) do
       propose_value t (Queue.pop t.pending)
-    done
+    done;
+    if batching_on t then try_flush t
+  end
 
 (* Re-issue accepts for every registered-but-undecided proposal (after
    adopting an acceptor). Instances are re-proposed with their original
@@ -185,6 +290,15 @@ let step_down t =
   t.becoming <- false;
   t.pending_prepare <- None;
   t.prepare_deadline <- None;
+  (* Commands still buffered for a batch go back to the pending queue
+     so they reach the winning leader with everything else. *)
+  while not (Queue.is_empty t.bat_buf) do
+    let v = Queue.pop t.bat_buf in
+    Hashtbl.remove t.bat_keys (Wire.value_key v);
+    Queue.push v t.pending
+  done;
+  t.bat_overdue <- false;
+  cancel_batch_timer t;
   forward_pending t
 
 (* Upon AcceptorFailure (Appendix A, lines 1..13): verify global
@@ -374,6 +488,33 @@ let on_accept_request t ~src ~inst ~pn ~v =
       Hashtbl.replace t.acc_ap inst (pn, v);
       Array.iter (fun dst -> send t dst (Wire.Op_learn { inst; v })) t.cfg.replicas
 
+(* Batched accepts: one proposal-number check covers the whole range;
+   per slot the acceptor either accepts the leader's value or keeps an
+   earlier acceptance (whose learn may have been lost), substituting it
+   in the outgoing batch — the per-slot logic of [on_accept_request],
+   amortized over one message each way. *)
+let on_accept_batch t ~src ~base ~pn ~vs =
+  if not (Pn.equal pn t.hpn) then send t src (Wire.Op_abandon { hpn = t.hpn })
+  else begin
+    let out =
+      Array.mapi
+        (fun i v ->
+          let inst = base + i in
+          match Hashtbl.find_opt t.acc_ap inst with
+          | Some (_, v0) -> v0
+          | None ->
+            Hashtbl.replace t.acc_ap inst (pn, v);
+            v)
+        vs
+    in
+    Array.iter
+      (fun dst -> send t dst (Wire.Op_learn_batch { base; vs = out }))
+      t.cfg.replicas
+  end
+
+let on_learn_batch t ~base ~vs =
+  Array.iteri (fun i v -> learn_value t ~inst:(base + i) v) vs
+
 (* ----- leader role ------------------------------------------------------ *)
 
 let on_prepare_response t ~src ~pn ~accepted =
@@ -502,6 +643,8 @@ let handle t ~src msg =
     | Wire.Op_abandon { hpn } -> on_abandon t ~src ~hpn
     | Wire.Op_accept_request { inst; pn; v } -> on_accept_request t ~src ~inst ~pn ~v
     | Wire.Op_learn { inst; v } -> learn_value t ~inst v
+    | Wire.Op_accept_batch { base; pn; vs } -> on_accept_batch t ~src ~base ~pn ~vs
+    | Wire.Op_learn_batch { base; vs } -> on_learn_batch t ~base ~vs
     | Wire.Ls_req { token; from_ } -> on_ls_req t ~src ~token ~from_
     | Wire.Ls_reply { token; decisions } -> on_ls_reply t ~token ~decisions
     | Wire.Reply _ | Wire.Mp_prepare _ | Wire.Mp_promise _ | Wire.Mp_reject _
@@ -509,7 +652,8 @@ let handle t ~src msg =
     | Wire.Tp_commit _ | Wire.Tp_commit_ack _ | Wire.Tp_rollback _
     | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
     | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
-    | Wire.Pu_read_reply _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ ->
+    | Wire.Pu_read_reply _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _
+    | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _ ->
       ()
 
 let on_config_entry t ~cseq:_ entry =
@@ -582,6 +726,13 @@ let create ~node ~config =
       pending = Queue.create ();
       outstanding = Hashtbl.create 64;
       my_keys = Hashtbl.create 64;
+      bat_buf = Queue.create ();
+      bat_keys = Hashtbl.create 64;
+      bat_inflight = 0;
+      bat_remaining = Hashtbl.create 32;
+      slot_batch = Hashtbl.create 256;
+      bat_timer = None;
+      bat_overdue = false;
       hpn = Pn.bottom;
       iam_fresh = true;
       acc_ap = Hashtbl.create 256;

@@ -38,6 +38,19 @@ type config = {
   relaxed_reads : bool;
       (** Serve [Get] commands marked [relaxed_read] from the local
           store without consensus (§7.5's relaxed consistency). *)
+  max_batch : int;
+      (** Commands per batched proposal ([Op_accept_batch]); [1] (the
+          default) keeps the paper's one-command-per-message protocol
+          byte-identical. *)
+  batch_delay : Ci_engine.Sim_time.t;
+      (** How long the leader holds a partial batch hoping for company;
+          [0] flushes immediately. Only meaningful with the batching
+          layer active. *)
+  window : int;
+      (** Pipeline depth: maximum batches concurrently in flight.
+          [0] (the default) leaves the in-flight count unbounded, as in
+          the paper's protocol. Setting it also activates the batching
+          layer even at [max_batch = 1]. *)
 }
 
 val default_config : replicas:int array -> config

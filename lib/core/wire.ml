@@ -46,6 +46,8 @@ type t =
   | Op_abandon of { hpn : Pn.t }
   | Op_accept_request of { inst : int; pn : Pn.t; v : value }
   | Op_learn of { inst : int; v : value }
+  | Op_accept_batch of { base : int; pn : Pn.t; vs : value array }
+  | Op_learn_batch of { base : int; vs : value array }
   | Pu_prepare of { cseq : int; pn : Pn.t }
   | Pu_promise of {
       cseq : int;
@@ -72,6 +74,8 @@ type t =
   | Mp_reject of { pn : Pn.t }
   | Mp_accept of { inst : int; pn : Pn.t; v : value }
   | Mp_learn of { inst : int; pn : Pn.t; v : value }
+  | Mp_accept_batch of { base : int; pn : Pn.t; vs : value array }
+  | Mp_learn_batch of { base : int; pn : Pn.t; vs : value array }
   | Mn_accept of { inst : int; v : value option }
   | Mn_learn of { inst : int; v : value option }
   | Cp_accept of { epoch : int; inst : int; v : value }
@@ -101,6 +105,13 @@ let pp fmt = function
     Format.fprintf fmt "op.accept i=%d pn=%a %a" inst Pn.pp pn pp_value v
   | Op_learn { inst; v } ->
     Format.fprintf fmt "op.learn i=%d %a" inst pp_value v
+  | Op_accept_batch { base; pn; vs } ->
+    Format.fprintf fmt "op.accept-batch i=%d..%d pn=%a" base
+      (base + Array.length vs - 1)
+      Pn.pp pn
+  | Op_learn_batch { base; vs } ->
+    Format.fprintf fmt "op.learn-batch i=%d..%d" base
+      (base + Array.length vs - 1)
   | Pu_prepare { cseq; pn } ->
     Format.fprintf fmt "pu.prepare c=%d pn=%a" cseq Pn.pp pn
   | Pu_promise { cseq; pn; accepted; chosen_suffix } ->
@@ -141,6 +152,14 @@ let pp fmt = function
     Format.fprintf fmt "mp.accept i=%d pn=%a %a" inst Pn.pp pn pp_value v
   | Mp_learn { inst; pn; v } ->
     Format.fprintf fmt "mp.learn i=%d pn=%a %a" inst Pn.pp pn pp_value v
+  | Mp_accept_batch { base; pn; vs } ->
+    Format.fprintf fmt "mp.accept-batch i=%d..%d pn=%a" base
+      (base + Array.length vs - 1)
+      Pn.pp pn
+  | Mp_learn_batch { base; pn; vs } ->
+    Format.fprintf fmt "mp.learn-batch i=%d..%d pn=%a" base
+      (base + Array.length vs - 1)
+      Pn.pp pn
   | Mn_accept { inst; v = Some v } ->
     Format.fprintf fmt "mn.accept i=%d %a" inst pp_value v
   | Mn_accept { inst; v = None } -> Format.fprintf fmt "mn.accept i=%d skip" inst
@@ -171,6 +190,8 @@ let kind = function
   | Op_abandon _ -> "Op_abandon"
   | Op_accept_request _ -> "Op_accept_request"
   | Op_learn _ -> "Op_learn"
+  | Op_accept_batch _ -> "Op_accept_batch"
+  | Op_learn_batch _ -> "Op_learn_batch"
   | Pu_prepare _ -> "Pu_prepare"
   | Pu_promise _ -> "Pu_promise"
   | Pu_reject _ -> "Pu_reject"
@@ -192,6 +213,8 @@ let kind = function
   | Mp_reject _ -> "Mp_reject"
   | Mp_accept _ -> "Mp_accept"
   | Mp_learn _ -> "Mp_learn"
+  | Mp_accept_batch _ -> "Mp_accept_batch"
+  | Mp_learn_batch _ -> "Mp_learn_batch"
   | Mn_accept _ -> "Mn_accept"
   | Mn_learn _ -> "Mn_learn"
   | Cp_accept _ -> "Cp_accept"

@@ -57,6 +57,13 @@ type t =
   | Op_abandon of { hpn : Pn.t }
   | Op_accept_request of { inst : int; pn : Pn.t; v : value }
   | Op_learn of { inst : int; v : value }
+  | Op_accept_batch of { base : int; pn : Pn.t; vs : value array }
+      (** Batched accept request: one consensus round covering
+          instances [base .. base + |vs| - 1] in one boundary-crossing
+          message (the batching layer; never sent at [max_batch = 1]). *)
+  | Op_learn_batch of { base : int; vs : value array }
+      (** Batched decision notification for instances
+          [base .. base + |vs| - 1]. *)
   (* PaxosUtility: Basic-Paxos over the configuration-entry sequence. *)
   | Pu_prepare of { cseq : int; pn : Pn.t }
   | Pu_promise of {
@@ -87,6 +94,13 @@ type t =
   | Mp_reject of { pn : Pn.t }
   | Mp_accept of { inst : int; pn : Pn.t; v : value }
   | Mp_learn of { inst : int; pn : Pn.t; v : value }
+  | Mp_accept_batch of { base : int; pn : Pn.t; vs : value array }
+      (** Batched accepts for instances [base .. base + |vs| - 1] under
+          one proposal number (the batching layer; never sent at
+          [max_batch = 1]). *)
+  | Mp_learn_batch of { base : int; pn : Pn.t; vs : value array }
+      (** Batched acceptor acknowledgement mirroring
+          {!Mp_accept_batch}. *)
   (* Mencius: multi-leader, round-robin instance ownership (§8). A
      [None] value is a skip — the owner ceding its slot so the log can
      advance past it. *)

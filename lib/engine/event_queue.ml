@@ -1,76 +1,161 @@
-type 'a cell = { time : int; seq : int; payload : 'a }
+type token = { mutable live : bool }
 
+(* Parallel-array binary min-heap ordered by (time, seq). Keeping the
+   hot fields in unboxed [int array]s (rather than one array of cell
+   records) makes [push]/[pop] allocation-free in the common
+   tokenless case and halves the pointer chasing per sift step. *)
 type 'a t = {
-  mutable heap : 'a cell array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable payloads : 'a array;
+  mutable tokens : token option array;
   mutable size : int;
   mutable next_seq : int;
-  mutable dummy : 'a cell option; (* retained for array slot filler *)
+  mutable n_cancelled : int;
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; dummy = None }
+let create () =
+  {
+    times = [||];
+    seqs = [||];
+    payloads = [||];
+    tokens = [||];
+    size = 0;
+    next_seq = 0;
+    n_cancelled = 0;
+  }
 
-let length q = q.size
-let is_empty q = q.size = 0
+let length q = q.size - q.n_cancelled
+let is_empty q = length q = 0
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let grow q cell =
-  let cap = Array.length q.heap in
+let grow q payload =
+  let cap = Array.length q.times in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  let fresh = Array.make new_cap cell in
-  Array.blit q.heap 0 fresh 0 q.size;
-  q.heap <- fresh
+  let nt = Array.make new_cap 0 in
+  let ns = Array.make new_cap 0 in
+  let np = Array.make new_cap payload in
+  let nk = Array.make new_cap None in
+  Array.blit q.times 0 nt 0 q.size;
+  Array.blit q.seqs 0 ns 0 q.size;
+  Array.blit q.payloads 0 np 0 q.size;
+  Array.blit q.tokens 0 nk 0 q.size;
+  q.times <- nt;
+  q.seqs <- ns;
+  q.payloads <- np;
+  q.tokens <- nk
 
-let push q ~time payload =
-  let cell = { time; seq = q.next_seq; payload } in
-  q.next_seq <- q.next_seq + 1;
-  if q.dummy = None then q.dummy <- Some cell;
-  if q.size = Array.length q.heap then grow q cell;
-  (* Sift up from the new leaf. *)
+let push_opt q ~time tok payload =
+  if q.size = Array.length q.times then grow q payload;
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  (* Sift up with a hole: shift larger parents down, write once. *)
   let i = ref q.size in
   q.size <- q.size + 1;
-  q.heap.(!i) <- cell;
   let continue = ref true in
   while !continue && !i > 0 do
-    let parent = (!i - 1) / 2 in
-    if before cell q.heap.(parent) then begin
-      q.heap.(!i) <- q.heap.(parent);
-      q.heap.(parent) <- cell;
-      i := parent
+    let p = (!i - 1) / 2 in
+    if time < q.times.(p) || (time = q.times.(p) && seq < q.seqs.(p)) then begin
+      q.times.(!i) <- q.times.(p);
+      q.seqs.(!i) <- q.seqs.(p);
+      q.payloads.(!i) <- q.payloads.(p);
+      q.tokens.(!i) <- q.tokens.(p);
+      i := p
     end
     else continue := false
-  done
+  done;
+  q.times.(!i) <- time;
+  q.seqs.(!i) <- seq;
+  q.payloads.(!i) <- payload;
+  q.tokens.(!i) <- tok
 
-let pop q =
-  if q.size = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      let last = q.heap.(q.size) in
-      q.heap.(0) <- last;
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
-        if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
-        if !smallest <> !i then begin
-          let tmp = q.heap.(!i) in
-          q.heap.(!i) <- q.heap.(!smallest);
-          q.heap.(!smallest) <- tmp;
-          i := !smallest
-        end
-        else continue := false
-      done
-    end;
-    Some (top.time, top.payload)
+let push q ~time payload = push_opt q ~time None payload
+
+let push_token q ~time payload =
+  let tok = { live = true } in
+  push_opt q ~time (Some tok) payload;
+  tok
+
+let cancel q tok =
+  if tok.live then begin
+    tok.live <- false;
+    q.n_cancelled <- q.n_cancelled + 1
   end
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+(* Physically remove the root. The freed tail slot keeps a stale
+   payload reference until overwritten by a later push — bounded by
+   capacity, fully released by [clear]. *)
+let remove_root q =
+  let n = q.size - 1 in
+  q.size <- n;
+  q.tokens.(0) <- None;
+  if n > 0 then begin
+    let time = q.times.(n) and seq = q.seqs.(n) in
+    let payload = q.payloads.(n) and tok = q.tokens.(n) in
+    q.tokens.(n) <- None;
+    (* Sift the displaced tail element down from the root hole. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (q.times.(r) < q.times.(l)
+               || (q.times.(r) = q.times.(l) && q.seqs.(r) < q.seqs.(l)))
+          then r
+          else l
+        in
+        if q.times.(c) < time || (q.times.(c) = time && q.seqs.(c) < seq)
+        then begin
+          q.times.(!i) <- q.times.(c);
+          q.seqs.(!i) <- q.seqs.(c);
+          q.payloads.(!i) <- q.payloads.(c);
+          q.tokens.(!i) <- q.tokens.(c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    q.times.(!i) <- time;
+    q.seqs.(!i) <- seq;
+    q.payloads.(!i) <- payload;
+    q.tokens.(!i) <- tok
+  end
+
+(* Lazily discard cancelled events sitting at the root. *)
+let rec drop_dead q =
+  if q.size > 0 then
+    match q.tokens.(0) with
+    | Some tok when not tok.live ->
+      q.n_cancelled <- q.n_cancelled - 1;
+      remove_root q;
+      drop_dead q
+    | _ -> ()
+
+let pop q =
+  drop_dead q;
+  if q.size = 0 then None
+  else begin
+    let time = q.times.(0) and payload = q.payloads.(0) in
+    (match q.tokens.(0) with Some tok -> tok.live <- false | None -> ());
+    remove_root q;
+    Some (time, payload)
+  end
+
+let peek_time q =
+  drop_dead q;
+  if q.size = 0 then None else Some q.times.(0)
 
 let clear q =
+  for i = 0 to q.size - 1 do
+    match q.tokens.(i) with Some tok -> tok.live <- false | None -> ()
+  done;
   q.size <- 0;
-  q.heap <- [||]
+  q.n_cancelled <- 0;
+  q.times <- [||];
+  q.seqs <- [||];
+  q.payloads <- [||];
+  q.tokens <- [||]

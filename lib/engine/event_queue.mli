@@ -3,16 +3,26 @@
     A binary min-heap ordered by [(time, sequence)]. The sequence number
     is assigned at insertion, so events scheduled for the same instant
     are delivered in insertion order (FIFO tie-break) — a property the
-    machine model relies on for per-channel ordering. *)
+    machine model relies on for per-channel ordering.
+
+    The heap stores its fields in parallel unboxed arrays, so the hot
+    [push]/[pop] path allocates nothing. Events pushed with
+    {!push_token} can be cancelled in O(1); cancelled events never fire
+    and are reclaimed lazily when they reach the heap root. *)
 
 type 'a t
 (** A heap of events carrying payloads of type ['a]. *)
+
+type token
+(** A cancellation handle for one event. A token is {e spent} once its
+    event fires or is cancelled; cancelling a spent token is a no-op. *)
 
 val create : unit -> 'a t
 (** [create ()] is an empty queue. *)
 
 val length : 'a t -> int
-(** [length q] is the number of pending events. *)
+(** [length q] is the number of pending events, excluding cancelled
+    events not yet reclaimed. *)
 
 val is_empty : 'a t -> bool
 (** [is_empty q] is [length q = 0]. *)
@@ -20,15 +30,30 @@ val is_empty : 'a t -> bool
 val push : 'a t -> time:int -> 'a -> unit
 (** [push q ~time payload] inserts an event. [time] may be in the past
     relative to previously popped events; ordering is the caller's
-    concern. *)
+    concern. Does not allocate (outside occasional capacity doubling). *)
+
+val push_token : 'a t -> time:int -> 'a -> token
+(** [push_token q ~time payload] is {!push} but returns a token with
+    which the event can be cancelled before it fires. *)
+
+val cancel : 'a t -> token -> unit
+(** [cancel q tok] prevents [tok]'s event from ever being returned by
+    {!pop}, in O(1). [tok] must have been produced by [push_token] on
+    [q]. Cancelling an event that already fired, or cancelling twice,
+    is a no-op. The payload reference is released when the dead event
+    is lazily reclaimed (at the latest on [clear]). *)
 
 val pop : 'a t -> (int * 'a) option
-(** [pop q] removes and returns the earliest event as [(time, payload)],
-    or [None] when empty. Among equal times, insertion order wins. *)
+(** [pop q] removes and returns the earliest non-cancelled event as
+    [(time, payload)], or [None] when empty. Among equal times,
+    insertion order wins. *)
 
 val peek_time : 'a t -> int option
-(** [peek_time q] is the timestamp of the earliest event, without
-    removing it. *)
+(** [peek_time q] is the timestamp of the earliest non-cancelled event,
+    without removing it. *)
 
 val clear : 'a t -> unit
-(** [clear q] discards all pending events. *)
+(** [clear q] discards all pending events, releases every payload
+    reference held by the queue (including slots retained by lazy
+    reclamation) and invalidates all outstanding tokens. The queue
+    remains usable afterwards. *)

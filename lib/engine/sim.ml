@@ -2,9 +2,13 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   mutable clock : Sim_time.t;
   mutable stopped : bool;
+  mutable fired : int;
 }
 
-let create () = { queue = Event_queue.create (); clock = 0; stopped = false }
+type timer = Event_queue.token
+
+let create () =
+  { queue = Event_queue.create (); clock = 0; stopped = false; fired = 0 }
 
 let now t = t.clock
 
@@ -16,7 +20,15 @@ let schedule t ~delay f =
   let delay = if delay < 0 then 0 else delay in
   schedule_at t ~time:(t.clock + delay) f
 
+let schedule_cancellable t ~delay f =
+  let delay = if delay < 0 then 0 else delay in
+  Event_queue.push_token t.queue ~time:(t.clock + delay) f
+
+let cancel t timer = Event_queue.cancel t.queue timer
+
 let pending t = Event_queue.length t.queue
+
+let events_fired t = t.fired
 
 let stop t = t.stopped <- true
 
@@ -29,6 +41,7 @@ let run_until t ~time =
       (match Event_queue.pop t.queue with
        | Some (ts, f) ->
          t.clock <- ts;
+         t.fired <- t.fired + 1;
          f ()
        | None -> continue := false)
     | Some _ | None -> continue := false
@@ -47,6 +60,7 @@ let run ?max_events t =
     | Some (ts, f) ->
       t.clock <- ts;
       incr fired;
+      t.fired <- t.fired + 1;
       f ()
     | None -> continue := false
   done

@@ -8,6 +8,9 @@
 type t
 (** A simulator instance. *)
 
+type timer
+(** A handle for one scheduled event, allowing O(1) cancellation. *)
+
 val create : unit -> t
 (** [create ()] is a simulator at time 0 with no pending events. *)
 
@@ -23,8 +26,21 @@ val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> unit
     past it runs at the current instant (after already-queued events of
     that instant). *)
 
+val schedule_cancellable : t -> delay:Sim_time.t -> (unit -> unit) -> timer
+(** [schedule_cancellable sim ~delay f] is {!schedule} but returns a
+    timer with which the event can be revoked before it fires. *)
+
+val cancel : t -> timer -> unit
+(** [cancel sim timer] revokes a pending event in O(1). Cancelling an
+    event that already fired, or cancelling twice, is a no-op. *)
+
 val pending : t -> int
-(** [pending sim] is the number of queued events. *)
+(** [pending sim] is the number of queued events (cancelled events are
+    not counted). *)
+
+val events_fired : t -> int
+(** [events_fired sim] is the cumulative count of events executed over
+    the simulator's lifetime (cancelled events never execute). *)
 
 val stop : t -> unit
 (** [stop sim] makes the current [run]/[run_until] call return after the

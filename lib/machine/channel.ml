@@ -8,6 +8,7 @@ type 'a t = {
   recv_cost : int;
   src_cpu : Cpu.t;
   dst_cpu : Cpu.t;
+  port : Rx_port.t option;
   deliver : 'a -> unit;
   outbox : 'a Queue.t;
   mutable credits : int;
@@ -20,7 +21,8 @@ type 'a t = {
   mutable stall_ns : int; (* cumulative credit-stall time *)
 }
 
-let create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu ~deliver =
+let create ?port sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu
+    ~deliver =
   if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
   {
     sim;
@@ -30,6 +32,7 @@ let create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu ~deliver 
     recv_cost;
     src_cpu;
     dst_cpu;
+    port;
     deliver;
     outbox = Queue.create ();
     credits = capacity;
@@ -44,19 +47,26 @@ let create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu ~deliver 
 
 (* Receiver side: charge the reception cost, then return the slot credit
    (visible to the sender one propagation delay later) and hand the
-   message to the application. *)
+   message to the application. With a coalescing port, the reception
+   charge is paid (and possibly shared) by the port's drain pass; the
+   per-channel completion below still runs once per message, in arrival
+   order. *)
 let rec receive t v =
-  Cpu.exec t.dst_cpu ~cost:t.recv_cost (fun () ->
-      Sim.schedule t.sim ~delay:t.prop (fun () ->
-          t.credits <- t.credits + 1;
-          (match t.stall_since with
-           | Some since ->
-             t.stall_ns <- t.stall_ns + (Sim.now t.sim - since);
-             t.stall_since <- None
-           | None -> ());
-          pump t);
-      t.delivered_count <- t.delivered_count + 1;
-      t.deliver v)
+  let fin () =
+    Sim.schedule t.sim ~delay:t.prop (fun () ->
+        t.credits <- t.credits + 1;
+        (match t.stall_since with
+         | Some since ->
+           t.stall_ns <- t.stall_ns + (Sim.now t.sim - since);
+           t.stall_since <- None
+         | None -> ());
+        pump t);
+    t.delivered_count <- t.delivered_count + 1;
+    t.deliver v
+  in
+  match t.port with
+  | None -> Cpu.exec t.dst_cpu ~cost:t.recv_cost fin
+  | Some p -> Rx_port.enqueue p fin
 
 (* Sender side: while slots are free, charge the transmission cost for
    the next outbox message; on completion the message propagates to the

@@ -18,6 +18,7 @@ type 'a t
 (** A unidirectional channel carrying values of type ['a]. *)
 
 val create :
+  ?port:Rx_port.t ->
   Ci_engine.Sim.t ->
   capacity:int ->
   prop:Ci_engine.Sim_time.t ->
@@ -30,7 +31,11 @@ val create :
 (** [create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu
     ~deliver] is a channel. [deliver] is invoked on the receiver side
     after the reception cost has been charged, one message at a time, in
-    send order. [capacity] must be positive. *)
+    send order. [capacity] must be positive. When [port] is given,
+    reception costs are charged through the coalescing port (which may
+    share one reception charge across several queued messages, possibly
+    from other channels feeding the same port) instead of [recv_cost];
+    credit return and delivery order per channel are unchanged. *)
 
 val send : 'a t -> 'a -> unit
 (** [send t v] queues [v] for transmission. Returns immediately; the

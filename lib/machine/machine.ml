@@ -16,6 +16,7 @@ and 'msg t = {
   cpus : Cpu.t array;
   nodes : (int, 'msg node) Hashtbl.t;
   channels : (int * int, (int * int * 'msg) Channel.t) Hashtbl.t;
+  ports : (int, Rx_port.t) Hashtbl.t; (* coalescing rx port per dst node *)
   sent_counts : (int, int ref) Hashtbl.t;
   recv_counts : (int, int ref) Hashtbl.t;
   self_counts : (int, int ref) Hashtbl.t;
@@ -39,6 +40,7 @@ let create ?(seed = 42) ~topology ~params () =
     cpus = Array.init (Topology.n_cores topology) (fun i -> Cpu.create sim ~id:i);
     nodes = Hashtbl.create 64;
     channels = Hashtbl.create 256;
+    ports = Hashtbl.create 64;
     sent_counts = Hashtbl.create 64;
     recv_counts = Hashtbl.create 64;
     self_counts = Hashtbl.create 64;
@@ -96,6 +98,26 @@ let find_node t id =
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Machine: unknown node %d" id)
 
+(* Coalescing receive port for [dst], shared by every channel feeding
+   that node. Only materialized when the coalesce budget exceeds 1 —
+   the default budget of 1 keeps the per-channel reception path (and
+   its exact event schedule) byte-identical to the paper model. *)
+let port_for t dst_node =
+  if t.net.Net_params.coalesce <= 1 then None
+  else
+    match Hashtbl.find_opt t.ports dst_node.nid with
+    | Some p -> Some p
+    | None ->
+      let p =
+        Rx_port.create
+          ~cpu:t.cpus.(dst_node.ncore)
+          ~recv_cost:t.net.Net_params.recv_cost
+          ~handler_cost:t.net.Net_params.handler_cost
+          ~budget:t.net.Net_params.coalesce
+      in
+      Hashtbl.add t.ports dst_node.nid p;
+      Some p
+
 let channel t ~src ~dst =
   match Hashtbl.find_opt t.channels (src, dst) with
   | Some c -> c
@@ -113,7 +135,8 @@ let channel t ~src ~dst =
       dst_node.handler ~src:origin msg
     in
     let c =
-      Channel.create t.sim ~capacity:t.net.Net_params.queue_slots
+      Channel.create ?port:(port_for t dst_node) t.sim
+        ~capacity:t.net.Net_params.queue_slots
         ~prop:(Net_params.prop t.net ~same_socket)
         ~send_cost:t.net.Net_params.send_cost
         ~recv_cost:(t.net.Net_params.recv_cost + t.net.Net_params.handler_cost)
@@ -154,6 +177,15 @@ let after n ~delay f =
   Sim.schedule n.owner.sim ~delay (fun () ->
       emit n.owner ~core:n.ncore ~label:"" (Event.Timer { node = n.nid });
       f ())
+
+type timer = Sim.timer
+
+let after_cancel n ~delay f =
+  Sim.schedule_cancellable n.owner.sim ~delay (fun () ->
+      emit n.owner ~core:n.ncore ~label:"" (Event.Timer { node = n.nid });
+      f ())
+
+let cancel_timer n timer = Sim.cancel n.owner.sim timer
 
 let compute n ~cost f = Cpu.exec n.owner.cpus.(n.ncore) ~cost f
 
@@ -206,6 +238,12 @@ let channel_totals t =
       ch_occupancy_peak = 0;
       ch_outbox_peak = 0;
     }
+
+let coalescing_totals t =
+  Hashtbl.fold
+    (fun _ p (groups, delivered) ->
+      (groups + Rx_port.groups p, delivered + Rx_port.delivered p))
+    t.ports (0, 0)
 
 let set_tracer t f = t.tracer <- f
 

@@ -74,6 +74,19 @@ val after : 'msg node -> delay:Ci_engine.Sim_time.t -> (unit -> unit) -> unit
     core time by themselves; work done inside [f] (sends, [compute])
     does. *)
 
+type timer
+(** A handle for one pending {!after_cancel} timer. *)
+
+val after_cancel :
+  'msg node -> delay:Ci_engine.Sim_time.t -> (unit -> unit) -> timer
+(** [after_cancel n ~delay f] is {!after} but returns a handle with
+    which the timer can be revoked before it fires. A cancelled timer
+    never runs [f] and emits no trace event. *)
+
+val cancel_timer : 'msg node -> timer -> unit
+(** [cancel_timer n timer] revokes a pending timer in O(1). Cancelling
+    a fired or already-cancelled timer is a no-op. *)
+
 val compute : 'msg node -> cost:Ci_engine.Sim_time.t -> (unit -> unit) -> unit
 (** [compute n ~cost f] charges [cost] of work on [n]'s core, then runs
     [f]. *)
@@ -141,6 +154,12 @@ type channel_stats = {
 val channel_totals : 'msg t -> channel_stats
 (** [channel_totals t] aggregates back-pressure metrics over every
     channel created so far. *)
+
+val coalescing_totals : 'msg t -> int * int
+(** [coalescing_totals t] is [(groups, messages)] summed over every
+    coalescing receive port: how many reception charges were paid and
+    how many messages they covered. [(0, 0)] unless
+    [params.coalesce > 1] (see {!Net_params.t}). *)
 
 val set_observer :
   ?msg_label:('msg -> string) -> 'msg t -> Ci_obs.Event.ring option -> unit

@@ -7,6 +7,7 @@ type t = {
   prop_intra : Sim_time.t;
   prop_inter : Sim_time.t;
   queue_slots : int;
+  coalesce : int;
 }
 
 let multicore =
@@ -17,6 +18,7 @@ let multicore =
     prop_intra = Sim_time.ns 350;
     prop_inter = Sim_time.ns 650;
     queue_slots = 7;
+    coalesce = 1;
   }
 
 let lan =
@@ -27,6 +29,7 @@ let lan =
     prop_intra = Sim_time.us 135;
     prop_inter = Sim_time.us 135;
     queue_slots = 64;
+    coalesce = 1;
   }
 
 let lan_wide = { lan with prop_intra = Sim_time.us 1300; prop_inter = Sim_time.us 1300 }
@@ -39,6 +42,7 @@ let rdma =
     prop_intra = Sim_time.ns 650;
     prop_inter = Sim_time.us 2;
     queue_slots = 16;
+    coalesce = 1;
   }
 
 let raw_channel t = { t with handler_cost = 0 }
@@ -47,6 +51,7 @@ let prop t ~same_socket = if same_socket then t.prop_intra else t.prop_inter
 
 let pp fmt t =
   Format.fprintf fmt
-    "{send=%a; recv=%a; handler=%a; prop=%a/%a; slots=%d}" Sim_time.pp
+    "{send=%a; recv=%a; handler=%a; prop=%a/%a; slots=%d%s}" Sim_time.pp
     t.send_cost Sim_time.pp t.recv_cost Sim_time.pp t.handler_cost Sim_time.pp
     t.prop_intra Sim_time.pp t.prop_inter t.queue_slots
+    (if t.coalesce > 1 then Printf.sprintf "; coalesce=%d" t.coalesce else "")

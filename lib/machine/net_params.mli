@@ -24,6 +24,13 @@ type t = {
   queue_slots : int;
       (** Capacity of each unidirectional point-to-point queue
           (QC-libtask uses seven 128-byte slots by default). *)
+  coalesce : int;
+      (** Receive-side coalescing budget: up to this many queued
+          messages destined for the same node drain under a single
+          [recv_cost] charge (modeling a vectored read), with
+          [handler_cost] still charged per message. [1] (the default in
+          every preset) disables coalescing and reproduces the paper's
+          per-message reception cost exactly. *)
 }
 
 val multicore : t

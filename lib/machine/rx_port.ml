@@ -1,0 +1,53 @@
+module Sim = Ci_engine.Sim
+
+type t = {
+  cpu : Cpu.t;
+  recv_cost : int;
+  handler_cost : int;
+  budget : int;
+  inbox : (unit -> unit) Queue.t;
+  mutable draining : bool;
+  mutable groups : int;
+  mutable delivered : int;
+}
+
+let create ~cpu ~recv_cost ~handler_cost ~budget =
+  if budget <= 0 then invalid_arg "Rx_port.create: budget must be positive";
+  {
+    cpu;
+    recv_cost;
+    handler_cost;
+    budget;
+    inbox = Queue.create ();
+    draining = false;
+    groups = 0;
+    delivered = 0;
+  }
+
+(* One drain pass: charge the reception cost once, then take whatever
+   accumulated in the inbox (up to the budget) and charge its combined
+   handler work in a single stretch. Messages arriving while the
+   reception charge is in progress join the same group — that backlog
+   absorption is the amortization a vectored read provides. *)
+let rec drain p =
+  Cpu.exec p.cpu ~cost:p.recv_cost (fun () ->
+      p.groups <- p.groups + 1;
+      let k = min p.budget (Queue.length p.inbox) in
+      let fins = Array.make k (fun () -> ()) in
+      for i = 0 to k - 1 do
+        fins.(i) <- Queue.pop p.inbox
+      done;
+      Cpu.exec p.cpu ~cost:(k * p.handler_cost) (fun () ->
+          p.delivered <- p.delivered + k;
+          Array.iter (fun fin -> fin ()) fins;
+          if Queue.is_empty p.inbox then p.draining <- false else drain p))
+
+let enqueue p fin =
+  Queue.push fin p.inbox;
+  if not p.draining then begin
+    p.draining <- true;
+    drain p
+  end
+
+let groups p = p.groups
+let delivered p = p.delivered

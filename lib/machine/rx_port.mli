@@ -1,0 +1,37 @@
+(** Coalescing receive port.
+
+    Models a vectored read ([epoll] + [readv]): when several messages
+    destined for the same node have queued up — across any number of
+    incoming channels — the receiver dequeues up to a {e budget} of
+    them in one reception charge, instead of paying the per-message
+    reception cost each time. Protocol handler work remains charged per
+    message: coalescing amortizes the transport syscall, not the
+    application logic.
+
+    A port serializes receptions for one node: while a drain pass is in
+    progress, newly arriving messages join the pending group and are
+    picked up when the pass completes. With at most one message per
+    pass the cost sequence degenerates to the uncoalesced
+    [recv + handler] charge. *)
+
+type t
+(** A receive port bound to one node's core. *)
+
+val create : cpu:Cpu.t -> recv_cost:int -> handler_cost:int -> budget:int -> t
+(** [create ~cpu ~recv_cost ~handler_cost ~budget] is a port charging
+    [recv_cost] once per drain group of up to [budget] messages, plus
+    [handler_cost] per message. [budget] must be positive. *)
+
+val enqueue : t -> (unit -> unit) -> unit
+(** [enqueue p fin] hands one received message's completion action to
+    the port. [fin] runs on the port's core after the group's reception
+    and handler costs have been charged; completions run in arrival
+    order. *)
+
+val groups : t -> int
+(** [groups p] is how many drain groups (reception charges) have been
+    paid so far. *)
+
+val delivered : t -> int
+(** [delivered p] is how many message completions have run. The ratio
+    [delivered / groups] is the achieved coalescing factor. *)

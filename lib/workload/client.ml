@@ -39,6 +39,7 @@ type t = {
   mutable next_req : int;
   mutable current : (int * Command.t * int) option; (* req_id, cmd, first sent *)
   mutable attempt : int; (* distinguishes timeout timers *)
+  mutable retry_timer : Machine.timer option;
   mutable done_count : int;
   mutable retry_count : int;
   mutable log : (int * Command.t) list;
@@ -58,20 +59,36 @@ let target_for t cmd =
   if t.policy.read_own_node && Command.is_read cmd then Machine.node_id t.node
   else t.policy.targets.(t.target_idx)
 
+(* The timeout timer is cancelled on reply (each reply used to leave a
+   stale timer in the event queue for its full 2 ms — hundreds of dead
+   events per client at microsecond commit latencies). The [attempt]
+   generation check stays as belt and braces: cancellation is an
+   optimization, not a correctness requirement. *)
 let rec transmit t ~req_id ~cmd =
   let dst = target_for t cmd in
   Machine.send t.node ~dst
     (Wire.Request { req_id; cmd; relaxed_read = t.policy.relaxed_reads });
   t.attempt <- t.attempt + 1;
   let this_attempt = t.attempt in
-  Machine.after t.node ~delay:t.policy.timeout (fun () ->
-      match t.current with
-      | Some (r, c, _) when r = req_id && this_attempt = t.attempt ->
-        t.retry_count <- t.retry_count + 1;
-        if t.policy.failover then
-          t.target_idx <- (t.target_idx + 1) mod Array.length t.policy.targets;
-        transmit t ~req_id:r ~cmd:c
-      | Some _ | None -> ())
+  t.retry_timer <-
+    Some
+      (Machine.after_cancel t.node ~delay:t.policy.timeout (fun () ->
+           t.retry_timer <- None;
+           match t.current with
+           | Some (r, c, _) when r = req_id && this_attempt = t.attempt ->
+             t.retry_count <- t.retry_count + 1;
+             if t.policy.failover then
+               t.target_idx <-
+                 (t.target_idx + 1) mod Array.length t.policy.targets;
+             transmit t ~req_id:r ~cmd:c
+           | Some _ | None -> ()))
+
+let cancel_retry_timer t =
+  match t.retry_timer with
+  | Some tm ->
+    Machine.cancel_timer t.node tm;
+    t.retry_timer <- None
+  | None -> ()
 
 let issue t =
   let limit_reached =
@@ -94,6 +111,7 @@ let handle t ~src:_ msg =
     (match t.current with
      | Some (r, cmd, sent_at) when r = req_id ->
        t.current <- None;
+       cancel_retry_timer t;
        t.done_count <- t.done_count + 1;
        Run_stats.record t.stats ~sent_at ~replied_at:(now t);
        if not (Command.is_read cmd) then
@@ -122,6 +140,7 @@ let create ~node ~policy ~stats =
     next_req = 0;
     current = None;
     attempt = 0;
+    retry_timer = None;
     done_count = 0;
     retry_count = 0;
     log = [];

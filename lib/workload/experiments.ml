@@ -394,6 +394,58 @@ let ablation_ratio ?duration () =
   in
   [ proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
 
+(* ----- A6..A8: batching / pipelining / coalescing ablations ------------- *)
+
+(* 44 clients saturate the leader on the 48-core preset (3 replica cores
+   + 44 client cores + 1 idle), which is where amortizing per-message
+   cost pays: below saturation batching only trades latency for nothing. *)
+let batch_spec ?duration ~protocol ~batch ~pipeline ~coalesce () =
+  let s =
+    Runner.default_spec ~protocol
+      ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 44 })
+  in
+  let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
+  {
+    s with
+    Runner.batch;
+    pipeline;
+    params = { s.Runner.params with Net_params.coalesce };
+  }
+
+let ablation_batch ?duration () =
+  let batches = [ 1; 2; 4; 8; 16; 32 ] in
+  let proto_sweep proto =
+    sweep ~label:(Runner.protocol_name proto)
+      ~make_spec:(fun b ->
+        (* The b = 1 baseline is the paper's untouched protocol: no
+           batching, no pipelining window, no coalescing. *)
+        if b = 1 then
+          batch_spec ?duration ~protocol:proto ~batch:1 ~pipeline:0 ~coalesce:1 ()
+        else batch_spec ?duration ~protocol:proto ~batch:b ~pipeline:8 ~coalesce:16 ())
+      batches
+  in
+  [ proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+
+let ablation_pipeline ?duration () =
+  let windows = [ 1; 2; 4; 8; 16 ] in
+  [
+    sweep ~label:"1paxos, batch=8, coalesce=16"
+      ~make_spec:(fun w ->
+        batch_spec ?duration ~protocol:Runner.Onepaxos ~batch:8 ~pipeline:w
+          ~coalesce:16 ())
+      windows;
+  ]
+
+let ablation_coalesce ?duration () =
+  let budgets = [ 1; 2; 4; 8; 16; 32 ] in
+  [
+    sweep ~label:"1paxos, batch=8, pipeline=8"
+      ~make_spec:(fun k ->
+        batch_spec ?duration ~protocol:Runner.Onepaxos ~batch:8 ~pipeline:8
+          ~coalesce:k ())
+      budgets;
+  ]
+
 let protocol_comparison ?duration ?(params = Net_params.multicore) () =
   let clients = [ 1; 3; 8; 13; 21; 34 ] in
   let proto_sweep proto =

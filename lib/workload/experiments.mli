@@ -102,6 +102,25 @@ val ablation_ratio : ?duration:int -> unit -> series list
     from multicore (ratio ≈ 1) towards IP-like (ratio ≈ 0.01): the
     message-count advantage is a transmission-delay phenomenon. *)
 
+(** {1 A6..A8 — batching / pipelining / coalescing ablations} *)
+
+val ablation_batch : ?duration:int -> unit -> series list
+(** 1Paxos and Multi-Paxos peak throughput vs leader batch size
+    (x = commands per consensus instance, 1..32) at 44 clients on the
+    48-core preset. The x = 1 row is the paper's untouched protocol
+    (no batching, no window, no coalescing); every other row adds
+    pipeline depth 8 and receive-coalescing budget 16. *)
+
+val ablation_pipeline : ?duration:int -> unit -> series list
+(** 1Paxos throughput vs pipeline depth (x = max batches in flight at
+    the leader) with batch size and coalescing held at 8/16: depth 1
+    degenerates to stop-and-wait per batch. *)
+
+val ablation_coalesce : ?duration:int -> unit -> series list
+(** 1Paxos throughput vs receive-coalescing budget (x = max messages
+    drained per reception charge) with batch/pipeline held at 8/8:
+    budget 1 is the uncoalesced one-reception-per-message model. *)
+
 (** {1 A4 — related-protocol comparison (Section 8)} *)
 
 val protocol_comparison :

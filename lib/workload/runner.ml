@@ -44,6 +44,9 @@ type spec = {
   faults : Fault_plan.t list;
   bucket : int;
   colocate_acceptor : bool;
+  batch : int;
+  batch_delay : int;
+  pipeline : int;
   trace : Ci_obs.Event.ring option;
 }
 
@@ -66,6 +69,9 @@ let default_spec ~protocol ~placement =
     faults = [];
     bucket = Sim_time.ms 10;
     colocate_acceptor = false;
+    batch = 1;
+    batch_delay = Sim_time.us 5;
+    pipeline = 0;
     trace = None;
   }
 
@@ -109,6 +115,7 @@ type result = {
   leader_changes_sum : int;
   acceptor_changes : int;
   acceptor_changes_sum : int;
+  sim_events : int;
   metrics : Metrics.t;
   consistency : Consistency.report;
 }
@@ -205,6 +212,9 @@ let run spec =
           prepare_timeout = max d.Ci_consensus.Onepaxos.prepare_timeout (4 * rtt);
           check_period = max d.Ci_consensus.Onepaxos.check_period rtt;
           pu_timeout = max d.Ci_consensus.Onepaxos.pu_timeout (3 * rtt);
+          max_batch = spec.batch;
+          batch_delay = spec.batch_delay;
+          window = spec.pipeline;
         }
       in
       Op (Ci_consensus.Onepaxos.create ~node ~config:cfg)
@@ -215,6 +225,9 @@ let run spec =
           d with
           Ci_consensus.Multipaxos.relaxed_reads = spec.relaxed_reads;
           election_timeout = max d.Ci_consensus.Multipaxos.election_timeout (3 * rtt);
+          max_batch = spec.batch;
+          batch_delay = spec.batch_delay;
+          window = spec.pipeline;
         }
       in
       Mp (Ci_consensus.Multipaxos.create ~node ~config:cfg)
@@ -437,6 +450,11 @@ let run spec =
   Metrics.set_int metrics "channels.stall_ns" ch.Machine.ch_stall_ns;
   Metrics.set_int metrics "channels.occupancy_peak" ch.Machine.ch_occupancy_peak;
   Metrics.set_int metrics "channels.outbox_peak" ch.Machine.ch_outbox_peak;
+  let coalesce_groups, coalesce_messages = Machine.coalescing_totals machine in
+  Metrics.set_int metrics "coalesce.groups" coalesce_groups;
+  Metrics.set_int metrics "coalesce.messages" coalesce_messages;
+  let sim_events = Ci_engine.Sim.events_fired (Machine.sim machine) in
+  Metrics.set_int metrics "sim.events" sim_events;
   (match spec.trace with
    | Some ring -> Metrics.set_int metrics "trace.dropped" (Ci_obs.Event.dropped ring)
    | None -> ());
@@ -501,6 +519,7 @@ let run spec =
     leader_changes_sum;
     acceptor_changes;
     acceptor_changes_sum;
+    sim_events;
     metrics;
     consistency;
   }

@@ -39,6 +39,17 @@ type spec = {
       (** 1Paxos only: place the initial active acceptor on the leader's
           node instead of a separate one (violating Section 5.4's
           placement rule) — used by the placement ablation. *)
+  batch : int;
+      (** 1Paxos/Multi-Paxos leader-side command batching: commands per
+          consensus instance. [1] (the default) keeps the paper's
+          one-command-per-instance protocol byte-identical. *)
+  batch_delay : int;
+      (** How long (ns) the leader holds a partial batch hoping for
+          more commands before flushing it anyway. *)
+  pipeline : int;
+      (** 1Paxos/Multi-Paxos pipeline depth: maximum batches in flight
+          at the leader. [0] (the default) leaves it unbounded as in
+          the paper; setting it also activates the batching layer. *)
   trace : Ci_obs.Event.ring option;
       (** When set, the run records typed trace events (sends,
           deliveries, self-deliveries, timers, busy spans, phases) into
@@ -107,6 +118,9 @@ type result = {
           spotting replicas that missed configuration entries. *)
   acceptor_changes : int;  (** Per-replica maximum, as above. *)
   acceptor_changes_sum : int;  (** Sum over replicas, as above. *)
+  sim_events : int;
+      (** Discrete events the engine executed over the whole run — the
+          denominator of the events/sec engine self-benchmark. *)
   metrics : Ci_obs.Metrics.t;
       (** Flat registry of every measurement: per-node
           [node<i>.{sent,recv,self}.{warmup,measure,drain}], per-core

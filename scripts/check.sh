@@ -1,0 +1,16 @@
+#!/bin/sh
+# Developer pre-flight: clean build (warnings fatal), quick tests, and
+# the engine self-benchmark. The full adversarial suite is `dune runtest`.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build (warnings are errors under the dev profile) =="
+dune build
+
+echo "== quick tests (dune build @runtest-quick) =="
+dune build @runtest-quick
+
+echo "== engine self-benchmark (writes BENCH_engine.json) =="
+dune exec bench/main.exe -- engine
+
+echo "== OK =="

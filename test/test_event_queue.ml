@@ -68,6 +68,80 @@ let test_growth () =
   let times = List.map fst out in
   Alcotest.(check (list int)) "sorted" (List.init 1000 (fun i -> i + 1)) times
 
+let test_cancel_token () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:1 "keep1";
+  let tok = Event_queue.push_token q ~time:2 "dropped" in
+  Event_queue.push q ~time:3 "keep2";
+  Event_queue.cancel q tok;
+  Alcotest.(check int) "length excludes cancelled" 2 (Event_queue.length q);
+  Alcotest.(check (list (pair int string)))
+    "cancelled event never pops"
+    [ (1, "keep1"); (3, "keep2") ]
+    (drain q)
+
+let test_cancel_idempotent () =
+  let q = Event_queue.create () in
+  let tok = Event_queue.push_token q ~time:1 0 in
+  Event_queue.cancel q tok;
+  Event_queue.cancel q tok;
+  Alcotest.(check int) "double cancel counted once" 0 (Event_queue.length q);
+  Alcotest.(check (option (pair int int))) "empty" None (Event_queue.pop q)
+
+let test_cancel_after_fire_is_noop () =
+  let q = Event_queue.create () in
+  let tok = Event_queue.push_token q ~time:1 "a" in
+  Alcotest.(check (option (pair int string))) "fires" (Some (1, "a"))
+    (Event_queue.pop q);
+  (* The token is spent; cancelling it must not corrupt the counts for
+     later pushes. *)
+  Event_queue.cancel q tok;
+  Event_queue.push q ~time:2 "b";
+  Alcotest.(check int) "later push still counted" 1 (Event_queue.length q);
+  Alcotest.(check (option (pair int string))) "later push pops" (Some (2, "b"))
+    (Event_queue.pop q)
+
+let test_cancelled_head_peek () =
+  let q = Event_queue.create () in
+  let tok = Event_queue.push_token q ~time:1 "dead" in
+  Event_queue.push q ~time:2 "live";
+  Event_queue.cancel q tok;
+  Alcotest.(check (option int)) "peek skips the dead head" (Some 2)
+    (Event_queue.peek_time q)
+
+let test_clear_invalidates_tokens () =
+  let q = Event_queue.create () in
+  let tok = Event_queue.push_token q ~time:1 0 in
+  Event_queue.clear q;
+  Event_queue.push q ~time:5 1;
+  (* A token from before [clear] must not cancel anything pushed after. *)
+  Event_queue.cancel q tok;
+  Alcotest.(check int) "post-clear push unaffected" 1 (Event_queue.length q);
+  Alcotest.(check (option (pair int int))) "pops fine" (Some (5, 1))
+    (Event_queue.pop q)
+
+(* Property: cancelling an arbitrary subset leaves exactly the live
+   events, still in stable (time, seq) order. *)
+let prop_cancel_subset =
+  QCheck.Test.make ~name:"cancelled subset never surfaces" ~count:200
+    QCheck.(list (pair (int_bound 50) bool))
+    (fun entries ->
+      let q = Event_queue.create () in
+      let toks =
+        List.mapi
+          (fun i (t, cancel) -> (Event_queue.push_token q ~time:t (t, i), cancel))
+          entries
+      in
+      List.iter (fun (tok, cancel) -> if cancel then Event_queue.cancel q tok) toks;
+      let expected =
+        List.mapi (fun i (t, cancel) -> ((t, i), cancel)) entries
+        |> List.filter (fun (_, cancel) -> not cancel)
+        |> List.map fst
+        |> List.stable_sort (fun (t1, s1) (t2, s2) -> compare (t1, s1) (t2, s2))
+      in
+      Event_queue.length q = List.length expected
+      && List.map snd (drain q) = expected)
+
 (* Property: popping yields a stable sort of the pushed (time, seq)
    pairs, for arbitrary push sequences. *)
 let prop_stable_sort =
@@ -115,6 +189,13 @@ let suite =
       Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
       Alcotest.test_case "clear" `Quick test_clear;
       Alcotest.test_case "growth to 1000" `Quick test_growth;
+      Alcotest.test_case "cancel a token" `Quick test_cancel_token;
+      Alcotest.test_case "cancel is idempotent" `Quick test_cancel_idempotent;
+      Alcotest.test_case "cancel after fire" `Quick test_cancel_after_fire_is_noop;
+      Alcotest.test_case "peek skips cancelled head" `Quick test_cancelled_head_peek;
+      Alcotest.test_case "clear invalidates tokens" `Quick
+        test_clear_invalidates_tokens;
       QCheck_alcotest.to_alcotest prop_stable_sort;
       QCheck_alcotest.to_alcotest prop_interleaved_push_pop;
+      QCheck_alcotest.to_alcotest prop_cancel_subset;
     ] )

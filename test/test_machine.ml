@@ -11,6 +11,7 @@ let params =
     prop_intra = 20;
     prop_inter = 100;
     queue_slots = 7;
+    coalesce = 1;
   }
 
 let mk () : string Machine.t =
@@ -245,6 +246,61 @@ let test_note_phase () =
   | [ { Ci_obs.Event.kind = Ci_obs.Event.Phase { node = 0; phase = "election" }; _ } ] -> ()
   | l -> Alcotest.failf "expected one phase event, got %d" (List.length l)
 
+(* Receive coalescing: with a budget > 1 a burst of messages to one
+   node drains in fewer reception charges than messages, in arrival
+   order, and the burst finishes sooner than uncoalesced. *)
+let burst_finish_time ~coalesce =
+  let m : string Machine.t =
+    Machine.create ~topology:Topology.opteron_48
+      ~params:{ params with Net_params.coalesce }
+      ()
+  in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  let got = ref [] in
+  Machine.set_handler b (fun ~src:_ msg -> got := msg :: !got);
+  for i = 1 to 8 do
+    Machine.send a ~dst:(Machine.node_id b) (string_of_int i)
+  done;
+  Machine.run m;
+  Alcotest.(check (list string))
+    "all delivered in arrival order"
+    (List.init 8 (fun i -> string_of_int (i + 1)))
+    (List.rev !got);
+  (Machine.now m, Machine.coalescing_totals m)
+
+let test_coalescing_amortizes_receptions () =
+  let t_off, (g_off, d_off) = burst_finish_time ~coalesce:1 in
+  let t_on, (g_on, d_on) = burst_finish_time ~coalesce:8 in
+  Alcotest.(check (pair int int)) "no ports at budget 1" (0, 0) (g_off, d_off);
+  Alcotest.(check int) "port saw the whole burst" 8 d_on;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer reception charges than messages (%d groups)" g_on)
+    true (g_on < 8);
+  Alcotest.(check bool)
+    (Printf.sprintf "burst finishes sooner coalesced (%d vs %d)" t_on t_off)
+    true
+    (t_on < t_off)
+
+let test_coalescing_single_message_degenerates () =
+  (* One lone message through a port costs exactly the uncoalesced
+     recv + handler path. *)
+  let m : string Machine.t =
+    Machine.create ~topology:Topology.opteron_48
+      ~params:{ params with Net_params.coalesce = 8 }
+      ()
+  in
+  let a = Machine.add_node m ~core:0 in
+  let b = Machine.add_node m ~core:1 in
+  let at = ref (-1) in
+  Machine.set_handler b (fun ~src:_ _ -> at := Machine.now m);
+  Machine.send a ~dst:(Machine.node_id b) "solo";
+  Machine.run m;
+  (* send 5 + prop_intra 20 + recv 5 + handler 10 = 40, as uncoalesced *)
+  Alcotest.(check int) "same cost as the legacy path" 40 !at;
+  Alcotest.(check (pair int int)) "one group of one" (1, 1)
+    (Machine.coalescing_totals m)
+
 let suite =
   ( "machine",
     [
@@ -264,4 +320,8 @@ let suite =
       Alcotest.test_case "self-delivery counters" `Quick test_self_delivery_counters;
       Alcotest.test_case "observer trace events" `Quick test_observer_events;
       Alcotest.test_case "note_phase" `Quick test_note_phase;
+      Alcotest.test_case "coalescing amortizes receptions" `Quick
+        test_coalescing_amortizes_receptions;
+      Alcotest.test_case "coalescing solo message degenerates" `Quick
+        test_coalescing_single_message_degenerates;
     ] )

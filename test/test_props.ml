@@ -68,6 +68,55 @@ let safety_prop protocol name =
         QCheck.Test.fail_reportf "%a" Consistency.pp r.Runner.consistency
       else true)
 
+(* The batching layer must preserve every safety property at every
+   (batch size, pipeline depth) point, under the same randomized fault
+   schedules — including leadership changes that force the leader to
+   requeue a half-full batch. *)
+let batched_scenario_gen =
+  QCheck.Gen.(
+    let* sc = scenario_gen in
+    let* batch = oneofl [ 1; 2; 4; 8 ] in
+    let* pipeline = oneofl [ 0; 1; 2; 8 ] in
+    let* coalesce = oneofl [ 1; 4 ] in
+    return (sc, batch, pipeline, coalesce))
+
+let batched_scenario =
+  QCheck.make
+    ~print:(fun (sc, batch, pipeline, coalesce) ->
+      Printf.sprintf "%s batch=%d pipeline=%d coalesce=%d" (scenario_print sc)
+        batch pipeline coalesce)
+    batched_scenario_gen
+
+let run_batched protocol ((seed, faults, clients, read_pct), batch, pipeline, coalesce)
+    =
+  let spec =
+    {
+      (Runner.default_spec ~protocol
+         ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = clients }))
+      with
+      Runner.topology = Ci_machine.Topology.opteron_8;
+      duration = Sim_time.ms 40;
+      warmup = Sim_time.ms 2;
+      drain = Sim_time.ms 30;
+      seed;
+      read_ratio = float_of_int read_pct /. 100.;
+      timeout = Sim_time.ms 1;
+      faults;
+      batch;
+      pipeline;
+      params =
+        { Ci_machine.Net_params.multicore with Ci_machine.Net_params.coalesce };
+    }
+  in
+  Runner.run spec
+
+let batched_safety_prop protocol name =
+  QCheck.Test.make ~name ~count:40 batched_scenario (fun sc ->
+      let r = run_batched protocol sc in
+      if not (Consistency.ok r.Runner.consistency) then
+        QCheck.Test.fail_reportf "%a" Consistency.pp r.Runner.consistency
+      else true)
+
 (* Liveness under recoverable faults: if every fault window closes well
    before the end of the run and spares a majority... we assert the
    weaker, always-true property that commits made before the first
@@ -159,6 +208,12 @@ let suite =
         (safety_prop Runner.Mencius "mencius safety under random faults");
       QCheck_alcotest.to_alcotest
         (safety_prop Runner.Cheappaxos "cheap paxos safety under random faults");
+      QCheck_alcotest.to_alcotest
+        (batched_safety_prop Runner.Onepaxos
+           "1paxos safety across the (batch, pipeline) grid");
+      QCheck_alcotest.to_alcotest
+        (batched_safety_prop Runner.Multipaxos
+           "multipaxos safety across the (batch, pipeline) grid");
       QCheck_alcotest.to_alcotest recovery_prop;
       QCheck_alcotest.to_alcotest determinism_prop;
       Alcotest.test_case "regression: 1paxos stale takeover split-brain" `Slow

@@ -4,6 +4,7 @@ module Runner = Ci_workload.Runner
 module Fault_plan = Ci_workload.Fault_plan
 module Sim_time = Ci_engine.Sim_time
 module Topology = Ci_machine.Topology
+module Net_params = Ci_machine.Net_params
 
 let quick_spec ?(protocol = Runner.Onepaxos) ?(placement = Runner.Dedicated { n_replicas = 3; n_clients = 3 }) () =
   {
@@ -138,7 +139,7 @@ let test_window_split_sums () =
    commit costs 5 boundary-crossing messages under 1Paxos and 10 under
    Multi-Paxos and 2PC (request, 2(n-1) protocol messages with n = 3,
    reply — minus collapsed-role self-deliveries). *)
-let messages_per_commit protocol =
+let messages_per_commit ?(batch = 1) ?(pipeline = 0) protocol =
   let spec =
     {
       (Runner.default_spec ~protocol
@@ -147,6 +148,8 @@ let messages_per_commit protocol =
       Runner.duration = Sim_time.ms 20;
       warmup = Sim_time.ms 5;
       drain = Sim_time.ms 5;
+      batch;
+      pipeline;
     }
   in
   let r = Runner.run spec in
@@ -165,6 +168,50 @@ let test_sec4_3_message_counts () =
   check_ratio "1paxos" 5. (messages_per_commit Runner.Onepaxos);
   check_ratio "multipaxos" 10. (messages_per_commit Runner.Multipaxos);
   check_ratio "2pc" 10. (messages_per_commit Runner.Twopc)
+
+(* With the batching layer switched on but degenerate (one command per
+   instance, pipeline depth 1) the wire cost must not change: the §4.3
+   table still reads 5 and 10 messages per commit. *)
+let test_sec4_3_pinned_under_batch_layer () =
+  check_ratio "1paxos batch layer on"
+    5. (messages_per_commit ~batch:1 ~pipeline:1 Runner.Onepaxos);
+  check_ratio "multipaxos batch layer on"
+    10. (messages_per_commit ~batch:1 ~pipeline:1 Runner.Multipaxos)
+
+let test_batching_improves_throughput () =
+  let spec batch pipeline coalesce =
+    {
+      (Runner.default_spec ~protocol:Runner.Onepaxos
+         ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 44 }))
+      with
+      Runner.duration = Sim_time.ms 20;
+      warmup = Sim_time.ms 4;
+      batch;
+      pipeline;
+      params = { Net_params.multicore with Net_params.coalesce };
+    }
+  in
+  let base = Runner.run (spec 1 0 1) in
+  let batched = Runner.run (spec 8 8 16) in
+  Alcotest.(check bool) "baseline consistent" true
+    (Ci_rsm.Consistency.ok base.Runner.consistency);
+  Alcotest.(check bool) "batched run consistent" true
+    (Ci_rsm.Consistency.ok batched.Runner.consistency);
+  Alcotest.(check bool)
+    (Printf.sprintf "batch=8 at least 1.9x the legacy path (%.0f vs %.0f)"
+       batched.Runner.throughput base.Runner.throughput)
+    true
+    (batched.Runner.throughput >= 1.9 *. base.Runner.throughput);
+  Alcotest.(check bool) "engine event counter populated" true
+    (batched.Runner.sim_events > 0);
+  let module Metrics = Ci_obs.Metrics in
+  Alcotest.(check int) "no coalescing groups without ports" 0
+    (Metrics.get_int base.Runner.metrics "coalesce.groups");
+  Alcotest.(check bool) "coalescing engaged when budget > 1" true
+    (Metrics.get_int batched.Runner.metrics "coalesce.groups" > 0);
+  Alcotest.(check bool) "coalescing amortized receptions" true
+    (Metrics.get_int batched.Runner.metrics "coalesce.messages"
+     > Metrics.get_int batched.Runner.metrics "coalesce.groups")
 
 let test_core_usage_populated () =
   let r = Runner.run (quick_spec ()) in
@@ -257,6 +304,10 @@ let suite =
       Alcotest.test_case "protocol names" `Quick test_protocol_names;
       Alcotest.test_case "window split arithmetic" `Quick test_window_split_sums;
       Alcotest.test_case "4.3 messages per commit" `Quick test_sec4_3_message_counts;
+      Alcotest.test_case "4.3 pinned under batch layer" `Quick
+        test_sec4_3_pinned_under_batch_layer;
+      Alcotest.test_case "batching raises peak throughput" `Quick
+        test_batching_improves_throughput;
       Alcotest.test_case "core usage populated" `Quick test_core_usage_populated;
       Alcotest.test_case "joint self-deliveries" `Quick test_joint_self_deliveries;
       Alcotest.test_case "change counters: max vs sum" `Quick

@@ -104,6 +104,44 @@ let test_same_time_fifo () =
   Alcotest.(check (list int)) "FIFO at equal instants" [ 1; 2; 3; 4; 5 ]
     (List.rev !log)
 
+let test_cancellable_timer () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  let t1 = Sim.schedule_cancellable sim ~delay:10 (fun () -> fired := 1 :: !fired) in
+  let _t2 = Sim.schedule_cancellable sim ~delay:20 (fun () -> fired := 2 :: !fired) in
+  Sim.cancel sim t1;
+  Sim.run sim;
+  Alcotest.(check (list int)) "only the live timer fires" [ 2 ] (List.rev !fired);
+  Alcotest.(check int) "clock at the live timer" 20 (Sim.now sim)
+
+let test_cancel_from_handler () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let tm = Sim.schedule_cancellable sim ~delay:20 (fun () -> fired := true) in
+  Sim.schedule sim ~delay:10 (fun () -> Sim.cancel sim tm);
+  Sim.run sim;
+  Alcotest.(check bool) "timer cancelled mid-run" false !fired
+
+let test_events_fired_excludes_cancelled () =
+  let sim = Sim.create () in
+  Sim.schedule sim ~delay:1 ignore;
+  Sim.schedule sim ~delay:2 ignore;
+  let tm = Sim.schedule_cancellable sim ~delay:3 ignore in
+  Sim.cancel sim tm;
+  Sim.run sim;
+  Alcotest.(check int) "two events executed" 2 (Sim.events_fired sim);
+  Sim.schedule sim ~delay:1 ignore;
+  Sim.run sim;
+  Alcotest.(check int) "counter is cumulative" 3 (Sim.events_fired sim)
+
+let test_pending_excludes_cancelled () =
+  let sim = Sim.create () in
+  let tm = Sim.schedule_cancellable sim ~delay:5 ignore in
+  Sim.schedule sim ~delay:6 ignore;
+  Alcotest.(check int) "both pending" 2 (Sim.pending sim);
+  Sim.cancel sim tm;
+  Alcotest.(check int) "cancelled not pending" 1 (Sim.pending sim)
+
 let suite =
   ( "sim",
     [
@@ -118,4 +156,10 @@ let suite =
       Alcotest.test_case "stop and resume" `Quick test_stop;
       Alcotest.test_case "max_events budget" `Quick test_max_events;
       Alcotest.test_case "same-instant FIFO" `Quick test_same_time_fifo;
+      Alcotest.test_case "cancellable timer" `Quick test_cancellable_timer;
+      Alcotest.test_case "cancel from a handler" `Quick test_cancel_from_handler;
+      Alcotest.test_case "events_fired excludes cancelled" `Quick
+        test_events_fired_excludes_cancelled;
+      Alcotest.test_case "pending excludes cancelled" `Quick
+        test_pending_excludes_cancelled;
     ] )

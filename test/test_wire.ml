@@ -49,6 +49,8 @@ let test_kind_total () =
       Op_abandon { hpn = pn };
       Op_accept_request { inst = 0; pn; v = value };
       Op_learn { inst = 0; v = value };
+      Op_accept_batch { base = 0; pn; vs = [| value |] };
+      Op_learn_batch { base = 0; vs = [| value |] };
       Pu_prepare { cseq = 0; pn };
       Pu_promise { cseq = 0; pn; accepted = None; chosen_suffix = [] };
       Pu_reject { cseq = 0; pn; chosen_suffix = [] };
@@ -76,6 +78,8 @@ let test_kind_total () =
       Mp_reject { pn };
       Mp_accept { inst = 0; pn; v = value };
       Mp_learn { inst = 0; pn; v = value };
+      Mp_accept_batch { base = 0; pn; vs = [| value |] };
+      Mp_learn_batch { base = 0; pn; vs = [| value |] };
       Tp_prepare { inst = 0; v = value };
       Tp_ack { inst = 0 };
       Tp_commit { inst = 0; v = value };
