@@ -2,15 +2,25 @@
    evaluation (sections E1..E9 below, indexed in DESIGN.md) and finishes
    with a bechamel micro-benchmark suite of the building blocks.
 
-   Usage: main.exe [section ...]
+   Usage: main.exe [--jobs N] [section ...]
    Sections: netchar fig2 latency fig8 fig9 fig10 fig11 sec2_2 lan
-             ablation batching protocols metrics engine micro (default: all). *)
+             ablation batching protocols metrics engine micro (default: all).
+
+   [--jobs N] (or CI_JOBS) fans the independent simulation runs inside
+   each section out over N domains; the printed figures are
+   byte-identical at any N. With N > 1 the figure sections are re-timed
+   at jobs=1 (output suppressed) and a per-section wall-clock
+   comparison table is printed at the end. *)
 
 module E = Ci_workload.Experiments
+module Pool = Ci_workload.Pool
 module Sim_time = Ci_engine.Sim_time
 
-(* Wall-clock per section, collected for BENCH_engine.json. *)
+(* Wall-clock per section, collected for BENCH_engine.json. The sink is
+   swapped when re-timing sections at jobs=1. *)
 let section_walls : (string * float) list ref = ref []
+let section_walls_j1 : (string * float) list ref = ref []
+let walls_sink = ref section_walls
 
 let section name paper_note f =
   Format.printf "@.======================================================================@.";
@@ -20,56 +30,75 @@ let section name paper_note f =
   let t0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
-  section_walls := (name, wall) :: !section_walls;
+  !walls_sink := (name, wall) :: !(!walls_sink);
   Format.printf "[section wall-clock: %.2fs]@." wall;
   Format.print_flush ()
 
-let netchar () =
+(* Run [f] with formatter output discarded — used to re-time a section
+   at jobs=1 without printing its (byte-identical) figures twice. *)
+let quietly f =
+  Format.print_flush ();
+  let old = Format.get_formatter_out_functions () in
+  Format.set_formatter_out_functions
+    {
+      Format.out_string = (fun _ _ _ -> ());
+      out_flush = ignore;
+      out_newline = ignore;
+      out_spaces = ignore;
+      out_indent = ignore;
+    };
+  Fun.protect
+    ~finally:(fun () ->
+      Format.print_flush ();
+      Format.set_formatter_out_functions old)
+    f
+
+let netchar ~jobs =
   section "E1. Network characteristics (Section 3)"
     "multicore: trans 0.5us, prop 0.55us, ratio ~1; LAN: 2us / 135us, ratio ~0.015"
-    (fun () -> Format.printf "%a" E.pp_netchar (E.netchar ()))
+    (fun () -> Format.printf "%a" E.pp_netchar (E.netchar ~jobs ()))
 
-let fig2 () =
+let fig2 ~jobs =
   section "E2. Figure 2: Multi-Paxos scalability, LAN vs multicore"
     "LAN keeps improving up to ~100 clients; multicore saturates after ~3 clients"
-    (fun () -> Format.printf "%a" E.pp_series (E.fig2 ()))
+    (fun () -> Format.printf "%a" E.pp_series (E.fig2 ~jobs ()))
 
-let latency () =
+let latency ~jobs =
   section "E4. Section 7.2: single-client commit latency"
     "1Paxos 16us < Multi-Paxos 19.6us < 2PC 21.4us"
-    (fun () -> Format.printf "%a" E.pp_latency_table (E.latency_table ()))
+    (fun () -> Format.printf "%a" E.pp_latency_table (E.latency_table ~jobs ()))
 
-let fig8 () =
+let fig8 ~jobs =
   section "E5. Figure 8: latency vs throughput, 1..45 clients, 3 replicas"
     "1Paxos scales ~2x from 1 client and peaks ~2x Multi-Paxos (52%) and 2PC (48%)"
-    (fun () -> Format.printf "%a" E.pp_series (E.fig8 ()))
+    (fun () -> Format.printf "%a" E.pp_series (E.fig8 ~jobs ()))
 
-let fig9 () =
+let fig9 ~jobs =
   section "E6. Figure 9: joint deployment, throughput vs number of replicas"
     "1Paxos-Joint grows ~linearly to 47 nodes; others peak ~20 nodes then decline"
-    (fun () -> Format.printf "%a" E.pp_series (E.fig9 ()))
+    (fun () -> Format.printf "%a" E.pp_series (E.fig9 ~jobs ()))
 
-let fig10 () =
+let fig10 ~jobs =
   section "E7. Figure 10: 2PC-Joint read mixes vs 1Paxos"
     "2PC-Joint improves with read share; at 75% reads 3 clients it rivals 1Paxos, \
      but more clients erode it"
-    (fun () -> Format.printf "%a" E.pp_bars (E.fig10 ()))
+    (fun () -> Format.printf "%a" E.pp_bars (E.fig10 ~jobs ()))
 
-let fig11 () =
+let fig11 ~jobs =
   section "E8. Figure 11: 1Paxos throughput while the leader becomes slow"
     "throughput dips during the leader change, then recovers to the same level"
-    (fun () -> Format.printf "%a" E.pp_timelines (E.fig11 ()))
+    (fun () -> Format.printf "%a" E.pp_timelines (E.fig11 ~jobs ()))
 
-let sec2_2 () =
+let sec2_2 ~jobs =
   section "E3. Section 2.2: 2PC throughput while the coordinator becomes slow"
     "after the coordinator slows down, throughput drops to ~zero and stays there"
-    (fun () -> Format.printf "%a" E.pp_timelines (E.sec2_2 ()))
+    (fun () -> Format.printf "%a" E.pp_timelines (E.sec2_2 ~jobs ()))
 
-let lan () =
+let lan ~jobs =
   section "E9. Section 8: 1Paxos vs Multi-Paxos over an IP network"
     "1Paxos improved throughput by a factor of ~2.88 over Multi-Paxos"
     (fun () ->
-      let series = E.lan_1paxos () in
+      let series = E.lan_1paxos ~jobs () in
       Format.printf "%a" E.pp_series series;
       match series with
       | [ mp; op ] ->
@@ -79,33 +108,33 @@ let lan () =
         Format.printf "peak ratio (1Paxos / Multi-Paxos): %.2f@." (peak op /. peak mp)
       | _ -> ())
 
-let protocols () =
+let protocols ~jobs =
   section "A4. Related protocols (Section 8): all five on one machine"
     "Mencius spreads the leader load; Cheap Paxos needs 6 msgs/commit, 1Paxos 5"
-    (fun () -> Format.printf "%a" E.pp_series (E.protocol_comparison ()));
+    (fun () -> Format.printf "%a" E.pp_series (E.protocol_comparison ~jobs ()));
   section "A5. The same five protocols on rack-scale RDMA (Section 9 outlook)"
     "no inter-machine cache coherence; 1Paxos as the software coherence layer"
     (fun () ->
       Format.printf "%a" E.pp_series
-        (E.protocol_comparison ~params:Ci_machine.Net_params.rdma ()))
+        (E.protocol_comparison ~jobs ~params:Ci_machine.Net_params.rdma ()))
 
-let ablation () =
+let ablation ~jobs =
   section "A1. Ablation: acceptor placement under a slow leader (Section 5.4)"
     "colocating leader and acceptor couples their failure domains"
-    (fun () -> Format.printf "%a" E.pp_series (E.ablation_placement ()));
+    (fun () -> Format.printf "%a" E.pp_series (E.ablation_placement ~jobs ()));
   section "A2. Ablation: channel slot count (Section 6.1: QC-libtask uses 7)"
     "single-slot queues serialize on the head pointer round trip"
-    (fun () -> Format.printf "%a" E.pp_series (E.ablation_slots ()));
+    (fun () -> Format.printf "%a" E.pp_series (E.ablation_slots ~jobs ()));
   section "A3. Ablation: 1Paxos advantage as propagation grows towards IP delays"
     "the message-count saving is a transmission-delay phenomenon"
-    (fun () -> Format.printf "%a" E.pp_series (E.ablation_ratio ()))
+    (fun () -> Format.printf "%a" E.pp_series (E.ablation_ratio ~jobs ()))
 
-let batching () =
+let batching ~jobs =
   section "A6. Ablation: leader batching (1Paxos and Multi-Paxos, 44 clients)"
     "this reproduction's addition: one consensus instance per batch amortizes \
      the leader's per-message transmission cost"
     (fun () ->
-      let series = E.ablation_batch () in
+      let series = E.ablation_batch ~jobs () in
       Format.printf "%a" E.pp_series series;
       let peak_of (s : E.series) =
         List.fold_left (fun m (p : E.point) -> Float.max m p.E.throughput) 0. s.E.points
@@ -120,10 +149,10 @@ let batching () =
         series);
   section "A7. Ablation: pipeline depth (batch 8, coalesce 16)"
     "depth 1 is stop-and-wait per batch; a small window hides the accept round trip"
-    (fun () -> Format.printf "%a" E.pp_series (E.ablation_pipeline ()));
+    (fun () -> Format.printf "%a" E.pp_series (E.ablation_pipeline ~jobs ()));
   section "A8. Ablation: receive coalescing budget (batch 8, pipeline 8)"
     "draining k queued messages per reception charge models vectored reads"
-    (fun () -> Format.printf "%a" E.pp_series (E.ablation_coalesce ()))
+    (fun () -> Format.printf "%a" E.pp_series (E.ablation_coalesce ~jobs ()))
 
 (* ----- engine self-benchmark --------------------------------------------- *)
 
@@ -134,6 +163,10 @@ type engine_stats = {
   run_events_per_sec : float;
   run_alloc_words : float;
   run_throughput : float;
+  jobs : int;
+  batch_wall_j1 : float;  (* fixed 8-run batch at jobs=1 *)
+  batch_wall_jn : float;  (* the same batch at jobs=N *)
+  parallel_speedup : float;
 }
 
 let engine_stats : engine_stats option ref = ref None
@@ -142,7 +175,7 @@ let alloc_words () =
   let s = Gc.quick_stat () in
   s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
 
-let engine () =
+let engine ~jobs =
   section "Engine self-benchmark"
     "host-side speed of the simulation engine itself (not simulated time)"
     (fun () ->
@@ -179,6 +212,41 @@ let engine () =
          %.1f M words allocated, simulated %.0f op/s@."
         run_wall_s r.Runner.sim_events run_events_per_sec
         (run_alloc_words /. 1e6) r.Runner.throughput;
+      Format.printf "allocation: %.1f words/event@."
+        (run_alloc_words /. float_of_int r.Runner.sim_events);
+      (* Parallel batch: the same experiment shape at 8 different seeds,
+         once on one domain and once on [jobs] — the controlled speedup
+         measurement behind BENCH_engine.json's parallel_speedup. *)
+      let specs =
+        Array.init 8 (fun i ->
+            {
+              (Runner.default_spec ~protocol:Runner.Onepaxos
+                 ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 13 }))
+              with
+              Runner.seed = 42 + i;
+            })
+      in
+      let fingerprint (r : Runner.result) =
+        (r.Runner.sim_events, r.Runner.commits, r.Runner.throughput)
+      in
+      let timed f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let r1, batch_wall_j1 =
+        timed (fun () -> Pool.parallel_map ~jobs:1 Runner.run specs)
+      in
+      let rn, batch_wall_jn =
+        timed (fun () -> Pool.parallel_map ~jobs Runner.run specs)
+      in
+      if Array.map fingerprint r1 <> Array.map fingerprint rn then
+        failwith "engine: parallel batch results differ across jobs";
+      let parallel_speedup = batch_wall_j1 /. batch_wall_jn in
+      Format.printf
+        "parallel batch (8 seeds): jobs=1 %.2fs, jobs=%d %.2fs, speedup \
+         %.2fx, results identical@."
+        batch_wall_j1 jobs batch_wall_jn parallel_speedup;
       engine_stats :=
         Some
           {
@@ -188,7 +256,17 @@ let engine () =
             run_events_per_sec;
             run_alloc_words;
             run_throughput = r.Runner.throughput;
+            jobs;
+            batch_wall_j1;
+            batch_wall_jn;
+            parallel_speedup;
           })
+
+let json_escape name =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length name) (String.get name)))
 
 let write_bench_json () =
   match !engine_stats with
@@ -207,30 +285,40 @@ let write_bench_json () =
     Buffer.add_string buf
       (Printf.sprintf "  \"run_alloc_words\": %.0f,\n" s.run_alloc_words);
     Buffer.add_string buf
+      (Printf.sprintf "  \"alloc_words_per_event\": %.2f,\n"
+         (s.run_alloc_words /. float_of_int s.run_sim_events));
+    Buffer.add_string buf
       (Printf.sprintf "  \"run_throughput_ops\": %.0f,\n" s.run_throughput);
-    Buffer.add_string buf "  \"section_wall_s\": {\n";
-    let walls = List.rev !section_walls in
-    List.iteri
-      (fun i (name, wall) ->
-        let escaped =
-          String.concat ""
-            (List.map
-               (function
-                 | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
-               (List.init (String.length name) (String.get name)))
-        in
-        Buffer.add_string buf
-          (Printf.sprintf "    \"%s\": %.4f%s\n" escaped wall
-             (if i = List.length walls - 1 then "" else ",")))
-      walls;
-    Buffer.add_string buf "  }\n}\n";
+    Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" s.jobs);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"batch_wall_s_jobs1\": %.4f,\n" s.batch_wall_j1);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"batch_wall_s_jobsN\": %.4f,\n" s.batch_wall_jn);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"parallel_speedup\": %.3f,\n" s.parallel_speedup);
+    let wall_map key walls close =
+      Buffer.add_string buf (Printf.sprintf "  \"%s\": {\n" key);
+      List.iteri
+        (fun i (name, wall) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    \"%s\": %.4f%s\n" (json_escape name) wall
+               (if i = List.length walls - 1 then "" else ",")))
+        walls;
+      Buffer.add_string buf (Printf.sprintf "  }%s\n" close)
+    in
+    let j1 = List.rev !section_walls_j1 in
+    wall_map "section_wall_s"
+      (List.rev !section_walls)
+      (if j1 = [] then "" else ",");
+    if j1 <> [] then wall_map "section_wall_s_jobs1" j1 "";
+    Buffer.add_string buf "}\n";
     let oc = open_out "BENCH_engine.json" in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (Buffer.contents buf));
     Format.printf "@.wrote BENCH_engine.json@."
 
-let metrics () =
+let metrics ~jobs:_ =
   section "M1. Metrics registry: one instrumented 1Paxos run (Section 4.3)"
     "per-window message counts, per-core utilization and channel back-pressure"
     (fun () ->
@@ -254,7 +342,7 @@ let metrics () =
 
 (* ----- bechamel micro-benchmarks ----------------------------------------- *)
 
-let micro () =
+let micro ~jobs:_ =
   section "Micro-benchmarks (bechamel)"
     "real-time cost of the simulator building blocks on this host"
     (fun () ->
@@ -344,19 +432,83 @@ let sections =
     ("micro", micro);
   ]
 
+(* Sections whose runs are fanned out over the pool — the ones worth
+   re-timing at jobs=1 for the comparison table. metrics/engine/micro
+   time themselves differently (single runs or self-calibrating). *)
+let serial_only = [ "metrics"; "engine"; "micro" ]
+
+let print_jobs_table ~jobs =
+  let j1 = List.rev !section_walls_j1 in
+  if j1 <> [] then begin
+    let jn = List.rev !section_walls in
+    Format.printf "@.Per-section wall-clock, jobs=1 vs jobs=%d:@." jobs;
+    Format.printf "%-55s %10s %10s %9s@." "section" "jobs=1(s)"
+      (Printf.sprintf "jobs=%d(s)" jobs)
+      "speedup";
+    List.iter
+      (fun (name, w1) ->
+        match List.assoc_opt name jn with
+        | Some wn ->
+          Format.printf "%-55s %10.2f %10.2f %8.2fx@." name w1 wn (w1 /. wn)
+        | None -> ())
+      j1;
+    let total_j1 = List.fold_left (fun a (_, w) -> a +. w) 0. j1 in
+    let total_jn =
+      List.fold_left
+        (fun a (n, w) -> if List.mem_assoc n j1 then a +. w else a)
+        0. jn
+    in
+    Format.printf "%-55s %10.2f %10.2f %8.2fx@." "TOTAL" total_j1 total_jn
+      (total_j1 /. total_jn)
+  end
+
 let () =
+  let jobs = ref (Pool.default_jobs ()) in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("--jobs" | "-j") :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> jobs := j
+       | _ ->
+         Format.eprintf "--jobs: expected a positive integer, got %S@." n;
+         exit 1);
+      parse acc rest
+    | s :: rest when String.length s > 7 && String.sub s 0 7 = "--jobs=" ->
+      (match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+       | Some j when j >= 1 -> jobs := j
+       | _ ->
+         Format.eprintf "--jobs: expected a positive integer, got %S@." s;
+         exit 1);
+      parse acc rest
+    | s :: rest -> parse (s :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | names -> names
   in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f -> f ~jobs:!jobs
       | None ->
         Format.eprintf "unknown section %S; available: %s@." name
           (String.concat " " (List.map fst sections));
         exit 1)
     requested;
+  if !jobs > 1 then begin
+    (* Second, silent pass at jobs=1 over the pool-driven sections for
+       the comparison table (figures are byte-identical, so only the
+       timing is interesting). *)
+    walls_sink := section_walls_j1;
+    List.iter
+      (fun name ->
+        if not (List.mem name serial_only) then
+          match List.assoc_opt name sections with
+          | Some f -> quietly (fun () -> f ~jobs:1)
+          | None -> ())
+      requested;
+    walls_sink := section_walls;
+    print_jobs_table ~jobs:!jobs
+  end;
   write_bench_json ()

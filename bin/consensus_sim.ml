@@ -182,31 +182,31 @@ let run_cmd =
 
 let figures_cmd =
   let sections :
-      (string * (unit ->
+      (string * (jobs:int ->
         [ `Series of E.series list
         | `Bars of E.bar list
         | `Timelines of E.timeline list
         | `Netchar of E.netchar_row list
         | `Latency of E.latency_row list ])) list =
     [
-      ("netchar", fun () -> `Netchar (E.netchar ()));
-      ("fig2", fun () -> `Series (E.fig2 ()));
-      ("latency", fun () -> `Latency (E.latency_table ()));
-      ("fig8", fun () -> `Series (E.fig8 ()));
-      ("fig9", fun () -> `Series (E.fig9 ()));
-      ("fig10", fun () -> `Bars (E.fig10 ()));
-      ("fig11", fun () -> `Timelines (E.fig11 ()));
-      ("sec2_2", fun () -> `Timelines (E.sec2_2 ()));
-      ("lan", fun () -> `Series (E.lan_1paxos ()));
-      ("ablation-placement", fun () -> `Series (E.ablation_placement ()));
-      ("ablation-slots", fun () -> `Series (E.ablation_slots ()));
-      ("ablation-ratio", fun () -> `Series (E.ablation_ratio ()));
-      ("ablation-batch", fun () -> `Series (E.ablation_batch ()));
-      ("ablation-pipeline", fun () -> `Series (E.ablation_pipeline ()));
-      ("ablation-coalesce", fun () -> `Series (E.ablation_coalesce ()));
-      ("protocols", fun () -> `Series (E.protocol_comparison ()));
+      ("netchar", fun ~jobs -> `Netchar (E.netchar ~jobs ()));
+      ("fig2", fun ~jobs -> `Series (E.fig2 ~jobs ()));
+      ("latency", fun ~jobs -> `Latency (E.latency_table ~jobs ()));
+      ("fig8", fun ~jobs -> `Series (E.fig8 ~jobs ()));
+      ("fig9", fun ~jobs -> `Series (E.fig9 ~jobs ()));
+      ("fig10", fun ~jobs -> `Bars (E.fig10 ~jobs ()));
+      ("fig11", fun ~jobs -> `Timelines (E.fig11 ~jobs ()));
+      ("sec2_2", fun ~jobs -> `Timelines (E.sec2_2 ~jobs ()));
+      ("lan", fun ~jobs -> `Series (E.lan_1paxos ~jobs ()));
+      ("ablation-placement", fun ~jobs -> `Series (E.ablation_placement ~jobs ()));
+      ("ablation-slots", fun ~jobs -> `Series (E.ablation_slots ~jobs ()));
+      ("ablation-ratio", fun ~jobs -> `Series (E.ablation_ratio ~jobs ()));
+      ("ablation-batch", fun ~jobs -> `Series (E.ablation_batch ~jobs ()));
+      ("ablation-pipeline", fun ~jobs -> `Series (E.ablation_pipeline ~jobs ()));
+      ("ablation-coalesce", fun ~jobs -> `Series (E.ablation_coalesce ~jobs ()));
+      ("protocols", fun ~jobs -> `Series (E.protocol_comparison ~jobs ()));
       ( "protocols-rdma",
-        fun () -> `Series (E.protocol_comparison ~params:Net_params.rdma ()) );
+        fun ~jobs -> `Series (E.protocol_comparison ~jobs ~params:Net_params.rdma ()) );
     ]
   in
   let names = List.map fst sections in
@@ -223,6 +223,16 @@ let figures_cmd =
       value & opt (some string) None
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Also write each section as CSV (plus a gnuplot script) into $(docv).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Ci_workload.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for a section's independent simulation runs \
+             (default: $(b,CI_JOBS) if set, else the core count). Output is \
+             byte-identical at any value.")
   in
   let emit name out result =
     (match result with
@@ -259,20 +269,24 @@ let figures_cmd =
       in
       List.iter (Format.printf "wrote %s@.") paths
   in
-  let run which out =
+  let run which out jobs =
+    if jobs < 1 then begin
+      Format.eprintf "--jobs must be >= 1@.";
+      exit 1
+    end;
     List.fold_left
       (fun code name ->
         match List.assoc_opt name sections with
         | Some f ->
           Format.printf "== %s ==@." name;
-          emit name out (f ());
+          emit name out (f ~jobs);
           code
         | None ->
           Format.eprintf "unknown section %S@." name;
           1)
       0 which
   in
-  let term = Term.(const run $ which $ out_dir) in
+  let term = Term.(const run $ which $ out_dir $ jobs) in
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.") term
 
 let () =

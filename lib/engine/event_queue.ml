@@ -149,6 +149,25 @@ let peek_time q =
   drop_dead q;
   if q.size = 0 then None else Some q.times.(0)
 
+(* Allocation-free variants of [peek_time]/[pop] for the simulator's
+   run loop: an [option] (and the [pop] pair) costs 7 words per event,
+   which dominates the engine's per-event budget once the rest of the
+   path is allocation-free. *)
+
+let no_event = max_int
+
+let next_time q =
+  drop_dead q;
+  if q.size = 0 then no_event else q.times.(0)
+
+let pop_payload q =
+  drop_dead q;
+  if q.size = 0 then invalid_arg "Event_queue.pop_payload: empty queue";
+  let payload = q.payloads.(0) in
+  (match q.tokens.(0) with Some tok -> tok.live <- false | None -> ());
+  remove_root q;
+  payload
+
 let clear q =
   for i = 0 to q.size - 1 do
     match q.tokens.(i) with Some tok -> tok.live <- false | None -> ()

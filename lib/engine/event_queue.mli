@@ -52,6 +52,19 @@ val peek_time : 'a t -> int option
 (** [peek_time q] is the timestamp of the earliest non-cancelled event,
     without removing it. *)
 
+val no_event : int
+(** Sentinel returned by {!next_time} on an empty queue ([max_int]). *)
+
+val next_time : 'a t -> int
+(** [next_time q] is {!peek_time} without the option: the timestamp of
+    the earliest non-cancelled event, or {!no_event} when the queue is
+    empty. Does not allocate. *)
+
+val pop_payload : 'a t -> 'a
+(** [pop_payload q] removes the earliest non-cancelled event and returns
+    just its payload (its timestamp is what {!next_time} returned).
+    Does not allocate. @raise Invalid_argument on an empty queue. *)
+
 val clear : 'a t -> unit
 (** [clear q] discards all pending events, releases every payload
     reference held by the queue (including slots retained by lazy

@@ -32,19 +32,21 @@ let events_fired t = t.fired
 
 let stop t = t.stopped <- true
 
+(* Both loops use the allocation-free [next_time]/[pop_payload] pair:
+   the option-and-pair API costs 7 words per event, which the engine
+   self-benchmark shows dominating the per-event budget otherwise. *)
 let run_until t ~time =
   t.stopped <- false;
   let continue = ref true in
   while !continue && not t.stopped do
-    match Event_queue.peek_time t.queue with
-    | Some ts when ts <= time ->
-      (match Event_queue.pop t.queue with
-       | Some (ts, f) ->
-         t.clock <- ts;
-         t.fired <- t.fired + 1;
-         f ()
-       | None -> continue := false)
-    | Some _ | None -> continue := false
+    let ts = Event_queue.next_time t.queue in
+    if ts <= time && ts <> Event_queue.no_event then begin
+      let f = Event_queue.pop_payload t.queue in
+      t.clock <- ts;
+      t.fired <- t.fired + 1;
+      f ()
+    end
+    else continue := false
   done;
   if not t.stopped && t.clock < time then t.clock <- time
 
@@ -56,11 +58,13 @@ let run ?max_events t =
   in
   let continue = ref true in
   while !continue && not t.stopped && budget_left () do
-    match Event_queue.pop t.queue with
-    | Some (ts, f) ->
+    let ts = Event_queue.next_time t.queue in
+    if ts = Event_queue.no_event then continue := false
+    else begin
+      let f = Event_queue.pop_payload t.queue in
       t.clock <- ts;
       incr fired;
       t.fired <- t.fired + 1;
       f ()
-    | None -> continue := false
+    end
   done

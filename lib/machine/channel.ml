@@ -1,5 +1,46 @@
 module Sim = Ci_engine.Sim
 
+(* Growable FIFO ring holding a message and its machine-wide sequence
+   number in parallel arrays (the int stays unboxed — previously each
+   hop boxed a [(origin, seq, msg)] tuple plus a [Queue] cell per
+   message). A popped slot keeps its payload reference until the slot
+   is overwritten by a later push — bounded by capacity, exactly like
+   the event queue's lazy slot reuse. *)
+type 'a ring = {
+  mutable r_seqs : int array;
+  mutable r_vals : 'a array;
+  mutable r_head : int;
+  mutable r_len : int;
+}
+
+let ring_create () = { r_seqs = [||]; r_vals = [||]; r_head = 0; r_len = 0 }
+
+let ring_push r ~seq v =
+  let cap = Array.length r.r_seqs in
+  if r.r_len = cap then begin
+    let new_cap = if cap = 0 then 16 else 2 * cap in
+    let ns = Array.make new_cap 0 and nv = Array.make new_cap v in
+    for i = 0 to r.r_len - 1 do
+      let j = (r.r_head + i) mod cap in
+      ns.(i) <- r.r_seqs.(j);
+      nv.(i) <- r.r_vals.(j)
+    done;
+    r.r_seqs <- ns;
+    r.r_vals <- nv;
+    r.r_head <- 0
+  end;
+  let slot = (r.r_head + r.r_len) mod Array.length r.r_seqs in
+  r.r_seqs.(slot) <- seq;
+  r.r_vals.(slot) <- v;
+  r.r_len <- r.r_len + 1
+
+let ring_head_seq r = r.r_seqs.(r.r_head)
+let ring_head_val r = r.r_vals.(r.r_head)
+
+let ring_drop r =
+  r.r_head <- (r.r_head + 1) mod Array.length r.r_seqs;
+  r.r_len <- r.r_len - 1
+
 type 'a t = {
   sim : Sim.t;
   capacity : int;
@@ -9,8 +50,10 @@ type 'a t = {
   src_cpu : Cpu.t;
   dst_cpu : Cpu.t;
   port : Rx_port.t option;
-  deliver : 'a -> unit;
-  outbox : 'a Queue.t;
+  deliver : seq:int -> 'a -> unit;
+  outbox : 'a ring; (* waiting for a slot credit *)
+  transit : 'a ring; (* transmission started, not yet arrived *)
+  rxq : 'a ring; (* arrived, reception cost being charged *)
   mutable credits : int;
   mutable sent_count : int;
   mutable delivered_count : int;
@@ -19,84 +62,115 @@ type 'a t = {
   mutable outbox_hwm : int; (* max messages waiting behind slot exhaustion *)
   mutable stall_since : int option; (* outbox head began waiting for a credit *)
   mutable stall_ns : int; (* cumulative credit-stall time *)
+  (* Per-message work is routed through these preallocated thunks; each
+     stage is FIFO per channel (cpu occupations complete in enqueue
+     order, propagation is constant), so the message travels through
+     the rings above instead of a chain of per-message closures. *)
+  mutable tx_done : unit -> unit;
+  mutable arrive : unit -> unit;
+  mutable rx_done : unit -> unit;
+  mutable credit_back : unit -> unit;
 }
 
-let create ?port sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu
-    ~deliver =
-  if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
-  {
-    sim;
-    capacity;
-    prop;
-    send_cost;
-    recv_cost;
-    src_cpu;
-    dst_cpu;
-    port;
-    deliver;
-    outbox = Queue.create ();
-    credits = capacity;
-    sent_count = 0;
-    delivered_count = 0;
-    blocked_count = 0;
-    occupancy_hwm = 0;
-    outbox_hwm = 0;
-    stall_since = None;
-    stall_ns = 0;
-  }
+let nop () = ()
 
-(* Receiver side: charge the reception cost, then return the slot credit
-   (visible to the sender one propagation delay later) and hand the
-   message to the application. With a coalescing port, the reception
-   charge is paid (and possibly shared) by the port's drain pass; the
-   per-channel completion below still runs once per message, in arrival
-   order. *)
-let rec receive t v =
-  let fin () =
-    Sim.schedule t.sim ~delay:t.prop (fun () ->
-        t.credits <- t.credits + 1;
-        (match t.stall_since with
-         | Some since ->
-           t.stall_ns <- t.stall_ns + (Sim.now t.sim - since);
-           t.stall_since <- None
-         | None -> ());
-        pump t);
-    t.delivered_count <- t.delivered_count + 1;
-    t.deliver v
-  in
-  match t.port with
-  | None -> Cpu.exec t.dst_cpu ~cost:t.recv_cost fin
-  | Some p -> Rx_port.enqueue p fin
+(* Receiver side, final stage: return the slot credit (visible to the
+   sender one propagation delay later) and hand the message to the
+   application. With a coalescing port, the reception charge is paid
+   (and possibly shared) by the port's drain pass; delivery still runs
+   once per message, in arrival order. *)
+let finish_delivery t ~seq v =
+  Sim.schedule t.sim ~delay:t.prop t.credit_back;
+  t.delivered_count <- t.delivered_count + 1;
+  t.deliver ~seq v
 
 (* Sender side: while slots are free, charge the transmission cost for
    the next outbox message; on completion the message propagates to the
    receiver. *)
-and pump t =
-  while t.credits > 0 && not (Queue.is_empty t.outbox) do
+let pump t =
+  while t.credits > 0 && t.outbox.r_len > 0 do
     t.credits <- t.credits - 1;
     let occupied = t.capacity - t.credits in
     if occupied > t.occupancy_hwm then t.occupancy_hwm <- occupied;
-    let v = Queue.pop t.outbox in
-    Cpu.exec t.src_cpu ~cost:t.send_cost (fun () ->
-        t.sent_count <- t.sent_count + 1;
-        Sim.schedule t.sim ~delay:t.prop (fun () -> receive t v))
+    ring_push t.transit ~seq:(ring_head_seq t.outbox) (ring_head_val t.outbox);
+    ring_drop t.outbox;
+    Cpu.exec t.src_cpu ~cost:t.send_cost t.tx_done
   done;
-  if t.credits = 0 && (not (Queue.is_empty t.outbox)) && t.stall_since = None
-  then t.stall_since <- Some (Sim.now t.sim)
+  if t.credits = 0 && t.outbox.r_len > 0 && t.stall_since = None then
+    t.stall_since <- Some (Sim.now t.sim)
 
-let send t v =
+let create ?port sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu
+    ~deliver =
+  if capacity <= 0 then invalid_arg "Channel.create: capacity must be positive";
+  let t =
+    {
+      sim;
+      capacity;
+      prop;
+      send_cost;
+      recv_cost;
+      src_cpu;
+      dst_cpu;
+      port;
+      deliver;
+      outbox = ring_create ();
+      transit = ring_create ();
+      rxq = ring_create ();
+      credits = capacity;
+      sent_count = 0;
+      delivered_count = 0;
+      blocked_count = 0;
+      occupancy_hwm = 0;
+      outbox_hwm = 0;
+      stall_since = None;
+      stall_ns = 0;
+      tx_done = nop;
+      arrive = nop;
+      rx_done = nop;
+      credit_back = nop;
+    }
+  in
+  t.tx_done <-
+    (fun () ->
+      t.sent_count <- t.sent_count + 1;
+      Sim.schedule t.sim ~delay:t.prop t.arrive);
+  t.arrive <-
+    (fun () ->
+      let seq = ring_head_seq t.transit and v = ring_head_val t.transit in
+      ring_drop t.transit;
+      match t.port with
+      | None ->
+        ring_push t.rxq ~seq v;
+        Cpu.exec t.dst_cpu ~cost:t.recv_cost t.rx_done
+      | Some p -> Rx_port.enqueue p (fun () -> finish_delivery t ~seq v));
+  t.rx_done <-
+    (fun () ->
+      let seq = ring_head_seq t.rxq and v = ring_head_val t.rxq in
+      ring_drop t.rxq;
+      finish_delivery t ~seq v);
+  t.credit_back <-
+    (fun () ->
+      t.credits <- t.credits + 1;
+      (match t.stall_since with
+       | Some since ->
+         t.stall_ns <- t.stall_ns + (Sim.now t.sim - since);
+         t.stall_since <- None
+       | None -> ());
+      pump t);
+  t
+
+let send t ~seq v =
   if t.credits = 0 then t.blocked_count <- t.blocked_count + 1;
-  Queue.push v t.outbox;
+  ring_push t.outbox ~seq v;
   pump t;
   (* Measured after pumping: only messages genuinely waiting behind slot
      exhaustion count, not the transit through the outbox. *)
-  let waiting = Queue.length t.outbox in
-  if waiting > t.outbox_hwm then t.outbox_hwm <- waiting
+  if t.outbox.r_len > t.outbox_hwm then t.outbox_hwm <- t.outbox.r_len
 
 let sent t = t.sent_count
 let delivered t = t.delivered_count
 let blocked_events t = t.blocked_count
-let outbox_length t = Queue.length t.outbox
+let outbox_length t = t.outbox.r_len
 let occupancy_peak t = t.occupancy_hwm
 let outbox_peak t = t.outbox_hwm
 

@@ -26,19 +26,22 @@ val create :
   recv_cost:Ci_engine.Sim_time.t ->
   src_cpu:Cpu.t ->
   dst_cpu:Cpu.t ->
-  deliver:('a -> unit) ->
+  deliver:(seq:int -> 'a -> unit) ->
   'a t
 (** [create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu
-    ~deliver] is a channel. [deliver] is invoked on the receiver side
-    after the reception cost has been charged, one message at a time, in
-    send order. [capacity] must be positive. When [port] is given,
-    reception costs are charged through the coalescing port (which may
-    share one reception charge across several queued messages, possibly
-    from other channels feeding the same port) instead of [recv_cost];
+    ~deliver] is a channel. [deliver ~seq v] is invoked on the receiver
+    side after the reception cost has been charged, one message at a
+    time, in send order, with the sequence tag the message was sent
+    under. [capacity] must be positive. When [port] is given, reception
+    costs are charged through the coalescing port (which may share one
+    reception charge across several queued messages, possibly from
+    other channels feeding the same port) instead of [recv_cost];
     credit return and delivery order per channel are unchanged. *)
 
-val send : 'a t -> 'a -> unit
-(** [send t v] queues [v] for transmission. Returns immediately; the
+val send : 'a t -> seq:int -> 'a -> unit
+(** [send t ~seq v] queues [v] for transmission, tagged with the
+    caller's sequence number [seq] (carried unboxed alongside the
+    message and handed back to [deliver]). Returns immediately; the
     transmission cost is charged asynchronously on the sender's core,
     and delivery follows after propagation and reception. *)
 

@@ -2,6 +2,8 @@ module Sim = Ci_engine.Sim
 
 type window = { from_ : int; until_ : int; factor : float }
 
+let nop () = ()
+
 type t = {
   sim : Sim.t;
   core_id : int;
@@ -12,20 +14,72 @@ type t = {
   mutable depth_peak : int;
   mutable slowed : int; (* wall-clock ns of occupation inside slowdown windows *)
   mutable on_busy : (start:int -> finish:int -> unit) option;
+  (* Completion ring: occupations complete in enqueue order ([free] is
+     monotone and the event queue breaks time ties in insertion order),
+     so the continuation and its start instant live in a FIFO of
+     unboxed slots and one preallocated completion thunk serves every
+     [exec] — nothing is boxed per occupation. *)
+  mutable rq_start : int array;
+  mutable rq_k : (unit -> unit) array;
+  mutable rq_head : int;
+  mutable rq_len : int;
+  mutable on_done : unit -> unit;
 }
 
 let create sim ~id =
-  {
-    sim;
-    core_id = id;
-    windows = [];
-    free = 0;
-    busy = 0;
-    depth = 0;
-    depth_peak = 0;
-    slowed = 0;
-    on_busy = None;
-  }
+  let t =
+    {
+      sim;
+      core_id = id;
+      windows = [];
+      free = 0;
+      busy = 0;
+      depth = 0;
+      depth_peak = 0;
+      slowed = 0;
+      on_busy = None;
+      rq_start = Array.make 16 0;
+      rq_k = Array.make 16 nop;
+      rq_head = 0;
+      rq_len = 0;
+      on_done = nop;
+    }
+  in
+  t.on_done <-
+    (fun () ->
+      let cap = Array.length t.rq_k in
+      let i = t.rq_head in
+      let start = t.rq_start.(i) and k = t.rq_k.(i) in
+      t.rq_k.(i) <- nop;
+      t.rq_head <- (i + 1) mod cap;
+      t.rq_len <- t.rq_len - 1;
+      t.depth <- t.depth - 1;
+      (match t.on_busy with
+       | Some f ->
+         let finish = Sim.now t.sim in
+         if finish > start then f ~start ~finish
+       | None -> ());
+      k ());
+  t
+
+let ring_push t start k =
+  let cap = Array.length t.rq_k in
+  if t.rq_len = cap then begin
+    let new_cap = 2 * cap in
+    let ns = Array.make new_cap 0 and nk = Array.make new_cap nop in
+    for i = 0 to t.rq_len - 1 do
+      let j = (t.rq_head + i) mod cap in
+      ns.(i) <- t.rq_start.(j);
+      nk.(i) <- t.rq_k.(j)
+    done;
+    t.rq_start <- ns;
+    t.rq_k <- nk;
+    t.rq_head <- 0
+  end;
+  let slot = (t.rq_head + t.rq_len) mod Array.length t.rq_k in
+  t.rq_start.(slot) <- start;
+  t.rq_k.(slot) <- k;
+  t.rq_len <- t.rq_len + 1
 
 let id t = t.core_id
 
@@ -96,12 +150,8 @@ let exec t ~cost k =
   t.free <- finish;
   t.depth <- t.depth + 1;
   if t.depth > t.depth_peak then t.depth_peak <- t.depth;
-  Sim.schedule_at t.sim ~time:finish (fun () ->
-      t.depth <- t.depth - 1;
-      (match t.on_busy with
-       | Some f when finish > start -> f ~start ~finish
-       | Some _ | None -> ());
-      k ())
+  ring_push t start k;
+  Sim.schedule_at t.sim ~time:finish t.on_done
 
 let free_at t = t.free
 let busy_total t = t.busy

@@ -7,6 +7,10 @@ type 'msg node = {
   ncore : int;
   owner : 'msg t;
   mutable handler : src:int -> 'msg -> unit;
+  (* Outgoing channels indexed by destination node id: the per-send
+     lookup was a [(src, dst)] hashtable probe that boxed a tuple key
+     and a [Some] per message. *)
+  mutable out : 'msg Channel.t option array;
 }
 
 and 'msg t = {
@@ -15,11 +19,12 @@ and 'msg t = {
   net : Net_params.t;
   cpus : Cpu.t array;
   nodes : (int, 'msg node) Hashtbl.t;
-  channels : (int * int, (int * int * 'msg) Channel.t) Hashtbl.t;
+  mutable all_channels : 'msg Channel.t list;
   ports : (int, Rx_port.t) Hashtbl.t; (* coalescing rx port per dst node *)
-  sent_counts : (int, int ref) Hashtbl.t;
-  recv_counts : (int, int ref) Hashtbl.t;
-  self_counts : (int, int ref) Hashtbl.t;
+  (* Per-node I/O counters, dense by node id (ids are sequential). *)
+  mutable sent_a : int array;
+  mutable recv_a : int array;
+  mutable self_a : int array;
   random : Rng.t;
   mutable next_id : int;
   mutable sent_total : int;
@@ -39,11 +44,11 @@ let create ?(seed = 42) ~topology ~params () =
     net = params;
     cpus = Array.init (Topology.n_cores topology) (fun i -> Cpu.create sim ~id:i);
     nodes = Hashtbl.create 64;
-    channels = Hashtbl.create 256;
+    all_channels = [];
     ports = Hashtbl.create 64;
-    sent_counts = Hashtbl.create 64;
-    recv_counts = Hashtbl.create 64;
-    self_counts = Hashtbl.create 64;
+    sent_a = Array.make 64 0;
+    recv_a = Array.make 64 0;
+    self_a = Array.make 64 0;
     random = Rng.create ~seed;
     next_id = 0;
     sent_total = 0;
@@ -61,30 +66,40 @@ let topology t = t.topo
 let params t = t.net
 let now t = Sim.now t.sim
 
-let counter table key =
-  match Hashtbl.find_opt table key with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add table key r;
-    r
-
 let emit t ~core ~label kind =
   match t.obs with
   | None -> ()
   | Some ring -> Event.emit ring { Event.time = Sim.now t.sim; core; label; kind }
 
+let grow_counters t =
+  let cap = Array.length t.sent_a in
+  if t.next_id >= cap then begin
+    let new_cap = 2 * cap in
+    let grow a =
+      let n = Array.make new_cap 0 in
+      Array.blit a 0 n 0 cap;
+      n
+    in
+    t.sent_a <- grow t.sent_a;
+    t.recv_a <- grow t.recv_a;
+    t.self_a <- grow t.self_a
+  end
+
 let add_node t ~core =
   if core < 0 || core >= Topology.n_cores t.topo then
     invalid_arg (Printf.sprintf "Machine.add_node: core %d out of range" core);
+  grow_counters t;
   let node =
-    { nid = t.next_id; ncore = core; owner = t; handler = (fun ~src:_ _ -> ()) }
+    {
+      nid = t.next_id;
+      ncore = core;
+      owner = t;
+      handler = (fun ~src:_ _ -> ());
+      out = [||];
+    }
   in
   t.next_id <- t.next_id + 1;
   Hashtbl.replace t.nodes node.nid node;
-  ignore (counter t.sent_counts node.nid);
-  ignore (counter t.recv_counts node.nid);
-  ignore (counter t.self_counts node.nid);
   node
 
 let node_id n = n.nid
@@ -118,33 +133,52 @@ let port_for t dst_node =
       Hashtbl.add t.ports dst_node.nid p;
       Some p
 
-let channel t ~src ~dst =
-  match Hashtbl.find_opt t.channels (src, dst) with
-  | Some c -> c
-  | None ->
-    let src_node = find_node t src and dst_node = find_node t dst in
-    let same_socket = Topology.same_socket t.topo src_node.ncore dst_node.ncore in
-    let deliver (origin, seq, msg) =
-      incr (counter t.recv_counts dst);
-      t.delivered_total <- t.delivered_total + 1;
-      emit t ~core:dst_node.ncore ~label:(t.msg_label msg)
-        (Event.Recv { src = origin; dst; seq });
-      (match t.tracer with
-       | Some f -> f ~time:(Sim.now t.sim) ~src:origin ~dst msg
-       | None -> ());
-      dst_node.handler ~src:origin msg
-    in
-    let c =
-      Channel.create ?port:(port_for t dst_node) t.sim
-        ~capacity:t.net.Net_params.queue_slots
-        ~prop:(Net_params.prop t.net ~same_socket)
-        ~send_cost:t.net.Net_params.send_cost
-        ~recv_cost:(t.net.Net_params.recv_cost + t.net.Net_params.handler_cost)
-        ~src_cpu:t.cpus.(src_node.ncore) ~dst_cpu:t.cpus.(dst_node.ncore)
-        ~deliver
-    in
-    Hashtbl.replace t.channels (src, dst) c;
-    c
+let make_channel src_node dst =
+  let t = src_node.owner in
+  let src = src_node.nid in
+  let dst_node = find_node t dst in
+  let same_socket = Topology.same_socket t.topo src_node.ncore dst_node.ncore in
+  let deliver ~seq msg =
+    t.recv_a.(dst) <- t.recv_a.(dst) + 1;
+    t.delivered_total <- t.delivered_total + 1;
+    (match t.obs with
+     | None -> ()
+     | Some ring ->
+       Event.emit ring
+         {
+           Event.time = Sim.now t.sim;
+           core = dst_node.ncore;
+           label = t.msg_label msg;
+           kind = Event.Recv { src; dst; seq };
+         });
+    (match t.tracer with
+     | Some f -> f ~time:(Sim.now t.sim) ~src ~dst msg
+     | None -> ());
+    dst_node.handler ~src msg
+  in
+  let c =
+    Channel.create ?port:(port_for t dst_node) t.sim
+      ~capacity:t.net.Net_params.queue_slots
+      ~prop:(Net_params.prop t.net ~same_socket)
+      ~send_cost:t.net.Net_params.send_cost
+      ~recv_cost:(t.net.Net_params.recv_cost + t.net.Net_params.handler_cost)
+      ~src_cpu:t.cpus.(src_node.ncore) ~dst_cpu:t.cpus.(dst_node.ncore)
+      ~deliver
+  in
+  t.all_channels <- c :: t.all_channels;
+  if dst >= Array.length src_node.out then begin
+    let new_cap = max 16 (max (dst + 1) t.next_id) in
+    let grown = Array.make new_cap None in
+    Array.blit src_node.out 0 grown 0 (Array.length src_node.out);
+    src_node.out <- grown
+  end;
+  src_node.out.(dst) <- Some c;
+  c
+
+let channel_for n dst =
+  if dst < Array.length n.out then
+    match n.out.(dst) with Some c -> c | None -> make_channel n dst
+  else make_channel n dst
 
 let send n ~dst msg =
   let t = n.owner in
@@ -156,34 +190,61 @@ let send n ~dst msg =
        message figures (Section 4.3) stay comparable across collapsed
        and dedicated deployments. *)
     Cpu.exec t.cpus.(n.ncore) ~cost:t.net.Net_params.handler_cost (fun () ->
-        incr (counter t.self_counts n.nid);
+        t.self_a.(n.nid) <- t.self_a.(n.nid) + 1;
         t.self_total <- t.self_total + 1;
-        emit t ~core:n.ncore ~label:(t.msg_label msg)
-          (Event.Self_deliver { node = n.nid });
+        (match t.obs with
+         | None -> ()
+         | Some ring ->
+           Event.emit ring
+             {
+               Event.time = Sim.now t.sim;
+               core = n.ncore;
+               label = t.msg_label msg;
+               kind = Event.Self_deliver { node = n.nid };
+             });
         n.handler ~src:n.nid msg)
   else begin
-    incr (counter t.sent_counts n.nid);
+    t.sent_a.(n.nid) <- t.sent_a.(n.nid) + 1;
     t.sent_total <- t.sent_total + 1;
     let seq = t.seq in
-    t.seq <- t.seq + 1;
-    emit t ~core:n.ncore ~label:(t.msg_label msg)
-      (Event.Send { src = n.nid; dst; seq });
-    Channel.send (channel t ~src:n.nid ~dst) (n.nid, seq, msg)
+    t.seq <- seq + 1;
+    (match t.obs with
+     | None -> ()
+     | Some ring ->
+       Event.emit ring
+         {
+           Event.time = Sim.now t.sim;
+           core = n.ncore;
+           label = t.msg_label msg;
+           kind = Event.Send { src = n.nid; dst; seq };
+         });
+    Channel.send (channel_for n dst) ~seq msg
   end
 
 let send_many n ~dsts msg = List.iter (fun dst -> send n ~dst msg) dsts
 
+(* Timer trace events are only wrapped around the thunk when an
+   observer is installed at scheduling time — the wrapper closure is
+   pure overhead on the traced-off hot path. *)
 let after n ~delay f =
-  Sim.schedule n.owner.sim ~delay (fun () ->
-      emit n.owner ~core:n.ncore ~label:"" (Event.Timer { node = n.nid });
-      f ())
+  let t = n.owner in
+  match t.obs with
+  | None -> Sim.schedule t.sim ~delay f
+  | Some _ ->
+    Sim.schedule t.sim ~delay (fun () ->
+        emit t ~core:n.ncore ~label:"" (Event.Timer { node = n.nid });
+        f ())
 
 type timer = Sim.timer
 
 let after_cancel n ~delay f =
-  Sim.schedule_cancellable n.owner.sim ~delay (fun () ->
-      emit n.owner ~core:n.ncore ~label:"" (Event.Timer { node = n.nid });
-      f ())
+  let t = n.owner in
+  match t.obs with
+  | None -> Sim.schedule_cancellable t.sim ~delay f
+  | Some _ ->
+    Sim.schedule_cancellable t.sim ~delay (fun () ->
+        emit t ~core:n.ncore ~label:"" (Event.Timer { node = n.nid });
+        f ())
 
 let cancel_timer n timer = Sim.cancel n.owner.sim timer
 
@@ -199,18 +260,15 @@ let cpu t ~core = t.cpus.(core)
 
 let n_nodes t = t.next_id
 
-let messages_sent t ~node = !(counter t.sent_counts node)
-let messages_received t ~node = !(counter t.recv_counts node)
-let self_delivered t ~node = !(counter t.self_counts node)
+let messages_sent t ~node = t.sent_a.(node)
+let messages_received t ~node = t.recv_a.(node)
+let self_delivered t ~node = t.self_a.(node)
 let total_messages t = t.delivered_total
 let messages_sent_total t = t.sent_total
 let self_delivered_total t = t.self_total
 
 let io_snapshot t =
-  Array.init t.next_id (fun id ->
-      ( !(counter t.sent_counts id),
-        !(counter t.recv_counts id),
-        !(counter t.self_counts id) ))
+  Array.init t.next_id (fun id -> (t.sent_a.(id), t.recv_a.(id), t.self_a.(id)))
 
 type channel_stats = {
   ch_count : int;
@@ -221,8 +279,8 @@ type channel_stats = {
 }
 
 let channel_totals t =
-  Hashtbl.fold
-    (fun _ c acc ->
+  List.fold_left
+    (fun acc c ->
       {
         ch_count = acc.ch_count + 1;
         ch_blocked = acc.ch_blocked + Channel.blocked_events c;
@@ -230,7 +288,6 @@ let channel_totals t =
         ch_occupancy_peak = max acc.ch_occupancy_peak (Channel.occupancy_peak c);
         ch_outbox_peak = max acc.ch_outbox_peak (Channel.outbox_peak c);
       })
-    t.channels
     {
       ch_count = 0;
       ch_blocked = 0;
@@ -238,6 +295,7 @@ let channel_totals t =
       ch_occupancy_peak = 0;
       ch_outbox_peak = 0;
     }
+    t.all_channels
 
 let coalescing_totals t =
   Hashtbl.fold

@@ -46,22 +46,25 @@ let measure_ping ?(peer_core = 1) ~params ~topology k =
   assert (!received = k);
   float_of_int !last /. float_of_int k /. 1000.
 
-let netchar () =
+let netchar ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let k = 1000 in
-  let row setting ?peer_core params topology =
-    let trans_us = measure_trans ?peer_core ~params ~topology k in
-    let ping_us = measure_ping ?peer_core ~params ~topology k in
+  let row (setting, peer_core, params, topology) =
+    let trans_us = measure_trans ~peer_core ~params ~topology k in
+    let ping_us = measure_ping ~peer_core ~params ~topology k in
     let prop_us = Float.max 0. ((ping_us -. (2. *. trans_us)) /. 2.) in
     let ratio = if prop_us > 0. then trans_us /. prop_us else infinity in
     { setting; trans_us; ping_us; prop_us; ratio }
   in
-  [
-    (* Cores 0 and 1 share the 48-core machine's first socket; core 6
-       sits on the next one — Figure 1's non-uniformity. *)
-    row "mc-shared-llc" Net_params.multicore Topology.opteron_48;
-    row "mc-cross-socket" ~peer_core:6 Net_params.multicore Topology.opteron_48;
-    row "lan" Net_params.lan (Topology.create ~sockets:2 ~cores_per_socket:1);
-  ]
+  Array.to_list
+    (Pool.parallel_map ~jobs row
+       [|
+         (* Cores 0 and 1 share the 48-core machine's first socket; core 6
+            sits on the next one — Figure 1's non-uniformity. *)
+         ("mc-shared-llc", 1, Net_params.multicore, Topology.opteron_48);
+         ("mc-cross-socket", 6, Net_params.multicore, Topology.opteron_48);
+         ("lan", 1, Net_params.lan, Topology.create ~sockets:2 ~cores_per_socket:1);
+       |])
 
 (* ----- generic sweeps ---------------------------------------------------- *)
 
@@ -87,52 +90,79 @@ let guard_consistent context (r : Runner.result) =
     Format.kasprintf failwith "%s: consistency violated: %a" context
       Ci_rsm.Consistency.pp r.Runner.consistency
 
-let sweep ~label ~make_spec xs : series =
-  let points =
-    List.map
-      (fun x ->
-        let r = Runner.run (make_spec x) in
-        guard_consistent label r;
-        point_of_result x r)
-      xs
+let resolve_jobs = function Some j -> j | None -> Pool.default_jobs ()
+
+(* Every experiment batch funnels through one [Pool.parallel_map] over
+   the flattened spec array. Results are keyed by input index, and each
+   run owns all its mutable state (DESIGN.md §8), so the rendered
+   output is byte-identical at any job count. *)
+let run_all ~jobs specs = Pool.parallel_map ~jobs Runner.run specs
+
+(* Run several labelled sweeps as a single parallel batch so the pool
+   load-balances across series, then regroup the results by index. *)
+let sweep_group ~jobs (groups : (string * (int * Runner.spec) list) list) :
+    series list =
+  let specs =
+    Array.of_list (List.concat_map (fun (_, xs) -> List.map snd xs) groups)
   in
-  { label; points }
+  let results = run_all ~jobs specs in
+  let i = ref 0 in
+  List.map
+    (fun (label, xs) ->
+      let points =
+        List.map
+          (fun (x, _) ->
+            let r = results.(!i) in
+            incr i;
+            guard_consistent label r;
+            point_of_result x r)
+          xs
+      in
+      { label; points })
+    groups
+
+let sweep ~jobs ~label ~make_spec xs : series =
+  match
+    sweep_group ~jobs [ (label, List.map (fun x -> (x, make_spec x)) xs) ]
+  with
+  | [ s ] -> s
+  | _ -> assert false
 
 (* ----- E2: Figure 2 ------------------------------------------------------ *)
 
 let lan_topology n = Topology.create ~sockets:n ~cores_per_socket:1
 
-let fig2 ?(clients = [ 1; 2; 3; 5; 10; 20; 35; 50; 75; 100 ]) ?duration () =
+let fig2 ?jobs ?(clients = [ 1; 2; 3; 5; 10; 20; 35; 50; 75; 100 ]) ?duration () =
+  let jobs = resolve_jobs jobs in
   let multicore_clients = List.filter (fun c -> c <= 45) clients in
-  let mc =
-    sweep ~label:"Multi-Paxos multicore"
-      ~make_spec:(fun c ->
-        let s =
-          Runner.default_spec ~protocol:Runner.Multipaxos
-            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
-        in
-        match duration with Some d -> { s with Runner.duration = d } | None -> s)
-      multicore_clients
+  let mc_spec c =
+    let s =
+      Runner.default_spec ~protocol:Runner.Multipaxos
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+    in
+    match duration with Some d -> { s with Runner.duration = d } | None -> s
   in
-  let lan =
-    sweep ~label:"Multi-Paxos LAN"
-      ~make_spec:(fun c ->
-        let s =
-          Runner.default_spec ~protocol:Runner.Multipaxos
-            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
-        in
-        {
-          s with
-          Runner.topology = lan_topology (c + 4);
-          params = Net_params.lan_wide;
-          duration = (match duration with Some d -> d * 10 | None -> Sim_time.ms 500);
-          warmup = Sim_time.ms 50;
-          drain = Sim_time.ms 50;
-          timeout = Sim_time.ms 40;
-        })
-      clients
+  let lan_spec c =
+    let s =
+      Runner.default_spec ~protocol:Runner.Multipaxos
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+    in
+    {
+      s with
+      Runner.topology = lan_topology (c + 4);
+      params = Net_params.lan_wide;
+      duration = (match duration with Some d -> d * 10 | None -> Sim_time.ms 500);
+      warmup = Sim_time.ms 50;
+      drain = Sim_time.ms 50;
+      timeout = Sim_time.ms 40;
+    }
   in
-  [ mc; lan ]
+  sweep_group ~jobs
+    [
+      ( "Multi-Paxos multicore",
+        List.map (fun c -> (c, mc_spec c)) multicore_clients );
+      ("Multi-Paxos LAN", List.map (fun c -> (c, lan_spec c)) clients);
+    ]
 
 (* ----- E4: Section 7.2 latency table ------------------------------------- *)
 
@@ -144,77 +174,80 @@ type latency_row = {
   leader_util : float;
 }
 
-let latency_table ?duration () =
-  let one proto paper_latency_us =
+let latency_table ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
+  let rows =
+    [| (Runner.Onepaxos, 16.0); (Runner.Multipaxos, 19.6); (Runner.Twopc, 21.4) |]
+  in
+  let spec proto =
     let s =
       Runner.default_spec ~protocol:proto
         ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 1 })
     in
-    let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
-    let r = Runner.run s in
-    guard_consistent "latency_table" r;
-    {
-      protocol = Runner.protocol_name proto;
-      latency_us = r.Runner.latency.Ci_stats.Summary.mean /. 1000.;
-      paper_latency_us;
-      throughput_1c = r.Runner.throughput;
-      leader_util = Runner.leader_util r;
-    }
+    match duration with Some d -> { s with Runner.duration = d } | None -> s
   in
-  [
-    one Runner.Onepaxos 16.0;
-    one Runner.Multipaxos 19.6;
-    one Runner.Twopc 21.4;
-  ]
+  let results = run_all ~jobs (Array.map (fun (p, _) -> spec p) rows) in
+  Array.to_list
+    (Array.mapi
+       (fun i (proto, paper_latency_us) ->
+         let r = results.(i) in
+         guard_consistent "latency_table" r;
+         {
+           protocol = Runner.protocol_name proto;
+           latency_us = r.Runner.latency.Ci_stats.Summary.mean /. 1000.;
+           paper_latency_us;
+           throughput_1c = r.Runner.throughput;
+           leader_util = Runner.leader_util r;
+         })
+       rows)
 
 (* ----- E5: Figure 8 ------------------------------------------------------- *)
 
-let fig8 ?(clients = [ 1; 2; 3; 5; 7; 10; 13; 17; 21; 26; 31; 38; 45 ]) ?duration () =
-  let proto_sweep proto =
-    sweep
-      ~label:(Runner.protocol_name proto)
-      ~make_spec:(fun c ->
-        let s =
-          Runner.default_spec ~protocol:proto
-            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
-        in
-        match duration with Some d -> { s with Runner.duration = d } | None -> s)
-      clients
+let fig8 ?jobs ?(clients = [ 1; 2; 3; 5; 7; 10; 13; 17; 21; 26; 31; 38; 45 ]) ?duration () =
+  let jobs = resolve_jobs jobs in
+  let spec proto c =
+    let s =
+      Runner.default_spec ~protocol:proto
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+    in
+    match duration with Some d -> { s with Runner.duration = d } | None -> s
   in
-  [ proto_sweep Runner.Twopc; proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+  let group proto =
+    (Runner.protocol_name proto, List.map (fun c -> (c, spec proto c)) clients)
+  in
+  sweep_group ~jobs
+    [ group Runner.Twopc; group Runner.Multipaxos; group Runner.Onepaxos ]
 
 (* ----- E6: Figure 9 (joint deployment) ------------------------------------ *)
 
-let fig9 ?(nodes = [ 3; 5; 9; 13; 17; 21; 25; 29; 35; 41; 47 ]) ?duration () =
-  let proto_sweep proto =
-    sweep
-      ~label:(Runner.protocol_name proto ^ "-joint")
-      ~make_spec:(fun n ->
-        let s =
-          Runner.default_spec ~protocol:proto ~placement:(Runner.Joint { n_nodes = n })
-        in
-        {
-          s with
-          Runner.think = Sim_time.ms 2;
-          duration = (match duration with Some d -> d | None -> Sim_time.ms 200);
-          warmup = Sim_time.ms 20;
-          timeout = Sim_time.ms 8;
-        })
-      nodes
+let fig9 ?jobs ?(nodes = [ 3; 5; 9; 13; 17; 21; 25; 29; 35; 41; 47 ]) ?duration () =
+  let jobs = resolve_jobs jobs in
+  let spec proto n =
+    let s =
+      Runner.default_spec ~protocol:proto ~placement:(Runner.Joint { n_nodes = n })
+    in
+    {
+      s with
+      Runner.think = Sim_time.ms 2;
+      duration = (match duration with Some d -> d | None -> Sim_time.ms 200);
+      warmup = Sim_time.ms 20;
+      timeout = Sim_time.ms 8;
+    }
   in
-  [ proto_sweep Runner.Twopc; proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+  let group proto =
+    ( Runner.protocol_name proto ^ "-joint",
+      List.map (fun n -> (n, spec proto n)) nodes )
+  in
+  sweep_group ~jobs
+    [ group Runner.Twopc; group Runner.Multipaxos; group Runner.Onepaxos ]
 
 (* ----- E7: Figure 10 (read workload) --------------------------------------- *)
 
 type bar = { label : string; clients : int; throughput : float }
 
-let fig10 ?duration () =
+let fig10 ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
   let dur = match duration with Some d -> d | None -> Sim_time.ms 50 in
-  let run_bar label spec =
-    let r = Runner.run spec in
-    guard_consistent label r;
-    r.Runner.throughput
-  in
   let onepaxos c =
     let s =
       Runner.default_spec ~protocol:Runner.Onepaxos
@@ -228,27 +261,26 @@ let fig10 ?duration () =
     in
     { s with Runner.duration = dur; read_ratio = ratio; local_reads = true }
   in
-  List.concat_map
-    (fun c ->
-      [
-        { label = "1Paxos - 0% read"; clients = c; throughput = run_bar "fig10" (onepaxos c) };
-        {
-          label = "2PC-Joint - 0% read";
-          clients = c;
-          throughput = run_bar "fig10" (twopc_joint c 0.0);
-        };
-        {
-          label = "2PC-Joint - 10% read";
-          clients = c;
-          throughput = run_bar "fig10" (twopc_joint c 0.10);
-        };
-        {
-          label = "2PC-Joint - 75% read";
-          clients = c;
-          throughput = run_bar "fig10" (twopc_joint c 0.75);
-        };
-      ])
-    [ 3; 5 ]
+  let cases =
+    List.concat_map
+      (fun c ->
+        [
+          ("1Paxos - 0% read", c, onepaxos c);
+          ("2PC-Joint - 0% read", c, twopc_joint c 0.0);
+          ("2PC-Joint - 10% read", c, twopc_joint c 0.10);
+          ("2PC-Joint - 75% read", c, twopc_joint c 0.75);
+        ])
+      [ 3; 5 ]
+  in
+  let results =
+    run_all ~jobs (Array.of_list (List.map (fun (_, _, s) -> s) cases))
+  in
+  List.mapi
+    (fun i (label, clients, _) ->
+      let r = results.(i) in
+      guard_consistent "fig10" r;
+      { label; clients; throughput = r.Runner.throughput })
+    cases
 
 (* ----- E3/E8: slow-leader timelines ----------------------------------------- *)
 
@@ -286,113 +318,135 @@ let slow_leader_spec proto ~dur ~fault =
        else []);
   }
 
-let slow_leader_timeline proto label ~dur ~fault =
-  let r = Runner.run (slow_leader_spec proto ~dur ~fault) in
-  guard_consistent label r;
-  {
-    label;
-    bucket_ms = 10.;
-    rates = r.Runner.timeline;
-    leader_changes = r.Runner.leader_changes;
-    acceptor_changes = r.Runner.acceptor_changes;
-  }
+(* Labelled (case, spec) pairs run as one parallel batch, results
+   rebuilt in case order. *)
+let slow_leader_timelines ~jobs cases =
+  let results = run_all ~jobs (Array.of_list (List.map snd cases)) in
+  List.mapi
+    (fun i (label, _) ->
+      let r = results.(i) in
+      guard_consistent label r;
+      {
+        label;
+        bucket_ms = 10.;
+        rates = r.Runner.timeline;
+        leader_changes = r.Runner.leader_changes;
+        acceptor_changes = r.Runner.acceptor_changes;
+      })
+    cases
 
-let fig11 ?duration () =
+let fig11 ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
   let dur = match duration with Some d -> d | None -> Sim_time.ms 150 in
-  [
-    slow_leader_timeline Runner.Onepaxos "1Paxos - slow leader" ~dur ~fault:true;
-    slow_leader_timeline Runner.Onepaxos "1Paxos - no failure" ~dur ~fault:false;
-  ]
+  slow_leader_timelines ~jobs
+    [
+      ("1Paxos - slow leader", slow_leader_spec Runner.Onepaxos ~dur ~fault:true);
+      ("1Paxos - no failure", slow_leader_spec Runner.Onepaxos ~dur ~fault:false);
+    ]
 
-let sec2_2 ?duration () =
+let sec2_2 ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
   let dur = match duration with Some d -> d | None -> Sim_time.ms 150 in
-  [
-    slow_leader_timeline Runner.Twopc "2PC - slow leader" ~dur ~fault:true;
-    slow_leader_timeline Runner.Twopc "2PC - no failure" ~dur ~fault:false;
-  ]
+  slow_leader_timelines ~jobs
+    [
+      ("2PC - slow leader", slow_leader_spec Runner.Twopc ~dur ~fault:true);
+      ("2PC - no failure", slow_leader_spec Runner.Twopc ~dur ~fault:false);
+    ]
 
 (* ----- E9: 1Paxos over an IP network ----------------------------------------- *)
 
-let lan_1paxos ?(clients = [ 1; 2; 5; 10; 20; 40; 60 ]) ?duration () =
-  let proto_sweep proto =
-    sweep
-      ~label:(Runner.protocol_name proto ^ " LAN")
-      ~make_spec:(fun c ->
-        let s =
-          Runner.default_spec ~protocol:proto
-            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
-        in
-        {
-          s with
-          Runner.topology = lan_topology (c + 4);
-          params = Net_params.lan;
-          duration = (match duration with Some d -> d | None -> Sim_time.ms 300);
-          warmup = Sim_time.ms 30;
-          drain = Sim_time.ms 30;
-          timeout = Sim_time.ms 20;
-        })
-      clients
+let lan_1paxos ?jobs ?(clients = [ 1; 2; 5; 10; 20; 40; 60 ]) ?duration () =
+  let jobs = resolve_jobs jobs in
+  let spec proto c =
+    let s =
+      Runner.default_spec ~protocol:proto
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+    in
+    {
+      s with
+      Runner.topology = lan_topology (c + 4);
+      params = Net_params.lan;
+      duration = (match duration with Some d -> d | None -> Sim_time.ms 300);
+      warmup = Sim_time.ms 30;
+      drain = Sim_time.ms 30;
+      timeout = Sim_time.ms 20;
+    }
   in
-  [ proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+  let group proto =
+    ( Runner.protocol_name proto ^ " LAN",
+      List.map (fun c -> (c, spec proto c)) clients )
+  in
+  sweep_group ~jobs [ group Runner.Multipaxos; group Runner.Onepaxos ]
 
 (* ----- ablations --------------------------------------------------------------- *)
 
-let ablation_placement ?duration () =
+let ablation_placement ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
   let dur = match duration with Some d -> d | None -> Sim_time.ms 120 in
-  let run_case label colocate =
+  let case colocate =
     let s = slow_leader_spec Runner.Onepaxos ~dur ~fault:true in
     (* Measure from fault onset: how much work completes while the
        leader core is starved, given the acceptor placement. *)
-    let s =
-      { s with Runner.warmup = Sim_time.ms 40; colocate_acceptor = colocate }
-    in
-    let r = Runner.run s in
-    guard_consistent label r;
-    ({ label; points = [ point_of_result (if colocate then 1 else 0) r ] } : series)
+    { s with Runner.warmup = Sim_time.ms 40; colocate_acceptor = colocate }
   in
-  [ run_case "acceptor colocated with leader" true;
-    run_case "acceptor on separate node" false ]
+  let cases =
+    [ ("acceptor colocated with leader", true);
+      ("acceptor on separate node", false) ]
+  in
+  let results =
+    run_all ~jobs (Array.of_list (List.map (fun (_, c) -> case c) cases))
+  in
+  List.mapi
+    (fun i (label, colocate) ->
+      let r = results.(i) in
+      guard_consistent label r;
+      ({ label; points = [ point_of_result (if colocate then 1 else 0) r ] }
+        : series))
+    cases
 
-let ablation_slots ?duration () =
+let ablation_slots ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
   let clients = [ 1; 5; 13; 30 ] in
-  List.map
-    (fun slots ->
-      sweep
-        ~label:(Printf.sprintf "1Paxos, %d queue slot(s)" slots)
-        ~make_spec:(fun c ->
-          let s =
-            Runner.default_spec ~protocol:Runner.Onepaxos
-              ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
-          in
-          let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
-          { s with Runner.params = { s.Runner.params with Net_params.queue_slots = slots } })
-        clients)
-    [ 1; 7; 64 ]
-
-let ablation_ratio ?duration () =
-  let props_us = [ 1; 5; 20; 135 ] in
-  let proto_sweep proto =
-    sweep
-      ~label:(Runner.protocol_name proto)
-      ~make_spec:(fun prop_us ->
-        let s =
-          Runner.default_spec ~protocol:proto
-            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 13 })
-        in
-        let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
-        {
-          s with
-          Runner.params =
-            {
-              s.Runner.params with
-              Net_params.prop_intra = Sim_time.us prop_us;
-              prop_inter = Sim_time.us prop_us;
-            };
-          timeout = Sim_time.ms 20;
-        })
-      props_us
+  let spec slots c =
+    let s =
+      Runner.default_spec ~protocol:Runner.Onepaxos
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+    in
+    let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
+    { s with Runner.params = { s.Runner.params with Net_params.queue_slots = slots } }
   in
-  [ proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+  sweep_group ~jobs
+    (List.map
+       (fun slots ->
+         ( Printf.sprintf "1Paxos, %d queue slot(s)" slots,
+           List.map (fun c -> (c, spec slots c)) clients ))
+       [ 1; 7; 64 ])
+
+let ablation_ratio ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
+  let props_us = [ 1; 5; 20; 135 ] in
+  let spec proto prop_us =
+    let s =
+      Runner.default_spec ~protocol:proto
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 13 })
+    in
+    let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
+    {
+      s with
+      Runner.params =
+        {
+          s.Runner.params with
+          Net_params.prop_intra = Sim_time.us prop_us;
+          prop_inter = Sim_time.us prop_us;
+        };
+      timeout = Sim_time.ms 20;
+    }
+  in
+  let group proto =
+    ( Runner.protocol_name proto,
+      List.map (fun p -> (p, spec proto p)) props_us )
+  in
+  sweep_group ~jobs [ group Runner.Multipaxos; group Runner.Onepaxos ]
 
 (* ----- A6..A8: batching / pipelining / coalescing ablations ------------- *)
 
@@ -412,56 +466,61 @@ let batch_spec ?duration ~protocol ~batch ~pipeline ~coalesce () =
     params = { s.Runner.params with Net_params.coalesce };
   }
 
-let ablation_batch ?duration () =
+let ablation_batch ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
   let batches = [ 1; 2; 4; 8; 16; 32 ] in
-  let proto_sweep proto =
-    sweep ~label:(Runner.protocol_name proto)
-      ~make_spec:(fun b ->
-        (* The b = 1 baseline is the paper's untouched protocol: no
-           batching, no pipelining window, no coalescing. *)
-        if b = 1 then
-          batch_spec ?duration ~protocol:proto ~batch:1 ~pipeline:0 ~coalesce:1 ()
-        else batch_spec ?duration ~protocol:proto ~batch:b ~pipeline:8 ~coalesce:16 ())
-      batches
+  let spec proto b =
+    (* The b = 1 baseline is the paper's untouched protocol: no
+       batching, no pipelining window, no coalescing. *)
+    if b = 1 then
+      batch_spec ?duration ~protocol:proto ~batch:1 ~pipeline:0 ~coalesce:1 ()
+    else batch_spec ?duration ~protocol:proto ~batch:b ~pipeline:8 ~coalesce:16 ()
   in
-  [ proto_sweep Runner.Multipaxos; proto_sweep Runner.Onepaxos ]
+  let group proto =
+    (Runner.protocol_name proto, List.map (fun b -> (b, spec proto b)) batches)
+  in
+  sweep_group ~jobs [ group Runner.Multipaxos; group Runner.Onepaxos ]
 
-let ablation_pipeline ?duration () =
+let ablation_pipeline ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
   let windows = [ 1; 2; 4; 8; 16 ] in
   [
-    sweep ~label:"1paxos, batch=8, coalesce=16"
+    sweep ~jobs ~label:"1paxos, batch=8, coalesce=16"
       ~make_spec:(fun w ->
         batch_spec ?duration ~protocol:Runner.Onepaxos ~batch:8 ~pipeline:w
           ~coalesce:16 ())
       windows;
   ]
 
-let ablation_coalesce ?duration () =
+let ablation_coalesce ?jobs ?duration () =
+  let jobs = resolve_jobs jobs in
   let budgets = [ 1; 2; 4; 8; 16; 32 ] in
   [
-    sweep ~label:"1paxos, batch=8, pipeline=8"
+    sweep ~jobs ~label:"1paxos, batch=8, pipeline=8"
       ~make_spec:(fun k ->
         batch_spec ?duration ~protocol:Runner.Onepaxos ~batch:8 ~pipeline:8
           ~coalesce:k ())
       budgets;
   ]
 
-let protocol_comparison ?duration ?(params = Net_params.multicore) () =
+let protocol_comparison ?jobs ?duration ?(params = Net_params.multicore) () =
+  let jobs = resolve_jobs jobs in
   let clients = [ 1; 3; 8; 13; 21; 34 ] in
-  let proto_sweep proto =
-    sweep
-      ~label:(Runner.protocol_name proto)
-      ~make_spec:(fun c ->
-        let s =
-          Runner.default_spec ~protocol:proto
-            ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
-        in
-        let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
-        { s with Runner.params = params })
-      clients
+  let spec proto c =
+    let s =
+      Runner.default_spec ~protocol:proto
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = c })
+    in
+    let s = match duration with Some d -> { s with Runner.duration = d } | None -> s in
+    { s with Runner.params = params }
   in
-  List.map proto_sweep
-    [ Runner.Twopc; Runner.Multipaxos; Runner.Mencius; Runner.Cheappaxos; Runner.Onepaxos ]
+  let group proto =
+    (Runner.protocol_name proto, List.map (fun c -> (c, spec proto c)) clients)
+  in
+  sweep_group ~jobs
+    (List.map group
+       [ Runner.Twopc; Runner.Multipaxos; Runner.Mencius; Runner.Cheappaxos;
+         Runner.Onepaxos ])
 
 (* ----- rendering ------------------------------------------------------------------ *)
 

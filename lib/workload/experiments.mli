@@ -4,7 +4,14 @@
     ablation this reproduction adds); each returns plain data so the
     benchmark harness, the CLI and the test suite can share them. The
     mapping to the paper is indexed in DESIGN.md (E1–E9, A1–A3) and the
-    measured-vs-paper comparison lives in EXPERIMENTS.md. *)
+    measured-vs-paper comparison lives in EXPERIMENTS.md.
+
+    Every driver takes [?jobs] (default {!Pool.default_jobs}): the
+    independent simulation runs behind a figure are flattened into one
+    batch and fanned out over that many domains with
+    {!Pool.parallel_map}. Results are keyed by spec index and each run
+    is deterministic and self-contained, so the returned data — and
+    anything rendered from it — is byte-identical at any [jobs]. *)
 
 (** {1 E1 — Section 3: network characteristics} *)
 
@@ -16,7 +23,7 @@ type netchar_row = {
   ratio : float;  (** trans/prop. *)
 }
 
-val netchar : unit -> netchar_row list
+val netchar : ?jobs:int -> unit -> netchar_row list
 (** Reproduces the Section 3 micro-experiments on the raw channel. *)
 
 (** {1 Generic sweep row} *)
@@ -34,7 +41,7 @@ type series = { label : string; points : point list }
 
 (** {1 E2 — Figure 2: Multi-Paxos, LAN vs multicore} *)
 
-val fig2 : ?clients:int list -> ?duration:int -> unit -> series list
+val fig2 : ?jobs:int -> ?clients:int list -> ?duration:int -> unit -> series list
 
 (** {1 E4 — Section 7.2: single-client latency table} *)
 
@@ -46,21 +53,21 @@ type latency_row = {
   leader_util : float;  (** Leader-core utilization at one client. *)
 }
 
-val latency_table : ?duration:int -> unit -> latency_row list
+val latency_table : ?jobs:int -> ?duration:int -> unit -> latency_row list
 
 (** {1 E5 — Figure 8: latency vs throughput, 1..45 clients} *)
 
-val fig8 : ?clients:int list -> ?duration:int -> unit -> series list
+val fig8 : ?jobs:int -> ?clients:int list -> ?duration:int -> unit -> series list
 
 (** {1 E6 — Figure 9: joint deployment, throughput vs replicas} *)
 
-val fig9 : ?nodes:int list -> ?duration:int -> unit -> series list
+val fig9 : ?jobs:int -> ?nodes:int list -> ?duration:int -> unit -> series list
 
 (** {1 E7 — Figure 10: 2PC-Joint read mixes vs 1Paxos} *)
 
 type bar = { label : string; clients : int; throughput : float }
 
-val fig10 : ?duration:int -> unit -> bar list
+val fig10 : ?jobs:int -> ?duration:int -> unit -> bar list
 
 (** {1 E3/E8 — slow-leader timelines (Section 2.2 / Figure 11)} *)
 
@@ -75,48 +82,48 @@ type timeline = {
   acceptor_changes : int;  (** Per-replica maximum, as above. *)
 }
 
-val fig11 : ?duration:int -> unit -> timeline list
+val fig11 : ?jobs:int -> ?duration:int -> unit -> timeline list
 (** 1Paxos with a slowed leader, plus the no-failure baseline
     (Figure 11). *)
 
-val sec2_2 : ?duration:int -> unit -> timeline list
+val sec2_2 : ?jobs:int -> ?duration:int -> unit -> timeline list
 (** 2PC with a slowed coordinator (the Section 2.2 experiment). *)
 
 (** {1 E9 — Section 8: 1Paxos over an IP network} *)
 
-val lan_1paxos : ?clients:int list -> ?duration:int -> unit -> series list
+val lan_1paxos : ?jobs:int -> ?clients:int list -> ?duration:int -> unit -> series list
 
 (** {1 A1..A3 — ablations} *)
 
-val ablation_placement : ?duration:int -> unit -> series list
+val ablation_placement : ?jobs:int -> ?duration:int -> unit -> series list
 (** 1Paxos with the active acceptor colocated with the leader vs on a
     separate node (Section 5.4's placement rule), under a leader
     slowdown: colocation couples the two failure domains. *)
 
-val ablation_slots : ?duration:int -> unit -> series list
+val ablation_slots : ?jobs:int -> ?duration:int -> unit -> series list
 (** Channel slot count 1 / 7 / 64 (QC-libtask uses 7): back-pressure
     effect on 1Paxos throughput. *)
 
-val ablation_ratio : ?duration:int -> unit -> series list
+val ablation_ratio : ?jobs:int -> ?duration:int -> unit -> series list
 (** 1Paxos vs Multi-Paxos peak throughput while propagation delay grows
     from multicore (ratio ≈ 1) towards IP-like (ratio ≈ 0.01): the
     message-count advantage is a transmission-delay phenomenon. *)
 
 (** {1 A6..A8 — batching / pipelining / coalescing ablations} *)
 
-val ablation_batch : ?duration:int -> unit -> series list
+val ablation_batch : ?jobs:int -> ?duration:int -> unit -> series list
 (** 1Paxos and Multi-Paxos peak throughput vs leader batch size
     (x = commands per consensus instance, 1..32) at 44 clients on the
     48-core preset. The x = 1 row is the paper's untouched protocol
     (no batching, no window, no coalescing); every other row adds
     pipeline depth 8 and receive-coalescing budget 16. *)
 
-val ablation_pipeline : ?duration:int -> unit -> series list
+val ablation_pipeline : ?jobs:int -> ?duration:int -> unit -> series list
 (** 1Paxos throughput vs pipeline depth (x = max batches in flight at
     the leader) with batch size and coalescing held at 8/16: depth 1
     degenerates to stop-and-wait per batch. *)
 
-val ablation_coalesce : ?duration:int -> unit -> series list
+val ablation_coalesce : ?jobs:int -> ?duration:int -> unit -> series list
 (** 1Paxos throughput vs receive-coalescing budget (x = max messages
     drained per reception charge) with batch/pipeline held at 8/8:
     budget 1 is the uncoalesced one-reception-per-message model. *)
@@ -124,7 +131,11 @@ val ablation_coalesce : ?duration:int -> unit -> series list
 (** {1 A4 — related-protocol comparison (Section 8)} *)
 
 val protocol_comparison :
-  ?duration:int -> ?params:Ci_machine.Net_params.t -> unit -> series list
+  ?jobs:int ->
+  ?duration:int ->
+  ?params:Ci_machine.Net_params.t ->
+  unit ->
+  series list
 (** All five implemented protocols (2PC, Multi-Paxos, Mencius, Cheap
     Paxos, 1Paxos) on the same 3-replica machine and client sweep — the
     quantitative backdrop to the paper's §8 discussion: Mencius spreads

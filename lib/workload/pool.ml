@@ -1,0 +1,64 @@
+(* Dependency-free domain pool for embarrassingly parallel simulation
+   batches (sweep points, figure sections, bench workloads).
+
+   A [parallel_map] call spawns [jobs - 1] worker domains (the calling
+   domain is the last worker), all pulling index chunks from one atomic
+   cursor — a chunked work queue with no locks and no channels. Each
+   job writes only its own result slot, so the only cross-domain
+   communication is the cursor, the failure cell and the final joins.
+
+   The simulations themselves are safe to run concurrently because a
+   run owns every piece of mutable state it touches (see DESIGN.md §8,
+   "Run isolation"): the pool adds no synchronization around [f]. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "CI_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let parallel_map ?(chunk = 1) ~jobs f xs =
+  if jobs < 1 then invalid_arg "Pool.parallel_map: jobs must be >= 1";
+  if chunk < 1 then invalid_arg "Pool.parallel_map: chunk must be >= 1";
+  let n = Array.length xs in
+  if jobs = 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo >= n || Atomic.get failure <> None then continue := false
+        else begin
+          let hi = min n (lo + chunk) in
+          try
+            for i = lo to hi - 1 do
+              results.(i) <- Some (f xs.(i))
+            done
+          with e ->
+            (* First failure wins; the rest of the fleet drains its
+               current chunk and stops claiming new work. *)
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+            continue := false
+        end
+      done
+    in
+    let domains =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+     | None -> ());
+    Array.map
+      (function
+        | Some y -> y
+        | None -> assert false (* no failure implies every slot was filled *))
+      results
+  end

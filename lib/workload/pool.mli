@@ -1,0 +1,38 @@
+(** Fixed-size domain pool for independent simulation runs.
+
+    Every experiment in this repository is a batch of independent,
+    deterministic [Runner.run] invocations; this module fans such a
+    batch out across OCaml 5 domains. There is deliberately no task
+    queue, no futures and no dependencies: a chunked atomic cursor
+    over the input array is the whole scheduler.
+
+    Results are keyed by input index, so for a deterministic [f] the
+    output is identical — byte for byte — at any [jobs] value. *)
+
+val default_jobs : unit -> int
+(** [default_jobs ()] is the [CI_JOBS] environment variable if set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()].
+    This is the default the [--jobs] flags of [consensus_sim] and
+    [bench/main.exe] resolve to. *)
+
+val parallel_map : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~jobs f xs] is [Array.map f xs] computed by [jobs]
+    worker domains ([jobs - 1] spawned, plus the calling domain; never
+    more workers than elements). Input order is preserved: slot [i] of
+    the result is [f xs.(i)] regardless of which domain computed it.
+
+    Workers claim indices in chunks of [chunk] (default 1 — right for
+    coarse jobs like whole simulation runs) from a shared atomic
+    cursor, so uneven job costs load-balance themselves.
+
+    If any [f xs.(i)] raises, the first exception (by completion time)
+    is re-raised in the caller with its backtrace once every worker has
+    stopped; remaining workers finish their current chunk and claim no
+    further work. [f] must be safe to run concurrently with itself on
+    distinct elements — true for [Runner.run] because a run owns all
+    its mutable state (DESIGN.md §8).
+
+    [jobs = 1] (or a batch of at most one element) degenerates to plain
+    [Array.map] on the calling domain with no domain spawned.
+
+    @raise Invalid_argument if [jobs < 1] or [chunk < 1]. *)

@@ -1,6 +1,7 @@
 #!/bin/sh
-# Developer pre-flight: clean build (warnings fatal), quick tests, and
-# the engine self-benchmark. The full adversarial suite is `dune runtest`.
+# Developer pre-flight: clean build (warnings fatal), quick tests, the
+# engine self-benchmark, and the single- vs multi-domain paths of the
+# parallel experiment runner. The full adversarial suite is `dune runtest`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -10,7 +11,17 @@ dune build
 echo "== quick tests (dune build @runtest-quick) =="
 dune build @runtest-quick
 
-echo "== engine self-benchmark (writes BENCH_engine.json) =="
-dune exec bench/main.exe -- engine
+echo "== engine self-benchmark, jobs=2 (writes BENCH_engine.json) =="
+# --jobs 2 makes the engine section's fixed batch take both the
+# single-domain (jobs=1) and multi-domain (jobs=2) paths and assert
+# the results are identical.
+dune exec bench/main.exe -- engine --jobs 2
+
+echo "== figures byte-identity across --jobs (1 vs 3) =="
+tmp1=$(mktemp) && tmp3=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp3"' EXIT
+dune exec bin/consensus_sim.exe -- figures latency --jobs 1 > "$tmp1"
+dune exec bin/consensus_sim.exe -- figures latency --jobs 3 > "$tmp3"
+cmp "$tmp1" "$tmp3"
 
 echo "== OK =="

@@ -7,14 +7,14 @@ let mk ?(capacity = 7) ?(prop = 10) ?(send_cost = 5) ?(recv_cost = 5) deliver =
   let src = Cpu.create sim ~id:0 and dst = Cpu.create sim ~id:1 in
   let ch =
     Channel.create sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu:src
-      ~dst_cpu:dst ~deliver:(fun v -> deliver sim v)
+      ~dst_cpu:dst ~deliver:(fun ~seq:_ v -> deliver sim v)
   in
   (sim, ch)
 
 let test_delivery () =
   let got = ref [] in
   let sim, ch = mk (fun _ v -> got := v :: !got) in
-  Channel.send ch 42;
+  Channel.send ch ~seq:0 42;
   Sim.run sim;
   Alcotest.(check (list int)) "delivered" [ 42 ] !got;
   Alcotest.(check int) "sent counter" 1 (Channel.sent ch);
@@ -24,7 +24,7 @@ let test_fifo () =
   let got = ref [] in
   let sim, ch = mk (fun _ v -> got := v :: !got) in
   for i = 1 to 20 do
-    Channel.send ch i
+    Channel.send ch ~seq:0 i
   done;
   Sim.run sim;
   Alcotest.(check (list int)) "in order" (List.init 20 (fun i -> i + 1))
@@ -35,14 +35,14 @@ let test_delivery_timing () =
      charges recv_cost: delivery at send+prop+recv. *)
   let at = ref (-1) in
   let sim, ch = mk ~send_cost:5 ~prop:10 ~recv_cost:7 (fun sim _ -> at := Sim.now sim) in
-  Channel.send ch 1;
+  Channel.send ch ~seq:0 1;
   Sim.run sim;
   Alcotest.(check int) "t = send + prop + recv" 22 !at
 
 let test_blocking_capacity () =
   let sim, ch = mk ~capacity:2 (fun _ _ -> ()) in
   for i = 1 to 5 do
-    Channel.send ch i
+    Channel.send ch ~seq:0 i
   done;
   Alcotest.(check int) "sends beyond capacity blocked" 3 (Channel.blocked_events ch);
   Sim.run sim;
@@ -60,7 +60,7 @@ let test_ping_formula () =
         last := Sim.now sim)
   in
   for i = 1 to k do
-    Channel.send ch i
+    Channel.send ch ~seq:0 i
   done;
   Sim.run sim;
   let per_msg = float_of_int !last /. float_of_int k in
@@ -75,7 +75,7 @@ let test_unbounded_rate () =
      complete transmission every send_cost. *)
   let sim, ch = mk ~capacity:1000 ~send_cost:5 (fun _ _ -> ()) in
   for i = 1 to 100 do
-    Channel.send ch i
+    Channel.send ch ~seq:0 i
   done;
   Sim.run sim;
   Alcotest.(check int) "all sent" 100 (Channel.sent ch);
@@ -85,7 +85,7 @@ let test_occupancy_peak () =
   let sim, ch = mk ~capacity:4 (fun _ _ -> ()) in
   Alcotest.(check int) "starts at zero" 0 (Channel.occupancy_peak ch);
   for i = 1 to 3 do
-    Channel.send ch i
+    Channel.send ch ~seq:0 i
   done;
   Sim.run sim;
   (* Three in-flight messages at most: the peak saw them, and it never
@@ -96,7 +96,7 @@ let test_occupancy_peak () =
 let test_outbox_peak_and_stall () =
   let sim, ch = mk ~capacity:1 ~prop:50 (fun _ _ -> ()) in
   for i = 1 to 6 do
-    Channel.send ch i
+    Channel.send ch ~seq:0 i
   done;
   Alcotest.(check int) "backlog behind one slot" 5 (Channel.outbox_length ch);
   Sim.run sim;
@@ -107,7 +107,7 @@ let test_outbox_peak_and_stall () =
 let test_no_stall_when_uncontended () =
   let sim, ch = mk ~capacity:100 (fun _ _ -> ()) in
   for i = 1 to 5 do
-    Channel.send ch i
+    Channel.send ch ~seq:0 i
   done;
   Sim.run sim;
   Alcotest.(check int) "no credit stalls" 0 (Channel.credit_stall_ns ch);

@@ -30,6 +30,7 @@ let () =
       Test_client.suite;
       Test_runner.suite;
       Test_experiments.suite;
+      Test_pool.suite;
       Test_props.suite;
       Test_report.suite;
       List.hd Test_smoke.suites;

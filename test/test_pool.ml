@@ -1,0 +1,157 @@
+module Pool = Ci_workload.Pool
+module Runner = Ci_workload.Runner
+module E = Ci_workload.Experiments
+module Sim_time = Ci_engine.Sim_time
+
+(* ----- parallel_map = Array.map ----------------------------------------- *)
+
+let prop_matches_array_map jobs =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "parallel_map = Array.map (jobs=%d)" jobs)
+    ~count:100
+    QCheck.(pair (list small_int) (int_range 1 4))
+    (fun (xs, chunk) ->
+      let xs = Array.of_list xs in
+      let f x = (x * 7919) + 13 in
+      Pool.parallel_map ~chunk ~jobs f xs = Array.map f xs)
+
+exception Boom of int
+
+let prop_exception_propagates jobs =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "exceptions re-raised in caller (jobs=%d)" jobs)
+    ~count:50
+    QCheck.(int_range 1 40)
+    (fun n ->
+      (* Every element raises, so whichever worker finishes first the
+         caller must observe some Boom payload from the input. *)
+      let xs = Array.init n (fun i -> i) in
+      match Pool.parallel_map ~jobs (fun i -> raise (Boom i)) xs with
+      | _ -> false
+      | exception Boom i -> i >= 0 && i < n)
+
+let test_single_failure () =
+  List.iter
+    (fun jobs ->
+      let xs = Array.init 64 (fun i -> i) in
+      match
+        Pool.parallel_map ~jobs
+          (fun i -> if i = 37 then raise (Boom i) else i)
+          xs
+      with
+      | _ -> Alcotest.failf "jobs=%d: exception swallowed" jobs
+      | exception Boom 37 -> ())
+    [ 1; 2; 8 ]
+
+let test_invalid_args () =
+  let xs = [| 1; 2 |] in
+  (try
+     ignore (Pool.parallel_map ~jobs:0 Fun.id xs);
+     Alcotest.fail "jobs=0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Pool.parallel_map ~chunk:0 ~jobs:2 Fun.id xs);
+    Alcotest.fail "chunk=0 accepted"
+  with Invalid_argument _ -> ()
+
+let test_empty_and_singleton () =
+  Alcotest.(check (array int))
+    "empty" [||]
+    (Pool.parallel_map ~jobs:8 (fun x -> x + 1) [||]);
+  Alcotest.(check (array int))
+    "singleton" [| 42 |]
+    (Pool.parallel_map ~jobs:8 (fun x -> x + 1) [| 41 |])
+
+let test_default_jobs_env () =
+  Alcotest.(check bool)
+    "positive" true
+    (Pool.default_jobs () >= 1)
+
+(* ----- determinism across jobs ------------------------------------------- *)
+
+(* The satellite requirement: a figures section's rendered report is
+   byte-identical at jobs=1 vs jobs=4. latency_table is the cheapest
+   section that still runs three full protocol simulations. *)
+let test_figures_deterministic () =
+  let render jobs =
+    Format.asprintf "%a" E.pp_latency_table
+      (E.latency_table ~jobs ~duration:(Sim_time.ms 5) ())
+  in
+  Alcotest.(check string) "latency section, jobs=1 vs jobs=4" (render 1) (render 4)
+
+let test_parallel_runs_match_serial () =
+  (* Same batch of real simulation specs through the pool at several
+     job counts: the measured results must be identical, element by
+     element, to the sequential run. *)
+  let specs =
+    Array.init 6 (fun i ->
+        {
+          (Runner.default_spec ~protocol:Runner.Onepaxos
+             ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 3 }))
+          with
+          Runner.seed = 100 + i;
+          duration = Sim_time.ms 5;
+          warmup = Sim_time.ms 1;
+          drain = Sim_time.ms 1;
+        })
+  in
+  let fingerprint (r : Runner.result) =
+    (r.Runner.sim_events, r.Runner.commits, r.Runner.messages, r.Runner.throughput)
+  in
+  let serial = Array.map (fun s -> fingerprint (Runner.run s)) specs in
+  List.iter
+    (fun jobs ->
+      let got =
+        Array.map fingerprint (Pool.parallel_map ~jobs Runner.run specs)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d matches serial" jobs)
+        true (got = serial))
+    [ 2; 4 ]
+
+(* ----- allocation regression guard ---------------------------------------- *)
+
+(* The engine self-benchmark's fixed run sat at ~58 words/event before
+   the hot-path allocation diet (BENCH_engine.json baseline:
+   10712473 words / 183436 events); the diet's acceptance floor is a
+   >= 25% reduction, i.e. <= 44. Measured after: ~37. The budget leaves
+   headroom for GC jitter while still failing if a boxing regression
+   sneaks back into the per-event path. *)
+let test_alloc_words_per_event_budget () =
+  let spec =
+    Runner.default_spec ~protocol:Runner.Onepaxos
+      ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 13 })
+  in
+  (* Warm: first run pays one-off table/ring growth. *)
+  ignore (Runner.run spec);
+  let b0 = Gc.allocated_bytes () in
+  let r = Runner.run spec in
+  let bytes = Gc.allocated_bytes () -. b0 in
+  let words_per_event =
+    bytes /. float_of_int (Sys.word_size / 8) /. float_of_int r.Runner.sim_events
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f words/event <= 44 budget" words_per_event)
+    true
+    (words_per_event <= 44.)
+
+let suite =
+  ( "pool",
+    [
+      QCheck_alcotest.to_alcotest (prop_matches_array_map 1);
+      QCheck_alcotest.to_alcotest (prop_matches_array_map 2);
+      QCheck_alcotest.to_alcotest (prop_matches_array_map 8);
+      QCheck_alcotest.to_alcotest (prop_exception_propagates 1);
+      QCheck_alcotest.to_alcotest (prop_exception_propagates 2);
+      QCheck_alcotest.to_alcotest (prop_exception_propagates 8);
+      Alcotest.test_case "single failing element" `Quick test_single_failure;
+      Alcotest.test_case "invalid jobs/chunk" `Quick test_invalid_args;
+      Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+      Alcotest.test_case "default_jobs positive" `Quick test_default_jobs_env;
+      Alcotest.test_case "figures byte-identical jobs=1 vs 4" `Quick
+        test_figures_deterministic;
+      Alcotest.test_case "parallel runs match serial" `Quick
+        test_parallel_runs_match_serial;
+      Alcotest.test_case "alloc words/event budget" `Quick
+        test_alloc_words_per_event_budget;
+    ] )
