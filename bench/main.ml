@@ -262,6 +262,104 @@ let engine ~jobs =
             parallel_speedup;
           })
 
+(* ----- live runtime benchmark -------------------------------------------- *)
+
+(* One row per protocol x replica count, collected for
+   BENCH_runtime.json. Unlike every section above, these numbers are
+   real wall-clock throughput of the protocol cores on this host's
+   domains, not simulated time. *)
+type runtime_row = {
+  rt_protocol : string;
+  rt_replicas : int;
+  rt_ops : int;
+  rt_throughput : float;
+  rt_p50_us : float;
+  rt_p99_us : float;
+  rt_retries : int;
+  rt_q_blocked : int;
+  rt_consistent : bool;
+}
+
+type runtime_stats = { rt_cores : int; rt_rows : runtime_row list }
+
+let runtime_stats : runtime_stats option ref = ref None
+
+let runtime ~jobs:_ =
+  section "R1. Live runtime: the same cores on real domains (Section 6)"
+    "wall-clock op/s of 1Paxos vs Multi-Paxos over shared-memory SPSC queues"
+    (fun () ->
+      let module Live = Ci_runtime.Live in
+      let cores = Domain.recommended_domain_count () in
+      let row protocol n_replicas =
+        let spec =
+          {
+            (Live.default_spec ~protocol) with
+            Live.n_replicas;
+            n_clients = 2;
+            duration_s = 1.0;
+            drain_s = 0.2;
+          }
+        in
+        let r = Live.run spec in
+        {
+          rt_protocol = Live.protocol_name protocol;
+          rt_replicas = n_replicas;
+          rt_ops = r.Live.ops;
+          rt_throughput = r.Live.throughput;
+          rt_p50_us = float_of_int r.Live.latency.Ci_stats.Summary.p50 /. 1e3;
+          rt_p99_us = float_of_int r.Live.latency.Ci_stats.Summary.p99 /. 1e3;
+          rt_retries = r.Live.retries;
+          rt_q_blocked = r.Live.queues.Live.q_blocked;
+          rt_consistent = Ci_rsm.Consistency.ok r.Live.consistency;
+        }
+      in
+      let rows =
+        List.concat_map
+          (fun n ->
+            [ row Live.Onepaxos n; row Live.Multipaxos n ])
+          [ 3; 5 ]
+      in
+      Format.printf "%d cores, 2 client domains, 1.0s measured per cell@." cores;
+      Format.printf "%-12s %9s %12s %10s %10s %12s@." "protocol" "replicas"
+        "op/s" "p50(us)" "p99(us)" "consistent";
+      List.iter
+        (fun r ->
+          Format.printf "%-12s %9d %12.0f %10.1f %10.1f %12s@." r.rt_protocol
+            r.rt_replicas r.rt_throughput r.rt_p50_us r.rt_p99_us
+            (if r.rt_consistent then "yes" else "NO");
+          if not r.rt_consistent then
+            failwith
+              (Printf.sprintf "runtime: %s with %d replicas was inconsistent"
+                 r.rt_protocol r.rt_replicas))
+        rows;
+      runtime_stats := Some { rt_cores = cores; rt_rows = rows })
+
+let write_runtime_json () =
+  match !runtime_stats with
+  | None -> ()
+  | Some s ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" s.rt_cores);
+    Buffer.add_string buf "  \"rows\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"protocol\": \"%s\", \"replicas\": %d, \"ops\": %d, \
+              \"throughput_ops\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+              \"retries\": %d, \"full_ring_sends\": %d, \"consistent\": %b}%s\n"
+             r.rt_protocol r.rt_replicas r.rt_ops r.rt_throughput r.rt_p50_us
+             r.rt_p99_us r.rt_retries r.rt_q_blocked r.rt_consistent
+             (if i = List.length s.rt_rows - 1 then "" else ",")))
+      s.rt_rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_runtime.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf));
+    Format.printf "@.wrote BENCH_runtime.json@."
+
 let json_escape name =
   String.concat ""
     (List.map
@@ -429,13 +527,14 @@ let sections =
     ("protocols", protocols);
     ("metrics", metrics);
     ("engine", engine);
+    ("runtime", runtime);
     ("micro", micro);
   ]
 
 (* Sections whose runs are fanned out over the pool — the ones worth
    re-timing at jobs=1 for the comparison table. metrics/engine/micro
    time themselves differently (single runs or self-calibrating). *)
-let serial_only = [ "metrics"; "engine"; "micro" ]
+let serial_only = [ "metrics"; "engine"; "runtime"; "micro" ]
 
 let print_jobs_table ~jobs =
   let j1 = List.rev !section_walls_j1 in
@@ -511,4 +610,5 @@ let () =
     walls_sink := section_walls;
     print_jobs_table ~jobs:!jobs
   end;
-  write_bench_json ()
+  write_bench_json ();
+  write_runtime_json ()

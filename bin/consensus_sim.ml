@@ -109,6 +109,25 @@ let run_cmd =
   let run protocol replicas clients joint duration warmup seed read_ratio think
       timeout topology net relaxed local_reads colocate batch batch_delay
       pipeline coalesce faults timeline trace_out trace_format metrics_out =
+    let invalid fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; Some 1) fmt in
+    let bad =
+      if replicas < 1 then invalid "--replicas must be >= 1"
+      else if (not joint) && clients < 1 then invalid "--clients must be >= 1"
+      else if duration < 1 then invalid "--duration-ms must be >= 1"
+      else if warmup < 0 then invalid "--warmup-ms must be >= 0"
+      else if timeout < 1 then invalid "--timeout-us must be >= 1"
+      else if think < 0 then invalid "--think-us must be >= 0"
+      else if read_ratio < 0. || read_ratio > 1. then
+        invalid "--read-ratio must be in [0, 1]"
+      else if batch < 1 then invalid "--batch must be >= 1"
+      else if batch_delay < 0 then invalid "--batch-delay-us must be >= 0"
+      else if pipeline < 0 then invalid "--pipeline must be >= 0 (0 = unbounded)"
+      else if coalesce < 1 then invalid "--coalesce must be >= 1"
+      else None
+    in
+    match bad with
+    | Some code -> code
+    | None ->
     let placement =
       if joint then Runner.Joint { n_nodes = replicas }
       else Runner.Dedicated { n_replicas = replicas; n_clients = clients }
@@ -177,6 +196,98 @@ let run_cmd =
       $ faults $ timeline $ trace_out $ trace_format $ metrics_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its measurements.") term
+
+(* ----- live ---------------------------------------------------------------- *)
+
+let live_cmd =
+  let module Live = Ci_runtime.Live in
+  let live_protocol_conv =
+    let parse s =
+      match Live.protocol_of_string s with
+      | Some p -> Ok p
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown protocol %S (onepaxos|multipaxos)" s))
+    in
+    let print fmt p = Format.pp_print_string fmt (Live.protocol_name p) in
+    Arg.conv (parse, print)
+  in
+  let protocol =
+    Arg.(value & opt live_protocol_conv Live.Onepaxos & info [ "p"; "protocol" ] ~doc:"Protocol: onepaxos (1paxos) or multipaxos.")
+  in
+  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica domains.") in
+  let clients = Arg.(value & opt int 2 & info [ "c"; "clients" ] ~doc:"Client domains.") in
+  let duration = Arg.(value & opt float 1.0 & info [ "d"; "duration-s" ] ~doc:"Measured wall-clock phase (seconds).") in
+  let drain = Arg.(value & opt float 0.2 & info [ "drain-s" ] ~doc:"Quiesce phase before stopping the domains (seconds).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (per-node streams derive from it).") in
+  let slots = Arg.(value & opt int 8 & info [ "queue-slots" ] ~doc:"SPSC ring capacity per ordered node pair.") in
+  let timeout = Arg.(value & opt int 150 & info [ "timeout-ms" ] ~doc:"Client retry timeout (ms). Keep generous on oversubscribed hosts.") in
+  let read_ratio = Arg.(value & opt float 0. & info [ "read-ratio" ] ~doc:"Fraction of read commands.") in
+  let think = Arg.(value & opt int 0 & info [ "think-us" ] ~doc:"Client think time between requests (us).") in
+  let metrics_out = Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the run's metrics registry as a flat JSON object to $(docv).") in
+  let run protocol replicas clients duration drain seed slots timeout read_ratio
+      think metrics_out =
+    let invalid fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; Some 1) fmt in
+    let bad =
+      if replicas < 2 then invalid "--replicas must be >= 2"
+      else if clients < 1 then invalid "--clients must be >= 1"
+      else if duration <= 0. then invalid "--duration-s must be > 0"
+      else if drain < 0. then invalid "--drain-s must be >= 0"
+      else if slots < 1 then invalid "--queue-slots must be >= 1"
+      else if timeout < 1 then invalid "--timeout-ms must be >= 1"
+      else if read_ratio < 0. || read_ratio > 1. then
+        invalid "--read-ratio must be in [0, 1]"
+      else if think < 0 then invalid "--think-us must be >= 0"
+      else None
+    in
+    match bad with
+    | Some code -> code
+    | None ->
+      let spec =
+        {
+          (Live.default_spec ~protocol) with
+          Live.n_replicas = replicas;
+          n_clients = clients;
+          duration_s = duration;
+          drain_s = drain;
+          seed;
+          queue_slots = slots;
+          client_timeout = timeout * 1_000_000;
+          think = think * 1_000;
+          read_ratio;
+        }
+      in
+      let r = Live.run spec in
+      Format.printf "live %s: %d replica + %d client domains on %d cores@."
+        (Live.protocol_name protocol) replicas clients r.Live.cores;
+      Format.printf "  measured %.3fs  ops %d  throughput %.0f op/s@."
+        r.Live.wall_s r.Live.ops r.Live.throughput;
+      Format.printf "  latency %a@." Ci_stats.Summary.pp r.Live.latency;
+      Format.printf "  retries %d  leader-changes %d  acceptor-changes %d@."
+        r.Live.retries r.Live.leader_changes r.Live.acceptor_changes;
+      let q = r.Live.queues in
+      Format.printf "  queues %d  msgs %d  full-ring sends %d  occupancy-peak %d/%d@."
+        q.Live.q_count q.Live.q_msgs q.Live.q_blocked q.Live.q_occupancy_peak
+        slots;
+      Format.printf "%a@." Ci_rsm.Consistency.pp r.Live.consistency;
+      (match metrics_out with
+       | Some path ->
+         let oc = open_out path in
+         Fun.protect
+           ~finally:(fun () -> close_out oc)
+           (fun () -> output_string oc (Ci_obs.Metrics.to_json r.Live.metrics));
+         Format.printf "wrote %s@." path
+       | None -> ());
+      if Ci_rsm.Consistency.ok r.Live.consistency then 0 else 1
+  in
+  let term =
+    Term.(
+      const run $ protocol $ replicas $ clients $ duration $ drain $ seed
+      $ slots $ timeout $ read_ratio $ think $ metrics_out)
+  in
+  Cmd.v
+    (Cmd.info "live"
+       ~doc:"Run the protocol cores for real on OCaml 5 domains over shared-memory SPSC queues.")
+    term
 
 (* ----- figures -------------------------------------------------------------- *)
 
@@ -294,4 +405,4 @@ let () =
     Cmd.info "consensus_sim" ~version:"1.0.0"
       ~doc:"Consensus Inside (Middleware 2014) reproduction: 1Paxos, Multi-Paxos and 2PC on a simulated many-core."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; figures_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; live_cmd; figures_cmd ]))

@@ -22,7 +22,9 @@ let () =
   let replica_ids = Array.map Machine.node_id replica_nodes in
   let config = Onepaxos.default_config ~replicas:replica_ids in
   let replicas =
-    Array.map (fun node -> Onepaxos.create ~node ~config) replica_nodes
+    Array.map
+      (fun node -> Onepaxos.create ~env:(Machine.env node) ~config)
+      replica_nodes
   in
   Array.iteri
     (fun i node ->

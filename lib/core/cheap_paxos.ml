@@ -1,4 +1,4 @@
-module Machine = Ci_machine.Machine
+module Node_env = Ci_engine.Node_env
 module Sim_time = Ci_engine.Sim_time
 module Command = Ci_rsm.Command
 
@@ -25,7 +25,7 @@ let default_config ~replicas =
 type round = { v : Wire.value; mutable acks : int list }
 
 type t = {
-  node : Wire.t Machine.node;
+  env : Wire.t Node_env.t;
   cfg : config;
   self : int;
   core : Replica_core.t;
@@ -59,8 +59,8 @@ type t = {
   mutable n_reconfigs : int;
 }
 
-let send t dst msg = Machine.send t.node ~dst msg
-let now t = Machine.now (Machine.machine_of t.node)
+let send t dst msg = t.env.Node_env.send ~dst msg
+let now t = t.env.Node_env.now ()
 let pu t = match t.pu with Some p -> p | None -> assert false
 let leader_of actives = match actives with l :: _ -> l | [] -> -1
 let is_leader t = leader_of t.cur_actives = t.self
@@ -173,7 +173,7 @@ let on_epoch_change t ~cseq actives =
   let was_active = is_active t && t.cur_actives <> [] in
   let bootstrap = t.cur_actives = [] in
   if not bootstrap then
-    Machine.note_phase t.node
+    t.env.Node_env.note_phase
       ~phase:(Printf.sprintf "cheap-paxos:epoch-change:%d" cseq);
   t.cur_epoch <- cseq;
   t.cur_actives <- actives;
@@ -262,7 +262,7 @@ let scan t =
   end
 
 let rec fd_loop t =
-  Machine.after t.node ~delay:t.cfg.check_period (fun () ->
+  t.env.Node_env.after ~delay:t.cfg.check_period (fun () ->
       scan t;
       fd_loop t)
 
@@ -313,7 +313,7 @@ let on_config_entry t ~cseq entry =
     (* 1Paxos entries never appear in a Cheap Paxos deployment. *)
     ()
 
-let create ~node ~config =
+let create ~env ~config =
   if config.initial_actives = [] then
     invalid_arg "Cheap_paxos.create: empty active set";
   List.iter
@@ -323,10 +323,10 @@ let create ~node ~config =
     config.initial_actives;
   let t =
     {
-      node;
+      env;
       cfg = config;
-      self = Machine.node_id node;
-      core = Replica_core.create ~replica:(Machine.node_id node);
+      self = env.Node_env.id;
+      core = Replica_core.create ~replica:env.Node_env.id;
       pu = None;
       cur_epoch = 0;
       cur_actives = [];
@@ -344,7 +344,7 @@ let create ~node ~config =
     }
   in
   let pu =
-    Paxos_utility.create ~node ~peers:config.replicas
+    Paxos_utility.create ~env ~peers:config.replicas
       ~timeout:config.reconfig_timeout
       ~seed:[ Wire.Epoch_change { actives = config.initial_actives } ]
       ~on_entry:(fun ~cseq entry -> on_config_entry t ~cseq entry)

@@ -40,8 +40,8 @@ val default_config : replicas:int array -> config
 type t
 (** One Cheap Paxos replica. *)
 
-val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
-(** [create ~node ~config] initializes the replica. *)
+val create : env:Wire.t Ci_engine.Node_env.t -> config:config -> t
+(** [create ~env ~config] initializes the replica. *)
 
 val start : t -> unit
 (** [start t] arms the failure detector. *)

@@ -1,4 +1,4 @@
-module Machine = Ci_machine.Machine
+module Node_env = Ci_engine.Node_env
 module Command = Ci_rsm.Command
 
 type config = { replicas : int array; skip_lag : int; relaxed_reads : bool }
@@ -18,7 +18,7 @@ let is_skip_value (v : Wire.value) =
 type tally = { v : Wire.value option; mutable srcs : int list }
 
 type t = {
-  node : Wire.t Machine.node;
+  env : Wire.t Node_env.t;
   cfg : config;
   self : int;
   index : int; (* my ownership class *)
@@ -38,7 +38,7 @@ type t = {
 }
 
 let majority t = (t.n / 2) + 1
-let send t dst msg = Machine.send t.node ~dst msg
+let send t dst msg = t.env.Node_env.send ~dst msg
 let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.cfg.replicas
 
 let reply_if_mine t (ex : Replica_core.executed) =
@@ -146,15 +146,15 @@ let handle t ~src msg =
   | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ ->
     ()
 
-let create ~node ~config =
-  let self = Machine.node_id node in
+let create ~env ~config =
+  let self = env.Node_env.id in
   let index =
     match Array.find_index (fun id -> id = self) config.replicas with
     | Some i -> i
     | None -> invalid_arg "Mencius.create: node not in the replica set"
   in
   {
-    node;
+    env;
     cfg = config;
     self;
     index;

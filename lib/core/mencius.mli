@@ -33,8 +33,8 @@ val default_config : replicas:int array -> config
 type t
 (** One Mencius replica. *)
 
-val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
-(** [create ~node ~config] initializes the replica; route messages to
+val create : env:Wire.t Ci_engine.Node_env.t -> config:config -> t
+(** [create ~env ~config] initializes the replica; route messages to
     {!handle}. No [start] step is needed — ownership is static. *)
 
 val handle : t -> src:int -> Wire.t -> unit

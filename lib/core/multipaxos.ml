@@ -1,4 +1,4 @@
-module Machine = Ci_machine.Machine
+module Node_env = Ci_engine.Node_env
 module Sim_time = Ci_engine.Sim_time
 module Rng = Ci_engine.Rng
 module Command = Ci_rsm.Command
@@ -31,7 +31,7 @@ let default_config ~replicas =
 type tally = { v : Wire.value; mutable srcs : int list }
 
 type t = {
-  node : Wire.t Machine.node;
+  env : Wire.t Node_env.t;
   cfg : config;
   self : int;
   core : Replica_core.t;
@@ -42,7 +42,7 @@ type t = {
   mutable pn_round : int;
   mutable electing : Pn.t option; (* pn of the election in flight *)
   mutable election_no : int;
-  mutable election_timer : Machine.timer option;
+  mutable election_timer : Node_env.timer option;
   mutable promise_count : int;
   promise_best : (int, Pn.t * Wire.value) Hashtbl.t;
   proposed : (int, Wire.value) Hashtbl.t;
@@ -57,7 +57,7 @@ type t = {
   mutable bat_inflight : int;
   bat_remaining : (int, int ref) Hashtbl.t;
   slot_batch : (int, int) Hashtbl.t;
-  mutable bat_timer : Machine.timer option;
+  mutable bat_timer : Node_env.timer option;
   mutable bat_overdue : bool;
   (* Acceptor. *)
   mutable promised : Pn.t;
@@ -69,7 +69,7 @@ type t = {
 }
 
 let majority t = (Array.length t.cfg.replicas / 2) + 1
-let send t dst msg = Machine.send t.node ~dst msg
+let send t dst msg = t.env.Node_env.send ~dst msg
 let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.cfg.replicas
 
 let fresh_pn t =
@@ -89,7 +89,7 @@ let window_open t = t.cfg.window <= 0 || t.bat_inflight < t.cfg.window
 let cancel_batch_timer t =
   match t.bat_timer with
   | Some tm ->
-    Machine.cancel_timer t.node tm;
+    Node_env.cancel_timer tm;
     t.bat_timer <- None
   | None -> ()
 
@@ -132,7 +132,7 @@ and try_flush t =
       else if t.bat_timer = None then
         t.bat_timer <-
           Some
-            (Machine.after_cancel t.node ~delay:t.cfg.batch_delay (fun () ->
+            (t.env.Node_env.after_cancel ~delay:t.cfg.batch_delay (fun () ->
                  t.bat_timer <- None;
                  t.bat_overdue <- true;
                  try_flush t))
@@ -213,7 +213,7 @@ let bump_next_inst t =
 let rec start_election t =
   if not (t.iam_leader || t.electing <> None) then begin
     let pn = fresh_pn t in
-    Machine.note_phase t.node ~phase:"multipaxos:election";
+    t.env.Node_env.note_phase ~phase:"multipaxos:election";
     t.electing <- Some pn;
     t.election_no <- t.election_no + 1;
     t.n_elections <- t.n_elections + 1;
@@ -228,7 +228,7 @@ let rec start_election t =
     let delay = base + Rng.int t.rng (max 1 (base / 2)) in
     t.election_timer <-
       Some
-        (Machine.after_cancel t.node ~delay (fun () ->
+        (t.env.Node_env.after_cancel ~delay (fun () ->
              t.election_timer <- None;
              if
                t.election_no = this_election
@@ -242,12 +242,12 @@ let rec start_election t =
   end
 
 let become_leader t pn =
-  Machine.note_phase t.node ~phase:"multipaxos:leader";
+  t.env.Node_env.note_phase ~phase:"multipaxos:leader";
   t.iam_leader <- true;
   t.electing <- None;
   (match t.election_timer with
    | Some tm ->
-     Machine.cancel_timer t.node tm;
+     Node_env.cancel_timer tm;
      t.election_timer <- None
    | None -> ());
   t.election_streak <- 0;
@@ -404,13 +404,26 @@ let handle t ~src msg =
   | Wire.Tp_ack _ | Wire.Tp_commit _ | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ ->
     ()
 
-let create ~node ~config =
+let validate_config config =
+  if Array.length config.replicas < 1 then
+    invalid_arg "Multipaxos: need at least one replica";
+  if not (Array.exists (fun r -> r = config.initial_leader) config.replicas)
+  then
+    invalid_arg
+      (Printf.sprintf "Multipaxos: initial_leader %d is not a replica"
+         config.initial_leader);
+  if config.max_batch < 1 then
+    invalid_arg "Multipaxos: max_batch must be >= 1";
+  if config.window < 0 then invalid_arg "Multipaxos: window must be >= 0"
+
+let create ~env ~config =
+  validate_config config;
   {
-    node;
+    env;
     cfg = config;
-    self = Machine.node_id node;
-    core = Replica_core.create ~replica:(Machine.node_id node);
-    rng = Rng.split (Machine.rng (Machine.machine_of node));
+    self = env.Node_env.id;
+    core = Replica_core.create ~replica:env.Node_env.id;
+    rng = Rng.split env.Node_env.rng;
     iam_leader = false;
     my_pn = Pn.bottom;
     pn_round = 0;

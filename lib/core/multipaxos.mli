@@ -42,8 +42,11 @@ val default_config : replicas:int array -> config
 type t
 (** One Multi-Paxos replica. *)
 
-val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
-(** [create ~node ~config] initializes the replica. *)
+val create : env:Wire.t Ci_engine.Node_env.t -> config:config -> t
+(** [create ~env ~config] initializes the replica on the node behind
+    [env] (simulated or live). Raises [Invalid_argument] if
+    [config.initial_leader] is not a member of [config.replicas], or if
+    [max_batch < 1] / [window < 0]. *)
 
 val start : t -> unit
 (** [start t] makes the configured initial leader run phase 1 so the

@@ -1,4 +1,4 @@
-module Machine = Ci_machine.Machine
+module Node_env = Ci_engine.Node_env
 module Sim_time = Ci_engine.Sim_time
 module Command = Ci_rsm.Command
 
@@ -36,7 +36,7 @@ let default_config ~replicas =
 type ls_op = { mutable replies : int; k : unit -> unit }
 
 type t = {
-  node : Wire.t Machine.node;
+  env : Wire.t Node_env.t;
   cfg : config;
   self : int;
   core : Replica_core.t;
@@ -72,7 +72,7 @@ type t = {
   mutable bat_inflight : int; (* batches proposed, not yet fully decided *)
   bat_remaining : (int, int ref) Hashtbl.t; (* batch base -> undecided slots *)
   slot_batch : (int, int) Hashtbl.t; (* instance -> its batch base *)
-  mutable bat_timer : Machine.timer option;
+  mutable bat_timer : Node_env.timer option;
   mutable bat_overdue : bool; (* delay expired with the window full *)
   (* Acceptor state (Appendix A: hpn, ap, IamFresh). *)
   mutable hpn : Pn.t;
@@ -87,8 +87,8 @@ type t = {
 }
 
 let majority t = (Array.length t.cfg.replicas / 2) + 1
-let send t dst msg = Machine.send t.node ~dst msg
-let now t = Machine.now (Machine.machine_of t.node)
+let send t dst msg = t.env.Node_env.send ~dst msg
+let now t = t.env.Node_env.now ()
 
 let pu t =
   match t.pu with Some p -> p | None -> assert false
@@ -112,7 +112,7 @@ let window_open t = t.cfg.window <= 0 || t.bat_inflight < t.cfg.window
 let cancel_batch_timer t =
   match t.bat_timer with
   | Some tm ->
-    Machine.cancel_timer t.node tm;
+    Node_env.cancel_timer tm;
     t.bat_timer <- None
   | None -> ()
 
@@ -162,7 +162,7 @@ and try_flush t =
       else if t.bat_timer = None then
         t.bat_timer <-
           Some
-            (Machine.after_cancel t.node ~delay:t.cfg.batch_delay (fun () ->
+            (t.env.Node_env.after_cancel ~delay:t.cfg.batch_delay (fun () ->
                  t.bat_timer <- None;
                  t.bat_overdue <- true;
                  try_flush t))
@@ -285,7 +285,7 @@ let forward_pending t =
   | Some _ | None -> ()
 
 let step_down t =
-  if t.iam_leader then Machine.note_phase t.node ~phase:"1paxos:step-down";
+  if t.iam_leader then t.env.Node_env.note_phase ~phase:"1paxos:step-down";
   t.iam_leader <- false;
   t.becoming <- false;
   t.pending_prepare <- None;
@@ -528,7 +528,7 @@ let on_prepare_response t ~src ~pn ~accepted =
   if (not t.iam_leader) && t.cur_leader = Some t.self && Some src = t.aa
      && expected
   then begin
-    Machine.note_phase t.node ~phase:"1paxos:adopted-acceptor";
+    t.env.Node_env.note_phase ~phase:"1paxos:adopted-acceptor";
     t.iam_leader <- true;
     t.becoming <- false;
     t.pending_prepare <- None;
@@ -603,7 +603,7 @@ let scan t =
   | Some _ | None -> ()
 
 let rec fd_loop t =
-  Machine.after t.node ~delay:t.cfg.check_period (fun () ->
+  t.env.Node_env.after ~delay:t.cfg.check_period (fun () ->
       scan t;
       fd_loop t)
 
@@ -659,7 +659,7 @@ let handle t ~src msg =
 let on_config_entry t ~cseq:_ entry =
   match entry with
   | Wire.Leader_change { leader; acceptor } ->
-    Machine.note_phase t.node
+    t.env.Node_env.note_phase
       ~phase:(Printf.sprintf "1paxos:leader-change:%d" leader);
     t.cur_leader <- Some leader;
     t.aa <- Some acceptor;
@@ -670,7 +670,7 @@ let on_config_entry t ~cseq:_ entry =
        else. *)
     if leader <> t.self && (t.iam_leader || t.becoming) then step_down t
   | Wire.Acceptor_change { acceptor; carried } ->
-    Machine.note_phase t.node
+    t.env.Node_env.note_phase
       ~phase:(Printf.sprintf "1paxos:acceptor-change:%d" acceptor);
     t.aa <- Some acceptor;
     t.n_acceptor_changes <- t.n_acceptor_changes + 1;
@@ -701,13 +701,30 @@ let on_config_entry t ~cseq:_ entry =
        deployment's PaxosUtility log. *)
     ()
 
-let create ~node ~config =
+let validate_config config =
+  let member id = Array.exists (fun r -> r = id) config.replicas in
+  if Array.length config.replicas < 2 then
+    invalid_arg "Onepaxos: need at least two replicas";
+  if not (member config.initial_leader) then
+    invalid_arg
+      (Printf.sprintf "Onepaxos: initial_leader %d is not a replica"
+         config.initial_leader);
+  if not (member config.initial_acceptor) then
+    invalid_arg
+      (Printf.sprintf "Onepaxos: initial_acceptor %d is not a replica"
+         config.initial_acceptor);
+  if config.max_batch < 1 then
+    invalid_arg "Onepaxos: max_batch must be >= 1";
+  if config.window < 0 then invalid_arg "Onepaxos: window must be >= 0"
+
+let create ~env ~config =
+  validate_config config;
   let t =
     {
-      node;
+      env;
       cfg = config;
-      self = Machine.node_id node;
-      core = Replica_core.create ~replica:(Machine.node_id node);
+      self = env.Node_env.id;
+      core = Replica_core.create ~replica:env.Node_env.id;
       pu = None;
       iam_leader = false;
       aa = None;
@@ -750,7 +767,7 @@ let create ~node ~config =
     ]
   in
   let pu =
-    Paxos_utility.create ~node ~peers:config.replicas ~timeout:config.pu_timeout
+    Paxos_utility.create ~env ~peers:config.replicas ~timeout:config.pu_timeout
       ~seed ~on_entry:(fun ~cseq entry -> on_config_entry t ~cseq entry)
   in
   t.pu <- Some pu;

@@ -62,10 +62,14 @@ val default_config : replicas:int array -> config
 type t
 (** One 1Paxos replica. *)
 
-val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
-(** [create ~node ~config] initializes the replica on [node]. All
-    replicas must share an identical [config]. The caller routes
-    messages to {!handle}. *)
+val create : env:Wire.t Ci_engine.Node_env.t -> config:config -> t
+(** [create ~env ~config] initializes the replica on the node behind
+    [env] (simulated or live). All replicas must share an identical
+    [config]. The caller routes messages to {!handle}. Raises
+    [Invalid_argument] if [config.initial_leader] or
+    [config.initial_acceptor] is not a member of [config.replicas], if
+    fewer than two replicas are given, or if [max_batch < 1] /
+    [window < 0]. *)
 
 val start : t -> unit
 (** [start t] bootstraps: the initial leader adopts the initial acceptor

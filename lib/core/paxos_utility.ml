@@ -1,4 +1,4 @@
-module Machine = Ci_machine.Machine
+module Node_env = Ci_engine.Node_env
 module Op_log = Ci_rsm.Op_log
 module Rng = Ci_engine.Rng
 
@@ -24,7 +24,7 @@ type attempt = {
 type read_op = { mutable reply_count : int; k : unit -> unit }
 
 type t = {
-  node : Wire.t Machine.node;
+  env : Wire.t Node_env.t;
   self : int;
   peers : int array;
   majority : int;
@@ -44,7 +44,7 @@ type t = {
   mutable acct : int option;
 }
 
-let send t dst msg = Machine.send t.node ~dst msg
+let send t dst msg = t.env.Node_env.send ~dst msg
 let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.peers
 
 (* Fire [on_entry] for every newly contiguous chosen entry. *)
@@ -127,7 +127,7 @@ let rec start_attempt t mine k =
 (* Retry with a higher proposal number unless the attempt completed or
    was superseded. *)
 and arm_retry t a =
-  Machine.after t.node ~delay:(backoff t) (fun () ->
+  t.env.Node_env.after ~delay:(backoff t) (fun () ->
       match t.att with
       | Some cur when cur.att_id = a.att_id ->
         t.att <- None;
@@ -280,15 +280,15 @@ let applied_upto t = t.applied
 let current_leader t = t.lead
 let current_acceptor t = t.acct
 
-let create ~node ~peers ~timeout ~seed ~on_entry =
+let create ~env ~peers ~timeout ~seed ~on_entry =
   let t =
     {
-      node;
-      self = Machine.node_id node;
+      env;
+      self = env.Node_env.id;
       peers;
       majority = (Array.length peers / 2) + 1;
       timeout;
-      rng = Rng.split (Machine.rng (Machine.machine_of node));
+      rng = Rng.split env.Node_env.rng;
       on_entry;
       log = Op_log.create ~equal:Wire.config_entry_equal ();
       acc = Hashtbl.create 16;

@@ -19,14 +19,14 @@ type t
 (** Per-node PaxosUtility state. *)
 
 val create :
-  node:Wire.t Ci_machine.Machine.node ->
+  env:Wire.t Ci_engine.Node_env.t ->
   peers:int array ->
   timeout:Ci_engine.Sim_time.t ->
   seed:Wire.config_entry list ->
   on_entry:(cseq:int -> Wire.config_entry -> unit) ->
   t
-(** [create ~node ~peers ~timeout ~seed ~on_entry] attaches the
-    component to a machine node. [peers] are the machine node ids of
+(** [create ~env ~peers ~timeout ~seed ~on_entry] attaches the
+    component to a host node. [peers] are the node ids of
     all participants (including this node). [seed] entries are
     pre-chosen at the head of the sequence on every node — the paper's
     initialization step in which the smallest-id node inserts the

@@ -1,4 +1,4 @@
-module Machine = Ci_machine.Machine
+module Node_env = Ci_engine.Node_env
 module Rng = Ci_engine.Rng
 
 type attempt = {
@@ -12,7 +12,7 @@ type attempt = {
 }
 
 type t = {
-  node : Wire.t Machine.node;
+  env : Wire.t Node_env.t;
   self : int;
   peers : int array;
   majority : int;
@@ -32,7 +32,7 @@ type t = {
   mutable next_att : int;
 }
 
-let send t dst msg = Machine.send t.node ~dst msg
+let send t dst msg = t.env.Node_env.send ~dst msg
 let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.peers
 
 let decide t v =
@@ -61,7 +61,7 @@ let rec start_attempt t v =
     t.att <- Some a;
     broadcast t (Wire.Bp_prepare { inst = 0; pn });
     let delay = t.timeout + Rng.int t.rng (t.timeout / 2 + 1) in
-    Machine.after t.node ~delay (fun () ->
+    t.env.Node_env.after ~delay (fun () ->
         match t.att with
         | Some cur when cur.id = a.id && t.decided = None ->
           t.att <- None;
@@ -126,14 +126,14 @@ let handle t ~src msg =
 
 let decision t = t.decided
 
-let create ~node ~peers ~timeout ?(on_decide = fun _ -> ()) () =
+let create ~env ~peers ~timeout ?(on_decide = fun _ -> ()) () =
   {
-    node;
-    self = Machine.node_id node;
+    env;
+    self = env.Node_env.id;
     peers;
     majority = (Array.length peers / 2) + 1;
     timeout;
-    rng = Rng.split (Machine.rng (Machine.machine_of node));
+    rng = Rng.split env.Node_env.rng;
     on_decide;
     promised = Pn.bottom;
     accepted = None;

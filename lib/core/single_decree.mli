@@ -11,13 +11,13 @@ type t
 (** One participant. *)
 
 val create :
-  node:Wire.t Ci_machine.Machine.node ->
+  env:Wire.t Ci_engine.Node_env.t ->
   peers:int array ->
   timeout:Ci_engine.Sim_time.t ->
   ?on_decide:(Wire.value -> unit) ->
   unit ->
   t
-(** [create ~node ~peers ~timeout ~on_decide ()] attaches a participant.
+(** [create ~env ~peers ~timeout ~on_decide ()] attaches a participant.
     [on_decide] fires exactly once, when this node learns the decision. *)
 
 val handle : t -> src:int -> Wire.t -> unit

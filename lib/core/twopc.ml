@@ -1,4 +1,4 @@
-module Machine = Ci_machine.Machine
+module Node_env = Ci_engine.Node_env
 module Command = Ci_rsm.Command
 
 type config = { replicas : int array; coordinator : int; local_reads : bool }
@@ -16,7 +16,7 @@ type round = {
 }
 
 type t = {
-  node : Wire.t Machine.node;
+  env : Wire.t Node_env.t;
   cfg : config;
   self : int;
   core : Replica_core.t;
@@ -31,7 +31,7 @@ type t = {
   mutable n_local_reads : int;
 }
 
-let send t dst msg = Machine.send t.node ~dst msg
+let send t dst msg = t.env.Node_env.send ~dst msg
 let broadcast_others t msg = Array.iter (fun dst -> send t dst msg) t.others
 
 let learn_value t ~inst v =
@@ -142,10 +142,10 @@ let handle t ~src msg =
   | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ ->
     ()
 
-let create ~node ~config =
-  let self = Machine.node_id node in
+let create ~env ~config =
+  let self = env.Node_env.id in
   {
-    node;
+    env;
     cfg = config;
     self;
     core = Replica_core.create ~replica:self;

@@ -27,8 +27,8 @@ val default_config : replicas:int array -> config
 type t
 (** One 2PC replica. *)
 
-val create : node:Wire.t Ci_machine.Machine.node -> config:config -> t
-(** [create ~node ~config] initializes the replica. *)
+val create : env:Wire.t Ci_engine.Node_env.t -> config:config -> t
+(** [create ~env ~config] initializes the replica. *)
 
 val handle : t -> src:int -> Wire.t -> unit
 (** [handle t ~src msg] processes a client or protocol message. *)

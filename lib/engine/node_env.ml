@@ -1,0 +1,13 @@
+type timer = { cancel : unit -> unit }
+
+type 'msg t = {
+  id : int;
+  send : dst:int -> 'msg -> unit;
+  now : unit -> Sim_time.t;
+  after : delay:Sim_time.t -> (unit -> unit) -> unit;
+  after_cancel : delay:Sim_time.t -> (unit -> unit) -> timer;
+  rng : Rng.t;
+  note_phase : phase:string -> unit;
+}
+
+let cancel_timer tm = tm.cancel ()

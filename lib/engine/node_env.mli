@@ -1,0 +1,51 @@
+(** The node-environment seam between protocol cores and their host.
+
+    A protocol replica (1Paxos, Multi-Paxos, PaxosUtility, ...) needs
+    exactly six capabilities from whatever hosts it: an identity, a way
+    to send a message to a peer, a clock, one-shot timers (cancellable
+    or not), and a random stream. [Node_env] packages those as a record
+    of closures, so the same protocol core runs unchanged on two
+    backends:
+
+    - {!Ci_machine.Machine.env}: the deterministic discrete-event model
+      of a many-core machine (simulated nanoseconds);
+    - [Ci_runtime]: real OCaml 5 domains exchanging messages over
+      shared-memory SPSC queues (monotonic-clock nanoseconds).
+
+    Times are always integer nanoseconds ({!Sim_time.t}); only their
+    origin differs between backends. Implementations must be
+    single-threaded per node: every closure is invoked only from the
+    node's own execution context (simulator event or host domain), and
+    handlers run to completion — [send] must never re-enter the
+    caller's message handler. *)
+
+type timer = { cancel : unit -> unit }
+(** A handle for one pending {!t.after_cancel} timer. Calling [cancel]
+    revokes the timer if it has not fired; cancelling a fired or
+    already-cancelled timer is a no-op. *)
+
+type 'msg t = {
+  id : int;  (** The node's identity, as peers address it in [send]. *)
+  send : dst:int -> 'msg -> unit;
+      (** [send ~dst msg] transmits [msg] to node [dst]. Sending to
+          [id] itself is a local delivery that skips the message layer
+          (collapsed roles). Never blocks the caller's logic. *)
+  now : unit -> Sim_time.t;
+      (** Current time in nanoseconds (virtual or monotonic). *)
+  after : delay:Sim_time.t -> (unit -> unit) -> unit;
+      (** [after ~delay f] runs [f] on this node [delay] ns from now. *)
+  after_cancel : delay:Sim_time.t -> (unit -> unit) -> timer;
+      (** [after_cancel ~delay f] is [after] but revocable. *)
+  rng : Rng.t;
+      (** The host's random stream. Protocols that need their own
+          stream derive one with {!Rng.split}, exactly once, at
+          creation time — the draw order is part of an experiment's
+          reproducibility contract. *)
+  note_phase : phase:string -> unit;
+      (** Records a protocol phase transition (election started,
+          acceptor switched, ...) with the host's observability layer.
+          May be a no-op. *)
+}
+
+val cancel_timer : timer -> unit
+(** [cancel_timer tm] is [tm.cancel ()]. *)

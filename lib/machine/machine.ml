@@ -253,6 +253,26 @@ let compute n ~cost f = Cpu.exec n.owner.cpus.(n.ncore) ~cost f
 let note_phase n ~phase =
   emit n.owner ~core:n.ncore ~label:phase (Event.Phase { node = n.nid; phase })
 
+(* The simulator's implementation of the node-environment seam. The
+   [rng] field is the machine's shared stream — NOT a pre-split child —
+   so that protocol cores calling [Rng.split env.rng] at creation time
+   draw in exactly the order they did when they split the machine rng
+   directly. Figure output is byte-identical across the refactor only
+   because of this. *)
+let env n =
+  {
+    Ci_engine.Node_env.id = n.nid;
+    send = (fun ~dst msg -> send n ~dst msg);
+    now = (fun () -> Sim.now n.owner.sim);
+    after = (fun ~delay f -> after n ~delay f);
+    after_cancel =
+      (fun ~delay f ->
+        let tm = after_cancel n ~delay f in
+        { Ci_engine.Node_env.cancel = (fun () -> cancel_timer n tm) });
+    rng = n.owner.random;
+    note_phase = (fun ~phase -> note_phase n ~phase);
+  }
+
 let slow_core t ~core ~from_ ~until_ ~factor =
   Cpu.add_slowdown t.cpus.(core) ~from_ ~until_ ~factor
 

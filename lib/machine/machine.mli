@@ -96,6 +96,14 @@ val note_phase : 'msg node -> phase:string -> unit
     started, leadership adopted, acceptor switched, ...) as a typed
     trace event on [n]'s core. A no-op when no observer is installed. *)
 
+val env : 'msg node -> 'msg Ci_engine.Node_env.t
+(** [env n] is the node-environment view of [n]: the simulator backend
+    of the {!Ci_engine.Node_env} seam protocol cores are written
+    against. Sends, timers and the clock go through [n]'s machine
+    (charging the usual costs); [env n].rng is the machine's shared
+    stream, so [Rng.split] draws made through the environment advance
+    it exactly as direct splits did. *)
+
 val slow_core :
   'msg t ->
   core:int ->

@@ -1,7 +1,13 @@
+type counter = int Atomic.t
 type value = Int of int | Float of float
 
+(* Counters live in a separate variant so the single-domain setters keep
+   their allocation profile: [set_int] still boxes one [Int], never an
+   [Atomic.t]. *)
+type slot = Scalar of value | Counter of counter
+
 type t = {
-  tbl : (string, value) Hashtbl.t;
+  tbl : (string, slot) Hashtbl.t;
   mutable order : string list; (* reversed insertion order *)
 }
 
@@ -9,12 +15,26 @@ let create () = { tbl = Hashtbl.create 64; order = [] }
 
 let set t key v =
   if not (Hashtbl.mem t.tbl key) then t.order <- key :: t.order;
-  Hashtbl.replace t.tbl key v
+  Hashtbl.replace t.tbl key (Scalar v)
 
 let set_int t key v = set t key (Int v)
 let set_float t key v = set t key (Float v)
 
-let find t key = Hashtbl.find_opt t.tbl key
+let counter t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some (Counter c) -> c
+  | Some (Scalar _) | None ->
+    let c = Atomic.make 0 in
+    if not (Hashtbl.mem t.tbl key) then t.order <- key :: t.order;
+    Hashtbl.replace t.tbl key (Counter c);
+    c
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let counter_value c = Atomic.get c
+
+let read = function Scalar v -> v | Counter c -> Int (Atomic.get c)
+let find t key = Option.map read (Hashtbl.find_opt t.tbl key)
 
 let get_int t key =
   match find t key with
@@ -22,7 +42,7 @@ let get_int t key =
   | Some (Float v) -> int_of_float v
   | None -> 0
 
-let to_list t = List.rev_map (fun key -> (key, Hashtbl.find t.tbl key)) t.order
+let to_list t = List.rev_map (fun key -> (key, read (Hashtbl.find t.tbl key))) t.order
 let length t = List.length t.order
 
 let escape_key key =

@@ -12,6 +12,14 @@ type value = Int of int | Float of float
 type t
 (** A mutable registry. *)
 
+type counter
+(** A domain-safe monotonic counter bound to one key: an [Atomic.t]
+    that any domain may increment without tearing. The registry's other
+    operations (registration, [set_int], reads) touch a plain [Hashtbl]
+    and stay single-domain: register every counter {e before} spawning
+    the domains that increment it, and read the registry after they are
+    joined (or accept slightly stale counts). *)
+
 val create : unit -> t
 (** [create ()] is an empty registry. *)
 
@@ -20,6 +28,20 @@ val set_int : t -> string -> int -> unit
 
 val set_float : t -> string -> float -> unit
 (** [set_float t key v] binds [key] to [Float v]. *)
+
+val counter : t -> string -> counter
+(** [counter t key] is the counter bound to [key], creating it at zero
+    (and claiming [key]) on first use. A scalar previously bound to
+    [key] is replaced. Call from the registry-owning domain only. *)
+
+val incr : counter -> unit
+(** [incr c] atomically adds one. Safe from any domain. *)
+
+val add : counter -> int -> unit
+(** [add c n] atomically adds [n]. Safe from any domain. *)
+
+val counter_value : counter -> int
+(** [counter_value c] is the current count (atomic load). *)
 
 val find : t -> string -> value option
 (** [find t key] is the current binding of [key], if any. *)

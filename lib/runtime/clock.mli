@@ -1,0 +1,9 @@
+(** Monotonic wall-clock time for the live runtime.
+
+    The runtime's analogue of {!Ci_engine.Sim.now}: integer nanoseconds
+    from [CLOCK_MONOTONIC], unaffected by wall-clock adjustments.
+    {!Ci_runtime.Live} subtracts a per-run origin so node-environment
+    timestamps start near zero, like the simulator's. *)
+
+val now_ns : unit -> int
+(** [now_ns ()] is the current monotonic time in nanoseconds. *)

@@ -1,0 +1,397 @@
+module Wire = Ci_consensus.Wire
+module Node_env = Ci_engine.Node_env
+module Sim_time = Ci_engine.Sim_time
+module Rng = Ci_engine.Rng
+module Command = Ci_rsm.Command
+module Consistency = Ci_rsm.Consistency
+module Replica_core = Ci_consensus.Replica_core
+module Client = Ci_workload.Client
+module Run_stats = Ci_workload.Run_stats
+module Metrics = Ci_obs.Metrics
+module Summary = Ci_stats.Summary
+
+type protocol = Onepaxos | Multipaxos
+
+type spec = {
+  protocol : protocol;
+  n_replicas : int;
+  n_clients : int;
+  duration_s : float;
+  drain_s : float;
+  queue_slots : int;
+  seed : int;
+  client_timeout : int;
+  think : int;
+  read_ratio : float;
+  key_space : int;
+}
+
+let default_spec ~protocol =
+  {
+    protocol;
+    n_replicas = 3;
+    n_clients = 2;
+    duration_s = 1.0;
+    drain_s = 0.2;
+    queue_slots = 8;
+    seed = 42;
+    client_timeout = Sim_time.ms 150;
+    think = 0;
+    read_ratio = 0.;
+    key_space = 64;
+  }
+
+let protocol_of_string = function
+  | "onepaxos" | "1paxos" -> Some Onepaxos
+  | "multipaxos" | "multi-paxos" -> Some Multipaxos
+  | _ -> None
+
+let protocol_name = function Onepaxos -> "1paxos" | Multipaxos -> "multipaxos"
+
+type queue_totals = {
+  q_count : int;
+  q_msgs : int;
+  q_blocked : int;
+  q_occupancy_peak : int;
+}
+
+type result = {
+  spec : spec;
+  cores : int;
+  wall_s : float;
+  ops : int;
+  throughput : float;
+  latency : Summary.t;
+  retries : int;
+  leader_changes : int;
+  acceptor_changes : int;
+  queues : queue_totals;
+  consistency : Consistency.report;
+  metrics : Metrics.t;
+}
+
+(* Per-node runtime state. Everything here is owned by the node's
+   domain once it is spawned; the main domain builds it beforehand and
+   reads it back only after [Domain.join]. *)
+type node_state = {
+  id : int;
+  inqs : Wire.t Spsc.t option array; (* indexed by src; [id] is None *)
+  outqs : Wire.t Spsc.t option array; (* indexed by dst; [id] is None *)
+  (* Unbounded per-destination outboxes, exactly Channel's outbox stage:
+     a send that finds the ring full parks here and the event loop
+     retries, so protocol handlers never block and two mutually full
+     nodes cannot deadlock. *)
+  outbox : Wire.t Queue.t array;
+  selfq : Wire.t Queue.t; (* collapsed-role local deliveries *)
+  timers : Timer_wheel.t;
+  mutable handler : src:int -> Wire.t -> unit;
+  mutable n_blocked : int;
+}
+
+let validate spec =
+  if spec.n_replicas < 2 then invalid_arg "Live.run: need >= 2 replicas";
+  if spec.n_clients < 1 then invalid_arg "Live.run: need >= 1 client";
+  if spec.duration_s <= 0. then invalid_arg "Live.run: duration_s must be > 0";
+  if spec.drain_s < 0. then invalid_arg "Live.run: drain_s must be >= 0";
+  if spec.queue_slots < 1 then invalid_arg "Live.run: queue_slots must be >= 1";
+  if spec.client_timeout <= 0 then
+    invalid_arg "Live.run: client_timeout must be > 0";
+  if spec.think < 0 then invalid_arg "Live.run: think must be >= 0";
+  if not (spec.read_ratio >= 0. && spec.read_ratio <= 1.) then
+    invalid_arg "Live.run: read_ratio must be in [0, 1]";
+  if spec.key_space < 1 then invalid_arg "Live.run: key_space must be >= 1"
+
+let env_for st ~t0 ~seed =
+  let now () = Clock.now_ns () - t0 in
+  {
+    Node_env.id = st.id;
+    send =
+      (fun ~dst msg ->
+        if dst = st.id then Queue.push msg st.selfq
+        else
+          match st.outqs.(dst) with
+          | Some q ->
+            (* Ring order must respect send order: once anything is
+               parked in the outbox, later sends queue behind it. *)
+            if Queue.is_empty st.outbox.(dst) && Spsc.try_push q msg then ()
+            else begin
+              st.n_blocked <- st.n_blocked + 1;
+              Queue.push msg st.outbox.(dst)
+            end
+          | None -> invalid_arg "Live: send to unknown node");
+    now;
+    after = (fun ~delay f -> Timer_wheel.at st.timers ~deadline:(now () + delay) f);
+    after_cancel =
+      (fun ~delay f ->
+        let tok = Timer_wheel.at_token st.timers ~deadline:(now () + delay) f in
+        { Node_env.cancel = (fun () -> Timer_wheel.cancel st.timers tok) });
+    rng = Rng.create ~seed;
+    note_phase = (fun ~phase:_ -> ());
+  }
+
+(* How long to spin on an idle loop before yielding the core. On a host
+   with fewer cores than domains (the 1-core CI box included) the
+   [sleepf] arm is what lets the other domains run at all. *)
+let spin_budget = 200
+let idle_sleep_s = 50e-6
+
+let event_loop st ~t0 ~stop ~m_work =
+  let idle = ref 0 in
+  while not (Atomic.get stop) do
+    let work = ref 0 in
+    (* 1. Flush outboxes into the rings (back-pressure retry). *)
+    Array.iteri
+      (fun dst ob ->
+        if not (Queue.is_empty ob) then
+          match st.outqs.(dst) with
+          | Some q ->
+            let blocked = ref false in
+            while (not !blocked) && not (Queue.is_empty ob) do
+              if Spsc.try_push q (Queue.peek ob) then begin
+                ignore (Queue.pop ob);
+                incr work
+              end
+              else blocked := true
+            done
+          | None -> ())
+      st.outbox;
+    (* 2. Collapsed-role self deliveries (free local calls). *)
+    while not (Queue.is_empty st.selfq) do
+      let msg = Queue.pop st.selfq in
+      incr work;
+      st.handler ~src:st.id msg
+    done;
+    (* 3. Drain in-queues round-robin, at most one ring's worth per
+       queue per turn so one chatty peer cannot starve the rest. *)
+    Array.iteri
+      (fun src q ->
+        match q with
+        | None -> ()
+        | Some q ->
+          let budget = ref (Spsc.slots q) in
+          let empty = ref false in
+          while (not !empty) && !budget > 0 do
+            match Spsc.try_pop q with
+            | Some msg ->
+              incr work;
+              decr budget;
+              st.handler ~src msg
+            | None -> empty := true
+          done)
+      st.inqs;
+    (* 4. Fire due timers off the monotonic clock. *)
+    work := !work + Timer_wheel.run_due st.timers ~now:(Clock.now_ns () - t0);
+    if !work > 0 then begin
+      idle := 0;
+      Metrics.add m_work !work
+    end
+    else begin
+      incr idle;
+      if !idle <= spin_budget then Domain.cpu_relax ()
+      else Unix.sleepf idle_sleep_s
+    end
+  done
+
+type replica = Op of Ci_consensus.Onepaxos.t | Mp of Ci_consensus.Multipaxos.t
+
+let replica_core = function
+  | Op p -> Ci_consensus.Onepaxos.replica_core p
+  | Mp p -> Ci_consensus.Multipaxos.replica_core p
+
+let run spec =
+  validate spec;
+  let n_replicas = spec.n_replicas and n_clients = spec.n_clients in
+  let n = n_replicas + n_clients in
+  let replica_ids = Array.init n_replicas Fun.id in
+  (* The mesh: queues.(dst).(src) carries src -> dst. *)
+  let queues =
+    Array.init n (fun dst ->
+        Array.init n (fun src ->
+            if src = dst then None else Some (Spsc.create ~slots:spec.queue_slots)))
+  in
+  let states =
+    Array.init n (fun id ->
+        {
+          id;
+          inqs = queues.(id);
+          outqs = Array.init n (fun dst -> queues.(dst).(id));
+          outbox = Array.init n (fun _ -> Queue.create ());
+          selfq = Queue.create ();
+          timers = Timer_wheel.create ();
+          handler = (fun ~src:_ _ -> ());
+          n_blocked = 0;
+        })
+  in
+  let metrics = Metrics.create () in
+  (* Registered before the spawns; incremented from every domain. *)
+  let m_work = Metrics.counter metrics "live.events" in
+  let t0 = Clock.now_ns () in
+  let stop = Atomic.make false in
+  let quiesce = Atomic.make false in
+  let env_of id = env_for states.(id) ~t0 ~seed:(spec.seed + ((id + 1) * 1_000_003)) in
+  (* Failure-detection timeouts are wall-clock here: commits take
+     microseconds, so these fire only when something is genuinely wedged
+     — never because a GC pause or a scheduling gap delayed one reply. *)
+  let ms = Sim_time.ms in
+  let replicas =
+    Array.init n_replicas (fun i ->
+        let env = env_of i in
+        match spec.protocol with
+        | Onepaxos ->
+          let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
+          let cfg =
+            {
+              d with
+              Ci_consensus.Onepaxos.acceptor_timeout = ms 200;
+              prepare_timeout = ms 200;
+              check_period = ms 50;
+              pu_timeout = ms 100;
+            }
+          in
+          Op (Ci_consensus.Onepaxos.create ~env ~config:cfg)
+        | Multipaxos ->
+          let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
+          let cfg =
+            { d with Ci_consensus.Multipaxos.election_timeout = ms 150 }
+          in
+          Mp (Ci_consensus.Multipaxos.create ~env ~config:cfg))
+  in
+  Array.iteri
+    (fun i r ->
+      states.(i).handler <-
+        (match r with
+         | Op p -> Ci_consensus.Onepaxos.handle p
+         | Mp p -> Ci_consensus.Multipaxos.handle p))
+    replicas;
+  let client_stats =
+    Array.init n_clients (fun _ -> Run_stats.create ~bucket:(ms 10))
+  in
+  let policy =
+    {
+      (Client.default_policy ~targets:replica_ids) with
+      Client.timeout = spec.client_timeout;
+      think = spec.think;
+      read_ratio = spec.read_ratio;
+      key_space = spec.key_space;
+    }
+  in
+  let clients =
+    Array.init n_clients (fun i ->
+        Client.create ~env:(env_of (n_replicas + i)) ~policy
+          ~stats:client_stats.(i))
+  in
+  Array.iteri
+    (fun i c ->
+      (* Quiesced clients stop consuming replies, so they issue nothing
+         new and record nothing outside the measured phase. *)
+      states.(n_replicas + i).handler <-
+        (fun ~src msg ->
+          if not (Atomic.get quiesce) then Client.handle c ~src msg))
+    clients;
+  let domains =
+    Array.init n (fun i ->
+        Domain.spawn (fun () ->
+            (if i < n_replicas then
+               match replicas.(i) with
+               | Op p -> Ci_consensus.Onepaxos.start p
+               | Mp p -> Ci_consensus.Multipaxos.start p
+             else Client.start clients.(i - n_replicas));
+            event_loop states.(i) ~t0 ~stop ~m_work))
+  in
+  Unix.sleepf spec.duration_s;
+  let t_quiesce = Clock.now_ns () - t0 in
+  Atomic.set quiesce true;
+  Unix.sleepf spec.drain_s;
+  Atomic.set stop true;
+  Array.iter Domain.join domains;
+  (* Everything below reads domain-owned state after the joins. *)
+  let wall_s = float_of_int t_quiesce /. 1e9 in
+  let ops =
+    Array.fold_left
+      (fun acc s -> acc + Run_stats.completed_in s ~from_:0 ~until_:t_quiesce)
+      0 client_stats
+  in
+  let latencies =
+    Array.to_list client_stats
+    |> List.concat_map (fun s ->
+           Array.to_list (Run_stats.latencies_in s ~from_:0 ~until_:t_quiesce))
+    |> Array.of_list
+  in
+  let retries = Array.fold_left (fun acc c -> acc + Client.retries c) 0 clients in
+  let leader_changes, acceptor_changes =
+    Array.fold_left
+      (fun (lc, ac) r ->
+        match r with
+        | Op p ->
+          ( max lc (Ci_consensus.Onepaxos.leader_changes p),
+            max ac (Ci_consensus.Onepaxos.acceptor_changes p) )
+        | Mp p -> (lc + Ci_consensus.Multipaxos.elections p, ac))
+      (0, 0) replicas
+  in
+  let queues_total =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc q ->
+            match q with
+            | None -> acc
+            | Some q ->
+              {
+                q_count = acc.q_count + 1;
+                q_msgs = acc.q_msgs + Spsc.pushes q;
+                q_blocked = acc.q_blocked;
+                q_occupancy_peak =
+                  max acc.q_occupancy_peak (Spsc.occupancy_peak q);
+              })
+          acc row)
+      { q_count = 0; q_msgs = 0; q_blocked = 0; q_occupancy_peak = 0 }
+      queues
+  in
+  let queues_total =
+    {
+      queues_total with
+      q_blocked = Array.fold_left (fun acc s -> acc + s.n_blocked) 0 states;
+    }
+  in
+  (* Consistency: same construction as Runner.run, over live views. *)
+  let proposed_tbl = Hashtbl.create 4096 in
+  Array.iter
+    (fun c ->
+      let id = Client.node_id c in
+      List.iter
+        (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
+        (Client.issued c))
+    clients;
+  let proposed (v : Wire.value) =
+    match Hashtbl.find_opt proposed_tbl (v.Wire.client, v.Wire.req_id) with
+    | Some cmd -> Command.equal cmd v.Wire.cmd
+    | None -> false
+  in
+  let acked = Array.to_list clients |> List.concat_map Client.acked_writes in
+  let views =
+    Array.to_list (Array.map (fun r -> Replica_core.view (replica_core r)) replicas)
+  in
+  let consistency =
+    Consistency.check ~equal:Wire.value_equal ~proposed ~acked
+      ~key_of:Wire.value_key views
+  in
+  Metrics.set_int metrics "live.ops" ops;
+  Metrics.set_int metrics "live.retries" retries;
+  Metrics.set_int metrics "live.queue.msgs" queues_total.q_msgs;
+  Metrics.set_int metrics "live.queue.blocked" queues_total.q_blocked;
+  Metrics.set_int metrics "live.queue.occupancy_peak"
+    queues_total.q_occupancy_peak;
+  {
+    spec;
+    cores = Domain.recommended_domain_count ();
+    wall_s;
+    ops;
+    throughput = (if wall_s > 0. then float_of_int ops /. wall_s else 0.);
+    latency = Summary.of_samples latencies;
+    retries;
+    leader_changes;
+    acceptor_changes;
+    queues = queues_total;
+    consistency;
+    metrics;
+  }

@@ -1,0 +1,82 @@
+(** Run the protocol cores for real: OCaml 5 domains over SPSC queues.
+
+    The metal-side twin of {!Ci_workload.Runner}. Each replica and each
+    closed-loop client gets its own domain; every ordered pair of nodes
+    gets one bounded {!Spsc} queue (the per-pair mesh QC-libtask builds
+    in shared memory); each domain runs an event loop that flushes its
+    outboxes, drains its in-queues and fires its {!Timer_wheel} off the
+    monotonic clock. The protocol and client code is {e exactly} the
+    code the simulator runs — both backends implement
+    {!Ci_engine.Node_env}.
+
+    A run has three phases: measure for [duration_s] (clients issue
+    requests closed-loop), quiesce (clients stop consuming replies) for
+    [drain_s] so in-flight commands settle, then stop and join. After
+    the join, the same {!Ci_rsm.Consistency} checker the simulator uses
+    is run over the live replicas' views. *)
+
+type protocol = Onepaxos | Multipaxos
+
+type spec = {
+  protocol : protocol;
+  n_replicas : int;  (** Replica domains (>= 2). *)
+  n_clients : int;  (** Client domains (>= 1). *)
+  duration_s : float;  (** Measured wall-clock phase. *)
+  drain_s : float;  (** Quiesce phase before stopping the domains. *)
+  queue_slots : int;  (** SPSC ring capacity per ordered pair. *)
+  seed : int;  (** Per-node rng streams are derived from this. *)
+  client_timeout : int;
+      (** Client retry timeout (ns). Keep generous: on an oversubscribed
+          host a GC pause or scheduling gap must not masquerade as a
+          dead replica. *)
+  think : int;  (** Client think time between requests (ns). *)
+  read_ratio : float;  (** Fraction of [Get] commands. *)
+  key_space : int;  (** Keys drawn from [0 .. key_space-1]. *)
+}
+
+val default_spec : protocol:protocol -> spec
+(** 3 replicas, 2 clients, 1 s measured + 0.2 s drain, 8-slot queues,
+    150 ms client timeout, write-only workload, seed 42. *)
+
+type queue_totals = {
+  q_count : int;  (** Queues in the mesh. *)
+  q_msgs : int;  (** Messages that crossed any queue. *)
+  q_blocked : int;  (** Sends that found the ring full (outbox fallback). *)
+  q_occupancy_peak : int;  (** Worst ring occupancy at enqueue. *)
+}
+
+type result = {
+  spec : spec;
+  cores : int;  (** [Domain.recommended_domain_count] at run time. *)
+  wall_s : float;  (** Actual measured-phase length. *)
+  ops : int;  (** Replies received within the measured phase. *)
+  throughput : float;  (** [ops /. wall_s]. *)
+  latency : Ci_stats.Summary.t;
+      (** Request latency over the measured phase (first transmission to
+          reply, as in the simulator). *)
+  retries : int;  (** Client timeouts that fired. *)
+  leader_changes : int;
+      (** 1Paxos: applied [LeaderChange] entries (max over replicas).
+          Multi-Paxos: elections initiated (sum). Should be 0 on a
+          healthy no-fault run. *)
+  acceptor_changes : int;  (** 1Paxos only; 0 for Multi-Paxos. *)
+  queues : queue_totals;
+  consistency : Ci_rsm.Consistency.report;
+      (** The simulator's checker over the live replicas' views. *)
+  metrics : Ci_obs.Metrics.t;
+      (** [live.*] counters (filled by the domains via atomic counters)
+          plus post-run scalars. *)
+}
+
+val run : spec -> result
+(** [run spec] executes one live run and joins every domain before
+    returning. Spawns [n_replicas + n_clients] domains; on hosts with
+    fewer cores the event loops fall back from spinning to sleeping so
+    oversubscribed runs still make progress.
+    @raise Invalid_argument on a malformed spec (see field docs). *)
+
+val protocol_of_string : string -> protocol option
+(** Accepts ["onepaxos"], ["1paxos"], ["multipaxos"], ["multi-paxos"]. *)
+
+val protocol_name : protocol -> string
+(** ["1paxos"] or ["multipaxos"]. *)

@@ -1,0 +1,20 @@
+module Event_queue = Ci_engine.Event_queue
+
+type t = { q : (unit -> unit) Event_queue.t }
+type timer = Event_queue.token
+
+let create () = { q = Event_queue.create () }
+let at w ~deadline f = Event_queue.push w.q ~time:deadline f
+let at_token w ~deadline f = Event_queue.push_token w.q ~time:deadline f
+let cancel w tm = Event_queue.cancel w.q tm
+let next_deadline w = Event_queue.next_time w.q
+let pending w = Event_queue.length w.q
+
+let run_due w ~now =
+  let fired = ref 0 in
+  while Event_queue.next_time w.q <= now do
+    let f = Event_queue.pop_payload w.q in
+    incr fired;
+    f ()
+  done;
+  !fired

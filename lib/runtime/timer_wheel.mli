@@ -1,0 +1,38 @@
+(** Per-domain timer wheel over the monotonic clock.
+
+    The runtime's analogue of the simulator's event queue for {e timers
+    only}: each domain owns one wheel, arms deadlines through its
+    {!Ci_engine.Node_env} and fires whatever is due on every event-loop
+    turn. Built on {!Ci_engine.Event_queue} (binary min-heap, FIFO
+    tie-break, O(1) cancellation), which the simulator already trusts
+    for exactly this job. Not thread-safe: owner domain only. *)
+
+type t
+(** One domain's pending timers. *)
+
+type timer = Ci_engine.Event_queue.token
+(** Cancellation handle for one armed timer. *)
+
+val create : unit -> t
+
+val at : t -> deadline:int -> (unit -> unit) -> unit
+(** [at w ~deadline f] arms [f] to run once [now >= deadline] (ns). *)
+
+val at_token : t -> deadline:int -> (unit -> unit) -> timer
+(** [at_token] is {!at} but revocable via {!cancel}. *)
+
+val cancel : t -> timer -> unit
+(** [cancel w tm] revokes an armed timer; spent timers are a no-op. *)
+
+val next_deadline : t -> int
+(** [next_deadline w] is the earliest armed deadline, or
+    {!Ci_engine.Event_queue.no_event} when none are armed. *)
+
+val pending : t -> int
+(** [pending w] is the number of armed (uncancelled) timers. *)
+
+val run_due : t -> now:int -> int
+(** [run_due w ~now] fires every timer with [deadline <= now], in
+    deadline order (FIFO among equals), and returns how many fired.
+    Fired thunks may arm new timers; newly armed timers already due are
+    fired in the same call. *)

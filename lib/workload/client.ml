@@ -1,5 +1,5 @@
 module Wire = Ci_consensus.Wire
-module Machine = Ci_machine.Machine
+module Node_env = Ci_engine.Node_env
 module Rng = Ci_engine.Rng
 module Command = Ci_rsm.Command
 
@@ -31,7 +31,7 @@ let default_policy ~targets =
   }
 
 type t = {
-  node : Wire.t Machine.node;
+  env : Wire.t Node_env.t;
   policy : policy;
   stats : Run_stats.t;
   rng : Rng.t;
@@ -39,14 +39,14 @@ type t = {
   mutable next_req : int;
   mutable current : (int * Command.t * int) option; (* req_id, cmd, first sent *)
   mutable attempt : int; (* distinguishes timeout timers *)
-  mutable retry_timer : Machine.timer option;
+  mutable retry_timer : Node_env.timer option;
   mutable done_count : int;
   mutable retry_count : int;
   mutable log : (int * Command.t) list;
   mutable acked : (int * int) list;
 }
 
-let now t = Machine.now (Machine.machine_of t.node)
+let now t = t.env.Node_env.now ()
 
 let pick_command t =
   if Rng.chance t.rng t.policy.read_ratio then
@@ -56,7 +56,7 @@ let pick_command t =
       { key = Rng.int t.rng t.policy.key_space; data = Rng.int t.rng 1_000_000 }
 
 let target_for t cmd =
-  if t.policy.read_own_node && Command.is_read cmd then Machine.node_id t.node
+  if t.policy.read_own_node && Command.is_read cmd then t.env.Node_env.id
   else t.policy.targets.(t.target_idx)
 
 (* The timeout timer is cancelled on reply (each reply used to leave a
@@ -66,13 +66,13 @@ let target_for t cmd =
    optimization, not a correctness requirement. *)
 let rec transmit t ~req_id ~cmd =
   let dst = target_for t cmd in
-  Machine.send t.node ~dst
+  t.env.Node_env.send ~dst
     (Wire.Request { req_id; cmd; relaxed_read = t.policy.relaxed_reads });
   t.attempt <- t.attempt + 1;
   let this_attempt = t.attempt in
   t.retry_timer <-
     Some
-      (Machine.after_cancel t.node ~delay:t.policy.timeout (fun () ->
+      (t.env.Node_env.after_cancel ~delay:t.policy.timeout (fun () ->
            t.retry_timer <- None;
            match t.current with
            | Some (r, c, _) when r = req_id && this_attempt = t.attempt ->
@@ -86,7 +86,7 @@ let rec transmit t ~req_id ~cmd =
 let cancel_retry_timer t =
   match t.retry_timer with
   | Some tm ->
-    Machine.cancel_timer t.node tm;
+    Node_env.cancel_timer tm;
     t.retry_timer <- None
   | None -> ()
 
@@ -115,27 +115,27 @@ let handle t ~src:_ msg =
        t.done_count <- t.done_count + 1;
        Run_stats.record t.stats ~sent_at ~replied_at:(now t);
        if not (Command.is_read cmd) then
-         t.acked <- (Machine.node_id t.node, req_id) :: t.acked;
+         t.acked <- (t.env.Node_env.id, req_id) :: t.acked;
        if t.policy.think > 0 then
-         Machine.after t.node ~delay:t.policy.think (fun () -> issue t)
+         t.env.Node_env.after ~delay:t.policy.think (fun () -> issue t)
        else issue t
      | Some _ | None -> () (* stale duplicate reply *))
   | _ -> () (* clients only consume replies *)
 
-let node_id t = Machine.node_id t.node
+let node_id t = t.env.Node_env.id
 let completed t = t.done_count
 let retries t = t.retry_count
 let issued t = List.rev t.log
 let acked_writes t = List.rev t.acked
 
-let create ~node ~policy ~stats =
+let create ~env ~policy ~stats =
   if Array.length policy.targets = 0 then
     invalid_arg "Client.create: empty target list";
   {
-    node;
+    env;
     policy;
     stats;
-    rng = Rng.split (Machine.rng (Machine.machine_of node));
+    rng = Rng.split env.Node_env.rng;
     target_idx = policy.primary mod Array.length policy.targets;
     next_req = 0;
     current = None;

@@ -36,9 +36,14 @@ val default_policy : targets:int array -> policy
 type t
 (** One client. *)
 
-val create : node:Ci_consensus.Wire.t Ci_machine.Machine.node -> policy:policy -> stats:Run_stats.t -> t
-(** [create ~node ~policy ~stats] prepares a client on [node]. The
-    caller routes [Reply] messages to {!handle}. *)
+val create :
+  env:Ci_consensus.Wire.t Ci_engine.Node_env.t ->
+  policy:policy ->
+  stats:Run_stats.t ->
+  t
+(** [create ~env ~policy ~stats] prepares a client on the node behind
+    [env] (simulated or live). The caller routes [Reply] messages to
+    {!handle}. *)
 
 val start : t -> unit
 (** [start t] issues the first request. *)
@@ -48,7 +53,7 @@ val handle : t -> src:int -> Ci_consensus.Wire.t -> unit
     ignored). *)
 
 val node_id : t -> int
-(** [node_id t] is the machine node this client runs on — the [client]
+(** [node_id t] is the node this client runs on — the [client]
     field of every value it proposes. *)
 
 val completed : t -> int

@@ -198,6 +198,7 @@ let run spec =
   in
   let rtt = 2 * hop in
   let make_replica node =
+    let env = Machine.env node in
     match spec.protocol with
     | Onepaxos ->
       let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
@@ -217,7 +218,7 @@ let run spec =
           window = spec.pipeline;
         }
       in
-      Op (Ci_consensus.Onepaxos.create ~node ~config:cfg)
+      Op (Ci_consensus.Onepaxos.create ~env ~config:cfg)
     | Multipaxos ->
       let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
       let cfg =
@@ -230,7 +231,7 @@ let run spec =
           window = spec.pipeline;
         }
       in
-      Mp (Ci_consensus.Multipaxos.create ~node ~config:cfg)
+      Mp (Ci_consensus.Multipaxos.create ~env ~config:cfg)
     | Twopc ->
       let cfg =
         {
@@ -238,7 +239,7 @@ let run spec =
           local_reads = spec.local_reads;
         }
       in
-      Tp (Ci_consensus.Twopc.create ~node ~config:cfg)
+      Tp (Ci_consensus.Twopc.create ~env ~config:cfg)
     | Mencius ->
       let cfg =
         {
@@ -246,7 +247,7 @@ let run spec =
           relaxed_reads = spec.relaxed_reads;
         }
       in
-      Mn (Ci_consensus.Mencius.create ~node ~config:cfg)
+      Mn (Ci_consensus.Mencius.create ~env ~config:cfg)
     | Cheappaxos ->
       let d = Ci_consensus.Cheap_paxos.default_config ~replicas:replica_ids in
       let cfg =
@@ -258,7 +259,7 @@ let run spec =
           reconfig_timeout = max d.Ci_consensus.Cheap_paxos.reconfig_timeout (4 * rtt);
         }
       in
-      Cp (Ci_consensus.Cheap_paxos.create ~node ~config:cfg)
+      Cp (Ci_consensus.Cheap_paxos.create ~env ~config:cfg)
   in
   let replicas = Array.map make_replica replica_nodes in
   (* Clients: their own cores after the replicas, or embedded (joint). *)
@@ -294,7 +295,7 @@ let run spec =
             { policy with Client.primary = i mod n_replicas }
           else policy
         in
-        Client.create ~node ~policy ~stats)
+        Client.create ~env:(Machine.env node) ~policy ~stats)
       client_nodes
   in
   (* Handler wiring: replies go to the client half, everything else to

@@ -24,4 +24,13 @@ dune exec bin/consensus_sim.exe -- figures latency --jobs 1 > "$tmp1"
 dune exec bin/consensus_sim.exe -- figures latency --jobs 3 > "$tmp3"
 cmp "$tmp1" "$tmp3"
 
+echo "== live runtime smoke (3 replicas, both protocols; exits 1 on violation) =="
+# Short real-domain runs: ~0.6s measured + drain per protocol, well
+# under the 2s budget. `live` exits non-zero if the post-run
+# consistency check over the joined replica views finds a violation.
+dune exec bin/consensus_sim.exe -- live --protocol onepaxos \
+  --replicas 3 --clients 2 --duration-s 0.5 --drain-s 0.1
+dune exec bin/consensus_sim.exe -- live --protocol multipaxos \
+  --replicas 3 --clients 2 --duration-s 0.5 --drain-s 0.1
+
 echo "== OK =="

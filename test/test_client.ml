@@ -35,7 +35,7 @@ let mk ?(drop = 0) ?(echo_cores = 1) policy_f =
   let client_node = Machine.add_node machine ~core:echo_cores in
   let stats = Run_stats.create ~bucket:Sim_time.(ms 10) in
   let policy = policy_f (Client.default_policy ~targets:[| Machine.node_id echo |]) in
-  let client = Client.create ~node:client_node ~policy ~stats in
+  let client = Client.create ~env:(Machine.env client_node) ~policy ~stats in
   Machine.set_handler client_node (fun ~src msg -> Client.handle client ~src msg);
   (machine, client, stats, served)
 
@@ -137,7 +137,7 @@ let test_failover_rotates_targets () =
       max_requests = Some 3;
     }
   in
-  let client = Client.create ~node:client_node ~policy ~stats in
+  let client = Client.create ~env:(Machine.env client_node) ~policy ~stats in
   Machine.set_handler client_node (fun ~src msg -> Client.handle client ~src msg);
   Client.start client;
   Machine.run_until machine ~time:(Sim_time.ms 10);
@@ -152,7 +152,9 @@ let test_empty_targets_rejected () =
   let stats = Run_stats.create ~bucket:Sim_time.(ms 10) in
   try
     ignore
-      (Client.create ~node ~policy:(Client.default_policy ~targets:[||]) ~stats);
+      (Client.create ~env:(Machine.env node)
+         ~policy:(Client.default_policy ~targets:[||])
+         ~stats);
     Alcotest.fail "empty targets accepted"
   with Invalid_argument _ -> ()
 

@@ -24,7 +24,8 @@ let mk_cluster ?(n = 3) ?(seed = 1) ?(seed_log = seed_entries) () =
   let pus =
     Array.mapi
       (fun i node ->
-        Paxos_utility.create ~node ~peers:ids ~timeout:(Sim_time.us 400)
+        Paxos_utility.create ~env:(Machine.env node) ~peers:ids
+          ~timeout:(Sim_time.us 400)
           ~seed:seed_log ~on_entry:(fun ~cseq entry ->
             applied.(i) <- (cseq, entry) :: applied.(i)))
       nodes

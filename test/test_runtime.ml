@@ -1,0 +1,111 @@
+(* End-to-end tests of the live runtime: the same protocol cores the
+   simulator drives, here on real domains over SPSC queues. Runs are
+   kept short (a couple hundred ms) — the point is that every reply the
+   clients saw checks out against the replicas' joined views, not the
+   throughput number. *)
+
+module Live = Ci_runtime.Live
+module Runner = Ci_workload.Runner
+module Consistency = Ci_rsm.Consistency
+
+let short_spec protocol =
+  {
+    (Live.default_spec ~protocol) with
+    Live.duration_s = 0.15;
+    drain_s = 0.1;
+  }
+
+let check_live name (r : Live.result) =
+  if not (Consistency.ok r.Live.consistency) then
+    Alcotest.failf "%s: %a" name Consistency.pp r.Live.consistency;
+  if r.Live.ops <= 0 then Alcotest.failf "%s: no operations completed" name;
+  Alcotest.(check int) (name ^ ": latency samples") r.Live.ops
+    r.Live.latency.Ci_stats.Summary.count
+
+let test_live_onepaxos () =
+  let r = Live.run (short_spec Live.Onepaxos) in
+  check_live "1paxos" r;
+  Alcotest.(check int) "no acceptor changes" 0 r.Live.acceptor_changes
+
+let test_live_multipaxos () =
+  let r = Live.run (short_spec Live.Multipaxos) in
+  check_live "multipaxos" r
+
+let test_live_five_replicas () =
+  let r = Live.run { (short_spec Live.Onepaxos) with Live.n_replicas = 5 } in
+  check_live "1paxos x5" r
+
+let test_tiny_queues () =
+  (* 1-slot rings force every send through the outbox fallback; the
+     run must still complete and stay consistent. *)
+  let r = Live.run { (short_spec Live.Onepaxos) with Live.queue_slots = 1 } in
+  check_live "1paxos slots=1" r;
+  Alcotest.(check bool) "peak bounded" true
+    (r.Live.queues.Live.q_occupancy_peak <= 1)
+
+(* Conformance: the identical protocol core, read workload and checker,
+   once under the simulator and once on the metal. Both backends must
+   commit work and pass the consistency check — the seam
+   (Ci_engine.Node_env) is only honest if nothing protocol-visible
+   depends on which backend is underneath. *)
+let conformance protocol sim_protocol () =
+  let live = Live.run { (short_spec protocol) with Live.read_ratio = 0.3 } in
+  check_live "live backend" live;
+  let sim =
+    Runner.run
+      {
+        (Runner.default_spec ~protocol:sim_protocol
+           ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 2 }))
+        with
+        Runner.read_ratio = 0.3;
+      }
+  in
+  if not (Consistency.ok sim.Runner.consistency) then
+    Alcotest.failf "sim backend: %a" Consistency.pp sim.Runner.consistency;
+  if sim.Runner.commits <= 0 then Alcotest.fail "sim backend: no commits"
+
+let test_validation () =
+  let expect_invalid name spec =
+    match Live.run spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: accepted a malformed spec" name
+  in
+  let ok = Live.default_spec ~protocol:Live.Onepaxos in
+  expect_invalid "replicas" { ok with Live.n_replicas = 1 };
+  expect_invalid "clients" { ok with Live.n_clients = 0 };
+  expect_invalid "duration" { ok with Live.duration_s = 0. };
+  expect_invalid "drain" { ok with Live.drain_s = -0.1 };
+  expect_invalid "slots" { ok with Live.queue_slots = 0 };
+  expect_invalid "timeout" { ok with Live.client_timeout = 0 };
+  expect_invalid "read ratio" { ok with Live.read_ratio = 1.5 }
+
+let test_protocol_names () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check (option string)) s expect
+        (Option.map Live.protocol_name (Live.protocol_of_string s)))
+    [
+      ("onepaxos", Some "1paxos");
+      ("1paxos", Some "1paxos");
+      ("multipaxos", Some "multipaxos");
+      ("multi-paxos", Some "multipaxos");
+      ("2pc", None);
+    ]
+
+let suite =
+  ( "runtime",
+    [
+      Alcotest.test_case "live 1paxos: consistent, makes progress" `Quick
+        test_live_onepaxos;
+      Alcotest.test_case "live multipaxos: consistent, makes progress" `Quick
+        test_live_multipaxos;
+      Alcotest.test_case "live 1paxos, 5 replicas" `Quick test_live_five_replicas;
+      Alcotest.test_case "1-slot rings: outbox fallback stays consistent" `Quick
+        test_tiny_queues;
+      Alcotest.test_case "sim vs runtime conformance (1paxos)" `Quick
+        (conformance Live.Onepaxos Runner.Onepaxos);
+      Alcotest.test_case "sim vs runtime conformance (multipaxos)" `Quick
+        (conformance Live.Multipaxos Runner.Multipaxos);
+      Alcotest.test_case "spec validation" `Quick test_validation;
+      Alcotest.test_case "protocol name parsing" `Quick test_protocol_names;
+    ] )

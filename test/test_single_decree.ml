@@ -21,7 +21,8 @@ let mk_cluster ?(n = 3) ?(seed = 1) () =
   let parts =
     Array.map
       (fun node ->
-        Single_decree.create ~node ~peers:ids ~timeout:(Sim_time.us 400) ())
+        Single_decree.create ~env:(Machine.env node) ~peers:ids
+          ~timeout:(Sim_time.us 400) ())
       nodes
   in
   Array.iteri

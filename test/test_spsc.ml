@@ -1,0 +1,125 @@
+(* The SPSC ring under its real contract: one producer domain, one
+   consumer domain. The properties the runtime's correctness rests on —
+   FIFO order, no loss, no duplication, occupancy never exceeding the
+   slot count — must hold for every (slots, items) shape, so they are
+   qcheck properties, not examples. *)
+
+module Spsc = Ci_runtime.Spsc
+
+(* ----- single-domain edge cases ------------------------------------------ *)
+
+let test_create_rejects () =
+  Alcotest.check_raises "slots=0" (Invalid_argument "Spsc.create: slots must be >= 1")
+    (fun () -> ignore (Spsc.create ~slots:0));
+  Alcotest.check_raises "slots=-3" (Invalid_argument "Spsc.create: slots must be >= 1")
+    (fun () -> ignore (Spsc.create ~slots:(-3)))
+
+let test_empty_pop () =
+  let q = Spsc.create ~slots:4 in
+  Alcotest.(check (option int)) "empty pop" None (Spsc.try_pop q);
+  Alcotest.(check int) "length" 0 (Spsc.length q)
+
+let test_full_push_fails () =
+  let q = Spsc.create ~slots:3 in
+  Alcotest.(check bool) "push 1" true (Spsc.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Spsc.try_push q 2);
+  Alcotest.(check bool) "push 3" true (Spsc.try_push q 3);
+  Alcotest.(check bool) "ring full" false (Spsc.try_push q 4);
+  Alcotest.(check int) "length" 3 (Spsc.length q);
+  Alcotest.(check int) "peak" 3 (Spsc.occupancy_peak q);
+  Alcotest.(check (option int)) "fifo head" (Some 1) (Spsc.try_pop q);
+  Alcotest.(check bool) "slot freed" true (Spsc.try_push q 4);
+  Alcotest.(check (option int)) "then 2" (Some 2) (Spsc.try_pop q);
+  Alcotest.(check (option int)) "then 3" (Some 3) (Spsc.try_pop q);
+  Alcotest.(check (option int)) "then 4" (Some 4) (Spsc.try_pop q);
+  Alcotest.(check (option int)) "empty again" None (Spsc.try_pop q)
+
+let test_wraparound () =
+  (* Cursors keep increasing past the slot count; the ring must stay
+     FIFO across many wraps. *)
+  let q = Spsc.create ~slots:2 in
+  for i = 1 to 1_000 do
+    assert (Spsc.try_push q i);
+    Alcotest.(check (option int)) "wraps" (Some i) (Spsc.try_pop q)
+  done;
+  Alcotest.(check int) "pushes" 1_000 (Spsc.pushes q);
+  Alcotest.(check int) "pops" 1_000 (Spsc.pops q)
+
+(* ----- cross-domain properties ------------------------------------------- *)
+
+(* Push [0 .. n-1] from a producer domain while this domain consumes;
+   return everything popped, in order. Producers spin on a full ring
+   (with cpu_relax) — the test must terminate because the consumer
+   keeps draining. *)
+let run_pair ~slots ~n ~consumer_stall =
+  let q = Spsc.create ~slots in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Spsc.try_push q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let got = ref [] in
+  let received = ref 0 in
+  while !received < n do
+    (match Spsc.try_pop q with
+     | Some v ->
+       got := v :: !got;
+       incr received;
+       (* An occasionally slow consumer forces the ring through full
+          states, exercising the back-pressure path. *)
+       if consumer_stall > 0 && !received mod 7 = 0 then
+         for _ = 1 to consumer_stall do
+           Domain.cpu_relax ()
+         done
+     | None -> Domain.cpu_relax ())
+  done;
+  Domain.join producer;
+  (q, List.rev !got)
+
+let pair_shape =
+  QCheck.make
+    ~print:(fun (slots, n, stall) ->
+      Printf.sprintf "slots=%d items=%d stall=%d" slots n stall)
+    QCheck.Gen.(
+      let* slots = int_range 1 16 in
+      let* n = int_range 0 400 in
+      let* stall = int_bound 50 in
+      return (slots, n, stall))
+
+let prop_fifo_no_loss_no_dup =
+  QCheck.Test.make ~name:"spsc: FIFO, lossless, duplicate-free across domains"
+    ~count:25 pair_shape (fun (slots, n, stall) ->
+      let q, got = run_pair ~slots ~n ~consumer_stall:stall in
+      if got <> List.init n Fun.id then
+        QCheck.Test.fail_reportf "order/loss/dup: got %d items"
+          (List.length got);
+      if Spsc.pushes q <> n || Spsc.pops q <> n then
+        QCheck.Test.fail_reportf "counters: %d pushed, %d popped"
+          (Spsc.pushes q) (Spsc.pops q);
+      true)
+
+let prop_bounded_occupancy =
+  QCheck.Test.make ~name:"spsc: occupancy never exceeds the slot count"
+    ~count:25 pair_shape (fun (slots, n, stall) ->
+      let q, _ = run_pair ~slots ~n ~consumer_stall:stall in
+      if Spsc.occupancy_peak q > slots then
+        QCheck.Test.fail_reportf "peak %d > %d slots" (Spsc.occupancy_peak q)
+          slots;
+      if Spsc.length q <> 0 then
+        QCheck.Test.fail_reportf "drained queue reports length %d"
+          (Spsc.length q);
+      true)
+
+let suite =
+  ( "spsc",
+    [
+      Alcotest.test_case "create rejects slots < 1" `Quick test_create_rejects;
+      Alcotest.test_case "pop on empty" `Quick test_empty_pop;
+      Alcotest.test_case "push on full fails, pop frees" `Quick test_full_push_fails;
+      Alcotest.test_case "FIFO across many wraps" `Quick test_wraparound;
+      QCheck_alcotest.to_alcotest prop_fifo_no_loss_no_dup;
+      QCheck_alcotest.to_alcotest prop_bounded_occupancy;
+    ] )

@@ -56,7 +56,7 @@ let onepaxos_cluster ?(n = 3) ?(seed = 42) ?(tweak = fun c -> c) () =
     mk_harness ~n ~topology:(Topology.single_socket (n + 2)) ~seed
       ~make:(fun node ids ->
         let config = tweak (Onepaxos.default_config ~replicas:ids) in
-        Onepaxos.create ~node ~config)
+        Onepaxos.create ~env:(Machine.env node) ~config)
       ~handle:Onepaxos.handle
   in
   replicas_ref := h.replicas;
@@ -68,7 +68,7 @@ let multipaxos_cluster ?(n = 3) ?(seed = 42) ?(tweak = fun c -> c) () =
     mk_harness ~n ~topology:(Topology.single_socket (n + 2)) ~seed
       ~make:(fun node ids ->
         let config = tweak (Multipaxos.default_config ~replicas:ids) in
-        Multipaxos.create ~node ~config)
+        Multipaxos.create ~env:(Machine.env node) ~config)
       ~handle:Multipaxos.handle
   in
   Array.iter Multipaxos.start h.replicas;
@@ -78,7 +78,7 @@ let twopc_cluster ?(n = 3) ?(seed = 42) ?(tweak = fun c -> c) () =
   mk_harness ~n ~topology:(Topology.single_socket (n + 2)) ~seed
     ~make:(fun node ids ->
       let config = tweak (Twopc.default_config ~replicas:ids) in
-      Twopc.create ~node ~config)
+      Twopc.create ~env:(Machine.env node) ~config)
     ~handle:Twopc.handle
 
 let send h ?(dst = 0) ?(relaxed = false) ~req_id cmd =
@@ -129,7 +129,7 @@ let mencius_cluster ?(n = 3) ?(seed = 42) ?(tweak = fun c -> c) () =
   mk_harness ~n ~topology:(Topology.single_socket (n + 2)) ~seed
     ~make:(fun node ids ->
       let config = tweak (Mencius.default_config ~replicas:ids) in
-      Mencius.create ~node ~config)
+      Mencius.create ~env:(Machine.env node) ~config)
     ~handle:Mencius.handle
 
 let cheap_cluster ?(n = 3) ?(seed = 42) ?(tweak = fun c -> c) () =
@@ -137,7 +137,7 @@ let cheap_cluster ?(n = 3) ?(seed = 42) ?(tweak = fun c -> c) () =
     mk_harness ~n ~topology:(Topology.single_socket (n + 2)) ~seed
       ~make:(fun node ids ->
         let config = tweak (Cheap_paxos.default_config ~replicas:ids) in
-        Cheap_paxos.create ~node ~config)
+        Cheap_paxos.create ~env:(Machine.env node) ~config)
       ~handle:Cheap_paxos.handle
   in
   Array.iter Cheap_paxos.start h.replicas;
