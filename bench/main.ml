@@ -4,7 +4,8 @@
 
    Usage: main.exe [--jobs N] [section ...]
    Sections: netchar fig2 latency fig8 fig9 fig10 fig11 sec2_2 lan
-             ablation batching protocols metrics engine micro (default: all).
+             ablation batching protocols metrics engine runtime faults
+             micro (default: all).
 
    [--jobs N] (or CI_JOBS) fans the independent simulation runs inside
    each section out over N domains; the printed figures are
@@ -360,6 +361,156 @@ let write_runtime_json () =
       (fun () -> output_string oc (Buffer.contents buf));
     Format.printf "@.wrote BENCH_runtime.json@."
 
+(* ----- fault-injection benchmark ------------------------------------------ *)
+
+(* One row per backend x protocol x crash scenario, collected for
+   BENCH_faults.json: the recovery numbers behind Figure 11 — how long
+   until the first post-fault commit, the worst completion-free gap,
+   and throughput on each side of the crash. *)
+type faults_row = {
+  f_backend : string;
+  f_protocol : string;
+  f_scenario : string;
+  f_ttf_ms : float option;  (* None: never committed again *)
+  f_unavail_ms : float;
+  f_rate_before : float;
+  f_rate_after : float;
+  f_ops_after : int;
+  f_consistent : bool;
+}
+
+let faults_stats : faults_row list option ref = ref None
+
+let faults ~jobs:_ =
+  section "F1. Failover under the nemesis (Section 7.6 / Figure 11)"
+    "crash the active acceptor resp. the leader mid-run on both backends; \
+     the run must stay consistent and resume committing"
+    (fun () ->
+      let module Runner = Ci_workload.Runner in
+      let module Live = Ci_runtime.Live in
+      let ms = Sim_time.ms in
+      let sched ~at ~down node =
+        {
+          Ci_faults.seed = 42;
+          faults = [ Ci_faults.Crash { node; at; down_for = Some down } ];
+        }
+      in
+      let row ~backend ~protocol ~scenario ~consistent = function
+        | None ->
+          failwith
+            (Printf.sprintf "faults: %s %s %s: fault onset outside the run"
+               backend protocol scenario)
+        | Some (f : Ci_obs.Failover.t) ->
+          {
+            f_backend = backend;
+            f_protocol = protocol;
+            f_scenario = scenario;
+            f_ttf_ms =
+              Option.map
+                (fun t -> float_of_int t /. 1e6)
+                f.Ci_obs.Failover.time_to_failover;
+            f_unavail_ms = float_of_int f.Ci_obs.Failover.unavailable_ns /. 1e6;
+            f_rate_before = f.Ci_obs.Failover.rate_before;
+            f_rate_after = f.Ci_obs.Failover.rate_after;
+            f_ops_after = f.Ci_obs.Failover.completions_after;
+            f_consistent = consistent;
+          }
+      in
+      let sim protocol scenario node =
+        let spec =
+          {
+            (Runner.default_spec ~protocol
+               ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 5 }))
+            with
+            Runner.duration = ms 150;
+            nemesis = sched ~at:(ms 60) ~down:(ms 45) node;
+          }
+        in
+        let r = Runner.run spec in
+        row ~backend:"sim" ~protocol:(Runner.protocol_name protocol) ~scenario
+          ~consistent:(Ci_rsm.Consistency.ok r.Runner.consistency)
+          r.Runner.failover
+      in
+      let live protocol scenario node =
+        let spec =
+          {
+            (Live.default_spec ~protocol) with
+            Live.duration_s = 1.2;
+            drain_s = 0.3;
+            nemesis = sched ~at:(ms 480) ~down:(ms 360) node;
+          }
+        in
+        let r = Live.run spec in
+        row ~backend:"live" ~protocol:(Live.protocol_name protocol) ~scenario
+          ~consistent:(Ci_rsm.Consistency.ok r.Live.consistency)
+          r.Live.failover
+      in
+      let rows =
+        [
+          sim Runner.Onepaxos "crash-acceptor" 1;
+          sim Runner.Onepaxos "crash-leader" 0;
+          sim Runner.Multipaxos "crash-leader" 0;
+          live Live.Onepaxos "crash-acceptor" 1;
+          live Live.Onepaxos "crash-leader" 0;
+          live Live.Multipaxos "crash-leader" 0;
+        ]
+      in
+      Format.printf "%-8s %-12s %-16s %10s %12s %11s %11s %11s@." "backend"
+        "protocol" "scenario" "ttf(ms)" "outage(ms)" "pre(op/s)" "post(op/s)"
+        "consistent";
+      List.iter
+        (fun r ->
+          Format.printf "%-8s %-12s %-16s %10s %12.1f %11.0f %11.0f %11s@."
+            r.f_backend r.f_protocol r.f_scenario
+            (match r.f_ttf_ms with
+             | Some t -> Printf.sprintf "%.2f" t
+             | None -> "never")
+            r.f_unavail_ms r.f_rate_before r.f_rate_after
+            (if r.f_consistent then "yes" else "NO"))
+        rows;
+      List.iter
+        (fun r ->
+          let cell =
+            Printf.sprintf "%s %s %s" r.f_backend r.f_protocol r.f_scenario
+          in
+          if not r.f_consistent then
+            failwith (Printf.sprintf "faults: %s was inconsistent" cell);
+          if r.f_ttf_ms = None || r.f_ops_after = 0 then
+            failwith
+              (Printf.sprintf "faults: %s never committed again after the crash"
+                 cell))
+        rows;
+      faults_stats := Some rows)
+
+let write_faults_json () =
+  match !faults_stats with
+  | None -> ()
+  | Some rows ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"rows\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"backend\": \"%s\", \"protocol\": \"%s\", \"scenario\": \
+              \"%s\", \"time_to_failover_ms\": %s, \"unavailable_ms\": %.2f, \
+              \"rate_before_ops\": %.0f, \"rate_after_ops\": %.0f, \
+              \"ops_after\": %d, \"consistent\": %b}%s\n"
+             r.f_backend r.f_protocol r.f_scenario
+             (match r.f_ttf_ms with
+              | Some t -> Printf.sprintf "%.3f" t
+              | None -> "null")
+             r.f_unavail_ms r.f_rate_before r.f_rate_after r.f_ops_after
+             r.f_consistent
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_faults.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf));
+    Format.printf "@.wrote BENCH_faults.json@."
+
 let json_escape name =
   String.concat ""
     (List.map
@@ -528,13 +679,14 @@ let sections =
     ("metrics", metrics);
     ("engine", engine);
     ("runtime", runtime);
+    ("faults", faults);
     ("micro", micro);
   ]
 
 (* Sections whose runs are fanned out over the pool — the ones worth
    re-timing at jobs=1 for the comparison table. metrics/engine/micro
    time themselves differently (single runs or self-calibrating). *)
-let serial_only = [ "metrics"; "engine"; "runtime"; "micro" ]
+let serial_only = [ "metrics"; "engine"; "runtime"; "faults"; "micro" ]
 
 let print_jobs_table ~jobs =
   let j1 = List.rev !section_walls_j1 in
@@ -611,4 +763,5 @@ let () =
     print_jobs_table ~jobs:!jobs
   end;
   write_bench_json ();
-  write_runtime_json ()
+  write_runtime_json ();
+  write_faults_json ()

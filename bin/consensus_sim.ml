@@ -74,6 +74,102 @@ let fault_conv =
   in
   Arg.conv (parse, Fault_plan.pp)
 
+(* Nemesis flag parsers: each flag value is one [Ci_faults.fault] in a
+   colon-separated format (times in ms from the start of the run). *)
+let nem_conv ~expect parse =
+  let parse s =
+    match parse (String.split_on_char ':' s) with
+    | Some f -> Ok f
+    | None -> Error (`Msg ("expected " ^ expect))
+    | exception _ -> Error (`Msg ("expected " ^ expect))
+  in
+  Arg.conv (parse, Ci_faults.pp_fault)
+
+let crash_conv =
+  nem_conv ~expect:"NODE:AT_MS[:DOWN_MS]" (function
+    | [ node; at ] ->
+      Some
+        (Ci_faults.Crash
+           {
+             node = int_of_string node;
+             at = Sim_time.ms (int_of_string at);
+             down_for = None;
+           })
+    | [ node; at; down ] ->
+      Some
+        (Ci_faults.Crash
+           {
+             node = int_of_string node;
+             at = Sim_time.ms (int_of_string at);
+             down_for = Some (Sim_time.ms (int_of_string down));
+           })
+    | _ -> None)
+
+let pause_conv =
+  nem_conv ~expect:"NODE:FROM_MS:UNTIL_MS" (function
+    | [ node; from_; until_ ] ->
+      Some
+        (Ci_faults.Pause
+           {
+             node = int_of_string node;
+             from_ = Sim_time.ms (int_of_string from_);
+             until_ = Sim_time.ms (int_of_string until_);
+           })
+    | _ -> None)
+
+let link_p_conv kind =
+  nem_conv ~expect:"SRC:DST:FROM_MS:UNTIL_MS:P" (function
+    | [ src; dst; from_; until_; p ] ->
+      let src = int_of_string src and dst = int_of_string dst in
+      let from_ = Sim_time.ms (int_of_string from_)
+      and until_ = Sim_time.ms (int_of_string until_) in
+      let p = float_of_string p in
+      Some
+        (match kind with
+         | `Drop -> Ci_faults.Drop { src; dst; from_; until_; p }
+         | `Dup -> Ci_faults.Duplicate { src; dst; from_; until_; p })
+    | _ -> None)
+
+let delay_conv =
+  nem_conv ~expect:"SRC:DST:FROM_MS:UNTIL_MS:EXTRA_US" (function
+    | [ src; dst; from_; until_; extra ] ->
+      Some
+        (Ci_faults.Delay
+           {
+             src = int_of_string src;
+             dst = int_of_string dst;
+             from_ = Sim_time.ms (int_of_string from_);
+             until_ = Sim_time.ms (int_of_string until_);
+             extra = Sim_time.us (int_of_string extra);
+           })
+    | _ -> None)
+
+let partition_conv =
+  nem_conv ~expect:"FROM_MS:UNTIL_MS:GROUPS (e.g. 10:20:0/1,2)" (function
+    | [ from_; until_; groups ] ->
+      let group g = List.map int_of_string (String.split_on_char ',' g) in
+      Some
+        (Ci_faults.Partition
+           {
+             groups = List.map group (String.split_on_char '/' groups);
+             from_ = Sim_time.ms (int_of_string from_);
+             until_ = Sim_time.ms (int_of_string until_);
+           })
+    | _ -> None)
+
+let slow_nem_conv =
+  nem_conv ~expect:"CORE:FROM_MS:UNTIL_MS:FACTOR" (function
+    | [ core; from_; until_; factor ] ->
+      Some
+        (Ci_faults.Slow
+           {
+             core = int_of_string core;
+             from_ = Sim_time.ms (int_of_string from_);
+             until_ = Sim_time.ms (int_of_string until_);
+             factor = float_of_string factor;
+           })
+    | _ -> None)
+
 (* ----- run ---------------------------------------------------------------- *)
 
 let run_cmd =
@@ -289,7 +385,282 @@ let live_cmd =
        ~doc:"Run the protocol cores for real on OCaml 5 domains over shared-memory SPSC queues.")
     term
 
+(* ----- nemesis -------------------------------------------------------------- *)
+
+(* Shared tail of a nemesis run: print the failover analysis and turn
+   (consistency, recovery) into an exit code. "Recovered" means the
+   failover window saw at least one commit after the fault onset. *)
+let nemesis_verdict ~consistent (failover : Ci_obs.Failover.t option) =
+  (match failover with
+   | Some f -> Format.printf "failover: %a@." Ci_obs.Failover.pp f
+   | None ->
+     Format.printf "failover: n/a (first fault onset outside the measured window)@.");
+  let recovered =
+    match failover with
+    | None -> true
+    | Some f ->
+      f.Ci_obs.Failover.time_to_failover <> None
+      && f.Ci_obs.Failover.completions_after > 0
+  in
+  if not consistent then begin
+    Format.eprintf "FAIL: consistency violation@.";
+    1
+  end
+  else if not recovered then begin
+    Format.eprintf "FAIL: the run never committed again after the fault@.";
+    1
+  end
+  else 0
+
+let nemesis_cmd =
+  let module Live = Ci_runtime.Live in
+  let backend =
+    Arg.(
+      value
+      & opt (enum [ ("sim", `Sim); ("live", `Live) ]) `Sim
+      & info [ "backend" ]
+          ~doc:"Backend: $(b,sim) (virtual time) or $(b,live) (real domains).")
+  in
+  let protocol =
+    Arg.(
+      value & opt protocol_conv Runner.Onepaxos
+      & info [ "p"; "protocol" ]
+          ~doc:
+            "Protocol: 1paxos, multipaxos, 2pc, mencius or cheappaxos \
+             ($(b,--backend live): 1paxos or multipaxos only).")
+  in
+  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica count.") in
+  let clients =
+    Arg.(
+      value & opt (some int) None
+      & info [ "c"; "clients" ] ~doc:"Client count (default: 5 sim, 2 live).")
+  in
+  let duration =
+    Arg.(
+      value & opt (some int) None
+      & info [ "d"; "duration-ms" ]
+          ~doc:"Measurement window in ms (default: 50 sim, 1200 live).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ]
+          ~doc:"Random seed; also feeds the schedule's drop/duplicate coin flips.")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (some (enum [ ("crash-acceptor", `Acceptor); ("crash-leader", `Leader) ])) None
+      & info [ "scenario" ]
+          ~doc:
+            "Preset: crash the initial active acceptor (node 1) or the leader \
+             (node 0) at 40% of the window and restart it 30% later.")
+  in
+  let crashes =
+    Arg.(
+      value & opt_all crash_conv []
+      & info [ "crash" ] ~docv:"NODE:AT_MS[:DOWN_MS]"
+          ~doc:
+            "Crash $(i,NODE) at $(i,AT_MS), losing all volatile state; restart \
+             it $(i,DOWN_MS) later through the protocol's recover path \
+             (omitted: stays down). Repeatable.")
+  in
+  let pauses =
+    Arg.(
+      value & opt_all pause_conv []
+      & info [ "pause" ] ~docv:"NODE:FROM_MS:UNTIL_MS"
+          ~doc:"SIGSTOP/SIGCONT $(i,NODE) for the window; no state is lost. Repeatable.")
+  in
+  let drops =
+    Arg.(
+      value & opt_all (link_p_conv `Drop) []
+      & info [ "drop" ] ~docv:"SRC:DST:FROM_MS:UNTIL_MS:P"
+          ~doc:"Lose each $(i,SRC)->$(i,DST) message with probability $(i,P). Repeatable.")
+  in
+  let dups =
+    Arg.(
+      value & opt_all (link_p_conv `Dup) []
+      & info [ "duplicate" ] ~docv:"SRC:DST:FROM_MS:UNTIL_MS:P"
+          ~doc:"Deliver each $(i,SRC)->$(i,DST) message twice with probability $(i,P). Repeatable.")
+  in
+  let delays =
+    Arg.(
+      value & opt_all delay_conv []
+      & info [ "delay" ] ~docv:"SRC:DST:FROM_MS:UNTIL_MS:EXTRA_US"
+          ~doc:"Add $(i,EXTRA_US) of propagation to each $(i,SRC)->$(i,DST) message. Repeatable.")
+  in
+  let partitions =
+    Arg.(
+      value & opt_all partition_conv []
+      & info [ "partition" ] ~docv:"FROM_MS:UNTIL_MS:GROUPS"
+          ~doc:
+            "Cut every link between nodes in different groups for the window; \
+             groups are /-separated lists, e.g. $(b,10:20:0/1,2). Repeatable.")
+  in
+  let slows =
+    Arg.(
+      value & opt_all slow_nem_conv []
+      & info [ "slow-core" ] ~docv:"CORE:FROM_MS:UNTIL_MS:FACTOR"
+          ~doc:"Slow a core by $(i,FACTOR) (simulator only). Repeatable.")
+  in
+  let run backend protocol replicas clients duration seed scenario crashes
+      pauses drops dups delays partitions slows =
+    let fail fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; 1) fmt in
+    let dur_ms =
+      match duration with
+      | Some d -> d
+      | None -> (match backend with `Sim -> 50 | `Live -> 1200)
+    in
+    let clients =
+      match clients with
+      | Some c -> c
+      | None -> (match backend with `Sim -> 5 | `Live -> 2)
+    in
+    if replicas < 2 then fail "--replicas must be >= 2"
+    else if clients < 1 then fail "--clients must be >= 1"
+    else if dur_ms < 1 then fail "--duration-ms must be >= 1"
+    else begin
+      let scen =
+        match scenario with
+        | None -> []
+        | Some which ->
+          let node = match which with `Acceptor -> 1 | `Leader -> 0 in
+          [
+            Ci_faults.Crash
+              {
+                node;
+                at = Sim_time.ms (dur_ms * 2 / 5);
+                down_for = Some (Sim_time.ms (max 1 (dur_ms * 3 / 10)));
+              };
+          ]
+      in
+      let faults =
+        scen @ crashes @ pauses @ drops @ dups @ delays @ partitions @ slows
+      in
+      let sched = { Ci_faults.seed; faults } in
+      if faults = [] then
+        fail
+          "empty fault schedule: pass --scenario or at least one of \
+           --crash/--pause/--drop/--duplicate/--delay/--partition/--slow-core"
+      else
+        match Ci_faults.validate ~n_nodes:replicas sched with
+        | Error m -> fail "invalid fault schedule: %s" m
+        | Ok () ->
+          (match backend with
+           | `Sim ->
+             let spec =
+               {
+                 (Runner.default_spec ~protocol
+                    ~placement:
+                      (Runner.Dedicated { n_replicas = replicas; n_clients = clients }))
+                 with
+                 Runner.duration = Sim_time.ms dur_ms;
+                 seed;
+                 nemesis = sched;
+               }
+             in
+             (try
+                let r = Runner.run spec in
+                Format.printf "%a@." Runner.pp_result r;
+                nemesis_verdict
+                  ~consistent:(Ci_rsm.Consistency.ok r.Runner.consistency)
+                  r.Runner.failover
+              with Invalid_argument m -> fail "%s" m)
+           | `Live ->
+             (match protocol with
+              | Runner.Onepaxos | Runner.Multipaxos ->
+                let protocol =
+                  match protocol with
+                  | Runner.Onepaxos -> Live.Onepaxos
+                  | _ -> Live.Multipaxos
+                in
+                let spec =
+                  {
+                    (Live.default_spec ~protocol) with
+                    Live.n_replicas = replicas;
+                    n_clients = clients;
+                    duration_s = float_of_int dur_ms /. 1000.;
+                    seed;
+                    nemesis = sched;
+                  }
+                in
+                (try
+                   let r = Live.run spec in
+                   Format.printf
+                     "live %s: %d ops, %.0f op/s, retries %d, leader-changes \
+                      %d, acceptor-changes %d@."
+                     (Live.protocol_name protocol) r.Live.ops r.Live.throughput
+                     r.Live.retries r.Live.leader_changes
+                     r.Live.acceptor_changes;
+                   Format.printf "%a@." Ci_rsm.Consistency.pp r.Live.consistency;
+                   nemesis_verdict
+                     ~consistent:(Ci_rsm.Consistency.ok r.Live.consistency)
+                     r.Live.failover
+                 with Invalid_argument m -> fail "%s" m)
+              | p ->
+                fail "--backend live supports 1paxos and multipaxos (got %s)"
+                  (Runner.protocol_name p)))
+    end
+  in
+  let term =
+    Term.(
+      const run $ backend $ protocol $ replicas $ clients $ duration $ seed
+      $ scenario $ crashes $ pauses $ drops $ dups $ delays $ partitions
+      $ slows)
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "Run one experiment under a declarative fault schedule (crash, pause, \
+          drop, duplicate, delay, partition, slow core) on either backend and \
+          report the failover analysis; exits 1 on a consistency violation or \
+          if commits never resume after the fault.")
+    term
+
 (* ----- figures -------------------------------------------------------------- *)
+
+(* Live-backend twin of [E.failover]: the same crash-restart schedule on
+   real domains, with wall-clock 100 ms buckets. *)
+let live_failover_timelines () =
+  let module Live = Ci_runtime.Live in
+  let base =
+    {
+      (Live.default_spec ~protocol:Live.Onepaxos) with
+      Live.duration_s = 1.2;
+      drain_s = 0.3;
+    }
+  in
+  let crash node =
+    {
+      base with
+      Live.nemesis =
+        {
+          Ci_faults.seed = 42;
+          faults =
+            [
+              Ci_faults.Crash
+                { node; at = Sim_time.ms 400; down_for = Some (Sim_time.ms 300) };
+            ];
+        };
+    }
+  in
+  let case label spec =
+    let r = Live.run spec in
+    if not (Ci_rsm.Consistency.ok r.Live.consistency) then
+      failwith (label ^ ": consistency violation");
+    {
+      E.label;
+      bucket_ms = 100.;
+      rates = r.Live.timeline;
+      leader_changes = r.Live.leader_changes;
+      acceptor_changes = r.Live.acceptor_changes;
+    }
+  in
+  [
+    case "1Paxos live - crashed acceptor" (crash 1);
+    case "1Paxos live - crashed leader" (crash 0);
+    case "1Paxos live - no failure" base;
+  ]
 
 let figures_cmd =
   let sections :
@@ -318,16 +689,27 @@ let figures_cmd =
       ("protocols", fun ~jobs -> `Series (E.protocol_comparison ~jobs ()));
       ( "protocols-rdma",
         fun ~jobs -> `Series (E.protocol_comparison ~jobs ~params:Net_params.rdma ()) );
+      ("failover", fun ~jobs -> `Timelines (E.failover ~jobs ()));
+      ("failover-live", fun ~jobs:_ -> `Timelines (live_failover_timelines ()));
     ]
   in
-  let names = List.map fst sections in
+  (* The fault-injecting sections are opt-in: the default set must stay
+     byte-identical run-to-run (and to pre-nemesis baselines), a promise
+     wall-clock live runs cannot make. *)
+  let opt_in = [ "failover"; "failover-live" ] in
+  let default_names =
+    List.filter (fun n -> not (List.mem n opt_in)) (List.map fst sections)
+  in
   let which =
     Arg.(
-      value & pos_all string names
+      value & pos_all string default_names
       & info [] ~docv:"SECTION"
           ~doc:
-            (Printf.sprintf "Sections to regenerate (default all): %s."
-               (String.concat ", " names)))
+            (Printf.sprintf
+               "Sections to regenerate (default: all except the opt-in fault \
+                sections %s): %s."
+               (String.concat ", " opt_in)
+               (String.concat ", " (List.map fst sections))))
   in
   let out_dir =
     Arg.(
@@ -405,4 +787,4 @@ let () =
     Cmd.info "consensus_sim" ~version:"1.0.0"
       ~doc:"Consensus Inside (Middleware 2014) reproduction: 1Paxos, Multi-Paxos and 2PC on a simulated many-core."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; live_cmd; figures_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; live_cmd; nemesis_cmd; figures_cmd ]))

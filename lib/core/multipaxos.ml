@@ -453,6 +453,46 @@ let create ~env ~config =
 
 let start t = if t.self = t.cfg.initial_leader then start_election t
 
+(* ----- crash-recovery ---------------------------------------------------- *)
+
+(* The collapsed replica's durable registers: the learner's decided log
+   and the acceptor's promise / accepted table (a Paxos acceptor that
+   forgets an acceptance can let a new leader decide an instance twice),
+   plus the proposal-number round (a recovered proposer reusing a pn
+   with a different value would corrupt the (inst, pn)-keyed learn
+   tallies of live learners). Leadership, elections, pending queues and
+   tallies are volatile — re-derived by the protocol after restart. *)
+type stable = {
+  st_decisions : (int * Wire.value) list;
+  st_promised : Pn.t;
+  st_accepted : (int * (Pn.t * Wire.value)) list;
+  st_pn_round : int;
+}
+
+let stable t =
+  {
+    st_decisions = Replica_core.decisions_from t.core ~from_:0;
+    st_promised = t.promised;
+    st_accepted = Hashtbl.fold (fun i s acc -> (i, s) :: acc) t.accepted [];
+    st_pn_round = t.pn_round;
+  }
+
+let recover ~env ~config ~stable:st =
+  let t = create ~env ~config in
+  List.iter
+    (fun (inst, v) -> ignore (Replica_core.learn t.core ~inst v))
+    st.st_decisions;
+  t.promised <- st.st_promised;
+  List.iter (fun (inst, s) -> Hashtbl.replace t.accepted inst s) st.st_accepted;
+  t.pn_round <- st.st_pn_round;
+  bump_next_inst t;
+  (* Rejoin passively: a recovered replica answers prepares and accepts
+     from its restored registers and catches up through the leader's
+     re-proposal of its undecided range (Mp_prepare carries [low] =
+     first gap, so the next election replays what we missed); it only
+     campaigns itself when a client knocks. *)
+  t
+
 let is_leader t = t.iam_leader
 let replica_core t = t.core
 let elections t = t.n_elections

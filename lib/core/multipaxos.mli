@@ -67,3 +67,23 @@ val elections : t -> int
 
 val pending_count : t -> int
 (** [pending_count t] is the queued-but-unproposed command count. *)
+
+(** {1 Crash-recovery} *)
+
+type stable
+(** The durable registers a real deployment fsyncs before answering:
+    the learner's decided log, the acceptor's promise and accepted
+    table, and the proposal-round counter. Leadership, elections,
+    pending queues and learn tallies are volatile. *)
+
+val stable : t -> stable
+(** [stable t] snapshots the durable registers. *)
+
+val recover :
+  env:Wire.t Ci_engine.Node_env.t -> config:config -> stable:stable -> t
+(** [recover ~env ~config ~stable] rebuilds a replica from its durable
+    registers after a crash, on a fresh node environment. The recovered
+    replica rejoins passively — it answers prepares and accepts from the
+    restored registers and catches its decided log up through the next
+    leader election's re-proposal range; it campaigns for leadership
+    only when a client contacts it, exactly like any non-leader. *)

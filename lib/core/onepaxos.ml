@@ -780,6 +780,119 @@ let start t =
   if t.self = t.cfg.initial_leader then adopt_acceptor t;
   fd_loop t
 
+(* ----- crash-recovery ---------------------------------------------------- *)
+
+(* What a real 1Paxos deployment fsyncs before acting on it:
+   - the learner's decided log (re-executed against a fresh store);
+   - the acceptor registers hpn / ap / IamFresh — an acceptor that
+     forgot an acceptance while its leader also crashed could let a new
+     leader decide the same instance twice, so acceptances hit disk
+     before the learns go out (the freshness handshake only protects
+     against acceptors that lost state *silently*, i.e. outside this
+     contract);
+   - the proposal-number round, so a recovered proposer can never reuse
+     a pn (two values under one (inst, pn) would corrupt learn tallies);
+   - the PaxosUtility durable registers (see {!Paxos_utility.stable}).
+   Leadership itself is NOT durable: a recovered node comes back as a
+   follower and re-earns any role through the configuration log. *)
+type stable = {
+  st_decisions : (int * Wire.value) list;
+  st_pn_round : int;
+  st_hpn : Pn.t;
+  st_iam_fresh : bool;
+  st_acc_ap : (int * (Pn.t * Wire.value)) list;
+  st_pu : Paxos_utility.stable;
+}
+
+let stable t =
+  {
+    st_decisions = Replica_core.decisions_from t.core ~from_:0;
+    st_pn_round = t.pn_round;
+    st_hpn = t.hpn;
+    st_iam_fresh = t.iam_fresh;
+    st_acc_ap = Hashtbl.fold (fun i s acc -> (i, s) :: acc) t.acc_ap [];
+    st_pu = Paxos_utility.stable (pu t);
+  }
+
+let recover ~env ~config ~stable:st =
+  validate_config config;
+  let t =
+    {
+      env;
+      cfg = config;
+      self = env.Node_env.id;
+      core = Replica_core.create ~replica:env.Node_env.id;
+      pu = None;
+      iam_leader = false;
+      aa = None;
+      cur_leader = None;
+      my_pn = Pn.bottom;
+      pn_round = 0;
+      expect_fresh = false;
+      ap_covered = false;
+      becoming = false;
+      changing_acceptor = false;
+      pending_prepare = None;
+      prepare_deadline = None;
+      proposed = Hashtbl.create 256;
+      inflight = Hashtbl.create 256;
+      next_inst = 0;
+      pending = Queue.create ();
+      outstanding = Hashtbl.create 64;
+      my_keys = Hashtbl.create 64;
+      bat_buf = Queue.create ();
+      bat_keys = Hashtbl.create 64;
+      bat_inflight = 0;
+      bat_remaining = Hashtbl.create 32;
+      slot_batch = Hashtbl.create 256;
+      bat_timer = None;
+      bat_overdue = false;
+      hpn = Pn.bottom;
+      iam_fresh = true;
+      acc_ap = Hashtbl.create 256;
+      ls_token = 0;
+      ls_ops = Hashtbl.create 8;
+      n_leader_changes = 0;
+      n_acceptor_changes = 0;
+    }
+  in
+  (* Re-execute the durable decided log against the fresh store. *)
+  List.iter
+    (fun (inst, v) -> ignore (Replica_core.learn t.core ~inst v))
+    st.st_decisions;
+  (* Replaying the configuration log rebuilds cur_leader / aa exactly as
+     the pre-crash node derived them ([on_config_entry] runs for every
+     recovered entry, including the seeds). *)
+  let pu =
+    Paxos_utility.recover ~env ~peers:config.replicas
+      ~timeout:config.pu_timeout ~stable:st.st_pu
+      ~on_entry:(fun ~cseq entry -> on_config_entry t ~cseq entry)
+  in
+  t.pu <- Some pu;
+  (* The two seeded entries count as history, exactly as in [create]. *)
+  t.n_leader_changes <- max 0 (t.n_leader_changes - 1);
+  t.n_acceptor_changes <- max 0 (t.n_acceptor_changes - 1);
+  (* An Acceptor_change naming us replayed above wiped the registers
+     "fresh" — restore the durable post-entry reality on top. *)
+  t.pn_round <- st.st_pn_round;
+  t.hpn <- st.st_hpn;
+  t.iam_fresh <- st.st_iam_fresh;
+  Hashtbl.reset t.acc_ap;
+  List.iter (fun (inst, s) -> Hashtbl.replace t.acc_ap inst s) st.st_acc_ap;
+  (* Replay never re-earns roles: whatever the log says, we come back as
+     a follower and leadership flows through the takeover machinery. *)
+  t.iam_leader <- false;
+  t.ap_covered <- false;
+  bump_next_inst t;
+  (* Rejoin: refresh the configuration view from a majority, then pull
+     decisions we missed while dead; the failure detector restarts so a
+     recovered ex-leader can still replace a dead acceptor if the
+     configuration log still names it leader. *)
+  Paxos_utility.sync pu (fun () ->
+      learner_sync t (fun () -> bump_next_inst t));
+  fd_loop t;
+  t
+
 let is_leader t = t.iam_leader
 let believed_leader t = t.cur_leader
 let active_acceptor t = t.aa

@@ -109,3 +109,27 @@ val inject_acceptor_reset : t -> unit
 (** [inject_acceptor_reset t] wipes this replica's acceptor-role state
     (promise, accepted proposals) and marks it fresh — the "silent
     reboot" fault the freshness check defends against. Test hook. *)
+
+(** {1 Crash-recovery} *)
+
+type stable
+(** The durable registers a real deployment fsyncs before answering:
+    the learner's decided log, the acceptor role's highest promise and
+    accepted-proposal table, the freshness flag, the proposal-round
+    counter, and the embedded {!Paxos_utility} registers. Leadership
+    flags, in-flight proposals, tallies and timers are volatile. *)
+
+val stable : t -> stable
+(** [stable t] snapshots the durable registers. *)
+
+val recover :
+  env:Wire.t Ci_engine.Node_env.t -> config:config -> stable:stable -> t
+(** [recover ~env ~config ~stable] rebuilds a replica from its durable
+    registers after a crash, on a fresh node environment. The recovered
+    replica rejoins as a {e follower} regardless of its pre-crash roles:
+    it resyncs the configuration log from a majority
+    ({!Paxos_utility.sync}), catches its decided log up from peers
+    (learner sync), and restarts its failure detector. If it was the
+    leader or active acceptor before the crash, the survivors' takeover
+    machinery ([LeaderChange] / [AcceptorChange]) — not the restart —
+    restores those roles elsewhere. *)

@@ -308,3 +308,40 @@ let create ~env ~peers ~timeout ~seed ~on_entry =
     seed;
   apply_ready t;
   t
+
+(* ----- crash-recovery ---------------------------------------------------- *)
+
+(* The durable registers of a Paxos acceptor/learner: what a real
+   implementation fsyncs before answering. Everything else (in-flight
+   attempt, retry streak, pending reads) is volatile and is legitimately
+   lost in a crash — the protocol re-derives it. *)
+type stable = {
+  st_entries : (int * Wire.config_entry) list;
+  st_acc : (int * Pn.t * (Pn.t * Wire.config_entry) option) list;
+  st_round : int;
+}
+
+let stable t =
+  {
+    st_entries = Op_log.to_list t.log;
+    st_acc =
+      Hashtbl.fold
+        (fun cseq s acc -> (cseq, s.promised, s.accepted) :: acc)
+        t.acc [];
+    st_round = t.round;
+  }
+
+let recover ~env ~peers ~timeout ~stable:st ~on_entry =
+  let t = create ~env ~peers ~timeout ~seed:[] ~on_entry in
+  List.iter
+    (fun (cseq, entry) -> ignore (Op_log.decide t.log ~inst:cseq entry))
+    st.st_entries;
+  apply_ready t;
+  List.iter
+    (fun (cseq, promised, accepted) ->
+      Hashtbl.replace t.acc cseq { promised; accepted })
+    st.st_acc;
+  (* The round counter must never regress: reusing a proposal number
+     with a different entry would let two values share one (cseq, pn). *)
+  t.round <- st.st_round;
+  t

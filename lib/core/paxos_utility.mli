@@ -76,3 +76,29 @@ val current_leader : t -> int option
 val current_acceptor : t -> int option
 (** [current_acceptor t] is the active acceptor per the last applied
     configuration entry. *)
+
+(** {1 Crash-recovery} *)
+
+type stable
+(** The durable registers a real deployment fsyncs: the chosen log, the
+    per-slot promise/accepted registers, and the proposal-round
+    counter. Volatile state (in-flight attempt, pending reads, backoff
+    streak) is excluded — the protocol re-derives it after a restart. *)
+
+val stable : t -> stable
+(** [stable t] snapshots the durable registers. *)
+
+val recover :
+  env:Wire.t Ci_engine.Node_env.t ->
+  peers:int array ->
+  timeout:Ci_engine.Sim_time.t ->
+  stable:stable ->
+  on_entry:(cseq:int -> Wire.config_entry -> unit) ->
+  t
+(** [recover ~env ~peers ~timeout ~stable ~on_entry] rebuilds the
+    component from its durable registers after a crash. [on_entry]
+    replays, in order, every entry that was chosen-and-contiguous
+    before the crash (the caller rebuilds its derived configuration
+    view from the replay), and the round counter resumes past its
+    pre-crash value so recovered proposals can never reuse a proposal
+    number. *)

@@ -62,6 +62,12 @@ type 'a t = {
   mutable outbox_hwm : int; (* max messages waiting behind slot exhaustion *)
   mutable stall_since : int option; (* outbox head began waiting for a credit *)
   mutable stall_ns : int; (* cumulative credit-stall time *)
+  (* Fault injection: extra propagation delay as a function of the
+     transmission-completion instant ([None] = the healthy channel,
+     zero overhead). Delivery order stays FIFO regardless of the
+     function — arrival pops the transit ring head — so a closing delay
+     window can not reorder messages, only bunch them. *)
+  mutable delay_fn : (int -> int) option;
   (* Per-message work is routed through these preallocated thunks; each
      stage is FIFO per channel (cpu occupations complete in enqueue
      order, propagation is constant), so the message travels through
@@ -124,6 +130,7 @@ let create ?port sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu
       outbox_hwm = 0;
       stall_since = None;
       stall_ns = 0;
+      delay_fn = None;
       tx_done = nop;
       arrive = nop;
       rx_done = nop;
@@ -133,7 +140,12 @@ let create ?port sim ~capacity ~prop ~send_cost ~recv_cost ~src_cpu ~dst_cpu
   t.tx_done <-
     (fun () ->
       t.sent_count <- t.sent_count + 1;
-      Sim.schedule t.sim ~delay:t.prop t.arrive);
+      let prop =
+        match t.delay_fn with
+        | None -> t.prop
+        | Some f -> t.prop + f (Sim.now t.sim)
+      in
+      Sim.schedule t.sim ~delay:prop t.arrive);
   t.arrive <-
     (fun () ->
       let seq = ring_head_seq t.transit and v = ring_head_val t.transit in
@@ -166,6 +178,8 @@ let send t ~seq v =
   (* Measured after pumping: only messages genuinely waiting behind slot
      exhaustion count, not the transit through the outbox. *)
   if t.outbox.r_len > t.outbox_hwm then t.outbox_hwm <- t.outbox.r_len
+
+let set_delay_fn t f = t.delay_fn <- f
 
 let sent t = t.sent_count
 let delivered t = t.delivered_count

@@ -45,6 +45,14 @@ val send : 'a t -> seq:int -> 'a -> unit
     transmission cost is charged asynchronously on the sender's core,
     and delivery follows after propagation and reception. *)
 
+val set_delay_fn : 'a t -> (Ci_engine.Sim_time.t -> Ci_engine.Sim_time.t) option -> unit
+(** [set_delay_fn t f] installs a fault-injection delay: each message
+    propagates for [prop + f now] where [now] is its
+    transmission-completion instant ([None], the default, restores
+    plain [prop] with zero overhead). Delivery order remains FIFO even
+    across a window edge — extra delay can bunch deliveries, never
+    reorder them. *)
+
 val sent : 'a t -> int
 (** [sent t] is how many messages have completed transmission. *)
 

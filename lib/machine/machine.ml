@@ -2,6 +2,8 @@ module Sim = Ci_engine.Sim
 module Rng = Ci_engine.Rng
 module Event = Ci_obs.Event
 
+type link_action = Deliver | Drop | Duplicate
+
 type 'msg node = {
   nid : int;
   ncore : int;
@@ -11,6 +13,11 @@ type 'msg node = {
      lookup was a [(src, dst)] hashtable probe that boxed a tuple key
      and a [Some] per message. *)
   mutable out : 'msg Channel.t option array;
+  mutable down : bool;
+      (* Crashed: inbound deliveries and self-deliveries are dropped
+         (the process is gone; whatever the network still carries to it
+         is lost). Outbound gating is the host's job — a dead process
+         sends nothing because nothing runs. *)
 }
 
 and 'msg t = {
@@ -34,6 +41,13 @@ and 'msg t = {
   mutable tracer : (time:int -> src:int -> dst:int -> 'msg -> unit) option;
   mutable obs : Event.ring option;
   mutable msg_label : 'msg -> string;
+  (* Fault injection. [n_filters = 0] guards the send hot path: a
+     healthy machine takes one integer compare per boundary send and
+     never probes the table. *)
+  link_filters : (int * int, now:int -> link_action) Hashtbl.t;
+  mutable n_filters : int;
+  mutable fault_dropped : int; (* messages lost to filters or down nodes *)
+  mutable fault_duplicated : int;
 }
 
 let create ?(seed = 42) ~topology ~params () =
@@ -58,6 +72,10 @@ let create ?(seed = 42) ~topology ~params () =
     tracer = None;
     obs = None;
     msg_label = (fun _ -> "");
+    link_filters = Hashtbl.create 8;
+    n_filters = 0;
+    fault_dropped = 0;
+    fault_duplicated = 0;
   }
 
 let sim t = t.sim
@@ -96,6 +114,7 @@ let add_node t ~core =
       owner = t;
       handler = (fun ~src:_ _ -> ());
       out = [||];
+      down = false;
     }
   in
   t.next_id <- t.next_id + 1;
@@ -139,6 +158,22 @@ let make_channel src_node dst =
   let dst_node = find_node t dst in
   let same_socket = Topology.same_socket t.topo src_node.ncore dst_node.ncore in
   let deliver ~seq msg =
+    if dst_node.down then begin
+      (* The process is gone: the message completed its journey and
+         evaporates at the dead node's doorstep. *)
+      t.fault_dropped <- t.fault_dropped + 1;
+      (match t.obs with
+       | None -> ()
+       | Some ring ->
+         Event.emit ring
+           {
+             Event.time = Sim.now t.sim;
+             core = dst_node.ncore;
+             label = t.msg_label msg;
+             kind = Event.Fault { node = dst; fault = "lost: node down" };
+           })
+    end
+    else begin
     t.recv_a.(dst) <- t.recv_a.(dst) + 1;
     t.delivered_total <- t.delivered_total + 1;
     (match t.obs with
@@ -155,6 +190,7 @@ let make_channel src_node dst =
      | Some f -> f ~time:(Sim.now t.sim) ~src ~dst msg
      | None -> ());
     dst_node.handler ~src msg
+    end
   in
   let c =
     Channel.create ?port:(port_for t dst_node) t.sim
@@ -180,6 +216,24 @@ let channel_for n dst =
     match n.out.(dst) with Some c -> c | None -> make_channel n dst
   else make_channel n dst
 
+let transmit n ~dst msg =
+  let t = n.owner in
+  t.sent_a.(n.nid) <- t.sent_a.(n.nid) + 1;
+  t.sent_total <- t.sent_total + 1;
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  (match t.obs with
+   | None -> ()
+   | Some ring ->
+     Event.emit ring
+       {
+         Event.time = Sim.now t.sim;
+         core = n.ncore;
+         label = t.msg_label msg;
+         kind = Event.Send { src = n.nid; dst; seq };
+       });
+  Channel.send (channel_for n dst) ~seq msg
+
 let send n ~dst msg =
   let t = n.owner in
   if dst = n.nid then
@@ -190,35 +244,39 @@ let send n ~dst msg =
        message figures (Section 4.3) stay comparable across collapsed
        and dedicated deployments. *)
     Cpu.exec t.cpus.(n.ncore) ~cost:t.net.Net_params.handler_cost (fun () ->
-        t.self_a.(n.nid) <- t.self_a.(n.nid) + 1;
-        t.self_total <- t.self_total + 1;
-        (match t.obs with
-         | None -> ()
-         | Some ring ->
-           Event.emit ring
-             {
-               Event.time = Sim.now t.sim;
-               core = n.ncore;
-               label = t.msg_label msg;
-               kind = Event.Self_deliver { node = n.nid };
-             });
-        n.handler ~src:n.nid msg)
+        if not n.down then begin
+          t.self_a.(n.nid) <- t.self_a.(n.nid) + 1;
+          t.self_total <- t.self_total + 1;
+          (match t.obs with
+           | None -> ()
+           | Some ring ->
+             Event.emit ring
+               {
+                 Event.time = Sim.now t.sim;
+                 core = n.ncore;
+                 label = t.msg_label msg;
+                 kind = Event.Self_deliver { node = n.nid };
+               });
+          n.handler ~src:n.nid msg
+        end)
+  else if t.n_filters = 0 then transmit n ~dst msg
   else begin
-    t.sent_a.(n.nid) <- t.sent_a.(n.nid) + 1;
-    t.sent_total <- t.sent_total + 1;
-    let seq = t.seq in
-    t.seq <- seq + 1;
-    (match t.obs with
-     | None -> ()
-     | Some ring ->
-       Event.emit ring
-         {
-           Event.time = Sim.now t.sim;
-           core = n.ncore;
-           label = t.msg_label msg;
-           kind = Event.Send { src = n.nid; dst; seq };
-         });
-    Channel.send (channel_for n dst) ~seq msg
+    match Hashtbl.find_opt t.link_filters (n.nid, dst) with
+    | None -> transmit n ~dst msg
+    | Some f -> (
+      match f ~now:(Sim.now t.sim) with
+      | Deliver -> transmit n ~dst msg
+      | Drop ->
+        (* Lost at the sender's NIC: no transmission charge, no seq. *)
+        t.fault_dropped <- t.fault_dropped + 1;
+        emit t ~core:n.ncore ~label:(t.msg_label msg)
+          (Event.Fault { node = n.nid; fault = Printf.sprintf "drop ->%d" dst })
+      | Duplicate ->
+        t.fault_duplicated <- t.fault_duplicated + 1;
+        emit t ~core:n.ncore ~label:(t.msg_label msg)
+          (Event.Fault { node = n.nid; fault = Printf.sprintf "dup ->%d" dst });
+        transmit n ~dst msg;
+        transmit n ~dst msg)
   end
 
 let send_many n ~dsts msg = List.iter (fun dst -> send n ~dst msg) dsts
@@ -275,6 +333,37 @@ let env n =
 
 let slow_core t ~core ~from_ ~until_ ~factor =
   Cpu.add_slowdown t.cpus.(core) ~from_ ~until_ ~factor
+
+(* ----- fault injection --------------------------------------------------- *)
+
+let set_node_down n down =
+  if n.down <> down then begin
+    n.down <- down;
+    let t = n.owner in
+    emit t ~core:n.ncore ~label:""
+      (if down then Event.Fault { node = n.nid; fault = "crash" }
+       else Event.Recover { node = n.nid })
+  end
+
+let node_is_down n = n.down
+
+let set_link_filter t ~src ~dst f =
+  (match Hashtbl.find_opt t.link_filters (src, dst) with
+  | Some _ ->
+    Hashtbl.remove t.link_filters (src, dst);
+    t.n_filters <- t.n_filters - 1
+  | None -> ());
+  match f with
+  | None -> ()
+  | Some f ->
+    Hashtbl.replace t.link_filters (src, dst) f;
+    t.n_filters <- t.n_filters + 1
+
+let set_link_delay t ~src ~dst f =
+  Channel.set_delay_fn (channel_for (find_node t src) dst) f
+
+let fault_dropped t = t.fault_dropped
+let fault_duplicated t = t.fault_duplicated
 
 let cpu t ~core = t.cpus.(core)
 

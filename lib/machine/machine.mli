@@ -117,6 +117,50 @@ val slow_core :
 val cpu : 'msg t -> core:int -> Cpu.t
 (** [cpu t ~core] exposes the core's serial resource (for metrics). *)
 
+(** {1 Fault injection}
+
+    The nemesis hooks ({!Ci_faults} schedules compile onto these). All
+    of them are strictly pay-per-use: with no filter installed and no
+    node down, the send and delivery paths cost one integer compare
+    extra and the event schedule is unchanged. *)
+
+val set_node_down : 'msg node -> bool -> unit
+(** [set_node_down n true] marks [n] crashed: inbound deliveries and
+    queued self-deliveries are counted into {!fault_dropped} instead of
+    reaching the handler (messages already in flight to a dead process
+    are lost). The caller is responsible for silencing the node's own
+    activity (its timers and sends) — nothing runs on a dead node.
+    [set_node_down n false] reopens delivery; emits [Fault]/[Recover]
+    trace events on the transitions when an observer is installed. *)
+
+val node_is_down : 'msg node -> bool
+
+type link_action = Deliver | Drop | Duplicate
+
+val set_link_filter :
+  'msg t -> src:int -> dst:int -> (now:Ci_engine.Sim_time.t -> link_action) option -> unit
+(** [set_link_filter t ~src ~dst (Some f)] consults [f ~now] for every
+    boundary-crossing [src]->[dst] send: [Deliver] passes the message
+    through, [Drop] loses it at the sender's NIC (no transmission
+    charge, counted in {!fault_dropped}, [Fault] trace event),
+    [Duplicate] transmits it twice (two distinct seqs). [None] removes
+    the filter. One filter per ordered pair; installing replaces. *)
+
+val set_link_delay :
+  'msg t -> src:int -> dst:int ->
+  (Ci_engine.Sim_time.t -> Ci_engine.Sim_time.t) option -> unit
+(** [set_link_delay t ~src ~dst (Some f)] adds [f now] ns of propagation
+    to each [src]->[dst] message at its transmission-completion instant
+    (see {!Channel.set_delay_fn}; FIFO order preserved). Creates the
+    channel if it does not exist yet. *)
+
+val fault_dropped : 'msg t -> int
+(** [fault_dropped t] counts messages lost to link filters or down
+    nodes. *)
+
+val fault_duplicated : 'msg t -> int
+(** [fault_duplicated t] counts messages a link filter duplicated. *)
+
 val n_nodes : 'msg t -> int
 (** [n_nodes t] is how many nodes exist. *)
 

@@ -5,6 +5,8 @@ type kind =
   | Timer of { node : int }
   | Cpu_busy of { dur : int }
   | Phase of { node : int; phase : string }
+  | Fault of { node : int; fault : string }
+  | Recover of { node : int }
 
 type t = { time : int; core : int; label : string; kind : kind }
 
@@ -16,6 +18,8 @@ let kind_name e =
   | Timer _ -> "timer"
   | Cpu_busy _ -> "busy"
   | Phase _ -> "phase"
+  | Fault _ -> "fault"
+  | Recover _ -> "recover"
 
 let pp fmt e =
   Format.fprintf fmt "[%dns core%d] %s" e.time e.core (kind_name e);
@@ -24,7 +28,9 @@ let pp fmt e =
      Format.fprintf fmt " %d->%d #%d" src dst seq
    | Self_deliver { node } | Timer { node } -> Format.fprintf fmt " n%d" node
    | Cpu_busy { dur } -> Format.fprintf fmt " %dns" dur
-   | Phase { node; phase } -> Format.fprintf fmt " n%d %s" node phase);
+   | Phase { node; phase } -> Format.fprintf fmt " n%d %s" node phase
+   | Fault { node; fault } -> Format.fprintf fmt " n%d %s" node fault
+   | Recover { node } -> Format.fprintf fmt " n%d" node);
   if e.label <> "" then Format.fprintf fmt " (%s)" e.label
 
 (* ----- bounded sink ------------------------------------------------------ *)
@@ -102,7 +108,12 @@ let to_jsonl r =
        | Cpu_busy { dur } -> Buffer.add_string b (Printf.sprintf {|,"dur":%d|} dur)
        | Phase { node; phase } ->
          Buffer.add_string b (Printf.sprintf {|,"node":%d,"phase":|} node);
-         add_json_string b phase);
+         add_json_string b phase
+       | Fault { node; fault } ->
+         Buffer.add_string b (Printf.sprintf {|,"node":%d,"fault":|} node);
+         add_json_string b fault
+       | Recover { node } ->
+         Buffer.add_string b (Printf.sprintf {|,"node":%d|} node));
       if e.label <> "" then begin
         Buffer.add_string b {|,"label":|};
         add_json_string b e.label
@@ -179,6 +190,16 @@ let to_chrome r =
         record
           (Printf.sprintf
              {|{"name":%s,"cat":"phase","ph":"i","s":"p","ts":%s,"pid":0,"tid":%d,"args":{"node":%d}}|}
-             (escaped phase) (us e.time) e.core node));
+             (escaped phase) (us e.time) e.core node)
+      | Fault { node; fault } ->
+        record
+          (Printf.sprintf
+             {|{"name":%s,"cat":"fault","ph":"i","s":"p","ts":%s,"pid":0,"tid":%d,"args":{"node":%d}}|}
+             (escaped fault) (us e.time) e.core node)
+      | Recover { node } ->
+        record
+          (Printf.sprintf
+             {|{"name":%s,"cat":"fault","ph":"i","s":"p","ts":%s,"pid":0,"tid":%d,"args":{"node":%d}}|}
+             (escaped (name_of e "recover")) (us e.time) e.core node));
   Buffer.add_string b "]\n";
   Buffer.contents b

@@ -27,6 +27,11 @@ type kind =
   | Phase of { node : int; phase : string }
       (** A protocol phase transition on [node] (election, leadership
           adoption, acceptor change, ...). *)
+  | Fault of { node : int; fault : string }
+      (** The nemesis acted on [node]: crash, pause, a dropped or
+          duplicated message, ... — [fault] names the action. *)
+  | Recover of { node : int }
+      (** [node] restarted from durable state and is rejoining. *)
 
 type t = {
   time : int;  (** Simulated time (ns) of the event (span start for {!Cpu_busy}). *)
@@ -37,7 +42,7 @@ type t = {
 
 val kind_name : t -> string
 (** [kind_name e] is a short tag: "send", "recv", "self", "timer",
-    "busy" or "phase". *)
+    "busy", "phase", "fault" or "recover". *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line human rendering. *)

@@ -1,0 +1,64 @@
+type t = {
+  fault_at : int;
+  time_to_failover : int option;
+  unavailable_ns : int;
+  completions_before : int;
+  completions_after : int;
+  rate_before : float;
+  rate_after : float;
+}
+
+let per_second count span_ns =
+  if span_ns <= 0 then 0. else float_of_int count *. 1e9 /. float_of_int span_ns
+
+let analyze ~completions ~from_ ~fault_at ~until_ =
+  if fault_at < from_ || fault_at > until_ then
+    invalid_arg "Failover.analyze: fault_at outside [from_, until_]";
+  let n = Array.length completions in
+  (* [completions] is sorted; find the first completion at or after the
+     fault and count the window splits in one pass. *)
+  let before = ref 0 and after = ref 0 in
+  let first_after = ref None in
+  let gap = ref 0 in
+  let prev = ref fault_at in
+  for i = 0 to n - 1 do
+    let c = completions.(i) in
+    if c >= from_ && c < fault_at then incr before
+    else if c >= fault_at && c <= until_ then begin
+      incr after;
+      if !first_after = None then first_after := Some c;
+      if c - !prev > !gap then gap := c - !prev;
+      prev := c
+    end
+  done;
+  if until_ - !prev > !gap then gap := until_ - !prev;
+  {
+    fault_at;
+    time_to_failover = Option.map (fun c -> c - fault_at) !first_after;
+    unavailable_ns = !gap;
+    completions_before = !before;
+    completions_after = !after;
+    rate_before = per_second !before (fault_at - from_);
+    rate_after = per_second !after (until_ - fault_at);
+  }
+
+let record metrics t =
+  Metrics.set_int metrics "failover.fault_at_ns" t.fault_at;
+  (match t.time_to_failover with
+  | Some v -> Metrics.set_int metrics "failover.time_to_failover_ns" v
+  | None -> Metrics.set_float metrics "failover.time_to_failover_ns" Float.infinity);
+  Metrics.set_int metrics "failover.unavailable_ns" t.unavailable_ns;
+  Metrics.set_int metrics "failover.completions_before" t.completions_before;
+  Metrics.set_int metrics "failover.completions_after" t.completions_after;
+  Metrics.set_float metrics "failover.rate_before" t.rate_before;
+  Metrics.set_float metrics "failover.rate_after" t.rate_after
+
+let pp fmt t =
+  let ms ns = float_of_int ns /. 1e6 in
+  Format.fprintf fmt
+    "fault at %.1fms; time-to-failover %s; worst gap %.1fms; rate %.0f -> %.0f op/s"
+    (ms t.fault_at)
+    (match t.time_to_failover with
+    | Some v -> Printf.sprintf "%.2fms" (ms v)
+    | None -> "never (no completion after the fault)")
+    (ms t.unavailable_ns) t.rate_before t.rate_after

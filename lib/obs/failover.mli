@@ -1,0 +1,33 @@
+(** Recovery analysis of a faulted run.
+
+    Figure 11's question in numbers: when the nemesis struck, how long
+    until the system committed again, how wide was the worst outage
+    window, and what did throughput look like on each side of the
+    fault? Backend-agnostic — both the simulator and the live runtime
+    feed it the sorted completion timestamps of their clients. *)
+
+type t = {
+  fault_at : int;  (** First fault onset (ns, backend clock). *)
+  time_to_failover : int option;
+      (** Delay from [fault_at] to the first completion at or after it;
+          [None] when the run never committed again. *)
+  unavailable_ns : int;
+      (** Widest completion-free gap inside [\[fault_at, until_\]]
+          (anchored at [fault_at] and [until_]). *)
+  completions_before : int;  (** Completions in [\[from_, fault_at)]. *)
+  completions_after : int;  (** Completions in [\[fault_at, until_\]]. *)
+  rate_before : float;  (** Op/s over [\[from_, fault_at)]. *)
+  rate_after : float;  (** Op/s over [\[fault_at, until_\]]. *)
+}
+
+val analyze : completions:int array -> from_:int -> fault_at:int -> until_:int -> t
+(** [analyze ~completions ~from_ ~fault_at ~until_] over timestamps
+    sorted ascending. Raises [Invalid_argument] if [fault_at] lies
+    outside [\[from_, until_\]]. *)
+
+val record : Metrics.t -> t -> unit
+(** [record m t] publishes the analysis under [failover.*] keys
+    ([time_to_failover_ns] is [infinity] when recovery never came). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human rendering in milliseconds. *)

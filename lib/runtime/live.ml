@@ -24,6 +24,8 @@ type spec = {
   think : int;
   read_ratio : float;
   key_space : int;
+  outbox_cap : int;
+  nemesis : Ci_faults.t;
 }
 
 let default_spec ~protocol =
@@ -39,6 +41,8 @@ let default_spec ~protocol =
     think = 0;
     read_ratio = 0.;
     key_space = 64;
+    outbox_cap = 4096;
+    nemesis = Ci_faults.empty;
   }
 
 let protocol_of_string = function
@@ -53,6 +57,8 @@ type queue_totals = {
   q_msgs : int;
   q_blocked : int;
   q_occupancy_peak : int;
+  q_outbox_peak : int;
+  q_outbox_dropped : int;
 }
 
 type result = {
@@ -65,9 +71,27 @@ type result = {
   retries : int;
   leader_changes : int;
   acceptor_changes : int;
+  timeline : float array;
   queues : queue_totals;
   consistency : Consistency.report;
   metrics : Metrics.t;
+  failover : Ci_obs.Failover.t option;
+}
+
+(* The node-local nemesis: a sorted transition timeline the node's own
+   event loop evaluates against the monotonic clock. No controller
+   thread, so crash, recovery and message processing can never race —
+   the domain that owns the state is the only one that ever kills or
+   revives it. *)
+type nem_mode = Up | Paused | Down
+
+type nem_ctl = {
+  mutable transitions : (int * [ `Crash | `Restart | `Pause | `Resume ]) list;
+  mutable mode : nem_mode;
+  on_crash : unit -> unit;
+      (** Capture the durable registers, discard everything volatile. *)
+  on_restart : unit -> unit;
+      (** Rebuild the replica through the protocol's [recover]. *)
 }
 
 (* Per-node runtime state. Everything here is owned by the node's
@@ -77,15 +101,30 @@ type node_state = {
   id : int;
   inqs : Wire.t Spsc.t option array; (* indexed by src; [id] is None *)
   outqs : Wire.t Spsc.t option array; (* indexed by dst; [id] is None *)
-  (* Unbounded per-destination outboxes, exactly Channel's outbox stage:
-     a send that finds the ring full parks here and the event loop
-     retries, so protocol handlers never block and two mutually full
-     nodes cannot deadlock. *)
+  (* Per-destination outboxes, exactly Channel's outbox stage: a send
+     that finds the ring full parks here and the event loop retries, so
+     protocol handlers never block and two mutually full nodes cannot
+     deadlock. Bounded by [cap]: a peer that stops draining its rings
+     (dead, paused, wedged) costs the sender at most [cap] parked
+     messages per destination, never an unbounded heap. *)
   outbox : Wire.t Queue.t array;
+  cap : int;
   selfq : Wire.t Queue.t; (* collapsed-role local deliveries *)
-  timers : Timer_wheel.t;
+  mutable timers : Timer_wheel.t;
+      (* Mutable so a crash can discard every armed timer by swapping in
+         a fresh wheel (the environment reads the field per call). *)
   mutable handler : src:int -> Wire.t -> unit;
   mutable n_blocked : int;
+  mutable n_outbox_dropped : int;
+  mutable outbox_peak : int;
+  (* Sender-side link faults: rules indexed by destination, coin flips
+     from this node's own stream. [None] (the fault-free case) keeps the
+     send path untouched. *)
+  nem_links : Ci_faults.link_rule list array option;
+  nem_rng : Rng.t;
+  mutable nem : nem_ctl option;
+  mutable n_fault_dropped : int;
+  mutable n_fault_duplicated : int;
 }
 
 let validate spec =
@@ -99,26 +138,86 @@ let validate spec =
   if spec.think < 0 then invalid_arg "Live.run: think must be >= 0";
   if not (spec.read_ratio >= 0. && spec.read_ratio <= 1.) then
     invalid_arg "Live.run: read_ratio must be in [0, 1]";
-  if spec.key_space < 1 then invalid_arg "Live.run: key_space must be >= 1"
+  if spec.key_space < 1 then invalid_arg "Live.run: key_space must be >= 1";
+  if spec.outbox_cap < 1 then invalid_arg "Live.run: outbox_cap must be >= 1";
+  if not (Ci_faults.is_empty spec.nemesis) then begin
+    (match Ci_faults.validate ~n_nodes:spec.n_replicas spec.nemesis with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Live.run: nemesis: " ^ e));
+    if Ci_faults.slows spec.nemesis <> [] then
+      invalid_arg
+        "Live.run: nemesis Slow faults are simulator-only (the live runtime \
+         cannot throttle a real core); use Pause instead"
+  end
 
 let env_for st ~t0 ~seed =
   let now () = Clock.now_ns () - t0 in
+  let raw_send ~dst msg =
+    match st.outqs.(dst) with
+    | Some q ->
+      (* Ring order must respect send order: once anything is parked in
+         the outbox, later sends queue behind it. *)
+      if Queue.is_empty st.outbox.(dst) && Spsc.try_push q msg then ()
+      else begin
+        st.n_blocked <- st.n_blocked + 1;
+        let len = Queue.length st.outbox.(dst) in
+        if len >= st.cap then
+          (* The peer has not drained its ring for a full cap's worth of
+             traffic: treat the message as lost at our NIC rather than
+             grow the heap without bound. *)
+          st.n_outbox_dropped <- st.n_outbox_dropped + 1
+        else begin
+          Queue.push msg st.outbox.(dst);
+          if len + 1 > st.outbox_peak then st.outbox_peak <- len + 1
+        end
+      end
+    | None -> invalid_arg "Live: send to unknown node"
+  in
+  let send ~dst msg =
+    if dst = st.id then Queue.push msg st.selfq
+    else
+      match st.nem_links with
+      | None -> raw_send ~dst msg
+      | Some rules -> (
+        match if dst < Array.length rules then rules.(dst) else [] with
+        | [] -> raw_send ~dst msg
+        | rules ->
+          let t = now () in
+          let open Ci_faults in
+          let in_window r = t >= r.l_from && t < r.l_until in
+          let drop_p, dup_p, extra =
+            List.fold_left
+              (fun (dr, du, ex) r ->
+                if not (in_window r) then (dr, du, ex)
+                else
+                  match r.l_kind with
+                  | L_drop p -> (Float.max dr p, du, ex)
+                  | L_dup p -> (dr, Float.max du p, ex)
+                  | L_delay d -> (dr, du, ex + d))
+              (0., 0., 0) rules
+          in
+          let deliver () =
+            if extra > 0 then
+              (* A laggy link holds the message back; timer-wheel order
+                 is FIFO among equal deadlines, and real networks may
+                 reorder anyway. *)
+              Timer_wheel.at st.timers ~deadline:(t + extra) (fun () ->
+                  raw_send ~dst msg)
+            else raw_send ~dst msg
+          in
+          if drop_p >= 1. || (drop_p > 0. && Rng.chance st.nem_rng drop_p) then
+            st.n_fault_dropped <- st.n_fault_dropped + 1
+          else if dup_p >= 1. || (dup_p > 0. && Rng.chance st.nem_rng dup_p)
+          then begin
+            st.n_fault_duplicated <- st.n_fault_duplicated + 1;
+            deliver ();
+            deliver ()
+          end
+          else deliver ())
+  in
   {
     Node_env.id = st.id;
-    send =
-      (fun ~dst msg ->
-        if dst = st.id then Queue.push msg st.selfq
-        else
-          match st.outqs.(dst) with
-          | Some q ->
-            (* Ring order must respect send order: once anything is
-               parked in the outbox, later sends queue behind it. *)
-            if Queue.is_empty st.outbox.(dst) && Spsc.try_push q msg then ()
-            else begin
-              st.n_blocked <- st.n_blocked + 1;
-              Queue.push msg st.outbox.(dst)
-            end
-          | None -> invalid_arg "Live: send to unknown node");
+    send;
     now;
     after = (fun ~delay f -> Timer_wheel.at st.timers ~deadline:(now () + delay) f);
     after_cancel =
@@ -138,6 +237,37 @@ let idle_sleep_s = 50e-6
 let event_loop st ~t0 ~stop ~m_work =
   let idle = ref 0 in
   while not (Atomic.get stop) do
+    (* 0. Nemesis transitions due at this instant, applied by the owning
+       domain itself — crash/restart never race the handler. *)
+    (match st.nem with
+    | None -> ()
+    | Some ctl ->
+      let now = Clock.now_ns () - t0 in
+      let rec step () =
+        match ctl.transitions with
+        | (t, tr) :: rest when t <= now ->
+          ctl.transitions <- rest;
+          (match tr with
+          | `Crash ->
+            ctl.mode <- Down;
+            ctl.on_crash ()
+          | `Restart ->
+            ctl.mode <- Up;
+            ctl.on_restart ()
+          | `Pause -> if ctl.mode = Up then ctl.mode <- Paused
+          | `Resume -> if ctl.mode = Paused then ctl.mode <- Up);
+          step ()
+        | _ -> ()
+      in
+      step ());
+    match st.nem with
+    | Some { mode = Down | Paused; _ } ->
+      (* Dead or stopped: touch nothing — inbound rings fill up and the
+         senders' capped outboxes absorb (then shed) the backlog, which
+         is exactly what a peer of a dead process sees. Sleep instead of
+         spinning; the only thing to watch for is the next transition. *)
+      Unix.sleepf idle_sleep_s
+    | _ ->
     let work = ref 0 in
     (* 1. Flush outboxes into the rings (back-pressure retry). *)
     Array.iteri
@@ -194,6 +324,10 @@ let event_loop st ~t0 ~stop ~m_work =
 
 type replica = Op of Ci_consensus.Onepaxos.t | Mp of Ci_consensus.Multipaxos.t
 
+type stable_snap =
+  | St_op of Ci_consensus.Onepaxos.stable
+  | St_mp of Ci_consensus.Multipaxos.stable
+
 let replica_core = function
   | Op p -> Ci_consensus.Onepaxos.replica_core p
   | Mp p -> Ci_consensus.Multipaxos.replica_core p
@@ -209,6 +343,24 @@ let run spec =
         Array.init n (fun src ->
             if src = dst then None else Some (Spsc.create ~slots:spec.queue_slots)))
   in
+  (* Sender-side link rules, per source node. [None] for every node
+     when the schedule carries none — the fault-free send path stays
+     untouched. *)
+  let link_rules_of =
+    let all = Ci_faults.link_rules spec.nemesis in
+    fun src ->
+      if List.for_all (fun r -> r.Ci_faults.l_src <> src) all then None
+      else begin
+        let per_dst = Array.make n [] in
+        List.iter
+          (fun r ->
+            if r.Ci_faults.l_src = src then
+              per_dst.(r.Ci_faults.l_dst) <- r :: per_dst.(r.Ci_faults.l_dst))
+          all;
+        Array.map_inplace List.rev per_dst;
+        Some per_dst
+      end
+  in
   let states =
     Array.init n (fun id ->
         {
@@ -216,10 +368,18 @@ let run spec =
           inqs = queues.(id);
           outqs = Array.init n (fun dst -> queues.(dst).(id));
           outbox = Array.init n (fun _ -> Queue.create ());
+          cap = spec.outbox_cap;
           selfq = Queue.create ();
           timers = Timer_wheel.create ();
           handler = (fun ~src:_ _ -> ());
           n_blocked = 0;
+          n_outbox_dropped = 0;
+          outbox_peak = 0;
+          nem_links = link_rules_of id;
+          nem_rng = Rng.create ~seed:(spec.nemesis.Ci_faults.seed + (id * 7919));
+          nem = None;
+          n_fault_dropped = 0;
+          n_fault_duplicated = 0;
         })
   in
   let metrics = Metrics.create () in
@@ -233,28 +393,27 @@ let run spec =
      microseconds, so these fire only when something is genuinely wedged
      — never because a GC pause or a scheduling gap delayed one reply. *)
   let ms = Sim_time.ms in
+  let op_cfg () =
+    let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
+    {
+      d with
+      Ci_consensus.Onepaxos.acceptor_timeout = ms 200;
+      prepare_timeout = ms 200;
+      check_period = ms 50;
+      pu_timeout = ms 100;
+    }
+  in
+  let mp_cfg () =
+    let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
+    { d with Ci_consensus.Multipaxos.election_timeout = ms 150 }
+  in
   let replicas =
     Array.init n_replicas (fun i ->
         let env = env_of i in
         match spec.protocol with
-        | Onepaxos ->
-          let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
-          let cfg =
-            {
-              d with
-              Ci_consensus.Onepaxos.acceptor_timeout = ms 200;
-              prepare_timeout = ms 200;
-              check_period = ms 50;
-              pu_timeout = ms 100;
-            }
-          in
-          Op (Ci_consensus.Onepaxos.create ~env ~config:cfg)
+        | Onepaxos -> Op (Ci_consensus.Onepaxos.create ~env ~config:(op_cfg ()))
         | Multipaxos ->
-          let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
-          let cfg =
-            { d with Ci_consensus.Multipaxos.election_timeout = ms 150 }
-          in
-          Mp (Ci_consensus.Multipaxos.create ~env ~config:cfg))
+          Mp (Ci_consensus.Multipaxos.create ~env ~config:(mp_cfg ())))
   in
   Array.iteri
     (fun i r ->
@@ -263,6 +422,68 @@ let run spec =
          | Op p -> Ci_consensus.Onepaxos.handle p
          | Mp p -> Ci_consensus.Multipaxos.handle p))
     replicas;
+  (* Nemesis crash/pause timelines, attached per affected replica. The
+     closures run inside the replica's own domain (step 0 of its event
+     loop); [replicas.(i)] rewritten by a restart is read by the main
+     domain only after the joins. *)
+  if not (Ci_faults.is_empty spec.nemesis) then begin
+    let per_node = Hashtbl.create 4 in
+    let add node t tr =
+      Hashtbl.replace per_node node
+        ((t, tr) :: Option.value (Hashtbl.find_opt per_node node) ~default:[])
+    in
+    List.iter
+      (fun c ->
+        add c.Ci_faults.c_node c.Ci_faults.c_at `Crash;
+        Option.iter
+          (fun d -> add c.c_node (c.c_at + d) `Restart)
+          c.Ci_faults.c_restart)
+      (Ci_faults.crashes spec.nemesis);
+    List.iter
+      (fun p ->
+        add p.Ci_faults.p_node p.Ci_faults.p_from `Pause;
+        add p.p_node p.Ci_faults.p_until `Resume)
+      (Ci_faults.pauses spec.nemesis);
+    Hashtbl.iter
+      (fun i trs ->
+        let st = states.(i) in
+        let snap = ref None in
+        let on_crash () =
+          (* The durable registers survive (modeled fsync); the mailbox,
+             parked sends, armed timers and the handler die with the
+             process. *)
+          (match replicas.(i) with
+          | Op p -> snap := Some (St_op (Ci_consensus.Onepaxos.stable p))
+          | Mp p -> snap := Some (St_mp (Ci_consensus.Multipaxos.stable p)));
+          Queue.clear st.selfq;
+          Array.iter Queue.clear st.outbox;
+          st.timers <- Timer_wheel.create ();
+          st.handler <- (fun ~src:_ _ -> ())
+        in
+        let on_restart () =
+          st.timers <- Timer_wheel.create ();
+          let env = env_of i in
+          let r =
+            match !snap with
+            | Some (St_op s) ->
+              Op (Ci_consensus.Onepaxos.recover ~env ~config:(op_cfg ()) ~stable:s)
+            | Some (St_mp s) ->
+              Mp
+                (Ci_consensus.Multipaxos.recover ~env ~config:(mp_cfg ())
+                   ~stable:s)
+            | None -> assert false
+          in
+          replicas.(i) <- r;
+          st.handler <-
+            (match r with
+            | Op p -> Ci_consensus.Onepaxos.handle p
+            | Mp p -> Ci_consensus.Multipaxos.handle p)
+        in
+        st.nem <-
+          Some
+            { transitions = List.sort compare trs; mode = Up; on_crash; on_restart })
+      per_node
+  end;
   let client_stats =
     Array.init n_clients (fun _ -> Run_stats.create ~bucket:(ms 10))
   in
@@ -337,20 +558,31 @@ let run spec =
             | None -> acc
             | Some q ->
               {
+                acc with
                 q_count = acc.q_count + 1;
                 q_msgs = acc.q_msgs + Spsc.pushes q;
-                q_blocked = acc.q_blocked;
                 q_occupancy_peak =
                   max acc.q_occupancy_peak (Spsc.occupancy_peak q);
               })
           acc row)
-      { q_count = 0; q_msgs = 0; q_blocked = 0; q_occupancy_peak = 0 }
+      {
+        q_count = 0;
+        q_msgs = 0;
+        q_blocked = 0;
+        q_occupancy_peak = 0;
+        q_outbox_peak = 0;
+        q_outbox_dropped = 0;
+      }
       queues
   in
   let queues_total =
     {
       queues_total with
       q_blocked = Array.fold_left (fun acc s -> acc + s.n_blocked) 0 states;
+      q_outbox_peak =
+        Array.fold_left (fun acc s -> max acc s.outbox_peak) 0 states;
+      q_outbox_dropped =
+        Array.fold_left (fun acc s -> acc + s.n_outbox_dropped) 0 states;
     }
   in
   (* Consistency: same construction as Runner.run, over live views. *)
@@ -381,6 +613,44 @@ let run spec =
   Metrics.set_int metrics "live.queue.blocked" queues_total.q_blocked;
   Metrics.set_int metrics "live.queue.occupancy_peak"
     queues_total.q_occupancy_peak;
+  Metrics.set_int metrics "live.queue.outbox_peak" queues_total.q_outbox_peak;
+  Metrics.set_int metrics "live.queue.outbox_dropped"
+    queues_total.q_outbox_dropped;
+  let completions =
+    Array.to_list client_stats
+    |> List.concat_map (fun s ->
+           Array.to_list (Run_stats.completions_in s ~from_:0 ~until_:t_quiesce))
+    |> Array.of_list
+  in
+  Array.sort compare completions;
+  (* Wall-clock commit rates over the measured phase, 100 ms buckets
+     (full buckets only) — the live twin of [Runner.result.timeline],
+     so failover figures can overlay both backends. *)
+  let timeline =
+    let bucket = 100_000_000 in
+    let counts = Array.make (t_quiesce / bucket) 0 in
+    Array.iter
+      (fun t ->
+        let b = t / bucket in
+        if b < Array.length counts then counts.(b) <- counts.(b) + 1)
+      completions;
+    Array.map (fun c -> float_of_int c *. 1e9 /. float_of_int bucket) counts
+  in
+  let failover =
+    match Ci_faults.first_fault_at spec.nemesis with
+    | Some fault_at when fault_at >= 0 && fault_at < t_quiesce ->
+      Metrics.set_int metrics "live.faults.dropped"
+        (Array.fold_left (fun acc s -> acc + s.n_fault_dropped) 0 states);
+      Metrics.set_int metrics "live.faults.duplicated"
+        (Array.fold_left (fun acc s -> acc + s.n_fault_duplicated) 0 states);
+      let f =
+        Ci_obs.Failover.analyze ~completions ~from_:0 ~fault_at
+          ~until_:t_quiesce
+      in
+      Ci_obs.Failover.record metrics f;
+      Some f
+    | Some _ | None -> None
+  in
   {
     spec;
     cores = Domain.recommended_domain_count ();
@@ -391,7 +661,9 @@ let run spec =
     retries;
     leader_changes;
     acceptor_changes;
+    timeline;
     queues = queues_total;
     consistency;
     metrics;
+    failover;
   }

@@ -32,6 +32,20 @@ type spec = {
   think : int;  (** Client think time between requests (ns). *)
   read_ratio : float;  (** Fraction of [Get] commands. *)
   key_space : int;  (** Keys drawn from [0 .. key_space-1]. *)
+  outbox_cap : int;
+      (** Per-destination outbox bound: a peer that stops draining its
+          rings (dead, paused, wedged) costs a sender at most this many
+          parked messages per destination — the overflow is dropped and
+          counted, never held in an unbounded heap. *)
+  nemesis : Ci_faults.t;
+      (** Declarative fault schedule ({!Ci_faults.empty} by default).
+          Crash and pause transitions are evaluated by each replica
+          domain's own event loop against the monotonic clock — a
+          crashed replica keeps only its durable registers and rejoins
+          through the protocol's [recover]; link faults act sender-side
+          at the SPSC ring boundary. Node indices refer to replicas
+          [0..n_replicas-1]. [Slow] faults are simulator-only and
+          rejected here. *)
 }
 
 val default_spec : protocol:protocol -> spec
@@ -43,6 +57,9 @@ type queue_totals = {
   q_msgs : int;  (** Messages that crossed any queue. *)
   q_blocked : int;  (** Sends that found the ring full (outbox fallback). *)
   q_occupancy_peak : int;  (** Worst ring occupancy at enqueue. *)
+  q_outbox_peak : int;  (** Worst parked-outbox depth over all nodes. *)
+  q_outbox_dropped : int;
+      (** Messages shed at the outbox cap (undrained peer). *)
 }
 
 type result = {
@@ -60,12 +77,22 @@ type result = {
           Multi-Paxos: elections initiated (sum). Should be 0 on a
           healthy no-fault run. *)
   acceptor_changes : int;  (** 1Paxos only; 0 for Multi-Paxos. *)
+  timeline : float array;
+      (** Commit rate (op/s) per 100 ms wall-clock bucket over the
+          measured phase, full buckets only — the live twin of the
+          simulator's [Runner.result.timeline], so failover figures can
+          show both backends. *)
   queues : queue_totals;
   consistency : Ci_rsm.Consistency.report;
       (** The simulator's checker over the live replicas' views. *)
   metrics : Ci_obs.Metrics.t;
       (** [live.*] counters (filled by the domains via atomic counters)
           plus post-run scalars. *)
+  failover : Ci_obs.Failover.t option;
+      (** Failover analysis around the nemesis schedule's first fault
+          onset ([Some] exactly when the schedule is non-empty and its
+          onset falls inside the measured phase); also published under
+          [failover.*] metric keys. *)
 }
 
 val run : spec -> result

@@ -89,6 +89,13 @@ val fig11 : ?jobs:int -> ?duration:int -> unit -> timeline list
 val sec2_2 : ?jobs:int -> ?duration:int -> unit -> timeline list
 (** 2PC with a slowed coordinator (the Section 2.2 experiment). *)
 
+val failover : ?jobs:int -> ?duration:int -> unit -> timeline list
+(** Figure 11's shape under a {e crash} instead of a slowdown: 1Paxos
+    with the active acceptor (node 1) crash-restarted via the nemesis,
+    the same for the leader (node 0), and the no-failure baseline.
+    Crash at 40 ms, restart 30 ms later, recovery through the
+    protocol's own [recover]/takeover machinery. *)
+
 (** {1 E9 — Section 8: 1Paxos over an IP network} *)
 
 val lan_1paxos : ?jobs:int -> ?clients:int list -> ?duration:int -> unit -> series list

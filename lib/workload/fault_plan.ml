@@ -7,6 +7,32 @@ type t =
 
 let paper_slowdown = 9.
 
+let validate ?n_cores fault =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_window ~from_ ~until_ =
+    if from_ < 0 then err "fault window starts before 0 (%d)" from_
+    else if until_ <= from_ then
+      err "fault window [%d, %d] is empty or inverted" from_ until_
+    else Ok ()
+  in
+  let check_core core =
+    match n_cores with
+    | Some n when core < 0 || core >= n ->
+      err "core %d out of range [0, %d)" core n
+    | Some _ | None -> if core < 0 then err "core %d negative" core else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  match fault with
+  | Slow_core { core; from_; until_; factor } ->
+    let* () = check_window ~from_ ~until_ in
+    let* () = check_core core in
+    if Float.is_nan factor then err "slowdown factor is NaN"
+    else if factor < 1. then err "slowdown factor %g < 1" factor
+    else Ok ()
+  | Crash_core { core; from_; until_ } ->
+    let* () = check_window ~from_ ~until_ in
+    check_core core
+
 let apply fault machine =
   match fault with
   | Slow_core { core; from_; until_; factor } ->

@@ -16,6 +16,11 @@ val paper_slowdown : float
 (** The calibrated factor for "8 CPU-intensive processes sharing the
     core": the victim gets roughly 1/9 of the cycles, so 9. *)
 
+val validate : ?n_cores:int -> t -> (unit, string) result
+(** [validate ?n_cores fault] rejects empty or inverted windows,
+    negative (or, when [n_cores] is given, out-of-range) cores, and NaN
+    or sub-1 slowdown factors, with a human-readable reason. *)
+
 val apply : t -> 'msg Ci_machine.Machine.t -> unit
 (** [apply fault machine] installs the fault on the machine. *)
 

@@ -1,0 +1,25 @@
+(** Simulator-side compiler for {!Ci_faults} schedules.
+
+    Installs the machine-level mechanisms — per-link drop/duplicate
+    filters (coin flips drawn from the schedule's own seeded stream,
+    never the machine's), extra link delays, slow-core windows — and
+    schedules the crash/pause transition timeline. Node-level
+    orchestration (capturing durable state, calling the protocol's
+    [recover], buffering a paused node's input) is supplied by the
+    caller as callbacks; {!Runner} provides them. With an empty
+    schedule this is a guaranteed no-op: nothing is installed and the
+    event schedule is untouched. *)
+
+val install :
+  'msg Ci_machine.Machine.t ->
+  nemesis:Ci_faults.t ->
+  crash:(node:int -> unit) ->
+  restart:(node:int -> unit) ->
+  pause:(node:int -> unit) ->
+  resume:(node:int -> unit) ->
+  unit
+(** [install machine ~nemesis ~crash ~restart ~pause ~resume] compiles
+    the schedule onto the machine. The four callbacks fire at the
+    scheduled transition instants, once per transition; [restart] fires
+    only for crashes carrying a [down_for]. Validate the schedule
+    ({!Ci_faults.validate}) before installing. *)

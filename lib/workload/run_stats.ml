@@ -26,3 +26,15 @@ let completed_in t ~from_ ~until_ =
   List.fold_left
     (fun acc s -> if s.replied_at >= from_ && s.replied_at < until_ then acc + 1 else acc)
     0 t.acc
+
+let completions_in t ~from_ ~until_ =
+  let a =
+    List.filter_map
+      (fun s ->
+        if s.replied_at >= from_ && s.replied_at < until_ then Some s.replied_at
+        else None)
+      t.acc
+    |> Array.of_list
+  in
+  Array.sort compare a;
+  a

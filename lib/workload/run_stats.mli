@@ -29,3 +29,8 @@ val latencies_in : t -> from_:int -> until_:int -> int array
 val completed_in : t -> from_:int -> until_:int -> int
 (** [completed_in t ~from_ ~until_] counts requests completed within the
     window. *)
+
+val completions_in : t -> from_:int -> until_:int -> int array
+(** [completions_in t ~from_ ~until_] is the completion instants (ns)
+    of requests completed within the window, sorted ascending — the
+    input {!Ci_obs.Failover.analyze} expects. *)

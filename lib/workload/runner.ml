@@ -12,6 +12,7 @@ module Multipaxos = Ci_consensus.Multipaxos
 module Twopc = Ci_consensus.Twopc
 module Replica_core = Ci_consensus.Replica_core
 module Wire = Ci_consensus.Wire
+module Node_env = Ci_engine.Node_env
 
 type protocol = Onepaxos | Multipaxos | Twopc | Mencius | Cheappaxos
 
@@ -42,6 +43,7 @@ type spec = {
   timeout : int;
   max_requests : int option;
   faults : Fault_plan.t list;
+  nemesis : Ci_faults.t;
   bucket : int;
   colocate_acceptor : bool;
   batch : int;
@@ -67,6 +69,7 @@ let default_spec ~protocol ~placement =
     timeout = Sim_time.ms 2;
     max_requests = None;
     faults = [];
+    nemesis = Ci_faults.empty;
     bucket = Sim_time.ms 10;
     colocate_acceptor = false;
     batch = 1;
@@ -118,6 +121,7 @@ type result = {
   sim_events : int;
   metrics : Metrics.t;
   consistency : Consistency.report;
+  failover : Ci_obs.Failover.t option;
 }
 
 (* One instant's view of every cumulative counter — taken at the window
@@ -139,6 +143,36 @@ type replica =
   | Tp of Ci_consensus.Twopc.t
   | Mn of Ci_consensus.Mencius.t
   | Cp of Ci_consensus.Cheap_paxos.t
+
+(* Per-replica nemesis bookkeeping. [alive] is the {e current}
+   incarnation's liveness cell — a crash flips the cell the dead
+   incarnation's timers were gated on, a restart installs a fresh cell,
+   so stale timers can never act for their successor. *)
+type stable_snap = St_op of Onepaxos.stable | St_mp of Multipaxos.stable
+
+type nem_state = {
+  mutable alive : bool ref;
+  mutable paused : bool;
+  pending : (unit -> unit) Queue.t;
+      (** Messages and timer thunks deferred while paused, replayed in
+          arrival order at resume (SIGCONT drains the backlog). *)
+  mutable snap : stable_snap option;
+      (** Durable registers captured at the crash instant. *)
+}
+
+(* Gate a node environment for one incarnation: timers of a dead
+   incarnation never fire, timers of a paused one are deferred. Sends
+   need no gate — they only originate from handlers and timers, both of
+   which are gated. *)
+let gate_env (base : Wire.t Node_env.t) st alive =
+  let wrap f () =
+    if !alive then if st.paused then Queue.add f st.pending else f ()
+  in
+  {
+    base with
+    Node_env.after = (fun ~delay f -> base.Node_env.after ~delay (wrap f));
+    after_cancel = (fun ~delay f -> base.Node_env.after_cancel ~delay (wrap f));
+  }
 
 let replica_handle r ~src msg =
   match r with
@@ -181,6 +215,32 @@ let run spec =
   if n_replicas < 1 then invalid_arg "Runner.run: need at least one replica";
   if n_replicas > n_cores then invalid_arg "Runner.run: more replicas than cores";
   if (not joint) && n_clients < 1 then invalid_arg "Runner.run: need clients";
+  List.iter
+    (fun f ->
+      match Fault_plan.validate ~n_cores f with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Runner.run: fault plan: " ^ e))
+    spec.faults;
+  let has_crashpause =
+    Ci_faults.crashes spec.nemesis <> [] || Ci_faults.pauses spec.nemesis <> []
+  in
+  if not (Ci_faults.is_empty spec.nemesis) then begin
+    (match Ci_faults.validate ~n_cores ~n_nodes:n_replicas spec.nemesis with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Runner.run: nemesis: " ^ e));
+    if has_crashpause then begin
+      (match spec.protocol with
+      | Onepaxos | Multipaxos -> ()
+      | Twopc | Mencius | Cheappaxos ->
+        invalid_arg
+          "Runner.run: nemesis crash/pause requires a protocol with \
+           crash-recovery (1paxos or multipaxos)");
+      if joint then
+        invalid_arg
+          "Runner.run: nemesis crash/pause requires dedicated placement \
+           (a joint node's client would die with its replica)"
+    end
+  end;
   let machine =
     Machine.create ~seed:spec.seed ~topology:spec.topology ~params:spec.params ()
   in
@@ -197,41 +257,39 @@ let run spec =
     + spec.params.Net_params.recv_cost + spec.params.Net_params.handler_cost
   in
   let rtt = 2 * hop in
-  let make_replica node =
-    let env = Machine.env node in
+  let op_config () =
+    let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
+    {
+      d with
+      Ci_consensus.Onepaxos.relaxed_reads = spec.relaxed_reads;
+      initial_acceptor =
+        (if spec.colocate_acceptor then replica_ids.(0)
+         else replica_ids.(1 mod Array.length replica_ids));
+      acceptor_timeout = max d.Ci_consensus.Onepaxos.acceptor_timeout (4 * rtt);
+      prepare_timeout = max d.Ci_consensus.Onepaxos.prepare_timeout (4 * rtt);
+      check_period = max d.Ci_consensus.Onepaxos.check_period rtt;
+      pu_timeout = max d.Ci_consensus.Onepaxos.pu_timeout (3 * rtt);
+      max_batch = spec.batch;
+      batch_delay = spec.batch_delay;
+      window = spec.pipeline;
+    }
+  in
+  let mp_config () =
+    let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
+    {
+      d with
+      Ci_consensus.Multipaxos.relaxed_reads = spec.relaxed_reads;
+      election_timeout = max d.Ci_consensus.Multipaxos.election_timeout (3 * rtt);
+      max_batch = spec.batch;
+      batch_delay = spec.batch_delay;
+      window = spec.pipeline;
+    }
+  in
+  let make_replica env =
     match spec.protocol with
-    | Onepaxos ->
-      let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
-      let cfg =
-        {
-          d with
-          Ci_consensus.Onepaxos.relaxed_reads = spec.relaxed_reads;
-          initial_acceptor =
-            (if spec.colocate_acceptor then replica_ids.(0)
-             else replica_ids.(1 mod Array.length replica_ids));
-          acceptor_timeout = max d.Ci_consensus.Onepaxos.acceptor_timeout (4 * rtt);
-          prepare_timeout = max d.Ci_consensus.Onepaxos.prepare_timeout (4 * rtt);
-          check_period = max d.Ci_consensus.Onepaxos.check_period rtt;
-          pu_timeout = max d.Ci_consensus.Onepaxos.pu_timeout (3 * rtt);
-          max_batch = spec.batch;
-          batch_delay = spec.batch_delay;
-          window = spec.pipeline;
-        }
-      in
-      Op (Ci_consensus.Onepaxos.create ~env ~config:cfg)
+    | Onepaxos -> Op (Ci_consensus.Onepaxos.create ~env ~config:(op_config ()))
     | Multipaxos ->
-      let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
-      let cfg =
-        {
-          d with
-          Ci_consensus.Multipaxos.relaxed_reads = spec.relaxed_reads;
-          election_timeout = max d.Ci_consensus.Multipaxos.election_timeout (3 * rtt);
-          max_batch = spec.batch;
-          batch_delay = spec.batch_delay;
-          window = spec.pipeline;
-        }
-      in
-      Mp (Ci_consensus.Multipaxos.create ~env ~config:cfg)
+      Mp (Ci_consensus.Multipaxos.create ~env ~config:(mp_config ()))
     | Twopc ->
       let cfg =
         {
@@ -261,7 +319,18 @@ let run spec =
       in
       Cp (Ci_consensus.Cheap_paxos.create ~env ~config:cfg)
   in
-  let replicas = Array.map make_replica replica_nodes in
+  let nem =
+    Array.init n_replicas (fun _ ->
+        { alive = ref true; paused = false; pending = Queue.create (); snap = None })
+  in
+  (* Environments are wrapped only under a crash/pause schedule: the
+     empty-nemesis path hands protocols the machine's own environment,
+     untouched. *)
+  let env_for i =
+    let base = Machine.env replica_nodes.(i) in
+    if has_crashpause then gate_env base nem.(i) nem.(i).alive else base
+  in
+  let replicas = Array.init n_replicas (fun i -> make_replica (env_for i)) in
   (* Clients: their own cores after the replicas, or embedded (joint). *)
   let client_nodes =
     if joint then replica_nodes
@@ -299,11 +368,20 @@ let run spec =
       client_nodes
   in
   (* Handler wiring: replies go to the client half, everything else to
-     the replica half (joint nodes host both). *)
+     the replica half (joint nodes host both). Under a crash/pause
+     schedule the handler resolves [replicas.(i)] at delivery time (a
+     restart swaps the incarnation in place) and buffers while
+     paused. *)
   Array.iteri
     (fun i node ->
       let r = replicas.(i) in
-      if joint then
+      if has_crashpause then
+        let st = nem.(i) in
+        Machine.set_handler node (fun ~src msg ->
+            if st.paused then
+              Queue.add (fun () -> replica_handle replicas.(i) ~src msg) st.pending
+            else replica_handle replicas.(i) ~src msg)
+      else if joint then
         let c = clients.(i) in
         Machine.set_handler node (fun ~src msg ->
             match msg with
@@ -323,6 +401,51 @@ let run spec =
   Machine.set_observer ~msg_label:Wire.kind machine spec.trace;
   (* Faults, protocol bootstrap, load. *)
   List.iter (fun f -> Fault_plan.apply f machine) spec.faults;
+  let do_crash ~node:i =
+    let st = nem.(i) in
+    st.snap <-
+      Some
+        (match replicas.(i) with
+        | Op x -> St_op (Ci_consensus.Onepaxos.stable x)
+        | Mp x -> St_mp (Ci_consensus.Multipaxos.stable x)
+        | Tp _ | Mn _ | Cp _ -> assert false);
+    st.alive := false;
+    st.paused <- false;
+    Queue.clear st.pending;
+    Machine.set_node_down replica_nodes.(i) true
+  in
+  let do_restart ~node:i =
+    let st = nem.(i) in
+    Machine.set_node_down replica_nodes.(i) false;
+    let alive = ref true in
+    st.alive <- alive;
+    let env = gate_env (Machine.env replica_nodes.(i)) st alive in
+    let r =
+      match st.snap with
+      | Some (St_op s) ->
+        Op (Ci_consensus.Onepaxos.recover ~env ~config:(op_config ()) ~stable:s)
+      | Some (St_mp s) ->
+        Mp (Ci_consensus.Multipaxos.recover ~env ~config:(mp_config ()) ~stable:s)
+      | None -> assert false
+    in
+    replicas.(i) <- r
+  in
+  let do_pause ~node:i =
+    nem.(i).paused <- true;
+    Machine.note_phase replica_nodes.(i) ~phase:"paused"
+  in
+  let do_resume ~node:i =
+    let st = nem.(i) in
+    if st.paused then begin
+      st.paused <- false;
+      Machine.note_phase replica_nodes.(i) ~phase:"resumed";
+      while not (Queue.is_empty st.pending) do
+        (Queue.pop st.pending) ()
+      done
+    end
+  in
+  Nemesis.install machine ~nemesis:spec.nemesis ~crash:do_crash
+    ~restart:do_restart ~pause:do_pause ~resume:do_resume;
   Array.iter replica_start replicas;
   Array.iter Client.start clients;
   let w0 = spec.warmup and w1 = spec.warmup + spec.duration in
@@ -502,6 +625,23 @@ let run spec =
   Metrics.set_int metrics "leader_changes.sum" leader_changes_sum;
   Metrics.set_int metrics "acceptor_changes.max" acceptor_changes;
   Metrics.set_int metrics "acceptor_changes.sum" acceptor_changes_sum;
+  (* Failover shape around the schedule's first fault. Fault metric keys
+     exist only under a non-empty nemesis, so fault-free metric dumps
+     are unchanged. *)
+  let failover =
+    match Ci_faults.first_fault_at spec.nemesis with
+    | Some fault_at when fault_at >= 0 && fault_at < horizon ->
+      Metrics.set_int metrics "faults.dropped" (Machine.fault_dropped machine);
+      Metrics.set_int metrics "faults.duplicated"
+        (Machine.fault_duplicated machine);
+      let completions = Run_stats.completions_in stats ~from_:0 ~until_:horizon in
+      let f =
+        Ci_obs.Failover.analyze ~completions ~from_:0 ~fault_at ~until_:horizon
+      in
+      Ci_obs.Failover.record metrics f;
+      Some f
+    | Some _ | None -> None
+  in
   {
     commits;
     total_replies = Run_stats.completed stats;
@@ -523,6 +663,7 @@ let run spec =
     sim_events;
     metrics;
     consistency;
+    failover;
   }
 
 let leader_util r =

@@ -34,6 +34,14 @@ type spec = {
   timeout : int;  (** Client retry timeout (ns). *)
   max_requests : int option;  (** Per-client request budget. *)
   faults : Fault_plan.t list;
+  nemesis : Ci_faults.t;
+      (** Declarative fault schedule ({!Ci_faults.empty} by default —
+          the empty schedule is guaranteed not to perturb the run).
+          Link faults and slowdowns work for every protocol; crash and
+          pause faults require 1Paxos or Multi-Paxos (the protocols
+          with a [recover] entry point) under dedicated placement, and
+          their node indices refer to replicas [0..R-1]. Invalid or
+          unsupported schedules raise [Invalid_argument]. *)
   bucket : int;  (** Throughput time-series bucket (ns). *)
   colocate_acceptor : bool;
       (** 1Paxos only: place the initial active acceptor on the leader's
@@ -128,6 +136,11 @@ type result = {
           channel back-pressure totals, window totals, and
           [trace.dropped] when tracing. *)
   consistency : Ci_rsm.Consistency.report;
+  failover : Ci_obs.Failover.t option;
+      (** Failover analysis around the nemesis schedule's first fault
+          onset, over the whole run ([Some] exactly when the schedule
+          is non-empty and its onset falls inside the run); also
+          published under [failover.*] metric keys. *)
 }
 
 val run : spec -> result
