@@ -4,8 +4,8 @@
 
    Usage: main.exe [--jobs N] [section ...]
    Sections: netchar fig2 latency fig8 fig9 fig10 fig11 sec2_2 lan
-             ablation batching protocols metrics engine runtime faults
-             micro (default: all).
+             ablation batching protocols metrics engine runtime shards
+             faults micro (default: all).
 
    [--jobs N] (or CI_JOBS) fans the independent simulation runs inside
    each section out over N domains; the printed figures are
@@ -278,6 +278,7 @@ type runtime_row = {
   rt_p99_us : float;
   rt_retries : int;
   rt_q_blocked : int;
+  rt_full_ring : int array;  (* per-node full-ring sends *)
   rt_consistent : bool;
 }
 
@@ -311,6 +312,7 @@ let runtime ~jobs:_ =
           rt_p99_us = float_of_int r.Live.latency.Ci_stats.Summary.p99 /. 1e3;
           rt_retries = r.Live.retries;
           rt_q_blocked = r.Live.queues.Live.q_blocked;
+          rt_full_ring = r.Live.full_ring_sends;
           rt_consistent = Ci_rsm.Consistency.ok r.Live.consistency;
         }
       in
@@ -349,9 +351,13 @@ let write_runtime_json () =
           (Printf.sprintf
              "    {\"protocol\": \"%s\", \"replicas\": %d, \"ops\": %d, \
               \"throughput_ops\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
-              \"retries\": %d, \"full_ring_sends\": %d, \"consistent\": %b}%s\n"
+              \"retries\": %d, \"full_ring_sends\": %d, \
+              \"full_ring_sends_per_node\": [%s], \"consistent\": %b}%s\n"
              r.rt_protocol r.rt_replicas r.rt_ops r.rt_throughput r.rt_p50_us
-             r.rt_p99_us r.rt_retries r.rt_q_blocked r.rt_consistent
+             r.rt_p99_us r.rt_retries r.rt_q_blocked
+             (String.concat ", "
+                (Array.to_list (Array.map string_of_int r.rt_full_ring)))
+             r.rt_consistent
              (if i = List.length s.rt_rows - 1 then "" else ",")))
       s.rt_rows;
     Buffer.add_string buf "  ]\n}\n";
@@ -360,6 +366,125 @@ let write_runtime_json () =
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (Buffer.contents buf));
     Format.printf "@.wrote BENCH_runtime.json@."
+
+(* ----- sharded scaling benchmark ------------------------------------------ *)
+
+(* One row per protocol x group count, collected for BENCH_shards.json:
+   live wall-clock throughput as the keyspace is sharded over more
+   independent consensus groups (ISSUE 7's tentpole). On hosts with
+   enough cores the curve should grow near-linearly in the group count;
+   on an oversubscribed host it stays honest and flat — either way every
+   point must be consistent per group and atomic across groups. *)
+type shards_row = {
+  sh_protocol : string;
+  sh_groups : int;
+  sh_ops : int;
+  sh_throughput : float;
+  sh_cross_committed : int;
+  sh_cross_aborted : int;
+  sh_alloc_words_per_op : float;
+  sh_consistent : bool;
+  sh_atomic : bool;
+}
+
+type shards_stats = { sh_cores : int; sh_rows : shards_row list }
+
+let shards_stats : shards_stats option ref = ref None
+
+let shards ~jobs:_ =
+  section "S1. Sharded multi-group scaling (live, 2 clients, 0.5s per cell)"
+    "this reproduction's addition: hash-partition the keyspace over N \
+     1Paxos/Multi-Paxos groups on distinct cores, 2PC for cross-shard writes"
+    (fun () ->
+      let module Live = Ci_runtime.Live in
+      let cores = Domain.recommended_domain_count () in
+      let row protocol groups =
+        let spec =
+          {
+            (Live.default_spec ~protocol) with
+            Live.n_replicas = 3;
+            n_clients = 2;
+            groups;
+            cross_shard_ratio = (if groups = 1 then 0. else 0.05);
+            duration_s = 0.5;
+            drain_s = 0.2;
+          }
+        in
+        let r = Live.run spec in
+        let committed, aborted =
+          match r.Live.atomicity with
+          | Some a -> (a.Ci_rsm.Atomicity.committed, a.Ci_rsm.Atomicity.aborted)
+          | None -> (0, 0)
+        in
+        {
+          sh_protocol = Live.protocol_name protocol;
+          sh_groups = groups;
+          sh_ops = r.Live.ops;
+          sh_throughput = r.Live.throughput;
+          sh_cross_committed = committed;
+          sh_cross_aborted = aborted;
+          sh_alloc_words_per_op = r.Live.alloc_words_per_op;
+          sh_consistent = Ci_rsm.Consistency.ok r.Live.consistency;
+          sh_atomic =
+            (match r.Live.atomicity with
+            | Some a -> Ci_rsm.Atomicity.ok a
+            | None -> true);
+        }
+      in
+      let rows =
+        List.concat_map
+          (fun p -> List.map (row p) [ 1; 2; 4 ])
+          [ Live.Onepaxos; Live.Multipaxos ]
+      in
+      Format.printf "%d cores; 3 replicas/group, 5%% cross-shard above 1 group@."
+        cores;
+      Format.printf "%-12s %7s %12s %11s %9s %11s %8s@." "protocol" "groups"
+        "op/s" "2pc-commit" "2pc-abort" "consistent" "atomic";
+      List.iter
+        (fun r ->
+          Format.printf "%-12s %7d %12.0f %11d %9d %11s %8s@." r.sh_protocol
+            r.sh_groups r.sh_throughput r.sh_cross_committed r.sh_cross_aborted
+            (if r.sh_consistent then "yes" else "NO")
+            (if r.sh_atomic then "yes" else "NO");
+          if not r.sh_consistent then
+            failwith
+              (Printf.sprintf "shards: %s with %d groups was inconsistent"
+                 r.sh_protocol r.sh_groups);
+          if not r.sh_atomic then
+            failwith
+              (Printf.sprintf
+                 "shards: %s with %d groups violated cross-shard atomicity"
+                 r.sh_protocol r.sh_groups))
+        rows;
+      shards_stats := Some { sh_cores = cores; sh_rows = rows })
+
+let write_shards_json () =
+  match !shards_stats with
+  | None -> ()
+  | Some s ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" s.sh_cores);
+    Buffer.add_string buf "  \"rows\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"protocol\": \"%s\", \"groups\": %d, \"ops\": %d, \
+              \"throughput_ops\": %.0f, \"cross_shard_committed\": %d, \
+              \"cross_shard_aborted\": %d, \"alloc_words_per_op\": %.1f, \
+              \"consistent\": %b, \"atomic\": %b}%s\n"
+             r.sh_protocol r.sh_groups r.sh_ops r.sh_throughput
+             r.sh_cross_committed r.sh_cross_aborted r.sh_alloc_words_per_op
+             r.sh_consistent r.sh_atomic
+             (if i = List.length s.sh_rows - 1 then "" else ",")))
+      s.sh_rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_shards.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf));
+    Format.printf "@.wrote BENCH_shards.json@."
 
 (* ----- fault-injection benchmark ------------------------------------------ *)
 
@@ -679,6 +804,7 @@ let sections =
     ("metrics", metrics);
     ("engine", engine);
     ("runtime", runtime);
+    ("shards", shards);
     ("faults", faults);
     ("micro", micro);
   ]
@@ -686,7 +812,7 @@ let sections =
 (* Sections whose runs are fanned out over the pool — the ones worth
    re-timing at jobs=1 for the comparison table. metrics/engine/micro
    time themselves differently (single runs or self-calibrating). *)
-let serial_only = [ "metrics"; "engine"; "runtime"; "faults"; "micro" ]
+let serial_only = [ "metrics"; "engine"; "runtime"; "shards"; "faults"; "micro" ]
 
 let print_jobs_table ~jobs =
   let j1 = List.rev !section_walls_j1 in
@@ -764,4 +890,5 @@ let () =
   end;
   write_bench_json ();
   write_runtime_json ();
+  write_shards_json ();
   write_faults_json ()

@@ -176,8 +176,10 @@ let run_cmd =
   let protocol =
     Arg.(value & opt protocol_conv Runner.Onepaxos & info [ "p"; "protocol" ] ~doc:"Protocol: 1paxos, multipaxos or 2pc.")
   in
-  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica count.") in
+  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica count (per group when $(b,--groups) > 1).") in
   let clients = Arg.(value & opt int 5 & info [ "c"; "clients" ] ~doc:"Client count (dedicated mode).") in
+  let groups = Arg.(value & opt int 1 & info [ "g"; "groups" ] ~doc:"Independent consensus groups the keyspace is sharded over (1paxos/multipaxos, dedicated mode).") in
+  let cross_shard = Arg.(value & opt float 0. & info [ "cross-shard-ratio" ] ~doc:"Fraction of commands that are cross-shard multi-puts (2PC over the owning groups).") in
   let joint = Arg.(value & flag & info [ "joint" ] ~doc:"Joint deployment: every node is replica and client; $(b,--replicas) sets the node count.") in
   let duration = Arg.(value & opt int 50 & info [ "d"; "duration-ms" ] ~doc:"Measurement window (ms).") in
   let warmup = Arg.(value & opt int 5 & info [ "warmup-ms" ] ~doc:"Warm-up before measuring (ms).") in
@@ -202,13 +204,17 @@ let run_cmd =
     Arg.(value & opt fmt_conv `Chrome & info [ "trace-format" ] ~docv:"FMT" ~doc:"Trace format: $(b,chrome) (load in ui.perfetto.dev) or $(b,jsonl) (one JSON object per line).")
   in
   let metrics_out = Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the run's metrics registry as a flat JSON object to $(docv).") in
-  let run protocol replicas clients joint duration warmup seed read_ratio think
-      timeout topology net relaxed local_reads colocate batch batch_delay
-      pipeline coalesce faults timeline trace_out trace_format metrics_out =
+  let run protocol replicas clients groups cross_shard joint duration warmup
+      seed read_ratio think timeout topology net relaxed local_reads colocate
+      batch batch_delay pipeline coalesce faults timeline trace_out
+      trace_format metrics_out =
     let invalid fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; Some 1) fmt in
     let bad =
       if replicas < 1 then invalid "--replicas must be >= 1"
       else if (not joint) && clients < 1 then invalid "--clients must be >= 1"
+      else if groups < 1 then invalid "--groups must be >= 1"
+      else if cross_shard < 0. || cross_shard > 1. then
+        invalid "--cross-shard-ratio must be in [0, 1]"
       else if duration < 1 then invalid "--duration-ms must be >= 1"
       else if warmup < 0 then invalid "--warmup-ms must be >= 0"
       else if timeout < 1 then invalid "--timeout-us must be >= 1"
@@ -236,7 +242,9 @@ let run_cmd =
     let spec =
       {
         (Runner.default_spec ~protocol ~placement) with
-        Runner.duration = Sim_time.ms duration;
+        Runner.groups = groups;
+        cross_shard_ratio = cross_shard;
+        duration = Sim_time.ms duration;
         warmup = Sim_time.ms warmup;
         seed;
         read_ratio;
@@ -256,6 +264,9 @@ let run_cmd =
     in
     let r = Runner.run spec in
     Format.printf "%a@." Runner.pp_result r;
+    (match r.Runner.atomicity with
+     | Some a -> Format.printf "atomicity: %a@." Ci_rsm.Atomicity.pp a
+     | None -> ());
     if timeline then begin
       Format.printf "timeline (op/s per 10ms bucket):@.";
       Array.iteri (fun i x -> Format.printf "  %4dms %10.0f@." (i * 10) x) r.Runner.timeline
@@ -282,14 +293,21 @@ let run_cmd =
     (match metrics_out with
      | Some path -> write_file path (Ci_obs.Metrics.to_json r.Runner.metrics)
      | None -> ());
-    if Ci_rsm.Consistency.ok r.Runner.consistency then 0 else 1
+    if
+      Ci_rsm.Consistency.ok r.Runner.consistency
+      && (match r.Runner.atomicity with
+         | Some a -> Ci_rsm.Atomicity.ok a
+         | None -> true)
+    then 0
+    else 1
   in
   let term =
     Term.(
-      const run $ protocol $ replicas $ clients $ joint $ duration $ warmup
-      $ seed $ read_ratio $ think $ timeout $ topology $ net $ relaxed
-      $ local_reads $ colocate $ batch $ batch_delay $ pipeline $ coalesce
-      $ faults $ timeline $ trace_out $ trace_format $ metrics_out)
+      const run $ protocol $ replicas $ clients $ groups $ cross_shard $ joint
+      $ duration $ warmup $ seed $ read_ratio $ think $ timeout $ topology
+      $ net $ relaxed $ local_reads $ colocate $ batch $ batch_delay
+      $ pipeline $ coalesce $ faults $ timeline $ trace_out $ trace_format
+      $ metrics_out)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one experiment and print its measurements.") term
 
@@ -310,25 +328,30 @@ let live_cmd =
   let protocol =
     Arg.(value & opt live_protocol_conv Live.Onepaxos & info [ "p"; "protocol" ] ~doc:"Protocol: onepaxos (1paxos) or multipaxos.")
   in
-  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica domains.") in
+  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica domains (per group when $(b,--groups) > 1).") in
   let clients = Arg.(value & opt int 2 & info [ "c"; "clients" ] ~doc:"Client domains.") in
+  let groups = Arg.(value & opt int 1 & info [ "g"; "groups" ] ~doc:"Independent consensus groups the keyspace is sharded over; each gets its own replica domains plus a router domain.") in
+  let cross_shard = Arg.(value & opt float 0. & info [ "cross-shard-ratio" ] ~doc:"Fraction of commands that are cross-shard multi-puts (2PC over the owning groups).") in
   let duration = Arg.(value & opt float 1.0 & info [ "d"; "duration-s" ] ~doc:"Measured wall-clock phase (seconds).") in
   let drain = Arg.(value & opt float 0.2 & info [ "drain-s" ] ~doc:"Quiesce phase before stopping the domains (seconds).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (per-node streams derive from it).") in
-  let slots = Arg.(value & opt int 8 & info [ "queue-slots" ] ~doc:"SPSC ring capacity per ordered node pair.") in
+  let slots = Arg.(value & opt int 8 & info [ "ring-cap"; "queue-slots" ] ~doc:"SPSC ring capacity per ordered node pair. Raising it relieves full-ring back-pressure (see the per-node full-ring sends the run prints).") in
   let timeout = Arg.(value & opt int 150 & info [ "timeout-ms" ] ~doc:"Client retry timeout (ms). Keep generous on oversubscribed hosts.") in
   let read_ratio = Arg.(value & opt float 0. & info [ "read-ratio" ] ~doc:"Fraction of read commands.") in
   let think = Arg.(value & opt int 0 & info [ "think-us" ] ~doc:"Client think time between requests (us).") in
   let metrics_out = Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the run's metrics registry as a flat JSON object to $(docv).") in
-  let run protocol replicas clients duration drain seed slots timeout read_ratio
-      think metrics_out =
+  let run protocol replicas clients groups cross_shard duration drain seed
+      slots timeout read_ratio think metrics_out =
     let invalid fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; Some 1) fmt in
     let bad =
       if replicas < 2 then invalid "--replicas must be >= 2"
       else if clients < 1 then invalid "--clients must be >= 1"
+      else if groups < 1 then invalid "--groups must be >= 1"
+      else if cross_shard < 0. || cross_shard > 1. then
+        invalid "--cross-shard-ratio must be in [0, 1]"
       else if duration <= 0. then invalid "--duration-s must be > 0"
       else if drain < 0. then invalid "--drain-s must be >= 0"
-      else if slots < 1 then invalid "--queue-slots must be >= 1"
+      else if slots < 1 then invalid "--ring-cap must be >= 1"
       else if timeout < 1 then invalid "--timeout-ms must be >= 1"
       else if read_ratio < 0. || read_ratio > 1. then
         invalid "--read-ratio must be in [0, 1]"
@@ -343,6 +366,8 @@ let live_cmd =
           (Live.default_spec ~protocol) with
           Live.n_replicas = replicas;
           n_clients = clients;
+          groups;
+          cross_shard_ratio = cross_shard;
           duration_s = duration;
           drain_s = drain;
           seed;
@@ -353,8 +378,11 @@ let live_cmd =
         }
       in
       let r = Live.run spec in
-      Format.printf "live %s: %d replica + %d client domains on %d cores@."
-        (Live.protocol_name protocol) replicas clients r.Live.cores;
+      let n_routers = if groups = 1 then 0 else groups in
+      Format.printf
+        "live %s: %d replica + %d router + %d client domains on %d cores@."
+        (Live.protocol_name protocol) (groups * replicas) n_routers clients
+        r.Live.cores;
       Format.printf "  measured %.3fs  ops %d  throughput %.0f op/s@."
         r.Live.wall_s r.Live.ops r.Live.throughput;
       Format.printf "  latency %a@." Ci_stats.Summary.pp r.Live.latency;
@@ -364,7 +392,17 @@ let live_cmd =
       Format.printf "  queues %d  msgs %d  full-ring sends %d  occupancy-peak %d/%d@."
         q.Live.q_count q.Live.q_msgs q.Live.q_blocked q.Live.q_occupancy_peak
         slots;
+      Format.printf "  full-ring sends per node: %s@."
+        (String.concat " "
+           (Array.to_list
+              (Array.mapi (fun i b -> Printf.sprintf "n%d:%d" i b)
+                 r.Live.full_ring_sends)));
+      Format.printf "  alloc %.0f words/op (replica+router domains)@."
+        r.Live.alloc_words_per_op;
       Format.printf "%a@." Ci_rsm.Consistency.pp r.Live.consistency;
+      (match r.Live.atomicity with
+       | Some a -> Format.printf "atomicity: %a@." Ci_rsm.Atomicity.pp a
+       | None -> ());
       (match metrics_out with
        | Some path ->
          let oc = open_out path in
@@ -373,12 +411,19 @@ let live_cmd =
            (fun () -> output_string oc (Ci_obs.Metrics.to_json r.Live.metrics));
          Format.printf "wrote %s@." path
        | None -> ());
-      if Ci_rsm.Consistency.ok r.Live.consistency then 0 else 1
+      if
+        Ci_rsm.Consistency.ok r.Live.consistency
+        && (match r.Live.atomicity with
+           | Some a -> Ci_rsm.Atomicity.ok a
+           | None -> true)
+      then 0
+      else 1
   in
   let term =
     Term.(
-      const run $ protocol $ replicas $ clients $ duration $ drain $ seed
-      $ slots $ timeout $ read_ratio $ think $ metrics_out)
+      const run $ protocol $ replicas $ clients $ groups $ cross_shard
+      $ duration $ drain $ seed $ slots $ timeout $ read_ratio $ think
+      $ metrics_out)
   in
   Cmd.v
     (Cmd.info "live"
@@ -429,11 +474,30 @@ let nemesis_cmd =
             "Protocol: 1paxos, multipaxos, 2pc, mencius or cheappaxos \
              ($(b,--backend live): 1paxos or multipaxos only).")
   in
-  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica count.") in
+  let replicas =
+    Arg.(
+      value & opt int 3
+      & info [ "r"; "replicas" ]
+          ~doc:"Replica count (per group when $(b,--groups) > 1).")
+  in
   let clients =
     Arg.(
       value & opt (some int) None
       & info [ "c"; "clients" ] ~doc:"Client count (default: 5 sim, 2 live).")
+  in
+  let groups =
+    Arg.(
+      value & opt int 1
+      & info [ "g"; "groups" ]
+          ~doc:
+            "Consensus groups the keyspace is sharded over; fault node indices \
+             then range over $(b,groups * replicas) group-major replicas.")
+  in
+  let cross_shard =
+    Arg.(
+      value & opt float 0.
+      & info [ "cross-shard-ratio" ]
+          ~doc:"Fraction of commands that are cross-shard 2PC multi-puts.")
   in
   let duration =
     Arg.(
@@ -503,8 +567,8 @@ let nemesis_cmd =
       & info [ "slow-core" ] ~docv:"CORE:FROM_MS:UNTIL_MS:FACTOR"
           ~doc:"Slow a core by $(i,FACTOR) (simulator only). Repeatable.")
   in
-  let run backend protocol replicas clients duration seed scenario crashes
-      pauses drops dups delays partitions slows =
+  let run backend protocol replicas clients groups cross_shard duration seed
+      scenario crashes pauses drops dups delays partitions slows =
     let fail fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; 1) fmt in
     let dur_ms =
       match duration with
@@ -518,6 +582,9 @@ let nemesis_cmd =
     in
     if replicas < 2 then fail "--replicas must be >= 2"
     else if clients < 1 then fail "--clients must be >= 1"
+    else if groups < 1 then fail "--groups must be >= 1"
+    else if cross_shard < 0. || cross_shard > 1. then
+      fail "--cross-shard-ratio must be in [0, 1]"
     else if dur_ms < 1 then fail "--duration-ms must be >= 1"
     else begin
       let scen =
@@ -543,7 +610,7 @@ let nemesis_cmd =
           "empty fault schedule: pass --scenario or at least one of \
            --crash/--pause/--drop/--duplicate/--delay/--partition/--slow-core"
       else
-        match Ci_faults.validate ~n_nodes:replicas sched with
+        match Ci_faults.validate ~n_nodes:(groups * replicas) sched with
         | Error m -> fail "invalid fault schedule: %s" m
         | Ok () ->
           (match backend with
@@ -556,14 +623,23 @@ let nemesis_cmd =
                  with
                  Runner.duration = Sim_time.ms dur_ms;
                  seed;
+                 groups;
+                 cross_shard_ratio = cross_shard;
                  nemesis = sched;
                }
              in
              (try
                 let r = Runner.run spec in
                 Format.printf "%a@." Runner.pp_result r;
+                (match r.Runner.atomicity with
+                 | Some a -> Format.printf "atomicity: %a@." Ci_rsm.Atomicity.pp a
+                 | None -> ());
                 nemesis_verdict
-                  ~consistent:(Ci_rsm.Consistency.ok r.Runner.consistency)
+                  ~consistent:
+                    (Ci_rsm.Consistency.ok r.Runner.consistency
+                    && (match r.Runner.atomicity with
+                       | Some a -> Ci_rsm.Atomicity.ok a
+                       | None -> true))
                   r.Runner.failover
               with Invalid_argument m -> fail "%s" m)
            | `Live ->
@@ -579,6 +655,8 @@ let nemesis_cmd =
                     (Live.default_spec ~protocol) with
                     Live.n_replicas = replicas;
                     n_clients = clients;
+                    groups;
+                    cross_shard_ratio = cross_shard;
                     duration_s = float_of_int dur_ms /. 1000.;
                     seed;
                     nemesis = sched;
@@ -593,8 +671,16 @@ let nemesis_cmd =
                      r.Live.retries r.Live.leader_changes
                      r.Live.acceptor_changes;
                    Format.printf "%a@." Ci_rsm.Consistency.pp r.Live.consistency;
+                   (match r.Live.atomicity with
+                    | Some a ->
+                      Format.printf "atomicity: %a@." Ci_rsm.Atomicity.pp a
+                    | None -> ());
                    nemesis_verdict
-                     ~consistent:(Ci_rsm.Consistency.ok r.Live.consistency)
+                     ~consistent:
+                       (Ci_rsm.Consistency.ok r.Live.consistency
+                       && (match r.Live.atomicity with
+                          | Some a -> Ci_rsm.Atomicity.ok a
+                          | None -> true))
                      r.Live.failover
                  with Invalid_argument m -> fail "%s" m)
               | p ->
@@ -604,9 +690,9 @@ let nemesis_cmd =
   in
   let term =
     Term.(
-      const run $ backend $ protocol $ replicas $ clients $ duration $ seed
-      $ scenario $ crashes $ pauses $ drops $ dups $ delays $ partitions
-      $ slows)
+      const run $ backend $ protocol $ replicas $ clients $ groups
+      $ cross_shard $ duration $ seed $ scenario $ crashes $ pauses $ drops
+      $ dups $ delays $ partitions $ slows)
   in
   Cmd.v
     (Cmd.info "nemesis"
@@ -691,12 +777,14 @@ let figures_cmd =
         fun ~jobs -> `Series (E.protocol_comparison ~jobs ~params:Net_params.rdma ()) );
       ("failover", fun ~jobs -> `Timelines (E.failover ~jobs ()));
       ("failover-live", fun ~jobs:_ -> `Timelines (live_failover_timelines ()));
+      ("shards", fun ~jobs -> `Series (E.shards ~jobs ()));
     ]
   in
   (* The fault-injecting sections are opt-in: the default set must stay
      byte-identical run-to-run (and to pre-nemesis baselines), a promise
-     wall-clock live runs cannot make. *)
-  let opt_in = [ "failover"; "failover-live" ] in
+     wall-clock live runs cannot make. [shards] is opt-in too so the
+     default figure set stays byte-identical to pre-sharding baselines. *)
+  let opt_in = [ "failover"; "failover-live"; "shards" ] in
   let default_names =
     List.filter (fun n -> not (List.mem n opt_in)) (List.map fst sections)
   in

@@ -300,7 +300,7 @@ let handle t ~src msg =
     | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mp_prepare _
     | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _
     | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Tp_prepare _ | Wire.Tp_ack _
-    | Wire.Tp_commit _ | Wire.Tp_commit_ack _ | Wire.Tp_rollback _
+    | Wire.Tp_commit _ | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ | Wire.Tp_nack _
     | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
     | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
     | Wire.Pu_read_reply _ ->

@@ -95,7 +95,8 @@ let handle_request t ~src ~req_id ~cmd ~relaxed_read =
       send t src
         (Wire.Reply
            { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
-    | Command.Put _ | Command.Cas _ | Command.Nop -> ()
+    | Command.Put _ | Command.Cas _ | Command.Nop | Command.Mput _
+    | Command.Prep _ | Command.Fin _ -> ()
   else propose_value t { Wire.client = src; req_id; cmd }
 
 let on_accept t ~inst v_opt =
@@ -143,7 +144,7 @@ let handle t ~src msg =
   | Wire.Mp_prepare _ | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _
   | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _
   | Wire.Cp_state _ | Wire.Tp_prepare _ | Wire.Tp_ack _ | Wire.Tp_commit _
-  | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ ->
+  | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ | Wire.Tp_nack _ ->
     ()
 
 let create ~env ~config =

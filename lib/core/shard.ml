@@ -1,0 +1,258 @@
+module Node_env = Ci_engine.Node_env
+module Command = Ci_rsm.Command
+module Atomicity = Ci_rsm.Atomicity
+
+(* Stable pure hash partition of the keyspace. Fibonacci-style mixing
+   keeps adjacent keys off the same group, so small keyspaces still
+   spread; [land max_int] clears the sign bit before the modulo. *)
+let group_of_key ~groups key =
+  if groups <= 1 then 0
+  else ((key + 1) * 0x9E3779B1 lxor (key lsr 7)) land max_int mod groups
+
+let group_of_cmd ~groups cmd =
+  match Command.key_of cmd with
+  | Some key -> group_of_key ~groups key
+  | None -> 0
+
+let groups_of ~groups cmd =
+  List.sort_uniq compare
+    (match Command.keys_of cmd with
+    | [] -> [ 0 ]
+    | keys -> List.map (group_of_key ~groups) keys)
+
+module Router = struct
+  type config = {
+    groups : int;  (* shard count *)
+    leader_of : int array;  (* group -> entry replica node id *)
+    retry_timeout : int;  (* per-transaction retransmit period, ns *)
+  }
+
+  type phase = Preparing | Finishing of bool | Finished of bool
+
+  type txn = {
+    tx_id : int;
+    tx_client : int;
+    tx_req : int;
+    tx_parts : (int * int * int) array; (* group, key, data; ascending group *)
+    mutable tx_phase : phase;
+    tx_resp : bool array; (* per part: responded in the current phase *)
+    tx_ok : bool array; (* per part: prepare acquired the lock *)
+  }
+
+  type t = {
+    env : Wire.t Node_env.t;
+    cfg : config;
+    txns : (int, txn) Hashtbl.t;
+    by_part : (int, int) Hashtbl.t; (* leader node id -> group *)
+    by_req : (int * int, int) Hashtbl.t; (* (client, req_id) -> tx_id *)
+    done_reqs : (int * int, Command.result) Hashtbl.t;
+    mutable next_tx : int;
+    mutable n_forwarded : int;
+    mutable n_committed : int;
+    mutable n_aborted : int;
+  }
+
+  let create ~env ~config =
+    if config.groups < 1 then invalid_arg "Shard.Router.create: groups >= 1";
+    if Array.length config.leader_of <> config.groups then
+      invalid_arg "Shard.Router.create: one leader per group";
+    if config.retry_timeout <= 0 then
+      invalid_arg "Shard.Router.create: retry_timeout must be > 0";
+    let by_part = Hashtbl.create 8 in
+    Array.iteri (fun g leader -> Hashtbl.replace by_part leader g) config.leader_of;
+    {
+      env;
+      cfg = config;
+      txns = Hashtbl.create 256;
+      by_part;
+      by_req = Hashtbl.create 256;
+      done_reqs = Hashtbl.create 256;
+      next_tx = 0;
+      n_forwarded = 0;
+      n_committed = 0;
+      n_aborted = 0;
+    }
+
+  let send t ~dst msg = t.env.Node_env.send ~dst msg
+
+  let part_value t tx i =
+    let _, key, data = tx.tx_parts.(i) in
+    {
+      Wire.client = t.env.Node_env.id;
+      req_id = tx.tx_id;
+      cmd = Command.Prep { txn = tx.tx_id; key; data };
+    }
+
+  let fin_value t tx i ~commit =
+    let _, key, _ = tx.tx_parts.(i) in
+    {
+      Wire.client = t.env.Node_env.id;
+      req_id = tx.tx_id;
+      cmd = Command.Fin { txn = tx.tx_id; key; commit };
+    }
+
+  let send_part t tx i =
+    let group, _, _ = tx.tx_parts.(i) in
+    let dst = t.cfg.leader_of.(group) in
+    match tx.tx_phase with
+    | Preparing ->
+      send t ~dst (Wire.Tp_prepare { inst = tx.tx_id; v = part_value t tx i })
+    | Finishing commit ->
+      send t ~dst
+        (Wire.Tp_commit { inst = tx.tx_id; v = fin_value t tx i ~commit })
+    | Finished _ -> ()
+
+  let resend_pending t tx =
+    Array.iteri (fun i r -> if not r then send_part t tx i) tx.tx_resp
+
+  let complete t tx commit =
+    tx.tx_phase <- Finished commit;
+    if commit then t.n_committed <- t.n_committed + 1
+    else t.n_aborted <- t.n_aborted + 1;
+    let result = if commit then Command.Done else Command.Swapped false in
+    Hashtbl.replace t.done_reqs (tx.tx_client, tx.tx_req) result;
+    send t ~dst:tx.tx_client (Wire.Reply { req_id = tx.tx_req; result })
+
+  (* Phase 2: finish every part that acquired its lock (all of them on
+     commit). A part whose prepare was refused holds no lock, so an
+     abort owes it nothing. Phase 2 for a shard is only ever sent after
+     that shard answered phase 1, which keeps the shard's own log
+     ordered: its [Fin] can never be decided ahead of its [Prep]. *)
+  let start_finish t tx commit =
+    tx.tx_phase <- Finishing commit;
+    Array.iteri
+      (fun i ok ->
+        tx.tx_resp.(i) <- not ok;
+        if ok then send_part t tx i)
+      tx.tx_ok;
+    if Array.for_all Fun.id tx.tx_resp then complete t tx commit
+
+  let rec arm_retry t tx =
+    t.env.Node_env.after ~delay:t.cfg.retry_timeout (fun () ->
+        match tx.tx_phase with
+        | Finished _ -> ()
+        | Preparing | Finishing _ ->
+          resend_pending t tx;
+          arm_retry t tx)
+
+  let start_txn t ~client ~req_id parts =
+    let tx_id = (t.env.Node_env.id * 1_048_576) + t.next_tx in
+    t.next_tx <- t.next_tx + 1;
+    let tx =
+      {
+        tx_id;
+        tx_client = client;
+        tx_req = req_id;
+        tx_parts = Array.of_list parts;
+        tx_phase = Preparing;
+        tx_resp = Array.make (List.length parts) false;
+        tx_ok = Array.make (List.length parts) false;
+      }
+    in
+    Hashtbl.replace t.txns tx_id tx;
+    Hashtbl.replace t.by_req (client, req_id) tx_id;
+    Array.iteri (fun i _ -> send_part t tx i) tx.tx_parts;
+    arm_retry t tx
+
+  let part_index tx ~group =
+    let rec find i =
+      if i >= Array.length tx.tx_parts then None
+      else
+        let g, _, _ = tx.tx_parts.(i) in
+        if g = group then Some i else find (i + 1)
+    in
+    find 0
+
+  let on_prepare_response t ~src ~txn ~ok =
+    match Hashtbl.find_opt t.txns txn with
+    | None -> ()
+    | Some tx -> (
+      match tx.tx_phase with
+      | Preparing -> (
+        match Hashtbl.find_opt t.by_part src with
+        | None -> ()
+        | Some group -> (
+          match part_index tx ~group with
+          | None -> ()
+          | Some i ->
+            if not tx.tx_resp.(i) then begin
+              tx.tx_resp.(i) <- true;
+              tx.tx_ok.(i) <- ok
+            end;
+            if Array.for_all Fun.id tx.tx_resp then
+              start_finish t tx (Array.for_all Fun.id tx.tx_ok)))
+      | Finishing _ | Finished _ -> () (* stale retransmit answer *))
+
+  let on_commit_ack t ~src ~txn =
+    match Hashtbl.find_opt t.txns txn with
+    | None -> ()
+    | Some tx -> (
+      match tx.tx_phase with
+      | Finishing commit -> (
+        match Hashtbl.find_opt t.by_part src with
+        | None -> ()
+        | Some group -> (
+          match part_index tx ~group with
+          | None -> ()
+          | Some i ->
+            tx.tx_resp.(i) <- true;
+            if Array.for_all Fun.id tx.tx_resp then complete t tx commit))
+      | Preparing | Finished _ -> ())
+
+  let forward t ~client ~req_id ~cmd =
+    let group = group_of_cmd ~groups:t.cfg.groups cmd in
+    t.n_forwarded <- t.n_forwarded + 1;
+    send t ~dst:t.cfg.leader_of.(group)
+      (Wire.Forward { v = { Wire.client; req_id; cmd } })
+
+  let handle_request t ~src ~req_id ~cmd =
+    match Hashtbl.find_opt t.done_reqs (src, req_id) with
+    | Some result -> send t ~dst:src (Wire.Reply { req_id; result })
+    | None -> (
+      match groups_of ~groups:t.cfg.groups cmd with
+      | [ _ ] | [] -> forward t ~client:src ~req_id ~cmd
+      | _ :: _ :: _ -> (
+        match cmd with
+        | Command.Mput { k1; d1; k2; d2 } ->
+          (* A client retry of an in-flight transaction must not start
+             a second one: the reply comes when the first resolves. *)
+          if not (Hashtbl.mem t.by_req (src, req_id)) then begin
+            let part k d = (group_of_key ~groups:t.cfg.groups k, k, d) in
+            let parts = List.sort compare [ part k1 d1; part k2 d2 ] in
+            start_txn t ~client:src ~req_id parts
+          end
+        | _ ->
+          (* Multi-group routing is defined only for Mput today. *)
+          forward t ~client:src ~req_id ~cmd))
+
+  let handle t ~src msg =
+    match msg with
+    | Wire.Request { req_id; cmd; relaxed_read = _ } ->
+      handle_request t ~src ~req_id ~cmd
+    | Wire.Tp_ack { inst } -> on_prepare_response t ~src ~txn:inst ~ok:true
+    | Wire.Tp_nack { inst } -> on_prepare_response t ~src ~txn:inst ~ok:false
+    | Wire.Tp_commit_ack { inst } -> on_commit_ack t ~src ~txn:inst
+    | _ -> () (* routers speak only the client and 2PC vocabularies *)
+
+  let forwarded t = t.n_forwarded
+  let committed t = t.n_committed
+  let aborted t = t.n_aborted
+
+  let txn_reports t =
+    Hashtbl.fold
+      (fun _ tx acc ->
+        {
+          Atomicity.txn = tx.tx_id;
+          client = tx.tx_client;
+          req_id = tx.tx_req;
+          parts = Array.to_list tx.tx_parts;
+          outcome =
+            (match tx.tx_phase with
+            | Finished true -> Atomicity.Committed
+            | Finished false -> Atomicity.Aborted
+            | Preparing | Finishing _ -> Atomicity.Unresolved);
+        }
+        :: acc)
+      t.txns []
+    |> List.sort (fun (a : Atomicity.txn) b -> compare a.txn b.txn)
+end

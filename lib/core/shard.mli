@@ -1,0 +1,69 @@
+(** Keyspace sharding across independent consensus groups.
+
+    The paper's single 1Paxos group serializes every update through one
+    leader and one active acceptor; throughput is capped no matter how
+    many cores the machine has. The standard answer (Mencius §8; see
+    also PAPERS.md on parallel state-machine replication) is to
+    partition the keyspace over N {e independent} groups, each with its
+    own leader and acceptor on distinct cores, plus routers that hash
+    commands to their owning group. Single-shard commands are forwarded
+    untouched; a cross-shard {!Ci_rsm.Command.Mput} becomes a
+    two-phase-commit transaction driven by the router (coordinator)
+    over the shards' own logs ({!Twopc.Participant} on each shard's
+    entry replica).
+
+    Everything here is written against {!Ci_engine.Node_env}, so the
+    identical router runs on both the simulator and the live runtime. *)
+
+val group_of_key : groups:int -> int -> int
+(** [group_of_key ~groups key] is the shard owning [key]: a pure,
+    stable hash partition — every key maps to exactly one group in
+    [0 .. groups-1], and the same group on every call, run, and
+    backend. [groups <= 1] always yields group 0. *)
+
+val group_of_cmd : groups:int -> Ci_rsm.Command.t -> int
+(** Owning group of a command's primary key ([Nop] routes to 0). *)
+
+val groups_of : groups:int -> Ci_rsm.Command.t -> int list
+(** Sorted distinct groups a command touches ([[0]] for [Nop]). A
+    two-element result marks a cross-shard command. *)
+
+(** The router: hashes client commands to groups, forwards single-shard
+    commands to the owning group's entry replica (whose reply goes
+    straight back to the client), and coordinates cross-shard [Mput]s
+    as 2PC transactions with per-phase retransmission. *)
+module Router : sig
+  type config = {
+    groups : int;  (** Shard count (>= 1). *)
+    leader_of : int array;
+        (** Node id of each group's entry replica (initial leader);
+            one per group. *)
+    retry_timeout : int;
+        (** Retransmit period for unanswered 2PC phases (ns). *)
+  }
+
+  type t
+  (** One router. *)
+
+  val create : env:Wire.t Ci_engine.Node_env.t -> config:config -> t
+  (** [create ~env ~config] prepares a router on the node behind [env].
+      @raise Invalid_argument on a malformed config. *)
+
+  val handle : t -> src:int -> Wire.t -> unit
+  (** [handle t ~src msg] processes a client [Request] or a 2PC
+      response ([Tp_ack]/[Tp_nack]/[Tp_commit_ack]); everything else is
+      ignored. *)
+
+  val forwarded : t -> int
+  (** Single-shard commands forwarded. *)
+
+  val committed : t -> int
+  (** Cross-shard transactions committed. *)
+
+  val aborted : t -> int
+  (** Cross-shard transactions aborted (a shard refused the lock). *)
+
+  val txn_reports : t -> Ci_rsm.Atomicity.txn list
+  (** Every transaction this router coordinated, with its outcome —
+      the coordinator-side input to {!Ci_rsm.Atomicity.check}. *)
+end

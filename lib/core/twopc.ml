@@ -101,7 +101,8 @@ let handle_request t ~src ~req_id ~cmd =
     | Command.Get { key } ->
       send t src
         (Wire.Reply { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
-    | Command.Put _ | Command.Cas _ | Command.Nop -> ()
+    | Command.Put _ | Command.Cas _ | Command.Nop | Command.Mput _
+    | Command.Prep _ | Command.Fin _ -> ()
   end
   else
     (* 2PC has no leader change: hand the command to the coordinator. *)
@@ -139,7 +140,7 @@ let handle t ~src msg =
   | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
   | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
   | Wire.Pu_read_reply _ | Wire.Ls_req _ | Wire.Ls_reply _ | Wire.Mp_prepare _
-  | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ ->
+  | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ | Wire.Tp_nack _ ->
     ()
 
 let create ~env ~config =
@@ -162,3 +163,129 @@ let replica_core t = t.core
 let is_coordinator t = t.self = t.cfg.coordinator
 let prepared_count t = Hashtbl.length t.prepared
 let local_read_count t = t.n_local_reads
+
+(* ----- Shard participant (2PC over per-shard consensus) ----------------- *)
+
+(* In the sharded deployment the coordinator is a router node and each
+   participant is one shard's consensus group, entered through a
+   replica node. The participant below does not keep any durable state
+   of its own: a [Tp_prepare]/[Tp_commit] is turned into a [Prep]/[Fin]
+   command submitted to the local consensus as a self-request, so the
+   lock and the staged write live in the shard's replicated log. The
+   participant merely correlates the consensus [Reply] back to the
+   coordinator's message — losing it (crash) is harmless because the
+   coordinator retries and [Prep]/[Fin] are idempotent in the store. *)
+module Participant = struct
+  type phase = P_prep | P_fin
+  type tstate = {
+    mutable coord : int;
+    mutable prep : [ `Unseen | `Inflight of int | `Decided of bool ];
+    mutable fin : [ `Unseen | `Inflight of int | `Done ];
+  }
+
+  type p = {
+    env : Wire.t Node_env.t;
+    mutable next_req : int;
+    pending : (int, int * phase) Hashtbl.t; (* own req_id -> txn, phase *)
+    txns : (int, tstate) Hashtbl.t;
+    mutable issued : (int * Command.t) list;
+    mutable n_prepares : int;
+    mutable n_finishes : int;
+  }
+
+  let create ~env =
+    {
+      env;
+      next_req = 0;
+      pending = Hashtbl.create 64;
+      txns = Hashtbl.create 64;
+      issued = [];
+      n_prepares = 0;
+      n_finishes = 0;
+    }
+
+  let tstate t ~txn ~coord =
+    match Hashtbl.find_opt t.txns txn with
+    | Some ts ->
+      ts.coord <- coord;
+      ts
+    | None ->
+      let ts = { coord; prep = `Unseen; fin = `Unseen } in
+      Hashtbl.add t.txns txn ts;
+      ts
+
+  let self_request t ~req_id cmd =
+    t.env.Node_env.send ~dst:t.env.Node_env.id
+      (Wire.Request { req_id; cmd; relaxed_read = false })
+
+  let submit t ~txn ~phase cmd =
+    let req_id = t.next_req in
+    t.next_req <- t.next_req + 1;
+    t.issued <- (req_id, cmd) :: t.issued;
+    Hashtbl.replace t.pending req_id (txn, phase);
+    self_request t ~req_id cmd;
+    req_id
+
+  let reply t ~dst msg = t.env.Node_env.send ~dst msg
+
+  (* [handle t ~src msg] is [true] when the participant consumed the
+     message; the caller passes everything else to the consensus core. *)
+  let handle t ~src msg =
+    match msg with
+    | Wire.Tp_prepare { inst = txn; v } ->
+      let ts = tstate t ~txn ~coord:src in
+      (match ts.prep with
+      | `Unseen -> (
+        match v.Wire.cmd with
+        | Command.Prep _ as cmd ->
+          t.n_prepares <- t.n_prepares + 1;
+          ts.prep <- `Inflight (submit t ~txn ~phase:P_prep cmd)
+        | _ -> () (* malformed prepare: refuse to propose it *))
+      | `Inflight req_id ->
+        (* Coordinator retry while consensus is still deciding: re-send
+           the same self-request. Protocols dedup on (client, req_id),
+           and the duplicate covers a submission that died with a
+           crashed incarnation. *)
+        self_request t ~req_id v.Wire.cmd
+      | `Decided ok ->
+        reply t ~dst:src
+          (if ok then Wire.Tp_ack { inst = txn } else Wire.Tp_nack { inst = txn }));
+      true
+    | Wire.Tp_commit { inst = txn; v } ->
+      let ts = tstate t ~txn ~coord:src in
+      (match ts.fin with
+      | `Unseen -> (
+        match v.Wire.cmd with
+        | Command.Fin _ as cmd ->
+          t.n_finishes <- t.n_finishes + 1;
+          ts.fin <- `Inflight (submit t ~txn ~phase:P_fin cmd)
+        | _ -> ())
+      | `Inflight req_id -> self_request t ~req_id v.Wire.cmd
+      | `Done -> reply t ~dst:src (Wire.Tp_commit_ack { inst = txn }));
+      true
+    | Wire.Reply { req_id; result } -> (
+      match Hashtbl.find_opt t.pending req_id with
+      | None -> false (* not ours; an embedded client may want it *)
+      | Some (txn, phase) ->
+        Hashtbl.remove t.pending req_id;
+        (match Hashtbl.find_opt t.txns txn with
+        | None -> ()
+        | Some ts -> (
+          match phase with
+          | P_prep ->
+            let ok = match result with Command.Swapped b -> b | _ -> false in
+            ts.prep <- `Decided ok;
+            reply t ~dst:ts.coord
+              (if ok then Wire.Tp_ack { inst = txn }
+               else Wire.Tp_nack { inst = txn })
+          | P_fin ->
+            ts.fin <- `Done;
+            reply t ~dst:ts.coord (Wire.Tp_commit_ack { inst = txn })));
+        true)
+    | _ -> false
+
+  let issued t = List.rev t.issued
+  let prepares t = t.n_prepares
+  let finishes t = t.n_finishes
+  let inflight t = Hashtbl.length t.pending
+end

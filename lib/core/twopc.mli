@@ -45,3 +45,39 @@ val prepared_count : t -> int
 
 val local_read_count : t -> int
 (** [local_read_count t] counts reads served without the coordinator. *)
+
+(** Participant side of 2PC {e over} per-shard consensus (the sharded
+    deployment's cross-shard path). A router node coordinates; the
+    participant runs on a shard replica and drives every
+    [Tp_prepare]/[Tp_commit] through the shard's own consensus log as a
+    {!Ci_rsm.Command.Prep}/{!Ci_rsm.Command.Fin} self-request, so locks
+    and staged writes are replicated state. Idempotent under
+    coordinator retries; holds no durable state of its own. *)
+module Participant : sig
+  type p
+  (** One shard-side participant. *)
+
+  val create : env:Wire.t Ci_engine.Node_env.t -> p
+  (** [create ~env] prepares a participant on the node behind [env]
+      (normally a shard's initial leader: the node routers address). *)
+
+  val handle : p -> src:int -> Wire.t -> bool
+  (** [handle t ~src msg] is [true] when the participant consumed the
+      message ([Tp_prepare], [Tp_commit], or a consensus [Reply] to one
+      of its own submissions); the caller hands everything else to the
+      consensus core sharing the node. *)
+
+  val issued : p -> (int * Ci_rsm.Command.t) list
+  (** [issued t] is every [(req_id, command)] this participant
+      submitted to its shard's consensus — ground truth for the
+      non-triviality check, alongside the clients' logs. *)
+
+  val prepares : p -> int
+  (** Distinct transactions prepared. *)
+
+  val finishes : p -> int
+  (** Distinct transactions finished (commit or abort). *)
+
+  val inflight : p -> int
+  (** Submissions whose consensus reply is still pending. *)
+end

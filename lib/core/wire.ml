@@ -87,6 +87,7 @@ type t =
   | Tp_commit of { inst : int; v : value }
   | Tp_commit_ack of { inst : int }
   | Tp_rollback of { inst : int }
+  | Tp_nack of { inst : int }
 
 let pp fmt = function
   | Request { req_id; cmd; relaxed_read } ->
@@ -180,6 +181,7 @@ let pp fmt = function
   | Tp_commit { inst; v } -> Format.fprintf fmt "2pc.commit i=%d %a" inst pp_value v
   | Tp_commit_ack { inst } -> Format.fprintf fmt "2pc.commit-ack i=%d" inst
   | Tp_rollback { inst } -> Format.fprintf fmt "2pc.rollback i=%d" inst
+  | Tp_nack { inst } -> Format.fprintf fmt "2pc.nack i=%d" inst
 
 let kind = function
   | Request _ -> "Request"
@@ -226,3 +228,4 @@ let kind = function
   | Tp_commit _ -> "Tp_commit"
   | Tp_commit_ack _ -> "Tp_commit_ack"
   | Tp_rollback _ -> "Tp_rollback"
+  | Tp_nack _ -> "Tp_nack"

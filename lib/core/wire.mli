@@ -124,6 +124,9 @@ type t =
   | Tp_commit of { inst : int; v : value }
   | Tp_commit_ack of { inst : int }
   | Tp_rollback of { inst : int }
+  | Tp_nack of { inst : int }
+      (** Participant refusal: the shard could not acquire the 2PC lock
+          ([Prep] returned [Swapped false]); the coordinator aborts. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints a compact rendering of any message (for traces and test

@@ -1,0 +1,141 @@
+type outcome = Committed | Aborted | Unresolved
+
+type txn = {
+  txn : int;
+  client : int;
+  req_id : int;
+  parts : (int * int * int) list;
+  outcome : outcome;
+}
+
+type violation =
+  | Mixed_decision of { txn : int; committed_in : int; aborted_in : int }
+  | Fin_without_prep of { txn : int; group : int }
+  | Missing_commit of { txn : int; group : int }
+  | Stray_commit of { txn : int; group : int }
+  | Acked_unresolved of { client : int; req_id : int }
+
+type report = {
+  violations : violation list;
+  checked_txns : int;
+  committed : int;
+  aborted : int;
+}
+
+let ok r = r.violations = []
+
+let check ~decided ~txns ~acked =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  (* Per group: which transactions prepared, and which finished with
+     which bit. Retries make duplicates legitimate; only contradicting
+     bits for the same transaction are not. *)
+  let preps = Hashtbl.create 256 in (* (group, txn) -> unit *)
+  let fins = Hashtbl.create 256 in (* txn -> (group * commit) list *)
+  List.iter
+    (fun (group, cmds) ->
+      List.iter
+        (fun (c : Command.t) ->
+          match c with
+          | Command.Prep { txn; _ } -> Hashtbl.replace preps (group, txn) ()
+          | Command.Fin { txn; commit; _ } ->
+            let prev = Option.value (Hashtbl.find_opt fins txn) ~default:[] in
+            if not (List.mem (group, commit) prev) then
+              Hashtbl.replace fins txn ((group, commit) :: prev)
+          | Command.Put _ | Command.Get _ | Command.Cas _ | Command.Nop
+          | Command.Mput _ -> ())
+        cmds)
+    decided;
+  Hashtbl.iter
+    (fun txn bits ->
+      (match
+         ( List.find_opt (fun (_, c) -> c) bits,
+           List.find_opt (fun (_, c) -> not c) bits )
+       with
+       | Some (gc, _), Some (ga, _) ->
+         add (Mixed_decision { txn; committed_in = gc; aborted_in = ga })
+       | _ -> ());
+      List.iter
+        (fun (group, commit) ->
+          if commit && not (Hashtbl.mem preps (group, txn)) then
+            add (Fin_without_prep { txn; group }))
+        bits)
+    fins;
+  (* Coordinator outcomes against the shards' logs: a committed
+     transaction finalized with [commit] in every participating shard;
+     an aborted one committed nowhere. [Unresolved] transactions were
+     in flight at the cutoff and prove nothing either way. *)
+  let fin_bit txn group =
+    match Hashtbl.find_opt fins txn with
+    | None -> None
+    | Some bits ->
+      List.find_map (fun (g, c) -> if g = group then Some c else None) bits
+  in
+  let committed = ref 0 and aborted = ref 0 in
+  List.iter
+    (fun t ->
+      match t.outcome with
+      | Committed ->
+        incr committed;
+        List.iter
+          (fun (group, _, _) ->
+            if fin_bit t.txn group <> Some true then
+              add (Missing_commit { txn = t.txn; group }))
+          t.parts
+      | Aborted ->
+        incr aborted;
+        List.iter
+          (fun (group, _, _) ->
+            if fin_bit t.txn group = Some true then
+              add (Stray_commit { txn = t.txn; group }))
+          t.parts
+      | Unresolved -> ())
+    txns;
+  (* Session integrity for the cross-shard path: every acknowledged
+     multi-put maps to a transaction the coordinator resolved. *)
+  let resolved = Hashtbl.create 256 in
+  List.iter
+    (fun t ->
+      if t.outcome <> Unresolved then
+        Hashtbl.replace resolved (t.client, t.req_id) ())
+    txns;
+  List.iter
+    (fun (client, req_id) ->
+      if not (Hashtbl.mem resolved (client, req_id)) then
+        add (Acked_unresolved { client; req_id }))
+    acked;
+  {
+    violations = List.rev !violations;
+    checked_txns = List.length txns;
+    committed = !committed;
+    aborted = !aborted;
+  }
+
+let pp_violation fmt = function
+  | Mixed_decision { txn; committed_in; aborted_in } ->
+    Format.fprintf fmt
+      "transaction %d committed in group %d but aborted in group %d" txn
+      committed_in aborted_in
+  | Fin_without_prep { txn; group } ->
+    Format.fprintf fmt
+      "group %d committed transaction %d without a decided prepare" group txn
+  | Missing_commit { txn; group } ->
+    Format.fprintf fmt
+      "transaction %d was committed but group %d never finalized it" txn group
+  | Stray_commit { txn; group } ->
+    Format.fprintf fmt "transaction %d was aborted but group %d committed it"
+      txn group
+  | Acked_unresolved { client; req_id } ->
+    Format.fprintf fmt
+      "client %d request %d was acknowledged but its transaction was never \
+       resolved"
+      client req_id
+
+let pp fmt r =
+  if ok r then
+    Format.fprintf fmt "atomic (%d transactions: %d committed, %d aborted)"
+      r.checked_txns r.committed r.aborted
+  else begin
+    Format.fprintf fmt "%d violation(s):@." (List.length r.violations);
+    List.iter (fun v -> Format.fprintf fmt "  - %a@." pp_violation v) r.violations
+  end

@@ -1,0 +1,66 @@
+(** Cross-shard atomicity checker for 2PC-over-consensus transactions.
+
+    The sharded deployment turns one client [Mput] into a transaction:
+    a {!Command.Prep} and a {!Command.Fin} decided in each
+    participating shard's consensus log, driven by a router acting as
+    two-phase-commit coordinator. This checker is the cross-shard twin
+    of {!Consistency}: it takes each group's decided commands (union
+    over that group's replicas), the coordinators' transaction records,
+    and the client-acknowledged cross-shard writes, and verifies that
+    every transaction was decided the same way everywhere. *)
+
+type outcome =
+  | Committed  (** Every shard acknowledged the commit finish. *)
+  | Aborted  (** A shard refused the lock; acked finishes discarded it. *)
+  | Unresolved  (** Still in flight when the run was cut off. *)
+
+type txn = {
+  txn : int;  (** Coordinator-unique transaction id. *)
+  client : int;  (** Originating client node. *)
+  req_id : int;  (** The client's request id for the [Mput]. *)
+  parts : (int * int * int) list;  (** (group, key, data) per shard. *)
+  outcome : outcome;
+}
+(** One coordinator-side transaction record. *)
+
+type violation =
+  | Mixed_decision of { txn : int; committed_in : int; aborted_in : int }
+      (** A shard finalized the transaction with [commit=true] while
+          another finalized it with [commit=false]. *)
+  | Fin_without_prep of { txn : int; group : int }
+      (** A group's log commits a transaction it never prepared. *)
+  | Missing_commit of { txn : int; group : int }
+      (** The coordinator reported the transaction committed, but a
+          participating group never decided its commit finish. *)
+  | Stray_commit of { txn : int; group : int }
+      (** The coordinator reported the transaction aborted, but a
+          group's log commits it. *)
+  | Acked_unresolved of { client : int; req_id : int }
+      (** A client saw a reply for a cross-shard write no coordinator
+          resolved. *)
+
+type report = {
+  violations : violation list;
+  checked_txns : int;
+  committed : int;
+  aborted : int;
+}
+
+val ok : report -> bool
+(** [ok r] is whether no violation was found. *)
+
+val check :
+  decided:(int * Command.t list) list ->
+  txns:txn list ->
+  acked:(int * int) list ->
+  report
+(** [check ~decided ~txns ~acked] verifies cross-shard atomicity.
+    [decided] pairs each group id with the commands decided in that
+    group (union over its replicas); [txns] are the coordinators'
+    records; [acked] the [(client, req_id)] pairs of client-acked
+    cross-shard writes. Unresolved transactions (in flight at cutoff)
+    are never violations, but an acked write must map to a resolved
+    transaction. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> report -> unit

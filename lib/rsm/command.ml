@@ -3,14 +3,27 @@ type t =
   | Get of { key : int }
   | Cas of { key : int; expect : int; data : int }
   | Nop
+  | Mput of { k1 : int; d1 : int; k2 : int; d2 : int }
+  | Prep of { txn : int; key : int; data : int }
+  | Fin of { txn : int; key : int; commit : bool }
 
 type result = Done | Found of int option | Swapped of bool
 
-let is_read = function Get _ -> true | Put _ | Cas _ | Nop -> false
+let is_read = function
+  | Get _ -> true
+  | Put _ | Cas _ | Nop | Mput _ | Prep _ | Fin _ -> false
 
 let key_of = function
   | Put { key; _ } | Get { key } | Cas { key; _ } -> Some key
+  | Mput { k1; _ } -> Some k1
+  | Prep { key; _ } | Fin { key; _ } -> Some key
   | Nop -> None
+
+let keys_of = function
+  | Put { key; _ } | Get { key } | Cas { key; _ } -> [ key ]
+  | Mput { k1; k2; _ } -> if k1 = k2 then [ k1 ] else [ k1; k2 ]
+  | Prep { key; _ } | Fin { key; _ } -> [ key ]
+  | Nop -> []
 
 let equal a b =
   match a, b with
@@ -18,7 +31,11 @@ let equal a b =
   | Get x, Get y -> x.key = y.key
   | Cas x, Cas y -> x.key = y.key && x.expect = y.expect && x.data = y.data
   | Nop, Nop -> true
-  | (Put _ | Get _ | Cas _ | Nop), _ -> false
+  | Mput x, Mput y ->
+    x.k1 = y.k1 && x.d1 = y.d1 && x.k2 = y.k2 && x.d2 = y.d2
+  | Prep x, Prep y -> x.txn = y.txn && x.key = y.key && x.data = y.data
+  | Fin x, Fin y -> x.txn = y.txn && x.key = y.key && x.commit = y.commit
+  | (Put _ | Get _ | Cas _ | Nop | Mput _ | Prep _ | Fin _), _ -> false
 
 let equal_result a b =
   match a, b with
@@ -33,6 +50,12 @@ let pp fmt = function
   | Cas { key; expect; data } ->
     Format.fprintf fmt "cas k%d %d->%d" key expect data
   | Nop -> Format.pp_print_string fmt "nop"
+  | Mput { k1; d1; k2; d2 } ->
+    Format.fprintf fmt "mput k%d=%d k%d=%d" k1 d1 k2 d2
+  | Prep { txn; key; data } -> Format.fprintf fmt "prep t%d k%d=%d" txn key data
+  | Fin { txn; key; commit } ->
+    Format.fprintf fmt "fin t%d k%d %s" txn key
+      (if commit then "commit" else "abort")
 
 let pp_result fmt = function
   | Done -> Format.pp_print_string fmt "done"

@@ -4,7 +4,13 @@
     motivating use is replicated kernel/application state à la
     Barrelfish (capability tables, configuration). We use a small
     key-value command language rich enough to exercise ordering bugs
-    (blind writes, reads, compare-and-swap). *)
+    (blind writes, reads, compare-and-swap).
+
+    The sharded deployment adds three commands: [Mput], the
+    client-visible atomic two-key write, and the [Prep]/[Fin] pair the
+    cross-shard two-phase commit drives through each shard's own
+    consensus log ([Prep] locks and stages the shard's half, [Fin]
+    applies or discards it). *)
 
 type t =
   | Put of { key : int; data : int }  (** Blind write. *)
@@ -13,17 +19,36 @@ type t =
       (** Conditional write: succeeds iff the key currently holds
           [expect]. Order-sensitive, so it catches divergent logs. *)
   | Nop  (** The paper's no-payload benchmark request. *)
+  | Mput of { k1 : int; d1 : int; k2 : int; d2 : int }
+      (** Atomic two-key write. Within one shard it executes as a single
+          log entry; when the keys hash to different shards the router
+          turns it into a [Prep]/[Fin] transaction per shard. *)
+  | Prep of { txn : int; key : int; data : int }
+      (** 2PC phase 1, replicated in one shard's log: lock [key] for
+          [txn] and stage [data]. Result is [Swapped acquired] —
+          [false] when another transaction holds the lock. Re-preparing
+          the same [txn] is idempotent. *)
+  | Fin of { txn : int; key : int; commit : bool }
+      (** 2PC phase 2: if this shard holds [key] locked for [txn],
+          apply the staged write (when [commit]) or discard it, then
+          release the lock. Idempotent; unknown transactions are
+          no-ops. *)
 
 type result =
   | Done  (** A write (or [Nop]) was applied. *)
   | Found of int option  (** A read's answer. *)
-  | Swapped of bool  (** Whether a [Cas] succeeded. *)
+  | Swapped of bool  (** Whether a [Cas] succeeded / a [Prep] locked. *)
 
 val is_read : t -> bool
 (** [is_read c] is whether [c] leaves the store unchanged. *)
 
 val key_of : t -> int option
-(** [key_of c] is the datum [c] touches ([None] for [Nop]). *)
+(** [key_of c] is the primary datum [c] touches ([None] for [Nop];
+    [k1] for [Mput]). *)
+
+val keys_of : t -> int list
+(** [keys_of c] is every distinct key [c] touches — the input to shard
+    routing. Empty for [Nop]. *)
 
 val equal : t -> t -> bool
 (** Structural equality. *)

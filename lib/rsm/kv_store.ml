@@ -1,28 +1,76 @@
-type t = (int, int) Hashtbl.t
+type t = {
+  store : (int, int) Hashtbl.t;
+  locks : (int, int) Hashtbl.t; (* key -> owning txn *)
+  staged : (int, int) Hashtbl.t; (* key -> staged data, while locked *)
+}
 
-let create () = Hashtbl.create 64
+let create () =
+  {
+    store = Hashtbl.create 64;
+    locks = Hashtbl.create 8;
+    staged = Hashtbl.create 8;
+  }
 
 let apply t (c : Command.t) : Command.result =
   match c with
   | Put { key; data } ->
-    Hashtbl.replace t key data;
+    Hashtbl.replace t.store key data;
     Done
-  | Get { key } -> Found (Hashtbl.find_opt t key)
+  | Get { key } -> Found (Hashtbl.find_opt t.store key)
   | Cas { key; expect; data } ->
-    (match Hashtbl.find_opt t key with
+    (match Hashtbl.find_opt t.store key with
      | Some v when v = expect ->
-       Hashtbl.replace t key data;
+       Hashtbl.replace t.store key data;
        Swapped true
      | Some _ | None -> Swapped false)
   | Nop -> Done
+  | Mput { k1; d1; k2; d2 } ->
+    Hashtbl.replace t.store k1 d1;
+    Hashtbl.replace t.store k2 d2;
+    Done
+  | Prep { txn; key; data } ->
+    (* The 2PC lock lives in the replicated state, not in any node's
+       volatile memory: every replica of the shard reaches the same
+       lock table by executing the same log. Re-preparing under the
+       same transaction is an idempotent retry. *)
+    (match Hashtbl.find_opt t.locks key with
+     | Some owner when owner <> txn -> Swapped false
+     | Some _ | None ->
+       Hashtbl.replace t.locks key txn;
+       Hashtbl.replace t.staged key data;
+       Swapped true)
+  | Fin { txn; key; commit } ->
+    (match Hashtbl.find_opt t.locks key with
+     | Some owner when owner = txn ->
+       (if commit then
+          match Hashtbl.find_opt t.staged key with
+          | Some data -> Hashtbl.replace t.store key data
+          | None -> ());
+       Hashtbl.remove t.locks key;
+       Hashtbl.remove t.staged key;
+       Done
+     | Some _ | None -> Done (* duplicate or foreign finish: no-op *))
 
-let get t key = Hashtbl.find_opt t key
+let get t key = Hashtbl.find_opt t.store key
 
-let size t = Hashtbl.length t
+let size t = Hashtbl.length t.store
 
+let locked_keys t = Hashtbl.length t.locks
+
+let lock_owner t key = Hashtbl.find_opt t.locks key
+
+(* Locks and staged writes are part of the replicated state, so they
+   must be part of the fingerprint: two replicas that diverge only in
+   their lock tables have executed different logs. Distinct salts keep
+   a lock from cancelling against a store entry. *)
 let fingerprint t =
-  Hashtbl.fold (fun k v acc -> acc lxor Hashtbl.hash (k, v, 0x9e3779b9)) t 0
+  let fold salt tbl acc =
+    Hashtbl.fold (fun k v acc -> acc lxor Hashtbl.hash (k, v, salt)) tbl acc
+  in
+  fold 0x9e3779b9 t.store 0
+  |> fold 0x517cc1b7 t.locks
+  |> fold 0x27220a95 t.staged
 
 let snapshot t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,4 +1,9 @@
-(** The replicated application state: an integer key-value store. *)
+(** The replicated application state: an integer key-value store.
+
+    Besides the plain map the store carries the cross-shard 2PC
+    bookkeeping ({!Command.Prep} locks and staged writes). Both are
+    replicated state — they are reached deterministically by executing
+    the log and are covered by {!fingerprint}. *)
 
 type t
 (** A mutable store. *)
@@ -16,10 +21,18 @@ val get : t -> int -> int option
 val size : t -> int
 (** [size t] is the number of live keys. *)
 
+val locked_keys : t -> int
+(** [locked_keys t] is how many keys are currently 2PC-locked. 0 on a
+    quiesced store: every [Prep] was eventually finished. *)
+
+val lock_owner : t -> int -> int option
+(** [lock_owner t key] is the transaction holding [key], if any. *)
+
 val fingerprint : t -> int
-(** [fingerprint t] is an order-insensitive hash of the store contents;
-    two replicas that applied the same command sequence have equal
-    fingerprints. *)
+(** [fingerprint t] is an order-insensitive hash of the store contents,
+    lock table and staged writes; two replicas that applied the same
+    command sequence have equal fingerprints. *)
 
 val snapshot : t -> (int * int) list
-(** [snapshot t] is the contents sorted by key. *)
+(** [snapshot t] is the map contents sorted by key (locks and staged
+    writes excluded). *)

@@ -9,6 +9,9 @@ module Client = Ci_workload.Client
 module Run_stats = Ci_workload.Run_stats
 module Metrics = Ci_obs.Metrics
 module Summary = Ci_stats.Summary
+module Shard = Ci_consensus.Shard
+module Twopc = Ci_consensus.Twopc
+module Atomicity = Ci_rsm.Atomicity
 
 type protocol = Onepaxos | Multipaxos
 
@@ -16,6 +19,8 @@ type spec = {
   protocol : protocol;
   n_replicas : int;
   n_clients : int;
+  groups : int;
+  cross_shard_ratio : float;
   duration_s : float;
   drain_s : float;
   queue_slots : int;
@@ -33,6 +38,8 @@ let default_spec ~protocol =
     protocol;
     n_replicas = 3;
     n_clients = 2;
+    groups = 1;
+    cross_shard_ratio = 0.;
     duration_s = 1.0;
     drain_s = 0.2;
     queue_slots = 8;
@@ -73,7 +80,12 @@ type result = {
   acceptor_changes : int;
   timeline : float array;
   queues : queue_totals;
+  full_ring_sends : int array;
+      (* per node: sends that found the destination ring full *)
+  alloc_words_per_op : float;
+      (* words allocated per committed op across replica+router domains *)
   consistency : Consistency.report;
+  atomicity : Atomicity.report option;
   metrics : Metrics.t;
   failover : Ci_obs.Failover.t option;
 }
@@ -125,11 +137,17 @@ type node_state = {
   mutable nem : nem_ctl option;
   mutable n_fault_dropped : int;
   mutable n_fault_duplicated : int;
+  mutable alloc_bytes : float;
+      (* bytes this node's domain allocated over its lifetime, written
+         by the domain itself just before it exits *)
 }
 
 let validate spec =
   if spec.n_replicas < 2 then invalid_arg "Live.run: need >= 2 replicas";
   if spec.n_clients < 1 then invalid_arg "Live.run: need >= 1 client";
+  if spec.groups < 1 then invalid_arg "Live.run: groups must be >= 1";
+  if not (spec.cross_shard_ratio >= 0. && spec.cross_shard_ratio <= 1.) then
+    invalid_arg "Live.run: cross_shard_ratio must be in [0, 1]";
   if spec.duration_s <= 0. then invalid_arg "Live.run: duration_s must be > 0";
   if spec.drain_s < 0. then invalid_arg "Live.run: drain_s must be >= 0";
   if spec.queue_slots < 1 then invalid_arg "Live.run: queue_slots must be >= 1";
@@ -141,7 +159,9 @@ let validate spec =
   if spec.key_space < 1 then invalid_arg "Live.run: key_space must be >= 1";
   if spec.outbox_cap < 1 then invalid_arg "Live.run: outbox_cap must be >= 1";
   if not (Ci_faults.is_empty spec.nemesis) then begin
-    (match Ci_faults.validate ~n_nodes:spec.n_replicas spec.nemesis with
+    (match
+       Ci_faults.validate ~n_nodes:(spec.groups * spec.n_replicas) spec.nemesis
+     with
     | Ok () -> ()
     | Error e -> invalid_arg ("Live.run: nemesis: " ^ e));
     if Ci_faults.slows spec.nemesis <> [] then
@@ -335,8 +355,18 @@ let replica_core = function
 let run spec =
   validate spec;
   let n_replicas = spec.n_replicas and n_clients = spec.n_clients in
-  let n = n_replicas + n_clients in
-  let replica_ids = Array.init n_replicas Fun.id in
+  (* Group-major node layout, like the sim runner: replicas of group g
+     are nodes [g*R .. (g+1)*R-1], routers (sharded runs only) come
+     next, clients last. *)
+  let n_groups = spec.groups in
+  let total_replicas = n_groups * n_replicas in
+  let n_routers = if n_groups = 1 then 0 else n_groups in
+  let client_base = total_replicas + n_routers in
+  let n = client_base + n_clients in
+  let replica_ids = Array.init total_replicas Fun.id in
+  let router_ids = Array.init n_routers (fun j -> total_replicas + j) in
+  let group_ids g = Array.sub replica_ids (g * n_replicas) n_replicas in
+  let group_of_replica i = i / n_replicas in
   (* The mesh: queues.(dst).(src) carries src -> dst. *)
   let queues =
     Array.init n (fun dst ->
@@ -380,6 +410,7 @@ let run spec =
           nem = None;
           n_fault_dropped = 0;
           n_fault_duplicated = 0;
+          alloc_bytes = 0.;
         })
   in
   let metrics = Metrics.create () in
@@ -393,8 +424,8 @@ let run spec =
      microseconds, so these fire only when something is genuinely wedged
      — never because a GC pause or a scheduling gap delayed one reply. *)
   let ms = Sim_time.ms in
-  let op_cfg () =
-    let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
+  let op_cfg ~replicas () =
+    let d = Ci_consensus.Onepaxos.default_config ~replicas in
     {
       d with
       Ci_consensus.Onepaxos.acceptor_timeout = ms 200;
@@ -403,25 +434,60 @@ let run spec =
       pu_timeout = ms 100;
     }
   in
-  let mp_cfg () =
-    let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
+  let mp_cfg ~replicas () =
+    let d = Ci_consensus.Multipaxos.default_config ~replicas in
     { d with Ci_consensus.Multipaxos.election_timeout = ms 150 }
   in
   let replicas =
-    Array.init n_replicas (fun i ->
+    Array.init total_replicas (fun i ->
         let env = env_of i in
+        let replicas = group_ids (group_of_replica i) in
         match spec.protocol with
-        | Onepaxos -> Op (Ci_consensus.Onepaxos.create ~env ~config:(op_cfg ()))
+        | Onepaxos ->
+          Op (Ci_consensus.Onepaxos.create ~env ~config:(op_cfg ~replicas ()))
         | Multipaxos ->
-          Mp (Ci_consensus.Multipaxos.create ~env ~config:(mp_cfg ())))
+          Mp (Ci_consensus.Multipaxos.create ~env ~config:(mp_cfg ~replicas ())))
+  in
+  (* Sharded runs put a 2PC participant in front of each group's entry
+     replica — same wrapping as the sim runner; everything the
+     participant does not consume falls through to the replica. *)
+  let participants =
+    Array.init
+      (if n_groups = 1 then 0 else n_groups)
+      (fun g -> Twopc.Participant.create ~env:(env_of (g * n_replicas)))
+  in
+  let base_handler = function
+    | Op p -> Ci_consensus.Onepaxos.handle p
+    | Mp p -> Ci_consensus.Multipaxos.handle p
+  in
+  let wrap_handler i h =
+    if n_groups > 1 && i mod n_replicas = 0 then begin
+      let p = participants.(group_of_replica i) in
+      fun ~src msg -> if Twopc.Participant.handle p ~src msg then () else h ~src msg
+    end
+    else h
   in
   Array.iteri
-    (fun i r ->
-      states.(i).handler <-
-        (match r with
-         | Op p -> Ci_consensus.Onepaxos.handle p
-         | Mp p -> Ci_consensus.Multipaxos.handle p))
+    (fun i r -> states.(i).handler <- wrap_handler i (base_handler r))
     replicas;
+  (* Routers: hash single-shard commands to their group's entry replica,
+     run cross-shard multi-puts as 2PC transactions. *)
+  let routers =
+    Array.init n_routers (fun j ->
+        let config =
+          {
+            Shard.Router.groups = n_groups;
+            leader_of = Array.init n_groups (fun g -> g * n_replicas);
+            retry_timeout = spec.client_timeout;
+          }
+        in
+        let r =
+          Shard.Router.create ~env:(env_of (total_replicas + j)) ~config
+        in
+        states.(total_replicas + j).handler <-
+          (fun ~src msg -> Shard.Router.handle r ~src msg);
+        r)
+  in
   (* Nemesis crash/pause timelines, attached per affected replica. The
      closures run inside the replica's own domain (step 0 of its event
      loop); [replicas.(i)] rewritten by a restart is read by the main
@@ -463,21 +529,23 @@ let run spec =
         let on_restart () =
           st.timers <- Timer_wheel.create ();
           let env = env_of i in
+          let group = group_ids (group_of_replica i) in
           let r =
             match !snap with
             | Some (St_op s) ->
-              Op (Ci_consensus.Onepaxos.recover ~env ~config:(op_cfg ()) ~stable:s)
+              Op
+                (Ci_consensus.Onepaxos.recover ~env
+                   ~config:(op_cfg ~replicas:group ())
+                   ~stable:s)
             | Some (St_mp s) ->
               Mp
-                (Ci_consensus.Multipaxos.recover ~env ~config:(mp_cfg ())
+                (Ci_consensus.Multipaxos.recover ~env
+                   ~config:(mp_cfg ~replicas:group ())
                    ~stable:s)
             | None -> assert false
           in
           replicas.(i) <- r;
-          st.handler <-
-            (match r with
-            | Op p -> Ci_consensus.Onepaxos.handle p
-            | Mp p -> Ci_consensus.Multipaxos.handle p)
+          st.handler <- wrap_handler i (base_handler r)
         in
         st.nem <-
           Some
@@ -489,35 +557,48 @@ let run spec =
   in
   let policy =
     {
-      (Client.default_policy ~targets:replica_ids) with
+      (Client.default_policy
+         ~targets:(if n_routers = 0 then replica_ids else router_ids))
+      with
       Client.timeout = spec.client_timeout;
       think = spec.think;
       read_ratio = spec.read_ratio;
+      cross_shard_ratio = spec.cross_shard_ratio;
+      groups = n_groups;
       key_space = spec.key_space;
     }
   in
   let clients =
     Array.init n_clients (fun i ->
-        Client.create ~env:(env_of (n_replicas + i)) ~policy
+        let policy =
+          if n_routers > 0 then { policy with Client.primary = i mod n_routers }
+          else policy
+        in
+        Client.create ~env:(env_of (client_base + i)) ~policy
           ~stats:client_stats.(i))
   in
   Array.iteri
     (fun i c ->
       (* Quiesced clients stop consuming replies, so they issue nothing
          new and record nothing outside the measured phase. *)
-      states.(n_replicas + i).handler <-
+      states.(client_base + i).handler <-
         (fun ~src msg ->
           if not (Atomic.get quiesce) then Client.handle c ~src msg))
     clients;
   let domains =
     Array.init n (fun i ->
         Domain.spawn (fun () ->
-            (if i < n_replicas then
+            let a0 = Gc.allocated_bytes () in
+            (if i < total_replicas then
                match replicas.(i) with
                | Op p -> Ci_consensus.Onepaxos.start p
                | Mp p -> Ci_consensus.Multipaxos.start p
-             else Client.start clients.(i - n_replicas));
-            event_loop states.(i) ~t0 ~stop ~m_work))
+             else if i >= client_base then Client.start clients.(i - client_base));
+            event_loop states.(i) ~t0 ~stop ~m_work;
+            (* [Gc.allocated_bytes] is domain-local; the delta is what
+               this node's whole lifetime allocated, written before the
+               join so the main domain can read it afterwards. *)
+            states.(i).alloc_bytes <- Gc.allocated_bytes () -. a0))
   in
   Unix.sleepf spec.duration_s;
   let t_quiesce = Clock.now_ns () - t0 in
@@ -594,6 +675,13 @@ let run spec =
         (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
         (Client.issued c))
     clients;
+  Array.iteri
+    (fun g p ->
+      let id = g * n_replicas in
+      List.iter
+        (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
+        (Twopc.Participant.issued p))
+    participants;
   let proposed (v : Wire.value) =
     match Hashtbl.find_opt proposed_tbl (v.Wire.client, v.Wire.req_id) with
     | Some cmd -> Command.equal cmd v.Wire.cmd
@@ -603,10 +691,95 @@ let run spec =
   let views =
     Array.to_list (Array.map (fun r -> Replica_core.view (replica_core r)) replicas)
   in
-  let consistency =
-    Consistency.check ~equal:Wire.value_equal ~proposed ~acked
-      ~key_of:Wire.value_key views
+  let consistency, atomicity =
+    if n_groups = 1 then
+      ( Consistency.check ~equal:Wire.value_equal ~proposed ~acked
+          ~key_of:Wire.value_key views,
+        None )
+    else begin
+      (* Per-group checks and cross-shard atomicity, exactly as in
+         Runner.run: acked single-shard writes go to their owning
+         group's session check, acked cross-shard writes to the
+         atomicity checker. *)
+      let cmd_of key = Hashtbl.find_opt proposed_tbl key in
+      let is_cross key =
+        match cmd_of key with
+        | Some cmd -> List.length (Shard.groups_of ~groups:n_groups cmd) > 1
+        | None -> false
+      in
+      let cross_acked, single_acked = List.partition is_cross acked in
+      let acked_of g =
+        List.filter
+          (fun key ->
+            match cmd_of key with
+            | Some cmd -> Shard.group_of_cmd ~groups:n_groups cmd = g
+            | None -> false)
+          single_acked
+      in
+      let group_views g = List.filteri (fun i _ -> group_of_replica i = g) views in
+      let reports =
+        List.init n_groups (fun g ->
+            Consistency.check ~equal:Wire.value_equal ~proposed
+              ~acked:(acked_of g) ~key_of:Wire.value_key (group_views g))
+      in
+      let consistency =
+        {
+          Consistency.violations =
+            List.concat_map
+              (fun (r : Consistency.report) -> r.Consistency.violations)
+              reports;
+          checked_instances =
+            List.fold_left
+              (fun a (r : Consistency.report) ->
+                a + r.Consistency.checked_instances)
+              0 reports;
+          checked_replicas =
+            List.fold_left
+              (fun a (r : Consistency.report) -> a + r.Consistency.checked_replicas)
+              0 reports;
+        }
+      in
+      let decided =
+        List.init n_groups (fun g ->
+            let cmds =
+              List.concat_map
+                (fun (rv : Wire.value Consistency.replica_view) ->
+                  List.map
+                    (fun (_, (v : Wire.value)) -> v.Wire.cmd)
+                    rv.Consistency.decisions)
+                (group_views g)
+            in
+            (g, cmds))
+      in
+      let txns =
+        Array.to_list routers |> List.concat_map Shard.Router.txn_reports
+      in
+      (consistency, Some (Atomicity.check ~decided ~txns ~acked:cross_acked))
+    end
   in
+  let full_ring_sends = Array.map (fun s -> s.n_blocked) states in
+  Array.iteri
+    (fun i b ->
+      Metrics.set_int metrics (Printf.sprintf "live.node%d.full_ring_sends" i) b)
+    full_ring_sends;
+  (* Allocation accounting covers the protocol-side domains (replicas
+     and routers): the event-loop hot path the Gc guard pins. *)
+  let alloc_words_per_op =
+    let bytes = ref 0. in
+    for i = 0 to client_base - 1 do
+      bytes := !bytes +. states.(i).alloc_bytes
+    done;
+    let words = !bytes /. float_of_int (Sys.word_size / 8) in
+    if ops > 0 then words /. float_of_int ops else 0.
+  in
+  Metrics.set_float metrics "live.alloc.words_per_op" alloc_words_per_op;
+  if n_groups > 1 then begin
+    let sum f = Array.fold_left (fun a r -> a + f r) 0 routers in
+    Metrics.set_int metrics "live.shard.groups" n_groups;
+    Metrics.set_int metrics "live.shard.forwarded" (sum Shard.Router.forwarded);
+    Metrics.set_int metrics "live.shard.committed" (sum Shard.Router.committed);
+    Metrics.set_int metrics "live.shard.aborted" (sum Shard.Router.aborted)
+  end;
   Metrics.set_int metrics "live.ops" ops;
   Metrics.set_int metrics "live.retries" retries;
   Metrics.set_int metrics "live.queue.msgs" queues_total.q_msgs;
@@ -663,7 +836,10 @@ let run spec =
     acceptor_changes;
     timeline;
     queues = queues_total;
+    full_ring_sends;
+    alloc_words_per_op;
     consistency;
+    atomicity;
     metrics;
     failover;
   }

@@ -19,8 +19,18 @@ type protocol = Onepaxos | Multipaxos
 
 type spec = {
   protocol : protocol;
-  n_replicas : int;  (** Replica domains (>= 2). *)
+  n_replicas : int;  (** Replica domains {e per group} (>= 2). *)
   n_clients : int;  (** Client domains (>= 1). *)
+  groups : int;
+      (** Independent consensus groups the keyspace is hash-partitioned
+          over. [1] (the default) is the paper's single group. [> 1]
+          spawns [groups * n_replicas] replica domains group-major plus
+          one router domain per group; clients send to the routers,
+          which forward single-shard commands and run cross-shard
+          multi-puts as 2PC transactions over the owning groups. *)
+  cross_shard_ratio : float;
+      (** Fraction of client commands that are cross-shard two-key
+          multi-puts ([0.] leaves the workload untouched). *)
   duration_s : float;  (** Measured wall-clock phase. *)
   drain_s : float;  (** Quiesce phase before stopping the domains. *)
   queue_slots : int;  (** SPSC ring capacity per ordered pair. *)
@@ -44,7 +54,7 @@ type spec = {
           crashed replica keeps only its durable registers and rejoins
           through the protocol's [recover]; link faults act sender-side
           at the SPSC ring boundary. Node indices refer to replicas
-          [0..n_replicas-1]. [Slow] faults are simulator-only and
+          [0..groups*n_replicas-1]. [Slow] faults are simulator-only and
           rejected here. *)
 }
 
@@ -83,8 +93,22 @@ type result = {
           simulator's [Runner.result.timeline], so failover figures can
           show both backends. *)
   queues : queue_totals;
+  full_ring_sends : int array;
+      (** Per node: sends that found the destination ring full and fell
+          back to the outbox — the back-pressure hotspot metric, also
+          published as [live.node<i>.full_ring_sends]. Raise
+          [queue_slots] to shrink it. *)
+  alloc_words_per_op : float;
+      (** Words allocated per committed op across the replica and router
+          domains ([Gc.allocated_bytes] is domain-local) — the live
+          event loop's allocation guard, also published as
+          [live.alloc.words_per_op]. *)
   consistency : Ci_rsm.Consistency.report;
-      (** The simulator's checker over the live replicas' views. *)
+      (** The simulator's checker over the live replicas' views;
+          per-group and merged under sharding. *)
+  atomicity : Ci_rsm.Atomicity.report option;
+      (** Cross-shard 2PC atomicity over the routers' transactions and
+          the groups' decided logs; [Some] exactly when [groups > 1]. *)
   metrics : Ci_obs.Metrics.t;
       (** [live.*] counters (filled by the domains via atomic counters)
           plus post-run scalars. *)

@@ -10,6 +10,8 @@ type policy = {
   timeout : int;
   think : int;
   read_ratio : float;
+  cross_shard_ratio : float;
+  groups : int;
   relaxed_reads : bool;
   read_own_node : bool;
   key_space : int;
@@ -24,6 +26,8 @@ let default_policy ~targets =
     timeout = Ci_engine.Sim_time.ms 2;
     think = 0;
     read_ratio = 0.;
+    cross_shard_ratio = 0.;
+    groups = 1;
     relaxed_reads = false;
     read_own_node = false;
     key_space = 64;
@@ -48,8 +52,32 @@ type t = {
 
 let now t = t.env.Node_env.now ()
 
+(* A partner key for a cross-shard write: deterministic scan from the
+   first key, so no extra rng draws perturb the stream; falls back to
+   the next key when the keyspace cannot reach another group (groups =
+   1, or fewer keys than groups need). *)
+let partner_key t ~k1 =
+  let ks = t.policy.key_space and groups = t.policy.groups in
+  let g1 = Ci_consensus.Shard.group_of_key ~groups k1 in
+  let rec scan k n =
+    if n = 0 then (k1 + 1) mod ks
+    else if k <> k1 && Ci_consensus.Shard.group_of_key ~groups k <> g1 then k
+    else scan ((k + 1) mod ks) (n - 1)
+  in
+  scan ((k1 + 1) mod ks) ks
+
+(* The cross-shard draw is guarded so a zero ratio consumes nothing
+   from the stream: default workloads stay byte-identical. *)
 let pick_command t =
-  if Rng.chance t.rng t.policy.read_ratio then
+  if
+    t.policy.cross_shard_ratio > 0.
+    && Rng.chance t.rng t.policy.cross_shard_ratio
+  then begin
+    let k1 = Rng.int t.rng t.policy.key_space in
+    let d1 = Rng.int t.rng 1_000_000 and d2 = Rng.int t.rng 1_000_000 in
+    Command.Mput { k1; d1; k2 = partner_key t ~k1; d2 }
+  end
+  else if Rng.chance t.rng t.policy.read_ratio then
     Command.Get { key = Rng.int t.rng t.policy.key_space }
   else
     Command.Put

@@ -21,6 +21,13 @@ type policy = {
   timeout : int;  (** Retry timeout (ns). *)
   think : int;  (** Pause between a reply and the next request (ns). *)
   read_ratio : float;  (** Fraction of [Get] commands. *)
+  cross_shard_ratio : float;
+      (** Fraction of [Mput] commands whose two keys live on different
+          shards (sharded deployments; 0 disables and leaves the rng
+          stream untouched). *)
+  groups : int;
+      (** Shard count the partner-key scan routes against (1 outside
+          sharded deployments). *)
   relaxed_reads : bool;  (** Mark reads as allowing stale local answers. *)
   read_own_node : bool;
       (** Send reads to this client's own node (joint deployments where

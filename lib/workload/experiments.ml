@@ -556,6 +556,63 @@ let protocol_comparison ?jobs ?duration ?(params = Net_params.multicore) () =
        [ Runner.Twopc; Runner.Multipaxos; Runner.Mencius; Runner.Cheappaxos;
          Runner.Onepaxos ])
 
+(* ----- shards: multi-group scaling (ISSUE 7) ----------------------------- *)
+
+let guard_atomic context (r : Runner.result) =
+  match r.Runner.atomicity with
+  | None -> ()
+  | Some a ->
+    if not (Ci_rsm.Atomicity.ok a) then
+      Format.kasprintf failwith "%s: atomicity violated: %a" context
+        Ci_rsm.Atomicity.pp a
+
+(* Throughput versus group count, one socket per group so growing the
+   shard count grows the machine the way the paper's taskset would:
+   group g's replicas fill socket g, routers and clients take the two
+   sockets after the last group. Every point is consistency-checked per
+   group and, at groups > 1, cross-shard 2PC atomicity-checked. *)
+let shards ?jobs ?duration ?(groups = [ 1; 2; 4; 8 ])
+    ?(cross_shard_ratio = 0.05) () =
+  let jobs = resolve_jobs jobs in
+  let spec proto g =
+    let s =
+      Runner.default_spec ~protocol:proto
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 6 })
+    in
+    let s =
+      match duration with Some d -> { s with Runner.duration = d } | None -> s
+    in
+    {
+      s with
+      Runner.groups = g;
+      cross_shard_ratio = (if g = 1 then 0. else cross_shard_ratio);
+      topology = Topology.create ~sockets:(g + 2) ~cores_per_socket:3;
+    }
+  in
+  let specs =
+    Array.of_list
+      (List.concat_map
+         (fun proto -> List.map (spec proto) groups)
+         [ Runner.Onepaxos; Runner.Multipaxos ])
+  in
+  let results = run_all ~jobs specs in
+  let i = ref 0 in
+  List.map
+    (fun proto ->
+      let label = Runner.protocol_name proto ^ " sharded" in
+      let points =
+        List.map
+          (fun g ->
+            let r = results.(!i) in
+            incr i;
+            guard_consistent label r;
+            guard_atomic label r;
+            point_of_result g r)
+          groups
+      in
+      { label; points })
+    [ Runner.Onepaxos; Runner.Multipaxos ]
+
 (* ----- rendering ------------------------------------------------------------------ *)
 
 let pp_netchar fmt rows =

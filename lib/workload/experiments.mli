@@ -151,6 +151,22 @@ val protocol_comparison :
     comparison on another network (e.g. {!Ci_machine.Net_params.rdma},
     the paper's concluding rack-scale outlook). *)
 
+(** {1 A5 — sharded multi-group scaling (ISSUE 7)} *)
+
+val shards :
+  ?jobs:int ->
+  ?duration:int ->
+  ?groups:int list ->
+  ?cross_shard_ratio:float ->
+  unit ->
+  series list
+(** 1Paxos and Multi-Paxos throughput vs group count (x = groups), one
+    socket per group of 3 replicas plus two tail sockets for routers
+    and clients; [cross_shard_ratio] of the workload (default 5%, 0 at
+    one group) is cross-shard multi-puts run as 2PC transactions.
+    Every point is consistency-checked per group and atomicity-checked
+    across groups; raises [Failure] on any violation. *)
+
 (** {1 Rendering} *)
 
 val pp_netchar : Format.formatter -> netchar_row list -> unit

@@ -11,6 +11,8 @@ module Onepaxos = Ci_consensus.Onepaxos
 module Multipaxos = Ci_consensus.Multipaxos
 module Twopc = Ci_consensus.Twopc
 module Replica_core = Ci_consensus.Replica_core
+module Shard = Ci_consensus.Shard
+module Atomicity = Ci_rsm.Atomicity
 module Wire = Ci_consensus.Wire
 module Node_env = Ci_engine.Node_env
 
@@ -30,6 +32,8 @@ type placement =
 type spec = {
   protocol : protocol;
   placement : placement;
+  groups : int;
+  cross_shard_ratio : float;
   topology : Topology.t;
   params : Net_params.t;
   duration : int;
@@ -56,6 +60,8 @@ let default_spec ~protocol ~placement =
   {
     protocol;
     placement;
+    groups = 1;
+    cross_shard_ratio = 0.;
     topology = Topology.opteron_48;
     params = Net_params.multicore;
     duration = Sim_time.ms 50;
@@ -121,6 +127,7 @@ type result = {
   sim_events : int;
   metrics : Metrics.t;
   consistency : Consistency.report;
+  atomicity : Ci_rsm.Atomicity.report option;
   failover : Ci_obs.Failover.t option;
 }
 
@@ -213,7 +220,27 @@ let run spec =
     | Joint { n_nodes } -> (n_nodes, n_nodes, true)
   in
   if n_replicas < 1 then invalid_arg "Runner.run: need at least one replica";
-  if n_replicas > n_cores then invalid_arg "Runner.run: more replicas than cores";
+  if spec.groups < 1 then invalid_arg "Runner.run: groups must be >= 1";
+  if not (spec.cross_shard_ratio >= 0. && spec.cross_shard_ratio <= 1.) then
+    invalid_arg "Runner.run: cross_shard_ratio must be in [0, 1]";
+  let n_groups = spec.groups in
+  if n_groups > 1 then begin
+    (match spec.protocol with
+    | Onepaxos | Multipaxos -> ()
+    | Twopc | Mencius | Cheappaxos ->
+      invalid_arg
+        "Runner.run: groups > 1 requires a shardable protocol (1paxos or \
+         multipaxos)");
+    if joint then
+      invalid_arg "Runner.run: groups > 1 requires dedicated placement";
+    if spec.relaxed_reads then
+      invalid_arg "Runner.run: relaxed reads are not routed across shards"
+  end;
+  (* [n_replicas] is per group; routers get their own nodes. *)
+  let total_replicas = n_groups * n_replicas in
+  let n_routers = if n_groups = 1 then 0 else n_groups in
+  if total_replicas > n_cores then
+    invalid_arg "Runner.run: more replicas than cores";
   if (not joint) && n_clients < 1 then invalid_arg "Runner.run: need clients";
   List.iter
     (fun f ->
@@ -225,7 +252,7 @@ let run spec =
     Ci_faults.crashes spec.nemesis <> [] || Ci_faults.pauses spec.nemesis <> []
   in
   if not (Ci_faults.is_empty spec.nemesis) then begin
-    (match Ci_faults.validate ~n_cores ~n_nodes:n_replicas spec.nemesis with
+    (match Ci_faults.validate ~n_cores ~n_nodes:total_replicas spec.nemesis with
     | Ok () -> ()
     | Error e -> invalid_arg ("Runner.run: nemesis: " ^ e));
     if has_crashpause then begin
@@ -244,11 +271,17 @@ let run spec =
   let machine =
     Machine.create ~seed:spec.seed ~topology:spec.topology ~params:spec.params ()
   in
-  (* Replicas occupy cores 0..R-1, like the paper's taskset layout. *)
+  (* Replicas occupy cores 0..R-1, like the paper's taskset layout.
+     Sharded runs lay groups out group-major over the same contiguous
+     range, so group g spans cores [g*R, (g+1)*R): with the Topology's
+     socket structure, growing the socket count spreads whole groups
+     across sockets — exactly what the shards figure sweeps. *)
   let replica_nodes =
-    Array.init n_replicas (fun i -> Machine.add_node machine ~core:i)
+    Array.init total_replicas (fun i -> Machine.add_node machine ~core:i)
   in
   let replica_ids = Array.map Machine.node_id replica_nodes in
+  let group_ids g = Array.sub replica_ids (g * n_replicas) n_replicas in
+  let group_of_replica i = i / n_replicas in
   (* Failure-detection and retry timeouts must exceed the network round
      trip: the multicore defaults would make LAN deployments suspect
      healthy peers forever. One hop costs send + prop + recv + handler. *)
@@ -257,7 +290,7 @@ let run spec =
     + spec.params.Net_params.recv_cost + spec.params.Net_params.handler_cost
   in
   let rtt = 2 * hop in
-  let op_config () =
+  let op_config ~replicas:replica_ids () =
     let d = Ci_consensus.Onepaxos.default_config ~replicas:replica_ids in
     {
       d with
@@ -274,7 +307,7 @@ let run spec =
       window = spec.pipeline;
     }
   in
-  let mp_config () =
+  let mp_config ~replicas:replica_ids () =
     let d = Ci_consensus.Multipaxos.default_config ~replicas:replica_ids in
     {
       d with
@@ -285,15 +318,17 @@ let run spec =
       window = spec.pipeline;
     }
   in
-  let make_replica env =
+  let make_replica ~group env =
+    let replicas = group_ids group in
     match spec.protocol with
-    | Onepaxos -> Op (Ci_consensus.Onepaxos.create ~env ~config:(op_config ()))
+    | Onepaxos ->
+      Op (Ci_consensus.Onepaxos.create ~env ~config:(op_config ~replicas ()))
     | Multipaxos ->
-      Mp (Ci_consensus.Multipaxos.create ~env ~config:(mp_config ()))
+      Mp (Ci_consensus.Multipaxos.create ~env ~config:(mp_config ~replicas ()))
     | Twopc ->
       let cfg =
         {
-          (Ci_consensus.Twopc.default_config ~replicas:replica_ids) with
+          (Ci_consensus.Twopc.default_config ~replicas) with
           local_reads = spec.local_reads;
         }
       in
@@ -301,13 +336,13 @@ let run spec =
     | Mencius ->
       let cfg =
         {
-          (Ci_consensus.Mencius.default_config ~replicas:replica_ids) with
+          (Ci_consensus.Mencius.default_config ~replicas) with
           relaxed_reads = spec.relaxed_reads;
         }
       in
       Mn (Ci_consensus.Mencius.create ~env ~config:cfg)
     | Cheappaxos ->
-      let d = Ci_consensus.Cheap_paxos.default_config ~replicas:replica_ids in
+      let d = Ci_consensus.Cheap_paxos.default_config ~replicas in
       let cfg =
         {
           d with
@@ -320,7 +355,7 @@ let run spec =
       Cp (Ci_consensus.Cheap_paxos.create ~env ~config:cfg)
   in
   let nem =
-    Array.init n_replicas (fun _ ->
+    Array.init total_replicas (fun _ ->
         { alive = ref true; paused = false; pending = Queue.create (); snap = None })
   in
   (* Environments are wrapped only under a crash/pause schedule: the
@@ -330,25 +365,40 @@ let run spec =
     let base = Machine.env replica_nodes.(i) in
     if has_crashpause then gate_env base nem.(i) nem.(i).alive else base
   in
-  let replicas = Array.init n_replicas (fun i -> make_replica (env_for i)) in
-  (* Clients: their own cores after the replicas, or embedded (joint). *)
+  let replicas =
+    Array.init total_replicas (fun i ->
+        make_replica ~group:(group_of_replica i) (env_for i))
+  in
+  (* Routers (sharded runs) and clients share the cores after the
+     replicas; at [groups = 1] there are no routers and the layout is
+     the historical one. *)
+  let tail_core i =
+    let tail_cores = n_cores - total_replicas in
+    if tail_cores < 1 then invalid_arg "Runner.run: no cores left for clients";
+    total_replicas + (i mod tail_cores)
+  in
+  let router_nodes =
+    Array.init n_routers (fun j -> Machine.add_node machine ~core:(tail_core j))
+  in
+  let router_ids = Array.map Machine.node_id router_nodes in
   let client_nodes =
     if joint then replica_nodes
-    else begin
-      let client_cores = n_cores - n_replicas in
-      if client_cores < 1 then invalid_arg "Runner.run: no cores left for clients";
+    else
       Array.init n_clients (fun i ->
-          Machine.add_node machine ~core:(n_replicas + (i mod client_cores)))
-    end
+          Machine.add_node machine ~core:(tail_core (n_routers + i)))
   in
   let stats = Run_stats.create ~bucket:spec.bucket in
   let policy =
     {
-      (Client.default_policy ~targets:replica_ids) with
+      (Client.default_policy
+         ~targets:(if n_routers = 0 then replica_ids else router_ids))
+      with
       Client.failover = spec.protocol <> Twopc;
       timeout = spec.timeout;
       think = spec.think;
       read_ratio = spec.read_ratio;
+      cross_shard_ratio = spec.cross_shard_ratio;
+      groups = n_groups;
       relaxed_reads = spec.relaxed_reads;
       read_own_node = joint && (spec.local_reads || spec.relaxed_reads);
       max_requests = spec.max_requests;
@@ -360,12 +410,27 @@ let run spec =
         (* Mencius distributes load by design: spread the clients over
            the leaders instead of pointing everyone at replica 0. *)
         let policy =
-          if spec.protocol = Mencius then
+          if n_routers > 0 then { policy with Client.primary = i mod n_routers }
+          else if spec.protocol = Mencius then
             { policy with Client.primary = i mod n_replicas }
           else policy
         in
         Client.create ~env:(Machine.env node) ~policy ~stats)
       client_nodes
+  in
+  (* Sharded runs put a 2PC participant in front of each group's entry
+     replica: it consumes the router's prepare/commit messages and the
+     consensus replies to its own self-requests; everything else falls
+     through to the replica. *)
+  let participants =
+    Array.init
+      (if n_groups = 1 then 0 else n_groups)
+      (fun g -> Twopc.Participant.create ~env:(env_for (g * n_replicas)))
+  in
+  let part_of i =
+    if n_groups > 1 && i mod n_replicas = 0 then
+      Some participants.(group_of_replica i)
+    else None
   in
   (* Handler wiring: replies go to the client half, everything else to
      the replica half (joint nodes host both). Under a crash/pause
@@ -375,12 +440,17 @@ let run spec =
   Array.iteri
     (fun i node ->
       let r = replicas.(i) in
+      let deliver ~src msg =
+        match part_of i with
+        | Some p when Twopc.Participant.handle p ~src msg -> ()
+        | Some _ | None -> replica_handle replicas.(i) ~src msg
+      in
       if has_crashpause then
         let st = nem.(i) in
         Machine.set_handler node (fun ~src msg ->
             if st.paused then
-              Queue.add (fun () -> replica_handle replicas.(i) ~src msg) st.pending
-            else replica_handle replicas.(i) ~src msg)
+              Queue.add (fun () -> deliver ~src msg) st.pending
+            else deliver ~src msg)
       else if joint then
         let c = clients.(i) in
         Machine.set_handler node (fun ~src msg ->
@@ -388,7 +458,7 @@ let run spec =
             | Wire.Reply _ -> Client.handle c ~src msg
             | _ -> replica_handle r ~src msg)
       else
-        Machine.set_handler node (fun ~src msg -> replica_handle r ~src msg))
+        Machine.set_handler node (fun ~src msg -> deliver ~src msg))
     replica_nodes;
   if not joint then
     Array.iteri
@@ -396,6 +466,24 @@ let run spec =
         let c = clients.(i) in
         Machine.set_handler node (fun ~src msg -> Client.handle c ~src msg))
       client_nodes;
+  (* Routers: hash single-shard commands to their group's entry replica,
+     run cross-shard multi-puts as 2PC transactions. *)
+  let routers =
+    Array.map
+      (fun node ->
+        let config =
+          {
+            Shard.Router.groups = n_groups;
+            leader_of =
+              Array.init n_groups (fun g -> replica_ids.(g * n_replicas));
+            retry_timeout = spec.timeout;
+          }
+        in
+        let r = Shard.Router.create ~env:(Machine.env node) ~config in
+        Machine.set_handler node (fun ~src msg -> Shard.Router.handle r ~src msg);
+        r)
+      router_nodes
+  in
   (* Typed observability: record trace events when the caller supplied a
      ring, labelling message events with their wire constructor names. *)
   Machine.set_observer ~msg_label:Wire.kind machine spec.trace;
@@ -423,9 +511,15 @@ let run spec =
     let r =
       match st.snap with
       | Some (St_op s) ->
-        Op (Ci_consensus.Onepaxos.recover ~env ~config:(op_config ()) ~stable:s)
+        Op
+          (Ci_consensus.Onepaxos.recover ~env
+             ~config:(op_config ~replicas:(group_ids (group_of_replica i)) ())
+             ~stable:s)
       | Some (St_mp s) ->
-        Mp (Ci_consensus.Multipaxos.recover ~env ~config:(mp_config ()) ~stable:s)
+        Mp
+          (Ci_consensus.Multipaxos.recover ~env
+             ~config:(mp_config ~replicas:(group_ids (group_of_replica i)) ())
+             ~stable:s)
       | None -> assert false
     in
     replicas.(i) <- r
@@ -506,6 +600,7 @@ let run spec =
   let used_cores =
     let tbl = Hashtbl.create 16 in
     Array.iter (fun n -> Hashtbl.replace tbl (Machine.core_of n) ()) replica_nodes;
+    Array.iter (fun n -> Hashtbl.replace tbl (Machine.core_of n) ()) router_nodes;
     Array.iter (fun n -> Hashtbl.replace tbl (Machine.core_of n) ()) client_nodes;
     Hashtbl.fold (fun c () acc -> c :: acc) tbl [] |> List.sort compare
   in
@@ -591,6 +686,15 @@ let run spec =
         (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
         (Client.issued c))
     clients;
+  (* Participants propose [Prep]/[Fin] as self-requests under their own
+     node's identity — as much client input as the clients' commands. *)
+  Array.iteri
+    (fun g p ->
+      let id = replica_ids.(g * n_replicas) in
+      List.iter
+        (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
+        (Twopc.Participant.issued p))
+    participants;
   let proposed (v : Wire.value) =
     (* Mencius skip placeholders are protocol no-ops, not client input. *)
     Ci_consensus.Mencius.is_skip_value v
@@ -605,10 +709,84 @@ let run spec =
   let views =
     Array.to_list (Array.map (fun r -> Replica_core.view (replica_core r)) replicas)
   in
-  let consistency =
-    Consistency.check ~equal:Wire.value_equal ~proposed ~acked
-      ~key_of:Wire.value_key views
+  let consistency, atomicity =
+    if n_groups = 1 then
+      ( Consistency.check ~equal:Wire.value_equal ~proposed ~acked
+          ~key_of:Wire.value_key views,
+        None )
+    else begin
+      (* Each group is an independent consensus: agreement and state
+         convergence hold within a group, never across groups. An acked
+         single-shard write must be learned by its owning group; an
+         acked cross-shard write commits under the router's identity
+         (no group ever learns the client's own (client, req_id)), so
+         it belongs to the atomicity checker instead. *)
+      let cmd_of key = Hashtbl.find_opt proposed_tbl key in
+      let is_cross key =
+        match cmd_of key with
+        | Some cmd -> List.length (Shard.groups_of ~groups:n_groups cmd) > 1
+        | None -> false
+      in
+      let cross_acked, single_acked = List.partition is_cross acked in
+      let acked_of g =
+        List.filter
+          (fun key ->
+            match cmd_of key with
+            | Some cmd -> Shard.group_of_cmd ~groups:n_groups cmd = g
+            | None -> false)
+          single_acked
+      in
+      let group_views g = List.filteri (fun i _ -> group_of_replica i = g) views in
+      let reports =
+        List.init n_groups (fun g ->
+            Consistency.check ~equal:Wire.value_equal ~proposed
+              ~acked:(acked_of g) ~key_of:Wire.value_key (group_views g))
+      in
+      let consistency =
+        {
+          Consistency.violations =
+            List.concat_map
+              (fun (r : Consistency.report) -> r.Consistency.violations)
+              reports;
+          checked_instances =
+            List.fold_left
+              (fun a (r : Consistency.report) ->
+                a + r.Consistency.checked_instances)
+              0 reports;
+          checked_replicas =
+            List.fold_left
+              (fun a (r : Consistency.report) -> a + r.Consistency.checked_replicas)
+              0 reports;
+        }
+      in
+      (* The atomicity check reads each group's decided commands off the
+         union of its replicas' logs (agreement inside the group was
+         just checked, so the union is one consistent sequence). *)
+      let decided =
+        List.init n_groups (fun g ->
+            let cmds =
+              List.concat_map
+                (fun (rv : Wire.value Consistency.replica_view) ->
+                  List.map
+                    (fun (_, (v : Wire.value)) -> v.Wire.cmd)
+                    rv.Consistency.decisions)
+                (group_views g)
+            in
+            (g, cmds))
+      in
+      let txns =
+        Array.to_list routers |> List.concat_map Shard.Router.txn_reports
+      in
+      (consistency, Some (Atomicity.check ~decided ~txns ~acked:cross_acked))
+    end
   in
+  if n_groups > 1 then begin
+    let sum f = Array.fold_left (fun a r -> a + f r) 0 routers in
+    Metrics.set_int metrics "shard.groups" n_groups;
+    Metrics.set_int metrics "shard.forwarded" (sum Shard.Router.forwarded);
+    Metrics.set_int metrics "shard.committed" (sum Shard.Router.committed);
+    Metrics.set_int metrics "shard.aborted" (sum Shard.Router.aborted)
+  end;
   let leader_changes =
     Array.fold_left (fun acc r -> max acc (leader_changes_of r)) 0 replicas
   in
@@ -663,6 +841,7 @@ let run spec =
     sim_events;
     metrics;
     consistency;
+    atomicity;
     failover;
   }
 

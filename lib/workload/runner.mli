@@ -21,6 +21,20 @@ type placement =
 type spec = {
   protocol : protocol;
   placement : placement;
+  groups : int;
+      (** Independent consensus groups the keyspace is hash-partitioned
+          over (sharding, ISSUE 7). [1] (the default) is the paper's
+          single group and is byte-identical to the pre-sharding
+          runner. [> 1] requires 1Paxos or Multi-Paxos under dedicated
+          placement without relaxed reads; [placement.n_replicas] is
+          then {e per group} (group [g] spans cores
+          [g*R .. (g+1)*R-1]), one router node per group is added after
+          the replicas, and clients send to the routers. *)
+  cross_shard_ratio : float;
+      (** Fraction of client commands that are cross-shard two-key
+          multi-puts, routed through 2PC over the owning groups'
+          consensus. [0.] (the default) leaves the workload — and the
+          client rng stream — untouched. *)
   topology : Ci_machine.Topology.t;
   params : Ci_machine.Net_params.t;
   duration : int;  (** Measurement window length (ns). *)
@@ -136,6 +150,12 @@ type result = {
           channel back-pressure totals, window totals, and
           [trace.dropped] when tracing. *)
   consistency : Ci_rsm.Consistency.report;
+      (** Per-group under sharding: each group is checked independently
+          (agreement is meaningless across groups) and the reports are
+          merged — violations concatenated, counts summed. *)
+  atomicity : Ci_rsm.Atomicity.report option;
+      (** Cross-shard 2PC atomicity over the routers' transactions and
+          the groups' decided logs; [Some] exactly when [groups > 1]. *)
   failover : Ci_obs.Failover.t option;
       (** Failover analysis around the nemesis schedule's first fault
           onset, over the whole run ([Some] exactly when the schedule

@@ -33,6 +33,32 @@ dune exec bin/consensus_sim.exe -- live --protocol onepaxos \
 dune exec bin/consensus_sim.exe -- live --protocol multipaxos \
   --replicas 3 --clients 2 --duration-s 0.5 --drain-s 0.1
 
+echo "== live shard smoke (2 groups, cross-shard 2PC, both protocols) =="
+# Sharded real-domain runs: 2 consensus groups of 2 replicas plus a
+# router per group, 30% of commands cross-shard multi-puts. ~0.5s
+# measured + drain per protocol, within the 2s budget. `live` exits
+# non-zero on a per-group consistency violation OR a cross-shard
+# atomicity violation, so both checks gate the pre-flight.
+dune exec bin/consensus_sim.exe -- live --protocol onepaxos \
+  --groups 2 --replicas 2 --clients 2 --cross-shard-ratio 0.3 \
+  --duration-s 0.4 --drain-s 0.1
+dune exec bin/consensus_sim.exe -- live --protocol multipaxos \
+  --groups 2 --replicas 2 --clients 2 --cross-shard-ratio 0.3 \
+  --duration-s 0.4 --drain-s 0.1
+
+echo "== sim byte-identity at groups=1 (sharding off leaves output untouched) =="
+# Passing --groups 1 explicitly must be byte-identical to the default
+# sim run: at one group there are no routers, no 2PC participants, no
+# extra rng draws — the shard layer must leave the trace untouched.
+tmpd=$(mktemp) && tmpg=$(mktemp)
+trap 'rm -f "$tmp1" "$tmp3" "$tmpd" "$tmpg"' EXIT
+dune exec bin/consensus_sim.exe -- run --protocol 1paxos \
+  --replicas 3 --clients 5 --duration-ms 30 > "$tmpd"
+dune exec bin/consensus_sim.exe -- run --protocol 1paxos \
+  --replicas 3 --clients 5 --duration-ms 30 \
+  --groups 1 --cross-shard-ratio 0 > "$tmpg"
+cmp "$tmpd" "$tmpg"
+
 echo "== nemesis smoke: crash the active acceptor mid-run on the live runtime =="
 # Replica 1 hosts the initial active acceptor; it is killed 0.25s into
 # a 0.8s measured phase (volatile state lost) and restarted 0.3s later

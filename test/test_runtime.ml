@@ -64,6 +64,56 @@ let conformance protocol sim_protocol () =
     Alcotest.failf "sim backend: %a" Consistency.pp sim.Runner.consistency;
   if sim.Runner.commits <= 0 then Alcotest.fail "sim backend: no commits"
 
+(* Sharded live runs: 2 groups x 2 replicas plus a router per group on
+   real domains, 30% of commands cross-shard 2PC multi-puts. Both the
+   per-group consistency check and the cross-shard atomicity check must
+   sign off. *)
+let sharded_spec protocol =
+  {
+    (Live.default_spec ~protocol) with
+    Live.n_replicas = 2;
+    n_clients = 2;
+    groups = 2;
+    cross_shard_ratio = 0.3;
+    duration_s = 0.25;
+    drain_s = 0.15;
+  }
+
+let check_sharded name (r : Live.result) =
+  check_live name r;
+  match r.Live.atomicity with
+  | None -> Alcotest.fail (name ^ ": no atomicity report at groups=2")
+  | Some a ->
+    if not (Ci_rsm.Atomicity.ok a) then
+      Alcotest.failf "%s: %a" name Ci_rsm.Atomicity.pp a;
+    Alcotest.(check bool)
+      (name ^ ": cross-shard txns resolved")
+      true
+      (a.Ci_rsm.Atomicity.committed + a.Ci_rsm.Atomicity.aborted > 0)
+
+let test_live_sharded_onepaxos () =
+  check_sharded "1paxos sharded" (Live.run (sharded_spec Live.Onepaxos))
+
+let test_live_sharded_multipaxos () =
+  check_sharded "multipaxos sharded" (Live.run (sharded_spec Live.Multipaxos))
+
+(* The PR-3 allocation diet, extended to the live hot path: words
+   allocated per committed op across the replica and router domains
+   (Gc.allocated_bytes is domain-local), on a sharded run so the
+   router/2PC path is included. Observed ~15k words/op on a 1-core
+   host; the bound is generous because short oversubscribed runs
+   amortize domain startup badly, but it still catches an accidental
+   per-event allocation regression (which shows up at 10x+). *)
+let test_live_alloc_budget () =
+  let r =
+    Live.run { (sharded_spec Live.Onepaxos) with Live.duration_s = 0.4 }
+  in
+  check_sharded "alloc run" r;
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f words/op <= 120k budget" r.Live.alloc_words_per_op)
+    true
+    (r.Live.alloc_words_per_op > 0. && r.Live.alloc_words_per_op <= 120_000.)
+
 let test_validation () =
   let expect_invalid name spec =
     match Live.run spec with
@@ -77,7 +127,10 @@ let test_validation () =
   expect_invalid "drain" { ok with Live.drain_s = -0.1 };
   expect_invalid "slots" { ok with Live.queue_slots = 0 };
   expect_invalid "timeout" { ok with Live.client_timeout = 0 };
-  expect_invalid "read ratio" { ok with Live.read_ratio = 1.5 }
+  expect_invalid "read ratio" { ok with Live.read_ratio = 1.5 };
+  expect_invalid "groups" { ok with Live.groups = 0 };
+  expect_invalid "cross-shard ratio < 0" { ok with Live.cross_shard_ratio = -0.1 };
+  expect_invalid "cross-shard ratio > 1" { ok with Live.cross_shard_ratio = 1.1 }
 
 let test_protocol_names () =
   List.iter
@@ -106,6 +159,12 @@ let suite =
         (conformance Live.Onepaxos Runner.Onepaxos);
       Alcotest.test_case "sim vs runtime conformance (multipaxos)" `Quick
         (conformance Live.Multipaxos Runner.Multipaxos);
+      Alcotest.test_case "live sharded 1paxos: consistent and atomic" `Quick
+        test_live_sharded_onepaxos;
+      Alcotest.test_case "live sharded multipaxos: consistent and atomic" `Quick
+        test_live_sharded_multipaxos;
+      Alcotest.test_case "live alloc words/op budget (sharded hot path)" `Quick
+        test_live_alloc_budget;
       Alcotest.test_case "spec validation" `Quick test_validation;
       Alcotest.test_case "protocol name parsing" `Quick test_protocol_names;
     ] )

@@ -1,0 +1,296 @@
+(* Sharded multi-group consensus: the partition function, the
+   cross-shard 2PC atomicity checker, and end-to-end sharded runs on
+   the simulator — including one shard losing its active acceptor while
+   the others keep committing. The live half is in [Test_runtime]. *)
+
+module Shard = Ci_consensus.Shard
+module Atomicity = Ci_rsm.Atomicity
+module Command = Ci_rsm.Command
+module Consistency = Ci_rsm.Consistency
+module Runner = Ci_workload.Runner
+module Sim_time = Ci_engine.Sim_time
+module Failover = Ci_obs.Failover
+
+(* ----- partition function -------------------------------------------------- *)
+
+(* Totality + stability: every key lands in exactly one group in
+   [0, groups), and the mapping is a pure function — same group on
+   every call. That is the whole routing contract: replicas, routers
+   and the checker all derive ownership independently, so they agree
+   only because the function does. *)
+let qcheck_partition_total_stable =
+  QCheck.Test.make ~count:1000
+    ~name:"group_of_key: total stable partition"
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 16))
+    (fun (key, groups) ->
+      let g = Shard.group_of_key ~groups key in
+      g >= 0 && g < groups
+      && Shard.group_of_key ~groups key = g
+      && (groups <> 1 || g = 0))
+
+let test_partition_spreads () =
+  (* Not a uniformity proof, only an anti-degeneracy pin: over the
+     first 1000 keys at 4 groups, every group owns something. *)
+  let seen = Array.make 4 0 in
+  for key = 0 to 999 do
+    let g = Shard.group_of_key ~groups:4 key in
+    seen.(g) <- seen.(g) + 1
+  done;
+  Array.iteri
+    (fun g n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "group %d owns some keys (got %d)" g n)
+        true (n > 0))
+    seen
+
+let test_groups_of () =
+  let groups = 4 in
+  let key_in g =
+    (* Find a key owned by group g. *)
+    let rec go k =
+      if Shard.group_of_key ~groups k = g then k else go (k + 1)
+    in
+    go 0
+  in
+  let a = key_in 1 and b = key_in 3 in
+  Alcotest.(check (list int)) "single put" [ 1 ]
+    (Shard.groups_of ~groups (Command.Put { key = a; data = 0 }));
+  Alcotest.(check (list int)) "cross-shard mput, sorted distinct" [ 1; 3 ]
+    (Shard.groups_of ~groups (Command.Mput { k1 = b; d1 = 0; k2 = a; d2 = 0 }));
+  Alcotest.(check (list int)) "same-shard mput collapses" [ 1 ]
+    (Shard.groups_of ~groups (Command.Mput { k1 = a; d1 = 0; k2 = a; d2 = 1 }));
+  Alcotest.(check (list int)) "nop routes to 0" [ 0 ]
+    (Shard.groups_of ~groups Command.Nop)
+
+(* ----- atomicity checker (deterministic unit cases) ------------------------ *)
+
+let txn ~txn:id ~outcome parts =
+  {
+    Atomicity.txn = id;
+    client = 9;
+    req_id = id;
+    parts = List.map (fun (g, k) -> (g, k, 1)) parts;
+    outcome;
+  }
+
+let prep ~txn:id ~key = Command.Prep { txn = id; key; data = 1 }
+let fin ~txn:id ~key ~commit = Command.Fin { txn = id; key; commit }
+
+let test_atomicity_commit_abort () =
+  (* txn 1 committed on both groups, txn 2 aborted on both: clean. *)
+  let decided =
+    [
+      ( 0,
+        [
+          prep ~txn:1 ~key:10;
+          fin ~txn:1 ~key:10 ~commit:true;
+          prep ~txn:2 ~key:11;
+          fin ~txn:2 ~key:11 ~commit:false;
+        ] );
+      ( 1,
+        [
+          prep ~txn:1 ~key:20;
+          fin ~txn:1 ~key:20 ~commit:true;
+          fin ~txn:2 ~key:21 ~commit:false;
+        ] );
+    ]
+  in
+  let txns =
+    [
+      txn ~txn:1 ~outcome:Atomicity.Committed [ (0, 10); (1, 20) ];
+      txn ~txn:2 ~outcome:Atomicity.Aborted [ (0, 11); (1, 21) ];
+    ]
+  in
+  let r = Atomicity.check ~decided ~txns ~acked:[ (9, 1) ] in
+  if not (Atomicity.ok r) then Alcotest.failf "clean run: %a" Atomicity.pp r;
+  Alcotest.(check int) "committed" 1 r.Atomicity.committed;
+  Alcotest.(check int) "aborted" 1 r.Atomicity.aborted;
+  Alcotest.(check int) "checked" 2 r.Atomicity.checked_txns
+
+let test_atomicity_violations () =
+  let committed = txn ~txn:1 ~outcome:Atomicity.Committed [ (0, 10); (1, 20) ] in
+  let violates name ~decided ~txns ~acked pred =
+    let r = Atomicity.check ~decided ~txns ~acked in
+    Alcotest.(check bool) (name ^ " flagged") true (not (Atomicity.ok r));
+    Alcotest.(check bool)
+      (name ^ " violation kind")
+      true
+      (List.exists pred r.Atomicity.violations)
+  in
+  (* One group commits, the other aborts: the atomicity breach. *)
+  violates "mixed decision"
+    ~decided:
+      [
+        (0, [ prep ~txn:1 ~key:10; fin ~txn:1 ~key:10 ~commit:true ]);
+        (1, [ prep ~txn:1 ~key:20; fin ~txn:1 ~key:20 ~commit:false ]);
+      ]
+    ~txns:[ committed ] ~acked:[]
+    (function Atomicity.Mixed_decision _ -> true | _ -> false);
+  (* Coordinator says committed, a participating group never decided it. *)
+  violates "missing commit"
+    ~decided:
+      [
+        (0, [ prep ~txn:1 ~key:10; fin ~txn:1 ~key:10 ~commit:true ]);
+        (1, [ prep ~txn:1 ~key:20 ]);
+      ]
+    ~txns:[ committed ] ~acked:[]
+    (function Atomicity.Missing_commit { group = 1; _ } -> true | _ -> false);
+  (* A commit decided without its prepare in the same log. *)
+  violates "fin without prep"
+    ~decided:
+      [
+        (0, [ prep ~txn:1 ~key:10; fin ~txn:1 ~key:10 ~commit:true ]);
+        (1, [ fin ~txn:1 ~key:20 ~commit:true ]);
+      ]
+    ~txns:[ committed ] ~acked:[]
+    (function Atomicity.Fin_without_prep { group = 1; _ } -> true | _ -> false);
+  (* Client acked, but no coordinator resolved the transaction. *)
+  violates "acked unresolved" ~decided:[ (0, []); (1, []) ]
+    ~txns:[ txn ~txn:1 ~outcome:Atomicity.Unresolved [ (0, 10); (1, 20) ] ]
+    ~acked:[ (9, 1) ]
+    (function Atomicity.Acked_unresolved _ -> true | _ -> false);
+  (* Unresolved but unacked: in flight at cutoff, never a violation. *)
+  let r =
+    Atomicity.check
+      ~decided:[ (0, [ prep ~txn:1 ~key:10 ]); (1, []) ]
+      ~txns:[ txn ~txn:1 ~outcome:Atomicity.Unresolved [ (0, 10); (1, 20) ] ]
+      ~acked:[]
+  in
+  if not (Atomicity.ok r) then Alcotest.failf "unresolved tolerated: %a" Atomicity.pp r
+
+(* ----- end-to-end sharded simulator runs ----------------------------------- *)
+
+let sharded_spec protocol =
+  {
+    (Runner.default_spec ~protocol
+       ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 4 }))
+    with
+    Runner.groups = 2;
+    cross_shard_ratio = 0.2;
+    duration = Sim_time.ms 20;
+  }
+
+let check_sharded what (r : Runner.result) =
+  if not (Consistency.ok r.Runner.consistency) then
+    Alcotest.failf "%s: %a" what Consistency.pp r.Runner.consistency;
+  Alcotest.(check bool) (what ^ ": commits > 0") true (r.Runner.commits > 0);
+  match r.Runner.atomicity with
+  | None -> Alcotest.fail (what ^ ": no atomicity report at groups=2")
+  | Some a ->
+    if not (Atomicity.ok a) then Alcotest.failf "%s: %a" what Atomicity.pp a;
+    Alcotest.(check bool)
+      (what ^ ": cross-shard txns committed")
+      true (a.Atomicity.committed > 0)
+
+(* Deterministic (fixed seed, virtual time): both outcomes of the 2PC
+   occur in one run — most transactions commit, and the lock-conflict
+   abort path fires too — and the checker signs off on all of them. *)
+let test_sim_sharded_commit_and_abort () =
+  let r = Runner.run (sharded_spec Runner.Onepaxos) in
+  check_sharded "1paxos sharded" r;
+  match r.Runner.atomicity with
+  | Some a ->
+    Alcotest.(check bool)
+      (Printf.sprintf "some txns aborted on lock conflicts (got %d)"
+         a.Atomicity.aborted)
+      true
+      (a.Atomicity.aborted > 0)
+  | None -> assert false
+
+let test_sim_sharded_multipaxos () =
+  check_sharded "multipaxos sharded" (Runner.run (sharded_spec Runner.Multipaxos))
+
+(* Crash one shard's active acceptor mid-run: group 0's acceptor lives
+   at node 1 (group-major placement, second member). The other shard
+   must keep committing through the outage, and once the acceptor is
+   replaced the whole deployment must come back — consistent per group
+   and atomic across them. *)
+let test_sim_shard_acceptor_crash () =
+  let spec =
+    {
+      (sharded_spec Runner.Onepaxos) with
+      Runner.duration = Sim_time.ms 40;
+      nemesis =
+        {
+          Ci_faults.seed = 7;
+          faults =
+            [
+              Ci_faults.Crash
+                { node = 1; at = Sim_time.ms 15; down_for = Some (Sim_time.ms 10) };
+            ];
+        };
+    }
+  in
+  let r = Runner.run spec in
+  check_sharded "shard acceptor crash" r;
+  Alcotest.(check bool) "acceptor was replaced" true (r.Runner.acceptor_changes > 0);
+  match r.Runner.failover with
+  | None -> Alcotest.fail "no failover analysis"
+  | Some f ->
+    (* Commits never stop globally: the unaffected shard rides through
+       the other shard's outage. *)
+    Alcotest.(check bool) "commits before fault" true (f.Failover.completions_before > 0);
+    Alcotest.(check bool) "commits after fault" true (f.Failover.completions_after > 0)
+
+(* A fault node index only valid under sharding: node 4 exists with
+   groups=2 x 3 replicas (it is group 1's second member). *)
+let test_sim_other_shard_acceptor_crash () =
+  let spec =
+    {
+      (sharded_spec Runner.Onepaxos) with
+      Runner.duration = Sim_time.ms 40;
+      nemesis =
+        {
+          Ci_faults.seed = 7;
+          faults =
+            [
+              Ci_faults.Crash
+                { node = 4; at = Sim_time.ms 15; down_for = Some (Sim_time.ms 10) };
+            ];
+        };
+    }
+  in
+  check_sharded "other shard's acceptor crash" (Runner.run spec)
+
+(* ----- spec validation ------------------------------------------------------ *)
+
+let test_validation () =
+  let expect_invalid name spec =
+    match Runner.run spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: accepted a malformed spec" name
+  in
+  let ok = sharded_spec Runner.Onepaxos in
+  expect_invalid "groups = 0" { ok with Runner.groups = 0 };
+  expect_invalid "ratio < 0" { ok with Runner.cross_shard_ratio = -0.1 };
+  expect_invalid "ratio > 1" { ok with Runner.cross_shard_ratio = 1.5 };
+  (* Sharding needs dedicated placement: joint has no spare nodes for
+     routers. *)
+  expect_invalid "joint placement"
+    {
+      (Runner.default_spec ~protocol:Runner.Onepaxos
+         ~placement:(Runner.Joint { n_nodes = 6 }))
+      with
+      Runner.groups = 2;
+    }
+
+let suite =
+  ( "shard",
+    [
+      QCheck_alcotest.to_alcotest qcheck_partition_total_stable;
+      Alcotest.test_case "partition is not degenerate" `Quick test_partition_spreads;
+      Alcotest.test_case "groups_of: sorted distinct owners" `Quick test_groups_of;
+      Alcotest.test_case "atomicity checker: clean commit + abort" `Quick
+        test_atomicity_commit_abort;
+      Alcotest.test_case "atomicity checker: violations flagged" `Quick
+        test_atomicity_violations;
+      Alcotest.test_case "sim sharded 1paxos: commit and abort paths, atomic" `Quick
+        test_sim_sharded_commit_and_abort;
+      Alcotest.test_case "sim sharded multipaxos: consistent and atomic" `Quick
+        test_sim_sharded_multipaxos;
+      Alcotest.test_case "crash shard 0's acceptor: others keep committing" `Quick
+        test_sim_shard_acceptor_crash;
+      Alcotest.test_case "crash shard 1's acceptor: stays atomic" `Quick
+        test_sim_other_shard_acceptor_crash;
+      Alcotest.test_case "spec validation" `Quick test_validation;
+    ] )
