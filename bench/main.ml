@@ -271,6 +271,7 @@ let engine ~jobs =
    domains, not simulated time. *)
 type runtime_row = {
   rt_protocol : string;
+  rt_transport : string;
   rt_replicas : int;
   rt_ops : int;
   rt_throughput : float;
@@ -279,6 +280,7 @@ type runtime_row = {
   rt_retries : int;
   rt_q_blocked : int;
   rt_full_ring : int array;  (* per-node full-ring sends *)
+  rt_alloc_words_per_op : float;
   rt_consistent : bool;
 }
 
@@ -288,16 +290,17 @@ let runtime_stats : runtime_stats option ref = ref None
 
 let runtime ~jobs:_ =
   section "R1. Live runtime: the same cores on real domains (Section 6)"
-    "wall-clock op/s of 1Paxos vs Multi-Paxos over shared-memory SPSC queues"
+    "wall-clock op/s of 1Paxos vs Multi-Paxos over byte rings and sockets"
     (fun () ->
       let module Live = Ci_runtime.Live in
       let cores = Domain.recommended_domain_count () in
-      let row protocol n_replicas =
+      let row protocol transport n_replicas =
         let spec =
           {
             (Live.default_spec ~protocol) with
             Live.n_replicas;
             n_clients = 2;
+            transport;
             duration_s = 1.0;
             drain_s = 0.2;
           }
@@ -305,6 +308,7 @@ let runtime ~jobs:_ =
         let r = Live.run spec in
         {
           rt_protocol = Live.protocol_name protocol;
+          rt_transport = Live.transport_name transport;
           rt_replicas = n_replicas;
           rt_ops = r.Live.ops;
           rt_throughput = r.Live.throughput;
@@ -313,27 +317,51 @@ let runtime ~jobs:_ =
           rt_retries = r.Live.retries;
           rt_q_blocked = r.Live.queues.Live.q_blocked;
           rt_full_ring = r.Live.full_ring_sends;
+          rt_alloc_words_per_op = r.Live.alloc_words_per_op;
           rt_consistent = Ci_rsm.Consistency.ok r.Live.consistency;
         }
       in
-      let rows =
+      (* Socket rows first: Unix.fork is refused once this process has
+         ever spawned a domain, and the spsc rows spawn plenty. Skipped
+         (not failed) when fork or socketpairs are unavailable — e.g.
+         when an earlier section already went multicore. *)
+      let socket_rows =
+        match
+          [
+            row Live.Onepaxos Live.Socket 3;
+            row Live.Multipaxos Live.Socket 3;
+          ]
+        with
+        | rows -> rows
+        | exception Unix.Unix_error (e, fn, _) ->
+          Format.printf "socket transport unavailable (%s: %s); skipping@." fn
+            (Unix.error_message e);
+          []
+        | exception Failure m when String.length m >= 9 && String.sub m 0 9 = "Unix.fork" ->
+          Format.printf "socket transport unavailable (%s); skipping@." m;
+          []
+      in
+      let spsc_rows =
         List.concat_map
           (fun n ->
-            [ row Live.Onepaxos n; row Live.Multipaxos n ])
+            [ row Live.Onepaxos Live.Spsc n; row Live.Multipaxos Live.Spsc n ])
           [ 3; 5 ]
       in
+      let rows = spsc_rows @ socket_rows in
       Format.printf "%d cores, 2 client domains, 1.0s measured per cell@." cores;
-      Format.printf "%-12s %9s %12s %10s %10s %12s@." "protocol" "replicas"
-        "op/s" "p50(us)" "p99(us)" "consistent";
+      Format.printf "%-12s %-9s %9s %12s %10s %10s %10s %12s@." "protocol"
+        "transport" "replicas" "op/s" "p50(us)" "p99(us)" "alloc w/op"
+        "consistent";
       List.iter
         (fun r ->
-          Format.printf "%-12s %9d %12.0f %10.1f %10.1f %12s@." r.rt_protocol
-            r.rt_replicas r.rt_throughput r.rt_p50_us r.rt_p99_us
+          Format.printf "%-12s %-9s %9d %12.0f %10.1f %10.1f %10.0f %12s@."
+            r.rt_protocol r.rt_transport r.rt_replicas r.rt_throughput
+            r.rt_p50_us r.rt_p99_us r.rt_alloc_words_per_op
             (if r.rt_consistent then "yes" else "NO");
           if not r.rt_consistent then
             failwith
-              (Printf.sprintf "runtime: %s with %d replicas was inconsistent"
-                 r.rt_protocol r.rt_replicas))
+              (Printf.sprintf "runtime: %s/%s with %d replicas was inconsistent"
+                 r.rt_protocol r.rt_transport r.rt_replicas))
         rows;
       runtime_stats := Some { rt_cores = cores; rt_rows = rows })
 
@@ -349,15 +377,17 @@ let write_runtime_json () =
       (fun i r ->
         Buffer.add_string buf
           (Printf.sprintf
-             "    {\"protocol\": \"%s\", \"replicas\": %d, \"ops\": %d, \
+             "    {\"protocol\": \"%s\", \"transport\": \"%s\", \
+              \"replicas\": %d, \"ops\": %d, \
               \"throughput_ops\": %.0f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
               \"retries\": %d, \"full_ring_sends\": %d, \
-              \"full_ring_sends_per_node\": [%s], \"consistent\": %b}%s\n"
-             r.rt_protocol r.rt_replicas r.rt_ops r.rt_throughput r.rt_p50_us
-             r.rt_p99_us r.rt_retries r.rt_q_blocked
+              \"full_ring_sends_per_node\": [%s], \
+              \"alloc_words_per_op\": %.0f, \"consistent\": %b}%s\n"
+             r.rt_protocol r.rt_transport r.rt_replicas r.rt_ops
+             r.rt_throughput r.rt_p50_us r.rt_p99_us r.rt_retries r.rt_q_blocked
              (String.concat ", "
                 (Array.to_list (Array.map string_of_int r.rt_full_ring)))
-             r.rt_consistent
+             r.rt_alloc_words_per_op r.rt_consistent
              (if i = List.length s.rt_rows - 1 then "" else ",")))
       s.rt_rows;
     Buffer.add_string buf "  ]\n}\n";
@@ -366,6 +396,154 @@ let write_runtime_json () =
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (Buffer.contents buf));
     Format.printf "@.wrote BENCH_runtime.json@."
+
+(* ----- wire codec benchmark ----------------------------------------------- *)
+
+(* Per-message encode/decode cost of the fixed-slot wire codec, plus a
+   single-threaded slot-size sweep of the byte ring it feeds — the
+   numbers behind the default [slot_size]. Collected for
+   BENCH_codec.json. *)
+type codec_msg_row = {
+  cd_name : string;
+  cd_bytes : int;
+  cd_encode_ns : float;
+  cd_decode_ns : float;
+}
+
+type codec_sweep_row = {
+  cd_slot : int;
+  cd_ns_per_msg : float;  (* encode + ring push + pop + decode *)
+  cd_spilled : bool;  (* did the batch message span slots? *)
+}
+
+type codec_stats = {
+  cd_msgs : codec_msg_row list;
+  cd_sweep : codec_sweep_row list;
+}
+
+let codec_stats : codec_stats option ref = ref None
+
+let codec ~jobs:_ =
+  section "C1. Wire codec: fixed-slot encode/decode + ring slot-size sweep"
+    "ns per message through the zero-copy codec and the byte-slot SPSC ring"
+    (fun () ->
+      let module Wire = Ci_consensus.Wire in
+      let module Codec = Ci_consensus.Codec in
+      let module Command = Ci_rsm.Command in
+      let module Pn = Ci_consensus.Pn in
+      let module Clock = Ci_runtime.Clock in
+      let value client req_id =
+        { Wire.client; req_id; cmd = Command.Put { key = 7; data = 123456 } }
+      in
+      let pn = Pn.make ~round:3 ~owner:1 in
+      (* The protocols' hot-path vocabulary plus one spilling batch. *)
+      let mix =
+        [
+          ("Request", Wire.Request { req_id = 42; cmd = Command.Put { key = 7; data = 99 }; relaxed_read = false });
+          ("Reply", Wire.Reply { req_id = 42; result = Command.Done });
+          ("Op_accept_request", Wire.Op_accept_request { inst = 1000; pn; v = value 5 42 });
+          ("Op_learn", Wire.Op_learn { inst = 1000; v = value 5 42 });
+          ("Mp_accept", Wire.Mp_accept { inst = 1000; pn; v = value 5 42 });
+          ("Mp_learn", Wire.Mp_learn { inst = 1000; pn; v = value 5 42 });
+          ( "Op_accept_batch(8)",
+            Wire.Op_accept_batch
+              { base = 1000; pn; vs = Array.init 8 (fun i -> value 5 (100 + i)) } );
+        ]
+      in
+      let buf = Bytes.create 4096 in
+      let iters = 200_000 in
+      let time f =
+        for _ = 1 to 10_000 do f () done;
+        let t0 = Clock.now_ns () in
+        for _ = 1 to iters do f () done;
+        float_of_int (Clock.now_ns () - t0) /. float_of_int iters
+      in
+      let msg_rows =
+        List.map
+          (fun (name, msg) ->
+            let len = Codec.encode msg buf ~pos:0 in
+            {
+              cd_name = name;
+              cd_bytes = len;
+              cd_encode_ns = time (fun () -> ignore (Codec.encode msg buf ~pos:0));
+              cd_decode_ns =
+                time (fun () -> ignore (Codec.decode buf ~pos:0 ~len));
+            })
+          mix
+      in
+      Format.printf "%-22s %8s %12s %12s@." "message" "bytes" "encode(ns)"
+        "decode(ns)";
+      List.iter
+        (fun r ->
+          Format.printf "%-22s %8d %12.0f %12.0f@." r.cd_name r.cd_bytes
+            r.cd_encode_ns r.cd_decode_ns)
+        msg_rows;
+      (* Slot-size sweep: the full mix round-trips through one ring,
+         single-threaded — encode+push+pop+decode per message. Small
+         slots make the batch spill across several; big slots waste
+         bytes but never spill. *)
+      let module Sb = Ci_runtime.Spsc_bytes in
+      let sweep_rows =
+        List.map
+          (fun slot_size ->
+            let q = Sb.create ~slots:64 ~slot_size in
+            let msgs = Array.of_list (List.map snd mix) in
+            let n_mix = Array.length msgs in
+            let step i =
+              let m = msgs.(i mod n_mix) in
+              if not (Sb.try_push q m) then failwith "codec sweep: ring full";
+              match Sb.try_pop q with
+              | Some _ -> ()
+              | None -> failwith "codec sweep: ring empty"
+            in
+            let i = ref 0 in
+            let ns =
+              time (fun () ->
+                  step !i;
+                  incr i)
+            in
+            let batch_bytes = Codec.encoded_size (List.assoc "Op_accept_batch(8)" mix) in
+            { cd_slot = slot_size; cd_ns_per_msg = ns; cd_spilled = batch_bytes > slot_size })
+          [ 64; 128; 256; 512 ]
+      in
+      Format.printf "@.%-10s %14s %10s@." "slot_size" "ns/msg (ring)" "spills";
+      List.iter
+        (fun r ->
+          Format.printf "%-10d %14.0f %10s@." r.cd_slot r.cd_ns_per_msg
+            (if r.cd_spilled then "yes" else "no"))
+        sweep_rows;
+      codec_stats := Some { cd_msgs = msg_rows; cd_sweep = sweep_rows })
+
+let write_codec_json () =
+  match !codec_stats with
+  | None -> ()
+  | Some s ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"messages\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"message\": \"%s\", \"bytes\": %d, \"encode_ns\": %.0f, \
+              \"decode_ns\": %.0f}%s\n"
+             r.cd_name r.cd_bytes r.cd_encode_ns r.cd_decode_ns
+             (if i = List.length s.cd_msgs - 1 then "" else ",")))
+      s.cd_msgs;
+    Buffer.add_string buf "  ],\n  \"slot_sweep\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"slot_size\": %d, \"ns_per_msg\": %.0f, \"batch_spills\": %b}%s\n"
+             r.cd_slot r.cd_ns_per_msg r.cd_spilled
+             (if i = List.length s.cd_sweep - 1 then "" else ",")))
+      s.cd_sweep;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_codec.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf));
+    Format.printf "@.wrote BENCH_codec.json@."
 
 (* ----- sharded scaling benchmark ------------------------------------------ *)
 
@@ -804,6 +982,7 @@ let sections =
     ("metrics", metrics);
     ("engine", engine);
     ("runtime", runtime);
+    ("codec", codec);
     ("shards", shards);
     ("faults", faults);
     ("micro", micro);
@@ -812,7 +991,8 @@ let sections =
 (* Sections whose runs are fanned out over the pool — the ones worth
    re-timing at jobs=1 for the comparison table. metrics/engine/micro
    time themselves differently (single runs or self-calibrating). *)
-let serial_only = [ "metrics"; "engine"; "runtime"; "shards"; "faults"; "micro" ]
+let serial_only =
+  [ "metrics"; "engine"; "runtime"; "codec"; "shards"; "faults"; "micro" ]
 
 let print_jobs_table ~jobs =
   let j1 = List.rev !section_walls_j1 in
@@ -890,5 +1070,6 @@ let () =
   end;
   write_bench_json ();
   write_runtime_json ();
+  write_codec_json ();
   write_shards_json ();
   write_faults_json ()

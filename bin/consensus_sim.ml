@@ -328,6 +328,18 @@ let live_cmd =
   let protocol =
     Arg.(value & opt live_protocol_conv Live.Onepaxos & info [ "p"; "protocol" ] ~doc:"Protocol: onepaxos (1paxos) or multipaxos.")
   in
+  let live_transport_conv =
+    let parse s =
+      match Live.transport_of_string s with
+      | Some t -> Ok t
+      | None -> Error (`Msg (Printf.sprintf "unknown transport %S (spsc|socket)" s))
+    in
+    let print fmt t = Format.pp_print_string fmt (Live.transport_name t) in
+    Arg.conv (parse, print)
+  in
+  let transport =
+    Arg.(value & opt live_transport_conv Live.Spsc & info [ "transport" ] ~doc:"Transport: $(b,spsc) (domains over shared-memory byte rings, the default) or $(b,socket) (one process per node over stream sockets).")
+  in
   let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica domains (per group when $(b,--groups) > 1).") in
   let clients = Arg.(value & opt int 2 & info [ "c"; "clients" ] ~doc:"Client domains.") in
   let groups = Arg.(value & opt int 1 & info [ "g"; "groups" ] ~doc:"Independent consensus groups the keyspace is sharded over; each gets its own replica domains plus a router domain.") in
@@ -335,13 +347,14 @@ let live_cmd =
   let duration = Arg.(value & opt float 1.0 & info [ "d"; "duration-s" ] ~doc:"Measured wall-clock phase (seconds).") in
   let drain = Arg.(value & opt float 0.2 & info [ "drain-s" ] ~doc:"Quiesce phase before stopping the domains (seconds).") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (per-node streams derive from it).") in
-  let slots = Arg.(value & opt int 8 & info [ "ring-cap"; "queue-slots" ] ~doc:"SPSC ring capacity per ordered node pair. Raising it relieves full-ring back-pressure (see the per-node full-ring sends the run prints).") in
+  let slots = Arg.(value & opt int 64 & info [ "ring-cap"; "queue-slots" ] ~doc:"Ring capacity per ordered node pair, in slots. Raising it relieves full-ring back-pressure (see the per-node full-ring sends the run prints).") in
+  let slot_size = Arg.(value & opt int 128 & info [ "slot-size" ] ~doc:"Bytes per ring slot — a power of two, at least 32. Every non-batch message fits one 128-byte slot; batch messages spill over consecutive slots.") in
   let timeout = Arg.(value & opt int 150 & info [ "timeout-ms" ] ~doc:"Client retry timeout (ms). Keep generous on oversubscribed hosts.") in
   let read_ratio = Arg.(value & opt float 0. & info [ "read-ratio" ] ~doc:"Fraction of read commands.") in
   let think = Arg.(value & opt int 0 & info [ "think-us" ] ~doc:"Client think time between requests (us).") in
   let metrics_out = Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the run's metrics registry as a flat JSON object to $(docv).") in
-  let run protocol replicas clients groups cross_shard duration drain seed
-      slots timeout read_ratio think metrics_out =
+  let run protocol transport replicas clients groups cross_shard duration drain
+      seed slots slot_size timeout read_ratio think metrics_out =
     let invalid fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; Some 1) fmt in
     let bad =
       if replicas < 2 then invalid "--replicas must be >= 2"
@@ -352,6 +365,14 @@ let live_cmd =
       else if duration <= 0. then invalid "--duration-s must be > 0"
       else if drain < 0. then invalid "--drain-s must be >= 0"
       else if slots < 1 then invalid "--ring-cap must be >= 1"
+      else if
+        slot_size < Ci_runtime.Spsc_bytes.min_slot_size
+        || slot_size land (slot_size - 1) <> 0
+      then
+        invalid "--slot-size must be a power of two >= %d"
+          Ci_runtime.Spsc_bytes.min_slot_size
+      else if transport = Live.Socket && groups > 1 then
+        invalid "--transport socket does not shard yet (--groups must be 1)"
       else if timeout < 1 then invalid "--timeout-ms must be >= 1"
       else if read_ratio < 0. || read_ratio > 1. then
         invalid "--read-ratio must be in [0, 1]"
@@ -370,18 +391,36 @@ let live_cmd =
           cross_shard_ratio = cross_shard;
           duration_s = duration;
           drain_s = drain;
+          transport;
           seed;
           queue_slots = slots;
+          slot_size;
           client_timeout = timeout * 1_000_000;
           think = think * 1_000;
           read_ratio;
         }
       in
-      let r = Live.run spec in
+      match Live.run spec with
+      | exception Unix.Unix_error (e, fn, _)
+        when transport = Live.Socket
+             && (match e with
+                | Unix.EPERM | Unix.EACCES | Unix.ENOSYS | Unix.EAFNOSUPPORT
+                | Unix.EPROTONOSUPPORT | Unix.EMFILE | Unix.ENFILE | Unix.EAGAIN
+                | Unix.ENOMEM ->
+                  true
+                | _ -> false) ->
+        Format.eprintf
+          "live: socket transport unavailable on this host (%s: %s); skipping@."
+          fn (Unix.error_message e);
+        3
+      | r ->
       let n_routers = if groups = 1 then 0 else groups in
       Format.printf
-        "live %s: %d replica + %d router + %d client domains on %d cores@."
-        (Live.protocol_name protocol) (groups * replicas) n_routers clients
+        "live %s (%s): %d replica + %d router + %d client %s on %d cores@."
+        (Live.protocol_name protocol)
+        (Live.transport_name transport)
+        (groups * replicas) n_routers clients
+        (match transport with Live.Spsc -> "domains" | Live.Socket -> "processes")
         r.Live.cores;
       Format.printf "  measured %.3fs  ops %d  throughput %.0f op/s@."
         r.Live.wall_s r.Live.ops r.Live.throughput;
@@ -421,13 +460,13 @@ let live_cmd =
   in
   let term =
     Term.(
-      const run $ protocol $ replicas $ clients $ groups $ cross_shard
-      $ duration $ drain $ seed $ slots $ timeout $ read_ratio $ think
-      $ metrics_out)
+      const run $ protocol $ transport $ replicas $ clients $ groups
+      $ cross_shard $ duration $ drain $ seed $ slots $ slot_size $ timeout
+      $ read_ratio $ think $ metrics_out)
   in
   Cmd.v
     (Cmd.info "live"
-       ~doc:"Run the protocol cores for real on OCaml 5 domains over shared-memory SPSC queues.")
+       ~doc:"Run the protocol cores for real: OCaml 5 domains over shared-memory byte rings, or one process per node over sockets ($(b,--transport socket)).")
     term
 
 (* ----- nemesis -------------------------------------------------------------- *)

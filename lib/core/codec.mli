@@ -1,0 +1,51 @@
+(** Binary wire codec: every {!Wire.t} as flat bytes in caller-owned
+    buffers.
+
+    The paper's QC-libtask moves messages through fixed 128-byte slots;
+    this codec is the byte layout that lets the live runtime do the
+    same. Encoding writes a 1-byte constructor tag followed by the
+    fields in declaration order — integers as 8 little-endian bytes
+    (OCaml's 63 tagged bits survive the round trip, including negative
+    values such as {!Pn.bottom}), booleans and option/outcome
+    discriminants as 1 byte, and lists/arrays as a 4-byte element count
+    followed by the elements. There is no alignment padding and no
+    self-describing framing: the caller owns message boundaries (the
+    transports length-prefix each message).
+
+    The encode path allocates {e nothing} — no closures, no boxing, no
+    intermediate buffers — for every constructor in the vocabulary, so
+    a transport can encode straight into a shared ring slot on its hot
+    path. Decoding allocates exactly the returned message; every read
+    is bounds-checked against [len] and malformed input (truncated
+    buffer, unknown tag, absurd element count, trailing bytes) raises
+    {!Error}, never a crash or an unbounded allocation. *)
+
+exception Error of string
+(** Malformed input: truncated buffer, unknown constructor or
+    discriminant, element count that cannot fit the remaining bytes,
+    or trailing bytes after a complete message. Also raised by
+    {!encode} when the buffer cannot hold the message. *)
+
+val encoded_size : Wire.t -> int
+(** [encoded_size m] is exactly how many bytes {!encode} will write for
+    [m]. Pure and allocation-free; transports use it to reserve ring
+    slots before encoding in place. *)
+
+val encode : Wire.t -> Bytes.t -> pos:int -> int
+(** [encode m buf ~pos] writes [m] into [buf] starting at [pos] and
+    returns the number of bytes written (= [encoded_size m]).
+    Allocation-free for every constructor.
+    @raise Error if [buf] is too small ([pos + encoded_size m >
+    Bytes.length buf]). *)
+
+val decode : Bytes.t -> pos:int -> len:int -> Wire.t
+(** [decode buf ~pos ~len] reads the message occupying exactly
+    [buf[pos .. pos+len-1]].
+    @raise Error on truncation, garbage, or trailing bytes. *)
+
+val max_fixed_size : int
+(** An upper bound on [encoded_size] over every constructor that
+    carries no list or array payload — the messages the paper's fixed
+    slots were sized for. A transport slot of at least [max_fixed_size]
+    plus its header never needs continuation slots on the non-batch
+    data path. *)

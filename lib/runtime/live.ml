@@ -14,6 +14,7 @@ module Twopc = Ci_consensus.Twopc
 module Atomicity = Ci_rsm.Atomicity
 
 type protocol = Onepaxos | Multipaxos
+type transport = Spsc | Socket
 
 type spec = {
   protocol : protocol;
@@ -23,7 +24,9 @@ type spec = {
   cross_shard_ratio : float;
   duration_s : float;
   drain_s : float;
+  transport : transport;
   queue_slots : int;
+  slot_size : int;
   seed : int;
   client_timeout : int;
   think : int;
@@ -42,7 +45,9 @@ let default_spec ~protocol =
     cross_shard_ratio = 0.;
     duration_s = 1.0;
     drain_s = 0.2;
-    queue_slots = 8;
+    transport = Spsc;
+    queue_slots = 64;
+    slot_size = 128;
     seed = 42;
     client_timeout = Sim_time.ms 150;
     think = 0;
@@ -58,6 +63,13 @@ let protocol_of_string = function
   | _ -> None
 
 let protocol_name = function Onepaxos -> "1paxos" | Multipaxos -> "multipaxos"
+
+let transport_of_string = function
+  | "spsc" | "rings" -> Some Spsc
+  | "socket" | "sockets" -> Some Socket
+  | _ -> None
+
+let transport_name = function Spsc -> "spsc" | Socket -> "socket"
 
 type queue_totals = {
   q_count : int;
@@ -107,28 +119,18 @@ type nem_ctl = {
 }
 
 (* Per-node runtime state. Everything here is owned by the node's
-   domain once it is spawned; the main domain builds it beforehand and
-   reads it back only after [Domain.join]. *)
+   domain (or, on the socket transport, its process) once spawned; the
+   main domain builds it beforehand and reads it back only after the
+   joins. All message traffic goes through [tr] — the endpoint hides
+   whether the bytes cross SPSC slots or a kernel socket. *)
 type node_state = {
   id : int;
-  inqs : Wire.t Spsc.t option array; (* indexed by src; [id] is None *)
-  outqs : Wire.t Spsc.t option array; (* indexed by dst; [id] is None *)
-  (* Per-destination outboxes, exactly Channel's outbox stage: a send
-     that finds the ring full parks here and the event loop retries, so
-     protocol handlers never block and two mutually full nodes cannot
-     deadlock. Bounded by [cap]: a peer that stops draining its rings
-     (dead, paused, wedged) costs the sender at most [cap] parked
-     messages per destination, never an unbounded heap. *)
-  outbox : Wire.t Queue.t array;
-  cap : int;
+  tr : Transport.t;
   selfq : Wire.t Queue.t; (* collapsed-role local deliveries *)
   mutable timers : Timer_wheel.t;
       (* Mutable so a crash can discard every armed timer by swapping in
          a fresh wheel (the environment reads the field per call). *)
   mutable handler : src:int -> Wire.t -> unit;
-  mutable n_blocked : int;
-  mutable n_outbox_dropped : int;
-  mutable outbox_peak : int;
   (* Sender-side link faults: rules indexed by destination, coin flips
      from this node's own stream. [None] (the fault-free case) keeps the
      send path untouched. *)
@@ -151,6 +153,13 @@ let validate spec =
   if spec.duration_s <= 0. then invalid_arg "Live.run: duration_s must be > 0";
   if spec.drain_s < 0. then invalid_arg "Live.run: drain_s must be >= 0";
   if spec.queue_slots < 1 then invalid_arg "Live.run: queue_slots must be >= 1";
+  if
+    spec.slot_size < Spsc_bytes.min_slot_size
+    || spec.slot_size land (spec.slot_size - 1) <> 0
+  then
+    invalid_arg
+      (Printf.sprintf "Live.run: slot_size must be a power of two >= %d"
+         Spsc_bytes.min_slot_size);
   if spec.client_timeout <= 0 then
     invalid_arg "Live.run: client_timeout must be > 0";
   if spec.think < 0 then invalid_arg "Live.run: think must be >= 0";
@@ -158,6 +167,14 @@ let validate spec =
     invalid_arg "Live.run: read_ratio must be in [0, 1]";
   if spec.key_space < 1 then invalid_arg "Live.run: key_space must be >= 1";
   if spec.outbox_cap < 1 then invalid_arg "Live.run: outbox_cap must be >= 1";
+  if spec.transport = Socket then begin
+    if spec.groups > 1 then
+      invalid_arg "Live.run: the socket transport does not shard yet (groups must be 1)";
+    if not (Ci_faults.is_empty spec.nemesis) then
+      invalid_arg
+        "Live.run: nemesis is in-process only; the socket transport gets its \
+         faults from the operating system"
+  end;
   if not (Ci_faults.is_empty spec.nemesis) then begin
     (match
        Ci_faults.validate ~n_nodes:(spec.groups * spec.n_replicas) spec.nemesis
@@ -172,27 +189,7 @@ let validate spec =
 
 let env_for st ~t0 ~seed =
   let now () = Clock.now_ns () - t0 in
-  let raw_send ~dst msg =
-    match st.outqs.(dst) with
-    | Some q ->
-      (* Ring order must respect send order: once anything is parked in
-         the outbox, later sends queue behind it. *)
-      if Queue.is_empty st.outbox.(dst) && Spsc.try_push q msg then ()
-      else begin
-        st.n_blocked <- st.n_blocked + 1;
-        let len = Queue.length st.outbox.(dst) in
-        if len >= st.cap then
-          (* The peer has not drained its ring for a full cap's worth of
-             traffic: treat the message as lost at our NIC rather than
-             grow the heap without bound. *)
-          st.n_outbox_dropped <- st.n_outbox_dropped + 1
-        else begin
-          Queue.push msg st.outbox.(dst);
-          if len + 1 > st.outbox_peak then st.outbox_peak <- len + 1
-        end
-      end
-    | None -> invalid_arg "Live: send to unknown node"
-  in
+  let raw_send ~dst msg = Transport.send st.tr ~dst msg in
   let send ~dst msg =
     if dst = st.id then Queue.push msg st.selfq
     else
@@ -254,92 +251,76 @@ let env_for st ~t0 ~seed =
 let spin_budget = 200
 let idle_sleep_s = 50e-6
 
-let event_loop st ~t0 ~stop ~m_work =
+let rec nem_transitions ctl now =
+  match ctl.transitions with
+  | (t, tr) :: rest when t <= now ->
+    ctl.transitions <- rest;
+    (match tr with
+    | `Crash ->
+      ctl.mode <- Down;
+      ctl.on_crash ()
+    | `Restart ->
+      ctl.mode <- Up;
+      ctl.on_restart ()
+    | `Pause -> if ctl.mode = Up then ctl.mode <- Paused
+    | `Resume -> if ctl.mode = Paused then ctl.mode <- Up);
+    nem_transitions ctl now
+  | _ -> ()
+
+let rec run_selfq st acc =
+  if Queue.is_empty st.selfq then acc
+  else begin
+    let msg = Queue.pop st.selfq in
+    st.handler ~src:st.id msg;
+    run_selfq st (acc + 1)
+  end
+
+(* The hot loop. Deliberately allocation-free on its steady state —
+   every helper it calls is a top-level tail-recursive function, the
+   only heap traffic is the decoded inbound messages and the selfq
+   cells. (The previous incarnation built closures and refs on every
+   iteration; at spin rates that WAS the live runtime's allocation
+   profile.) [ctl], when given, is polled every 256 iterations — the
+   socket transport's out-of-band phase control. *)
+let event_loop ?ctl st ~t0 ~stop ~m_work =
   let idle = ref 0 in
+  let tick = ref 0 in
   while not (Atomic.get stop) do
-    (* 0. Nemesis transitions due at this instant, applied by the owning
+    (match ctl with
+    | Some f ->
+      incr tick;
+      if !tick land 255 = 0 then f ()
+    | None -> ());
+    (* Nemesis transitions due at this instant, applied by the owning
        domain itself — crash/restart never race the handler. *)
     (match st.nem with
     | None -> ()
-    | Some ctl ->
-      let now = Clock.now_ns () - t0 in
-      let rec step () =
-        match ctl.transitions with
-        | (t, tr) :: rest when t <= now ->
-          ctl.transitions <- rest;
-          (match tr with
-          | `Crash ->
-            ctl.mode <- Down;
-            ctl.on_crash ()
-          | `Restart ->
-            ctl.mode <- Up;
-            ctl.on_restart ()
-          | `Pause -> if ctl.mode = Up then ctl.mode <- Paused
-          | `Resume -> if ctl.mode = Paused then ctl.mode <- Up);
-          step ()
-        | _ -> ()
-      in
-      step ());
+    | Some ctl -> nem_transitions ctl (Clock.now_ns () - t0));
     match st.nem with
     | Some { mode = Down | Paused; _ } ->
-      (* Dead or stopped: touch nothing — inbound rings fill up and the
+      (* Dead or stopped: touch nothing — inbound queues fill up and the
          senders' capped outboxes absorb (then shed) the backlog, which
          is exactly what a peer of a dead process sees. Sleep instead of
          spinning; the only thing to watch for is the next transition. *)
       Unix.sleepf idle_sleep_s
     | _ ->
-    let work = ref 0 in
-    (* 1. Flush outboxes into the rings (back-pressure retry). *)
-    Array.iteri
-      (fun dst ob ->
-        if not (Queue.is_empty ob) then
-          match st.outqs.(dst) with
-          | Some q ->
-            let blocked = ref false in
-            while (not !blocked) && not (Queue.is_empty ob) do
-              if Spsc.try_push q (Queue.peek ob) then begin
-                ignore (Queue.pop ob);
-                incr work
-              end
-              else blocked := true
-            done
-          | None -> ())
-      st.outbox;
-    (* 2. Collapsed-role self deliveries (free local calls). *)
-    while not (Queue.is_empty st.selfq) do
-      let msg = Queue.pop st.selfq in
-      incr work;
-      st.handler ~src:st.id msg
-    done;
-    (* 3. Drain in-queues round-robin, at most one ring's worth per
-       queue per turn so one chatty peer cannot starve the rest. *)
-    Array.iteri
-      (fun src q ->
-        match q with
-        | None -> ()
-        | Some q ->
-          let budget = ref (Spsc.slots q) in
-          let empty = ref false in
-          while (not !empty) && !budget > 0 do
-            match Spsc.try_pop q with
-            | Some msg ->
-              incr work;
-              decr budget;
-              st.handler ~src msg
-            | None -> empty := true
-          done)
-      st.inqs;
-    (* 4. Fire due timers off the monotonic clock. *)
-    work := !work + Timer_wheel.run_due st.timers ~now:(Clock.now_ns () - t0);
-    if !work > 0 then begin
-      idle := 0;
-      Metrics.add m_work !work
-    end
-    else begin
-      incr idle;
-      if !idle <= spin_budget then Domain.cpu_relax ()
-      else Unix.sleepf idle_sleep_s
-    end
+      (* 1. Retry parked sends; 2. collapsed-role self deliveries;
+         3. drain inbound, budgeted per source; 4. due timers. *)
+      let work = Transport.flush st.tr in
+      let work = work + run_selfq st 0 in
+      let work = work + Transport.drain st.tr st.handler in
+      let work =
+        work + Timer_wheel.run_due st.timers ~now:(Clock.now_ns () - t0)
+      in
+      if work > 0 then begin
+        idle := 0;
+        Metrics.add m_work work
+      end
+      else begin
+        incr idle;
+        if !idle <= spin_budget then Domain.cpu_relax ()
+        else Unix.sleepf idle_sleep_s
+      end
   done
 
 type replica = Op of Ci_consensus.Onepaxos.t | Mp of Ci_consensus.Multipaxos.t
@@ -352,8 +333,63 @@ let replica_core = function
   | Op p -> Ci_consensus.Onepaxos.replica_core p
   | Mp p -> Ci_consensus.Multipaxos.replica_core p
 
-let run spec =
-  validate spec;
+(* Failure-detection timeouts are wall-clock here: commits take
+   microseconds, so these fire only when something is genuinely wedged
+   — never because a GC pause or a scheduling gap delayed one reply. *)
+let ms = Sim_time.ms
+
+let op_cfg ~replicas () =
+  let d = Ci_consensus.Onepaxos.default_config ~replicas in
+  {
+    d with
+    Ci_consensus.Onepaxos.acceptor_timeout = ms 200;
+    prepare_timeout = ms 200;
+    check_period = ms 50;
+    pu_timeout = ms 100;
+  }
+
+let mp_cfg ~replicas () =
+  let d = Ci_consensus.Multipaxos.default_config ~replicas in
+  { d with Ci_consensus.Multipaxos.election_timeout = ms 150 }
+
+let fresh_state ~id ~tr ~nem_links ~nem_seed =
+  {
+    id;
+    tr;
+    selfq = Queue.create ();
+    timers = Timer_wheel.create ();
+    handler = (fun ~src:_ _ -> ());
+    nem_links;
+    nem_rng = Rng.create ~seed:nem_seed;
+    nem = None;
+    n_fault_dropped = 0;
+    n_fault_duplicated = 0;
+    alloc_bytes = 0.;
+  }
+
+(* Publish the endpoint-side counters under the metric keys both
+   backends share; [full_by_kind] answers "which message kind hit the
+   full ring" without a perf run. *)
+let record_ring_metrics metrics states =
+  let full_kinds = Hashtbl.create 8 in
+  Array.iter
+    (fun st ->
+      Metrics.set_int metrics
+        (Printf.sprintf "live.node%d.full_ring_sends" st.id)
+        (Transport.blocked st.tr);
+      List.iter
+        (fun (k, c) ->
+          Hashtbl.replace full_kinds k
+            (c + Option.value (Hashtbl.find_opt full_kinds k) ~default:0))
+        (Transport.full_by_kind st.tr))
+    states;
+  Hashtbl.iter
+    (fun k c -> Metrics.set_int metrics ("live.ring.full." ^ k) c)
+    full_kinds
+
+(* ---------- in-process runner: domains over byte rings ---------- *)
+
+let run_inproc spec =
   let n_replicas = spec.n_replicas and n_clients = spec.n_clients in
   (* Group-major node layout, like the sim runner: replicas of group g
      are nodes [g*R .. (g+1)*R-1], routers (sharded runs only) come
@@ -367,11 +403,9 @@ let run spec =
   let router_ids = Array.init n_routers (fun j -> total_replicas + j) in
   let group_ids g = Array.sub replica_ids (g * n_replicas) n_replicas in
   let group_of_replica i = i / n_replicas in
-  (* The mesh: queues.(dst).(src) carries src -> dst. *)
-  let queues =
-    Array.init n (fun dst ->
-        Array.init n (fun src ->
-            if src = dst then None else Some (Spsc.create ~slots:spec.queue_slots)))
+  (* The mesh: mesh.(dst).(src) carries src -> dst as encoded bytes. *)
+  let mesh =
+    Transport.rings_mesh ~n ~slots:spec.queue_slots ~slot_size:spec.slot_size
   in
   (* Sender-side link rules, per source node. [None] for every node
      when the schedule carries none — the fault-free send path stays
@@ -393,25 +427,10 @@ let run spec =
   in
   let states =
     Array.init n (fun id ->
-        {
-          id;
-          inqs = queues.(id);
-          outqs = Array.init n (fun dst -> queues.(dst).(id));
-          outbox = Array.init n (fun _ -> Queue.create ());
-          cap = spec.outbox_cap;
-          selfq = Queue.create ();
-          timers = Timer_wheel.create ();
-          handler = (fun ~src:_ _ -> ());
-          n_blocked = 0;
-          n_outbox_dropped = 0;
-          outbox_peak = 0;
-          nem_links = link_rules_of id;
-          nem_rng = Rng.create ~seed:(spec.nemesis.Ci_faults.seed + (id * 7919));
-          nem = None;
-          n_fault_dropped = 0;
-          n_fault_duplicated = 0;
-          alloc_bytes = 0.;
-        })
+        fresh_state ~id
+          ~tr:(Transport.rings_endpoint mesh ~id ~outbox_cap:spec.outbox_cap)
+          ~nem_links:(link_rules_of id)
+          ~nem_seed:(spec.nemesis.Ci_faults.seed + (id * 7919)))
   in
   let metrics = Metrics.create () in
   (* Registered before the spawns; incremented from every domain. *)
@@ -420,24 +439,6 @@ let run spec =
   let stop = Atomic.make false in
   let quiesce = Atomic.make false in
   let env_of id = env_for states.(id) ~t0 ~seed:(spec.seed + ((id + 1) * 1_000_003)) in
-  (* Failure-detection timeouts are wall-clock here: commits take
-     microseconds, so these fire only when something is genuinely wedged
-     — never because a GC pause or a scheduling gap delayed one reply. *)
-  let ms = Sim_time.ms in
-  let op_cfg ~replicas () =
-    let d = Ci_consensus.Onepaxos.default_config ~replicas in
-    {
-      d with
-      Ci_consensus.Onepaxos.acceptor_timeout = ms 200;
-      prepare_timeout = ms 200;
-      check_period = ms 50;
-      pu_timeout = ms 100;
-    }
-  in
-  let mp_cfg ~replicas () =
-    let d = Ci_consensus.Multipaxos.default_config ~replicas in
-    { d with Ci_consensus.Multipaxos.election_timeout = ms 150 }
-  in
   let replicas =
     Array.init total_replicas (fun i ->
         let env = env_of i in
@@ -522,7 +523,7 @@ let run spec =
           | Op p -> snap := Some (St_op (Ci_consensus.Onepaxos.stable p))
           | Mp p -> snap := Some (St_mp (Ci_consensus.Multipaxos.stable p)));
           Queue.clear st.selfq;
-          Array.iter Queue.clear st.outbox;
+          Transport.clear_outboxes st.tr;
           st.timers <- Timer_wheel.create ();
           st.handler <- (fun ~src:_ _ -> ())
         in
@@ -631,39 +632,18 @@ let run spec =
       (0, 0) replicas
   in
   let queues_total =
-    Array.fold_left
-      (fun acc row ->
-        Array.fold_left
-          (fun acc q ->
-            match q with
-            | None -> acc
-            | Some q ->
-              {
-                acc with
-                q_count = acc.q_count + 1;
-                q_msgs = acc.q_msgs + Spsc.pushes q;
-                q_occupancy_peak =
-                  max acc.q_occupancy_peak (Spsc.occupancy_peak q);
-              })
-          acc row)
-      {
-        q_count = 0;
-        q_msgs = 0;
-        q_blocked = 0;
-        q_occupancy_peak = 0;
-        q_outbox_peak = 0;
-        q_outbox_dropped = 0;
-      }
-      queues
-  in
-  let queues_total =
     {
-      queues_total with
-      q_blocked = Array.fold_left (fun acc s -> acc + s.n_blocked) 0 states;
+      q_count = Transport.mesh_queue_count mesh;
+      q_msgs = Transport.mesh_msgs mesh;
+      q_blocked =
+        Array.fold_left (fun acc s -> acc + Transport.blocked s.tr) 0 states;
+      q_occupancy_peak = Transport.mesh_occupancy_peak mesh;
       q_outbox_peak =
-        Array.fold_left (fun acc s -> max acc s.outbox_peak) 0 states;
+        Array.fold_left (fun acc s -> max acc (Transport.outbox_peak s.tr)) 0 states;
       q_outbox_dropped =
-        Array.fold_left (fun acc s -> acc + s.n_outbox_dropped) 0 states;
+        Array.fold_left
+          (fun acc s -> acc + Transport.outbox_dropped s.tr)
+          0 states;
     }
   in
   (* Consistency: same construction as Runner.run, over live views. *)
@@ -757,11 +737,9 @@ let run spec =
       (consistency, Some (Atomicity.check ~decided ~txns ~acked:cross_acked))
     end
   in
-  let full_ring_sends = Array.map (fun s -> s.n_blocked) states in
-  Array.iteri
-    (fun i b ->
-      Metrics.set_int metrics (Printf.sprintf "live.node%d.full_ring_sends" i) b)
-    full_ring_sends;
+  let full_ring_sends = Array.map (fun s -> Transport.blocked s.tr) states in
+  record_ring_metrics metrics states;
+  Metrics.set_int metrics "live.queue.jumbo" (Transport.mesh_jumbo mesh);
   (* Allocation accounting covers the protocol-side domains (replicas
      and routers): the event-loop hot path the Gc guard pins. *)
   let alloc_words_per_op =
@@ -843,3 +821,347 @@ let run spec =
     metrics;
     failover;
   }
+
+(* ---------- socket runner: processes over stream sockets ---------- *)
+
+(* What a child process reports back over its control socket before
+   exiting. Plain data throughout, so [Marshal] round-trips it. *)
+type harvest = {
+  h_view : Wire.value Consistency.replica_view option; (* replicas *)
+  h_leader_changes : int;
+  h_acceptor_changes : int;
+  h_elections : int;
+  h_client_node : int; (* clients: env node id *)
+  h_issued : (int * Command.t) list;
+  h_acked : (int * int) list;
+  h_stats : Run_stats.t option;
+  h_retries : int;
+  h_events : int;
+  h_blocked : int;
+  h_outbox_dropped : int;
+  h_outbox_peak : int;
+  h_sent : int;
+  h_full_kinds : (string * int) list;
+  h_alloc_bytes : float;
+}
+
+(* One node of the mesh, running alone in a forked process: same
+   node_state, same event loop, same protocol cores — only the
+   transport and the phase control differ from the in-process runner.
+   The parent drives phases with single control bytes ('q' quiesce,
+   's' stop); the child answers with its marshalled harvest. *)
+let socket_child spec ~id ~t0 ~fds ~ctl_fd =
+  let n_replicas = spec.n_replicas in
+  let client_base = n_replicas in
+  let replica_ids = Array.init n_replicas Fun.id in
+  let tr = Transport.socket_endpoint ~id ~fds ~outbox_cap:spec.outbox_cap in
+  let st =
+    fresh_state ~id ~tr ~nem_links:None
+      ~nem_seed:(spec.nemesis.Ci_faults.seed + (id * 7919))
+  in
+  let env = env_for st ~t0 ~seed:(spec.seed + ((id + 1) * 1_000_003)) in
+  let stop = Atomic.make false in
+  let quiesce = Atomic.make false in
+  Unix.set_nonblock ctl_fd;
+  let ctl_buf = Bytes.create 1 in
+  let ctl () =
+    match Unix.read ctl_fd ctl_buf 0 1 with
+    | 0 -> Atomic.set stop true (* parent died: shut down *)
+    | _ -> (
+      match Bytes.get ctl_buf 0 with
+      | 'q' -> Atomic.set quiesce true
+      | 's' -> Atomic.set stop true
+      | _ -> ())
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  let replica =
+    if id < n_replicas then
+      Some
+        (match spec.protocol with
+        | Onepaxos ->
+          Op
+            (Ci_consensus.Onepaxos.create ~env
+               ~config:(op_cfg ~replicas:replica_ids ()))
+        | Multipaxos ->
+          Mp
+            (Ci_consensus.Multipaxos.create ~env
+               ~config:(mp_cfg ~replicas:replica_ids ())))
+    else None
+  in
+  let stats = Run_stats.create ~bucket:(ms 10) in
+  let client =
+    if id >= client_base then begin
+      let policy =
+        {
+          (Client.default_policy ~targets:replica_ids) with
+          Client.timeout = spec.client_timeout;
+          think = spec.think;
+          read_ratio = spec.read_ratio;
+          key_space = spec.key_space;
+        }
+      in
+      Some (Client.create ~env ~policy ~stats)
+    end
+    else None
+  in
+  (match replica with
+  | Some (Op p) -> st.handler <- Ci_consensus.Onepaxos.handle p
+  | Some (Mp p) -> st.handler <- Ci_consensus.Multipaxos.handle p
+  | None -> ());
+  (match client with
+  | Some c ->
+    st.handler <-
+      (fun ~src msg -> if not (Atomic.get quiesce) then Client.handle c ~src msg)
+  | None -> ());
+  let metrics = Metrics.create () in
+  let m_work = Metrics.counter metrics "live.events" in
+  let a0 = Gc.allocated_bytes () in
+  (match replica with
+  | Some (Op p) -> Ci_consensus.Onepaxos.start p
+  | Some (Mp p) -> Ci_consensus.Multipaxos.start p
+  | None -> Option.iter Client.start client);
+  event_loop ~ctl st ~t0 ~stop ~m_work;
+  st.alloc_bytes <- Gc.allocated_bytes () -. a0;
+  let harvest =
+    {
+      h_view =
+        Option.map (fun r -> Replica_core.view (replica_core r)) replica;
+      h_leader_changes =
+        (match replica with
+        | Some (Op p) -> Ci_consensus.Onepaxos.leader_changes p
+        | _ -> 0);
+      h_acceptor_changes =
+        (match replica with
+        | Some (Op p) -> Ci_consensus.Onepaxos.acceptor_changes p
+        | _ -> 0);
+      h_elections =
+        (match replica with
+        | Some (Mp p) -> Ci_consensus.Multipaxos.elections p
+        | _ -> 0);
+      h_client_node =
+        (match client with Some c -> Client.node_id c | None -> -1);
+      h_issued = (match client with Some c -> Client.issued c | None -> []);
+      h_acked =
+        (match client with Some c -> Client.acked_writes c | None -> []);
+      h_stats = (match client with Some _ -> Some stats | None -> None);
+      h_retries = (match client with Some c -> Client.retries c | None -> 0);
+      h_events = Metrics.counter_value m_work;
+      h_blocked = Transport.blocked tr;
+      h_outbox_dropped = Transport.outbox_dropped tr;
+      h_outbox_peak = Transport.outbox_peak tr;
+      h_sent = Transport.sent tr;
+      h_full_kinds = Transport.full_by_kind tr;
+      h_alloc_bytes = st.alloc_bytes;
+    }
+  in
+  Unix.clear_nonblock ctl_fd;
+  let oc = Unix.out_channel_of_descr ctl_fd in
+  Marshal.to_channel oc harvest [];
+  flush oc
+
+let run_socket spec =
+  let n_replicas = spec.n_replicas and n_clients = spec.n_clients in
+  let client_base = n_replicas in
+  let n = n_replicas + n_clients in
+  (* One stream socketpair per unordered pair of nodes, plus a control
+     pair per node. All created before any fork, so every process
+     inherits exactly the descriptors it needs and closes the rest. *)
+  let mesh_fds = Array.init n (fun _ -> Array.make n None) in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      mesh_fds.(i).(j) <- Some a;
+      mesh_fds.(j).(i) <- Some b
+    done
+  done;
+  let ctl = Array.init n (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0) in
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let t0 = Clock.now_ns () in
+  flush stdout;
+  flush stderr;
+  let pids =
+    Array.init n (fun id ->
+        match Unix.fork () with
+        | 0 ->
+          (try
+             for i = 0 to n - 1 do
+               if i <> id then
+                 Array.iter (Option.iter Unix.close) mesh_fds.(i)
+             done;
+             Array.iteri
+               (fun j (pfd, cfd) ->
+                 Unix.close pfd;
+                 if j <> id then Unix.close cfd)
+               ctl;
+             socket_child spec ~id ~t0 ~fds:mesh_fds.(id)
+               ~ctl_fd:(snd ctl.(id))
+           with _ -> Unix._exit 2);
+          Unix._exit 0
+        | pid -> pid)
+  in
+  Array.iter (fun row -> Array.iter (Option.iter Unix.close) row) mesh_fds;
+  Array.iter (fun (_, cfd) -> Unix.close cfd) ctl;
+  let phase_byte c =
+    let b = Bytes.make 1 c in
+    Array.iter
+      (fun (pfd, _) ->
+        try ignore (Unix.write pfd b 0 1)
+        with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) -> ())
+      ctl
+  in
+  Unix.sleepf spec.duration_s;
+  let t_quiesce = Clock.now_ns () - t0 in
+  phase_byte 'q';
+  Unix.sleepf spec.drain_s;
+  phase_byte 's';
+  let harvests =
+    Array.map
+      (fun (pfd, _) ->
+        let ic = Unix.in_channel_of_descr pfd in
+        match (Marshal.from_channel ic : harvest) with
+        | h -> h
+        | exception End_of_file ->
+          failwith "Live.run: a socket-transport child died before reporting")
+      ctl
+  in
+  Array.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  Array.iter (fun (pfd, _) -> try Unix.close pfd with Unix.Unix_error _ -> ()) ctl;
+  Sys.set_signal Sys.sigpipe old_sigpipe;
+  (* Assembly: the same checks and shapes as the in-process runner,
+     over the children's reports. *)
+  let wall_s = float_of_int t_quiesce /. 1e9 in
+  let client_harvests =
+    Array.to_list harvests |> List.filteri (fun i _ -> i >= client_base)
+  in
+  let client_stats = List.filter_map (fun h -> h.h_stats) client_harvests in
+  let ops =
+    List.fold_left
+      (fun acc s -> acc + Run_stats.completed_in s ~from_:0 ~until_:t_quiesce)
+      0 client_stats
+  in
+  let latencies =
+    List.concat_map
+      (fun s ->
+        Array.to_list (Run_stats.latencies_in s ~from_:0 ~until_:t_quiesce))
+      client_stats
+    |> Array.of_list
+  in
+  let retries =
+    List.fold_left (fun acc h -> acc + h.h_retries) 0 client_harvests
+  in
+  let leader_changes, acceptor_changes =
+    Array.fold_left
+      (fun (lc, ac) h ->
+        match spec.protocol with
+        | Onepaxos -> (max lc h.h_leader_changes, max ac h.h_acceptor_changes)
+        | Multipaxos -> (lc + h.h_elections, ac))
+      (0, 0) harvests
+  in
+  let queues_total =
+    {
+      q_count = n * (n - 1);
+      q_msgs = Array.fold_left (fun acc h -> acc + h.h_sent) 0 harvests;
+      q_blocked = Array.fold_left (fun acc h -> acc + h.h_blocked) 0 harvests;
+      q_occupancy_peak = 0; (* kernel-owned on this transport *)
+      q_outbox_peak =
+        Array.fold_left (fun acc h -> max acc h.h_outbox_peak) 0 harvests;
+      q_outbox_dropped =
+        Array.fold_left (fun acc h -> acc + h.h_outbox_dropped) 0 harvests;
+    }
+  in
+  let proposed_tbl = Hashtbl.create 4096 in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun (req_id, cmd) ->
+          Hashtbl.replace proposed_tbl (h.h_client_node, req_id) cmd)
+        h.h_issued)
+    client_harvests;
+  let proposed (v : Wire.value) =
+    match Hashtbl.find_opt proposed_tbl (v.Wire.client, v.Wire.req_id) with
+    | Some cmd -> Command.equal cmd v.Wire.cmd
+    | None -> false
+  in
+  let acked = List.concat_map (fun h -> h.h_acked) client_harvests in
+  let views =
+    Array.to_list harvests |> List.filter_map (fun h -> h.h_view)
+  in
+  let consistency =
+    Consistency.check ~equal:Wire.value_equal ~proposed ~acked
+      ~key_of:Wire.value_key views
+  in
+  let metrics = Metrics.create () in
+  let m_work = Metrics.counter metrics "live.events" in
+  Metrics.add m_work (Array.fold_left (fun acc h -> acc + h.h_events) 0 harvests);
+  let full_kinds = Hashtbl.create 8 in
+  Array.iteri
+    (fun i h ->
+      Metrics.set_int metrics
+        (Printf.sprintf "live.node%d.full_ring_sends" i)
+        h.h_blocked;
+      List.iter
+        (fun (k, c) ->
+          Hashtbl.replace full_kinds k
+            (c + Option.value (Hashtbl.find_opt full_kinds k) ~default:0))
+        h.h_full_kinds)
+    harvests;
+  Hashtbl.iter
+    (fun k c -> Metrics.set_int metrics ("live.ring.full." ^ k) c)
+    full_kinds;
+  let alloc_words_per_op =
+    let bytes = ref 0. in
+    for i = 0 to client_base - 1 do
+      bytes := !bytes +. harvests.(i).h_alloc_bytes
+    done;
+    let words = !bytes /. float_of_int (Sys.word_size / 8) in
+    if ops > 0 then words /. float_of_int ops else 0.
+  in
+  Metrics.set_float metrics "live.alloc.words_per_op" alloc_words_per_op;
+  Metrics.set_int metrics "live.ops" ops;
+  Metrics.set_int metrics "live.retries" retries;
+  Metrics.set_int metrics "live.queue.msgs" queues_total.q_msgs;
+  Metrics.set_int metrics "live.queue.blocked" queues_total.q_blocked;
+  Metrics.set_int metrics "live.queue.outbox_peak" queues_total.q_outbox_peak;
+  Metrics.set_int metrics "live.queue.outbox_dropped"
+    queues_total.q_outbox_dropped;
+  let completions =
+    List.concat_map
+      (fun s ->
+        Array.to_list (Run_stats.completions_in s ~from_:0 ~until_:t_quiesce))
+      client_stats
+    |> Array.of_list
+  in
+  Array.sort compare completions;
+  let timeline =
+    let bucket = 100_000_000 in
+    let counts = Array.make (t_quiesce / bucket) 0 in
+    Array.iter
+      (fun t ->
+        let b = t / bucket in
+        if b < Array.length counts then counts.(b) <- counts.(b) + 1)
+      completions;
+    Array.map (fun c -> float_of_int c *. 1e9 /. float_of_int bucket) counts
+  in
+  {
+    spec;
+    cores = Domain.recommended_domain_count ();
+    wall_s;
+    ops;
+    throughput = (if wall_s > 0. then float_of_int ops /. wall_s else 0.);
+    latency = Summary.of_samples latencies;
+    retries;
+    leader_changes;
+    acceptor_changes;
+    timeline;
+    queues = queues_total;
+    full_ring_sends = Array.map (fun h -> h.h_blocked) harvests;
+    alloc_words_per_op;
+    consistency;
+    atomicity = None;
+    metrics;
+    failover = None;
+  }
+
+let run spec =
+  validate spec;
+  match spec.transport with Spsc -> run_inproc spec | Socket -> run_socket spec

@@ -1,13 +1,21 @@
-(** Run the protocol cores for real: OCaml 5 domains over SPSC queues.
+(** Run the protocol cores for real: OCaml 5 domains (or processes)
+    over pluggable transports.
 
     The metal-side twin of {!Ci_workload.Runner}. Each replica and each
     closed-loop client gets its own domain; every ordered pair of nodes
-    gets one bounded {!Spsc} queue (the per-pair mesh QC-libtask builds
-    in shared memory); each domain runs an event loop that flushes its
-    outboxes, drains its in-queues and fires its {!Timer_wheel} off the
-    monotonic clock. The protocol and client code is {e exactly} the
-    code the simulator runs — both backends implement
-    {!Ci_engine.Node_env}.
+    gets one bounded queue — by default a {!Spsc_bytes} ring moving
+    encoded messages through fixed byte slots (the per-pair mesh
+    QC-libtask builds in shared memory). Each node runs an event loop
+    that flushes its parked sends, drains its in-queues and fires its
+    {!Timer_wheel} off the monotonic clock. The protocol and client
+    code is {e exactly} the code the simulator runs — both backends
+    implement {!Ci_engine.Node_env}.
+
+    The transport is pluggable (see {!Transport}): [Spsc] runs the
+    mesh in-process over byte rings; [Socket] forks one {e process}
+    per node and runs the same cores over stream sockets, with
+    {!Ci_consensus.Codec} as the wire format — the paper's
+    machine-to-machine comparison point, minus the network.
 
     A run has three phases: measure for [duration_s] (clients issue
     requests closed-loop), quiesce (clients stop consuming replies) for
@@ -16,6 +24,8 @@
     is run over the live replicas' views. *)
 
 type protocol = Onepaxos | Multipaxos
+
+type transport = Spsc | Socket
 
 type spec = {
   protocol : protocol;
@@ -27,13 +37,28 @@ type spec = {
           spawns [groups * n_replicas] replica domains group-major plus
           one router domain per group; clients send to the routers,
           which forward single-shard commands and run cross-shard
-          multi-puts as 2PC transactions over the owning groups. *)
+          multi-puts as 2PC transactions over the owning groups.
+          In-process transport only. *)
   cross_shard_ratio : float;
       (** Fraction of client commands that are cross-shard two-key
           multi-puts ([0.] leaves the workload untouched). *)
   duration_s : float;  (** Measured wall-clock phase. *)
   drain_s : float;  (** Quiesce phase before stopping the domains. *)
-  queue_slots : int;  (** SPSC ring capacity per ordered pair. *)
+  transport : transport;
+      (** [Spsc] (default): domains over {!Spsc_bytes} rings in shared
+          memory. [Socket]: one forked process per node over stream
+          sockets; requires [groups = 1] and an empty nemesis (process
+          faults belong to the operating system on that backend).
+          OCaml 5 refuses [Unix.fork] once a process has ever spawned a
+          domain, so a [Socket] run must come before any [Spsc] run (or
+          any other domain use) in the same process — the CLI satisfies
+          this trivially, one run per invocation. *)
+  queue_slots : int;  (** Ring capacity per ordered pair (in slots). *)
+  slot_size : int;
+      (** Bytes per ring slot — a power of two, at least
+          {!Spsc_bytes.min_slot_size}. Every non-batch message fits one
+          128-byte slot ({!Ci_consensus.Codec.max_fixed_size}); batch
+          messages spill over consecutive slots. *)
   seed : int;  (** Per-node rng streams are derived from this. *)
   client_timeout : int;
       (** Client retry timeout (ns). Keep generous: on an oversubscribed
@@ -43,8 +68,8 @@ type spec = {
   read_ratio : float;  (** Fraction of [Get] commands. *)
   key_space : int;  (** Keys drawn from [0 .. key_space-1]. *)
   outbox_cap : int;
-      (** Per-destination outbox bound: a peer that stops draining its
-          rings (dead, paused, wedged) costs a sender at most this many
+      (** Per-destination outbox bound: a peer that stops draining
+          (dead, paused, wedged) costs a sender at most this many
           parked messages per destination — the overflow is dropped and
           counted, never held in an unbounded heap. *)
   nemesis : Ci_faults.t;
@@ -53,20 +78,23 @@ type spec = {
           domain's own event loop against the monotonic clock — a
           crashed replica keeps only its durable registers and rejoins
           through the protocol's [recover]; link faults act sender-side
-          at the SPSC ring boundary. Node indices refer to replicas
+          at the transport boundary. Node indices refer to replicas
           [0..groups*n_replicas-1]. [Slow] faults are simulator-only and
-          rejected here. *)
+          rejected here. In-process transport only. *)
 }
 
 val default_spec : protocol:protocol -> spec
-(** 3 replicas, 2 clients, 1 s measured + 0.2 s drain, 8-slot queues,
-    150 ms client timeout, write-only workload, seed 42. *)
+(** 3 replicas, 2 clients, 1 s measured + 0.2 s drain, in-process
+    transport, 64-slot 128-byte rings, 150 ms client timeout,
+    write-only workload, seed 42. *)
 
 type queue_totals = {
-  q_count : int;  (** Queues in the mesh. *)
-  q_msgs : int;  (** Messages that crossed any queue. *)
-  q_blocked : int;  (** Sends that found the ring full (outbox fallback). *)
-  q_occupancy_peak : int;  (** Worst ring occupancy at enqueue. *)
+  q_count : int;  (** Queues (links) in the mesh. *)
+  q_msgs : int;  (** Messages that crossed any link. *)
+  q_blocked : int;  (** Sends that found the fast path full (outbox fallback). *)
+  q_occupancy_peak : int;
+      (** Worst ring occupancy at enqueue, in slots (0 on the socket
+          transport — the kernel owns that buffer). *)
   q_outbox_peak : int;  (** Worst parked-outbox depth over all nodes. *)
   q_outbox_dropped : int;
       (** Messages shed at the outbox cap (undrained peer). *)
@@ -94,13 +122,14 @@ type result = {
           show both backends. *)
   queues : queue_totals;
   full_ring_sends : int array;
-      (** Per node: sends that found the destination ring full and fell
-          back to the outbox — the back-pressure hotspot metric, also
-          published as [live.node<i>.full_ring_sends]. Raise
+      (** Per node: sends that found the fast path full and fell back
+          to the outbox — the back-pressure hotspot metric, also
+          published as [live.node<i>.full_ring_sends] and attributed
+          per message kind under [live.ring.full.<kind>]. Raise
           [queue_slots] to shrink it. *)
   alloc_words_per_op : float;
       (** Words allocated per committed op across the replica and router
-          domains ([Gc.allocated_bytes] is domain-local) — the live
+          nodes ([Gc.allocated_bytes] is domain-local) — the live
           event loop's allocation guard, also published as
           [live.alloc.words_per_op]. *)
   consistency : Ci_rsm.Consistency.report;
@@ -120,10 +149,12 @@ type result = {
 }
 
 val run : spec -> result
-(** [run spec] executes one live run and joins every domain before
-    returning. Spawns [n_replicas + n_clients] domains; on hosts with
-    fewer cores the event loops fall back from spinning to sleeping so
-    oversubscribed runs still make progress.
+(** [run spec] executes one live run and joins every domain (or reaps
+    every forked process) before returning. On hosts with fewer cores
+    than nodes the event loops fall back from spinning to sleeping so
+    oversubscribed runs still make progress. On the socket transport
+    the usual [Unix.Unix_error] exceptions escape if the host cannot
+    provide sockets or processes.
     @raise Invalid_argument on a malformed spec (see field docs). *)
 
 val protocol_of_string : string -> protocol option
@@ -131,3 +162,9 @@ val protocol_of_string : string -> protocol option
 
 val protocol_name : protocol -> string
 (** ["1paxos"] or ["multipaxos"]. *)
+
+val transport_of_string : string -> transport option
+(** Accepts ["spsc"], ["rings"], ["socket"], ["sockets"]. *)
+
+val transport_name : transport -> string
+(** ["spsc"] or ["socket"]. *)

@@ -33,6 +33,29 @@ dune exec bin/consensus_sim.exe -- live --protocol onepaxos \
 dune exec bin/consensus_sim.exe -- live --protocol multipaxos \
   --replicas 3 --clients 2 --duration-s 0.5 --drain-s 0.1
 
+echo "== codec round-trip smoke (full wire vocabulary, qcheck + zero-alloc) =="
+# The codec suite re-encodes every Wire.t constructor through the
+# fixed-slot binary codec: bijection, truncation/garbage rejection,
+# and the zero-allocation encode guarantee.
+dune exec test/test_main.exe -- test codec -q -c
+
+echo "== socket-transport live smoke (3 replicas, both protocols, <=2s) =="
+# The same cores as separate processes over stream sockets, codec as
+# the wire format. Exit 3 means this host cannot provide
+# sockets/processes — skip, don't fail.
+for proto in onepaxos multipaxos; do
+  rc=0
+  dune exec bin/consensus_sim.exe -- live --protocol "$proto" \
+    --transport socket --replicas 3 --clients 2 \
+    --duration-s 0.5 --drain-s 0.1 || rc=$?
+  if [ "$rc" -eq 3 ]; then
+    echo "sockets unavailable on this host; skipping"
+    break
+  elif [ "$rc" -ne 0 ]; then
+    exit "$rc"
+  fi
+done
+
 echo "== live shard smoke (2 groups, cross-shard 2PC, both protocols) =="
 # Sharded real-domain runs: 2 consensus groups of 2 replicas plus a
 # router per group, 30% of commands cross-shard multi-puts. ~0.5s

@@ -1,0 +1,151 @@
+(* The byte-slot SPSC ring under its real contract: messages encoded
+   into fixed slots by the producer, decoded back by the consumer, FIFO
+   across the three slot classes (in-place, end-of-buffer pad, jumbo
+   side ring). Distinct payloads per message so order violations and
+   corruption show up as value mismatches, not just counts. *)
+
+module Sb = Ci_runtime.Spsc_bytes
+module Wire = Ci_consensus.Wire
+module Codec = Ci_consensus.Codec
+module Command = Ci_rsm.Command
+module Pn = Ci_consensus.Pn
+
+let value i =
+  { Wire.client = 3; req_id = i; cmd = Command.Put { key = i; data = i * 7 } }
+
+(* A small message (one 32-byte slot holds Reply at 10 bytes... not
+   quite: value-bearing ones span a few) and a batch that spans many. *)
+let small i = Wire.Reply { req_id = i; result = Command.Done }
+let medium i = Wire.Op_learn { inst = i; v = value i }
+
+let batch ?(len = 8) i =
+  Wire.Op_accept_batch
+    {
+      base = i;
+      pn = Pn.make ~round:1 ~owner:0;
+      vs = Array.init len (fun j -> value (i + j));
+    }
+
+let msg_eq = Alcotest.testable (fun fmt m -> Fmt.string fmt (Wire.kind m)) ( = )
+
+let test_create_rejects () =
+  List.iter
+    (fun (slots, slot_size) ->
+      match Sb.create ~slots ~slot_size with
+      | _ -> Alcotest.failf "accepted slots=%d slot_size=%d" slots slot_size
+      | exception Invalid_argument _ -> ())
+    [ (0, 64); (-1, 64); (4, 0); (4, 48); (4, Sb.min_slot_size / 2) ]
+
+let test_fifo_mixed () =
+  (* Mixed sizes through a small ring, popped in lockstep: every class
+     of message must come back equal and in order. *)
+  let q = Sb.create ~slots:8 ~slot_size:32 in
+  let msgs =
+    List.init 300 (fun i ->
+        match i mod 3 with
+        | 0 -> small i
+        | 1 -> medium i
+        | _ -> batch ~len:2 i)
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "push accepted" true (Sb.try_push q m);
+      match Sb.try_pop q with
+      | Some got -> Alcotest.check msg_eq "round trip" m got
+      | None -> Alcotest.fail "pop after push returned nothing")
+    msgs;
+  Alcotest.(check int) "pushes" 300 (Sb.pushes q);
+  Alcotest.(check int) "pops" 300 (Sb.pops q)
+
+let test_spill_and_pad () =
+  (* 2-slot spills through a 4-slot ring at every cursor offset: some
+     pushes land at slot 3 and must pad to the physical start. FIFO
+     must survive the skips. *)
+  let q = Sb.create ~slots:4 ~slot_size:32 in
+  for i = 0 to 199 do
+    let m = medium i in
+    assert (Codec.encoded_size m > 32);
+    Alcotest.(check bool) "spill push" true (Sb.try_push q m);
+    Alcotest.(check msg_eq) "spill pop" m
+      (match Sb.try_pop q with Some g -> g | None -> Alcotest.fail "empty")
+  done
+
+let test_full_ring_rejects () =
+  let q = Sb.create ~slots:2 ~slot_size:32 in
+  Alcotest.(check bool) "fits" true (Sb.try_push q (small 1));
+  Alcotest.(check bool) "fits" true (Sb.try_push q (small 2));
+  Alcotest.(check bool) "full" false (Sb.try_push q (small 3));
+  (match Sb.try_pop q with
+  | Some m -> Alcotest.check msg_eq "head" (small 1) m
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check bool) "freed" true (Sb.try_push q (small 3))
+
+let test_jumbo () =
+  (* A batch bigger than the whole ring takes the boxed side ring but
+     keeps its place in FIFO order between slot-borne neighbours. *)
+  let q = Sb.create ~slots:2 ~slot_size:32 in
+  let big = batch ~len:64 1000 in
+  assert (Codec.encoded_size big > 2 * 32);
+  Alcotest.(check bool) "small first" true (Sb.try_push q (small 1));
+  Alcotest.(check bool) "jumbo" true (Sb.try_push q big);
+  Alcotest.(check int) "jumbo counted" 1 (Sb.jumbo_pushes q);
+  (match Sb.try_pop q with
+  | Some m -> Alcotest.check msg_eq "fifo: small" (small 1) m
+  | None -> Alcotest.fail "empty");
+  (match Sb.try_pop q with
+  | Some m -> Alcotest.check msg_eq "fifo: jumbo" big m
+  | None -> Alcotest.fail "empty");
+  Alcotest.(check (option reject)) "drained"
+    None
+    (Option.map ignore (Sb.try_pop q))
+
+(* Cross-domain: a producer domain pushes a deterministic mixed
+   sequence (spinning on full), this domain consumes. Everything must
+   arrive, in order, decoded equal — across thousands of wraps, pads
+   and the occasional jumbo. *)
+let test_cross_domain () =
+  let n = 5_000 in
+  let q = Sb.create ~slots:4 ~slot_size:32 in
+  let mk i =
+    match i mod 5 with
+    | 0 -> small i
+    | 1 | 2 -> medium i
+    | 3 -> batch ~len:3 i
+    | _ -> batch ~len:16 i (* > 4*32 bytes: jumbo *)
+  in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Sb.try_push q (mk i)) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let got = ref 0 in
+  while !got < n do
+    match Sb.try_pop q with
+    | Some m ->
+      Alcotest.check msg_eq
+        (Printf.sprintf "message %d" !got)
+        (mk !got) m;
+      incr got
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  Alcotest.(check (option reject)) "no extras" None
+    (Option.map ignore (Sb.try_pop q));
+  Alcotest.(check bool) "saw jumbo traffic" true (Sb.jumbo_pushes q > 0)
+
+let suite =
+  ( "spsc_bytes",
+    [
+      Alcotest.test_case "create rejects bad shapes" `Quick test_create_rejects;
+      Alcotest.test_case "fifo over mixed message sizes" `Quick test_fifo_mixed;
+      Alcotest.test_case "spill slots pad at the buffer end" `Quick
+        test_spill_and_pad;
+      Alcotest.test_case "full ring rejects, pop frees" `Quick
+        test_full_ring_rejects;
+      Alcotest.test_case "jumbo messages keep fifo order" `Quick test_jumbo;
+      Alcotest.test_case "producer/consumer domains, mixed traffic" `Quick
+        test_cross_domain;
+    ] )
