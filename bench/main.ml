@@ -5,7 +5,7 @@
    Usage: main.exe [--jobs N] [section ...]
    Sections: netchar fig2 latency fig8 fig9 fig10 fig11 sec2_2 lan
              ablation batching protocols metrics engine runtime shards
-             faults micro (default: all).
+             service faults micro (default: all).
 
    [--jobs N] (or CI_JOBS) fans the independent simulation runs inside
    each section out over N domains; the printed figures are
@@ -664,6 +664,199 @@ let write_shards_json () =
       (fun () -> output_string oc (Buffer.contents buf));
     Format.printf "@.wrote BENCH_shards.json@."
 
+(* ----- open-loop service benchmark ---------------------------------------- *)
+
+(* One row per backend x curve x offered load, collected for
+   BENCH_service.json: the ISSUE 9 service curves — p50/p99/p999 charged
+   from each request's *intended* arrival (coordinated-omission aware)
+   as the open-loop driver sweeps the offered rate past saturation, with
+   and without leader leases at a 90%-read mix. The knee is flagged on
+   each p99 curve. *)
+type service_row = {
+  sv_backend : string; (* "sim" | "live" *)
+  sv_label : string; (* "1paxos", "multipaxos +lease", ... *)
+  sv_offered : float;
+  sv_achieved : float;
+  sv_p50_us : float;
+  sv_p99_us : float;
+  sv_p999_us : float;
+  sv_service_p99_us : float;
+  sv_lease_reads : int;
+  sv_knee : bool;
+}
+
+type service_stats = { sv_cores : int; sv_rows : service_row list }
+
+let service_stats : service_stats option ref = ref None
+
+let service ~jobs =
+  section "S2. Open-loop service curves (sim + live, 90% reads)"
+    "this reproduction's addition: latency-vs-offered-load under an \
+     open-loop driver, leader leases vs consensus reads"
+    (fun () ->
+      let module Live = Ci_runtime.Live in
+      let module Runner = Ci_workload.Runner in
+      let module LS = Ci_load.Load_stats in
+      let cores = Domain.recommended_domain_count () in
+      let of_load_row backend (r : E.load_row) =
+        {
+          sv_backend = backend;
+          sv_label = r.E.l_label;
+          sv_offered = r.E.l_offered;
+          sv_achieved = r.E.l_achieved;
+          sv_p50_us = r.E.l_p50_us;
+          sv_p99_us = r.E.l_p99_us;
+          sv_p999_us = r.E.l_p999_us;
+          sv_service_p99_us = r.E.l_service_p99_us;
+          sv_lease_reads = r.E.l_lease_reads;
+          sv_knee = r.E.l_knee;
+        }
+      in
+      let sim_rows =
+        List.map (of_load_row "sim")
+          (E.load_curve ~jobs () @ E.load_curve ~jobs ~lease:(Sim_time.ms 2) ())
+      in
+      (* Live sweep: same driver, wall clock instead of virtual time.
+         Rates are per driver (2 drivers), chosen to straddle what a
+         1-core CI host can absorb so the top points show queueing. *)
+      let live_rates = [ 5_000.; 10_000.; 20_000.; 40_000. ] in
+      let n_clients = 2 in
+      let live_row protocol ~lease rate =
+        let spec =
+          {
+            (Live.default_spec ~protocol) with
+            Live.n_replicas = 3;
+            n_clients;
+            duration_s = 0.25;
+            drain_s = 0.1;
+            lease;
+            lease_skew = (if lease > 0 then lease / 100 else 0);
+            open_loop =
+              Some
+                {
+                  Runner.default_open_loop with
+                  Runner.arrival = Ci_load.Arrival.Fixed rate;
+                  mix =
+                    {
+                      Ci_load.Open_client.reads = 0.9;
+                      cas = 0.02;
+                      ranges = 0.02;
+                    };
+                };
+          }
+        in
+        let r = Live.run spec in
+        let label =
+          Live.protocol_name protocol ^ if lease > 0 then " +lease" else ""
+        in
+        if not (Ci_rsm.Consistency.ok r.Live.consistency) then
+          failwith
+            (Printf.sprintf "service: live %s at %.0f op/s was inconsistent"
+               label rate);
+        let s = Option.get r.Live.load in
+        if LS.stale_reads s > 0 then
+          failwith
+            (Printf.sprintf "service: live %s served %d stale session reads"
+               label (LS.stale_reads s));
+        let lp = LS.latency_percentiles s in
+        let sp = LS.service_percentiles s in
+        let us v = float_of_int v /. 1e3 in
+        {
+          sv_backend = "live";
+          sv_label = label;
+          sv_offered = rate *. float_of_int n_clients;
+          sv_achieved = LS.throughput s;
+          sv_p50_us = us lp.LS.p50;
+          sv_p99_us = us lp.LS.p99;
+          sv_p999_us = us lp.LS.p999;
+          sv_service_p99_us = us sp.LS.p99;
+          sv_lease_reads = r.Live.lease_reads;
+          sv_knee = false;
+        }
+      in
+      let flag_knee rows =
+        let pts =
+          Array.of_list (List.map (fun r -> (r.sv_offered, r.sv_p99_us)) rows)
+        in
+        match Ci_load.Knee.detect pts with
+        | Some k ->
+          List.mapi
+            (fun j r -> if j = k then { r with sv_knee = true } else r)
+            rows
+        | None -> rows
+      in
+      let live_rows =
+        List.concat_map
+          (fun protocol ->
+            List.concat_map
+              (fun lease ->
+                flag_knee (List.map (live_row protocol ~lease) live_rates))
+              [ 0; 20_000_000 ])
+          [ Live.Onepaxos; Live.Multipaxos ]
+      in
+      let rows = sim_rows @ live_rows in
+      Format.printf "%d cores; 3 replicas, 2 open-loop drivers, 90%% reads@."
+        cores;
+      Format.printf "%-7s %-20s %10s %10s %9s %9s %9s %9s %7s %5s@." "backend"
+        "curve" "offered" "achieved" "p50(us)" "p99(us)" "p999(us)" "svc99"
+        "lease" "knee";
+      List.iter
+        (fun r ->
+          Format.printf "%-7s %-20s %10.0f %10.0f %9.1f %9.1f %9.1f %9.1f %7d %5s@."
+            r.sv_backend r.sv_label r.sv_offered r.sv_achieved r.sv_p50_us
+            r.sv_p99_us r.sv_p999_us r.sv_service_p99_us r.sv_lease_reads
+            (if r.sv_knee then "<-" else ""))
+        rows;
+      (* Lease pay-off at the lightest load point of each backend/protocol
+         pair: local reads should undercut the consensus round trip. *)
+      List.iter
+        (fun backend ->
+          List.iter
+            (fun proto ->
+              let first label =
+                List.find_opt
+                  (fun r -> r.sv_backend = backend && r.sv_label = label)
+                  rows
+              in
+              match (first proto, first (proto ^ " +lease")) with
+              | Some plain, Some leased ->
+                Format.printf
+                  "%s %s: lease p50 %.1fus vs consensus p50 %.1fus (%.1fx)@."
+                  backend proto leased.sv_p50_us plain.sv_p50_us
+                  (plain.sv_p50_us /. Float.max leased.sv_p50_us 0.001)
+              | _ -> ())
+            [ "1paxos"; "multipaxos" ])
+        [ "sim"; "live" ];
+      service_stats := Some { sv_cores = cores; sv_rows = rows })
+
+let write_service_json () =
+  match !service_stats with
+  | None -> ()
+  | Some s ->
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf (Printf.sprintf "  \"cores\": %d,\n" s.sv_cores);
+    Buffer.add_string buf "  \"rows\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"backend\": \"%s\", \"curve\": \"%s\", \"offered_ops\": \
+              %.1f, \"achieved_ops\": %.1f, \"p50_us\": %.2f, \"p99_us\": \
+              %.2f, \"p999_us\": %.2f, \"service_p99_us\": %.2f, \
+              \"lease_reads\": %d, \"knee\": %b}%s\n"
+             r.sv_backend r.sv_label r.sv_offered r.sv_achieved r.sv_p50_us
+             r.sv_p99_us r.sv_p999_us r.sv_service_p99_us r.sv_lease_reads
+             r.sv_knee
+             (if i = List.length s.sv_rows - 1 then "" else ",")))
+      s.sv_rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_service.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf));
+    Format.printf "@.wrote BENCH_service.json@."
+
 (* ----- fault-injection benchmark ------------------------------------------ *)
 
 (* One row per backend x protocol x crash scenario, collected for
@@ -984,6 +1177,7 @@ let sections =
     ("runtime", runtime);
     ("codec", codec);
     ("shards", shards);
+    ("service", service);
     ("faults", faults);
     ("micro", micro);
   ]
@@ -992,7 +1186,7 @@ let sections =
    re-timing at jobs=1 for the comparison table. metrics/engine/micro
    time themselves differently (single runs or self-calibrating). *)
 let serial_only =
-  [ "metrics"; "engine"; "runtime"; "codec"; "shards"; "faults"; "micro" ]
+  [ "metrics"; "engine"; "runtime"; "codec"; "shards"; "service"; "faults"; "micro" ]
 
 let print_jobs_table ~jobs =
   let j1 = List.rev !section_walls_j1 in
@@ -1072,4 +1266,5 @@ let () =
   write_runtime_json ();
   write_codec_json ();
   write_shards_json ();
+  write_service_json ();
   write_faults_json ()

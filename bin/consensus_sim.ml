@@ -469,6 +469,190 @@ let live_cmd =
        ~doc:"Run the protocol cores for real: OCaml 5 domains over shared-memory byte rings, or one process per node over sockets ($(b,--transport socket)).")
     term
 
+(* ----- load ----------------------------------------------------------------- *)
+
+let load_cmd =
+  let module Live = Ci_runtime.Live in
+  let module LS = Ci_load.Load_stats in
+  let backend_conv = Arg.enum [ ("sim", `Sim); ("live", `Live) ] in
+  let backend =
+    Arg.(value & opt backend_conv `Sim & info [ "backend" ] ~doc:"Backend: $(b,sim) (discrete-event simulator, deterministic) or $(b,live) (OCaml 5 domains over shared-memory byte rings).")
+  in
+  let protocol =
+    Arg.(value & opt protocol_conv Runner.Onepaxos & info [ "p"; "protocol" ] ~doc:"Protocol under load (any simulator protocol; $(b,--backend live) supports 1paxos and multipaxos).")
+  in
+  let replicas = Arg.(value & opt int 3 & info [ "r"; "replicas" ] ~doc:"Replica count.") in
+  let clients = Arg.(value & opt int 2 & info [ "c"; "clients" ] ~doc:"Driver count: one open-loop driver per client node; total offered load is $(b,--rate) times this.") in
+  let rate = Arg.(value & opt float 50_000. & info [ "rate" ] ~doc:"Offered rate per driver (requests/second).") in
+  let poisson = Arg.(value & flag & info [ "poisson" ] ~doc:"Poisson arrivals (exponential gaps) instead of the fixed-rate metronome.") in
+  let key_dist_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ "uniform" ] -> Ok Ci_load.Key_dist.Uniform
+      | [ "zipf"; theta ] ->
+        (try Ok (Ci_load.Key_dist.Zipf (float_of_string theta))
+         with _ -> Error (`Msg "key-dist: expected zipf:THETA"))
+      | [ "hotkey"; hot; spread ] ->
+        (try
+           Ok
+             (Ci_load.Key_dist.Hotkey
+                { hot = float_of_string hot; spread = float_of_string spread })
+         with _ -> Error (`Msg "key-dist: expected hotkey:HOT:SPREAD"))
+      | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown key distribution %S (uniform|zipf:THETA|hotkey:HOT:SPREAD)"
+                s))
+    in
+    Arg.conv (parse, Ci_load.Key_dist.pp_spec)
+  in
+  let key_dist =
+    Arg.(value & opt key_dist_conv Ci_load.Key_dist.Uniform & info [ "key-dist" ] ~doc:"Key popularity: $(b,uniform), $(b,zipf:THETA) (0.99 is the YCSB default skew) or $(b,hotkey:HOT:SPREAD).")
+  in
+  let key_space = Arg.(value & opt int 65_536 & info [ "key-space" ] ~doc:"Keys drawn from [0, key-space).") in
+  let reads = Arg.(value & opt float 0.9 & info [ "reads" ] ~doc:"Fraction of Get commands.") in
+  let cas = Arg.(value & opt float 0. & info [ "cas" ] ~doc:"Fraction of compare-and-swap commands.") in
+  let ranges = Arg.(value & opt float 0. & info [ "ranges" ] ~doc:"Fraction of single-shard Range commands.") in
+  let range_span = Arg.(value & opt int 16 & info [ "range-span" ] ~doc:"Keys per Range command.") in
+  let population = Arg.(value & opt int 100_000 & info [ "population" ] ~doc:"Logical clients multiplexed over the sessions (read-your-writes is tracked per logical client).") in
+  let sessions = Arg.(value & opt int 16 & info [ "sessions" ] ~doc:"Concurrent in-flight sessions per driver.") in
+  let lease_us = Arg.(value & opt int 0 & info [ "lease-us" ] ~doc:"Leader-lease duration (us): serve linearizable reads from the leader's local store while a majority's grants are unexpired. 0 disables leases (all reads go through consensus).") in
+  let lease_skew_us = Arg.(value & opt int 0 & info [ "lease-skew-us" ] ~doc:"Clock-rate-skew margin (us) subtracted from every grant's validity at the leader; must be < $(b,--lease-us).") in
+  let duration = Arg.(value & opt int 50 & info [ "d"; "duration-ms" ] ~doc:"Measurement window (ms).") in
+  let warmup = Arg.(value & opt int 5 & info [ "warmup-ms" ] ~doc:"Warm-up before measuring (ms; simulator backend only).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed (arrival gaps and key draws derive from it).") in
+  let print_sink ~offered ~lease ~lease_reads (sink : LS.t) =
+    let us ns = float_of_int ns /. 1e3 in
+    let lp = LS.latency_percentiles sink in
+    let sp = LS.service_percentiles sink in
+    Format.printf "  offered %.0f op/s  issued %d  completed %d  achieved %.0f op/s@."
+      offered (LS.issued sink) (LS.completed sink) (LS.throughput sink);
+    Format.printf
+      "  latency from intended arrival: p50 %.1fus  p99 %.1fus  p99.9 %.1fus@."
+      (us lp.LS.p50) (us lp.LS.p99) (us lp.LS.p999);
+    Format.printf
+      "  latency from first send:       p50 %.1fus  p99 %.1fus  p99.9 %.1fus@."
+      (us sp.LS.p50) (us sp.LS.p99) (us sp.LS.p999);
+    Format.printf "  retries %d  rejected %d  max-backlog %d  stale session reads %d@."
+      (LS.retries sink) (LS.rejected sink) (LS.max_backlog sink)
+      (LS.stale_reads sink);
+    if lease > 0 then
+      Format.printf "  lease reads %d (leader-local, linearizable)@." lease_reads
+  in
+  let run backend protocol replicas clients rate poisson key_dist key_space
+      reads cas ranges range_span population sessions lease_us lease_skew_us
+      duration warmup seed =
+    let invalid fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; Some 1) fmt in
+    let live_protocol =
+      match protocol with
+      | Runner.Onepaxos -> Some Live.Onepaxos
+      | Runner.Multipaxos -> Some Live.Multipaxos
+      | _ -> None
+    in
+    let bad =
+      if replicas < 2 then invalid "--replicas must be >= 2"
+      else if clients < 1 then invalid "--clients must be >= 1"
+      else if rate <= 0. then invalid "--rate must be > 0"
+      else if key_space < 1 then invalid "--key-space must be >= 1"
+      else if reads < 0. || cas < 0. || ranges < 0. || reads +. cas +. ranges > 1.
+      then invalid "--reads/--cas/--ranges must be >= 0 and sum to <= 1"
+      else if range_span < 1 then invalid "--range-span must be >= 1"
+      else if population < 1 then invalid "--population must be >= 1"
+      else if sessions < 1 then invalid "--sessions must be >= 1"
+      else if lease_us < 0 then invalid "--lease-us must be >= 0"
+      else if lease_us > 0 && lease_skew_us >= lease_us then
+        invalid "--lease-skew-us must be < --lease-us"
+      else if
+        lease_us > 0
+        && (match protocol with
+           | Runner.Onepaxos | Runner.Multipaxos -> false
+           | _ -> true)
+      then invalid "--lease-us requires 1paxos or multipaxos"
+      else if duration < 1 then invalid "--duration-ms must be >= 1"
+      else if warmup < 0 then invalid "--warmup-ms must be >= 0"
+      else if backend = `Live && live_protocol = None then
+        invalid "--backend live supports 1paxos and multipaxos only"
+      else None
+    in
+    match bad with
+    | Some code -> code
+    | None ->
+      let arrival =
+        if poisson then Ci_load.Arrival.Poisson rate else Ci_load.Arrival.Fixed rate
+      in
+      let open_loop =
+        {
+          Runner.arrival;
+          key_dist;
+          key_space;
+          mix = { Ci_load.Open_client.reads; cas; ranges };
+          range_span;
+          population;
+          sessions;
+        }
+      in
+      let offered = rate *. float_of_int clients in
+      (match backend with
+       | `Sim ->
+         let spec =
+           {
+             (Runner.default_spec ~protocol
+                ~placement:
+                  (Runner.Dedicated { n_replicas = replicas; n_clients = clients }))
+             with
+             Runner.duration = Sim_time.ms duration;
+             warmup = Sim_time.ms warmup;
+             seed;
+             lease = Sim_time.us lease_us;
+             lease_skew = Sim_time.us lease_skew_us;
+             open_loop = Some open_loop;
+           }
+         in
+         let r = Runner.run spec in
+         Format.printf "load %s (sim): %d replicas, %d drivers@."
+           (Runner.protocol_name protocol) replicas clients;
+         let sink = Option.get r.Runner.load in
+         print_sink ~offered ~lease:lease_us ~lease_reads:r.Runner.lease_reads sink;
+         Format.printf "%a@." Ci_rsm.Consistency.pp r.Runner.consistency;
+         if Ci_rsm.Consistency.ok r.Runner.consistency && LS.stale_reads sink = 0
+         then 0
+         else 1
+       | `Live ->
+         let protocol = Option.get live_protocol in
+         let spec =
+           {
+             (Live.default_spec ~protocol) with
+             Live.n_replicas = replicas;
+             n_clients = clients;
+             duration_s = float_of_int duration /. 1000.;
+             seed;
+             lease = lease_us * 1_000;
+             lease_skew = lease_skew_us * 1_000;
+             open_loop = Some open_loop;
+           }
+         in
+         let r = Live.run spec in
+         Format.printf "load %s (live): %d replica + %d driver domains on %d cores@."
+           (Live.protocol_name protocol) replicas clients r.Live.cores;
+         let sink = Option.get r.Live.load in
+         print_sink ~offered ~lease:lease_us ~lease_reads:r.Live.lease_reads sink;
+         Format.printf "%a@." Ci_rsm.Consistency.pp r.Live.consistency;
+         if Ci_rsm.Consistency.ok r.Live.consistency && LS.stale_reads sink = 0
+         then 0
+         else 1)
+  in
+  let term =
+    Term.(
+      const run $ backend $ protocol $ replicas $ clients $ rate $ poisson
+      $ key_dist $ key_space $ reads $ cas $ ranges $ range_span $ population
+      $ sessions $ lease_us $ lease_skew_us $ duration $ warmup $ seed)
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive open-loop load at the service: arrivals follow the offered schedule regardless of how the system keeps up, and latency is charged from each request's intended arrival (coordinated-omission aware).")
+    term
+
 (* ----- nemesis -------------------------------------------------------------- *)
 
 (* Shared tail of a nemesis run: print the failover analysis and turn
@@ -794,7 +978,8 @@ let figures_cmd =
         | `Bars of E.bar list
         | `Timelines of E.timeline list
         | `Netchar of E.netchar_row list
-        | `Latency of E.latency_row list ])) list =
+        | `Latency of E.latency_row list
+        | `Load of E.load_row list ])) list =
     [
       ("netchar", fun ~jobs -> `Netchar (E.netchar ~jobs ()));
       ("fig2", fun ~jobs -> `Series (E.fig2 ~jobs ()));
@@ -817,13 +1002,15 @@ let figures_cmd =
       ("failover", fun ~jobs -> `Timelines (E.failover ~jobs ()));
       ("failover-live", fun ~jobs:_ -> `Timelines (live_failover_timelines ()));
       ("shards", fun ~jobs -> `Series (E.shards ~jobs ()));
+      ("load", fun ~jobs -> `Load (E.load_curve ~jobs ()));
     ]
   in
   (* The fault-injecting sections are opt-in: the default set must stay
      byte-identical run-to-run (and to pre-nemesis baselines), a promise
      wall-clock live runs cannot make. [shards] is opt-in too so the
-     default figure set stays byte-identical to pre-sharding baselines. *)
-  let opt_in = [ "failover"; "failover-live"; "shards" ] in
+     default figure set stays byte-identical to pre-sharding baselines,
+     and [load] (ISSUE 9's open-loop service curves) likewise. *)
+  let opt_in = [ "failover"; "failover-live"; "shards"; "load" ] in
   let default_names =
     List.filter (fun n -> not (List.mem n opt_in)) (List.map fst sections)
   in
@@ -860,7 +1047,8 @@ let figures_cmd =
      | `Bars bars -> Format.printf "%a" E.pp_bars bars
      | `Timelines ts -> Format.printf "%a" E.pp_timelines ts
      | `Netchar rows -> Format.printf "%a" E.pp_netchar rows
-     | `Latency rows -> Format.printf "%a" E.pp_latency_table rows);
+     | `Latency rows -> Format.printf "%a" E.pp_latency_table rows
+     | `Load rows -> Format.printf "%a" E.pp_load_table rows);
     match out with
     | None -> ()
     | Some dir ->
@@ -886,6 +1074,7 @@ let figures_cmd =
         | `Bars bars -> [ R.write_file ~dir ~name:csv_name (R.bars_csv bars) ]
         | `Netchar rows -> [ R.write_file ~dir ~name:csv_name (R.netchar_csv rows) ]
         | `Latency rows -> [ R.write_file ~dir ~name:csv_name (R.latency_csv rows) ]
+        | `Load rows -> [ R.write_file ~dir ~name:csv_name (R.load_csv rows) ]
       in
       List.iter (Format.printf "wrote %s@.") paths
   in
@@ -914,4 +1103,6 @@ let () =
     Cmd.info "consensus_sim" ~version:"1.0.0"
       ~doc:"Consensus Inside (Middleware 2014) reproduction: 1Paxos, Multi-Paxos and 2PC on a simulated many-core."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; live_cmd; nemesis_cmd; figures_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; live_cmd; load_cmd; nemesis_cmd; figures_cmd ]))

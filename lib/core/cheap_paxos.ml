@@ -303,7 +303,7 @@ let handle t ~src msg =
     | Wire.Tp_commit _ | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ | Wire.Tp_nack _
     | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
     | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
-    | Wire.Pu_read_reply _ ->
+    | Wire.Pu_read_reply _ | Wire.Le_renew _ | Wire.Le_grant _ ->
       ()
 
 let on_config_entry t ~cseq entry =

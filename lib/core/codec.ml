@@ -20,12 +20,15 @@ let cmd_size = function
   | Command.Mput _ -> 33
   | Command.Prep _ -> 25
   | Command.Fin _ -> 18
+  | Command.Range _ -> 17
 
 let result_size = function
   | Command.Done -> 1
   | Command.Found None -> 1
   | Command.Found (Some _) -> 9
   | Command.Swapped _ -> 2
+  | Command.Vals kvs -> 5 + (16 * List.length kvs)
+  | Command.Rejected -> 1
 
 let value_size v = 16 + cmd_size v.cmd
 
@@ -108,6 +111,8 @@ let encoded_size = function
   | Tp_commit_ack _ -> 9
   | Tp_rollback _ -> 9
   | Tp_nack _ -> 9
+  | Le_renew _ -> 25
+  | Le_grant _ -> 25
 
 (* Max over the constructors with no list/array payload: Bp_promise with
    accepted = Some (pn, {cmd = Mput _}) at 26 + 16 + 49. *)
@@ -174,6 +179,17 @@ let put_cmd b pos = function
     let pos = put_int b pos txn in
     let pos = put_int b pos key in
     put_bool b pos commit
+  | Command.Range { lo; hi } ->
+    let pos = put_byte b pos 7 in
+    let pos = put_int b pos lo in
+    put_int b pos hi
+
+let rec put_kvs b pos = function
+  | [] -> pos
+  | (k, v) :: rest ->
+    let pos = put_int b pos k in
+    let pos = put_int b pos v in
+    put_kvs b pos rest
 
 let put_result b pos = function
   | Command.Done -> put_byte b pos 0
@@ -184,6 +200,11 @@ let put_result b pos = function
   | Command.Swapped ok ->
     let pos = put_byte b pos 3 in
     put_bool b pos ok
+  | Command.Vals kvs ->
+    let pos = put_byte b pos 4 in
+    let pos = put_count b pos (List.length kvs) in
+    put_kvs b pos kvs
+  | Command.Rejected -> put_byte b pos 5
 
 let put_value b pos v =
   let pos = put_int b pos v.client in
@@ -470,6 +491,14 @@ let encode m b ~pos =
     | Tp_nack { inst } ->
       let p = put_byte b pos 44 in
       put_int b p inst
+    | Le_renew { pn; sent } ->
+      let p = put_byte b pos 45 in
+      let p = put_pn b p pn in
+      put_int b p sent
+    | Le_grant { pn; sent } ->
+      let p = put_byte b pos 46 in
+      let p = put_pn b p pn in
+      put_int b p sent
   in
   if fin - pos <> size then err "encode: size invariant broken";
   size
@@ -557,7 +586,16 @@ let get_cmd c =
     let key = get_int c in
     let commit = get_bool c in
     Command.Fin { txn; key; commit }
+  | 7 ->
+    let lo = get_int c in
+    let hi = get_int c in
+    Command.Range { lo; hi }
   | _ -> err "decode: bad command tag"
+
+let get_kv c =
+  let k = get_int c in
+  let v = get_int c in
+  (k, v)
 
 let get_result c =
   match get_byte c with
@@ -569,6 +607,11 @@ let get_result c =
   | 3 ->
     let ok = get_bool c in
     Command.Swapped ok
+  | 4 ->
+    let n = get_count c ~min_elem:16 in
+    let kvs = get_list c n get_kv in
+    Command.Vals kvs
+  | 5 -> Command.Rejected
   | _ -> err "decode: bad result tag"
 
 let get_value c =
@@ -852,6 +895,14 @@ let get_msg c =
   | 44 ->
     let inst = get_int c in
     Tp_nack { inst }
+  | 45 ->
+    let pn = get_pn c in
+    let sent = get_int c in
+    Le_renew { pn; sent }
+  | 46 ->
+    let pn = get_pn c in
+    let sent = get_int c in
+    Le_grant { pn; sent }
   | _ -> err "decode: unknown message tag"
 
 let decode buf ~pos ~len =

@@ -90,13 +90,9 @@ let propose_value t v =
 
 let handle_request t ~src ~req_id ~cmd ~relaxed_read =
   if relaxed_read && t.cfg.relaxed_reads && Command.is_read cmd then
-    match cmd with
-    | Command.Get { key } ->
-      send t src
-        (Wire.Reply
-           { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
-    | Command.Put _ | Command.Cas _ | Command.Nop | Command.Mput _
-    | Command.Prep _ | Command.Fin _ -> ()
+    match Replica_core.local_read t.core cmd with
+    | Some result -> send t src (Wire.Reply { req_id; result })
+    | None -> ()
   else propose_value t { Wire.client = src; req_id; cmd }
 
 let on_accept t ~inst v_opt =
@@ -144,7 +140,8 @@ let handle t ~src msg =
   | Wire.Mp_prepare _ | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _
   | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _
   | Wire.Cp_state _ | Wire.Tp_prepare _ | Wire.Tp_ack _ | Wire.Tp_commit _
-  | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ | Wire.Tp_nack _ ->
+  | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ | Wire.Tp_nack _ | Wire.Le_renew _
+  | Wire.Le_grant _ ->
     ()
 
 let create ~env ~config =

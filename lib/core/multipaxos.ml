@@ -11,6 +11,8 @@ type config = {
   max_batch : int;
   batch_delay : Sim_time.t;
   window : int;
+  lease : Sim_time.t;
+  lease_skew : Sim_time.t;
 }
 
 let default_config ~replicas =
@@ -24,6 +26,8 @@ let default_config ~replicas =
     max_batch = 1;
     batch_delay = 0;
     window = 0;
+    lease = 0;
+    lease_skew = 0;
   }
 
 (* Learn tally for one (instance, proposal number): which acceptors
@@ -66,11 +70,31 @@ type t = {
   tallies : (int * Pn.t, tally) Hashtbl.t;
   mutable n_elections : int;
   mutable election_streak : int; (* consecutive failed elections, for backoff *)
+  (* Leader lease (all volatile — a crash forfeits the lease, and the
+     recovering replica sits out a full lease window; see [recover]). *)
+  mutable grant_holder : Pn.t;
+      (* who we last granted to; [Pn.bottom] = a post-recovery blanket
+         refusal (its owner -1 matches no proposer) *)
+  mutable grant_until : Sim_time.t; (* our clock; promise not to elect others *)
+  grants : (int, Sim_time.t) Hashtbl.t;
+      (* leader side: grantor -> expiry ON OUR CLOCK, i.e. the echoed
+         [sent] + lease - skew. No remote clock is ever read. *)
+  mutable n_lease_reads : int;
+  mutable read_floor : int;
+      (* Highest instance whose write may have been acked by someone
+         other than this leader in this term (adopted from a previous
+         term, or forwarded by another replica that replies to its own
+         client on local execution). Local reads wait for the executed
+         prefix to pass it; the leader's own un-acked in-flight writes
+         need no such wait — a concurrent read may linearize before
+         them. *)
+  mutable bat_has_fwd : bool; (* a forwarded value sits in [bat_buf] *)
 }
 
 let majority t = (Array.length t.cfg.replicas / 2) + 1
 let send t dst msg = t.env.Node_env.send ~dst msg
 let broadcast t msg = Array.iter (fun dst -> send t dst msg) t.cfg.replicas
+let now t = t.env.Node_env.now ()
 
 let fresh_pn t =
   t.pn_round <- t.pn_round + 1;
@@ -156,6 +180,12 @@ and flush_batch t k =
     vs;
   Hashtbl.replace t.bat_remaining base (ref k);
   t.bat_inflight <- t.bat_inflight + 1;
+  if t.bat_has_fwd then begin
+    (* A forwarded value may be in this batch: its forwarder can ack it
+       as soon as it decides, so local reads wait for the whole range. *)
+    t.read_floor <- max t.read_floor (base + k - 1);
+    if Queue.is_empty t.bat_buf then t.bat_has_fwd <- false
+  end;
   broadcast t (Wire.Mp_accept_batch { base; pn = t.my_pn; vs })
 
 and propose_value t v =
@@ -187,6 +217,9 @@ and propose_value t v =
 let demote t =
   if t.iam_leader then begin
     t.iam_leader <- false;
+    (* Forfeit the lease immediately: correct (the grants only get
+       staler) and it stops the renew loop at its next firing. *)
+    Hashtbl.reset t.grants;
     while not (Queue.is_empty t.bat_buf) do
       let v = Queue.pop t.bat_buf in
       Hashtbl.remove t.bat_keys (Wire.value_key v);
@@ -207,6 +240,72 @@ let drain_pending t =
 let bump_next_inst t =
   let high = Hashtbl.fold (fun inst _ acc -> max inst acc) t.proposed (-1) in
   t.next_inst <- max t.next_inst (max (high + 1) (Replica_core.first_gap t.core))
+
+(* ----- leader lease (Section: linearizable local reads) ------------------
+
+   The leader periodically broadcasts [Le_renew] stamped with its own
+   clock; each replica that still recognizes this leadership answers
+   [Le_grant], echoing the stamp, and promises not to help elect a
+   different owner for [lease] on its own clock from receipt. The leader
+   believes it holds the lease while a majority of grants (its own
+   included) are younger than [sent + lease - lease_skew] on its own
+   clock. Receipt is never earlier than transmission, so with clock
+   rates within [lease_skew] of each other the follower's promise
+   always outlives the leader's belief — a new leader can't be elected,
+   and hence no conflicting write can commit, while any stale leader
+   still thinks it may serve reads locally. *)
+
+let lease_on t = t.cfg.lease > 0
+
+(* A majority of grants still young enough, on our own clock. *)
+let lease_valid t ~at =
+  Hashtbl.fold (fun _ exp n -> if exp > at then n + 1 else n) t.grants 0
+  >= majority t
+
+(* Refuse to help depose the grant holder while our promise stands.
+   [Pn.bottom]'s owner (-1) matches nobody, so a post-recovery blanket
+   refusal blocks everyone for one lease window. *)
+let grant_blocks t ~owner ~at =
+  lease_on t && at < t.grant_until && owner <> t.grant_holder.Pn.owner
+
+let rec lease_loop t pn =
+  if t.iam_leader && Pn.equal t.my_pn pn then begin
+    broadcast t (Wire.Le_renew { pn; sent = now t });
+    t.env.Node_env.after
+      ~delay:(max 1 (t.cfg.lease / 3))
+      (fun () -> lease_loop t pn)
+  end
+
+let on_renew t ~src ~pn ~sent =
+  let at = now t in
+  if Pn.(pn >= t.promised) && not (grant_blocks t ~owner:pn.Pn.owner ~at)
+  then begin
+    t.grant_holder <- pn;
+    t.grant_until <- max t.grant_until (at + t.cfg.lease);
+    send t src (Wire.Le_grant { pn; sent })
+  end
+
+let on_grant t ~src ~pn ~sent =
+  if t.iam_leader && Pn.equal t.my_pn pn then
+    Hashtbl.replace t.grants src (sent + t.cfg.lease - t.cfg.lease_skew)
+
+(* Serving a read locally is linearizable only if the store already
+   reflects everything any leader ever acked: every proposed instance
+   executed ([first_gap] caught up to [next_inst]) — a fresh leader
+   re-drives adopted instances before this holds — and the lease
+   majority-fresh. *)
+let lease_read t cmd =
+  if
+    lease_on t && t.iam_leader
+    (* Our own acks happen on execution; [read_floor] covers instances a
+       previous term or a forwarding replica could have acked. Buffered
+       values have no instance yet, hence the empty-batch condition
+       (see [flush_batch]). *)
+    && Replica_core.first_gap t.core > t.read_floor
+    && Queue.is_empty t.bat_buf
+    && lease_valid t ~at:(now t)
+  then Replica_core.local_read t.core cmd
+  else None
 
 (* Phase 1: claim leadership with a fresh number; retry with backoff
    while no majority answers. *)
@@ -252,10 +351,17 @@ let become_leader t pn =
    | None -> ());
   t.election_streak <- 0;
   t.my_pn <- pn;
+  if lease_on t then begin
+    Hashtbl.reset t.grants;
+    lease_loop t pn
+  end;
   (* Adopt the highest-numbered accepted value per instance reported by
      the promising majority, then re-drive everything undecided. *)
   Hashtbl.iter (fun inst (_, v) -> Hashtbl.replace t.proposed inst v) t.promise_best;
   bump_next_inst t;
+  (* Anything adopted may already have been acked under the previous
+     term: no local reads until our store reflects all of it. *)
+  t.read_floor <- max t.read_floor (t.next_inst - 1);
   let pairs =
     Hashtbl.fold (fun inst v acc -> (inst, v) :: acc) t.proposed []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -285,17 +391,26 @@ let handle_value t v =
 
 let handle_request t ~src ~req_id ~cmd ~relaxed_read =
   if relaxed_read && t.cfg.relaxed_reads && Command.is_read cmd then
-    match cmd with
-    | Command.Get { key } ->
-      send t src
-        (Wire.Reply
-           { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
-    | Command.Put _ | Command.Cas _ | Command.Nop | Command.Mput _
-    | Command.Prep _ | Command.Fin _ -> ()
+    match Replica_core.local_read t.core cmd with
+    | Some result -> send t src (Wire.Reply { req_id; result })
+    | None -> ()
+  else if Command.is_read cmd then
+    (* Lease fast path: linearizable, so no client opt-in needed. On a
+       miss (no lease, not leader, store behind) the read pays
+       consensus like any other command. *)
+    match lease_read t cmd with
+    | Some result ->
+      t.n_lease_reads <- t.n_lease_reads + 1;
+      send t src (Wire.Reply { req_id; result })
+    | None -> handle_value t { Wire.client = src; req_id; cmd }
   else handle_value t { Wire.client = src; req_id; cmd }
 
 let on_prepare t ~src ~pn ~low =
-  if Pn.(pn > t.promised) then begin
+  if grant_blocks t ~owner:pn.Pn.owner ~at:(now t) then
+    (* Someone else holds our lease promise: stay silent. The rival's
+       election backoff retries after the grant has expired. *)
+    ()
+  else if Pn.(pn > t.promised) then begin
     t.promised <- pn;
     if t.iam_leader && pn.Pn.owner <> t.self then demote t;
     let accepted =
@@ -387,7 +502,15 @@ let handle t ~src msg =
   match msg with
   | Wire.Request { req_id; cmd; relaxed_read } ->
     handle_request t ~src ~req_id ~cmd ~relaxed_read
-  | Wire.Forward { v } -> handle_value t v
+  | Wire.Forward { v } ->
+    handle_value t v;
+    (* The forwarder replies to its own client when *it* executes —
+       possibly before we do: block local reads until our store
+       reflects the forwarded write. *)
+    if t.iam_leader then begin
+      t.read_floor <- max t.read_floor (t.next_inst - 1);
+      if not (Queue.is_empty t.bat_buf) then t.bat_has_fwd <- true
+    end
   | Wire.Mp_prepare { pn; low } -> on_prepare t ~src ~pn ~low
   | Wire.Mp_promise { pn; accepted } -> on_promise t ~pn ~accepted
   | Wire.Mp_reject { pn } -> on_reject t ~pn
@@ -396,6 +519,8 @@ let handle t ~src msg =
   | Wire.Mp_accept_batch { base; pn; vs } -> on_accept_batch t ~src ~base ~pn ~vs
   | Wire.Mp_learn_batch { base; pn; vs } ->
     Array.iteri (fun i v -> on_learn t ~src ~inst:(base + i) ~pn ~v) vs
+  | Wire.Le_renew { pn; sent } -> if lease_on t then on_renew t ~src ~pn ~sent
+  | Wire.Le_grant { pn; sent } -> if lease_on t then on_grant t ~src ~pn ~sent
   | Wire.Reply _ | Wire.Op_prepare_request _ | Wire.Op_prepare_response _
   | Wire.Op_abandon _ | Wire.Op_accept_request _ | Wire.Op_learn _
   | Wire.Op_accept_batch _ | Wire.Op_learn_batch _
@@ -415,7 +540,12 @@ let validate_config config =
          config.initial_leader);
   if config.max_batch < 1 then
     invalid_arg "Multipaxos: max_batch must be >= 1";
-  if config.window < 0 then invalid_arg "Multipaxos: window must be >= 0"
+  if config.window < 0 then invalid_arg "Multipaxos: window must be >= 0";
+  if config.lease < 0 then invalid_arg "Multipaxos: lease must be >= 0";
+  if config.lease_skew < 0 then
+    invalid_arg "Multipaxos: lease_skew must be >= 0";
+  if config.lease > 0 && config.lease_skew >= config.lease then
+    invalid_arg "Multipaxos: lease_skew must be < lease"
 
 let create ~env ~config =
   validate_config config;
@@ -450,6 +580,12 @@ let create ~env ~config =
     tallies = Hashtbl.create 256;
     n_elections = 0;
     election_streak = 0;
+    grant_holder = Pn.bottom;
+    grant_until = 0;
+    grants = Hashtbl.create 8;
+    n_lease_reads = 0;
+    read_floor = -1;
+    bat_has_fwd = false;
   }
 
 let start t = if t.self = t.cfg.initial_leader then start_election t
@@ -487,6 +623,15 @@ let recover ~env ~config ~stable:st =
   List.iter (fun (inst, s) -> Hashtbl.replace t.accepted inst s) st.st_accepted;
   t.pn_round <- st.st_pn_round;
   bump_next_inst t;
+  (* Lease state is volatile on purpose, but forgetting an outstanding
+     grant would let a restarted replica help depose a leader that
+     still believes it may read locally. Sit out one full lease window
+     against everyone ([Pn.bottom]'s owner matches no proposer) — the
+     longest any pre-crash promise could still be alive. *)
+  if config.lease > 0 then begin
+    t.grant_holder <- Pn.bottom;
+    t.grant_until <- env.Node_env.now () + config.lease
+  end;
   (* Rejoin passively: a recovered replica answers prepares and accepts
      from its restored registers and catches up through the leader's
      re-proposal of its undecided range (Mp_prepare carries [low] =
@@ -498,3 +643,5 @@ let is_leader t = t.iam_leader
 let replica_core t = t.core
 let elections t = t.n_elections
 let pending_count t = Queue.length t.pending
+let lease_reads t = t.n_lease_reads
+let holds_lease t = t.iam_leader && lease_on t && lease_valid t ~at:(now t)

@@ -33,6 +33,20 @@ type config = {
       (** Pipeline depth: maximum batches concurrently in flight; [0]
           (the default) leaves it unbounded, as in the paper's
           protocol. Setting it also activates the batching layer. *)
+  lease : Ci_engine.Sim_time.t;
+      (** Leader-lease duration; [0] (the default) disables leases and
+          leaves the protocol byte-identical. When on, the leader
+          broadcasts [Le_renew] every [lease / 3]; a replica that
+          grants promises not to help elect a {e different} owner for
+          [lease] on its own clock, and the leader serves linearizable
+          [Get]/[Range] locally while a majority of echoed grants are
+          younger than [sent + lease - lease_skew] on {e its} clock. *)
+  lease_skew : Ci_engine.Sim_time.t;
+      (** Assumed bound on clock-{e rate} divergence over one lease
+          window (no absolute clock comparison ever happens). The
+          leader retires each grant [lease_skew] early, so a follower
+          whose clock runs fast by less than this still honors its
+          promise beyond the leader's belief. Must be [< lease]. *)
 }
 
 val default_config : replicas:int array -> config
@@ -67,6 +81,15 @@ val elections : t -> int
 
 val pending_count : t -> int
 (** [pending_count t] is the queued-but-unproposed command count. *)
+
+val lease_reads : t -> int
+(** [lease_reads t] counts reads this replica answered locally under a
+    valid leader lease (skipping the accept round entirely). *)
+
+val holds_lease : t -> bool
+(** [holds_lease t] is whether this replica is leader {e and} a majority
+    of grants are unexpired right now, i.e. a local read issued at this
+    instant would be served without consensus. *)
 
 (** {1 Crash-recovery} *)
 

@@ -14,6 +14,8 @@ type config = {
   max_batch : int;
   batch_delay : Sim_time.t;
   window : int;
+  lease : Sim_time.t;
+  lease_skew : Sim_time.t;
 }
 
 let default_config ~replicas =
@@ -31,6 +33,8 @@ let default_config ~replicas =
     max_batch = 1;
     batch_delay = 0;
     window = 0;
+    lease = 0;
+    lease_skew = 0;
   }
 
 type ls_op = { mutable replies : int; k : unit -> unit }
@@ -81,6 +85,22 @@ type t = {
   (* Learner catch-up. *)
   mutable ls_token : int;
   ls_ops : (int, ls_op) Hashtbl.t;
+  (* Leader lease (inactive at lease = 0). *)
+  mutable grant_holder : Pn.t;
+      (* Last renewal granted: owner is the leaseholder's node id, round
+         its configuration-log view ([next_cseq]) at renewal time. *)
+  mutable grant_until : Sim_time.t; (* our clock; promise active below this *)
+  grants : (int, Sim_time.t) Hashtbl.t; (* leader: src -> expiry, our clock *)
+  mutable last_renew : Sim_time.t;
+  mutable n_lease_reads : int;
+  mutable read_floor : int;
+      (* Highest instance whose write may have been acked by someone
+         other than this leader in this term (adopted from a previous
+         term, or forwarded by a follower that replies to its own client
+         on local execution). Local reads wait for the executed prefix
+         to pass it; the leader's own un-acked in-flight writes need no
+         such wait — a concurrent read may linearize before them. *)
+  mutable bat_has_fwd : bool; (* a forwarded value sits in [bat_buf] *)
   (* Counters. *)
   mutable n_leader_changes : int;
   mutable n_acceptor_changes : int;
@@ -96,6 +116,83 @@ let pu t =
 let fresh_pn t =
   t.pn_round <- t.pn_round + 1;
   Pn.make ~round:t.pn_round ~owner:t.self
+
+(* ----- leader lease ------------------------------------------------------ *)
+
+(* Same clock-skew-free scheme as Multi-Paxos (see multipaxos.mli), with
+   one 1Paxos-specific twist: leadership here flows through the
+   PaxosUtility configuration log, so a grant is the promise not to help
+   {e commit} a [Leader_change] naming a different owner — enforced by
+   silently vetoing such [Pu_accept]s while the grant is active, and by
+   refusing to grant a renewer we may already have helped depose at or
+   beyond its own configuration view ([helped_elect_other]). Any quorum
+   that could commit a deposition then intersects the leader's fresh
+   grant set, so the leader's local reads stay linearizable. *)
+
+let lease_on t = t.cfg.lease > 0
+
+let lease_valid t ~at =
+  Hashtbl.fold (fun _ exp n -> if exp > at then n + 1 else n) t.grants 0
+  >= majority t
+
+let grant_active t ~at ~owner =
+  lease_on t && at < t.grant_until && owner <> t.grant_holder.Pn.owner
+
+(* Drop a [Pu_accept] that would help elect a different owner while our
+   grant is active; the proposer's backoff retries after expiry. *)
+let veto_pu t msg =
+  match msg with
+  | Wire.Pu_accept { entry = Wire.Leader_change { leader; _ }; _ } ->
+    grant_active t ~at:(now t) ~owner:leader
+  | _ -> false
+
+let on_renew t ~src ~pn ~sent =
+  let at = now t in
+  if
+    (not (grant_active t ~at ~owner:pn.Pn.owner))
+    && not
+         (Paxos_utility.helped_elect_other (pu t) ~from_cseq:pn.Pn.round
+            ~leader:pn.Pn.owner)
+  then begin
+    t.grant_holder <- pn;
+    t.grant_until <- max t.grant_until (at + t.cfg.lease);
+    send t src (Wire.Le_grant { pn; sent })
+  end
+
+let on_grant t ~src ~pn ~sent =
+  if t.iam_leader && pn.Pn.owner = t.self then
+    Hashtbl.replace t.grants src (sent + t.cfg.lease - t.cfg.lease_skew)
+
+(* Renewals ride the failure-detector tick ([scan]) rather than their own
+   timer: piggybacking on traffic that already exists keeps lease = 0
+   byte-identical and adds no timer churn. *)
+let maybe_renew t =
+  if lease_on t && t.iam_leader then begin
+    let at = now t in
+    if at - t.last_renew >= max 1 (t.cfg.lease / 3) then begin
+      t.last_renew <- at;
+      let pn =
+        Pn.make ~round:(Paxos_utility.next_cseq (pu t)) ~owner:t.self
+      in
+      Array.iter
+        (fun dst -> send t dst (Wire.Le_renew { pn; sent = at }))
+        t.cfg.replicas
+    end
+  end
+
+let lease_read t cmd =
+  if
+    lease_on t && t.iam_leader
+    (* Local state reflects every write any client may have seen acked:
+       our own acks happen on execution (automatic), and [read_floor]
+       covers instances a previous term or a forwarding follower could
+       have acked. The batch buffer must be empty because buffered
+       forwarded values have no instance yet (see [flush_batch]). *)
+    && Replica_core.first_gap t.core > t.read_floor
+    && Queue.is_empty t.bat_buf
+    && lease_valid t ~at:(now t)
+  then Replica_core.local_read t.core cmd
+  else None
 
 (* ----- proposing client values (failure-free path) --------------------- *)
 
@@ -187,6 +284,12 @@ and flush_batch t k =
     vs;
   Hashtbl.replace t.bat_remaining base (ref k);
   t.bat_inflight <- t.bat_inflight + 1;
+  if t.bat_has_fwd then begin
+    (* A forwarded value may be in this batch: its follower can ack it
+       as soon as it decides, so local reads wait for the whole range. *)
+    t.read_floor <- max t.read_floor (base + k - 1);
+    if Queue.is_empty t.bat_buf then t.bat_has_fwd <- false
+  end;
   match t.aa with
   | Some a -> send t a (Wire.Op_accept_batch { base; pn = t.my_pn; vs })
   | None -> assert false
@@ -287,6 +390,7 @@ let forward_pending t =
 let step_down t =
   if t.iam_leader then t.env.Node_env.note_phase ~phase:"1paxos:step-down";
   t.iam_leader <- false;
+  Hashtbl.reset t.grants;
   t.becoming <- false;
   t.pending_prepare <- None;
   t.prepare_deadline <- None;
@@ -447,13 +551,16 @@ let handle_value t v =
 
 let handle_request t ~src ~req_id ~cmd ~relaxed_read =
   if relaxed_read && t.cfg.relaxed_reads && Command.is_read cmd then
-    match cmd with
-    | Command.Get { key } ->
-      send t src
-        (Wire.Reply
-           { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
-    | Command.Put _ | Command.Cas _ | Command.Nop | Command.Mput _
-    | Command.Prep _ | Command.Fin _ -> ()
+    match Replica_core.local_read t.core cmd with
+    | Some result -> send t src (Wire.Reply { req_id; result })
+    | None -> ()
+  else if Command.is_read cmd then begin
+    match lease_read t cmd with
+    | Some result ->
+      t.n_lease_reads <- t.n_lease_reads + 1;
+      send t src (Wire.Reply { req_id; result })
+    | None -> handle_value t { Wire.client = src; req_id; cmd }
+  end
   else handle_value t { Wire.client = src; req_id; cmd }
 
 (* ----- acceptor role (Appendix A, lines 45..61) ------------------------- *)
@@ -543,6 +650,9 @@ let on_prepare_response t ~src ~pn ~accepted =
       (fun (inst, (_, v)) -> Hashtbl.replace t.proposed inst v)
       accepted;
     bump_next_inst t;
+    (* Anything adopted may already have been acked by the previous
+       term: no local reads until our store reflects all of it. *)
+    t.read_floor <- max t.read_floor (t.next_inst - 1);
     re_propose_uncommitted t;
     drain_pending t
   end
@@ -575,6 +685,7 @@ let on_abandon t ~src ~hpn =
 (* ----- failure detector -------------------------------------------------- *)
 
 let scan t =
+  maybe_renew t;
   (if t.iam_leader then begin
      let oldest =
        Hashtbl.fold (fun _ at acc -> min at acc) t.outstanding max_int
@@ -627,14 +738,20 @@ let on_ls_reply t ~token ~decisions =
 (* ----- wiring ------------------------------------------------------------ *)
 
 let handle t ~src msg =
-  if not (Paxos_utility.handle (pu t) ~src msg) then
+  if veto_pu t msg then ()
+  else if not (Paxos_utility.handle (pu t) ~src msg) then
     match msg with
     | Wire.Request { req_id; cmd; relaxed_read } ->
       handle_request t ~src ~req_id ~cmd ~relaxed_read
     | Wire.Forward { v } ->
       if t.iam_leader then begin
         Hashtbl.replace t.my_keys (Wire.value_key v) ();
-        propose_value t v
+        propose_value t v;
+        (* The forwarding follower replies to its own client when *it*
+           executes — possibly before we do: block local reads until
+           our store reflects the forwarded write. *)
+        t.read_floor <- max t.read_floor (t.next_inst - 1);
+        if not (Queue.is_empty t.bat_buf) then t.bat_has_fwd <- true
       end
       else handle_value t v
     | Wire.Op_prepare_request { pn; must_be_fresh } ->
@@ -648,6 +765,8 @@ let handle t ~src msg =
     | Wire.Op_learn_batch { base; vs } -> on_learn_batch t ~base ~vs
     | Wire.Ls_req { token; from_ } -> on_ls_req t ~src ~token ~from_
     | Wire.Ls_reply { token; decisions } -> on_ls_reply t ~token ~decisions
+    | Wire.Le_renew { pn; sent } -> if lease_on t then on_renew t ~src ~pn ~sent
+    | Wire.Le_grant { pn; sent } -> if lease_on t then on_grant t ~src ~pn ~sent
     | Wire.Reply _ | Wire.Mp_prepare _ | Wire.Mp_promise _ | Wire.Mp_reject _
     | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Tp_prepare _ | Wire.Tp_ack _
     | Wire.Tp_commit _ | Wire.Tp_commit_ack _ | Wire.Tp_rollback _ | Wire.Tp_nack _
@@ -716,7 +835,12 @@ let validate_config config =
          config.initial_acceptor);
   if config.max_batch < 1 then
     invalid_arg "Onepaxos: max_batch must be >= 1";
-  if config.window < 0 then invalid_arg "Onepaxos: window must be >= 0"
+  if config.window < 0 then invalid_arg "Onepaxos: window must be >= 0";
+  if config.lease < 0 then invalid_arg "Onepaxos: lease must be >= 0";
+  if config.lease_skew < 0 then
+    invalid_arg "Onepaxos: lease_skew must be >= 0";
+  if config.lease > 0 && config.lease_skew >= config.lease then
+    invalid_arg "Onepaxos: lease_skew must be < lease"
 
 let create ~env ~config =
   validate_config config;
@@ -756,6 +880,13 @@ let create ~env ~config =
       acc_ap = Hashtbl.create 256;
       ls_token = 0;
       ls_ops = Hashtbl.create 8;
+      grant_holder = Pn.bottom;
+      grant_until = 0;
+      grants = Hashtbl.create 8;
+      last_renew = -config.lease;
+      n_lease_reads = 0;
+      read_floor = -1;
+      bat_has_fwd = false;
       n_leader_changes = 0;
       n_acceptor_changes = 0;
     }
@@ -853,6 +984,13 @@ let recover ~env ~config ~stable:st =
       acc_ap = Hashtbl.create 256;
       ls_token = 0;
       ls_ops = Hashtbl.create 8;
+      grant_holder = Pn.bottom;
+      grant_until = 0;
+      grants = Hashtbl.create 8;
+      last_renew = -config.lease;
+      n_lease_reads = 0;
+      read_floor = -1;
+      bat_has_fwd = false;
       n_leader_changes = 0;
       n_acceptor_changes = 0;
     }
@@ -884,6 +1022,14 @@ let recover ~env ~config ~stable:st =
      a follower and leadership flows through the takeover machinery. *)
   t.iam_leader <- false;
   t.ap_covered <- false;
+  (* Grants are volatile: we may have promised a lease just before the
+     crash. Sit out one full window — refuse every renewal and veto
+     every deposition ([Pn.bottom]'s owner matches nobody) until any
+     pre-crash promise has provably expired. *)
+  if config.lease > 0 then begin
+    t.grant_holder <- Pn.bottom;
+    t.grant_until <- env.Node_env.now () + config.lease
+  end;
   bump_next_inst t;
   (* Rejoin: refresh the configuration view from a majority, then pull
      decisions we missed while dead; the failure detector restarts so a
@@ -901,6 +1047,8 @@ let replica_core t = t.core
 let leader_changes t = t.n_leader_changes
 let acceptor_changes t = t.n_acceptor_changes
 let pending_count t = Queue.length t.pending
+let lease_reads t = t.n_lease_reads
+let holds_lease t = t.iam_leader && lease_on t && lease_valid t ~at:(now t)
 
 let inject_acceptor_reset t =
   t.hpn <- Pn.bottom;

@@ -51,6 +51,24 @@ type config = {
           [0] (the default) leaves the in-flight count unbounded, as in
           the paper's protocol. Setting it also activates the batching
           layer even at [max_batch = 1]. *)
+  lease : Ci_engine.Sim_time.t;
+      (** Leader-lease duration; [0] (the default) disables leases and
+          leaves the protocol byte-identical. When on, the leader's
+          failure-detector tick broadcasts [Le_renew] every [lease / 3];
+          a granting replica promises not to help {e commit} a
+          [Leader_change] naming a different owner for [lease] on its
+          own clock (it silently vetoes such [Pu_accept]s), and the
+          leader serves linearizable [Get]/[Range] locally while a
+          majority of echoed grants are younger than
+          [sent + lease - lease_skew] on {e its} clock. Failover while a
+          lease is held costs up to one extra [lease] of unavailability
+          — the classic trade. *)
+  lease_skew : Ci_engine.Sim_time.t;
+      (** Assumed bound on clock-{e rate} divergence over one lease
+          window (clocks are never compared across nodes). The leader
+          retires each grant [lease_skew] early, so a follower whose
+          clock runs fast by less than this still honors its promise
+          beyond the leader's belief. Must be [< lease]. *)
 }
 
 val default_config : replicas:int array -> config
@@ -104,6 +122,15 @@ val acceptor_changes : t -> int
 val pending_count : t -> int
 (** [pending_count t] is the number of client commands queued but not
     yet proposed. *)
+
+val lease_reads : t -> int
+(** [lease_reads t] counts reads this replica answered locally under a
+    valid leader lease (skipping the accept round entirely). *)
+
+val holds_lease : t -> bool
+(** [holds_lease t] is whether this replica is leader {e and} a majority
+    of grants are unexpired right now, i.e. a local read issued at this
+    instant would be served without consensus. *)
 
 val inject_acceptor_reset : t -> unit
 (** [inject_acceptor_reset t] wipes this replica's acceptor-role state

@@ -271,8 +271,28 @@ let handle t ~src msg =
   | Wire.Op_learn _ | Wire.Ls_req _ | Wire.Ls_reply _ | Wire.Mp_prepare _
   | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _
   | Wire.Tp_prepare _ | Wire.Tp_ack _ | Wire.Tp_commit _ | Wire.Tp_commit_ack _
-  | Wire.Tp_rollback _ | Wire.Tp_nack _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ ->
+  | Wire.Tp_rollback _ | Wire.Tp_nack _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ | Wire.Le_renew _ | Wire.Le_grant _ ->
     false
+
+let names_other_leader ~leader = function
+  | Wire.Leader_change { leader = l; _ } -> l <> leader
+  | Wire.Acceptor_change _ -> false
+  | Wire.Epoch_change { actives } ->
+    (match actives with l :: _ -> l <> leader | [] -> false)
+
+let helped_elect_other t ~from_cseq ~leader =
+  Hashtbl.fold
+    (fun cseq s acc ->
+      acc
+      || cseq >= from_cseq
+         &&
+         match s.accepted with
+         | Some (_, e) -> names_other_leader ~leader e
+         | None -> false)
+    t.acc false
+  || List.exists
+       (fun (cseq, e) -> cseq >= from_cseq && names_other_leader ~leader e)
+       (Op_log.to_list t.log)
 
 let entries t = Op_log.to_list t.log
 let next_cseq t = Op_log.first_gap t.log

@@ -65,6 +65,14 @@ val next_cseq : t -> int
 (** [next_cseq t] is the first slot this node does not know to be
     decided. *)
 
+val helped_elect_other : t -> from_cseq:int -> leader:int -> bool
+(** [helped_elect_other t ~from_cseq ~leader] is whether this node's
+    acceptor registers or chosen log contain, at any slot [>= from_cseq],
+    an entry naming a leader other than [leader]. A lease grantee uses
+    it to refuse a renewer whose deposition it may already have helped
+    commit — the accepted-but-not-yet-learned window where the renewer's
+    own log cannot warn it. *)
+
 val applied_upto : t -> int
 (** [applied_upto t] is the first slot [on_entry] has not yet fired
     for. *)

@@ -1,6 +1,7 @@
 module Op_log = Ci_rsm.Op_log
 module Kv_store = Ci_rsm.Kv_store
 module Session_table = Ci_rsm.Session_table
+module Command = Ci_rsm.Command
 
 type executed = { inst : int; v : Wire.value; result : Ci_rsm.Command.result }
 
@@ -55,6 +56,14 @@ let cached_result t ~client ~req_id =
   Session_table.find t.sessions ~client ~req_id
 
 let local_get t ~key = Kv_store.get t.store key
+
+let local_read t (cmd : Command.t) : Command.result option =
+  match cmd with
+  | Command.Get { key } -> Some (Command.Found (Kv_store.get t.store key))
+  | Command.Range { lo; hi } ->
+    Some (Command.Vals (Kv_store.range t.store ~lo ~hi))
+  | Command.Put _ | Command.Cas _ | Command.Nop | Command.Mput _
+  | Command.Prep _ | Command.Fin _ -> None
 
 let commits t = t.executed_upto
 

@@ -49,6 +49,12 @@ val local_get : t -> key:int -> int option
 (** [local_get t ~key] reads the replica's store directly — the relaxed
     local read of §7.5 (may be stale). *)
 
+val local_read : t -> Ci_rsm.Command.t -> Ci_rsm.Command.result option
+(** [local_read t cmd] answers a read-only command ([Get], [Range])
+    straight from the replica's store, [None] for anything that would
+    mutate it. Staleness is the caller's problem: relaxed reads accept
+    it, lease reads prove freshness first. *)
+
 val commits : t -> int
 (** [commits t] is how many instances have been executed. *)
 

@@ -221,6 +221,11 @@ module Router = struct
             let parts = List.sort compare [ part k1 d1; part k2 d2 ] in
             start_txn t ~client:src ~req_id parts
           end
+        | Command.Range _ ->
+          (* Ranges are single-shard by contract: a span crossing the
+             hash partition has no snapshot to read from, so refuse it
+             deterministically rather than return a torn result. *)
+          send t ~dst:src (Wire.Reply { req_id; result = Command.Rejected })
         | _ ->
           (* Multi-group routing is defined only for Mput today. *)
           forward t ~client:src ~req_id ~cmd))

@@ -34,29 +34,33 @@ type t = {
 let send t dst msg = t.env.Node_env.send ~dst msg
 let broadcast_others t msg = Array.iter (fun dst -> send t dst msg) t.others
 
+let reply_if_mine t (ex : Replica_core.executed) =
+  let key = Wire.value_key ex.v in
+  if Hashtbl.mem t.my_keys key then begin
+    Hashtbl.remove t.my_keys key;
+    send t ex.v.Wire.client
+      (Wire.Reply { req_id = ex.v.Wire.req_id; result = ex.result })
+  end
+
 let learn_value t ~inst v =
   Hashtbl.remove t.inflight (Wire.value_key v);
-  ignore (Replica_core.learn t.core ~inst v)
+  List.iter (reply_if_mine t) (Replica_core.learn t.core ~inst v)
 
 (* Coordinator: once every replica acknowledged the prepare, the update
    can no longer be refused anywhere — commit it, answer the client, and
-   let the commit acknowledgements merely retire the bookkeeping. *)
+   let the commit acknowledgements merely retire the bookkeeping.
+   Failure-free, commits complete in instance order, so execution (and
+   the reply) happens inside [learn_value]; if a dropped prepare or ack
+   left an earlier round open, this learn is non-contiguous and the
+   reply waits until the gap fills — the client sees silence, never a
+   premature answer. *)
 let maybe_commit t ~inst round =
   if (not round.committed) && round.acks >= Array.length t.others then begin
     round.committed <- true;
-    learn_value t ~inst round.v;
+    Hashtbl.remove t.inflight (Wire.value_key round.v);
+    let executed = Replica_core.learn t.core ~inst round.v in
     broadcast_others t (Wire.Tp_commit { inst; v = round.v });
-    let v = round.v in
-    (match
-       Replica_core.cached_result t.core ~client:v.Wire.client ~req_id:v.Wire.req_id
-     with
-     | Some result ->
-       Hashtbl.remove t.my_keys (Wire.value_key v);
-       send t v.Wire.client (Wire.Reply { req_id = v.Wire.req_id; result })
-     | None ->
-       (* Commits complete in instance order and execution is
-          contiguous, so the result must be available. *)
-       assert false);
+    List.iter (reply_if_mine t) executed;
     if Array.length t.others = 0 then Hashtbl.remove t.rounds inst
   end
 
@@ -83,12 +87,18 @@ let coordinate t v =
    received in the gap between two phases" (replicas lock their local
    copy of the datum, so the lock is per key). *)
 let read_is_locked t cmd =
-  match Command.key_of cmd with
-  | None -> false
-  | Some key ->
+  (* [keys_of], not [key_of]: a [Range] is locked if {e any} key in its
+     span has a prepared write pending, not just its low endpoint. *)
+  match Command.keys_of cmd with
+  | [] -> false
+  | keys ->
     Hashtbl.fold
       (fun _ (v : Wire.value) locked ->
-        locked || Command.key_of v.Wire.cmd = Some key)
+        locked
+        ||
+        match Command.key_of v.Wire.cmd with
+        | Some k -> List.mem k keys
+        | None -> false)
       t.prepared false
 
 let handle_request t ~src ~req_id ~cmd =
@@ -97,12 +107,9 @@ let handle_request t ~src ~req_id ~cmd =
   else if t.cfg.local_reads && Command.is_read cmd && not (read_is_locked t cmd)
   then begin
     t.n_local_reads <- t.n_local_reads + 1;
-    match cmd with
-    | Command.Get { key } ->
-      send t src
-        (Wire.Reply { req_id; result = Command.Found (Replica_core.local_get t.core ~key) })
-    | Command.Put _ | Command.Cas _ | Command.Nop | Command.Mput _
-    | Command.Prep _ | Command.Fin _ -> ()
+    match Replica_core.local_read t.core cmd with
+    | Some result -> send t src (Wire.Reply { req_id; result })
+    | None -> ()
   end
   else
     (* 2PC has no leader change: hand the command to the coordinator. *)
@@ -140,7 +147,7 @@ let handle t ~src msg =
   | Wire.Pu_prepare _ | Wire.Pu_promise _ | Wire.Pu_reject _ | Wire.Pu_accept _
   | Wire.Pu_accepted _ | Wire.Pu_nack _ | Wire.Pu_learn _ | Wire.Pu_read _
   | Wire.Pu_read_reply _ | Wire.Ls_req _ | Wire.Ls_reply _ | Wire.Mp_prepare _
-  | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ | Wire.Tp_nack _ ->
+  | Wire.Mp_promise _ | Wire.Mp_reject _ | Wire.Mp_accept _ | Wire.Mp_learn _ | Wire.Op_accept_batch _ | Wire.Op_learn_batch _ | Wire.Mp_accept_batch _ | Wire.Mp_learn_batch _ | Wire.Bp_prepare _ | Wire.Bp_promise _ | Wire.Bp_reject _ | Wire.Bp_accept _ | Wire.Bp_learn _ | Wire.Mn_accept _ | Wire.Mn_learn _ | Wire.Cp_accept _ | Wire.Cp_accepted _ | Wire.Cp_learn _ | Wire.Cp_state _ | Wire.Tp_nack _ | Wire.Le_renew _ | Wire.Le_grant _ ->
     ()
 
 let create ~env ~config =

@@ -88,6 +88,13 @@ type t =
   | Tp_commit_ack of { inst : int }
   | Tp_rollback of { inst : int }
   | Tp_nack of { inst : int }
+  | Le_renew of { pn : Pn.t; sent : int }
+      (** Leader -> replicas: extend my read lease. [sent] is the
+          leader's own clock at transmission; the grant echoes it so the
+          leader never compares clocks across nodes. *)
+  | Le_grant of { pn : Pn.t; sent : int }
+      (** Replica -> leader: granted. The grantee promises not to help
+          elect another leader until [lease] after its own receipt. *)
 
 let pp fmt = function
   | Request { req_id; cmd; relaxed_read } ->
@@ -182,6 +189,10 @@ let pp fmt = function
   | Tp_commit_ack { inst } -> Format.fprintf fmt "2pc.commit-ack i=%d" inst
   | Tp_rollback { inst } -> Format.fprintf fmt "2pc.rollback i=%d" inst
   | Tp_nack { inst } -> Format.fprintf fmt "2pc.nack i=%d" inst
+  | Le_renew { pn; sent } ->
+    Format.fprintf fmt "le.renew pn=%a sent=%d" Pn.pp pn sent
+  | Le_grant { pn; sent } ->
+    Format.fprintf fmt "le.grant pn=%a sent=%d" Pn.pp pn sent
 
 let kind = function
   | Request _ -> "Request"
@@ -229,3 +240,5 @@ let kind = function
   | Tp_commit_ack _ -> "Tp_commit_ack"
   | Tp_rollback _ -> "Tp_rollback"
   | Tp_nack _ -> "Tp_nack"
+  | Le_renew _ -> "Le_renew"
+  | Le_grant _ -> "Le_grant"

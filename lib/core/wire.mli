@@ -127,6 +127,23 @@ type t =
   | Tp_nack of { inst : int }
       (** Participant refusal: the shard could not acquire the 2PC lock
           ([Prep] returned [Swapped false]); the coordinator aborts. *)
+  (* Leader leases: grant/renew piggybacked on the protocols' existing
+     periodic traffic so a leader can serve linearizable reads locally
+     while its lease is provably unexpired. Timestamps never cross
+     clocks: the leader stamps [sent] with its own clock and the grant
+     echoes it back, so the leader reasons about expiry entirely in its
+     own time base, and the grantee starts its own lease window from
+     its own receipt time. *)
+  | Le_renew of { pn : Pn.t; sent : int }
+      (** Leader -> replicas: extend the lease for leadership [pn].
+          [sent] is the leader's clock at transmission. *)
+  | Le_grant of { pn : Pn.t; sent : int }
+      (** Replica -> leader: granted. The grantee promises not to help
+          elect a different leader for [lease] (its own clock) after
+          receipt; the leader counts the lease as held only until
+          [sent + lease - skew] (its own clock), so the follower's
+          promise always outlives the leader's belief by at least the
+          assumed clock-skew bound. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints a compact rendering of any message (for traces and test

@@ -1,0 +1,30 @@
+module Rng = Ci_engine.Rng
+
+type spec = Fixed of float | Poisson of float
+
+let rate = function Fixed r | Poisson r -> r
+
+let validate spec =
+  let r = rate spec in
+  if not (Float.is_finite r) || r <= 0. then
+    invalid_arg "Arrival: rate must be finite and > 0"
+
+type t = T_fixed of int | T_poisson of float
+
+let compile spec =
+  validate spec;
+  match spec with
+  | Fixed r -> T_fixed (max 1 (int_of_float (1e9 /. r)))
+  | Poisson r -> T_poisson (1e9 /. r)
+
+(* Nanoseconds from one intended arrival to the next. Fixed is a
+   metronome; Poisson draws exponential gaps (memoryless, so bursts
+   occur at any offered rate — the harder, more realistic schedule). *)
+let gap t rng =
+  match t with
+  | T_fixed g -> g
+  | T_poisson mean -> max 1 (int_of_float (Rng.exponential rng ~mean))
+
+let pp_spec fmt = function
+  | Fixed r -> Format.fprintf fmt "fixed(%.0f/s)" r
+  | Poisson r -> Format.fprintf fmt "poisson(%.0f/s)" r

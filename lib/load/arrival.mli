@@ -1,0 +1,33 @@
+(** Open-loop arrival processes.
+
+    The driver asks for the gap to the next {e intended} arrival; when
+    its timer fires late it issues every overdue request immediately,
+    still stamped with the intended instant — latency then charges the
+    backlog to the system instead of silently thinning the schedule
+    (coordinated omission). *)
+
+type spec =
+  | Fixed of float  (** Metronome at the given rate (requests/second). *)
+  | Poisson of float
+      (** Poisson process at the given mean rate: exponential gaps,
+          memoryless bursts. *)
+
+val rate : spec -> float
+(** [rate spec] is the offered rate in requests/second. *)
+
+type t
+(** A compiled arrival process. *)
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] as {!compile} would. *)
+
+val compile : spec -> t
+(** Validates ([Invalid_argument] on a non-positive or non-finite rate)
+    and precomputes. *)
+
+val gap : t -> Ci_engine.Rng.t -> Ci_engine.Sim_time.t
+(** [gap t rng] is the nanoseconds between one intended arrival and the
+    next (at least 1). [Fixed] consumes no draws; [Poisson] consumes
+    one. *)
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -1,0 +1,78 @@
+module Rng = Ci_engine.Rng
+
+type spec =
+  | Uniform
+  | Zipf of float
+  | Hotkey of { hot : float; spread : float }
+
+type t =
+  | T_uniform of int
+  | T_cdf of float array (* cumulative mass per key; last entry = 1.0 *)
+  | T_hotkey of { hot : float; hot_keys : int; key_space : int }
+
+let validate spec ~key_space =
+  if key_space < 1 then invalid_arg "Key_dist: key_space must be >= 1";
+  match spec with
+  | Uniform -> ()
+  | Zipf theta ->
+    if not (Float.is_finite theta) || theta < 0. then
+      invalid_arg "Key_dist: Zipf exponent must be finite and >= 0"
+  | Hotkey { hot; spread } ->
+    if not (Float.is_finite hot && Float.is_finite spread) then
+      invalid_arg "Key_dist: Hotkey parameters must be finite";
+    if hot < 0. || hot > 1. then
+      invalid_arg "Key_dist: Hotkey hot fraction must be in [0, 1]";
+    if spread <= 0. || spread > 1. then
+      invalid_arg "Key_dist: Hotkey spread must be in (0, 1]"
+
+let compile spec ~key_space =
+  validate spec ~key_space;
+  match spec with
+  | Uniform -> T_uniform key_space
+  | Zipf theta ->
+    (* Precomputed CDF: rank r (0-based) carries mass 1/(r+1)^theta.
+       One O(key_space) pass at compile time buys O(log key_space)
+       sampling with no per-draw [**] calls. *)
+    let cdf = Array.make key_space 0. in
+    let acc = ref 0. in
+    for r = 0 to key_space - 1 do
+      acc := !acc +. (1. /. Float.pow (float_of_int (r + 1)) theta);
+      cdf.(r) <- !acc
+    done;
+    let total = !acc in
+    for r = 0 to key_space - 1 do
+      cdf.(r) <- cdf.(r) /. total
+    done;
+    cdf.(key_space - 1) <- 1.;
+    T_cdf cdf
+  | Hotkey { hot; spread } ->
+    T_hotkey
+      {
+        hot;
+        hot_keys = max 1 (int_of_float (spread *. float_of_int key_space));
+        key_space;
+      }
+
+(* Smallest rank whose cumulative mass covers [u]. *)
+let search cdf u =
+  let n = Array.length cdf in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let sample t rng =
+  match t with
+  | T_uniform n -> Rng.int rng n
+  | T_cdf cdf -> search cdf (Rng.float rng 1.)
+  | T_hotkey { hot; hot_keys; key_space } ->
+    if hot_keys >= key_space || Rng.chance rng hot then Rng.int rng hot_keys
+    else hot_keys + Rng.int rng (key_space - hot_keys)
+
+let pp_spec fmt = function
+  | Uniform -> Format.pp_print_string fmt "uniform"
+  | Zipf theta -> Format.fprintf fmt "zipf(%.2f)" theta
+  | Hotkey { hot; spread } ->
+    Format.fprintf fmt "hotkey(%.0f%%->%.0f%%)" (hot *. 100.) (spread *. 100.)

@@ -1,0 +1,34 @@
+(** Key samplers for the workload generator.
+
+    A sampler is compiled once per run ([compile]) and then drawn from
+    with no allocation: Zipfian sampling walks a precomputed CDF by
+    binary search rather than evaluating powers per draw. *)
+
+type spec =
+  | Uniform  (** Every key equally likely. *)
+  | Zipf of float
+      (** Zipfian with the given exponent (theta); [0.] degenerates to
+          uniform, [0.99] is the YCSB default skew. Key [0] is the most
+          popular. *)
+  | Hotkey of { hot : float; spread : float }
+      (** A [hot] fraction of draws lands uniformly in the first
+          [spread] fraction of the keyspace; the rest spread uniformly
+          over the remaining keys. *)
+
+type t
+(** A compiled sampler. *)
+
+val validate : spec -> key_space:int -> unit
+(** Raises [Invalid_argument] as {!compile} would, without paying for
+    the precomputation. *)
+
+val compile : spec -> key_space:int -> t
+(** [compile spec ~key_space] validates and precomputes. Raises
+    [Invalid_argument] on a non-positive keyspace, negative or
+    non-finite skew, or out-of-range hotkey fractions. *)
+
+val sample : t -> Ci_engine.Rng.t -> int
+(** [sample t rng] draws a key in [\[0, key_space)], consuming exactly
+    one draw from [rng]. *)
+
+val pp_spec : Format.formatter -> spec -> unit

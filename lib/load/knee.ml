@@ -1,0 +1,36 @@
+(* Kneedle-style elbow detection on a latency-vs-offered-load curve.
+   Normalize both axes to [0,1]; for the convex, increasing hockey
+   stick this curve makes, the knee is the point furthest *below* the
+   diagonal, i.e. argmax (x_n - y_n). Flat curves (no saturation in
+   view) and short curves have no knee. *)
+
+let detect points =
+  let n = Array.length points in
+  if n < 3 then None
+  else begin
+    for i = 1 to n - 1 do
+      if fst points.(i) <= fst points.(i - 1) then
+        invalid_arg "Knee.detect: offered loads must be strictly increasing"
+    done;
+    let x0 = fst points.(0) and x1 = fst points.(n - 1) in
+    let ymin =
+      Array.fold_left (fun m (_, y) -> Float.min m y) infinity points
+    and ymax =
+      Array.fold_left (fun m (_, y) -> Float.max m y) neg_infinity points
+    in
+    if ymax <= ymin *. 1.5 then None (* no saturation visible: flat *)
+    else begin
+      let best = ref (-1) and bestd = ref 0. in
+      Array.iteri
+        (fun i (x, y) ->
+          let xn = (x -. x0) /. (x1 -. x0)
+          and yn = (y -. ymin) /. (ymax -. ymin) in
+          let d = xn -. yn in
+          if d > !bestd then begin
+            best := i;
+            bestd := d
+          end)
+        points;
+      if !best < 0 then None else Some !best
+    end
+  end

@@ -1,0 +1,10 @@
+(** Saturation-knee detection for latency-vs-load curves. *)
+
+val detect : (float * float) array -> int option
+(** [detect points] is the index of the knee of a
+    [(offered_load, latency)] curve — the last load point before
+    queueing delay takes off — found by maximal distance below the
+    diagonal of the normalized curve (the "kneedle" construction).
+    [None] when fewer than 3 points, or when the curve never rises by
+    at least 1.5x (no saturation in view). Raises [Invalid_argument]
+    unless offered loads are strictly increasing. *)

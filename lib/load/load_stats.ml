@@ -1,0 +1,77 @@
+module Histogram = Ci_stats.Histogram
+
+type t = {
+  from_ : int;
+  until_ : int;
+  lat : Histogram.t;
+  service : Histogram.t;
+  mutable issued : int;
+  mutable completed : int;
+  mutable retries : int;
+  mutable rejected : int;
+  mutable stale_reads : int;
+  mutable max_backlog : int;
+}
+
+let create ~from_ ~until_ =
+  if until_ <= from_ then invalid_arg "Load_stats.create: empty window";
+  {
+    from_;
+    until_;
+    lat = Histogram.create ();
+    service = Histogram.create ();
+    issued = 0;
+    completed = 0;
+    retries = 0;
+    rejected = 0;
+    stale_reads = 0;
+    max_backlog = 0;
+  }
+
+let in_window t at = at >= t.from_ && at < t.until_
+let note_issued t ~at = if in_window t at then t.issued <- t.issued + 1
+let note_retry t = t.retries <- t.retries + 1
+let note_rejected t = t.rejected <- t.rejected + 1
+let note_stale_read t = t.stale_reads <- t.stale_reads + 1
+let note_backlog t n = if n > t.max_backlog then t.max_backlog <- n
+
+let record t ~intended_at ~sent_at ~replied_at =
+  if in_window t replied_at then begin
+    t.completed <- t.completed + 1;
+    Histogram.add t.lat (max 0 (replied_at - intended_at));
+    Histogram.add t.service (max 0 (replied_at - sent_at))
+  end
+
+let issued t = t.issued
+let completed t = t.completed
+let retries t = t.retries
+let rejected t = t.rejected
+let stale_reads t = t.stale_reads
+let max_backlog t = t.max_backlog
+let latency t = t.lat
+let service t = t.service
+
+type percentiles = { p50 : int; p99 : int; p999 : int }
+
+let percentiles_of h =
+  {
+    p50 = Histogram.quantile h 0.50;
+    p99 = Histogram.quantile h 0.99;
+    p999 = Histogram.quantile h 0.999;
+  }
+
+let latency_percentiles t = percentiles_of t.lat
+let service_percentiles t = percentiles_of t.service
+
+let throughput t =
+  float_of_int t.completed /. (float_of_int (t.until_ - t.from_) /. 1e9)
+
+let merge ~into src =
+  Histogram.merge ~into:into.lat src.lat;
+  Histogram.merge ~into:into.service src.service;
+  into.issued <- into.issued + src.issued;
+  into.completed <- into.completed + src.completed;
+  into.retries <- into.retries + src.retries;
+  into.rejected <- into.rejected + src.rejected;
+  into.stale_reads <- into.stale_reads + src.stale_reads;
+  into.max_backlog <- max into.max_backlog src.max_backlog

@@ -1,0 +1,56 @@
+(** Measurement sink for one open-loop load point.
+
+    Latencies land in log-bucketed histograms (two of them: from the
+    {e intended} arrival, and from the first transmission) so a
+    million-request run costs a few hundred integers, not a sample
+    list. Only completions inside the configured measurement window
+    count — warmup and drain are excluded at record time. *)
+
+type t
+
+val create : from_:Ci_engine.Sim_time.t -> until_:Ci_engine.Sim_time.t -> t
+(** [create ~from_ ~until_] measures completions in [\[from_, until_)].
+    Raises [Invalid_argument] on an empty window. *)
+
+val record :
+  t ->
+  intended_at:Ci_engine.Sim_time.t ->
+  sent_at:Ci_engine.Sim_time.t ->
+  replied_at:Ci_engine.Sim_time.t ->
+  unit
+(** Logs one completed request (ignored outside the window). *)
+
+val note_issued : t -> at:Ci_engine.Sim_time.t -> unit
+val note_retry : t -> unit
+val note_rejected : t -> unit
+
+val note_stale_read : t -> unit
+(** A read-your-writes violation observed by the session tracker. *)
+
+val note_backlog : t -> int -> unit
+(** Tracks the high-water mark of the driver's not-yet-sent backlog. *)
+
+val issued : t -> int
+val completed : t -> int
+val retries : t -> int
+val rejected : t -> int
+val stale_reads : t -> int
+val max_backlog : t -> int
+
+val latency : t -> Ci_stats.Histogram.t
+(** Intended-arrival-to-reply latency histogram. *)
+
+val service : t -> Ci_stats.Histogram.t
+(** Send-to-reply (service) latency histogram. *)
+
+type percentiles = { p50 : int; p99 : int; p999 : int }
+
+val latency_percentiles : t -> percentiles
+val service_percentiles : t -> percentiles
+
+val throughput : t -> float
+(** Completions per second over the measurement window. *)
+
+val merge : into:t -> t -> unit
+(** Pools another collector's counts and buckets (e.g. per-driver sinks
+    into one run-level sink). Window bounds of [into] are kept. *)

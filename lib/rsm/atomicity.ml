@@ -43,7 +43,7 @@ let check ~decided ~txns ~acked =
             if not (List.mem (group, commit) prev) then
               Hashtbl.replace fins txn ((group, commit) :: prev)
           | Command.Put _ | Command.Get _ | Command.Cas _ | Command.Nop
-          | Command.Mput _ -> ())
+          | Command.Mput _ | Command.Range _ -> ())
         cmds)
     decided;
   Hashtbl.iter

@@ -6,23 +6,34 @@ type t =
   | Mput of { k1 : int; d1 : int; k2 : int; d2 : int }
   | Prep of { txn : int; key : int; data : int }
   | Fin of { txn : int; key : int; commit : bool }
+  | Range of { lo : int; hi : int }
 
-type result = Done | Found of int option | Swapped of bool
+type result =
+  | Done
+  | Found of int option
+  | Swapped of bool
+  | Vals of (int * int) list
+  | Rejected
 
 let is_read = function
-  | Get _ -> true
+  | Get _ | Range _ -> true
   | Put _ | Cas _ | Nop | Mput _ | Prep _ | Fin _ -> false
 
 let key_of = function
   | Put { key; _ } | Get { key } | Cas { key; _ } -> Some key
   | Mput { k1; _ } -> Some k1
   | Prep { key; _ } | Fin { key; _ } -> Some key
+  | Range { lo; _ } -> Some lo
   | Nop -> None
 
 let keys_of = function
   | Put { key; _ } | Get { key } | Cas { key; _ } -> [ key ]
   | Mput { k1; k2; _ } -> if k1 = k2 then [ k1 ] else [ k1; k2 ]
   | Prep { key; _ } | Fin { key; _ } -> [ key ]
+  | Range { lo; hi } ->
+    (* Every key the scan covers, so shard routing sees the span. *)
+    if hi <= lo then []
+    else List.init (hi - lo) (fun i -> lo + i)
   | Nop -> []
 
 let equal a b =
@@ -35,14 +46,18 @@ let equal a b =
     x.k1 = y.k1 && x.d1 = y.d1 && x.k2 = y.k2 && x.d2 = y.d2
   | Prep x, Prep y -> x.txn = y.txn && x.key = y.key && x.data = y.data
   | Fin x, Fin y -> x.txn = y.txn && x.key = y.key && x.commit = y.commit
-  | (Put _ | Get _ | Cas _ | Nop | Mput _ | Prep _ | Fin _), _ -> false
+  | Range x, Range y -> x.lo = y.lo && x.hi = y.hi
+  | (Put _ | Get _ | Cas _ | Nop | Mput _ | Prep _ | Fin _ | Range _), _ ->
+    false
 
 let equal_result a b =
   match a, b with
   | Done, Done -> true
   | Found x, Found y -> x = y
   | Swapped x, Swapped y -> x = y
-  | (Done | Found _ | Swapped _), _ -> false
+  | Vals x, Vals y -> x = y
+  | Rejected, Rejected -> true
+  | (Done | Found _ | Swapped _ | Vals _ | Rejected), _ -> false
 
 let pp fmt = function
   | Put { key; data } -> Format.fprintf fmt "put k%d=%d" key data
@@ -56,9 +71,12 @@ let pp fmt = function
   | Fin { txn; key; commit } ->
     Format.fprintf fmt "fin t%d k%d %s" txn key
       (if commit then "commit" else "abort")
+  | Range { lo; hi } -> Format.fprintf fmt "range [k%d,k%d)" lo hi
 
 let pp_result fmt = function
   | Done -> Format.pp_print_string fmt "done"
   | Found None -> Format.pp_print_string fmt "found -"
   | Found (Some v) -> Format.fprintf fmt "found %d" v
   | Swapped b -> Format.fprintf fmt "swapped %b" b
+  | Vals kvs -> Format.fprintf fmt "vals %d" (List.length kvs)
+  | Rejected -> Format.pp_print_string fmt "rejected"

@@ -33,11 +33,21 @@ type t =
           apply the staged write (when [commit]) or discard it, then
           release the lock. Idempotent; unknown transactions are
           no-ops. *)
+  | Range of { lo : int; hi : int }
+      (** Read every live key in [[lo, hi)] (half-open). Single-shard
+          only: when the span crosses shard boundaries the router
+          answers [Rejected] instead of routing it. *)
 
 type result =
   | Done  (** A write (or [Nop]) was applied. *)
   | Found of int option  (** A read's answer. *)
   | Swapped of bool  (** Whether a [Cas] succeeded / a [Prep] locked. *)
+  | Vals of (int * int) list
+      (** A [Range]'s answer: the live [(key, data)] pairs in the span,
+          sorted by key. *)
+  | Rejected
+      (** The request was refused without executing (e.g. a cross-shard
+          [Range]); the client should not retry it unchanged. *)
 
 val is_read : t -> bool
 (** [is_read c] is whether [c] leaves the store unchanged. *)

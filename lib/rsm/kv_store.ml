@@ -11,6 +11,14 @@ let create () =
     staged = Hashtbl.create 8;
   }
 
+let range t ~lo ~hi =
+  (* O(live keys), independent of the span width, so a scan over a
+     sparse billion-key span costs what the store holds, not the span. *)
+  Hashtbl.fold
+    (fun k v acc -> if k >= lo && k < hi then (k, v) :: acc else acc)
+    t.store []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let apply t (c : Command.t) : Command.result =
   match c with
   | Put { key; data } ->
@@ -50,6 +58,7 @@ let apply t (c : Command.t) : Command.result =
        Hashtbl.remove t.staged key;
        Done
      | Some _ | None -> Done (* duplicate or foreign finish: no-op *))
+  | Range { lo; hi } -> Vals (range t ~lo ~hi)
 
 let get t key = Hashtbl.find_opt t.store key
 

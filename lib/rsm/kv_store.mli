@@ -18,6 +18,10 @@ val apply : t -> Command.t -> Command.result
 val get : t -> int -> int option
 (** [get t key] is a direct read (used for relaxed local reads). *)
 
+val range : t -> lo:int -> hi:int -> (int * int) list
+(** [range t ~lo ~hi] is the live [(key, data)] pairs with
+    [lo <= key < hi], sorted by key — a direct read, like {!get}. *)
+
 val size : t -> int
 (** [size t] is the number of live keys. *)
 

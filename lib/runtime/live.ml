@@ -33,6 +33,9 @@ type spec = {
   read_ratio : float;
   key_space : int;
   outbox_cap : int;
+  lease : int;
+  lease_skew : int;
+  open_loop : Ci_workload.Runner.open_loop option;
   nemesis : Ci_faults.t;
 }
 
@@ -54,6 +57,9 @@ let default_spec ~protocol =
     read_ratio = 0.;
     key_space = 64;
     outbox_cap = 4096;
+    lease = 0;
+    lease_skew = 0;
+    open_loop = None;
     nemesis = Ci_faults.empty;
   }
 
@@ -96,6 +102,10 @@ type result = {
       (* per node: sends that found the destination ring full *)
   alloc_words_per_op : float;
       (* words allocated per committed op across replica+router domains *)
+  lease_reads : int;
+      (* reads served locally under an unexpired lease, summed *)
+  load : Ci_load.Load_stats.t option;
+      (* open-loop sink pooled over the drivers; Some iff spec.open_loop *)
   consistency : Consistency.report;
   atomicity : Atomicity.report option;
   metrics : Metrics.t;
@@ -167,13 +177,20 @@ let validate spec =
     invalid_arg "Live.run: read_ratio must be in [0, 1]";
   if spec.key_space < 1 then invalid_arg "Live.run: key_space must be >= 1";
   if spec.outbox_cap < 1 then invalid_arg "Live.run: outbox_cap must be >= 1";
+  if spec.lease < 0 then invalid_arg "Live.run: lease must be >= 0";
+  if spec.lease > 0 && spec.lease_skew >= spec.lease then
+    invalid_arg "Live.run: lease_skew must be < lease";
   if spec.transport = Socket then begin
     if spec.groups > 1 then
       invalid_arg "Live.run: the socket transport does not shard yet (groups must be 1)";
     if not (Ci_faults.is_empty spec.nemesis) then
       invalid_arg
         "Live.run: nemesis is in-process only; the socket transport gets its \
-         faults from the operating system"
+         faults from the operating system";
+    if spec.open_loop <> None then
+      invalid_arg
+        "Live.run: the open-loop driver is in-process only (socket children \
+         run closed-loop clients)"
   end;
   if not (Ci_faults.is_empty spec.nemesis) then begin
     (match
@@ -338,7 +355,7 @@ let replica_core = function
    — never because a GC pause or a scheduling gap delayed one reply. *)
 let ms = Sim_time.ms
 
-let op_cfg ~replicas () =
+let op_cfg ~spec ~replicas () =
   let d = Ci_consensus.Onepaxos.default_config ~replicas in
   {
     d with
@@ -346,11 +363,18 @@ let op_cfg ~replicas () =
     prepare_timeout = ms 200;
     check_period = ms 50;
     pu_timeout = ms 100;
+    lease = spec.lease;
+    lease_skew = spec.lease_skew;
   }
 
-let mp_cfg ~replicas () =
+let mp_cfg ~spec ~replicas () =
   let d = Ci_consensus.Multipaxos.default_config ~replicas in
-  { d with Ci_consensus.Multipaxos.election_timeout = ms 150 }
+  {
+    d with
+    Ci_consensus.Multipaxos.election_timeout = ms 150;
+    lease = spec.lease;
+    lease_skew = spec.lease_skew;
+  }
 
 let fresh_state ~id ~tr ~nem_links ~nem_seed =
   {
@@ -445,9 +469,9 @@ let run_inproc spec =
         let replicas = group_ids (group_of_replica i) in
         match spec.protocol with
         | Onepaxos ->
-          Op (Ci_consensus.Onepaxos.create ~env ~config:(op_cfg ~replicas ()))
+          Op (Ci_consensus.Onepaxos.create ~env ~config:(op_cfg ~spec ~replicas ()))
         | Multipaxos ->
-          Mp (Ci_consensus.Multipaxos.create ~env ~config:(mp_cfg ~replicas ())))
+          Mp (Ci_consensus.Multipaxos.create ~env ~config:(mp_cfg ~spec ~replicas ())))
   in
   (* Sharded runs put a 2PC participant in front of each group's entry
      replica — same wrapping as the sim runner; everything the
@@ -536,12 +560,12 @@ let run_inproc spec =
             | Some (St_op s) ->
               Op
                 (Ci_consensus.Onepaxos.recover ~env
-                   ~config:(op_cfg ~replicas:group ())
+                   ~config:(op_cfg ~spec ~replicas:group ())
                    ~stable:s)
             | Some (St_mp s) ->
               Mp
                 (Ci_consensus.Multipaxos.recover ~env
-                   ~config:(mp_cfg ~replicas:group ())
+                   ~config:(mp_cfg ~spec ~replicas:group ())
                    ~stable:s)
             | None -> assert false
           in
@@ -570,13 +594,54 @@ let run_inproc spec =
     }
   in
   let clients =
-    Array.init n_clients (fun i ->
-        let policy =
-          if n_routers > 0 then { policy with Client.primary = i mod n_routers }
-          else policy
-        in
-        Client.create ~env:(env_of (client_base + i)) ~policy
-          ~stats:client_stats.(i))
+    if spec.open_loop <> None then [||]
+    else
+      Array.init n_clients (fun i ->
+          let policy =
+            if n_routers > 0 then
+              { policy with Client.primary = i mod n_routers }
+            else policy
+          in
+          Client.create ~env:(env_of (client_base + i)) ~policy
+            ~stats:client_stats.(i))
+  in
+  (* Open-loop drivers: one per client node, each with its own sink
+     (each runs in its own domain; the sinks are merged after the
+     joins). The measurement window is the whole measured phase. *)
+  let duration_ns = int_of_float (spec.duration_s *. 1e9) in
+  let load_sinks, drivers =
+    match spec.open_loop with
+    | None -> ([||], [||])
+    | Some ol ->
+      let sinks =
+        Array.init n_clients (fun _ ->
+            Ci_load.Load_stats.create ~from_:0 ~until_:duration_ns)
+      in
+      let drivers =
+        Array.init n_clients (fun i ->
+            let config =
+              {
+                Ci_load.Open_client.targets =
+                  (if n_routers = 0 then replica_ids else router_ids);
+                primary = (if n_routers > 0 then i mod n_routers else 0);
+                failover = true;
+                timeout = spec.client_timeout;
+                arrival = ol.Ci_workload.Runner.arrival;
+                key_dist = ol.Ci_workload.Runner.key_dist;
+                key_space = ol.Ci_workload.Runner.key_space;
+                mix = ol.Ci_workload.Runner.mix;
+                range_span = ol.Ci_workload.Runner.range_span;
+                population = ol.Ci_workload.Runner.population;
+                sessions = ol.Ci_workload.Runner.sessions;
+                relaxed_reads = false;
+                stop_at = duration_ns;
+              }
+            in
+            Ci_load.Open_client.create
+              ~env:(env_of (client_base + i))
+              ~config ~stats:sinks.(i))
+      in
+      (sinks, drivers)
   in
   Array.iteri
     (fun i c ->
@@ -586,6 +651,12 @@ let run_inproc spec =
         (fun ~src msg ->
           if not (Atomic.get quiesce) then Client.handle c ~src msg))
     clients;
+  Array.iteri
+    (fun i d ->
+      states.(client_base + i).handler <-
+        (fun ~src msg ->
+          if not (Atomic.get quiesce) then Ci_load.Open_client.handle d ~src msg))
+    drivers;
   let domains =
     Array.init n (fun i ->
         Domain.spawn (fun () ->
@@ -594,7 +665,10 @@ let run_inproc spec =
                match replicas.(i) with
                | Op p -> Ci_consensus.Onepaxos.start p
                | Mp p -> Ci_consensus.Multipaxos.start p
-             else if i >= client_base then Client.start clients.(i - client_base));
+             else if i >= client_base then
+               if Array.length drivers > 0 then
+                 Ci_load.Open_client.start drivers.(i - client_base)
+               else Client.start clients.(i - client_base));
             event_loop states.(i) ~t0 ~stop ~m_work;
             (* [Gc.allocated_bytes] is domain-local; the delta is what
                this node's whole lifetime allocated, written before the
@@ -609,10 +683,19 @@ let run_inproc spec =
   Array.iter Domain.join domains;
   (* Everything below reads domain-owned state after the joins. *)
   let wall_s = float_of_int t_quiesce /. 1e9 in
+  let load =
+    if Array.length load_sinks = 0 then None
+    else begin
+      let pooled = Ci_load.Load_stats.create ~from_:0 ~until_:duration_ns in
+      Array.iter (fun s -> Ci_load.Load_stats.merge ~into:pooled s) load_sinks;
+      Some pooled
+    end
+  in
   let ops =
     Array.fold_left
       (fun acc s -> acc + Run_stats.completed_in s ~from_:0 ~until_:t_quiesce)
       0 client_stats
+    + (match load with Some s -> Ci_load.Load_stats.completed s | None -> 0)
   in
   let latencies =
     Array.to_list client_stats
@@ -620,7 +703,10 @@ let run_inproc spec =
            Array.to_list (Run_stats.latencies_in s ~from_:0 ~until_:t_quiesce))
     |> Array.of_list
   in
-  let retries = Array.fold_left (fun acc c -> acc + Client.retries c) 0 clients in
+  let retries =
+    Array.fold_left (fun acc c -> acc + Client.retries c) 0 clients
+    + (match load with Some s -> Ci_load.Load_stats.retries s | None -> 0)
+  in
   let leader_changes, acceptor_changes =
     Array.fold_left
       (fun (lc, ac) r ->
@@ -655,6 +741,13 @@ let run_inproc spec =
         (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
         (Client.issued c))
     clients;
+  Array.iter
+    (fun d ->
+      let id = Ci_load.Open_client.node_id d in
+      List.iter
+        (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
+        (Ci_load.Open_client.issued d))
+    drivers;
   Array.iteri
     (fun g p ->
       let id = g * n_replicas in
@@ -667,7 +760,11 @@ let run_inproc spec =
     | Some cmd -> Command.equal cmd v.Wire.cmd
     | None -> false
   in
-  let acked = Array.to_list clients |> List.concat_map Client.acked_writes in
+  let acked =
+    (Array.to_list clients |> List.concat_map Client.acked_writes)
+    @ (Array.to_list drivers
+      |> List.concat_map Ci_load.Open_client.acked_writes)
+  in
   let views =
     Array.to_list (Array.map (fun r -> Replica_core.view (replica_core r)) replicas)
   in
@@ -758,6 +855,39 @@ let run_inproc spec =
     Metrics.set_int metrics "live.shard.committed" (sum Shard.Router.committed);
     Metrics.set_int metrics "live.shard.aborted" (sum Shard.Router.aborted)
   end;
+  let lease_reads =
+    Array.fold_left
+      (fun acc r ->
+        acc
+        +
+        match r with
+        | Op p -> Ci_consensus.Onepaxos.lease_reads p
+        | Mp p -> Ci_consensus.Multipaxos.lease_reads p)
+      0 replicas
+  in
+  if spec.lease > 0 then Metrics.set_int metrics "live.lease.reads" lease_reads;
+  (match load with
+  | Some s ->
+    let lp = Ci_load.Load_stats.latency_percentiles s in
+    let sp = Ci_load.Load_stats.service_percentiles s in
+    Metrics.set_int metrics "live.load.issued" (Ci_load.Load_stats.issued s);
+    Metrics.set_int metrics "live.load.completed"
+      (Ci_load.Load_stats.completed s);
+    Metrics.set_int metrics "live.load.rejected"
+      (Ci_load.Load_stats.rejected s);
+    Metrics.set_int metrics "live.load.stale_reads"
+      (Ci_load.Load_stats.stale_reads s);
+    Metrics.set_int metrics "live.load.max_backlog"
+      (Ci_load.Load_stats.max_backlog s);
+    Metrics.set_float metrics "live.load.throughput"
+      (Ci_load.Load_stats.throughput s);
+    Metrics.set_int metrics "live.load.p50" lp.Ci_load.Load_stats.p50;
+    Metrics.set_int metrics "live.load.p99" lp.Ci_load.Load_stats.p99;
+    Metrics.set_int metrics "live.load.p999" lp.Ci_load.Load_stats.p999;
+    Metrics.set_int metrics "live.load.service_p50" sp.Ci_load.Load_stats.p50;
+    Metrics.set_int metrics "live.load.service_p99" sp.Ci_load.Load_stats.p99;
+    Metrics.set_int metrics "live.load.service_p999" sp.Ci_load.Load_stats.p999
+  | None -> ());
   Metrics.set_int metrics "live.ops" ops;
   Metrics.set_int metrics "live.retries" retries;
   Metrics.set_int metrics "live.queue.msgs" queues_total.q_msgs;
@@ -816,6 +946,8 @@ let run_inproc spec =
     queues = queues_total;
     full_ring_sends;
     alloc_words_per_op;
+    lease_reads;
+    load;
     consistency;
     atomicity;
     metrics;
@@ -831,6 +963,7 @@ type harvest = {
   h_leader_changes : int;
   h_acceptor_changes : int;
   h_elections : int;
+  h_lease_reads : int;
   h_client_node : int; (* clients: env node id *)
   h_issued : (int * Command.t) list;
   h_acked : (int * int) list;
@@ -881,11 +1014,11 @@ let socket_child spec ~id ~t0 ~fds ~ctl_fd =
         | Onepaxos ->
           Op
             (Ci_consensus.Onepaxos.create ~env
-               ~config:(op_cfg ~replicas:replica_ids ()))
+               ~config:(op_cfg ~spec ~replicas:replica_ids ()))
         | Multipaxos ->
           Mp
             (Ci_consensus.Multipaxos.create ~env
-               ~config:(mp_cfg ~replicas:replica_ids ())))
+               ~config:(mp_cfg ~spec ~replicas:replica_ids ())))
     else None
   in
   let stats = Run_stats.create ~bucket:(ms 10) in
@@ -938,6 +1071,11 @@ let socket_child spec ~id ~t0 ~fds ~ctl_fd =
         (match replica with
         | Some (Mp p) -> Ci_consensus.Multipaxos.elections p
         | _ -> 0);
+      h_lease_reads =
+        (match replica with
+        | Some (Op p) -> Ci_consensus.Onepaxos.lease_reads p
+        | Some (Mp p) -> Ci_consensus.Multipaxos.lease_reads p
+        | None -> 0);
       h_client_node =
         (match client with Some c -> Client.node_id c | None -> -1);
       h_issued = (match client with Some c -> Client.issued c | None -> []);
@@ -1156,6 +1294,9 @@ let run_socket spec =
     queues = queues_total;
     full_ring_sends = Array.map (fun h -> h.h_blocked) harvests;
     alloc_words_per_op;
+    lease_reads =
+      Array.fold_left (fun acc h -> acc + h.h_lease_reads) 0 harvests;
+    load = None;
     consistency;
     atomicity = None;
     metrics;

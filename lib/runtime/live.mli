@@ -72,6 +72,23 @@ type spec = {
           (dead, paused, wedged) costs a sender at most this many
           parked messages per destination — the overflow is dropped and
           counted, never held in an unbounded heap. *)
+  lease : int;
+      (** Leader-lease duration (ns): the leader answers reads from its
+          local store while a majority's grants are provably unexpired
+          (wall-clock leases over the monotonic clock), degrading to
+          consensus reads otherwise. [0] (the default) disables the
+          mechanism — no extra messages or timers. *)
+  lease_skew : int;
+      (** Clock-rate-skew margin (ns) subtracted from every grant's
+          validity at the leader; must be < [lease] when leases are
+          on. *)
+  open_loop : Ci_workload.Runner.open_loop option;
+      (** When set, client domains run open-loop {!Ci_load.Open_client}
+          drivers instead of closed-loop clients: arrivals follow the
+          offered schedule for the measured phase, latency is measured
+          from the intended arrival, and the per-driver sinks are pooled
+          into [result.load]. In-process transport only; [think],
+          [read_ratio] and [key_space] are ignored. *)
   nemesis : Ci_faults.t;
       (** Declarative fault schedule ({!Ci_faults.empty} by default).
           Crash and pause transitions are evaluated by each replica
@@ -132,6 +149,14 @@ type result = {
           nodes ([Gc.allocated_bytes] is domain-local) — the live
           event loop's allocation guard, also published as
           [live.alloc.words_per_op]. *)
+  lease_reads : int;
+      (** Reads served from the leader's local store under an unexpired
+          lease, summed over replicas ([0] when leases are off); also
+          published as [live.lease.reads]. *)
+  load : Ci_load.Load_stats.t option;
+      (** Open-loop measurement sink pooled over the drivers ([Some]
+          exactly when [spec.open_loop] was set on the in-process
+          transport); also published under [live.load.*]. *)
   consistency : Ci_rsm.Consistency.report;
       (** The simulator's checker over the live replicas' views;
           per-group and merged under sharding. *)

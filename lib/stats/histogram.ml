@@ -21,6 +21,33 @@ let count t = t.n
 let bounds slot =
   if slot = 0 then (0, 1) else (1 lsl (slot - 1), 1 lsl slot)
 
+let merge ~into src =
+  Array.iteri (fun i c -> into.slots.(i) <- into.slots.(i) + c) src.slots;
+  into.n <- into.n + src.n
+
+(* Nearest-rank quantile, linearly interpolated inside the winning
+   power-of-two bucket: exact enough for tail reporting (the error is
+   bounded by the bucket's width, i.e. a factor < 2) without retaining
+   raw samples. *)
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.n))) in
+    let rec go i seen =
+      if i >= n_slots then snd (bounds (n_slots - 1)) - 1
+      else
+        let c = t.slots.(i) in
+        if c > 0 && seen + c >= rank then begin
+          let lo, hi = bounds i in
+          let frac = float_of_int (rank - seen) /. float_of_int c in
+          lo + int_of_float (frac *. float_of_int (hi - 1 - lo))
+        end
+        else go (i + 1) (seen + c)
+    in
+    go 0 0
+  end
+
 let buckets t =
   let acc = ref [] in
   for i = n_slots - 1 downto 0 do

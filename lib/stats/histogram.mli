@@ -15,6 +15,15 @@ val add : t -> int -> unit
 val count : t -> int
 (** [count t] is the number of recorded samples. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every bucket count of [src] into [into]. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] is the nearest-rank [q]-quantile ([0 <= q <= 1])
+    estimated from the buckets, linearly interpolated inside the
+    winning bucket (relative error bounded by the bucket width, a
+    factor under two). [0] on an empty histogram. *)
+
 val buckets : t -> (int * int * int) list
 (** [buckets t] is the non-empty buckets as [(lo, hi, count)] with
     [lo <= sample < hi], in increasing order. *)

@@ -141,7 +141,10 @@ let handle t ~src:_ msg =
        t.current <- None;
        cancel_retry_timer t;
        t.done_count <- t.done_count + 1;
-       Run_stats.record t.stats ~sent_at ~replied_at:(now t);
+       (* Closed loop: the request was intended the instant it was
+          first sent, so both measures coincide. *)
+       Run_stats.record t.stats ~intended_at:sent_at ~sent_at
+         ~replied_at:(now t);
        if not (Command.is_read cmd) then
          t.acked <- (t.env.Node_env.id, req_id) :: t.acked;
        if t.policy.think > 0 then

@@ -613,6 +613,97 @@ let shards ?jobs ?duration ?(groups = [ 1; 2; 4; 8 ])
       { label; points })
     [ Runner.Onepaxos; Runner.Multipaxos ]
 
+(* ----- E10: open-loop service curves (latency vs offered load) -------------- *)
+
+type load_row = {
+  l_label : string;
+  l_offered : float;  (* total offered op/s over all drivers *)
+  l_achieved : float;  (* completions/s inside the window *)
+  l_p50_us : float;  (* from the intended arrival *)
+  l_p99_us : float;
+  l_p999_us : float;
+  l_service_p99_us : float;  (* from the first transmission *)
+  l_lease_reads : int;
+  l_knee : bool;  (* this point is the curve's saturation knee *)
+}
+
+(* One protocol's latency-vs-load curve: a fixed driver population is
+   asked for increasing offered rates; latency is charged from each
+   request's intended arrival, so points past saturation show queueing
+   delay instead of silently shedding load. The knee is flagged on the
+   p99 curve. *)
+let load_curve ?jobs ?duration ?(rates = [ 20_000.; 60_000.; 120_000.; 240_000. ])
+    ?(read_ratio = 0.9) ?(lease = 0) () =
+  let jobs = resolve_jobs jobs in
+  let n_clients = 2 in
+  let spec proto rate =
+    let s =
+      Runner.default_spec ~protocol:proto
+        ~placement:(Runner.Dedicated { n_replicas = 3; n_clients })
+    in
+    let s =
+      match duration with Some d -> { s with Runner.duration = d } | None -> s
+    in
+    {
+      s with
+      Runner.open_loop =
+        Some
+          {
+            Runner.default_open_loop with
+            Runner.arrival = Ci_load.Arrival.Fixed rate;
+            mix =
+              { Ci_load.Open_client.reads = read_ratio; cas = 0.02; ranges = 0.02 };
+          };
+      lease;
+      lease_skew = (if lease > 0 then lease / 100 else 0);
+    }
+  in
+  let protos = [ Runner.Onepaxos; Runner.Multipaxos ] in
+  let specs =
+    Array.of_list (List.concat_map (fun p -> List.map (spec p) rates) protos)
+  in
+  let results = run_all ~jobs specs in
+  let i = ref 0 in
+  List.concat_map
+    (fun proto ->
+      let label =
+        Runner.protocol_name proto ^ if lease > 0 then " +lease" else ""
+      in
+      let rows =
+        List.map
+          (fun rate ->
+            let r = results.(!i) in
+            incr i;
+            guard_consistent label r;
+            let s = Option.get r.Runner.load in
+            if Ci_load.Load_stats.stale_reads s > 0 then
+              Format.kasprintf failwith "%s: %d stale session reads" label
+                (Ci_load.Load_stats.stale_reads s);
+            let lp = Ci_load.Load_stats.latency_percentiles s in
+            let sp = Ci_load.Load_stats.service_percentiles s in
+            let us v = float_of_int v /. 1e3 in
+            {
+              l_label = label;
+              l_offered = rate *. float_of_int n_clients;
+              l_achieved = Ci_load.Load_stats.throughput s;
+              l_p50_us = us lp.Ci_load.Load_stats.p50;
+              l_p99_us = us lp.Ci_load.Load_stats.p99;
+              l_p999_us = us lp.Ci_load.Load_stats.p999;
+              l_service_p99_us = us sp.Ci_load.Load_stats.p99;
+              l_lease_reads = r.Runner.lease_reads;
+              l_knee = false;
+            })
+          rates
+      in
+      let pts =
+        Array.of_list (List.map (fun row -> (row.l_offered, row.l_p99_us)) rows)
+      in
+      match Ci_load.Knee.detect pts with
+      | Some k ->
+        List.mapi (fun j row -> if j = k then { row with l_knee = true } else row) rows
+      | None -> rows)
+    protos
+
 (* ----- rendering ------------------------------------------------------------------ *)
 
 let pp_netchar fmt rows =
@@ -651,6 +742,17 @@ let pp_bars fmt bars =
   List.iter
     (fun (b : bar) -> Format.fprintf fmt "%-22s %8d %14.0f@." b.label b.clients b.throughput)
     bars
+
+let pp_load_table fmt rows =
+  Format.fprintf fmt "%-20s %12s %12s %10s %10s %10s %12s %6s@." "curve"
+    "offered" "achieved" "p50(us)" "p99(us)" "p999(us)" "svc-p99(us)" "knee";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-20s %12.0f %12.0f %10.1f %10.1f %10.1f %12.1f %6s@."
+        r.l_label r.l_offered r.l_achieved r.l_p50_us r.l_p99_us r.l_p999_us
+        r.l_service_p99_us
+        (if r.l_knee then "<--" else ""))
+    rows
 
 let pp_timelines fmt ts =
   List.iter

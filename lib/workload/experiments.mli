@@ -167,10 +167,41 @@ val shards :
     Every point is consistency-checked per group and atomicity-checked
     across groups; raises [Failure] on any violation. *)
 
+(** {1 A6 — open-loop service curves (ISSUE 9)} *)
+
+type load_row = {
+  l_label : string;  (** Curve name, e.g. ["1paxos"] or ["1paxos +lease"]. *)
+  l_offered : float;  (** Total offered op/s over all drivers. *)
+  l_achieved : float;  (** Completions/s inside the measurement window. *)
+  l_p50_us : float;  (** Latency from the intended arrival. *)
+  l_p99_us : float;
+  l_p999_us : float;
+  l_service_p99_us : float;  (** Latency from the first transmission. *)
+  l_lease_reads : int;  (** Local lease reads served (0 with leases off). *)
+  l_knee : bool;  (** This point is the curve's saturation knee. *)
+}
+
+val load_curve :
+  ?jobs:int ->
+  ?duration:int ->
+  ?rates:float list ->
+  ?read_ratio:float ->
+  ?lease:int ->
+  unit ->
+  load_row list
+(** 1Paxos and Multi-Paxos p50/p99/p999-vs-offered-load curves under
+    the open-loop driver (two drivers, [rates] each, 90% reads by
+    default), latency charged from the intended arrival so saturation
+    shows queueing delay rather than shed load. The saturation knee of
+    each p99 curve is flagged. Pass [lease] (ns) to serve leader-local
+    linearizable reads under leader leases. Raises [Failure] on a
+    consistency violation or any stale session read. *)
+
 (** {1 Rendering} *)
 
 val pp_netchar : Format.formatter -> netchar_row list -> unit
 val pp_series : Format.formatter -> series list -> unit
 val pp_latency_table : Format.formatter -> latency_row list -> unit
 val pp_bars : Format.formatter -> bar list -> unit
+val pp_load_table : Format.formatter -> load_row list -> unit
 val pp_timelines : Format.formatter -> timeline list -> unit

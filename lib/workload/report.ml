@@ -67,6 +67,19 @@ let latency_csv (rows : Experiments.latency_row list) =
            r.Experiments.throughput_1c r.Experiments.leader_util)
        rows)
 
+let load_csv (rows : Experiments.load_row list) =
+  buf_lines
+    "label,offered_ops,achieved_ops,p50_us,p99_us,p999_us,service_p99_us,lease_reads,knee"
+    (List.map
+       (fun (r : Experiments.load_row) ->
+         Printf.sprintf "%s,%.1f,%.1f,%.2f,%.2f,%.2f,%.2f,%d,%d"
+           (quote r.Experiments.l_label) r.Experiments.l_offered
+           r.Experiments.l_achieved r.Experiments.l_p50_us r.Experiments.l_p99_us
+           r.Experiments.l_p999_us r.Experiments.l_service_p99_us
+           r.Experiments.l_lease_reads
+           (if r.Experiments.l_knee then 1 else 0))
+       rows)
+
 let plot_preamble ~title =
   Printf.sprintf
     "set datafile separator ','\n\

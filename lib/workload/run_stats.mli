@@ -1,7 +1,11 @@
 (** Shared measurement sink for one simulation run. *)
 
-type sample = { sent_at : int; replied_at : int }
-(** One completed request: first transmission and reply instants. *)
+type sample = { intended_at : int; sent_at : int; replied_at : int }
+(** One completed request: scheduled arrival, first transmission and
+    reply instants. A closed-loop client has [intended_at = sent_at];
+    an open-loop driver stamps [intended_at] with the instant the
+    request {e should} have entered the system, even when the driver
+    fell behind its own schedule. *)
 
 type t
 (** A mutable collector shared by all clients of a run. *)
@@ -10,8 +14,9 @@ val create : bucket:int -> t
 (** [create ~bucket] is an empty collector; commits are also counted
     into a time series with the given bucket width (ns). *)
 
-val record : t -> sent_at:int -> replied_at:int -> unit
-(** [record t ~sent_at ~replied_at] logs one completed request. *)
+val record : t -> intended_at:int -> sent_at:int -> replied_at:int -> unit
+(** [record t ~intended_at ~sent_at ~replied_at] logs one completed
+    request. *)
 
 val samples : t -> sample list
 (** [samples t] is every completed request, in completion order. *)
@@ -24,7 +29,14 @@ val completed : t -> int
 
 val latencies_in : t -> from_:int -> until_:int -> int array
 (** [latencies_in t ~from_ ~until_] is the latencies (ns) of requests
-    completed within the window. *)
+    completed within the window, measured from the {e intended} arrival
+    — the coordinated-omission-aware number a load generator must
+    report. *)
+
+val service_latencies_in : t -> from_:int -> until_:int -> int array
+(** [service_latencies_in t ~from_ ~until_] is the send-to-reply
+    latencies (ns) of requests completed within the window — the old,
+    omission-biased measure, kept for comparison against it. *)
 
 val completed_in : t -> from_:int -> until_:int -> int
 (** [completed_in t ~from_ ~until_] counts requests completed within the

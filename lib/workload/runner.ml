@@ -29,6 +29,29 @@ type placement =
   | Dedicated of { n_replicas : int; n_clients : int }
   | Joint of { n_nodes : int }
 
+(* Open-loop workload knobs; everything deployment-shaped (targets,
+   timeouts, the measurement window) is derived from the spec. *)
+type open_loop = {
+  arrival : Ci_load.Arrival.spec;
+  key_dist : Ci_load.Key_dist.spec;
+  key_space : int;
+  mix : Ci_load.Open_client.mix;
+  range_span : int;
+  population : int;
+  sessions : int;
+}
+
+let default_open_loop =
+  {
+    arrival = Ci_load.Arrival.Fixed 50_000.;
+    key_dist = Ci_load.Key_dist.Uniform;
+    key_space = 65_536;
+    mix = { Ci_load.Open_client.reads = 0.5; cas = 0.; ranges = 0. };
+    range_span = 16;
+    population = 100_000;
+    sessions = 16;
+  }
+
 type spec = {
   protocol : protocol;
   placement : placement;
@@ -53,6 +76,9 @@ type spec = {
   batch : int;
   batch_delay : int;
   pipeline : int;
+  lease : int;
+  lease_skew : int;
+  open_loop : open_loop option;
   trace : Ci_obs.Event.ring option;
 }
 
@@ -81,6 +107,9 @@ let default_spec ~protocol ~placement =
     batch = 1;
     batch_delay = Sim_time.us 5;
     pipeline = 0;
+    lease = 0;
+    lease_skew = 0;
+    open_loop = None;
     trace = None;
   }
 
@@ -125,6 +154,8 @@ type result = {
   acceptor_changes : int;
   acceptor_changes_sum : int;
   sim_events : int;
+  lease_reads : int;
+  load : Ci_load.Load_stats.t option;
   metrics : Metrics.t;
   consistency : Consistency.report;
   atomicity : Ci_rsm.Atomicity.report option;
@@ -236,6 +267,19 @@ let run spec =
     if spec.relaxed_reads then
       invalid_arg "Runner.run: relaxed reads are not routed across shards"
   end;
+  if spec.lease > 0 then begin
+    (match spec.protocol with
+    | Onepaxos | Multipaxos -> ()
+    | Twopc | Mencius | Cheappaxos ->
+      invalid_arg
+        "Runner.run: leader leases require 1paxos or multipaxos");
+    if spec.relaxed_reads then
+      invalid_arg
+        "Runner.run: leases and relaxed reads are mutually exclusive read \
+         paths"
+  end;
+  if spec.open_loop <> None && joint then
+    invalid_arg "Runner.run: open-loop load requires dedicated placement";
   (* [n_replicas] is per group; routers get their own nodes. *)
   let total_replicas = n_groups * n_replicas in
   let n_routers = if n_groups = 1 then 0 else n_groups in
@@ -305,6 +349,8 @@ let run spec =
       max_batch = spec.batch;
       batch_delay = spec.batch_delay;
       window = spec.pipeline;
+      lease = spec.lease;
+      lease_skew = spec.lease_skew;
     }
   in
   let mp_config ~replicas:replica_ids () =
@@ -316,6 +362,8 @@ let run spec =
       max_batch = spec.batch;
       batch_delay = spec.batch_delay;
       window = spec.pipeline;
+      lease = spec.lease;
+      lease_skew = spec.lease_skew;
     }
   in
   let make_replica ~group env =
@@ -387,7 +435,14 @@ let run spec =
       Array.init n_clients (fun i ->
           Machine.add_node machine ~core:(tail_core (n_routers + i)))
   in
+  let w0 = spec.warmup and w1 = spec.warmup + spec.duration in
+  let horizon = w1 + spec.drain in
   let stats = Run_stats.create ~bucket:spec.bucket in
+  let load_sink =
+    match spec.open_loop with
+    | None -> None
+    | Some _ -> Some (Ci_load.Load_stats.create ~from_:w0 ~until_:w1)
+  in
   let policy =
     {
       (Client.default_policy
@@ -405,18 +460,54 @@ let run spec =
     }
   in
   let clients =
-    Array.mapi
-      (fun i node ->
-        (* Mencius distributes load by design: spread the clients over
-           the leaders instead of pointing everyone at replica 0. *)
-        let policy =
-          if n_routers > 0 then { policy with Client.primary = i mod n_routers }
-          else if spec.protocol = Mencius then
-            { policy with Client.primary = i mod n_replicas }
-          else policy
-        in
-        Client.create ~env:(Machine.env node) ~policy ~stats)
-      client_nodes
+    if spec.open_loop <> None then [||]
+    else
+      Array.mapi
+        (fun i node ->
+          (* Mencius distributes load by design: spread the clients over
+             the leaders instead of pointing everyone at replica 0. *)
+          let policy =
+            if n_routers > 0 then { policy with Client.primary = i mod n_routers }
+            else if spec.protocol = Mencius then
+              { policy with Client.primary = i mod n_replicas }
+            else policy
+          in
+          Client.create ~env:(Machine.env node) ~policy ~stats)
+        client_nodes
+  in
+  (* Open-loop drivers replace the closed-loop clients on the same
+     nodes: arrivals follow the offered schedule up to the measurement
+     end, and the drain window lets the backlog play out. *)
+  let drivers =
+    match (spec.open_loop, load_sink) with
+    | Some ol, Some sink ->
+      Array.mapi
+        (fun i node ->
+          let config =
+            {
+              Ci_load.Open_client.targets =
+                (if n_routers = 0 then replica_ids else router_ids);
+              primary =
+                (if n_routers > 0 then i mod n_routers
+                 else if spec.protocol = Mencius then i mod n_replicas
+                 else 0);
+              failover = spec.protocol <> Twopc;
+              timeout = spec.timeout;
+              arrival = ol.arrival;
+              key_dist = ol.key_dist;
+              key_space = ol.key_space;
+              mix = ol.mix;
+              range_span = ol.range_span;
+              population = ol.population;
+              sessions = ol.sessions;
+              relaxed_reads = spec.relaxed_reads;
+              stop_at = w1;
+            }
+          in
+          Ci_load.Open_client.create ~env:(Machine.env node) ~config
+            ~stats:sink)
+        client_nodes
+    | _ -> [||]
   in
   (* Sharded runs put a 2PC participant in front of each group's entry
      replica: it consumes the router's prepare/commit messages and the
@@ -463,8 +554,13 @@ let run spec =
   if not joint then
     Array.iteri
       (fun i node ->
-        let c = clients.(i) in
-        Machine.set_handler node (fun ~src msg -> Client.handle c ~src msg))
+        if Array.length drivers > 0 then
+          let d = drivers.(i) in
+          Machine.set_handler node (fun ~src msg ->
+              Ci_load.Open_client.handle d ~src msg)
+        else
+          let c = clients.(i) in
+          Machine.set_handler node (fun ~src msg -> Client.handle c ~src msg))
       client_nodes;
   (* Routers: hash single-shard commands to their group's entry replica,
      run cross-shard multi-puts as 2PC transactions. *)
@@ -542,8 +638,7 @@ let run spec =
     ~restart:do_restart ~pause:do_pause ~resume:do_resume;
   Array.iter replica_start replicas;
   Array.iter Client.start clients;
-  let w0 = spec.warmup and w1 = spec.warmup + spec.duration in
-  let horizon = w1 + spec.drain in
+  Array.iter Ci_load.Open_client.start drivers;
   (* Counter snapshots at the window boundaries, taken from inside the
      simulation so every count is confined to its window (previously
      [messages] and [retries] covered the whole run while [commits]
@@ -553,8 +648,16 @@ let run spec =
       s_delivered = Machine.total_messages machine;
       s_sent = Machine.messages_sent_total machine;
       s_self = Machine.self_delivered_total machine;
-      s_retries = Array.fold_left (fun acc c -> acc + Client.retries c) 0 clients;
-      s_replies = Run_stats.completed stats;
+      s_retries =
+        Array.fold_left (fun acc c -> acc + Client.retries c) 0 clients
+        + (match load_sink with
+          | Some s -> Ci_load.Load_stats.retries s
+          | None -> 0);
+      s_replies =
+        Run_stats.completed stats
+        + (match load_sink with
+          | Some s -> Ci_load.Load_stats.completed s
+          | None -> 0);
       s_io = Machine.io_snapshot machine;
       s_busy =
         Array.init n_cores (fun c -> Cpu.busy_elapsed (Machine.cpu machine ~core:c));
@@ -619,7 +722,12 @@ let run spec =
       used_cores
   in
   let lat = Run_stats.latencies_in stats ~from_:w0 ~until_:w1 in
-  let commits = Run_stats.completed_in stats ~from_:w0 ~until_:w1 in
+  let commits =
+    Run_stats.completed_in stats ~from_:w0 ~until_:w1
+    + (match load_sink with
+      | Some s -> Ci_load.Load_stats.completed s
+      | None -> 0)
+  in
   let throughput =
     float_of_int commits /. Sim_time.to_s_float spec.duration
   in
@@ -686,6 +794,13 @@ let run spec =
         (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
         (Client.issued c))
     clients;
+  Array.iter
+    (fun d ->
+      let id = Ci_load.Open_client.node_id d in
+      List.iter
+        (fun (req_id, cmd) -> Hashtbl.replace proposed_tbl (id, req_id) cmd)
+        (Ci_load.Open_client.issued d))
+    drivers;
   (* Participants propose [Prep]/[Fin] as self-requests under their own
      node's identity — as much client input as the clients' commands. *)
   Array.iteri
@@ -704,7 +819,9 @@ let run spec =
     | None -> false
   in
   let acked =
-    Array.to_list clients |> List.concat_map Client.acked_writes
+    (Array.to_list clients |> List.concat_map Client.acked_writes)
+    @ (Array.to_list drivers
+      |> List.concat_map Ci_load.Open_client.acked_writes)
   in
   let views =
     Array.to_list (Array.map (fun r -> Replica_core.view (replica_core r)) replicas)
@@ -803,6 +920,40 @@ let run spec =
   Metrics.set_int metrics "leader_changes.sum" leader_changes_sum;
   Metrics.set_int metrics "acceptor_changes.max" acceptor_changes;
   Metrics.set_int metrics "acceptor_changes.sum" acceptor_changes_sum;
+  let lease_reads =
+    Array.fold_left
+      (fun acc r ->
+        acc
+        +
+        match r with
+        | Op x -> Ci_consensus.Onepaxos.lease_reads x
+        | Mp x -> Ci_consensus.Multipaxos.lease_reads x
+        | Tp _ | Mn _ | Cp _ -> 0)
+      0 replicas
+  in
+  (* Lease and load metric keys exist only when the feature is on, so
+     default-spec metric dumps are unchanged. *)
+  if spec.lease > 0 then Metrics.set_int metrics "lease.reads" lease_reads;
+  (match load_sink with
+  | Some s ->
+    let lp = Ci_load.Load_stats.latency_percentiles s in
+    let sp = Ci_load.Load_stats.service_percentiles s in
+    Metrics.set_int metrics "load.issued" (Ci_load.Load_stats.issued s);
+    Metrics.set_int metrics "load.completed" (Ci_load.Load_stats.completed s);
+    Metrics.set_int metrics "load.rejected" (Ci_load.Load_stats.rejected s);
+    Metrics.set_int metrics "load.stale_reads"
+      (Ci_load.Load_stats.stale_reads s);
+    Metrics.set_int metrics "load.max_backlog"
+      (Ci_load.Load_stats.max_backlog s);
+    Metrics.set_float metrics "load.throughput"
+      (Ci_load.Load_stats.throughput s);
+    Metrics.set_int metrics "load.p50" lp.Ci_load.Load_stats.p50;
+    Metrics.set_int metrics "load.p99" lp.Ci_load.Load_stats.p99;
+    Metrics.set_int metrics "load.p999" lp.Ci_load.Load_stats.p999;
+    Metrics.set_int metrics "load.service_p50" sp.Ci_load.Load_stats.p50;
+    Metrics.set_int metrics "load.service_p99" sp.Ci_load.Load_stats.p99;
+    Metrics.set_int metrics "load.service_p999" sp.Ci_load.Load_stats.p999
+  | None -> ());
   (* Failover shape around the schedule's first fault. Fault metric keys
      exist only under a non-empty nemesis, so fault-free metric dumps
      are unchanged. *)
@@ -822,7 +973,7 @@ let run spec =
   in
   {
     commits;
-    total_replies = Run_stats.completed stats;
+    total_replies = s_end.s_replies;
     throughput;
     latency = Ci_stats.Summary.of_samples lat;
     timeline = Ci_stats.Timeseries.rates_per_sec (Run_stats.timeline stats) ~upto:(w1 + spec.drain);
@@ -839,6 +990,8 @@ let run spec =
     acceptor_changes;
     acceptor_changes_sum;
     sim_events;
+    lease_reads;
+    load = load_sink;
     metrics;
     consistency;
     atomicity;

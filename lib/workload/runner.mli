@@ -18,6 +18,24 @@ type placement =
   | Dedicated of { n_replicas : int; n_clients : int }
   | Joint of { n_nodes : int }
 
+type open_loop = {
+  arrival : Ci_load.Arrival.spec;
+      (** Offered-load schedule {e per driver node} — total offered load
+          is [rate × n_clients]. *)
+  key_dist : Ci_load.Key_dist.spec;
+  key_space : int;
+  mix : Ci_load.Open_client.mix;
+  range_span : int;  (** Keys per [Range] command. *)
+  population : int;  (** Logical clients multiplexed per driver. *)
+  sessions : int;  (** Concurrent in-flight requests per driver. *)
+}
+(** Workload knobs for the open-loop driver; deployment shape (targets,
+    timeouts, the measurement window) comes from the {!spec}. *)
+
+val default_open_loop : open_loop
+(** 50k fixed ops/s per driver, uniform keys over 64Ki, 50% reads,
+    100k logical clients over 16 sessions. *)
+
 type spec = {
   protocol : protocol;
   placement : placement;
@@ -72,6 +90,26 @@ type spec = {
       (** 1Paxos/Multi-Paxos pipeline depth: maximum batches in flight
           at the leader. [0] (the default) leaves it unbounded as in
           the paper; setting it also activates the batching layer. *)
+  lease : int;
+      (** Leader-lease duration (ns) for 1Paxos/Multi-Paxos: the leader
+          serves linearizable reads locally while a majority's grants
+          are provably unexpired, degrading to consensus reads
+          otherwise. [0] (the default) disables the mechanism entirely
+          — no extra messages, timers, or rng draws — and is required
+          for the other protocols. Mutually exclusive with
+          [relaxed_reads]. *)
+  lease_skew : int;
+      (** Clock-rate-skew safety margin (ns) subtracted from every
+          grant's validity at the leader; must be < [lease] when leases
+          are on. *)
+  open_loop : open_loop option;
+      (** When set, client nodes run open-loop {!Ci_load.Open_client}
+          drivers instead of closed-loop clients: arrivals follow the
+          offered schedule until the measurement window ends, latency is
+          measured from the intended arrival (coordinated-omission
+          aware), and the per-run histograms land in [result.load].
+          Requires dedicated placement. [read_ratio], [think] and
+          [max_requests] are ignored. *)
   trace : Ci_obs.Event.ring option;
       (** When set, the run records typed trace events (sends,
           deliveries, self-deliveries, timers, busy spans, phases) into
@@ -143,6 +181,14 @@ type result = {
   sim_events : int;
       (** Discrete events the engine executed over the whole run — the
           denominator of the events/sec engine self-benchmark. *)
+  lease_reads : int;
+      (** Reads served from the leader's local store under an unexpired
+          lease, summed over replicas ([0] when leases are off). *)
+  load : Ci_load.Load_stats.t option;
+      (** Open-loop measurement sink — intended-arrival and service
+          latency histograms, issued/completed/rejected/stale-read
+          counts — pooled over the drivers; [Some] exactly when
+          [spec.open_loop] was set. *)
   metrics : Ci_obs.Metrics.t;
       (** Flat registry of every measurement: per-node
           [node<i>.{sent,recv,self}.{warmup,measure,drain}], per-core

@@ -25,7 +25,7 @@ let int_gen =
 
 let cmd_gen =
   QCheck.Gen.(
-    let* tag = int_bound 6 in
+    let* tag = int_bound 7 in
     let* a = int_gen and* b = int_gen and* c = int_gen and* d = int_gen in
     let* flag = bool in
     return
@@ -36,14 +36,16 @@ let cmd_gen =
       | 3 -> Command.Nop
       | 4 -> Command.Mput { k1 = a; d1 = b; k2 = c; d2 = d }
       | 5 -> Command.Prep { txn = a; key = b; data = c }
+      | 6 -> Command.Range { lo = a; hi = b }
       | _ -> Command.Fin { txn = a; key = b; commit = flag }))
 
 let result_gen =
   QCheck.Gen.(
     let* x = int_gen and* flag = bool in
+    let* kvs = list_size (int_bound 5) (pair int_gen int_gen) in
     oneofl
       [ Command.Done; Command.Found None; Command.Found (Some x);
-        Command.Swapped flag ])
+        Command.Swapped flag; Command.Vals kvs; Command.Rejected ])
 
 let value_gen =
   QCheck.Gen.(
@@ -164,6 +166,8 @@ let msg_gen =
         Tp_commit_ack { inst };
         Tp_rollback { inst };
         Tp_nack { inst };
+        Le_renew { pn; sent = inst };
+        Le_grant { pn; sent = inst };
       ])
 
 let msg_arb =
@@ -227,6 +231,20 @@ let vocabulary =
     Tp_commit_ack { inst = 16 };
     Tp_rollback { inst = 17 };
     Tp_nack { inst = min_int };
+    Le_renew { pn; sent = 1234 };
+    Le_grant { pn; sent = max_int };
+  ]
+
+(* Shapes the kind-distinct vocabulary above cannot carry twice: the
+   Range command and its Vals / Rejected results ride inside Request
+   and Reply, whose slots are already taken. *)
+let vocabulary_extras =
+  [
+    Wire.Request
+      { req_id = 3; cmd = Command.Range { lo = 2; hi = 9 }; relaxed_read = false };
+    Reply { req_id = 4; result = Command.Vals [ (2, 20); (5, 50) ] };
+    Reply { req_id = 5; result = Command.Vals [] };
+    Reply { req_id = 6; result = Command.Rejected };
   ]
 
 let roundtrip m =
@@ -238,15 +256,15 @@ let roundtrip m =
   Codec.decode buf ~pos:5 ~len:size
 
 let test_vocabulary_roundtrip () =
-  Alcotest.(check int) "all constructors present" 45 (List.length vocabulary);
-  Alcotest.(check int) "kinds distinct" 45
+  Alcotest.(check int) "all constructors present" 47 (List.length vocabulary);
+  Alcotest.(check int) "kinds distinct" 47
     (List.length (List.sort_uniq compare (List.map Wire.kind vocabulary)));
   List.iter
     (fun m ->
       let m' = roundtrip m in
       if m' <> m then
         Alcotest.failf "round trip changed %a into %a" Wire.pp m Wire.pp m')
-    vocabulary
+    (vocabulary @ vocabulary_extras)
 
 let roundtrip_prop =
   QCheck.Test.make ~name:"decode (encode m) = m" ~count:2000 msg_arb (fun m ->
@@ -271,7 +289,7 @@ let test_truncation () =
       match Codec.decode padded ~pos:0 ~len:(size + 1) with
       | _ -> Alcotest.failf "%a with trailing byte decoded" Wire.pp m
       | exception Codec.Error _ -> ())
-    vocabulary
+    (vocabulary @ vocabulary_extras)
 
 let garbage_prop =
   QCheck.Test.make ~name:"garbage decode errors, never crashes" ~count:2000

@@ -1,0 +1,364 @@
+(* The open-loop load subsystem: arrival processes, key samplers, knee
+   detection, the Open_client driver end-to-end on the simulator
+   (read-your-writes sessions, Range routing, leader leases under the
+   nemesis) — the lib/load half of ISSUE 9. The live-runtime driver is
+   exercised in [Test_runtime]. *)
+
+module Sim_time = Ci_engine.Sim_time
+module Rng = Ci_engine.Rng
+module Arrival = Ci_load.Arrival
+module Key_dist = Ci_load.Key_dist
+module Knee = Ci_load.Knee
+module Load_stats = Ci_load.Load_stats
+module Open_client = Ci_load.Open_client
+module Runner = Ci_workload.Runner
+module Consistency = Ci_rsm.Consistency
+
+(* ---------- arrival processes ---------- *)
+
+let fixed_arrival_is_a_metronome () =
+  let t = Arrival.compile (Arrival.Fixed 50_000.) in
+  let rng = Rng.create ~seed:1 in
+  let g0 = Arrival.gap t rng in
+  Alcotest.(check int) "1/rate in ns" 20_000 g0;
+  for _ = 1 to 100 do
+    Alcotest.(check int) "constant gap" g0 (Arrival.gap t rng)
+  done;
+  (* A metronome consumes no randomness: the rng is untouched. *)
+  let a = Rng.create ~seed:9 and b = Rng.create ~seed:9 in
+  ignore (Arrival.gap t a);
+  Alcotest.(check int64) "no draws consumed" (Rng.bits64 a) (Rng.bits64 b)
+
+let poisson_arrival_matches_rate_and_seed () =
+  let spec = Arrival.Poisson 100_000. in
+  let draw seed n =
+    let t = Arrival.compile spec in
+    let rng = Rng.create ~seed in
+    List.init n (fun _ -> Arrival.gap t rng)
+  in
+  Alcotest.(check (list int)) "same seed, same gaps" (draw 5 1000) (draw 5 1000);
+  Alcotest.(check bool)
+    "different seed, different gaps" false
+    (draw 5 1000 = draw 6 1000);
+  let gaps = draw 7 20_000 in
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 gaps) /. 20_000.
+  in
+  (* Mean gap within 5% of 1/rate = 10us. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean gap %.0fns near 10000ns" mean)
+    true
+    (abs_float (mean -. 10_000.) < 500.)
+
+let arrival_rejects_bad_rates () =
+  List.iter
+    (fun spec ->
+      match Arrival.validate spec with
+      | () -> Alcotest.failf "accepted %a" Arrival.pp_spec spec
+      | exception Invalid_argument _ -> ())
+    [ Arrival.Fixed 0.; Fixed (-1.); Fixed nan; Poisson 0.; Poisson infinity ]
+
+(* ---------- key samplers ---------- *)
+
+let counts spec ~key_space ~seed ~draws =
+  let t = Key_dist.compile spec ~key_space in
+  let rng = Rng.create ~seed in
+  let c = Array.make key_space 0 in
+  for _ = 1 to draws do
+    let k = Key_dist.sample t rng in
+    if k < 0 || k >= key_space then
+      Alcotest.failf "sample %d outside [0,%d)" k key_space;
+    c.(k) <- c.(k) + 1
+  done;
+  c
+
+let decile c i =
+  let n = Array.length c / 10 in
+  let s = ref 0 in
+  for k = i * n to ((i + 1) * n) - 1 do
+    s := !s + c.(k)
+  done;
+  !s
+
+let zipf_skews_toward_low_ranks () =
+  let c = counts (Key_dist.Zipf 0.99) ~key_space:1000 ~seed:3 ~draws:50_000 in
+  (* Rank order: every decile at least as popular as the one above it,
+     with a big head-to-tail gap; key 0 dominates the last decile alone. *)
+  for i = 0 to 8 do
+    Alcotest.(check bool)
+      (Printf.sprintf "decile %d >= decile %d" i (i + 1))
+      true
+      (decile c i >= decile c (i + 1))
+  done;
+  Alcotest.(check bool) "head 10x tail" true (decile c 0 > 10 * decile c 9);
+  Alcotest.(check bool) "key 0 beats whole last decile" true (c.(0) > decile c 9)
+
+let zipf_zero_degenerates_to_uniform () =
+  let c = counts (Key_dist.Zipf 0.) ~key_space:1000 ~seed:3 ~draws:50_000 in
+  for i = 0 to 9 do
+    (* Each decile holds ~5000 draws; allow 4 sigma. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "decile %d near uniform" i)
+      true
+      (abs (decile c i - 5000) < 300)
+  done
+
+let hotkey_respects_fractions () =
+  let c =
+    counts
+      (Key_dist.Hotkey { hot = 0.8; spread = 0.1 })
+      ~key_space:1000 ~seed:4 ~draws:50_000
+  in
+  let hot = decile c 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d of 50000 draws in the hot 10%%" hot)
+    true
+    (abs (hot - 40_000) < 1_000)
+
+let sampler_prop =
+  QCheck.Test.make ~name:"samplers: in bounds and seed-deterministic"
+    ~count:200
+    QCheck.(
+      triple (int_range 2 5000) (int_range 0 1_000_000)
+        (oneofl
+           [
+             Key_dist.Uniform;
+             Key_dist.Zipf 0.5;
+             Key_dist.Zipf 0.99;
+             Key_dist.Zipf 1.3;
+             Key_dist.Hotkey { hot = 0.9; spread = 0.05 };
+           ]))
+    (fun (key_space, seed, spec) ->
+      let draw () =
+        let t = Key_dist.compile spec ~key_space in
+        let rng = Rng.create ~seed in
+        List.init 64 (fun _ -> Key_dist.sample t rng)
+      in
+      let a = draw () in
+      List.for_all (fun k -> k >= 0 && k < key_space) a && a = draw ())
+
+let sampler_rejects_bad_specs () =
+  List.iter
+    (fun (spec, key_space) ->
+      match Key_dist.validate spec ~key_space with
+      | () -> Alcotest.failf "accepted %a" Key_dist.pp_spec spec
+      | exception Invalid_argument _ -> ())
+    [
+      (Key_dist.Uniform, 0);
+      (Key_dist.Zipf (-0.1), 10);
+      (Key_dist.Zipf nan, 10);
+      (Key_dist.Hotkey { hot = 1.5; spread = 0.1 }, 10);
+      (Key_dist.Hotkey { hot = 0.5; spread = 0. }, 10);
+    ]
+
+(* ---------- knee detection ---------- *)
+
+let knee_finds_the_elbow () =
+  let curve = [| (10., 1.); (20., 1.1); (30., 1.3); (40., 8.); (50., 30.) |] in
+  Alcotest.(check (option int)) "hockey stick" (Some 3) (Knee.detect curve)
+
+let knee_needs_three_points_and_a_rise () =
+  Alcotest.(check (option int))
+    "two points" None
+    (Knee.detect [| (1., 1.); (2., 100.) |]);
+  Alcotest.(check (option int))
+    "flat curve" None
+    (Knee.detect [| (1., 10.); (2., 11.); (3., 12.); (4., 14.) |])
+
+let knee_rejects_unsorted_load () =
+  match Knee.detect [| (1., 1.); (3., 2.); (2., 3.) |] with
+  | _ -> Alcotest.fail "accepted non-increasing offered load"
+  | exception Invalid_argument _ -> ()
+
+(* ---------- the driver end-to-end on the simulator ---------- *)
+
+let open_spec ?(protocol = Runner.Onepaxos) ?(groups = 1) ?(rate = 40_000.)
+    ?(poisson = false) ?(mix = { Open_client.reads = 0.5; cas = 0.1; ranges = 0.1 })
+    ?(key_dist = Key_dist.Zipf 0.99) () =
+  let spec =
+    Runner.default_spec ~protocol
+      ~placement:(Runner.Dedicated { n_replicas = 3; n_clients = 2 })
+  in
+  {
+    spec with
+    Runner.groups;
+    duration = Sim_time.ms 30;
+    warmup = Sim_time.ms 5;
+    drain = Sim_time.ms 10;
+    open_loop =
+      Some
+        {
+          Runner.default_open_loop with
+          Runner.arrival =
+            (if poisson then Arrival.Poisson rate else Arrival.Fixed rate);
+          key_dist;
+          key_space = 4096;
+          mix;
+          sessions = 8;
+        };
+  }
+
+let check_open what (r : Runner.result) =
+  Alcotest.(check bool)
+    (what ^ ": consistent")
+    true
+    (Consistency.ok r.Runner.consistency);
+  let sink =
+    match r.Runner.load with
+    | Some s -> s
+    | None -> Alcotest.failf "%s: no load sink on an open-loop run" what
+  in
+  Alcotest.(check bool)
+    (what ^ ": completions") true
+    (Load_stats.completed sink > 0);
+  Alcotest.(check int) (what ^ ": no stale session reads") 0
+    (Load_stats.stale_reads sink);
+  sink |> ignore;
+  sink
+
+let open_loop_sessions_read_their_writes () =
+  List.iter
+    (fun (name, protocol) ->
+      let r = Runner.run (open_spec ~protocol ()) in
+      ignore (check_open name r))
+    [ ("1paxos", Runner.Onepaxos); ("multipaxos", Runner.Multipaxos) ]
+
+let open_loop_poisson_mencius () =
+  (* A non-lease protocol under Poisson arrivals: the driver code path
+     is protocol-agnostic. *)
+  let r = Runner.run (open_spec ~protocol:Runner.Mencius ~poisson:true ()) in
+  ignore (check_open "mencius poisson" r)
+
+let open_loop_is_deterministic () =
+  let run () =
+    let r = Runner.run (open_spec ~poisson:true ()) in
+    let s = Option.get r.Runner.load in
+    ( Load_stats.issued s,
+      Load_stats.completed s,
+      Load_stats.latency_percentiles s,
+      r.Runner.commits )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same measurements" true (a = b)
+
+let router_rejects_cross_shard_ranges () =
+  (* Two groups, Range-heavy mix over a hash-partitioned keyspace:
+     nearly every span straddles both groups, so the router must
+     answer [Rejected] (counted by the driver) and stay consistent —
+     never silently route or wedge. *)
+  let r =
+    Runner.run
+      (open_spec ~groups:2
+         ~mix:{ Open_client.reads = 0.4; cas = 0.; ranges = 0.4 }
+         ~key_dist:Key_dist.Uniform ())
+  in
+  let sink = check_open "sharded ranges" r in
+  Alcotest.(check bool)
+    "cross-shard ranges rejected" true
+    (Load_stats.rejected sink > 0)
+
+let single_group_serves_ranges () =
+  let r =
+    Runner.run
+      (open_spec ~mix:{ Open_client.reads = 0.4; cas = 0.; ranges = 0.4 } ())
+  in
+  let sink = check_open "single-group ranges" r in
+  Alcotest.(check int) "nothing rejected" 0 (Load_stats.rejected sink)
+
+(* ---------- leader leases ---------- *)
+
+let with_lease spec =
+  { spec with Runner.lease = Sim_time.ms 2; lease_skew = Sim_time.us 20 }
+
+let read_mix = { Open_client.reads = 0.9; cas = 0.; ranges = 0. }
+
+let leases_serve_local_reads_faster () =
+  List.iter
+    (fun (name, protocol) ->
+      let base = open_spec ~protocol ~mix:read_mix () in
+      let plain = Runner.run base in
+      let leased = Runner.run (with_lease base) in
+      let p s = (Load_stats.latency_percentiles (Option.get s.Runner.load)).Load_stats.p50 in
+      ignore (check_open (name ^ " consensus reads") plain);
+      ignore (check_open (name ^ " lease reads") leased);
+      Alcotest.(check int) (name ^ ": no lease reads without leases") 0
+        plain.Runner.lease_reads;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: most reads served locally (%d)" name
+           leased.Runner.lease_reads)
+        true
+        (leased.Runner.lease_reads > Load_stats.completed (Option.get leased.Runner.load) / 2);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: lease p50 %dns < consensus p50 %dns" name
+           (p leased) (p plain))
+        true
+        (p leased < p plain))
+    [ ("1paxos", Runner.Onepaxos); ("multipaxos", Runner.Multipaxos) ]
+
+let lease_crash_never_serves_stale () =
+  (* The regression the lease design must survive: crash the
+     lease-holding leader mid-run. The successor must wait out the
+     grants before its writes can commit, so no session may ever see a
+     read-your-writes violation — from either the old or new leader. *)
+  List.iter
+    (fun (name, protocol) ->
+      let spec =
+        { (with_lease (open_spec ~protocol ~rate:20_000. ~mix:read_mix ())) with
+          Runner.duration = Sim_time.ms 60;
+          timeout = Sim_time.us 4000;
+          nemesis =
+            {
+              Ci_faults.seed = 7;
+              faults =
+                [
+                  Ci_faults.Crash
+                    {
+                      node = 0;
+                      at = Sim_time.ms 20;
+                      down_for = Some (Sim_time.ms 15);
+                    };
+                ];
+            };
+        }
+      in
+      let r = Runner.run spec in
+      ignore (check_open (name ^ " lease crash") r);
+      (* The lease was actually exercised before the crash... *)
+      Alcotest.(check bool) (name ^ ": lease reads happened") true
+        (r.Runner.lease_reads > 0);
+      (* ...and the cluster kept committing after it. *)
+      Alcotest.(check bool) (name ^ ": commits after crash") true
+        (r.Runner.commits > 0))
+    [ ("1paxos", Runner.Onepaxos); ("multipaxos", Runner.Multipaxos) ]
+
+let suite =
+  ( "load",
+    [
+      Alcotest.test_case "fixed arrival is a metronome" `Quick
+        fixed_arrival_is_a_metronome;
+      Alcotest.test_case "poisson arrival: rate and determinism" `Quick
+        poisson_arrival_matches_rate_and_seed;
+      Alcotest.test_case "arrival spec validation" `Quick arrival_rejects_bad_rates;
+      Alcotest.test_case "zipf skews toward low ranks" `Quick
+        zipf_skews_toward_low_ranks;
+      Alcotest.test_case "zipf 0 is uniform" `Quick zipf_zero_degenerates_to_uniform;
+      Alcotest.test_case "hotkey respects fractions" `Quick hotkey_respects_fractions;
+      Alcotest.test_case "sampler spec validation" `Quick sampler_rejects_bad_specs;
+      QCheck_alcotest.to_alcotest sampler_prop;
+      Alcotest.test_case "knee finds the elbow" `Quick knee_finds_the_elbow;
+      Alcotest.test_case "knee needs three points and a rise" `Quick
+        knee_needs_three_points_and_a_rise;
+      Alcotest.test_case "knee rejects unsorted load" `Quick knee_rejects_unsorted_load;
+      Alcotest.test_case "open-loop sessions read their writes" `Slow
+        open_loop_sessions_read_their_writes;
+      Alcotest.test_case "open loop over mencius, poisson arrivals" `Slow
+        open_loop_poisson_mencius;
+      Alcotest.test_case "open loop is deterministic" `Slow open_loop_is_deterministic;
+      Alcotest.test_case "router rejects cross-shard ranges" `Slow
+        router_rejects_cross_shard_ranges;
+      Alcotest.test_case "single group serves ranges" `Slow single_group_serves_ranges;
+      Alcotest.test_case "leases serve local reads faster" `Slow
+        leases_serve_local_reads_faster;
+      Alcotest.test_case "lease-holding leader crash: no stale reads" `Slow
+        lease_crash_never_serves_stale;
+    ] )

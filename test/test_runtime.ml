@@ -116,6 +116,64 @@ let test_live_alloc_budget () =
     true
     (r.Live.alloc_words_per_op > 0. && r.Live.alloc_words_per_op <= 8_000.)
 
+(* Open-loop drivers and leader leases on real domains: the live halves
+   of the lib/load subsystem (the simulator halves live in Test_load). *)
+
+let open_loop_spec protocol =
+  {
+    (short_spec protocol) with
+    Live.open_loop =
+      Some
+        {
+          Runner.default_open_loop with
+          Runner.arrival = Ci_load.Arrival.Fixed 5_000.;
+          key_space = 1024;
+          mix = { Ci_load.Open_client.reads = 0.6; cas = 0.05; ranges = 0.05 };
+          sessions = 8;
+        };
+  }
+
+let check_live_open name (r : Live.result) =
+  if not (Consistency.ok r.Live.consistency) then
+    Alcotest.failf "%s: %a" name Consistency.pp r.Live.consistency;
+  let sink =
+    match r.Live.load with
+    | Some s -> s
+    | None -> Alcotest.failf "%s: no load sink on an open-loop run" name
+  in
+  Alcotest.(check bool)
+    (name ^ ": completions") true
+    (Ci_load.Load_stats.completed sink > 0);
+  Alcotest.(check int)
+    (name ^ ": no stale session reads")
+    0
+    (Ci_load.Load_stats.stale_reads sink)
+
+let test_live_open_loop () =
+  List.iter
+    (fun (name, protocol) ->
+      check_live_open name (Live.run (open_loop_spec protocol)))
+    [ ("1paxos", Live.Onepaxos); ("multipaxos", Live.Multipaxos) ]
+
+let test_live_lease_reads () =
+  List.iter
+    (fun (name, protocol) ->
+      let spec =
+        {
+          (open_loop_spec protocol) with
+          Live.duration_s = 0.3;
+          lease = 20_000_000 (* 20 ms *);
+          lease_skew = 200_000;
+        }
+      in
+      let r = Live.run spec in
+      check_live_open name r;
+      Alcotest.(check bool)
+        (name ^ ": reads served under the lease")
+        true
+        (r.Live.lease_reads > 0))
+    [ ("1paxos", Live.Onepaxos); ("multipaxos", Live.Multipaxos) ]
+
 let test_validation () =
   let expect_invalid name spec =
     match Live.run spec with
@@ -138,6 +196,15 @@ let test_validation () =
   expect_invalid "cross-shard ratio > 1" { ok with Live.cross_shard_ratio = 1.1 };
   expect_invalid "socket transport with groups > 1"
     { ok with Live.transport = Live.Socket; groups = 2 };
+  expect_invalid "negative lease" { ok with Live.lease = -1 };
+  expect_invalid "lease skew >= lease"
+    { ok with Live.lease = 100; lease_skew = 100 };
+  expect_invalid "socket transport with the open-loop driver"
+    {
+      ok with
+      Live.transport = Live.Socket;
+      open_loop = Some Runner.default_open_loop;
+    };
   expect_invalid "socket transport with a nemesis"
     {
       ok with
@@ -220,6 +287,10 @@ let suite =
         test_live_sharded_multipaxos;
       Alcotest.test_case "live alloc words/op budget (sharded hot path)" `Quick
         test_live_alloc_budget;
+      Alcotest.test_case "live open-loop drivers: sessions read their writes"
+        `Quick test_live_open_loop;
+      Alcotest.test_case "live leases serve local reads" `Quick
+        test_live_lease_reads;
       Alcotest.test_case "spec validation" `Quick test_validation;
       Alcotest.test_case "protocol and transport name parsing" `Quick
         test_protocol_names;
