@@ -1007,6 +1007,135 @@ let write_faults_json () =
       (fun () -> output_string oc (Buffer.contents buf));
     Format.printf "@.wrote BENCH_faults.json@."
 
+(* ----- model-checker benchmark -------------------------------------------- *)
+
+(* One row per protocol, collected for BENCH_explore.json: the bounded
+   model checker's verdict on a 3-replica world with one crash allowed
+   anywhere, and how hard the reduction machinery works for it — the
+   share of prefixes cut by the visited table, the share of enabled
+   choices the sleep sets never descend into, and the stateless
+   re-execution rate. Crash-tolerant protocols must exhaust the space;
+   2PC must be convicted of its blocking livelock and shrunk to the
+   single-crash counterexample. Mencius is deliberately absent: its
+   skip-message flood makes each liveness closure quadratic, so the
+   search runs for minutes (the unit suite convicts it by replaying
+   the known one-choice counterexample instead). *)
+type explore_row = {
+  ex_protocol : string;
+  ex_outcome : string;
+  ex_states : int;
+  ex_executions : int;
+  ex_choices_applied : int;
+  ex_dedup_ratio : float;  (* dedup hits / states reached *)
+  ex_sleep_ratio : float;  (* sleep skips / (branches + sleep skips) *)
+  ex_states_per_s : float;
+  ex_wall_s : float;
+  ex_trace_len : int;  (* -1 when the space was clean *)
+  ex_shrunk_len : int;
+}
+
+let explore_stats : explore_row list option ref = ref None
+
+let explore ~jobs:_ =
+  section "X1. Bounded model checker (schedules x one crash, 3 replicas)"
+    "this reproduction's addition: exhaustive delivery-order and fault \
+     exploration with digest dedup, sleep sets and trace shrinking"
+    (fun () ->
+      let module Trace = Ci_explore.Trace in
+      let module Search = Ci_explore.Search in
+      let row ?(commands = 2) protocol expect =
+        let cfg =
+          {
+            (Trace.default_config ~protocol) with
+            Trace.crash_budget = 1;
+            fire_budget = 0;
+            n_commands = commands;
+          }
+        in
+        let bounds =
+          { Search.default_bounds with Search.max_depth = 48; max_states = 200_000 }
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Search.explore ~bounds cfg in
+        let wall = Unix.gettimeofday () -. t0 in
+        let name = Trace.protocol_name protocol in
+        let outcome, trace_len, shrunk_len =
+          match r.Search.outcome with
+          | Search.Exhausted -> ("exhausted", -1, -1)
+          | Search.Bounded -> ("bounded", -1, -1)
+          | Search.Violated { trace; shrunk; _ } ->
+            ("violated", List.length trace, List.length shrunk)
+        in
+        (match (expect, r.Search.outcome) with
+        | `Exhaust, Search.Exhausted | `Violate, Search.Violated _ -> ()
+        | `Exhaust, _ ->
+          failwith
+            (Printf.sprintf "explore: %s did not exhaust (%s)" name outcome)
+        | `Violate, _ ->
+          failwith
+            (Printf.sprintf "explore: %s escaped its known violation (%s)" name
+               outcome));
+        let s = r.Search.stats in
+        let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+        {
+          ex_protocol = name;
+          ex_outcome = outcome;
+          ex_states = s.Search.states;
+          ex_executions = s.Search.executions;
+          ex_choices_applied = s.Search.choices_applied;
+          ex_dedup_ratio = ratio s.Search.dedup_hits (s.Search.states + s.Search.dedup_hits);
+          ex_sleep_ratio = ratio s.Search.sleep_skips (s.Search.branches + s.Search.sleep_skips);
+          ex_states_per_s = (if wall > 0. then float_of_int s.Search.states /. wall else 0.);
+          ex_wall_s = wall;
+          ex_trace_len = trace_len;
+          ex_shrunk_len = shrunk_len;
+        }
+      in
+      let rows =
+        [
+          row Trace.Onepaxos `Exhaust;
+          row ~commands:1 Trace.Multipaxos `Exhaust;
+          row Trace.Twopc `Violate;
+        ]
+      in
+      Format.printf "%-12s %10s %9s %10s %8s %8s %10s %7s@." "protocol"
+        "outcome" "states" "states/s" "dedup" "sleep" "trace" "shrunk";
+      List.iter
+        (fun r ->
+          Format.printf "%-12s %10s %9d %10.0f %7.0f%% %7.0f%% %10s %7s@."
+            r.ex_protocol r.ex_outcome r.ex_states r.ex_states_per_s
+            (100. *. r.ex_dedup_ratio) (100. *. r.ex_sleep_ratio)
+            (if r.ex_trace_len < 0 then "-" else string_of_int r.ex_trace_len)
+            (if r.ex_shrunk_len < 0 then "-" else string_of_int r.ex_shrunk_len))
+        rows;
+      explore_stats := Some rows)
+
+let write_explore_json () =
+  match !explore_stats with
+  | None -> ()
+  | Some rows ->
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"rows\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"protocol\": \"%s\", \"outcome\": \"%s\", \"states\": %d, \
+              \"executions\": %d, \"choices_applied\": %d, \"dedup_ratio\": \
+              %.4f, \"sleep_ratio\": %.4f, \"states_per_s\": %.0f, \
+              \"wall_s\": %.3f, \"trace_len\": %d, \"shrunk_len\": %d}%s\n"
+             r.ex_protocol r.ex_outcome r.ex_states r.ex_executions
+             r.ex_choices_applied r.ex_dedup_ratio r.ex_sleep_ratio
+             r.ex_states_per_s r.ex_wall_s r.ex_trace_len r.ex_shrunk_len
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_explore.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Buffer.contents buf));
+    Format.printf "@.wrote BENCH_explore.json@."
+
 let json_escape name =
   String.concat ""
     (List.map
@@ -1179,6 +1308,7 @@ let sections =
     ("shards", shards);
     ("service", service);
     ("faults", faults);
+    ("explore", explore);
     ("micro", micro);
   ]
 
@@ -1186,7 +1316,10 @@ let sections =
    re-timing at jobs=1 for the comparison table. metrics/engine/micro
    time themselves differently (single runs or self-calibrating). *)
 let serial_only =
-  [ "metrics"; "engine"; "runtime"; "codec"; "shards"; "service"; "faults"; "micro" ]
+  [
+    "metrics"; "engine"; "runtime"; "codec"; "shards"; "service"; "faults";
+    "explore"; "micro";
+  ]
 
 let print_jobs_table ~jobs =
   let j1 = List.rev !section_walls_j1 in
@@ -1267,4 +1400,5 @@ let () =
   write_codec_json ();
   write_shards_json ();
   write_service_json ();
-  write_faults_json ()
+  write_faults_json ();
+  write_explore_json ()

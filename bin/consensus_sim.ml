@@ -1098,6 +1098,212 @@ let figures_cmd =
   let term = Term.(const run $ which $ out_dir $ jobs) in
   Cmd.v (Cmd.info "figures" ~doc:"Regenerate the paper's tables and figures.") term
 
+(* ----- explore: bounded model checking --------------------------------- *)
+
+let explore_cmd =
+  let module Trace = Ci_explore.Trace in
+  let module Search = Ci_explore.Search in
+  let protocol_conv =
+    let parse s =
+      match Trace.protocol_of_name s with
+      | Some p -> Ok p
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown protocol %S (1paxos|multipaxos|2pc|mencius|cheappaxos)"
+                s))
+    in
+    Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Trace.protocol_name p))
+  in
+  let protocol =
+    Arg.(
+      value & opt protocol_conv Trace.Onepaxos
+      & info [ "p"; "protocol" ]
+          ~doc:"Protocol to check: 1paxos, multipaxos, 2pc, mencius or cheappaxos.")
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count (2-7).")
+  in
+  let clients =
+    Arg.(value & opt int 1 & info [ "clients" ] ~doc:"Client count (1-4).")
+  in
+  let commands =
+    Arg.(value & opt int 2 & info [ "commands" ] ~doc:"Commands per client (1-8).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Per-node RNG seed.") in
+  let drops =
+    Arg.(value & opt int 0 & info [ "drops" ] ~doc:"Message-drop fault budget.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ]
+          ~doc:"Crash fault budget (majority-preserving crashes only).")
+  in
+  let fires =
+    Arg.(
+      value & opt int 4
+      & info [ "fires" ] ~doc:"Timer-fire budget per node per execution.")
+  in
+  let max_depth =
+    Arg.(
+      value & opt int Search.default_bounds.Search.max_depth
+      & info [ "max-depth" ] ~doc:"Deepest choice prefix explored.")
+  in
+  let max_states =
+    Arg.(
+      value & opt int Search.default_bounds.Search.max_states
+      & info [ "max-states" ] ~doc:"State budget before giving up.")
+  in
+  let stale_adoption =
+    Arg.(
+      value & flag
+      & info [ "stale-adoption" ]
+          ~doc:
+            "Re-seed the historical 1Paxos stale-adoption split-brain (test \
+             fixture; the checker should find it).")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write the shrunk counterexample trace to $(docv).")
+  in
+  let events_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "events-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the typed event log (JSON lines) of the replayed \
+             counterexample, or of the $(b,--replay) execution, to $(docv).")
+  in
+  let replay_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a trace written by $(b,--trace-out) instead of exploring; \
+             all bound/config flags are ignored (the trace header wins).")
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Format.printf "wrote %s@." path
+  in
+  let events_sidecar events_out cfg choices =
+    match events_out with
+    | None -> ()
+    | Some path ->
+      let ring = Ci_obs.Event.create_ring () in
+      ignore (Search.replay ~ring cfg choices);
+      write_file path (Ci_obs.Event.to_jsonl ring)
+  in
+  let print_stats (s : Search.stats) =
+    let ratio num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+    Format.printf
+      "states=%d executions=%d choices=%d branches=%d dedup_hits=%d \
+       dedup_ratio=%.3f sleep_skips=%d sleep_ratio=%.3f rounds=%d closures=%d@."
+      s.Search.states s.Search.executions s.Search.choices_applied
+      s.Search.branches s.Search.dedup_hits
+      (ratio s.Search.dedup_hits (s.Search.dedup_hits + s.Search.states))
+      s.Search.sleep_skips
+      (ratio s.Search.sleep_skips (s.Search.sleep_skips + s.Search.branches))
+      s.Search.deepening_rounds s.Search.closures
+  in
+  let run protocol replicas clients commands seed drops crashes fires max_depth
+      max_states stale_adoption trace_out events_out replay_file =
+    match replay_file with
+    | Some path -> (
+      let contents =
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Trace.of_string contents with
+      | Error msg ->
+        Format.eprintf "unreadable trace %s: %s@." path msg;
+        2
+      | Ok (cfg, choices) -> (
+        Format.printf "%s@." (Trace.config_to_line cfg);
+        Format.printf "trace-hash=%s choices=%d@." (Trace.hash_hex choices)
+          (List.length choices);
+        events_sidecar events_out cfg choices;
+        match Search.replay cfg choices with
+        | Error msg ->
+          Format.eprintf "replay diverged: %s@." msg;
+          2
+        | Ok None ->
+          Format.printf "verdict=live@.";
+          0
+        | Ok (Some v) ->
+          Format.printf "verdict=violation@.%a@." Search.pp_violation v;
+          1))
+    | None -> (
+      let cfg =
+        {
+          Trace.protocol;
+          n_replicas = replicas;
+          n_clients = clients;
+          n_commands = commands;
+          seed;
+          drop_budget = drops;
+          crash_budget = crashes;
+          fire_budget = fires;
+          unsafe_stale_adoption = stale_adoption;
+        }
+      in
+      match Trace.validate_config cfg with
+      | Error msg ->
+        Format.eprintf "bad config: %s@." msg;
+        2
+      | Ok () -> (
+        let bounds =
+          { Search.default_bounds with Search.max_depth; max_states }
+        in
+        Format.printf "%s@." (Trace.config_to_line cfg);
+        let { Search.outcome; stats } = Search.explore ~bounds cfg in
+        print_stats stats;
+        match outcome with
+        | Search.Exhausted ->
+          Format.printf "outcome=exhausted@.";
+          0
+        | Search.Bounded ->
+          Format.printf "outcome=bounded@.";
+          0
+        | Search.Violated { trace; violation = _; shrunk; shrunk_violation } ->
+          Format.printf "outcome=violation@.%a@." Search.pp_violation
+            shrunk_violation;
+          Format.printf
+            "counterexample: %d choices (shrunk from %d), trace-hash=%s@."
+            (List.length shrunk) (List.length trace) (Trace.hash_hex shrunk);
+          List.iter
+            (fun c -> Format.printf "  %s@." (Trace.choice_to_line c))
+            shrunk;
+          (match trace_out with
+          | Some path -> write_file path (Trace.to_string ~config:cfg shrunk)
+          | None -> ());
+          events_sidecar events_out cfg shrunk;
+          1))
+  in
+  let term =
+    Term.(
+      const run $ protocol $ replicas $ clients $ commands $ seed $ drops
+      $ crashes $ fires $ max_depth $ max_states $ stale_adoption $ trace_out
+      $ events_out $ replay_file)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Bounded model checking: exhaust delivery orderings and fault \
+          placements of a small configuration, checking consistency at every \
+          state and liveness at quiescent ones; shrink any counterexample to \
+          a minimal replayable trace. Exits 1 on violation.")
+    term
+
 let () =
   let info =
     Cmd.info "consensus_sim" ~version:"1.0.0"
@@ -1105,4 +1311,5 @@ let () =
   in
   exit
     (Cmd.eval'
-       (Cmd.group info [ run_cmd; live_cmd; load_cmd; nemesis_cmd; figures_cmd ]))
+       (Cmd.group info
+          [ run_cmd; live_cmd; load_cmd; nemesis_cmd; figures_cmd; explore_cmd ]))

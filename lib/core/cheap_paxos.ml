@@ -359,3 +359,30 @@ let replica_core t = t.core
 let epoch t = t.cur_epoch
 let actives t = t.cur_actives
 let reconfigs t = t.n_reconfigs
+
+(* Structural fingerprint for the explorer's visited-state table; same
+   conventions as {!Onepaxos.digest}: hashtables in sorted key order,
+   timestamps relative to the current clock. *)
+let digest t =
+  let tbl_list tbl =
+    Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [] |> List.sort compare
+  in
+  let clock = now t in
+  let rounds =
+    Hashtbl.fold
+      (fun i r l -> (i, r.v, List.sort compare r.acks) :: l)
+      t.rounds []
+    |> List.sort compare
+  in
+  let outstanding =
+    Hashtbl.fold (fun i at l -> (i, at - clock) :: l) t.outstanding []
+    |> List.sort compare
+  in
+  Hashtbl.hash_param 1000 1000
+    ( Replica_core.digest t.core, Paxos_utility.digest (pu t),
+      (t.cur_epoch, List.sort compare t.cur_actives, t.ready, t.covering,
+       t.changing),
+      rounds,
+      List.of_seq (Queue.to_seq t.pending),
+      tbl_list t.my_keys, tbl_list t.inflight, t.next_inst, outstanding,
+      tbl_list t.acc_store )

@@ -63,3 +63,9 @@ val is_leader : t -> bool
 
 val reconfigs : t -> int
 (** [reconfigs t] counts epoch changes this replica applied. *)
+
+val digest : t -> int
+(** [digest t] is a structural fingerprint of the replica's protocol
+    state for the explorer's visited-state table; hashtables are hashed
+    in sorted key order and timestamps relative to the current clock.
+    Equal states always produce equal digests. *)

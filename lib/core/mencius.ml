@@ -171,3 +171,19 @@ let create ~env ~config =
 let replica_core t = t.core
 let skips_proposed t = t.n_skips
 let owned_used t = t.n_used
+
+(* Structural fingerprint for the explorer's visited-state table;
+   hashtables in sorted key order (see {!Onepaxos.digest}). *)
+let digest t =
+  let tbl_list tbl =
+    Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [] |> List.sort compare
+  in
+  let tallies =
+    Hashtbl.fold
+      (fun i tl l -> (i, tl.v, List.sort compare tl.srcs) :: l)
+      t.tallies []
+    |> List.sort compare
+  in
+  Hashtbl.hash_param 1000 1000
+    ( Replica_core.digest t.core, t.own_cursor, t.frontier,
+      tbl_list t.my_keys, tbl_list t.inflight, tbl_list t.accepted, tallies )

@@ -53,3 +53,9 @@ val is_skip_value : Wire.value -> bool
 (** [is_skip_value v] identifies the placeholder a skip decides (used by
     the consistency layer to exempt skips from the proposed-by-a-client
     check). *)
+
+val digest : t -> int
+(** [digest t] is a structural fingerprint of the replica's protocol
+    state for the explorer's visited-state table; hashtables are hashed
+    in sorted key order and timestamps relative to the current clock.
+    Equal states always produce equal digests. *)

@@ -645,3 +645,42 @@ let elections t = t.n_elections
 let pending_count t = Queue.length t.pending
 let lease_reads t = t.n_lease_reads
 let holds_lease t = t.iam_leader && lease_on t && lease_valid t ~at:(now t)
+
+(* Structural fingerprint for the explorer's visited-state table; same
+   conventions as {!Onepaxos.digest}: hashtables in sorted key order,
+   timestamps relative to the current clock, timers as presence bits. *)
+let digest t =
+  let tbl_list tbl =
+    Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [] |> List.sort compare
+  in
+  let clock = now t in
+  let rel at = at - clock in
+  let proposer =
+    ( t.iam_leader, t.my_pn, t.pn_round, t.electing, t.promise_count,
+      tbl_list t.promise_best, tbl_list t.proposed, tbl_list t.inflight,
+      List.of_seq (Queue.to_seq t.pending), t.next_inst, tbl_list t.my_keys )
+  in
+  let batching =
+    ( List.of_seq (Queue.to_seq t.bat_buf), tbl_list t.bat_keys,
+      t.bat_inflight,
+      Hashtbl.fold (fun b r l -> (b, !r) :: l) t.bat_remaining []
+      |> List.sort compare,
+      tbl_list t.slot_batch, t.bat_timer <> None, t.bat_overdue,
+      t.bat_has_fwd )
+  in
+  let acceptor = (t.promised, tbl_list t.accepted) in
+  let learner =
+    Hashtbl.fold
+      (fun k tl l -> (k, tl.v, List.sort compare tl.srcs) :: l)
+      t.tallies []
+    |> List.sort compare
+  in
+  let lease =
+    ( t.grant_holder, rel t.grant_until,
+      Hashtbl.fold (fun src at l -> (src, rel at) :: l) t.grants []
+      |> List.sort compare,
+      t.read_floor )
+  in
+  Hashtbl.hash_param 1000 1000
+    ( Replica_core.digest t.core, proposer, batching, acceptor, learner,
+      lease, t.election_streak )

@@ -110,3 +110,9 @@ val recover :
     restored registers and catches its decided log up through the next
     leader election's re-proposal range; it campaigns for leadership
     only when a client contacts it, exactly like any non-leader. *)
+
+val digest : t -> int
+(** [digest t] is a structural fingerprint of the replica's protocol
+    state for the explorer's visited-state table; hashtables are hashed
+    in sorted key order and timestamps relative to the current clock.
+    Equal states always produce equal digests. *)

@@ -16,6 +16,11 @@ type config = {
   window : int;
   lease : Sim_time.t;
   lease_skew : Sim_time.t;
+  unsafe_stale_adoption : bool;
+      (* Test-only: re-introduces the pre-fix stale-adoption split-brain
+         (leadership gates removed from adoption, retry and takeover
+         cancellation) so the model checker can demonstrate it finds
+         this bug class. Never enable outside tests. *)
 }
 
 let default_config ~replicas =
@@ -35,6 +40,7 @@ let default_config ~replicas =
     window = 0;
     lease = 0;
     lease_skew = 0;
+    unsafe_stale_adoption = false;
   }
 
 type ls_op = { mutable replies : int; k : unit -> unit }
@@ -82,6 +88,14 @@ type t = {
   mutable hpn : Pn.t;
   mutable iam_fresh : bool;
   acc_ap : (int, Pn.t * Wire.value) Hashtbl.t;
+  mutable acc_retired : bool;
+      (* The configuration log moved the acceptor role away from this
+         node. Its promise state is frozen history: answering prepares
+         or minting new acceptances now could decide an instance behind
+         the current acceptor's back — the leader that relocated the
+         role vouched for this node's accepted set as of the handoff,
+         so anything accepted after it is a split-brain. Reset when an
+         [Acceptor_change] installs this node again. *)
   (* Learner catch-up. *)
   mutable ls_token : int;
   ls_ops : (int, ls_op) Hashtbl.t;
@@ -566,7 +580,11 @@ let handle_request t ~src ~req_id ~cmd ~relaxed_read =
 (* ----- acceptor role (Appendix A, lines 45..61) ------------------------- *)
 
 let on_prepare_request t ~src ~pn ~must_be_fresh =
-  if Pn.(pn > t.hpn) then begin
+  if t.acc_retired && not t.cfg.unsafe_stale_adoption then
+    (* Tenure over: abandon so the knocker syncs the configuration log
+       and finds the acceptor's new home. *)
+    send t src (Wire.Op_abandon { hpn = t.hpn })
+  else if Pn.(pn > t.hpn) then begin
     if t.iam_fresh <> must_be_fresh then
       (* Freshness mismatch: stay silent; the proposer times out and
          replaces this acceptor, so lost promises can never be relied
@@ -585,7 +603,10 @@ let on_prepare_request t ~src ~pn ~must_be_fresh =
   else send t src (Wire.Op_abandon { hpn = t.hpn })
 
 let on_accept_request t ~src ~inst ~pn ~v =
-  if not (Pn.equal pn t.hpn) then send t src (Wire.Op_abandon { hpn = t.hpn })
+  if
+    (t.acc_retired && not t.cfg.unsafe_stale_adoption)
+    || not (Pn.equal pn t.hpn)
+  then send t src (Wire.Op_abandon { hpn = t.hpn })
   else
     match Hashtbl.find_opt t.acc_ap inst with
     | Some (_, v0) ->
@@ -602,7 +623,10 @@ let on_accept_request t ~src ~inst ~pn ~v =
    in the outgoing batch — the per-slot logic of [on_accept_request],
    amortized over one message each way. *)
 let on_accept_batch t ~src ~base ~pn ~vs =
-  if not (Pn.equal pn t.hpn) then send t src (Wire.Op_abandon { hpn = t.hpn })
+  if
+    (t.acc_retired && not t.cfg.unsafe_stale_adoption)
+    || not (Pn.equal pn t.hpn)
+  then send t src (Wire.Op_abandon { hpn = t.hpn })
   else begin
     let out =
       Array.mapi
@@ -633,8 +657,10 @@ let on_prepare_response t ~src ~pn ~accepted =
      by [scan]) can adopt a freshly installed acceptor and produce two
      concurrent leaders — each with its own acceptor — proposing
      different values at the same instance. *)
-  if (not t.iam_leader) && t.cur_leader = Some t.self && Some src = t.aa
-     && expected
+  if
+    (not t.iam_leader)
+    && (t.cfg.unsafe_stale_adoption || t.cur_leader = Some t.self)
+    && Some src = t.aa && expected
   then begin
     t.env.Node_env.note_phase ~phase:"1paxos:adopted-acceptor";
     t.iam_leader <- true;
@@ -698,7 +724,7 @@ let scan t =
     t.pending_prepare <- None;
     t.prepare_deadline <- None;
     t.becoming <- false;
-    if t.cur_leader <> Some t.self then
+    if (not t.cfg.unsafe_stale_adoption) && t.cur_leader <> Some t.self then
       (* Leadership moved on while we were knocking: abandon the
          attempt and hand our queue to the winner. Retrying here would
          keep a rival adoption loop alive forever. *)
@@ -782,16 +808,25 @@ let on_config_entry t ~cseq:_ entry =
     t.env.Node_env.note_phase
       ~phase:(Printf.sprintf "1paxos:leader-change:%d" leader);
     t.cur_leader <- Some leader;
+    if t.aa = Some t.self && acceptor <> t.self then t.acc_retired <- true;
     t.aa <- Some acceptor;
     t.ap_covered <- false;
     t.n_leader_changes <- t.n_leader_changes + 1;
     (* Also cancel a takeover still in flight ([becoming]): its prepare
        must not linger and promote us after this entry named someone
        else. *)
-    if leader <> t.self && (t.iam_leader || t.becoming) then step_down t
+    if
+      leader <> t.self
+      && (t.iam_leader || ((not t.cfg.unsafe_stale_adoption) && t.becoming))
+    then step_down t
   | Wire.Acceptor_change { acceptor; carried } ->
     t.env.Node_env.note_phase
       ~phase:(Printf.sprintf "1paxos:acceptor-change:%d" acceptor);
+    (* The entry is the proof this node's acceptor tenure ended: the
+       proposer vouched for our accepted set via [carried], so any
+       acceptance we mint from here on would split the brain (the
+       explorer's 36-choice counterexample in DESIGN.md §14). *)
+    if t.aa = Some t.self && acceptor <> t.self then t.acc_retired <- true;
     t.aa <- Some acceptor;
     t.n_acceptor_changes <- t.n_acceptor_changes + 1;
     (* Every node registers the carried proposals so whichever node
@@ -806,7 +841,8 @@ let on_config_entry t ~cseq:_ entry =
          an earlier tenure belongs to an abandoned epoch. *)
       t.hpn <- Pn.bottom;
       Hashtbl.reset t.acc_ap;
-      t.iam_fresh <- true
+      t.iam_fresh <- true;
+      t.acc_retired <- false
     end;
     if t.cur_leader = Some t.self then begin
       (* Our own installation of a fresh backup: nobody can have adopted
@@ -878,6 +914,7 @@ let create ~env ~config =
       hpn = Pn.bottom;
       iam_fresh = true;
       acc_ap = Hashtbl.create 256;
+      acc_retired = false;
       ls_token = 0;
       ls_ops = Hashtbl.create 8;
       grant_holder = Pn.bottom;
@@ -982,6 +1019,7 @@ let recover ~env ~config ~stable:st =
       hpn = Pn.bottom;
       iam_fresh = true;
       acc_ap = Hashtbl.create 256;
+      acc_retired = false;
       ls_token = 0;
       ls_ops = Hashtbl.create 8;
       grant_holder = Pn.bottom;
@@ -1054,3 +1092,49 @@ let inject_acceptor_reset t =
   t.hpn <- Pn.bottom;
   Hashtbl.reset t.acc_ap;
   t.iam_fresh <- true
+
+(* Structural fingerprint for the explorer's visited-state table. Covers
+   every protocol-relevant field as pure data: hashtables are folded to
+   sorted association lists so iteration order cannot leak into the
+   hash, and absolute timestamps are made relative to the current clock
+   (two states reachable at different absolute times but otherwise
+   identical should collide). The env, timers and counters are
+   excluded: timers are hashed by the explorer's own timer queues and
+   counters are observability, not behaviour. *)
+let digest t =
+  let sorted_tbl tbl fold = fold tbl |> List.sort compare in
+  let tbl_list tbl = sorted_tbl tbl (fun h -> Hashtbl.fold (fun k v l -> (k, v) :: l) h []) in
+  let clock = now t in
+  let rel at = at - clock in
+  let rel_opt = function None -> None | Some at -> Some (rel at) in
+  let roles =
+    ( t.iam_leader, t.aa, t.cur_leader, t.my_pn, t.pn_round,
+      (t.expect_fresh, t.ap_covered, t.becoming, t.changing_acceptor),
+      t.pending_prepare, rel_opt t.prepare_deadline )
+  in
+  let proposer =
+    ( tbl_list t.proposed, tbl_list t.inflight, t.next_inst,
+      List.of_seq (Queue.to_seq t.pending),
+      sorted_tbl t.outstanding (fun h ->
+          Hashtbl.fold (fun i at l -> (i, rel at) :: l) h []),
+      tbl_list t.my_keys )
+  in
+  let batching =
+    ( List.of_seq (Queue.to_seq t.bat_buf), tbl_list t.bat_keys,
+      t.bat_inflight,
+      sorted_tbl t.bat_remaining (fun h ->
+          Hashtbl.fold (fun b r l -> (b, !r) :: l) h []),
+      tbl_list t.slot_batch, t.bat_timer <> None, t.bat_overdue,
+      t.bat_has_fwd )
+  in
+  let acceptor = (t.hpn, t.iam_fresh, tbl_list t.acc_ap) in
+  let learner = (t.ls_token, Hashtbl.length t.ls_ops) in
+  let lease =
+    ( t.grant_holder, rel t.grant_until,
+      sorted_tbl t.grants (fun h ->
+          Hashtbl.fold (fun src at l -> (src, rel at) :: l) h []),
+      rel t.last_renew, t.read_floor )
+  in
+  Hashtbl.hash_param 1000 1000
+    ( Replica_core.digest t.core, Paxos_utility.digest (pu t),
+      roles, proposer, batching, acceptor, learner, lease )

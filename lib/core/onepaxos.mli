@@ -69,6 +69,16 @@ type config = {
           retires each grant [lease_skew] early, so a follower whose
           clock runs fast by less than this still honors its promise
           beyond the leader's belief. Must be [< lease]. *)
+  unsafe_stale_adoption : bool;
+      (** {b Test-only.} Re-introduces a historical split-brain: a
+          deposed candidate's stale [Op_prepare_request] can still
+          promote it to leader after the configuration log has moved
+          leadership elsewhere (the believed-leader gate on adoption,
+          the retry abandonment on prepare timeout, and the takeover
+          cancellation on a rival [Leader_change] are all disabled).
+          Exists so the model checker ({!Ci_explore}) can demonstrate
+          that it finds and shrinks this bug class. Never enable
+          outside tests. *)
 }
 
 val default_config : replicas:int array -> config
@@ -160,3 +170,13 @@ val recover :
     leader or active acceptor before the crash, the survivors' takeover
     machinery ([LeaderChange] / [AcceptorChange]) — not the restart —
     restores those roles elsewhere. *)
+
+val digest : t -> int
+(** [digest t] is a structural fingerprint of the replica's full
+    protocol state (roles, proposer, batching, acceptor, learner and
+    lease registers, plus the embedded {!Replica_core} and
+    {!Paxos_utility} state) for the explorer's visited-state table.
+    Absolute timestamps are hashed relative to the current clock;
+    hashtables are hashed in sorted key order. Equal digests do not
+    prove equal states (it is a hash), but equal states always produce
+    equal digests. *)

@@ -296,6 +296,32 @@ let helped_elect_other t ~from_cseq ~leader =
 
 let entries t = Op_log.to_list t.log
 let next_cseq t = Op_log.first_gap t.log
+
+(* Structural fingerprint for the explorer (see {!Replica_core.digest}).
+   Hashtables fold to sorted lists so iteration order cannot leak in;
+   the in-flight attempt contributes its pure-data fields only. *)
+let digest t =
+  let acc =
+    Hashtbl.fold (fun c s l -> (c, s.promised, s.accepted) :: l) t.acc []
+    |> List.sort compare
+  in
+  let att =
+    match t.att with
+    | None -> None
+    | Some a ->
+      Some
+        ( a.cseq,
+          a.pn,
+          a.mine,
+          a.pushing,
+          (a.phase, a.promise_count, a.best, a.ack_count, a.highest_seen) )
+  in
+  Hashtbl.hash_param 1000 1000
+    ( Op_log.to_list t.log,
+      acc,
+      att,
+      (t.applied, t.round, t.retry_streak, Hashtbl.length t.reads),
+      (t.lead, t.acct) )
 let applied_upto t = t.applied
 let current_leader t = t.lead
 let current_acceptor t = t.acct

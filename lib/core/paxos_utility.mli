@@ -110,3 +110,9 @@ val recover :
     view from the replay), and the round counter resumes past its
     pre-crash value so recovered proposals can never reuse a proposal
     number. *)
+
+val digest : t -> int
+(** [digest t] is a structural fingerprint of the configuration-log
+    state (log, acceptor registers, in-progress attempt, derived view)
+    for the explorer's visited-state table. Hashtables are hashed in
+    sorted key order. *)

@@ -74,3 +74,10 @@ let view t =
     fingerprint = Kv_store.fingerprint t.store;
     executed_prefix = t.executed_upto;
   }
+
+(* Structural fingerprint for the explorer's visited-state table. The
+   view already covers the decided log, the store contents and the
+   executed prefix; the session table is a function of the executed
+   prefix and need not be hashed separately. [hash_param] with a large
+   meaningful-node budget so small model-checked states hash in full. *)
+let digest t = Hashtbl.hash_param 1000 1000 (view t)

@@ -60,3 +60,8 @@ val commits : t -> int
 
 val view : t -> Wire.value Ci_rsm.Consistency.replica_view
 (** [view t] is the snapshot the consistency checker consumes. *)
+
+val digest : t -> int
+(** [digest t] is a structural fingerprint of the decided log, store
+    contents and executed prefix (the consistency {!view}), for the
+    explorer's visited-state table. *)

@@ -296,3 +296,19 @@ module Participant = struct
   let finishes t = t.n_finishes
   let inflight t = Hashtbl.length t.pending
 end
+
+(* Structural fingerprint for the explorer's visited-state table;
+   hashtables in sorted key order (see {!Onepaxos.digest}). *)
+let digest t =
+  let tbl_list tbl =
+    Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [] |> List.sort compare
+  in
+  let rounds =
+    Hashtbl.fold
+      (fun i r l -> (i, r.v, r.acks, r.commit_acks, r.committed) :: l)
+      t.rounds []
+    |> List.sort compare
+  in
+  Hashtbl.hash_param 1000 1000
+    ( Replica_core.digest t.core, t.next_inst, rounds, tbl_list t.inflight,
+      tbl_list t.my_keys, tbl_list t.prepared )

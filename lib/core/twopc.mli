@@ -81,3 +81,9 @@ module Participant : sig
   val inflight : p -> int
   (** Submissions whose consensus reply is still pending. *)
 end
+
+val digest : t -> int
+(** [digest t] is a structural fingerprint of the replica's protocol
+    state for the explorer's visited-state table; hashtables are hashed
+    in sorted key order and timestamps relative to the current clock.
+    Equal states always produce equal digests. *)

@@ -149,6 +149,22 @@ let peek_time q =
   drop_dead q;
   if q.size = 0 then None else Some q.times.(0)
 
+let peek q =
+  drop_dead q;
+  if q.size = 0 then None else Some (q.times.(0), q.payloads.(0))
+
+let snapshot q =
+  let live = ref [] in
+  for i = 0 to q.size - 1 do
+    match q.tokens.(i) with
+    | Some tok when not tok.live -> ()
+    | Some _ | None -> live := (q.times.(i), q.seqs.(i), q.payloads.(i)) :: !live
+  done;
+  !live
+  |> List.sort (fun (t1, s1, _) (t2, s2, _) ->
+         match compare (t1 : int) t2 with 0 -> compare (s1 : int) s2 | c -> c)
+  |> List.map (fun (t, _, p) -> (t, p))
+
 (* Allocation-free variants of [peek_time]/[pop] for the simulator's
    run loop: an [option] (and the [pop] pair) costs 7 words per event,
    which dominates the engine's per-event budget once the rest of the

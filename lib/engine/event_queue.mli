@@ -52,6 +52,21 @@ val peek_time : 'a t -> int option
 (** [peek_time q] is the timestamp of the earliest non-cancelled event,
     without removing it. *)
 
+val peek : 'a t -> (int * 'a) option
+(** [peek q] is the earliest non-cancelled event as [(time, payload)]
+    without removing it — what {!pop} would return. Controlled
+    schedulers (the model-checking explorer) use it to inspect the next
+    event of a queue before committing to executing it. *)
+
+val snapshot : 'a t -> (int * 'a) list
+(** [snapshot q] is every pending non-cancelled event as
+    [(time, payload)], in exactly the order {!pop} would return them:
+    ascending [(time, insertion sequence)]. The queue is not modified.
+    This is the enumeration seam for exhaustive exploration — the set of
+    {e enabled} events rather than just the next one — and doubles as
+    the oracle for the tie-break property test: for any push/cancel
+    history, repeated [pop] must replay [snapshot] exactly. *)
+
 val no_event : int
 (** Sentinel returned by {!next_time} on an empty queue ([max_int]). *)
 

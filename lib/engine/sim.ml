@@ -27,6 +27,7 @@ let schedule_cancellable t ~delay f =
 let cancel t timer = Event_queue.cancel t.queue timer
 
 let pending t = Event_queue.length t.queue
+let next_at t = Event_queue.peek_time t.queue
 
 let events_fired t = t.fired
 

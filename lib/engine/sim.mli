@@ -38,6 +38,14 @@ val pending : t -> int
 (** [pending sim] is the number of queued events (cancelled events are
     not counted). *)
 
+val next_at : t -> Sim_time.t option
+(** [next_at sim] is the timestamp of the next event {!run} would fire,
+    without firing it — the simulator end of the controlled-scheduler
+    seam. Events at equal timestamps fire in insertion order (the
+    {!Event_queue} FIFO tie-break), so [(time, insertion order)] is a
+    total, stable order over pending events; replayable exploration
+    (Ci_explore) depends on it. *)
+
 val events_fired : t -> int
 (** [events_fired sim] is the cumulative count of events executed over
     the simulator's lifetime (cancelled events never execute). *)

@@ -1,0 +1,259 @@
+module Consistency = Ci_rsm.Consistency
+
+type bounds = { max_depth : int; max_states : int; closure_steps : int }
+
+let default_bounds = { max_depth = 24; max_states = 50_000; closure_steps = 20_000 }
+
+type violation =
+  | Safety of Consistency.report
+  | Livelock of { missing : (int * int) list }
+
+let same_kind a b =
+  match (a, b) with
+  | Safety _, Safety _ | Livelock _, Livelock _ -> true
+  | Safety _, Livelock _ | Livelock _, Safety _ -> false
+
+let pp_violation fmt = function
+  | Safety report -> Format.fprintf fmt "safety: %a" Consistency.pp report
+  | Livelock { missing } ->
+    Format.fprintf fmt "livelock: %d command(s) can never be acknowledged:"
+      (List.length missing);
+    List.iter (fun (c, r) -> Format.fprintf fmt " c%d#%d" c r) missing
+
+type stats = {
+  mutable states : int; (* states expanded (worlds checked) *)
+  mutable executions : int; (* worlds rebuilt from scratch *)
+  mutable choices_applied : int; (* total choices applied, replays included *)
+  mutable branches : int; (* child edges descended into *)
+  mutable dedup_hits : int; (* prefixes cut by the visited table *)
+  mutable sleep_skips : int; (* enabled choices skipped by sleep sets *)
+  mutable deepening_rounds : int;
+  mutable truncated : bool; (* last round cut some path at the depth bound *)
+  mutable closures : int; (* liveness closures run *)
+}
+
+let fresh_stats () =
+  {
+    states = 0;
+    executions = 0;
+    choices_applied = 0;
+    branches = 0;
+    dedup_hits = 0;
+    sleep_skips = 0;
+    deepening_rounds = 0;
+    truncated = false;
+    closures = 0;
+  }
+
+type outcome =
+  | Exhausted
+  | Bounded
+  | Violated of {
+      trace : Trace.choice list;
+      violation : violation;
+      shrunk : Trace.choice list;
+      shrunk_violation : violation;
+    }
+
+type result = { outcome : outcome; stats : stats }
+
+exception Found of Trace.choice list * violation
+exception Budget
+
+(* Stateless re-execution: protocol replicas hold closures (timers,
+   handler continuations) and cannot be snapshotted, so reaching any
+   state means replaying its choice prefix on a fresh world. The cost
+   is O(depth) per state; the visited table and sleep sets are what
+   keep the bill payable. *)
+let build ?ring cfg stats prefix =
+  let w = World.create ?ring cfg in
+  stats.executions <- stats.executions + 1;
+  List.iter
+    (fun c ->
+      World.apply w c;
+      stats.choices_applied <- stats.choices_applied + 1)
+    prefix;
+  w
+
+let check_state w prefix =
+  let report = World.check w in
+  if not (Consistency.ok report) then raise (Found (prefix, Safety report))
+
+(* One depth-bounded DFS round. [visited] maps state digest -> greatest
+   remaining depth it was expanded with: a revisit with no more depth
+   left than before cannot reach anything new. [sleep] carries choices
+   provably covered by an already-explored sibling interleaving
+   (classic sleep sets over the static independence of {!World}). *)
+let rec dfs cfg bounds stats visited prefix depth_left sleep =
+  if stats.states >= bounds.max_states then raise Budget;
+  let w = build cfg stats prefix in
+  stats.states <- stats.states + 1;
+  check_state w prefix;
+  let dig = World.digest w in
+  let skip =
+    match Hashtbl.find_opt visited dig with
+    | Some d when d >= depth_left ->
+      stats.dedup_hits <- stats.dedup_hits + 1;
+      true
+    | Some _ | None ->
+      Hashtbl.replace visited dig depth_left;
+      false
+  in
+  if not skip then begin
+    let choices = World.enabled w in
+    (* Liveness exactly at quiescent states: only faults (if budget
+       remains) could still run, so if the fault-free continuation of
+       this state cannot acknowledge everything, no continuation can. *)
+    if World.quiescent w && not (World.all_acked w) then begin
+      stats.closures <- stats.closures + 1;
+      match World.run_closure w ~max_steps:bounds.closure_steps with
+      | `Live -> ()
+      | `Livelock missing -> raise (Found (prefix, Livelock { missing }))
+    end;
+    if depth_left = 0 then begin
+      if choices <> [] then stats.truncated <- true
+    end
+    else begin
+      let explored = ref [] in
+      List.iter
+        (fun c ->
+          if List.mem c sleep then
+            stats.sleep_skips <- stats.sleep_skips + 1
+          else begin
+            let child_sleep =
+              List.filter
+                (fun s -> World.independent w s c)
+                (sleep @ List.rev !explored)
+            in
+            stats.branches <- stats.branches + 1;
+            dfs cfg bounds stats visited (prefix @ [ c ]) (depth_left - 1)
+              child_sleep;
+            explored := c :: !explored
+          end)
+        choices
+    end
+  end
+
+(* ---- replay ---------------------------------------------------------- *)
+
+let replay ?ring ?(closure_steps = default_bounds.closure_steps) cfg choices =
+  let w = World.create ?ring cfg in
+  let rec go applied = function
+    | [] -> (
+      match World.run_closure w ~max_steps:closure_steps with
+      | `Live -> Ok None
+      | `Livelock missing -> Ok (Some (Livelock { missing })))
+    | c :: tl ->
+      if not (World.is_enabled w c) then
+        Error
+          (Printf.sprintf "choice %d (%s) not enabled at replay" applied
+             (Trace.choice_to_line c))
+      else begin
+        World.apply w c;
+        let report = World.check w in
+        if not (Consistency.ok report) then Ok (Some (Safety report))
+        else go (applied + 1) tl
+      end
+  in
+  go 0 choices
+
+(* ---- shrinking ------------------------------------------------------- *)
+
+let take k l = List.filteri (fun i _ -> i < k) l
+let remove_nth k l = List.filteri (fun i _ -> i <> k) l
+
+(* Minimize a counterexample to a locally 1-minimal schedule: first the
+   shortest reproducing prefix, then repeated single-choice removal
+   passes until no single choice can be dropped. A candidate reproduces
+   if it replays with every choice enabled and ends in a violation of
+   the same kind (safety / livelock) as the original. *)
+let shrink cfg ~closure_steps ~violation trace =
+  let reproduces cand =
+    match replay ~closure_steps cfg cand with
+    | Ok (Some v) when same_kind v violation -> Some v
+    | Ok _ | Error _ -> None
+  in
+  let len = List.length trace in
+  let rec trunc k =
+    if k >= len then (trace, violation)
+    else
+      match reproduces (take k trace) with
+      | Some v -> (take k trace, v)
+      | None -> trunc (k + 1)
+  in
+  let cur, curv = trunc 0 in
+  let cur = ref cur and curv = ref curv in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let i = ref 0 in
+    while !i < List.length !cur do
+      match reproduces (remove_nth !i !cur) with
+      | Some v ->
+        cur := remove_nth !i !cur;
+        curv := v;
+        progress := true
+      | None -> incr i
+    done
+  done;
+  (!cur, !curv)
+
+(* ---- driver ---------------------------------------------------------- *)
+
+(* Iterative deepening: rounds at depth 8, 16, ... up to
+   [bounds.max_depth], stopping early once a round completes without
+   ever hitting its depth bound (the reachable space within budgets is
+   then exhausted — deeper rounds would revisit exactly the same
+   states). Shallow rounds also guarantee the first counterexample
+   found is among the shortest, which keeps shrinking cheap. *)
+let explore ?(bounds = default_bounds) ?(prefix = []) cfg =
+  (match Trace.validate_config cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Search.explore: " ^ msg));
+  let stats = fresh_stats () in
+  let finish outcome = { outcome; stats } in
+  try
+    (* A guided prefix roots the search mid-schedule. Validate it
+       eagerly — a choice that is not enabled means the prefix belongs
+       to a different config and silently exploring from a wrong state
+       would be worse than failing — and safety-check each step so a
+       violation inside the prefix itself is reported, not masked. *)
+    if prefix <> [] then begin
+      let w = World.create cfg in
+      stats.executions <- stats.executions + 1;
+      List.iteri
+        (fun i c ->
+          if not (World.is_enabled w c) then
+            invalid_arg
+              (Printf.sprintf "Search.explore: prefix choice %d (%s) not enabled"
+                 i (Trace.choice_to_line c));
+          World.apply w c;
+          stats.choices_applied <- stats.choices_applied + 1;
+          let report = World.check w in
+          if not (Consistency.ok report) then
+            raise (Found (take (i + 1) prefix, Safety report)))
+        prefix
+    end;
+    let depth = ref (min 8 bounds.max_depth) in
+    let continue = ref true in
+    let outcome = ref Exhausted in
+    while !continue do
+      stats.deepening_rounds <- stats.deepening_rounds + 1;
+      stats.truncated <- false;
+      let visited = Hashtbl.create 4096 in
+      dfs cfg bounds stats visited prefix !depth [];
+      if stats.truncated && !depth < bounds.max_depth then
+        depth := min (2 * !depth) bounds.max_depth
+      else begin
+        continue := false;
+        outcome := if stats.truncated then Bounded else Exhausted
+      end
+    done;
+    finish !outcome
+  with
+  | Budget -> finish Bounded
+  | Found (trace, violation) ->
+    let shrunk, shrunk_violation =
+      shrink cfg ~closure_steps:bounds.closure_steps ~violation trace
+    in
+    finish (Violated { trace; violation; shrunk; shrunk_violation })

@@ -1,0 +1,115 @@
+(** Bounded stateless model checking over {!World}.
+
+    Iterative-deepening DFS over every scheduler choice (delivery
+    order, timer fires) crossed with every fault placement within the
+    config's budgets (link drops, majority-preserving crashes), for the
+    small configurations {!Trace.validate_config} admits. Protocol
+    state is not cloneable, so each state is reached by re-executing
+    its choice prefix from the initial world (stateless exploration);
+    a digest-keyed visited table and sleep-set partial-order reduction
+    keep the re-execution bill bounded.
+
+    Checked properties:
+    - {b safety} — {!World.check} (agreement, non-triviality,
+      convergence, session integrity) at {e every} explored state;
+    - {b liveness} — at every quiescent state, the deterministic
+      fault-free closure must acknowledge every submitted command;
+      a lasso (state repetition without progress) or true quiescence
+      with commands outstanding is a {!Livelock}.
+
+    On a violation the driver shrinks the counterexample to a locally
+    1-minimal replayable {!Trace.choice} schedule.
+
+    Soundness caveats (deliberate, documented in DESIGN.md §14): digest
+    pruning trusts a hash; sleep sets use conservative static
+    independence but compose heuristically with the visited table; time
+    is abstracted to relative deadlines. Within those caveats,
+    [Exhausted] means no reachable violation at the configured budgets
+    and depth. *)
+
+type bounds = {
+  max_depth : int;  (** Deepest choice prefix explored. *)
+  max_states : int;  (** Total states expanded before giving up. *)
+  closure_steps : int;  (** Step cap per liveness closure / replay. *)
+}
+
+val default_bounds : bounds
+(** depth 24, 50k states, 20k closure steps. *)
+
+type violation =
+  | Safety of Ci_rsm.Consistency.report
+      (** A consistency property failed; the report says which. *)
+  | Livelock of { missing : (int * int) list }
+      (** The fault-free continuation cannot acknowledge these
+          [(client, req_id)] commands. *)
+
+val same_kind : violation -> violation -> bool
+val pp_violation : Format.formatter -> violation -> unit
+
+type stats = {
+  mutable states : int;
+  mutable executions : int;
+  mutable choices_applied : int;
+  mutable branches : int;
+  mutable dedup_hits : int;
+  mutable sleep_skips : int;
+  mutable deepening_rounds : int;
+  mutable truncated : bool;
+  mutable closures : int;
+}
+
+type outcome =
+  | Exhausted
+      (** Every reachable state within the budgets was explored; no
+          violation. *)
+  | Bounded
+      (** The state or depth budget ran out first; no violation found
+          within it. *)
+  | Violated of {
+      trace : Trace.choice list;  (** The schedule as first found. *)
+      violation : violation;
+      shrunk : Trace.choice list;  (** 1-minimal reproducing schedule. *)
+      shrunk_violation : violation;
+          (** The (same-kind) violation the shrunk schedule ends in. *)
+    }
+
+type result = { outcome : outcome; stats : stats }
+
+val explore : ?bounds:bounds -> ?prefix:Trace.choice list -> Trace.config -> result
+(** Run the checker. Raises [Invalid_argument] on a config rejected by
+    {!Trace.validate_config}.
+
+    [prefix] roots the search at the state reached by applying those
+    choices in order (guided exploration — e.g. to dive back into the
+    neighborhood of a previously found counterexample). Every prefix
+    choice must be enabled when applied ([Invalid_argument] otherwise);
+    safety is checked after each prefix step, so a violation inside the
+    prefix itself is found and shrunk like any other. Depth and state
+    budgets apply to the search beyond the prefix; violating traces and
+    their shrunk forms are full schedules from the initial state,
+    replayable with {!replay}. *)
+
+val replay :
+  ?ring:Ci_obs.Event.ring ->
+  ?closure_steps:int ->
+  Trace.config ->
+  Trace.choice list ->
+  (violation option, string) Stdlib.result
+(** [replay cfg choices] re-executes a schedule deterministically:
+    applies each choice (failing with [Error] if one is not enabled —
+    the trace does not belong to this config), checking safety after
+    each; then runs the liveness closure from the final state.
+    [Ok (Some v)] is the reproduced violation, [Ok None] a clean,
+    live execution. With [ring], the execution's typed events are
+    emitted to it ({!World.create}). *)
+
+val shrink :
+  Trace.config ->
+  closure_steps:int ->
+  violation:violation ->
+  Trace.choice list ->
+  Trace.choice list * violation
+(** [shrink cfg ~closure_steps ~violation trace] minimizes a
+    reproducing schedule: shortest violating prefix, then repeated
+    single-choice removals to a local 1-minimum. The result replays to
+    a violation of the same kind. *)

@@ -86,7 +86,7 @@ type t = {
      read returning one of the client's *older* payloads proves the
      read serialized before an already-acked write — a read-your-writes
      violation no value coincidence can fake. *)
-  own : (int * int, int list ref) Hashtbl.t;
+  own : Session_store.t;
   mutable log : (int * Command.t) list;
   mutable acked : (int * int) list;
   mutable n_done : int;
@@ -101,15 +101,8 @@ let fresh_data t =
   t.next_data <- t.next_data + 1;
   d
 
-let own_newest t ~lclient ~key =
-  match Hashtbl.find_opt t.own (lclient, key) with
-  | Some { contents = d :: _ } -> Some d
-  | Some { contents = [] } | None -> None
-
-let own_push t ~lclient ~key d =
-  match Hashtbl.find_opt t.own (lclient, key) with
-  | Some l -> l := d :: !l
-  | None -> Hashtbl.add t.own (lclient, key) (ref [ d ])
+let own_newest t ~lclient ~key = Session_store.newest t.own ~lclient ~key
+let own_push t ~lclient ~key d = Session_store.push t.own ~lclient ~key d
 
 (* Draw order is fixed (logical client, key, op class, then payload
    draws) so a load point is reproducible from the run seed alone. *)
@@ -227,10 +220,7 @@ let check_ryw t op result =
       | Some d ->
         if
           d <> newest
-          &&
-          match Hashtbl.find_opt t.own (op.i_lclient, key) with
-          | Some l -> List.mem d !l
-          | None -> false
+          && Session_store.mem t.own ~lclient:op.i_lclient ~key d
         then Load_stats.note_stale_read t.stats))
   | _ -> ()
 
@@ -289,7 +279,7 @@ let create ~env ~config ~stats =
     next_data = 1;
     backlog = Queue.create ();
     inflight = Hashtbl.create 64;
-    own = Hashtbl.create 1024;
+    own = Session_store.create ~key_space:config.key_space;
     log = [];
     acked = [];
     n_done = 0;

@@ -1,0 +1,136 @@
+(* Sparse per-(logical client, key) write-history store.
+
+   The open-loop driver tracks, for every logical client and key it has
+   written, the client's acked payloads (newest first) to judge
+   read-your-writes. A boxed-tuple-keyed Hashtbl spends three words of
+   key box plus a list cell per payload and hashes an allocated tuple on
+   every probe. At open-loop populations (10^6 logical clients) that is
+   both allocation-heavy and cache-hostile.
+
+   This store packs the key into a single immediate int
+   ([lclient * key_space + key]) and keeps everything in four unboxed
+   int arrays:
+
+   - an open-addressing table (linear probing, power-of-two capacity)
+     from packed key to the head of that session's history chain;
+   - an append-only arena of [(payload, next)] cells holding the
+     histories as unboxed linked lists.
+
+   No per-entry boxing, no tuple hashing, no GC pressure beyond the
+   occasional array doubling. Memory is proportional to the number of
+   *touched* sessions and acked writes, never to
+   population * key_space. *)
+
+type t = {
+  key_space : int;
+  mutable mask : int; (* capacity - 1; capacity is a power of two *)
+  mutable keys : int array; (* packed key + 1; 0 = empty slot *)
+  mutable heads : int array; (* arena index of newest cell; 0 = none *)
+  mutable count : int; (* distinct sessions present *)
+  mutable cell_data : int array; (* arena: payload of cell i *)
+  mutable cell_next : int array; (* arena: older cell, 0 = end *)
+  mutable cells : int; (* next free arena index; 0 is the nil sentinel *)
+}
+
+let initial_capacity = 16
+
+let create ~key_space =
+  if key_space < 1 then invalid_arg "Session_store: key_space must be >= 1";
+  if key_space > max_int / 4096 then
+    invalid_arg "Session_store: key_space too large to pack";
+  {
+    key_space;
+    mask = initial_capacity - 1;
+    keys = Array.make initial_capacity 0;
+    heads = Array.make initial_capacity 0;
+    count = 0;
+    cell_data = Array.make initial_capacity 0;
+    cell_next = Array.make initial_capacity 0;
+    cells = 1;
+  }
+
+let pack t ~lclient ~key =
+  if key < 0 || key >= t.key_space then
+    invalid_arg "Session_store: key out of range";
+  if lclient < 0 || lclient > (max_int - key) / t.key_space then
+    invalid_arg "Session_store: lclient out of range";
+  (lclient * t.key_space) + key
+
+(* Fibonacci multiplicative mix; OCaml ints are 63-bit so the high bits
+   the multiply produces are kept by masking after a right shift. *)
+let hash k = (k * 0x2545F4914F6CDD1D) lsr 20
+
+(* Index of [packed]'s slot, or of the empty slot where it belongs. *)
+let find_slot keys mask packed =
+  let stored = packed + 1 in
+  let rec probe i =
+    let k = Array.unsafe_get keys i in
+    if k = 0 || k = stored then i else probe ((i + 1) land mask)
+  in
+  probe (hash packed land mask)
+
+let grow t =
+  let cap = (t.mask + 1) * 2 in
+  let keys = Array.make cap 0 in
+  let heads = Array.make cap 0 in
+  let mask = cap - 1 in
+  Array.iteri
+    (fun i k ->
+      if k <> 0 then begin
+        let j = find_slot keys mask (k - 1) in
+        keys.(j) <- k;
+        heads.(j) <- t.heads.(i)
+      end)
+    t.keys;
+  t.keys <- keys;
+  t.heads <- heads;
+  t.mask <- mask
+
+let new_cell t ~data ~next =
+  if t.cells >= Array.length t.cell_data then begin
+    let cap = Array.length t.cell_data * 2 in
+    let grow_arr a =
+      let a' = Array.make cap 0 in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    in
+    t.cell_data <- grow_arr t.cell_data;
+    t.cell_next <- grow_arr t.cell_next
+  end;
+  let i = t.cells in
+  t.cells <- i + 1;
+  t.cell_data.(i) <- data;
+  t.cell_next.(i) <- next;
+  i
+
+let push t ~lclient ~key data =
+  let packed = pack t ~lclient ~key in
+  (* Keep load factor under 3/4 so linear probing stays short. *)
+  if 4 * (t.count + 1) > 3 * (t.mask + 1) then grow t;
+  let i = find_slot t.keys t.mask packed in
+  if t.keys.(i) = 0 then begin
+    t.keys.(i) <- packed + 1;
+    t.count <- t.count + 1
+  end;
+  t.heads.(i) <- new_cell t ~data ~next:t.heads.(i)
+
+let newest t ~lclient ~key =
+  let i = find_slot t.keys t.mask (pack t ~lclient ~key) in
+  if t.keys.(i) = 0 then None else Some t.cell_data.(t.heads.(i))
+
+let mem t ~lclient ~key data =
+  let i = find_slot t.keys t.mask (pack t ~lclient ~key) in
+  if t.keys.(i) = 0 then false
+  else begin
+    let rec walk c =
+      c <> 0 && (t.cell_data.(c) = data || walk t.cell_next.(c))
+    in
+    walk t.heads.(i)
+  end
+
+let sessions t = t.count
+
+let words t =
+  (* Live heap words held in the four arrays (headers excluded):
+     table + arena, i.e. the store's actual footprint. *)
+  (2 * (t.mask + 1)) + (2 * Array.length t.cell_data)

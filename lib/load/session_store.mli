@@ -1,0 +1,36 @@
+(** Sparse per-(logical client, key) write-history store.
+
+    Backs the open-loop driver's read-your-writes session tracking: for
+    each logical client and key, the acked write payloads newest-first.
+    Keys are packed into a single immediate int
+    ([lclient * key_space + key]) over an open-addressing table with an
+    unboxed cell arena, so memory and GC cost scale with the number of
+    sessions actually touched — not with [population * key_space] — and
+    probes hash an int, not an allocated tuple. Holds ~10^6 logical
+    clients comfortably (see the load test suite). *)
+
+type t
+
+val create : key_space:int -> t
+(** [create ~key_space] is an empty store for keys in
+    [0 .. key_space - 1]. Raises [Invalid_argument] if [key_space < 1]
+    or too large to pack. *)
+
+val push : t -> lclient:int -> key:int -> int -> unit
+(** [push t ~lclient ~key data] records [data] as the session's newest
+    acked write payload. Raises [Invalid_argument] if [key] is outside
+    [0 .. key_space - 1] or [lclient] is negative / unpackable. *)
+
+val newest : t -> lclient:int -> key:int -> int option
+(** Newest pushed payload of the session, if any. *)
+
+val mem : t -> lclient:int -> key:int -> int -> bool
+(** [mem t ~lclient ~key data] is true iff [data] was ever pushed for
+    the session. *)
+
+val sessions : t -> int
+(** Number of distinct (logical client, key) sessions touched. *)
+
+val words : t -> int
+(** Heap words held by the store's arrays — the footprint the 1M-client
+    test bounds. *)

@@ -102,6 +102,45 @@ dune exec bin/consensus_sim.exe -- load -p 1paxos -d 20 --rate 20000 \
 dune exec bin/consensus_sim.exe -- load --backend live -p multipaxos \
   -d 300 --rate 5000 --poisson
 
+echo "== model-checker smoke (exhaustive, one crash, <=2s) =="
+# The bounded explorer must fully exhaust the acceptance configs from
+# ISSUE 10 — 3 replicas, crash budget 1, no timer nondeterminism — and
+# say so. `explore` exits 1 on any safety or liveness violation, so a
+# regression that re-opens a counterexample fails the pre-flight; the
+# grep additionally rejects a silent downgrade to outcome=bounded.
+dune exec bin/consensus_sim.exe -- explore -p 1paxos \
+  --fires 0 --crashes 1 --commands 2 --max-depth 48 \
+  | grep -q '^outcome=exhausted$'
+dune exec bin/consensus_sim.exe -- explore -p multipaxos \
+  --fires 0 --crashes 1 --commands 1 --max-depth 48 \
+  | grep -q '^outcome=exhausted$'
+
+echo "== BENCH_explore.json sanity (committed artifact of 'bench explore') =="
+# Regenerated by `dune exec bench/main.exe -- explore`; here we only
+# check the committed artifact parses and has the promised shape: the
+# two crash-tolerant protocols exhausted with nonzero reduction ratios,
+# and 2PC convicted and shrunk to the single-crash counterexample.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+rows = json.load(open("BENCH_explore.json"))["rows"]
+keys = ["protocol", "outcome", "states", "executions", "choices_applied",
+        "dedup_ratio", "sleep_ratio", "states_per_s", "trace_len", "shrunk_len"]
+by = {r["protocol"]: r for r in rows}
+for k in keys:
+    assert all(k in r for r in rows), f"missing key {k}"
+for p in ("1paxos", "multipaxos"):
+    assert by[p]["outcome"] == "exhausted", f"{p} did not exhaust"
+    assert by[p]["dedup_ratio"] > 0, f"{p}: dedup never pruned"
+    assert by[p]["sleep_ratio"] > 0, f"{p}: sleep sets never pruned"
+assert by["2pc"]["outcome"] == "violated", "2pc escaped its known violation"
+assert by["2pc"]["shrunk_len"] == 1, "2pc counterexample not 1-minimal"
+print(f"BENCH_explore.json: {len(rows)} rows, ok")
+EOF
+else
+  echo "python3 unavailable; skipping JSON validation"
+fi
+
 echo "== BENCH_service.json sanity (committed artifact of 'bench service') =="
 # The service curves are regenerated by `dune exec bench/main.exe --
 # service`; here we only check the committed artifact parses and has

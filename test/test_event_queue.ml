@@ -180,6 +180,74 @@ let prop_interleaved_push_pop =
         ops;
       !ok)
 
+(* Property: [snapshot] is a faithful oracle for the pop order — for
+   any interleaved push/cancel/pop history, the snapshot taken at the
+   end equals what repeated [pop] then returns, and both are the stable
+   (time, insertion-sequence) order of the surviving events. This is
+   the total order the explorer's replay contract depends on: two runs
+   of the same schedule must enumerate enabled timers identically. *)
+let prop_snapshot_oracle =
+  (* op: (kind, time) with kind 0 = push, 1 = push_token+cancel later,
+     2 = pop *)
+  QCheck.Test.make ~name:"snapshot = pop order = stable (time, seq)"
+    ~count:300
+    QCheck.(list (pair (int_bound 2) (int_bound 30)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      (* Model the queue as a list of live ((time, seq), payload). *)
+      let seq = ref 0 in
+      let live = ref [] in
+      let pending_cancels = ref [] in
+      let model_sorted () =
+        List.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2) !live
+      in
+      let ok = ref true in
+      List.iter
+        (fun (kind, t) ->
+          match kind with
+          | 0 ->
+            let i = !seq in
+            incr seq;
+            Event_queue.push q ~time:t (t, i);
+            live := !live @ [ ((t, i), (t, i)) ]
+          | 1 ->
+            let i = !seq in
+            incr seq;
+            let tok = Event_queue.push_token q ~time:t (t, i) in
+            live := !live @ [ ((t, i), (t, i)) ];
+            (* Cancel every other tokened event, immediately. *)
+            if i mod 2 = 0 then begin
+              Event_queue.cancel q tok;
+              live := List.filter (fun (k, _) -> k <> (t, i)) !live
+            end
+            else pending_cancels := (tok, (t, i)) :: !pending_cancels
+          | _ -> (
+            match Event_queue.pop q with
+            | None -> if !live <> [] then ok := false
+            | Some (time, payload) -> (
+              match model_sorted () with
+              | [] -> ok := false
+              | (k, v) :: _ ->
+                if (time, payload) <> (fst k, v) then ok := false;
+                live := List.filter (fun (k', _) -> k' <> k) !live)))
+        ops;
+      (* Late cancels: spend the remaining tokens in reverse order (some
+         may already have fired via pop — must be no-ops). *)
+      List.iter
+        (fun (tok, k) ->
+          Event_queue.cancel q tok;
+          live := List.filter (fun (k', _) -> k' <> k) !live)
+        !pending_cancels;
+      let snap = Event_queue.snapshot q in
+      let expected =
+        List.map (fun ((t, _), v) -> (t, v)) (model_sorted ())
+      in
+      (* snapshot must not modify the queue, must equal the model, and
+         must equal the subsequent drain exactly. *)
+      !ok && snap = expected
+      && Event_queue.length q = List.length expected
+      && drain q = expected)
+
 let suite =
   ( "event_queue",
     [
@@ -198,4 +266,5 @@ let suite =
       QCheck_alcotest.to_alcotest prop_stable_sort;
       QCheck_alcotest.to_alcotest prop_interleaved_push_pop;
       QCheck_alcotest.to_alcotest prop_cancel_subset;
+      QCheck_alcotest.to_alcotest prop_snapshot_oracle;
     ] )

@@ -331,6 +331,68 @@ let lease_crash_never_serves_stale () =
         (r.Runner.commits > 0))
     [ ("1paxos", Runner.Onepaxos); ("multipaxos", Runner.Multipaxos) ]
 
+(* ----- sparse session store -------------------------------------------- *)
+
+(* The packed-key store must behave exactly like the per-session
+   newest-first history it replaces, at a population of one million
+   logical clients, with memory proportional to touched sessions. *)
+let session_store_holds_a_million_clients () =
+  let module S = Ci_load.Session_store in
+  let key_space = 64 in
+  let s = S.create ~key_space in
+  let population = 1_000_000 in
+  (* Every logical client writes twice to one key; a scattered subset
+     writes to a second key. Payloads are unique per (client, write). *)
+  let key_of c = c mod key_space in
+  for c = 0 to population - 1 do
+    let k = key_of c in
+    S.push s ~lclient:c ~key:k ((c * 4) + 1);
+    S.push s ~lclient:c ~key:k ((c * 4) + 2);
+    if c mod 17 = 0 then
+      S.push s ~lclient:c ~key:((k + 1) mod key_space) ((c * 4) + 3)
+  done;
+  let expected_sessions = population + ((population + 16) / 17) in
+  Alcotest.(check int) "distinct sessions" expected_sessions (S.sessions s);
+  (* Spot-check histories across the population. *)
+  for c = 0 to population - 1 do
+    if c mod 9973 = 0 then begin
+      let k = key_of c in
+      Alcotest.(check (option int))
+        "newest is the second write"
+        (Some ((c * 4) + 2))
+        (S.newest s ~lclient:c ~key:k);
+      Alcotest.(check bool) "older write still present" true
+        (S.mem s ~lclient:c ~key:k ((c * 4) + 1));
+      Alcotest.(check bool) "foreign payload absent" false
+        (S.mem s ~lclient:c ~key:k ((c * 4) + 5))
+    end
+  done;
+  (* An untouched (client, key) pair reads empty even at full load. *)
+  Alcotest.(check (option int))
+    "untouched session is empty" None
+    (S.newest s ~lclient:123_456 ~key:((key_of 123_456 + 2) mod key_space));
+  (* Footprint: tables and arena only — far under what a boxed
+     tuple-keyed Hashtbl of 2M+ entries would hold, and independent of
+     population * key_space (which is 64M sessions). *)
+  let writes = (2 * population) + ((population + 16) / 17) in
+  Alcotest.(check bool)
+    (Printf.sprintf "words %d bounded by sessions+writes" (S.words s))
+    true
+    (S.words s < 8 * (expected_sessions + writes))
+
+let session_store_rejects_bad_keys () =
+  let module S = Ci_load.Session_store in
+  let s = S.create ~key_space:8 in
+  Alcotest.check_raises "key out of range"
+    (Invalid_argument "Session_store: key out of range") (fun () ->
+      S.push s ~lclient:0 ~key:8 1);
+  Alcotest.check_raises "negative lclient"
+    (Invalid_argument "Session_store: lclient out of range") (fun () ->
+      S.push s ~lclient:(-1) ~key:0 1);
+  Alcotest.check_raises "key_space too small"
+    (Invalid_argument "Session_store: key_space must be >= 1") (fun () ->
+      ignore (S.create ~key_space:0))
+
 let suite =
   ( "load",
     [
@@ -361,4 +423,8 @@ let suite =
         leases_serve_local_reads_faster;
       Alcotest.test_case "lease-holding leader crash: no stale reads" `Slow
         lease_crash_never_serves_stale;
+      Alcotest.test_case "session store holds a million clients" `Slow
+        session_store_holds_a_million_clients;
+      Alcotest.test_case "session store validates keys" `Quick
+        session_store_rejects_bad_keys;
     ] )
